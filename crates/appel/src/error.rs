@@ -1,0 +1,67 @@
+//! Errors raised while parsing or evaluating APPEL preferences.
+
+use std::fmt;
+
+/// An error from the APPEL subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppelError {
+    /// The underlying XML was not well-formed.
+    Xml(p3p_xmldom::ParseError),
+    /// The XML was well-formed but not valid APPEL.
+    Invalid {
+        context: String,
+        message: String,
+    },
+}
+
+impl AppelError {
+    pub(crate) fn invalid(context: impl Into<String>, message: impl Into<String>) -> Self {
+        AppelError::Invalid {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AppelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppelError::Xml(e) => write!(f, "{e}"),
+            AppelError::Invalid { context, message } => {
+                write!(f, "invalid APPEL in <{context}>: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppelError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p3p_xmldom::ParseError> for AppelError {
+    fn from(e: p3p_xmldom::ParseError) -> Self {
+        AppelError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AppelError::invalid("RULE", "missing behavior");
+        assert_eq!(e.to_string(), "invalid APPEL in <RULE>: missing behavior");
+    }
+
+    #[test]
+    fn xml_conversion() {
+        let xml_err = p3p_xmldom::parse_element("<").unwrap_err();
+        assert!(matches!(AppelError::from(xml_err), AppelError::Xml(_)));
+    }
+}

@@ -1,0 +1,56 @@
+//! # p3p-appel — APPEL 1.0 preferences and the native matching engine
+//!
+//! APPEL (A P3P Preference Exchange Language, W3C Working Draft) is the
+//! XML language users state privacy preferences in: an ordered list of
+//! rules, each carrying a *behavior* (`request`, `block`, `limited`)
+//! and a *pattern* matched against a site's P3P policy. The first rule
+//! whose pattern matches fires (paper §2.2).
+//!
+//! This crate provides:
+//!
+//! * [`model`] — [`model::Ruleset`], [`model::Rule`], [`model::Expr`],
+//!   the six [`model::Connective`]s (`and`, `or`, `non-and`, `non-or`,
+//!   `and-exact`, `or-exact`) and [`model::Behavior`]s;
+//! * [`parse`] / [`serialize`] — XML ⇄ model;
+//! * [`engine`] — the **native APPEL engine**: a faithful implementation
+//!   of the working draft's matching algorithm, operating directly on
+//!   policy XML. It reproduces the client-centric baseline the paper
+//!   measures, including the per-match *category augmentation* of every
+//!   DATA element from the P3P base data schema (APPEL §5.4.6), which
+//!   the paper's profiling found accounts for most of that engine's
+//!   cost (§6.3.2).
+//!
+//! ## Quick example — Jane vs. Volga (paper §2)
+//!
+//! ```
+//! use p3p_appel::{engine::AppelEngine, model::Behavior, parse::parse_ruleset_str};
+//! use p3p_policy::model::volga_policy;
+//!
+//! let jane = parse_ruleset_str(r##"
+//! <appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+//!   <appel:RULE behavior="block">
+//!     <POLICY><STATEMENT>
+//!       <PURPOSE appel:connective="or">
+//!         <admin/><develop/><contact required="always"/>
+//!       </PURPOSE>
+//!     </STATEMENT></POLICY>
+//!   </appel:RULE>
+//!   <appel:OTHERWISE><appel:RULE behavior="request"/></appel:OTHERWISE>
+//! </appel:RULESET>"##).unwrap();
+//!
+//! let engine = AppelEngine::default();
+//! let verdict = engine.evaluate_policy_xml(&jane, &volga_policy().to_xml()).unwrap();
+//! // Volga only asks for `contact` as opt-in, so Jane's block rule does
+//! // not fire and the otherwise rule requests the page.
+//! assert_eq!(verdict.behavior, Behavior::Request);
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod model;
+pub mod parse;
+pub mod serialize;
+
+pub use engine::{AppelEngine, EngineOptions, Verdict};
+pub use error::AppelError;
+pub use model::{Behavior, Connective, Expr, Rule, Ruleset};

@@ -1,0 +1,394 @@
+//! The APPEL object model: rulesets, rules, expressions, connectives.
+
+use p3p_xmldom::QName;
+use std::fmt;
+
+/// The action a rule prescribes when it fires (APPEL §4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// Proceed with the request: the policy conforms to the preference.
+    Request,
+    /// Block the request: the policy violates the preference.
+    Block,
+    /// Proceed but limit what is sent (e.g. suppress cookies).
+    Limited,
+    /// A non-standard behavior string, preserved verbatim.
+    Custom(String),
+}
+
+impl Behavior {
+    /// The XML attribute value.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Behavior::Request => "request",
+            Behavior::Block => "block",
+            Behavior::Limited => "limited",
+            Behavior::Custom(s) => s,
+        }
+    }
+
+    /// Parse an attribute value (any unknown value becomes `Custom`).
+    pub fn from_token(token: &str) -> Behavior {
+        match token {
+            "request" => Behavior::Request,
+            "block" => Behavior::Block,
+            "limited" => Behavior::Limited,
+            other => Behavior::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The logical connective of an APPEL expression (paper §2.2).
+///
+/// Every expression has one; the default is `and`. The `*-exact` forms
+/// additionally require that the policy element contains *only* children
+/// matched by the listed subexpressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Connective {
+    /// All contained expressions must be found in the policy.
+    #[default]
+    And,
+    /// At least one contained expression must be found.
+    Or,
+    /// Negated `or`: none of the contained expressions may be found.
+    NonOr,
+    /// Negated `and`: not all of the contained expressions are found.
+    NonAnd,
+    /// `or` plus "the policy contains only elements listed in the rule".
+    OrExact,
+    /// `and` plus "the policy contains only elements listed in the rule".
+    AndExact,
+}
+
+impl Connective {
+    pub const ALL: &'static [Connective] = &[
+        Connective::And,
+        Connective::Or,
+        Connective::NonOr,
+        Connective::NonAnd,
+        Connective::OrExact,
+        Connective::AndExact,
+    ];
+
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Connective::And => "and",
+            Connective::Or => "or",
+            Connective::NonOr => "non-or",
+            Connective::NonAnd => "non-and",
+            Connective::OrExact => "or-exact",
+            Connective::AndExact => "and-exact",
+        }
+    }
+
+    /// Parse the `appel:connective` attribute value.
+    pub fn from_token(token: &str) -> Option<Connective> {
+        Connective::ALL.iter().copied().find(|c| c.as_str() == token)
+    }
+
+    /// Is this one of the `*-exact` connectives?
+    pub const fn is_exact(self) -> bool {
+        matches!(self, Connective::OrExact | Connective::AndExact)
+    }
+
+    /// Is the underlying combination disjunctive (`or`-like)?
+    pub const fn is_disjunctive(self) -> bool {
+        matches!(self, Connective::Or | Connective::NonOr | Connective::OrExact)
+    }
+
+    /// Is the result negated (`non-*`)?
+    pub const fn is_negated(self) -> bool {
+        matches!(self, Connective::NonOr | Connective::NonAnd)
+    }
+}
+
+impl fmt::Display for Connective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A pattern expression: matches one policy element by name, attributes,
+/// and recursively its children (paper §2.2: "the format of a pattern
+/// follows the format used in specifying privacy policies").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Element name to match (prefix ignored during matching).
+    pub name: QName,
+    /// Connective combining `children`.
+    pub connective: Connective,
+    /// Attributes that must be present with these values. APPEL control
+    /// attributes (`appel:*`) are not included here.
+    pub attributes: Vec<(String, String)>,
+    /// Subexpressions.
+    pub children: Vec<Expr>,
+}
+
+impl Expr {
+    /// A childless, attributeless expression with the default connective.
+    pub fn named(name: impl Into<QName>) -> Expr {
+        Expr {
+            name: name.into(),
+            connective: Connective::And,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Set the connective.
+    pub fn with_connective(mut self, connective: Connective) -> Expr {
+        self.connective = connective;
+        self
+    }
+
+    /// Add an attribute constraint.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Expr {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Add a child expression.
+    pub fn with_child(mut self, child: Expr) -> Expr {
+        self.children.push(child);
+        self
+    }
+
+    /// Add children for each name, all childless.
+    pub fn with_leaves<I, S>(mut self, names: I) -> Expr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<QName>,
+    {
+        for n in names {
+            self.children.push(Expr::named(n));
+        }
+        self
+    }
+
+    /// Total number of expressions in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(Expr::subtree_size).sum::<usize>()
+    }
+
+    /// Maximum nesting depth of the expression tree.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Expr::depth).max().unwrap_or(0)
+    }
+}
+
+/// One APPEL rule: a behavior plus a pattern (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub behavior: Behavior,
+    /// Human-readable description, if any.
+    pub description: Option<String>,
+    /// Whether the user agent should prompt (`prompt="yes"`).
+    pub prompt: bool,
+    /// Connective combining the top-level pattern expressions.
+    pub connective: Connective,
+    /// Pattern expressions (typically a single `POLICY` expression).
+    /// An empty pattern matches unconditionally — that is how
+    /// `<appel:OTHERWISE>` fallback rules behave.
+    pub pattern: Vec<Expr>,
+    /// True when this rule came from an `<appel:OTHERWISE>` wrapper.
+    pub otherwise: bool,
+}
+
+impl Rule {
+    /// A rule with the given behavior and no pattern (fires always).
+    pub fn unconditional(behavior: Behavior) -> Rule {
+        Rule {
+            behavior,
+            description: None,
+            prompt: false,
+            connective: Connective::And,
+            pattern: Vec::new(),
+            otherwise: false,
+        }
+    }
+
+    /// A rule with a single pattern expression.
+    pub fn with_pattern(behavior: Behavior, pattern: Expr) -> Rule {
+        Rule {
+            behavior,
+            description: None,
+            prompt: false,
+            connective: Connective::And,
+            pattern: vec![pattern],
+            otherwise: false,
+        }
+    }
+
+    /// Number of expressions across the rule's pattern.
+    pub fn expression_count(&self) -> usize {
+        self.pattern.iter().map(Expr::subtree_size).sum()
+    }
+}
+
+/// A complete APPEL preference: an ordered list of rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ruleset {
+    pub rules: Vec<Rule>,
+    /// The `crtdby` attribute (creator tool).
+    pub created_by: Option<String>,
+    /// The `crtdon` attribute (creation timestamp, kept textual).
+    pub created_on: Option<String>,
+}
+
+impl Ruleset {
+    /// A ruleset from rules alone.
+    pub fn new(rules: Vec<Rule>) -> Ruleset {
+        Ruleset {
+            rules,
+            created_by: None,
+            created_on: None,
+        }
+    }
+
+    /// Parse from XML text. See [`crate::parse`].
+    pub fn parse(xml: &str) -> Result<Ruleset, crate::error::AppelError> {
+        crate::parse::parse_ruleset_str(xml)
+    }
+
+    /// Serialize to XML text. See [`crate::serialize`].
+    pub fn to_xml(&self) -> String {
+        crate::serialize::ruleset_to_element(self).to_pretty_xml()
+    }
+
+    /// Number of rules (the paper's Fig. 19 statistic).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// Jane's preference from the paper's Figure 2: block anything beyond
+/// transaction completion unless opt-in, block undisclosed recipients,
+/// otherwise request.
+pub fn jane_preference() -> Ruleset {
+    use crate::model::Behavior::*;
+
+    let purpose = Expr::named("PURPOSE")
+        .with_connective(Connective::Or)
+        .with_leaves([
+            "admin",
+            "develop",
+            "tailoring",
+            "pseudo-analysis",
+            "pseudo-decision",
+            "individual-analysis",
+        ])
+        .with_child(Expr::named("individual-decision").with_attr("required", "always"))
+        .with_child(Expr::named("contact").with_attr("required", "always"))
+        .with_leaves(["historical", "telemarketing", "other-purpose"]);
+    let rule1 = Rule::with_pattern(
+        Block,
+        Expr::named("POLICY").with_child(Expr::named("STATEMENT").with_child(purpose)),
+    );
+
+    let recipient = Expr::named("RECIPIENT")
+        .with_connective(Connective::Or)
+        .with_leaves(["delivery", "other-recipient", "unrelated", "public"]);
+    let rule2 = Rule::with_pattern(
+        Block,
+        Expr::named("POLICY").with_child(Expr::named("STATEMENT").with_child(recipient)),
+    );
+
+    let mut fallback = Rule::unconditional(Request);
+    fallback.otherwise = true;
+
+    Ruleset::new(vec![rule1, rule2, fallback])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_tokens() {
+        assert_eq!(Behavior::from_token("block"), Behavior::Block);
+        assert_eq!(Behavior::from_token("request"), Behavior::Request);
+        assert_eq!(Behavior::from_token("limited"), Behavior::Limited);
+        assert_eq!(
+            Behavior::from_token("warn"),
+            Behavior::Custom("warn".to_string())
+        );
+        assert_eq!(Behavior::Custom("warn".into()).as_str(), "warn");
+    }
+
+    #[test]
+    fn connective_tokens_roundtrip() {
+        for c in Connective::ALL {
+            assert_eq!(Connective::from_token(c.as_str()), Some(*c));
+        }
+        assert_eq!(Connective::from_token("xor"), None);
+    }
+
+    #[test]
+    fn connective_classification() {
+        assert!(Connective::OrExact.is_exact());
+        assert!(Connective::AndExact.is_exact());
+        assert!(!Connective::And.is_exact());
+        assert!(Connective::Or.is_disjunctive());
+        assert!(Connective::NonOr.is_disjunctive());
+        assert!(!Connective::NonAnd.is_disjunctive());
+        assert!(Connective::NonOr.is_negated());
+        assert!(Connective::NonAnd.is_negated());
+        assert!(!Connective::OrExact.is_negated());
+    }
+
+    #[test]
+    fn default_connective_is_and() {
+        assert_eq!(Connective::default(), Connective::And);
+        assert_eq!(Expr::named("POLICY").connective, Connective::And);
+    }
+
+    #[test]
+    fn expr_builders_and_metrics() {
+        let e = Expr::named("PURPOSE")
+            .with_connective(Connective::Or)
+            .with_leaves(["admin", "develop"])
+            .with_child(Expr::named("contact").with_attr("required", "always"));
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.subtree_size(), 4);
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn jane_matches_figure_2_shape() {
+        let jane = jane_preference();
+        assert_eq!(jane.rule_count(), 3);
+        assert_eq!(jane.rules[0].behavior, Behavior::Block);
+        assert_eq!(jane.rules[1].behavior, Behavior::Block);
+        assert_eq!(jane.rules[2].behavior, Behavior::Request);
+        assert!(jane.rules[2].otherwise);
+        // Rule 1's PURPOSE lists 11 purposes (everything but `current`).
+        let purpose = &jane.rules[0].pattern[0].children[0].children[0];
+        assert_eq!(purpose.name.local, "PURPOSE");
+        assert_eq!(purpose.children.len(), 11);
+        assert_eq!(purpose.connective, Connective::Or);
+        // Rule 2's RECIPIENT lists 4 recipients (everything that is not
+        // ours/same — paper Fig. 2 also lists `extension`, which our
+        // model folds into the vocabulary-only subset).
+        let recipient = &jane.rules[1].pattern[0].children[0].children[0];
+        assert_eq!(recipient.children.len(), 4);
+    }
+
+    #[test]
+    fn unconditional_rule_has_empty_pattern() {
+        let r = Rule::unconditional(Behavior::Request);
+        assert!(r.pattern.is_empty());
+        assert_eq!(r.expression_count(), 0);
+    }
+
+    #[test]
+    fn expression_count_sums_patterns() {
+        let jane = jane_preference();
+        assert_eq!(jane.rules[0].expression_count(), 1 + 1 + 1 + 11);
+    }
+}

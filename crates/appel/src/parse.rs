@@ -1,0 +1,266 @@
+//! Parsing APPEL XML into the object model.
+
+use crate::error::AppelError;
+use crate::model::{Behavior, Connective, Expr, Rule, Ruleset};
+use p3p_xmldom::{parse_element, Element};
+
+/// Parse an `<appel:RULESET>` document from text.
+pub fn parse_ruleset_str(xml: &str) -> Result<Ruleset, AppelError> {
+    let root = parse_element(xml)?;
+    parse_ruleset(&root)
+}
+
+/// Parse an `<appel:RULESET>` element.
+pub fn parse_ruleset(root: &Element) -> Result<Ruleset, AppelError> {
+    if root.name.local != "RULESET" {
+        return Err(AppelError::invalid(
+            root.name.local.clone(),
+            "expected an appel:RULESET element",
+        ));
+    }
+    let mut ruleset = Ruleset {
+        rules: Vec::new(),
+        created_by: root.attr_local("crtdby").map(str::to_string),
+        created_on: root.attr_local("crtdon").map(str::to_string),
+    };
+    for child in root.child_elements() {
+        match child.name.local.as_str() {
+            "RULE" => ruleset.rules.push(parse_rule(child, false)?),
+            "OTHERWISE" => {
+                // <appel:OTHERWISE> wraps fallback rules; a childless
+                // OTHERWISE is treated as an unconditional `request`
+                // (tolerating the abbreviated form in the paper's
+                // Figure 2).
+                let mut any = false;
+                for r in child.find_children("RULE") {
+                    let mut rule = parse_rule(r, true)?;
+                    rule.otherwise = true;
+                    ruleset.rules.push(rule);
+                    any = true;
+                }
+                if !any {
+                    let mut rule = Rule::unconditional(Behavior::Request);
+                    rule.otherwise = true;
+                    ruleset.rules.push(rule);
+                }
+            }
+            other => {
+                return Err(AppelError::invalid(
+                    "RULESET",
+                    format!("unexpected child element <{other}>"),
+                ))
+            }
+        }
+    }
+    Ok(ruleset)
+}
+
+/// Parse an `<appel:RULE>` element.
+pub fn parse_rule(elem: &Element, otherwise: bool) -> Result<Rule, AppelError> {
+    let behavior = elem
+        .attr_local("behavior")
+        .map(Behavior::from_token)
+        .ok_or_else(|| AppelError::invalid("RULE", "missing behavior attribute"))?;
+    let connective = parse_connective(elem)?;
+    let mut rule = Rule {
+        behavior,
+        description: elem.attr_local("description").map(str::to_string),
+        prompt: matches!(elem.attr_local("prompt"), Some("yes")),
+        connective,
+        pattern: Vec::new(),
+        otherwise,
+    };
+    for child in elem.child_elements() {
+        rule.pattern.push(parse_expr(child)?);
+    }
+    Ok(rule)
+}
+
+fn parse_connective(elem: &Element) -> Result<Connective, AppelError> {
+    match elem.attr_local("connective") {
+        None => Ok(Connective::And),
+        Some(v) => Connective::from_token(v).ok_or_else(|| {
+            AppelError::invalid(
+                elem.name.local.clone(),
+                format!("unknown connective `{v}`"),
+            )
+        }),
+    }
+}
+
+/// Parse a pattern expression (a policy-shaped element inside a rule).
+pub fn parse_expr(elem: &Element) -> Result<Expr, AppelError> {
+    let connective = parse_connective(elem)?;
+    let mut expr = Expr {
+        name: elem.name.clone(),
+        connective,
+        attributes: Vec::new(),
+        children: Vec::new(),
+    };
+    for attr in &elem.attributes {
+        // appel:* attributes (connective, etc.) and namespace
+        // declarations steer matching; they are not matched themselves.
+        let is_control = attr.name.prefix.as_deref() == Some("appel")
+            || attr.name.prefix.as_deref() == Some("xmlns")
+            || attr.name.local == "xmlns";
+        if !is_control {
+            expr.attributes
+                .push((attr.name.local.clone(), attr.value.clone()));
+        }
+    }
+    for child in elem.child_elements() {
+        expr.children.push(parse_expr(child)?);
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::jane_preference;
+
+    /// Jane's preference verbatim from the paper's Figure 2 (with the
+    /// OTHERWISE form normalized and `extension` omitted — it is not a
+    /// vocabulary member).
+    pub(crate) const JANE_XML: &str = r#"
+<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <PURPOSE appel:connective="or">
+          <admin/><develop/><tailoring/>
+          <pseudo-analysis/><pseudo-decision/>
+          <individual-analysis/>
+          <individual-decision required="always"/>
+          <contact required="always"/>
+          <historical/><telemarketing/>
+          <other-purpose/>
+        </PURPOSE>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <RECIPIENT appel:connective="or">
+          <delivery/><other-recipient/>
+          <unrelated/><public/>
+        </RECIPIENT>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:OTHERWISE>
+    <appel:RULE behavior="request"/>
+  </appel:OTHERWISE>
+</appel:RULESET>"#;
+
+    #[test]
+    fn parses_figure_2() {
+        let rs = parse_ruleset_str(JANE_XML).unwrap();
+        assert_eq!(rs, jane_preference());
+    }
+
+    #[test]
+    fn bare_otherwise_becomes_request_rule() {
+        let rs = parse_ruleset_str(
+            "<appel:RULESET><appel:RULE behavior=\"block\"><POLICY/></appel:RULE><appel:OTHERWISE/></appel:RULESET>",
+        )
+        .unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        assert!(rs.rules[1].otherwise);
+        assert_eq!(rs.rules[1].behavior, Behavior::Request);
+        assert!(rs.rules[1].pattern.is_empty());
+    }
+
+    #[test]
+    fn connective_attribute_parses() {
+        let rs = parse_ruleset_str(
+            r#"<appel:RULESET>
+                 <appel:RULE behavior="block">
+                   <POLICY><STATEMENT>
+                     <PURPOSE appel:connective="and-exact"><current/></PURPOSE>
+                   </STATEMENT></POLICY>
+                 </appel:RULE>
+               </appel:RULESET>"#,
+        )
+        .unwrap();
+        let purpose = &rs.rules[0].pattern[0].children[0].children[0];
+        assert_eq!(purpose.connective, Connective::AndExact);
+    }
+
+    #[test]
+    fn appel_attributes_are_not_match_constraints() {
+        let rs = parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="block">
+                 <PURPOSE appel:connective="or" xmlns:p3p="http://x"><admin/></PURPOSE>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap();
+        let purpose = &rs.rules[0].pattern[0];
+        assert!(purpose.attributes.is_empty(), "{:?}", purpose.attributes);
+    }
+
+    #[test]
+    fn regular_attributes_are_constraints() {
+        let rs = parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="block">
+                 <contact required="always"/>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            rs.rules[0].pattern[0].attributes,
+            vec![("required".to_string(), "always".to_string())]
+        );
+    }
+
+    #[test]
+    fn missing_behavior_is_rejected() {
+        let err =
+            parse_ruleset_str("<appel:RULESET><appel:RULE/></appel:RULESET>").unwrap_err();
+        assert!(err.to_string().contains("behavior"));
+    }
+
+    #[test]
+    fn unknown_connective_is_rejected() {
+        let err = parse_ruleset_str(
+            "<appel:RULESET><appel:RULE behavior=\"block\"><POLICY appel:connective=\"xor\"/></appel:RULE></appel:RULESET>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("xor"));
+    }
+
+    #[test]
+    fn non_ruleset_root_is_rejected() {
+        assert!(parse_ruleset_str("<POLICY/>").is_err());
+    }
+
+    #[test]
+    fn ruleset_metadata_parses() {
+        let rs = parse_ruleset_str(
+            "<appel:RULESET crtdby=\"jrc-editor\" crtdon=\"2002-04-16\"/>",
+        )
+        .unwrap();
+        assert_eq!(rs.created_by.as_deref(), Some("jrc-editor"));
+        assert_eq!(rs.created_on.as_deref(), Some("2002-04-16"));
+    }
+
+    #[test]
+    fn rule_prompt_and_description() {
+        let rs = parse_ruleset_str(
+            "<appel:RULESET><appel:RULE behavior=\"limited\" prompt=\"yes\" description=\"careful\"/></appel:RULESET>",
+        )
+        .unwrap();
+        assert!(rs.rules[0].prompt);
+        assert_eq!(rs.rules[0].description.as_deref(), Some("careful"));
+        assert_eq!(rs.rules[0].behavior, Behavior::Limited);
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let rs = parse_ruleset_str(JANE_XML).unwrap();
+        let xml = rs.to_xml();
+        let again = parse_ruleset_str(&xml).unwrap();
+        assert_eq!(rs, again);
+    }
+}

@@ -1,0 +1,120 @@
+//! Serializing APPEL models back to XML.
+
+use crate::model::{Connective, Expr, Rule, Ruleset};
+use p3p_xmldom::{Element, ElementBuilder};
+
+/// Build the `<appel:RULESET>` element for a ruleset.
+///
+/// OTHERWISE-origin rules are re-wrapped in `<appel:OTHERWISE>`, so
+/// parse∘serialize is the identity on the model.
+pub fn ruleset_to_element(ruleset: &Ruleset) -> Element {
+    let mut b = ElementBuilder::new("appel:RULESET")
+        .attr("xmlns:appel", "http://www.w3.org/2002/01/P3Pv1");
+    if let Some(by) = &ruleset.created_by {
+        b = b.attr("crtdby", by.clone());
+    }
+    if let Some(on) = &ruleset.created_on {
+        b = b.attr("crtdon", on.clone());
+    }
+    for rule in &ruleset.rules {
+        let rule_elem = rule_to_element(rule);
+        if rule.otherwise {
+            b = b.child(ElementBuilder::new("appel:OTHERWISE").child_element(rule_elem));
+        } else {
+            b = b.child_element(rule_elem);
+        }
+    }
+    b.build()
+}
+
+/// Build the `<appel:RULE>` element for a rule.
+pub fn rule_to_element(rule: &Rule) -> Element {
+    let mut b = ElementBuilder::new("appel:RULE").attr("behavior", rule.behavior.as_str());
+    if let Some(d) = &rule.description {
+        b = b.attr("description", d.clone());
+    }
+    if rule.prompt {
+        b = b.attr("prompt", "yes");
+    }
+    if rule.connective != Connective::And {
+        b = b.attr("appel:connective", rule.connective.as_str());
+    }
+    for expr in &rule.pattern {
+        b = b.child_element(expr_to_element(expr));
+    }
+    b.build()
+}
+
+/// Build the element for a pattern expression.
+pub fn expr_to_element(expr: &Expr) -> Element {
+    let mut e = Element::new(expr.name.clone());
+    if expr.connective != Connective::And {
+        e.set_attr("appel:connective", expr.connective.as_str());
+    }
+    for (name, value) in &expr.attributes {
+        e.set_attr(name.as_str(), value.clone());
+    }
+    for child in &expr.children {
+        e.push_element(expr_to_element(child));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{jane_preference, Behavior};
+
+    #[test]
+    fn jane_serializes_with_markers() {
+        let xml = jane_preference().to_xml();
+        for marker in [
+            "<appel:RULESET",
+            "behavior=\"block\"",
+            "appel:connective=\"or\"",
+            "<individual-decision required=\"always\"/>",
+            "<appel:OTHERWISE>",
+            "behavior=\"request\"",
+        ] {
+            assert!(xml.contains(marker), "missing {marker} in:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn default_connective_is_not_serialized() {
+        let xml = jane_preference().to_xml();
+        assert!(!xml.contains("appel:connective=\"and\""));
+    }
+
+    #[test]
+    fn expr_serializes_attrs_and_children() {
+        let e = Expr::named("PURPOSE")
+            .with_connective(Connective::NonOr)
+            .with_child(Expr::named("telemarketing").with_attr("required", "opt-out"));
+        let elem = expr_to_element(&e);
+        assert_eq!(elem.attr("appel:connective"), Some("non-or"));
+        assert_eq!(
+            elem.find_child("telemarketing").unwrap().attr("required"),
+            Some("opt-out")
+        );
+    }
+
+    #[test]
+    fn rule_metadata_serializes() {
+        let mut r = Rule::unconditional(Behavior::Limited);
+        r.description = Some("cookies only".to_string());
+        r.prompt = true;
+        let e = rule_to_element(&r);
+        assert_eq!(e.attr("description"), Some("cookies only"));
+        assert_eq!(e.attr("prompt"), Some("yes"));
+        assert_eq!(e.attr("behavior"), Some("limited"));
+    }
+
+    #[test]
+    fn ruleset_metadata_serializes() {
+        let mut rs = jane_preference();
+        rs.created_by = Some("suite".to_string());
+        let xml = rs.to_xml();
+        assert!(xml.contains("crtdby=\"suite\""));
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the APPEL crate: serialization round-trips
+//! and matching-semantics laws.
+
+use p3p_appel::engine::{expr_matches, AppelEngine, EngineOptions};
+use p3p_appel::model::{Behavior, Connective, Expr, Rule, Ruleset};
+use p3p_appel::parse::parse_ruleset_str;
+use p3p_xmldom::ElementBuilder;
+use proptest::prelude::*;
+
+fn connective_strategy() -> impl Strategy<Value = Connective> {
+    prop::sample::select(Connective::ALL.to_vec())
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "current",
+        "admin",
+        "contact",
+        "telemarketing",
+        "ours",
+        "unrelated",
+        "stated-purpose",
+        "indefinitely",
+        "physical",
+        "online",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn leaf_expr_strategy() -> impl Strategy<Value = Expr> {
+    (
+        name_strategy(),
+        prop::option::of(prop::sample::select(vec!["always", "opt-in", "opt-out"])),
+    )
+        .prop_map(|(name, required)| {
+            let mut e = Expr::named(name.as_str());
+            if let Some(r) = required {
+                e = e.with_attr("required", r);
+            }
+            e
+        })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = leaf_expr_strategy();
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        (
+            prop::sample::select(vec!["POLICY", "STATEMENT", "PURPOSE", "RECIPIENT", "DATA-GROUP"]),
+            connective_strategy(),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, connective, children)| {
+                let mut e = Expr::named(name).with_connective(connective);
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+    })
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::sample::select(vec![Behavior::Request, Behavior::Block, Behavior::Limited]),
+        prop::collection::vec(expr_strategy(), 0..3),
+        prop::bool::ANY,
+        prop::option::of("[a-z ]{0,20}"),
+    )
+        .prop_map(|(behavior, pattern, prompt, description)| Rule {
+            behavior,
+            description,
+            prompt,
+            connective: Connective::And,
+            pattern,
+            otherwise: false,
+        })
+}
+
+fn ruleset_strategy() -> impl Strategy<Value = Ruleset> {
+    prop::collection::vec(rule_strategy(), 1..5).prop_map(Ruleset::new)
+}
+
+proptest! {
+    // The engine cases re-run the full per-match pipeline (schema
+    // document parse + augmentation), so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// serialize ∘ parse is the identity on rulesets.
+    #[test]
+    fn ruleset_roundtrip(rs in ruleset_strategy()) {
+        let xml = rs.to_xml();
+        let back = parse_ruleset_str(&xml).unwrap();
+        prop_assert_eq!(rs, back);
+    }
+
+    /// The engine is deterministic: same inputs, same verdict.
+    #[test]
+    fn engine_is_deterministic(rs in ruleset_strategy()) {
+        let policy = p3p_policy::model::volga_policy().to_xml();
+        let engine = AppelEngine::default();
+        let a = engine.evaluate_policy_xml(&rs, &policy).unwrap();
+        let b = engine.evaluate_policy_xml(&rs, &policy).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Augmentation never changes the verdict of rules that reference
+    /// neither DATA nor CATEGORIES (it only adds data markup).
+    #[test]
+    fn augmentation_only_affects_data_rules(rs in ruleset_strategy()) {
+        fn touches_data(e: &Expr) -> bool {
+            matches!(e.name.local.as_str(), "DATA" | "DATA-GROUP" | "CATEGORIES")
+                || e.children.iter().any(touches_data)
+        }
+        prop_assume!(!rs.rules.iter().flat_map(|r| r.pattern.iter()).any(touches_data));
+        let policy = p3p_policy::model::volga_policy().to_xml();
+        let with = AppelEngine::default().evaluate_policy_xml(&rs, &policy).unwrap();
+        let without = AppelEngine::with_options(EngineOptions {
+            augment_categories: false,
+            rebuild_schema_per_match: false,
+        })
+        .evaluate_policy_xml(&rs, &policy)
+        .unwrap();
+        prop_assert_eq!(with, without);
+    }
+
+    /// `non-or` is the negation of `or`, and `non-and` of `and`, for
+    /// any element with children (evaluated on the same element).
+    #[test]
+    fn negated_connectives_are_negations(
+        children in prop::collection::vec(name_strategy(), 1..4),
+        present in prop::collection::vec(name_strategy(), 0..4),
+    ) {
+        let elem = {
+            let mut b = ElementBuilder::new("PURPOSE");
+            for p in &present {
+                b = b.child(ElementBuilder::new(p.as_str()));
+            }
+            b.build()
+        };
+        let build = |conn: Connective| {
+            let mut e = Expr::named("PURPOSE").with_connective(conn);
+            for c in &children {
+                e = e.with_child(Expr::named(c.as_str()));
+            }
+            e
+        };
+        prop_assert_eq!(
+            expr_matches(&build(Connective::NonOr), &elem),
+            !expr_matches(&build(Connective::Or), &elem)
+        );
+        prop_assert_eq!(
+            expr_matches(&build(Connective::NonAnd), &elem),
+            !expr_matches(&build(Connective::And), &elem)
+        );
+    }
+
+    /// `*-exact` implies the corresponding plain connective.
+    #[test]
+    fn exact_implies_plain(
+        children in prop::collection::vec(name_strategy(), 1..4),
+        present in prop::collection::vec(name_strategy(), 0..4),
+    ) {
+        let elem = {
+            let mut b = ElementBuilder::new("PURPOSE");
+            for p in &present {
+                b = b.child(ElementBuilder::new(p.as_str()));
+            }
+            b.build()
+        };
+        let build = |conn: Connective| {
+            let mut e = Expr::named("PURPOSE").with_connective(conn);
+            for c in &children {
+                e = e.with_child(Expr::named(c.as_str()));
+            }
+            e
+        };
+        if expr_matches(&build(Connective::OrExact), &elem) {
+            prop_assert!(expr_matches(&build(Connective::Or), &elem));
+        }
+        if expr_matches(&build(Connective::AndExact), &elem) {
+            prop_assert!(expr_matches(&build(Connective::And), &elem));
+        }
+    }
+
+    /// The first matching rule wins: prepending an unconditional rule
+    /// fixes the verdict to its behavior.
+    #[test]
+    fn first_rule_wins(rs in ruleset_strategy()) {
+        let mut prefixed = rs.clone();
+        prefixed
+            .rules
+            .insert(0, Rule::unconditional(Behavior::Limited));
+        let policy = p3p_policy::model::volga_policy().to_xml();
+        let v = AppelEngine::default()
+            .evaluate_policy_xml(&prefixed, &policy)
+            .unwrap();
+        prop_assert_eq!(v.behavior, Behavior::Limited);
+        prop_assert_eq!(v.fired_rule, Some(0));
+    }
+}

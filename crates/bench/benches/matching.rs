@@ -1,0 +1,69 @@
+//! Criterion bench for Figures 20 and 21: matching a preference
+//! against a policy with the native APPEL engine, the SQL path, and
+//! the XQuery path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3p_bench::setup_server;
+use p3p_server::{EngineKind, Target};
+use p3p_workload::Sensitivity;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut server = setup_server(p3p_bench::DEFAULT_SEED);
+    let names = server.policy_names();
+    let suite: Vec<_> = Sensitivity::ALL.iter().map(|s| (*s, s.ruleset())).collect();
+
+    // Figure 20: one representative pairing, every engine.
+    let mut fig20 = c.benchmark_group("figure20_match_high_vs_policy0");
+    fig20.sample_size(30);
+    for engine in [
+        EngineKind::Native,
+        EngineKind::Sql,
+        EngineKind::SqlGeneric,
+        EngineKind::XQueryXTable,
+        EngineKind::XQueryNative,
+    ] {
+        fig20.bench_function(engine.label(), |b| {
+            b.iter(|| {
+                server
+                    .match_preference(&suite[1].1, Target::Policy(&names[0]), engine)
+                    .unwrap()
+            })
+        });
+    }
+    fig20.finish();
+
+    // Figure 21: per preference level, the SQL path over the corpus.
+    let mut fig21 = c.benchmark_group("figure21_sql_per_level");
+    fig21.sample_size(10);
+    for (level, ruleset) in &suite {
+        fig21.bench_function(level.label(), |b| {
+            b.iter(|| {
+                for name in &names {
+                    server
+                        .match_preference(ruleset, Target::Policy(name), EngineKind::Sql)
+                        .unwrap();
+                }
+            })
+        });
+    }
+    fig21.finish();
+
+    // Figure 21, native engine column.
+    let mut native = c.benchmark_group("figure21_native_per_level");
+    native.sample_size(10);
+    for (level, ruleset) in &suite {
+        native.bench_function(level.label(), |b| {
+            b.iter(|| {
+                for name in &names {
+                    server
+                        .match_preference(ruleset, Target::Policy(name), EngineKind::Native)
+                        .unwrap();
+                }
+            })
+        });
+    }
+    native.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the §5.4 design choice: the optimized
+//! (Figure 14) schema's fewer tables mean fewer joins per translated
+//! query than the generic (Figure 8) schema — and shred-time
+//! augmentation beats match-time augmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3p_bench::setup_server;
+use p3p_server::appel2sql::{translate_rule_generic, translate_rule_optimized};
+use p3p_server::generic::GenericSchema;
+use p3p_server::{EngineKind, Target};
+use p3p_workload::Sensitivity;
+
+fn bench_schema_compare(c: &mut Criterion) {
+    let mut server = setup_server(p3p_bench::DEFAULT_SEED);
+    let names = server.policy_names();
+    let ruleset = Sensitivity::High.ruleset();
+
+    // End-to-end: optimized vs generic schema matching.
+    let mut group = c.benchmark_group("schema_compare_match");
+    group.sample_size(20);
+    for engine in [EngineKind::Sql, EngineKind::SqlGeneric] {
+        group.bench_function(engine.label(), |b| {
+            b.iter(|| {
+                for name in names.iter().take(5) {
+                    server
+                        .match_preference(&ruleset, Target::Policy(name), engine)
+                        .unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Translation alone: the convert column of Figure 20.
+    let schema = GenericSchema::default();
+    let mut translate = c.benchmark_group("schema_compare_translate");
+    translate.sample_size(50);
+    translate.bench_function("optimized", |b| {
+        b.iter(|| {
+            for rule in &ruleset.rules {
+                translate_rule_optimized(rule).unwrap();
+            }
+        })
+    });
+    translate.bench_function("generic", |b| {
+        b.iter(|| {
+            for rule in &ruleset.rules {
+                translate_rule_generic(rule, &schema).unwrap();
+            }
+        })
+    });
+    translate.finish();
+}
+
+criterion_group!(benches, bench_schema_compare);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for §6.3.1: shredding policies into the relational
+//! schemas.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use p3p_server::{optimized, PolicyServer};
+use p3p_workload::corpus;
+
+fn bench_shredding(c: &mut Criterion) {
+    let policies = corpus(p3p_bench::DEFAULT_SEED);
+    let mut group = c.benchmark_group("shredding");
+    group.sample_size(20);
+
+    // Full install: optimized + generic schemas + XML stores.
+    group.bench_function("install_full_corpus", |b| {
+        b.iter_batched(
+            PolicyServer::new,
+            |mut server| {
+                for p in &policies {
+                    server.install_policy(p).unwrap();
+                }
+                server
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Optimized-schema shred only (the paper's §6.3.1 measurement).
+    group.bench_function("shred_one_policy_optimized", |b| {
+        b.iter_batched(
+            || {
+                let mut db = p3p_minidb::Database::new();
+                p3p_server::optimized::install(&mut db).unwrap();
+                db
+            },
+            |mut db| {
+                optimized::shred(&mut db, 1, &policies[0]).unwrap();
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The largest policy (11.9 KB) — the paper's 11.94 s outlier.
+    let largest = policies
+        .iter()
+        .max_by_key(|p| p.to_xml().len())
+        .unwrap()
+        .clone();
+    group.bench_function("shred_largest_policy", |b| {
+        b.iter_batched(
+            || {
+                let mut db = p3p_minidb::Database::new();
+                p3p_server::optimized::install(&mut db).unwrap();
+                db
+            },
+            |mut db| {
+                optimized::shred(&mut db, 1, &largest).unwrap();
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shredding);
+criterion_main!(benches);

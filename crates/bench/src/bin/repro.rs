@@ -1,0 +1,85 @@
+//! `repro` — regenerate every table and figure of the paper's §6.
+//!
+//! ```text
+//! repro                 # everything
+//! repro --figure 19     # Figure 19 only
+//! repro --figure 20     # Figure 20 only
+//! repro --figure 21     # Figure 21 only
+//! repro --table shredding | warmcold | ablation
+//! repro --seed 7        # different workload seed
+//! ```
+
+use p3p_bench::{
+    ablation_table, figure19, figure20, figure21, scaling_table, shredding_table,
+    subset_table, warm_cold_table, DEFAULT_SEED,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut figures: Vec<String> = Vec::new();
+    let mut tables: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--figure" => {
+                i += 1;
+                figures.push(args.get(i).cloned().unwrap_or_else(|| usage("--figure needs 19|20|21")));
+            }
+            "--table" => {
+                i += 1;
+                tables.push(args.get(i).cloned().unwrap_or_else(|| usage("--table needs a name")));
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let all = figures.is_empty() && tables.is_empty();
+
+    println!("p3p-suite experiment reproduction (seed {seed})");
+    println!("================================================================\n");
+    if all || figures.iter().any(|f| f == "19") {
+        println!("{}", figure19());
+    }
+    if all || tables.iter().any(|t| t == "shredding") {
+        println!("{}", shredding_table(seed));
+    }
+    if all || figures.iter().any(|f| f == "20") {
+        println!("{}", figure20(seed));
+    }
+    if all || figures.iter().any(|f| f == "21") {
+        println!("{}", figure21(seed));
+    }
+    if all || tables.iter().any(|t| t == "warmcold") {
+        println!("{}", warm_cold_table(seed));
+    }
+    if all || tables.iter().any(|t| t == "ablation") {
+        println!("{}", ablation_table(seed));
+    }
+    if all || tables.iter().any(|t| t == "scaling") {
+        println!("{}", scaling_table(seed));
+    }
+    if all || tables.iter().any(|t| t == "subset") {
+        println!("{}", subset_table());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|ablation|scaling|subset]..."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

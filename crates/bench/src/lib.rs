@@ -1,0 +1,709 @@
+//! # p3p-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §6 against the
+//! synthetic workload:
+//!
+//! * [`figure19`] — the preference-suite statistics table;
+//! * [`shredding_table`] — §6.3.1 (avg/max/min shredding time);
+//! * [`figure20`] — matching time per engine (avg/max/min, with the
+//!   SQL convert/query split);
+//! * [`figure21`] — the per-preference-level breakdown, with the
+//!   XQuery column empty for Medium (XTABLE failure);
+//! * [`warm_cold_table`] — the §6.3.2 warm-vs-cold discussion;
+//! * [`ablation_table`] — the §6.3.2 profiling claim: category
+//!   augmentation dominates the native engine's cost.
+//!
+//! Absolute times are 2026-hardware Rust times, orders of magnitude
+//! below the paper's 2002 numbers; EXPERIMENTS.md compares *shapes*
+//! (who wins, by what factor, where the failure is).
+
+use p3p_appel::engine::{AppelEngine, EngineOptions};
+use p3p_appel::model::Ruleset;
+use p3p_policy::model::Policy;
+use p3p_policy::reference::{PolicyRef, ReferenceFile};
+use p3p_server::{EngineKind, PolicyServer, ServerError, Target};
+use p3p_workload::{corpus, corpus_n, preference_stats, Sensitivity};
+use std::time::{Duration, Instant};
+
+/// The default workload seed; every report names it.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Simple aggregate of a sample of durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sample {
+    pub total: Duration,
+    pub max: Duration,
+    pub min: Duration,
+    pub count: u32,
+}
+
+impl Sample {
+    /// Fold one observation in.
+    pub fn push(&mut self, d: Duration) {
+        self.total += d;
+        if self.count == 0 || d > self.max {
+            self.max = d;
+        }
+        if self.count == 0 || d < self.min {
+            self.min = d;
+        }
+        self.count += 1;
+    }
+
+    /// Mean duration (zero when empty).
+    pub fn avg(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+/// Format a duration in adaptive units for the report tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    }
+}
+
+/// Build a server with the full corpus installed, plus a reference file
+/// that maps `/site/<name>/*` to each policy.
+pub fn setup_server(seed: u64) -> PolicyServer {
+    let mut server = PolicyServer::new();
+    let policies = corpus(seed);
+    for p in &policies {
+        server.install_policy(p).expect("corpus policy installs");
+    }
+    let mut file = ReferenceFile::default();
+    for p in &policies {
+        let mut r = PolicyRef::new(format!("/p3p/policies.xml#{}", p.name));
+        r.includes.push(format!("/site/{}/*", p.name));
+        file.policy_refs.push(r);
+    }
+    server.install_reference(&file).expect("reference installs");
+    server
+}
+
+/// The five preferences with their labels.
+pub fn preference_suite() -> Vec<(Sensitivity, Ruleset)> {
+    Sensitivity::ALL
+        .iter()
+        .map(|&s| (s, s.ruleset()))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Figure 19 — preference statistics
+// ----------------------------------------------------------------------
+
+/// Regenerate Figure 19 (preference sizes and rule counts).
+pub fn figure19() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 19: JRC-style APPEL preferences (generated vs published)\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>12} {:>15}\n",
+        "Preference", "#Rules", "Size (KB)", "Paper #Rules", "Paper Size (KB)"
+    ));
+    let rows = preference_stats();
+    let mut total_rules = 0usize;
+    let mut total_kb = 0.0f64;
+    for r in &rows {
+        total_rules += r.rules;
+        total_kb += r.size_kb;
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>10.1} {:>12} {:>15.1}\n",
+            r.level.label(),
+            r.rules,
+            r.size_kb,
+            r.published_rules,
+            r.published_size_kb
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>7.1} {:>10.1} {:>12.1} {:>15.1}\n",
+        "Average",
+        total_rules as f64 / rows.len() as f64,
+        total_kb / rows.len() as f64,
+        4.8,
+        1.9
+    ));
+    out
+}
+
+// ----------------------------------------------------------------------
+// §6.3.1 — shredding
+// ----------------------------------------------------------------------
+
+/// Per-policy shredding times: installing each policy into a fresh
+/// server (both schemas + stores), as §6.3.1 measured per-policy
+/// shredding into DB2.
+pub fn shredding_times(seed: u64) -> Sample {
+    let policies = corpus(seed);
+    let mut sample = Sample::default();
+    for p in &policies {
+        let mut server = PolicyServer::new();
+        let start = Instant::now();
+        server.install_policy(p).expect("installs");
+        sample.push(start.elapsed());
+    }
+    sample
+}
+
+/// Regenerate the §6.3.1 shredding table.
+pub fn shredding_table(seed: u64) -> String {
+    let s = shredding_times(seed);
+    let mut out = String::new();
+    out.push_str("Section 6.3.1: Shredding time per policy\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12}\n",
+        "", "Average", "Max", "Min"
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12}\n",
+        "Shredding",
+        fmt_duration(s.avg()),
+        fmt_duration(s.max),
+        fmt_duration(s.min)
+    ));
+    out.push_str("(paper: 3.19 s avg, 11.94 s max, 1.17 s min on DB2 7.2, 2002 hardware)\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Figures 20 & 21 — matching
+// ----------------------------------------------------------------------
+
+/// Timed verdict of one preference × one policy with one engine.
+#[derive(Debug, Clone)]
+pub struct MatchTiming {
+    pub level: Sensitivity,
+    pub policy: String,
+    pub engine: EngineKind,
+    pub convert: Duration,
+    pub query: Duration,
+    /// `None` when the engine failed (XTABLE on Medium).
+    pub failed: Option<String>,
+}
+
+impl MatchTiming {
+    pub fn total(&self) -> Duration {
+        self.convert + self.query
+    }
+}
+
+/// Run the full cross product preference × policy for the given
+/// engines, warm (one discarded warm-up pass per engine, as §6.3.2
+/// warms the JVM/DB2).
+pub fn run_matrix(server: &mut PolicyServer, engines: &[EngineKind]) -> Vec<MatchTiming> {
+    let suite = preference_suite();
+    let names = server.policy_names();
+    let mut out = Vec::new();
+    for &engine in engines {
+        // Warm-up: one untimed match.
+        if let Some(first) = names.first() {
+            let _ = server.match_preference(&suite[0].1, Target::Policy(first), engine);
+        }
+        for (level, ruleset) in &suite {
+            for name in &names {
+                let result = server.match_preference(ruleset, Target::Policy(name), engine);
+                match result {
+                    Ok(outcome) => out.push(MatchTiming {
+                        level: *level,
+                        policy: name.clone(),
+                        engine,
+                        convert: outcome.convert,
+                        query: outcome.query,
+                        failed: None,
+                    }),
+                    Err(e) => out.push(MatchTiming {
+                        level: *level,
+                        policy: name.clone(),
+                        engine,
+                        convert: Duration::ZERO,
+                        query: Duration::ZERO,
+                        failed: Some(e.to_string()),
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+fn aggregate<'a>(timings: impl Iterator<Item = &'a MatchTiming>) -> (Sample, Sample, Sample, usize) {
+    let (mut convert, mut query, mut total) = (Sample::default(), Sample::default(), Sample::default());
+    let mut failures = 0usize;
+    for t in timings {
+        if t.failed.is_some() {
+            failures += 1;
+            continue;
+        }
+        convert.push(t.convert);
+        query.push(t.query);
+        total.push(t.total());
+    }
+    (convert, query, total, failures)
+}
+
+/// Regenerate Figure 20: execution time for matching a preference
+/// against a policy, per engine.
+pub fn figure20(seed: u64) -> String {
+    let mut server = setup_server(seed);
+    let engines = [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable];
+    let timings = run_matrix(&mut server, &engines);
+    let mut out = String::new();
+    out.push_str("Figure 20: execution time for matching a preference against a policy\n");
+    out.push_str(&format!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}\n",
+        "", "APPEL engine", "SQL convert", "SQL query", "SQL total", "XQuery"
+    ));
+    let native = aggregate(timings.iter().filter(|t| t.engine == EngineKind::Native));
+    let sql = aggregate(timings.iter().filter(|t| t.engine == EngineKind::Sql));
+    let xq = aggregate(timings.iter().filter(|t| t.engine == EngineKind::XQueryXTable));
+    for (label, pick) in [
+        ("Average", 0usize),
+        ("Max", 1),
+        ("Min", 2),
+    ] {
+        let sel = |s: &(Sample, Sample, Sample, usize), which: usize, part: usize| {
+            let sample = match part {
+                0 => &s.0,
+                1 => &s.1,
+                _ => &s.2,
+            };
+            match which {
+                0 => sample.avg(),
+                1 => sample.max,
+                _ => sample.min,
+            }
+        };
+        out.push_str(&format!(
+            "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}\n",
+            label,
+            fmt_duration(sel(&native, pick, 2)),
+            fmt_duration(sel(&sql, pick, 0)),
+            fmt_duration(sel(&sql, pick, 1)),
+            fmt_duration(sel(&sql, pick, 2)),
+            fmt_duration(sel(&xq, pick, 2)),
+        ));
+    }
+    let speedup_total = ratio(native.2.avg(), sql.2.avg());
+    let speedup_query = ratio(native.2.avg(), sql.1.avg());
+    out.push_str(&format!(
+        "SQL speedup over APPEL engine: {speedup_total:.1}x total, {speedup_query:.1}x query-only \
+         (paper: >15x total, ~30x query-only)\n"
+    ));
+    if xq.3 > 0 {
+        out.push_str(&format!(
+            "XQuery path failed on {} matches (XTABLE translation too complex) — excluded from averages\n",
+            xq.3
+        ));
+    }
+    out
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    if b.is_zero() {
+        f64::INFINITY
+    } else {
+        a.as_secs_f64() / b.as_secs_f64()
+    }
+}
+
+/// Regenerate Figure 21: per-preference-level execution times.
+pub fn figure21(seed: u64) -> String {
+    let mut server = setup_server(seed);
+    let engines = [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable];
+    let timings = run_matrix(&mut server, &engines);
+    let mut out = String::new();
+    out.push_str("Figure 21: per-preference-type execution times (averages)\n");
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14}\n",
+        "Preference", "APPEL engine", "SQL convert", "SQL query", "SQL total", "XQuery"
+    ));
+    for level in Sensitivity::ALL {
+        let of = |engine: EngineKind| {
+            aggregate(
+                timings
+                    .iter()
+                    .filter(|t| t.engine == engine && t.level == level),
+            )
+        };
+        let native = of(EngineKind::Native);
+        let sql = of(EngineKind::Sql);
+        let xq = of(EngineKind::XQueryXTable);
+        let xq_cell = if xq.3 > 0 {
+            // The paper's Figure 21 leaves the Medium XQuery cell empty.
+            "-".to_string()
+        } else {
+            fmt_duration(xq.2.avg())
+        };
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14}\n",
+            level.label(),
+            fmt_duration(native.2.avg()),
+            fmt_duration(sql.0.avg()),
+            fmt_duration(sql.1.avg()),
+            fmt_duration(sql.2.avg()),
+            xq_cell,
+        ));
+    }
+    out.push_str("(\"-\": XTABLE translation too complex to execute, as in the paper)\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Warm vs cold (§6.3.2 text)
+// ----------------------------------------------------------------------
+
+/// Cold (first match on a fresh server, including shredding and first
+/// touch of every structure) vs warm (steady-state) per engine.
+pub fn warm_cold_table(seed: u64) -> String {
+    let policies = corpus(seed);
+    let suite = preference_suite();
+    let (_, ruleset) = &suite[1]; // High: representative, works everywhere
+    let mut out = String::new();
+    out.push_str("Warm vs cold matching (policy 0, High preference)\n");
+    out.push_str(&format!(
+        "{:<22} {:>14} {:>14}\n",
+        "Engine", "Cold", "Warm"
+    ));
+    for engine in [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable] {
+        let mut server = PolicyServer::new();
+        server.install_policy(&policies[0]).unwrap();
+        let target = Target::Policy(&policies[0].name);
+        let t0 = Instant::now();
+        let _ = server.match_preference(ruleset, target, engine);
+        let cold = t0.elapsed();
+        let mut warm = Sample::default();
+        for _ in 0..20 {
+            let t = Instant::now();
+            let _ = server.match_preference(ruleset, target, engine);
+            warm.push(t.elapsed());
+        }
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>14}\n",
+            engine.label(),
+            fmt_duration(cold),
+            fmt_duration(warm.avg())
+        ));
+    }
+    out.push_str("(paper: cold-warm gap ~1.4 s APPEL / ~1 s SQL / ~3 s XQuery, dominated by JVM class loading)\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Ablation (§6.3.2 profiling claim)
+// ----------------------------------------------------------------------
+
+/// Time the native engine with and without its per-match costs.
+pub fn native_ablation(seed: u64, iterations: u32) -> Vec<(String, Duration)> {
+    let policies = corpus(seed);
+    let suite = preference_suite();
+    let configs: [(&str, EngineOptions); 3] = [
+        (
+            "full (augment + rebuild schema)",
+            EngineOptions {
+                augment_categories: true,
+                rebuild_schema_per_match: true,
+            },
+        ),
+        (
+            "augment, cached schema",
+            EngineOptions {
+                augment_categories: true,
+                rebuild_schema_per_match: false,
+            },
+        ),
+        (
+            "no augmentation",
+            EngineOptions {
+                augment_categories: false,
+                rebuild_schema_per_match: false,
+            },
+        ),
+    ];
+    let xml: Vec<String> = policies.iter().map(Policy::to_xml).collect();
+    let mut out = Vec::new();
+    for (label, options) in configs {
+        let engine = AppelEngine::with_options(options);
+        let mut total = Duration::ZERO;
+        for _ in 0..iterations {
+            for (_, ruleset) in &suite {
+                for x in &xml {
+                    let t = Instant::now();
+                    let _ = engine.evaluate_policy_xml(ruleset, x);
+                    total += t.elapsed();
+                }
+            }
+        }
+        out.push((label.to_string(), total / iterations.max(1)));
+    }
+    out
+}
+
+/// Regenerate the §6.3.2 profiling table.
+pub fn ablation_table(seed: u64) -> String {
+    let rows = native_ablation(seed, 3);
+    let mut out = String::new();
+    out.push_str("Native-engine ablation: where the matching time goes (full suite x corpus)\n");
+    for (label, d) in &rows {
+        out.push_str(&format!("{:<34} {:>12}\n", label, fmt_duration(*d)));
+    }
+    if let (Some(full), Some(bare)) = (rows.first(), rows.last()) {
+        let share = 1.0 - ratio(bare.1, full.1);
+        out.push_str(&format!(
+            "augmentation + schema handling account for {:.0}% of native matching cost \
+             (paper: \"most of the difference in performance\")\n",
+            share * 100.0
+        ));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Scaling (extension beyond the paper: latency vs corpus size)
+// ----------------------------------------------------------------------
+
+/// Measure how matching and URI routing scale with the number of
+/// installed policies — the growth curve behind the paper's claim that
+/// database technology carries P3P to real deployments. SQL matching
+/// stays flat because `applicablePolicy()` narrows work to one policy
+/// via indexes; the native engine is per-policy to begin with; what
+/// grows is only the routing query, and indexes keep that cheap.
+pub fn scaling_rows(seed: u64, sizes: &[usize]) -> Vec<(usize, Duration, Duration, Duration)> {
+    let ruleset = Sensitivity::High.ruleset();
+    let mut out = Vec::new();
+    for &n in sizes {
+        let policies = corpus_n(seed, n);
+        let mut server = PolicyServer::new();
+        for p in &policies {
+            server.install_policy(p).expect("installs");
+        }
+        let mut file = p3p_policy::reference::ReferenceFile::default();
+        for p in &policies {
+            let mut r = p3p_policy::reference::PolicyRef::new(format!("#{}", p.name));
+            r.includes.push(format!("/site/{}/*", p.name));
+            file.policy_refs.push(r);
+        }
+        server.install_reference(&file).expect("reference installs");
+        // Sample ten policies spread across the corpus.
+        let names = server.policy_names();
+        let sample: Vec<&String> = names.iter().step_by((names.len() / 10).max(1)).collect();
+        let mut sql = Sample::default();
+        let mut native = Sample::default();
+        let mut routing = Sample::default();
+        for name in &sample {
+            let t = Instant::now();
+            server
+                .match_preference(&ruleset, Target::Policy(name), EngineKind::Sql)
+                .expect("sql match");
+            sql.push(t.elapsed());
+            let t = Instant::now();
+            server
+                .match_preference(&ruleset, Target::Policy(name), EngineKind::Native)
+                .expect("native match");
+            native.push(t.elapsed());
+            let uri = format!("/site/{name}/index.html");
+            let t = Instant::now();
+            server.resolve(Target::Uri(&uri)).expect("routes");
+            routing.push(t.elapsed());
+        }
+        out.push((n, sql.avg(), native.avg(), routing.avg()));
+    }
+    out
+}
+
+/// Render the scaling table.
+pub fn scaling_table(seed: u64) -> String {
+    let rows = scaling_rows(seed, &[29, 100, 250]);
+    let mut out = String::new();
+    out.push_str("Scaling (extension): matching latency vs installed policies
+");
+    out.push_str(&format!(
+        "{:>10} {:>14} {:>14} {:>14}
+",
+        "policies", "SQL match", "native match", "URI routing"
+    ));
+    for (n, sql, native, routing) in rows {
+        out.push_str(&format!(
+            "{n:>10} {:>14} {:>14} {:>14}
+",
+            fmt_duration(sql),
+            fmt_duration(native),
+            fmt_duration(routing)
+        ));
+    }
+    out.push_str("(SQL matching is corpus-size independent: applicablePolicy() isolates one policy)
+");
+    out
+}
+
+/// Render the §7 minimal-subset analysis over the JRC suite.
+pub fn subset_table() -> String {
+    let prefs: Vec<Ruleset> = Sensitivity::ALL.iter().map(|s| s.ruleset()).collect();
+    let mut out = String::new();
+    out.push_str("Minimal query-language subsets (paper section 7 future work)\n");
+    match p3p_server::subset::sql_subset(&prefs, false) {
+        Ok(f) => out.push_str(&format!("SQL (optimized schema): {}\n", f.summary())),
+        Err(e) => out.push_str(&format!("SQL analysis failed: {e}\n")),
+    }
+    match p3p_server::subset::sql_subset(&prefs, true) {
+        Ok(f) => out.push_str(&format!("SQL (generic schema):   {}\n", f.summary())),
+        Err(e) => out.push_str(&format!("SQL analysis failed: {e}\n")),
+    }
+    match p3p_server::subset::xquery_subset(&prefs) {
+        Ok(f) => out.push_str(&format!(
+            "XQuery: {} queries; {} steps, {} attribute tests, and {}, or {}, not {}, exactness {}, max depth {}\n",
+            f.queries, f.steps, f.attr_tests, f.and, f.or, f.not, f.exactness, f.max_depth
+        )),
+        Err(e) => out.push_str(&format!("XQuery analysis failed: {e}\n")),
+    }
+    out
+}
+
+/// Error type re-exported for bin users.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::model::Behavior;
+
+    #[test]
+    fn setup_installs_whole_corpus_with_reference() {
+        let server = setup_server(DEFAULT_SEED);
+        assert_eq!(server.policy_names().len(), 29);
+        assert!(server.resolve(Target::Uri("/site/acme-books/checkout")).is_ok());
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let mut s = Sample::default();
+        s.push(Duration::from_micros(10));
+        s.push(Duration::from_micros(30));
+        assert_eq!(s.avg(), Duration::from_micros(20));
+        assert_eq!(s.max, Duration::from_micros(30));
+        assert_eq!(s.min, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(1_500)), "1.5 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1_500)), "1.50 s");
+    }
+
+    #[test]
+    fn matrix_engines_agree_where_all_succeed() {
+        let mut server = setup_server(DEFAULT_SEED);
+        let suite = preference_suite();
+        let names = server.policy_names();
+        // Sample a few policies across the whole suite.
+        for name in names.iter().take(5) {
+            for (level, ruleset) in &suite {
+                let reference = server
+                    .match_preference(ruleset, Target::Policy(name), EngineKind::Native)
+                    .unwrap();
+                for engine in [EngineKind::Sql, EngineKind::SqlGeneric, EngineKind::XQueryNative] {
+                    let got = server
+                        .match_preference(ruleset, Target::Policy(name), engine)
+                        .unwrap();
+                    assert_eq!(
+                        got.verdict, reference.verdict,
+                        "{engine:?} vs native on {name} at {level:?}"
+                    );
+                }
+                match server.match_preference(ruleset, Target::Policy(name), EngineKind::XQueryXTable)
+                {
+                    Ok(got) => assert_eq!(got.verdict, reference.verdict, "xtable on {name}"),
+                    Err(e) => assert!(
+                        *level == Sensitivity::Medium,
+                        "unexpected XTABLE failure at {level:?}: {e}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xtable_fails_exactly_on_medium() {
+        let mut server = setup_server(DEFAULT_SEED);
+        let timings = run_matrix(&mut server, &[EngineKind::XQueryXTable]);
+        for t in &timings {
+            assert_eq!(
+                t.failed.is_some(),
+                t.level == Sensitivity::Medium,
+                "policy {} level {:?}: {:?}",
+                t.policy,
+                t.level,
+                t.failed
+            );
+        }
+    }
+
+    #[test]
+    fn figure_reports_render() {
+        assert!(figure19().contains("Very High"));
+        let f20 = figure20(DEFAULT_SEED);
+        assert!(f20.contains("SQL speedup"), "{f20}");
+        let f21 = figure21(DEFAULT_SEED);
+        assert!(f21.contains("Medium"), "{f21}");
+        assert!(f21.lines().any(|l| l.starts_with("Medium") && l.trim_end().ends_with('-')), "{f21}");
+    }
+
+    #[test]
+    fn shredding_sample_covers_corpus() {
+        let s = shredding_times(DEFAULT_SEED);
+        assert_eq!(s.count, 29);
+        assert!(s.max >= s.min);
+    }
+
+    #[test]
+    fn ablation_shows_augmentation_dominates() {
+        let rows = native_ablation(DEFAULT_SEED, 1);
+        assert_eq!(rows.len(), 3);
+        let full = rows[0].1;
+        let bare = rows[2].1;
+        assert!(
+            full > bare,
+            "augmentation must cost something: full {full:?} vs bare {bare:?}"
+        );
+    }
+
+    #[test]
+    fn scaling_rows_cover_requested_sizes() {
+        let rows = scaling_rows(DEFAULT_SEED, &[29, 60]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 29);
+        assert_eq!(rows[1].0, 60);
+    }
+
+    #[test]
+    fn verdicts_vary_across_corpus() {
+        // The corpus must produce both blocks and requests for the
+        // mid-level preferences, or the experiment is degenerate.
+        let mut server = setup_server(DEFAULT_SEED);
+        let ruleset = Sensitivity::High.ruleset();
+        let mut blocks = 0;
+        let mut requests = 0;
+        for name in server.policy_names() {
+            let v = server
+                .match_preference(&ruleset, Target::Policy(&name), EngineKind::Sql)
+                .unwrap();
+            match v.verdict.behavior {
+                Behavior::Block => blocks += 1,
+                Behavior::Request => requests += 1,
+                _ => {}
+            }
+        }
+        assert!(blocks > 0, "no policy blocked by High");
+        assert!(requests > 0, "no policy accepted by High");
+    }
+}

@@ -1,0 +1,169 @@
+//! Translating APPEL rules into XQuery (paper §5.6, Figure 17).
+//!
+//! The output is the `if (document(...)/path) then <behavior/>` form of
+//! Figure 18. Unlike the SQL translators, navigation is expressed with
+//! XPath predicates, so all six connectives translate: `non-*` becomes
+//! `not(...)` and `*-exact` becomes the `only(...)` exactness predicate
+//! — which the XTABLE compiler downstream then cannot turn into SQL,
+//! reproducing the paper's observation that one preference's XTABLE
+//! translation "was too complex for DB2 to execute" (§6.3.2).
+
+use crate::error::ServerError;
+use p3p_appel::model::{Connective, Expr, Rule};
+use p3p_xquery::ast::{Pred, Step, XQuery};
+
+/// Translate one APPEL rule into an XQuery against the named policy
+/// document. Rules with empty patterns match unconditionally and are
+/// handled by the caller, not translated.
+pub fn translate_rule_xquery(rule: &Rule, document: &str) -> Result<XQuery, ServerError> {
+    let [expr] = rule.pattern.as_slice() else {
+        return Err(ServerError::Unsupported(format!(
+            "XQuery translation requires exactly one pattern expression, found {}",
+            rule.pattern.len()
+        )));
+    };
+    Ok(XQuery {
+        document: document.to_string(),
+        root: expr_to_step(expr),
+        behavior: rule.behavior.as_str().to_string(),
+    })
+}
+
+/// The `match()` of Figure 17: an expression becomes a step whose
+/// predicate combines attribute tests and subexpression predicates
+/// under the expression's connective.
+pub fn expr_to_step(expr: &Expr) -> Step {
+    let mut preds: Vec<Pred> = expr
+        .attributes
+        .iter()
+        .map(|(name, value)| Pred::AttrEq(name.clone(), value.clone()))
+        .collect();
+    if !expr.children.is_empty() {
+        let child_preds: Vec<Pred> = expr
+            .children
+            .iter()
+            .map(|c| Pred::Exists(vec![expr_to_step(c)]))
+            .collect();
+        let combined = match expr.connective {
+            Connective::And => Pred::and(child_preds),
+            Connective::Or => Pred::or(child_preds),
+            Connective::NonOr => Pred::Not(Box::new(Pred::or(child_preds))),
+            Connective::NonAnd => Pred::Not(Box::new(Pred::and(child_preds))),
+            Connective::AndExact => Pred::and(vec![
+                Pred::and(child_preds),
+                Pred::OnlyChildren(expr.children.iter().map(expr_to_step).collect()),
+            ]),
+            Connective::OrExact => Pred::and(vec![
+                Pred::or(child_preds),
+                Pred::OnlyChildren(expr.children.iter().map(expr_to_step).collect()),
+            ]),
+        };
+        preds.push(combined);
+    }
+    let mut step = Step::named(expr.name.local.clone());
+    if !preds.is_empty() {
+        step = step.with_pred(Pred::and(preds));
+    }
+    step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::parse::parse_ruleset_str;
+    use p3p_xquery::parse::parse_xquery;
+
+    fn figure_12_rule() -> Rule {
+        parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="block">
+                 <POLICY><STATEMENT>
+                   <PURPOSE appel:connective="or">
+                     <admin/>
+                     <contact required="always"/>
+                   </PURPOSE>
+                 </STATEMENT></POLICY>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap()
+        .rules
+        .remove(0)
+    }
+
+    #[test]
+    fn figure_12_translates_to_figure_18() {
+        let q = translate_rule_xquery(&figure_12_rule(), "applicable-policy").unwrap();
+        assert_eq!(
+            q.to_string(),
+            "if (document(\"applicable-policy\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>"
+        );
+    }
+
+    #[test]
+    fn output_reparses_to_same_ast() {
+        let q = translate_rule_xquery(&figure_12_rule(), "p").unwrap();
+        assert_eq!(parse_xquery(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn non_or_becomes_not() {
+        let rule = parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="request">
+                 <POLICY><STATEMENT>
+                   <RECIPIENT appel:connective="non-or"><unrelated/><public/></RECIPIENT>
+                 </STATEMENT></POLICY>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap()
+        .rules
+        .remove(0);
+        let q = translate_rule_xquery(&rule, "p").unwrap();
+        assert!(q.to_string().contains("not(unrelated or public)"), "{q}");
+    }
+
+    #[test]
+    fn exact_becomes_only() {
+        let rule = parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="request">
+                 <POLICY><STATEMENT>
+                   <PURPOSE appel:connective="or-exact"><current/><admin/></PURPOSE>
+                 </STATEMENT></POLICY>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap()
+        .rules
+        .remove(0);
+        let q = translate_rule_xquery(&rule, "p").unwrap();
+        let text = q.to_string();
+        assert!(text.contains("(current or admin) and only(current, admin)"), "{text}");
+        // And it reparses.
+        assert_eq!(parse_xquery(&text).unwrap(), q);
+    }
+
+    #[test]
+    fn multiple_pattern_expressions_unsupported() {
+        let rule = parse_ruleset_str(
+            "<appel:RULESET><appel:RULE behavior=\"block\"><POLICY/><POLICY/></appel:RULE></appel:RULESET>",
+        )
+        .unwrap()
+        .rules
+        .remove(0);
+        assert!(matches!(
+            translate_rule_xquery(&rule, "p"),
+            Err(ServerError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn attributes_become_attr_predicates() {
+        let rule = parse_ruleset_str(
+            r#"<appel:RULESET><appel:RULE behavior="block">
+                 <POLICY name="volga"/>
+               </appel:RULE></appel:RULESET>"#,
+        )
+        .unwrap()
+        .rules
+        .remove(0);
+        let q = translate_rule_xquery(&rule, "p").unwrap();
+        assert_eq!(q.to_string(), "if (document(\"p\")/POLICY[@name = \"volga\"]) then <block/>");
+    }
+}

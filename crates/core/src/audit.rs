@@ -1,0 +1,163 @@
+//! Site-owner policy auditing.
+//!
+//! One of the server-centric architecture's advantages the paper calls
+//! out (§4.2): "Site owners can refine their policies if they know what
+//! policies have a conflict with the privacy preferences of their
+//! users. The current architecture does not allow the site owners to
+//! obtain this information." With policies shredded and preferences
+//! arriving at the server, the conflict matrix is one loop of SQL
+//! matches away — plus aggregate queries over the shredded tables for
+//! the *why*.
+
+use crate::error::ServerError;
+use crate::server::{EngineKind, PolicyServer, Target};
+use p3p_appel::model::{Behavior, Ruleset};
+
+/// The verdict of one preference against one policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditCell {
+    pub policy: String,
+    pub preference: String,
+    pub behavior: Behavior,
+    /// Index of the rule that fired, if any.
+    pub fired_rule: Option<usize>,
+}
+
+/// The full conflict matrix plus per-policy aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuditReport {
+    pub cells: Vec<AuditCell>,
+}
+
+impl AuditReport {
+    /// Number of (policy, preference) pairs ending in `block`.
+    pub fn blocked_pairs(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.behavior == Behavior::Block)
+            .count()
+    }
+
+    /// Policies sorted by how many preferences block them (worst
+    /// first) — the list a site owner would work through.
+    pub fn policies_by_conflicts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for cell in &self.cells {
+            if let Some(entry) = counts.iter_mut().find(|(p, _)| p == &cell.policy) {
+                if cell.behavior == Behavior::Block {
+                    entry.1 += 1;
+                }
+            } else {
+                counts.push((
+                    cell.policy.clone(),
+                    usize::from(cell.behavior == Behavior::Block),
+                ));
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// Cells where the given preference blocked.
+    pub fn conflicts_of(&self, preference: &str) -> Vec<&AuditCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.preference == preference && c.behavior == Behavior::Block)
+            .collect()
+    }
+}
+
+/// Run every preference against every installed policy with the given
+/// engine (the paper's experiment loop, repurposed for auditing).
+pub fn conflict_matrix(
+    server: &mut PolicyServer,
+    preferences: &[(String, Ruleset)],
+    engine: EngineKind,
+) -> Result<AuditReport, ServerError> {
+    let mut report = AuditReport::default();
+    for policy in server.policy_names() {
+        for (pref_name, ruleset) in preferences {
+            let outcome = server.match_preference(ruleset, Target::Policy(&policy), engine)?;
+            report.cells.push(AuditCell {
+                policy: policy.clone(),
+                preference: pref_name.clone(),
+                behavior: outcome.verdict.behavior,
+                fired_rule: outcome.verdict.fired_rule,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Aggregate insight straight off the shredded tables: how often each
+/// purpose appears with each `required` setting, across all installed
+/// policies. Returns `(purpose, required, count)` rows.
+pub fn purpose_usage(server: &PolicyServer) -> Result<Vec<(String, String, i64)>, ServerError> {
+    let result = server.database().query(
+        "SELECT purpose, required, COUNT(*) AS n FROM purpose \
+         GROUP BY purpose, required ORDER BY purpose, required",
+    )?;
+    Ok(result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap_or_default().to_string(),
+                r[1].as_str().unwrap_or_default().to_string(),
+                r[2].as_int().unwrap_or_default(),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::model::jane_preference;
+    use p3p_policy::model::volga_policy;
+
+    fn setup() -> PolicyServer {
+        let mut s = PolicyServer::new();
+        s.install_policy(&volga_policy()).unwrap();
+        let mut bad = volga_policy();
+        bad.name = "aggressive".to_string();
+        bad.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        bad.statements[1].purposes[1].required = p3p_policy::Required::Always;
+        s.install_policy(&bad).unwrap();
+        s
+    }
+
+    #[test]
+    fn matrix_flags_the_aggressive_policy() {
+        let mut s = setup();
+        let prefs = vec![("jane".to_string(), jane_preference())];
+        let report = conflict_matrix(&mut s, &prefs, EngineKind::Sql).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.blocked_pairs(), 1);
+        let ranked = report.policies_by_conflicts();
+        assert_eq!(ranked[0], ("aggressive".to_string(), 1));
+        assert_eq!(ranked[1], ("volga".to_string(), 0));
+        assert_eq!(report.conflicts_of("jane").len(), 1);
+        assert_eq!(report.conflicts_of("jane")[0].fired_rule, Some(0));
+    }
+
+    #[test]
+    fn purpose_usage_aggregates_across_policies() {
+        let s = setup();
+        let usage = purpose_usage(&s).unwrap();
+        // `contact` appears opt-in (volga) and always (aggressive).
+        assert!(usage.contains(&("contact".to_string(), "opt-in".to_string(), 1)));
+        assert!(usage.contains(&("contact".to_string(), "always".to_string(), 1)));
+        // `current` appears always in both.
+        assert!(usage.contains(&("current".to_string(), "always".to_string(), 2)));
+    }
+
+    #[test]
+    fn matrix_consistent_across_engines() {
+        let mut s = setup();
+        let prefs = vec![("jane".to_string(), jane_preference())];
+        let sql = conflict_matrix(&mut s, &prefs, EngineKind::Sql).unwrap();
+        let native = conflict_matrix(&mut s, &prefs, EngineKind::Native).unwrap();
+        assert_eq!(sql, native);
+    }
+}

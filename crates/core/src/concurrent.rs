@@ -1,0 +1,182 @@
+//! Concurrent deployment of the policy server.
+//!
+//! A deployed P3P server checks preferences for many visitors at once
+//! (the JRC proxy of §3.3 served whole user populations). Two tools are
+//! provided:
+//!
+//! * [`SharedServer`] — a lock-guarded server for the install path and
+//!   occasional exclusive work;
+//! * [`MatchPool`] — read-mostly scale-out: each worker matches against
+//!   an immutable snapshot of the installed state, so visitor checks
+//!   run fully in parallel (policies change rarely; snapshots are
+//!   refreshed on install, mirroring how read replicas track a
+//!   primary).
+
+use crate::error::ServerError;
+use crate::server::{EngineKind, MatchOutcome, PolicyServer, Target};
+use p3p_appel::model::Ruleset;
+use p3p_policy::model::Policy;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// A thread-safe handle around one [`PolicyServer`].
+#[derive(Clone)]
+pub struct SharedServer {
+    inner: Arc<Mutex<PolicyServer>>,
+}
+
+impl SharedServer {
+    /// Wrap a server.
+    pub fn new(server: PolicyServer) -> SharedServer {
+        SharedServer {
+            inner: Arc::new(Mutex::new(server)),
+        }
+    }
+
+    /// Install a policy (exclusive).
+    pub fn install_policy(&self, policy: &Policy) -> Result<i64, ServerError> {
+        self.inner.lock().install_policy(policy)
+    }
+
+    /// Match a preference (exclusive — the SQL path stages the
+    /// applicable policy in the shared database; use [`MatchPool`] for
+    /// parallel matching).
+    pub fn match_preference(
+        &self,
+        ruleset: &Ruleset,
+        target: Target<'_>,
+        engine: EngineKind,
+    ) -> Result<MatchOutcome, ServerError> {
+        self.inner.lock().match_preference(ruleset, target, engine)
+    }
+
+    /// Run arbitrary exclusive work against the server.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PolicyServer) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Snapshot the current state for a [`MatchPool`].
+    pub fn snapshot(&self) -> PolicyServer {
+        self.inner.lock().clone_state()
+    }
+}
+
+/// Read-mostly matching: a pool of immutable snapshots, one per worker.
+pub struct MatchPool {
+    snapshot: RwLock<Arc<PolicyServer>>,
+}
+
+impl MatchPool {
+    /// Build a pool from the current state of a shared server.
+    pub fn new(shared: &SharedServer) -> MatchPool {
+        MatchPool {
+            snapshot: RwLock::new(Arc::new(shared.snapshot())),
+        }
+    }
+
+    /// Refresh the snapshot after installs (cheap for readers; the old
+    /// snapshot stays alive until its last match finishes).
+    pub fn refresh(&self, shared: &SharedServer) {
+        *self.snapshot.write() = Arc::new(shared.snapshot());
+    }
+
+    /// Match against the snapshot. Each call clones the snapshot handle
+    /// (an `Arc` bump) and runs on a private copy of the tiny staging
+    /// state, so any number of threads can match simultaneously.
+    pub fn match_preference(
+        &self,
+        ruleset: &Ruleset,
+        target: Target<'_>,
+        engine: EngineKind,
+    ) -> Result<MatchOutcome, ServerError> {
+        let snapshot = self.snapshot.read().clone();
+        // The match path mutates only the one-row staging table, so a
+        // per-call clone of the server keeps workers independent.
+        let mut local = snapshot.clone_state();
+        local.match_preference(ruleset, target, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::model::{jane_preference, Behavior};
+    use p3p_policy::model::volga_policy;
+    use p3p_workload::Sensitivity;
+
+    #[test]
+    fn shared_server_round_trip() {
+        let shared = SharedServer::new(PolicyServer::new());
+        shared.install_policy(&volga_policy()).unwrap();
+        let v = shared
+            .match_preference(&jane_preference(), Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(v.verdict.behavior, Behavior::Request);
+        let names = shared.with(|s| s.policy_names());
+        assert_eq!(names, ["volga"]);
+    }
+
+    #[test]
+    fn parallel_matching_agrees_with_serial() {
+        let shared = SharedServer::new(PolicyServer::new());
+        for p in p3p_workload::corpus(42).into_iter().take(8) {
+            shared.install_policy(&p).unwrap();
+        }
+        let pool = MatchPool::new(&shared);
+        let names = shared.with(|s| s.policy_names());
+        let ruleset = Sensitivity::High.ruleset();
+
+        // Serial reference verdicts.
+        let serial: Vec<_> = names
+            .iter()
+            .map(|n| {
+                shared
+                    .match_preference(&ruleset, Target::Policy(n), EngineKind::Sql)
+                    .unwrap()
+                    .verdict
+            })
+            .collect();
+
+        // Parallel: one thread per policy.
+        let parallel: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = names
+                .iter()
+                .map(|n| {
+                    let pool = &pool;
+                    let ruleset = &ruleset;
+                    scope.spawn(move || {
+                        pool.match_preference(ruleset, Target::Policy(n), EngineKind::Sql)
+                            .unwrap()
+                            .verdict
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn refresh_picks_up_new_installs() {
+        let shared = SharedServer::new(PolicyServer::new());
+        shared.install_policy(&volga_policy()).unwrap();
+        let pool = MatchPool::new(&shared);
+        let jane = jane_preference();
+        assert!(pool
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .is_ok());
+
+        let mut second = volga_policy();
+        second.name = "second".to_string();
+        shared.install_policy(&second).unwrap();
+        // Stale snapshot does not know the new policy...
+        assert!(pool
+            .match_preference(&jane, Target::Policy("second"), EngineKind::Sql)
+            .is_err());
+        // ...until refreshed.
+        pool.refresh(&shared);
+        assert!(pool
+            .match_preference(&jane, Target::Policy("second"), EngineKind::Sql)
+            .is_ok());
+    }
+}

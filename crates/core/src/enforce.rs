@@ -1,0 +1,521 @@
+//! Policy enforcement — the paper's future-work direction, built on the
+//! infrastructure the server-centric architecture creates.
+//!
+//! §4.2: *"We are creating the infrastructure necessary for enhancing
+//! P3P with enforcement in the future. The privacy data tables built
+//! for checking preferences against policies may serve as meta data for
+//! ensuring that policies are followed."* And §7 names as future work
+//! to *"develop and implement database mechanisms for ensuring that the
+//! privacy policies are indeed being followed"* — the Privacy
+//! Constraint Validator role of the companion Hippocratic-databases
+//! paper.
+//!
+//! This module implements that validator over the shredded tables: an
+//! internal data access (who wants which data element for which purpose,
+//! going to which recipient) is checked against the installed policy's
+//! statements, honoring `required` consent semantics, and every
+//! decision is logged to an audit table for compliance reporting.
+
+use crate::error::ServerError;
+use crate::generic::sql_quote;
+use crate::server::PolicyServer;
+use p3p_policy::vocab::{Purpose, Recipient};
+
+/// One internal access request to be validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRequest {
+    /// The installed policy governing the data.
+    pub policy: String,
+    /// The user whose data is touched (consent is tracked per user).
+    pub user: String,
+    /// The data element, e.g. `user.home-info.online.email`.
+    pub data_ref: String,
+    /// Why the data is accessed.
+    pub purpose: Purpose,
+    /// Who receives it.
+    pub recipient: Recipient,
+}
+
+/// The validator's decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// The policy permits this access unconditionally.
+    Permitted,
+    /// The policy permits it only with opt-in consent, which the user
+    /// has given.
+    PermittedByConsent,
+    /// The purpose/recipient is declared opt-in and the user has not
+    /// consented.
+    ConsentMissing,
+    /// The purpose/recipient is declared opt-out and the user opted
+    /// out.
+    OptedOut,
+    /// No statement of the policy covers this (data, purpose,
+    /// recipient) combination at all.
+    NotCovered,
+}
+
+impl AccessDecision {
+    /// May the access proceed?
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, AccessDecision::Permitted | AccessDecision::PermittedByConsent)
+    }
+
+    fn as_str(&self) -> &'static str {
+        match self {
+            AccessDecision::Permitted => "permitted",
+            AccessDecision::PermittedByConsent => "permitted-by-consent",
+            AccessDecision::ConsentMissing => "consent-missing",
+            AccessDecision::OptedOut => "opted-out",
+            AccessDecision::NotCovered => "not-covered",
+        }
+    }
+}
+
+/// Install the enforcement tables (consent register + audit log) into
+/// a server's database. Idempotent.
+pub fn install(server: &mut PolicyServer) -> Result<(), ServerError> {
+    let db = server.database_mut();
+    if db.table("consent").is_none() {
+        db.execute(
+            "CREATE TABLE consent (policy_id INT NOT NULL, user_id VARCHAR NOT NULL, \
+             purpose VARCHAR NOT NULL, state VARCHAR NOT NULL)",
+        )?;
+        db.execute("CREATE INDEX idx_consent ON consent (policy_id, user_id, purpose)")?;
+    }
+    if db.table("access_log").is_none() {
+        db.execute(
+            "CREATE TABLE access_log (seq INT NOT NULL, policy_id INT NOT NULL, \
+             user_id VARCHAR NOT NULL, ref VARCHAR NOT NULL, purpose VARCHAR NOT NULL, \
+             recipient VARCHAR NOT NULL, decision VARCHAR NOT NULL, PRIMARY KEY (seq))",
+        )?;
+    }
+    Ok(())
+}
+
+/// Record a user's opt-in for a purpose under a policy.
+pub fn record_opt_in(
+    server: &mut PolicyServer,
+    policy: &str,
+    user: &str,
+    purpose: Purpose,
+) -> Result<(), ServerError> {
+    set_consent(server, policy, user, purpose, "opt-in")
+}
+
+/// Record a user's opt-out for a purpose under a policy.
+pub fn record_opt_out(
+    server: &mut PolicyServer,
+    policy: &str,
+    user: &str,
+    purpose: Purpose,
+) -> Result<(), ServerError> {
+    set_consent(server, policy, user, purpose, "opt-out")
+}
+
+fn set_consent(
+    server: &mut PolicyServer,
+    policy: &str,
+    user: &str,
+    purpose: Purpose,
+    state: &str,
+) -> Result<(), ServerError> {
+    let policy_id = server
+        .policy_id(policy)
+        .ok_or_else(|| ServerError::UnknownPolicy(policy.to_string()))?;
+    let db = server.database_mut();
+    db.execute(&format!(
+        "DELETE FROM consent WHERE policy_id = {policy_id} AND user_id = {} AND purpose = {}",
+        sql_quote(user),
+        sql_quote(purpose.as_str())
+    ))?;
+    db.execute(&format!(
+        "INSERT INTO consent VALUES ({policy_id}, {}, {}, {})",
+        sql_quote(user),
+        sql_quote(purpose.as_str()),
+        sql_quote(state)
+    ))?;
+    Ok(())
+}
+
+/// Validate an access request against the shredded policy tables and
+/// log the decision.
+pub fn check_access(
+    server: &mut PolicyServer,
+    request: &AccessRequest,
+) -> Result<AccessDecision, ServerError> {
+    let policy_id = server
+        .policy_id(&request.policy)
+        .ok_or_else(|| ServerError::UnknownPolicy(request.policy.clone()))?;
+    // A statement covers the access when it collects the data element
+    // for the purpose with the recipient. The shredder expanded set
+    // references, so leaf-level requests hit stored rows directly.
+    let sql = format!(
+        "SELECT p.required, r.required FROM statement s, purpose p, recipient r \
+         WHERE s.policy_id = {policy_id} \
+           AND p.policy_id = s.policy_id AND p.statement_id = s.statement_id \
+           AND r.policy_id = s.policy_id AND r.statement_id = s.statement_id \
+           AND p.purpose = {} AND r.recipient = {} \
+           AND EXISTS (SELECT * FROM data d WHERE d.policy_id = s.policy_id \
+                 AND d.statement_id = s.statement_id AND d.ref = {})",
+        sql_quote(request.purpose.as_str()),
+        sql_quote(request.recipient.as_str()),
+        sql_quote(&request.data_ref),
+    );
+    let covering = server.database().query(&sql)?;
+    let decision = if covering.is_empty() {
+        AccessDecision::NotCovered
+    } else {
+        // The most permissive covering statement wins: `always` beats
+        // consent-dependent declarations.
+        let mut best: Option<AccessDecision> = None;
+        for row in &covering.rows {
+            let purpose_required = row[0].as_str().unwrap_or("always");
+            let recipient_required = row[1].as_str().unwrap_or("always");
+            let candidate = decide(
+                server,
+                policy_id,
+                &request.user,
+                request.purpose,
+                purpose_required,
+                recipient_required,
+            )?;
+            best = Some(match best {
+                Some(b) => more_permissive(b, candidate),
+                None => candidate,
+            });
+            if best == Some(AccessDecision::Permitted) {
+                break;
+            }
+        }
+        best.unwrap_or(AccessDecision::NotCovered)
+    };
+    log_access(server, policy_id, request, &decision)?;
+    Ok(decision)
+}
+
+fn decide(
+    server: &PolicyServer,
+    policy_id: i64,
+    user: &str,
+    purpose: Purpose,
+    purpose_required: &str,
+    recipient_required: &str,
+) -> Result<AccessDecision, ServerError> {
+    // The stricter of the purpose/recipient consent modes applies.
+    let mode = if purpose_required == "opt-in" || recipient_required == "opt-in" {
+        "opt-in"
+    } else if purpose_required == "opt-out" || recipient_required == "opt-out" {
+        "opt-out"
+    } else {
+        "always"
+    };
+    match mode {
+        "always" => Ok(AccessDecision::Permitted),
+        "opt-in" => {
+            if consent_state(server, policy_id, user, purpose)?.as_deref() == Some("opt-in") {
+                Ok(AccessDecision::PermittedByConsent)
+            } else {
+                Ok(AccessDecision::ConsentMissing)
+            }
+        }
+        _ => {
+            if consent_state(server, policy_id, user, purpose)?.as_deref() == Some("opt-out") {
+                Ok(AccessDecision::OptedOut)
+            } else {
+                Ok(AccessDecision::Permitted)
+            }
+        }
+    }
+}
+
+fn consent_state(
+    server: &PolicyServer,
+    policy_id: i64,
+    user: &str,
+    purpose: Purpose,
+) -> Result<Option<String>, ServerError> {
+    let result = server.database().query(&format!(
+        "SELECT state FROM consent WHERE policy_id = {policy_id} AND user_id = {} AND purpose = {}",
+        sql_quote(user),
+        sql_quote(purpose.as_str())
+    ))?;
+    Ok(result
+        .rows
+        .first()
+        .and_then(|r| r[0].as_str())
+        .map(str::to_string))
+}
+
+fn more_permissive(a: AccessDecision, b: AccessDecision) -> AccessDecision {
+    fn rank(d: &AccessDecision) -> u8 {
+        match d {
+            AccessDecision::Permitted => 4,
+            AccessDecision::PermittedByConsent => 3,
+            AccessDecision::ConsentMissing => 2,
+            AccessDecision::OptedOut => 1,
+            AccessDecision::NotCovered => 0,
+        }
+    }
+    if rank(&b) > rank(&a) {
+        b
+    } else {
+        a
+    }
+}
+
+fn log_access(
+    server: &mut PolicyServer,
+    policy_id: i64,
+    request: &AccessRequest,
+    decision: &AccessDecision,
+) -> Result<(), ServerError> {
+    let db = server.database_mut();
+    let seq = db.table("access_log").map_or(0, |t| t.len()) as i64 + 1;
+    db.execute(&format!(
+        "INSERT INTO access_log VALUES ({seq}, {policy_id}, {}, {}, {}, {}, {})",
+        sql_quote(&request.user),
+        sql_quote(&request.data_ref),
+        sql_quote(request.purpose.as_str()),
+        sql_quote(request.recipient.as_str()),
+        sql_quote(decision.as_str()),
+    ))?;
+    Ok(())
+}
+
+/// One row of the compliance report: decision → count.
+pub type ComplianceRow = (String, i64);
+
+/// Aggregate the audit log: how many accesses ended in each decision,
+/// via GROUP BY over the log table.
+pub fn compliance_report(server: &PolicyServer) -> Result<Vec<ComplianceRow>, ServerError> {
+    let result = server.database().query(
+        "SELECT decision, COUNT(*) AS n FROM access_log GROUP BY decision ORDER BY decision",
+    )?;
+    Ok(result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap_or_default().to_string(),
+                r[1].as_int().unwrap_or_default(),
+            )
+        })
+        .collect())
+}
+
+/// Denied accesses in the log — what a compliance officer reviews.
+pub fn denied_accesses(server: &PolicyServer) -> Result<Vec<(String, String, String)>, ServerError> {
+    let result = server.database().query(
+        "SELECT user_id, ref, decision FROM access_log \
+         WHERE decision IN ('consent-missing', 'opted-out', 'not-covered') ORDER BY seq",
+    )?;
+    Ok(result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap_or_default().to_string(),
+                r[1].as_str().unwrap_or_default().to_string(),
+                r[2].as_str().unwrap_or_default().to_string(),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_policy::model::volga_policy;
+
+    fn setup() -> PolicyServer {
+        let mut s = PolicyServer::new();
+        s.install_policy(&volga_policy()).unwrap();
+        install(&mut s).unwrap();
+        s
+    }
+
+    fn request(data_ref: &str, purpose: Purpose, recipient: Recipient) -> AccessRequest {
+        AccessRequest {
+            policy: "volga".to_string(),
+            user: "jane".to_string(),
+            data_ref: data_ref.to_string(),
+            purpose,
+            recipient,
+        }
+    }
+
+    #[test]
+    fn transactional_access_is_permitted() {
+        let mut s = setup();
+        let d = check_access(
+            &mut s,
+            &request("user.home-info.postal", Purpose::Current, Recipient::Ours),
+        )
+        .unwrap();
+        assert_eq!(d, AccessDecision::Permitted);
+        assert!(d.is_allowed());
+    }
+
+    #[test]
+    fn leaf_of_declared_set_is_permitted() {
+        // Volga declares #user.name (a set); accessing the given-name
+        // leaf is covered thanks to shred-time expansion.
+        let mut s = setup();
+        let d = check_access(
+            &mut s,
+            &request("user.name.given", Purpose::Current, Recipient::Ours),
+        )
+        .unwrap();
+        assert_eq!(d, AccessDecision::Permitted);
+    }
+
+    #[test]
+    fn marketing_needs_opt_in() {
+        let mut s = setup();
+        let email = request(
+            "user.home-info.online.email",
+            Purpose::Contact,
+            Recipient::Ours,
+        );
+        assert_eq!(
+            check_access(&mut s, &email).unwrap(),
+            AccessDecision::ConsentMissing
+        );
+        record_opt_in(&mut s, "volga", "jane", Purpose::Contact).unwrap();
+        assert_eq!(
+            check_access(&mut s, &email).unwrap(),
+            AccessDecision::PermittedByConsent
+        );
+    }
+
+    #[test]
+    fn opt_out_blocks_after_recorded() {
+        let mut s = setup();
+        let mut p = volga_policy();
+        p.name = "optout-site".to_string();
+        p.statements[1].purposes[1].required = p3p_policy::Required::OptOut;
+        s.install_policy(&p).unwrap();
+        let mut req = request(
+            "user.home-info.online.email",
+            Purpose::Contact,
+            Recipient::Ours,
+        );
+        req.policy = "optout-site".to_string();
+        assert_eq!(check_access(&mut s, &req).unwrap(), AccessDecision::Permitted);
+        record_opt_out(&mut s, "optout-site", "jane", Purpose::Contact).unwrap();
+        assert_eq!(check_access(&mut s, &req).unwrap(), AccessDecision::OptedOut);
+    }
+
+    #[test]
+    fn undeclared_combinations_are_not_covered() {
+        let mut s = setup();
+        // Telemarketing is nowhere in Volga's policy.
+        assert_eq!(
+            check_access(
+                &mut s,
+                &request("user.name", Purpose::Telemarketing, Recipient::Ours)
+            )
+            .unwrap(),
+            AccessDecision::NotCovered
+        );
+        // Email exists, but not for `current` with `same`.
+        assert_eq!(
+            check_access(
+                &mut s,
+                &request("user.home-info.online.email", Purpose::Current, Recipient::Ours)
+            )
+            .unwrap(),
+            AccessDecision::NotCovered
+        );
+        // Unknown data element.
+        assert_eq!(
+            check_access(
+                &mut s,
+                &request("user.gender", Purpose::Current, Recipient::Ours)
+            )
+            .unwrap(),
+            AccessDecision::NotCovered
+        );
+    }
+
+    #[test]
+    fn every_check_is_logged_and_reported() {
+        let mut s = setup();
+        check_access(&mut s, &request("user.name", Purpose::Current, Recipient::Ours)).unwrap();
+        check_access(
+            &mut s,
+            &request("user.name", Purpose::Telemarketing, Recipient::Ours),
+        )
+        .unwrap();
+        check_access(
+            &mut s,
+            &request("user.home-info.online.email", Purpose::Contact, Recipient::Ours),
+        )
+        .unwrap();
+        let report = compliance_report(&s).unwrap();
+        assert!(report.contains(&("permitted".to_string(), 1)));
+        assert!(report.contains(&("not-covered".to_string(), 1)));
+        assert!(report.contains(&("consent-missing".to_string(), 1)));
+        let denied = denied_accesses(&s).unwrap();
+        assert_eq!(denied.len(), 2);
+    }
+
+    #[test]
+    fn consent_is_per_user() {
+        let mut s = setup();
+        record_opt_in(&mut s, "volga", "alice", Purpose::Contact).unwrap();
+        let jane = request(
+            "user.home-info.online.email",
+            Purpose::Contact,
+            Recipient::Ours,
+        );
+        assert_eq!(
+            check_access(&mut s, &jane).unwrap(),
+            AccessDecision::ConsentMissing
+        );
+        let mut alice = jane.clone();
+        alice.user = "alice".to_string();
+        assert_eq!(
+            check_access(&mut s, &alice).unwrap(),
+            AccessDecision::PermittedByConsent
+        );
+    }
+
+    #[test]
+    fn consent_updates_replace_previous_state() {
+        let mut s = setup();
+        record_opt_in(&mut s, "volga", "jane", Purpose::Contact).unwrap();
+        record_opt_out(&mut s, "volga", "jane", Purpose::Contact).unwrap();
+        let req = request(
+            "user.home-info.online.email",
+            Purpose::Contact,
+            Recipient::Ours,
+        );
+        // opt-in purpose + opt-out state = no valid consent.
+        assert_eq!(
+            check_access(&mut s, &req).unwrap(),
+            AccessDecision::ConsentMissing
+        );
+        assert_eq!(s.database().table("consent").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut s = setup();
+        install(&mut s).unwrap();
+        install(&mut s).unwrap();
+    }
+
+    #[test]
+    fn unknown_policy_errors() {
+        let mut s = setup();
+        let mut req = request("user.name", Purpose::Current, Recipient::Ours);
+        req.policy = "nope".to_string();
+        assert!(matches!(
+            check_access(&mut s, &req),
+            Err(ServerError::UnknownPolicy(_))
+        ));
+        assert!(record_opt_in(&mut s, "nope", "jane", Purpose::Contact).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Server-side errors.
+
+use std::fmt;
+
+/// Any error produced by the policy server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// A database operation failed.
+    Db(p3p_minidb::DbError),
+    /// A policy failed to parse or validate at install time.
+    Policy(p3p_policy::PolicyError),
+    /// An APPEL document failed to parse.
+    Appel(p3p_appel::AppelError),
+    /// An XQuery stage failed (parse or XTABLE compilation).
+    XQuery(p3p_xquery::XQueryError),
+    /// An installation-time problem (duplicate name, bad root, …).
+    Install(String),
+    /// No policy covers the requested URI.
+    NoApplicablePolicy(String),
+    /// A named policy is not installed.
+    UnknownPolicy(String),
+    /// A preference construct the requested engine cannot translate.
+    Unsupported(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Db(e) => write!(f, "database error: {e}"),
+            ServerError::Policy(e) => write!(f, "policy error: {e}"),
+            ServerError::Appel(e) => write!(f, "APPEL error: {e}"),
+            ServerError::XQuery(e) => write!(f, "XQuery error: {e}"),
+            ServerError::Install(m) => write!(f, "install error: {m}"),
+            ServerError::NoApplicablePolicy(uri) => {
+                write!(f, "no policy covers URI `{uri}`")
+            }
+            ServerError::UnknownPolicy(name) => write!(f, "unknown policy `{name}`"),
+            ServerError::Unsupported(m) => write!(f, "unsupported preference construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Db(e) => Some(e),
+            ServerError::Policy(e) => Some(e),
+            ServerError::Appel(e) => Some(e),
+            ServerError::XQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p3p_minidb::DbError> for ServerError {
+    fn from(e: p3p_minidb::DbError) -> Self {
+        ServerError::Db(e)
+    }
+}
+
+impl From<p3p_policy::PolicyError> for ServerError {
+    fn from(e: p3p_policy::PolicyError) -> Self {
+        ServerError::Policy(e)
+    }
+}
+
+impl From<p3p_appel::AppelError> for ServerError {
+    fn from(e: p3p_appel::AppelError) -> Self {
+        ServerError::Appel(e)
+    }
+}
+
+impl From<p3p_xquery::XQueryError> for ServerError {
+    fn from(e: p3p_xquery::XQueryError) -> Self {
+        ServerError::XQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let db_err: ServerError = p3p_minidb::DbError::UnknownTable("x".into()).into();
+        assert!(db_err.to_string().contains("unknown table"));
+        assert!(ServerError::NoApplicablePolicy("/a".into())
+            .to_string()
+            .contains("/a"));
+        assert!(ServerError::Unsupported("exact".into())
+            .to_string()
+            .contains("exact"));
+    }
+}

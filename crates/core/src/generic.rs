@@ -1,0 +1,298 @@
+//! The generic schema: the paper's Figure 8 (schema decomposition) and
+//! Figure 10 (data population) algorithms, driven by the meta-schema.
+//!
+//! Each P3P element type gets a table named after it (with an optional
+//! prefix so generic and optimized schemas coexist in one database):
+//! an id column, the parent table's primary key as a foreign key, and
+//! one column per attribute. The shredder walks a policy's DOM and
+//! emits one row per element.
+
+use crate::error::ServerError;
+use crate::meta_schema::{self, ElementDef};
+use p3p_minidb::Database;
+use p3p_xmldom::Element;
+use std::collections::HashMap;
+
+/// Quote a string literal for SQL (single quotes doubled).
+pub fn sql_quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// The generic schema bound to a table-name prefix.
+#[derive(Debug, Clone)]
+pub struct GenericSchema {
+    prefix: String,
+}
+
+impl GenericSchema {
+    /// A schema whose tables are all named `<prefix><element>`.
+    pub fn with_prefix(prefix: impl Into<String>) -> GenericSchema {
+        GenericSchema {
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The table name for an element.
+    pub fn table_for(&self, element: &str) -> String {
+        format!("{}{}", self.prefix, meta_schema::sql_name(element))
+    }
+
+    /// Figure 8: emit CREATE TABLE statements for every element type,
+    /// parents before children so foreign keys resolve.
+    pub fn ddl(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for def in meta_schema::all_elements() {
+            out.push(self.create_table_sql(&def));
+            // Secondary index on the foreign key, so correlated EXISTS
+            // probes are O(1) — the PK index leads with the same
+            // columns, but the executor matches exact column sets.
+            let chain = meta_schema::key_chain(def.name);
+            if chain.len() > 1 {
+                let fk_cols = &chain[..chain.len() - 1];
+                out.push(format!(
+                    "CREATE INDEX idx_{t}_fk ON {t} ({cols})",
+                    t = self.table_for(def.name),
+                    cols = fk_cols.join(", ")
+                ));
+            }
+        }
+        out
+    }
+
+    fn create_table_sql(&self, def: &ElementDef) -> String {
+        let chain = meta_schema::key_chain(def.name);
+        let mut columns: Vec<String> = chain
+            .iter()
+            .map(|c| format!("{c} INT NOT NULL"))
+            .collect();
+        for attr in def.attrs {
+            columns.push(format!("{} VARCHAR", meta_schema::sql_name(attr)));
+        }
+        if def.has_text {
+            columns.push("text VARCHAR".to_string());
+        }
+        let mut parts = columns;
+        parts.push(format!("PRIMARY KEY ({})", chain.join(", ")));
+        if let Some(parent) = def.parent {
+            let parent_chain = meta_schema::key_chain(parent);
+            parts.push(format!(
+                "FOREIGN KEY ({cols}) REFERENCES {ptable} ({cols})",
+                cols = parent_chain.join(", "),
+                ptable = self.table_for(parent)
+            ));
+        }
+        format!(
+            "CREATE TABLE {} ({})",
+            self.table_for(def.name),
+            parts.join(", ")
+        )
+    }
+
+    /// Install the schema into a database.
+    pub fn install(&self, db: &mut Database) -> Result<(), ServerError> {
+        for sql in self.ddl() {
+            db.execute(&sql)?;
+        }
+        Ok(())
+    }
+
+    /// Figure 10: shred one policy's (augmented) XML into the generic
+    /// tables. `policy_id` keys the whole subtree. Returns the number
+    /// of rows inserted. Elements outside the meta-schema (ENTITY,
+    /// DISPUTES, EXTENSION, …) are skipped — they are not matchable.
+    pub fn shred(
+        &self,
+        db: &mut Database,
+        policy_id: i64,
+        policy: &Element,
+    ) -> Result<usize, ServerError> {
+        if policy.name.local != "POLICY" {
+            return Err(ServerError::Install(format!(
+                "expected a POLICY element, found <{}>",
+                policy.name.local
+            )));
+        }
+        let mut counters: HashMap<String, i64> = HashMap::new();
+        let mut inserted = 0usize;
+        self.add(db, policy, &[("policy_id".to_string(), policy_id)], &mut counters, &mut inserted)?;
+        Ok(inserted)
+    }
+
+    /// The recursive `add(e, fk)` of Figure 10. `fk` carries the
+    /// ancestors' (column, id) pairs, outermost first, *including* the
+    /// id assigned to `elem` itself as the final entry.
+    fn add(
+        &self,
+        db: &mut Database,
+        elem: &Element,
+        key: &[(String, i64)],
+        counters: &mut HashMap<String, i64>,
+        inserted: &mut usize,
+    ) -> Result<(), ServerError> {
+        let Some(def) = meta_schema::find(&elem.name.local) else {
+            return Ok(()); // unmatchable subtree, skipped
+        };
+        let mut columns: Vec<String> = key.iter().map(|(c, _)| c.clone()).collect();
+        let mut values: Vec<String> = key.iter().map(|(_, v)| v.to_string()).collect();
+        for attr in def.attrs {
+            if let Some(v) = elem.attr_local(attr) {
+                columns.push(meta_schema::sql_name(attr));
+                values.push(sql_quote(v));
+            }
+        }
+        if def.has_text {
+            columns.push("text".to_string());
+            values.push(sql_quote(&elem.text()));
+        }
+        db.execute(&format!(
+            "INSERT INTO {} ({}) VALUES ({})",
+            self.table_for(def.name),
+            columns.join(", "),
+            values.join(", ")
+        ))?;
+        *inserted += 1;
+        for child in elem.child_elements() {
+            let Some(child_def) = meta_schema::find(&child.name.local) else {
+                continue;
+            };
+            // Only descend when the structure matches the meta-schema
+            // (a PURPOSE under POLICY would otherwise corrupt keys).
+            if child_def.parent != Some(def.name) {
+                continue;
+            }
+            let counter = counters.entry(child.name.local.clone()).or_insert(0);
+            *counter += 1;
+            let child_id = *counter;
+            let mut child_key = key.to_vec();
+            child_key.push((meta_schema::id_column(child_def.name), child_id));
+            self.add(db, child, &child_key, counters, inserted)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for GenericSchema {
+    /// The conventional `g_` prefix used throughout the suite.
+    fn default() -> GenericSchema {
+        GenericSchema::with_prefix("g_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_policy::augment::augment_policy;
+    use p3p_policy::model::volga_policy;
+    use p3p_policy::serialize::policy_to_element;
+
+    fn installed() -> (Database, GenericSchema) {
+        let mut db = Database::new();
+        let schema = GenericSchema::default();
+        schema.install(&mut db).unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn ddl_creates_one_table_per_element() {
+        let (db, _schema) = installed();
+        // 57 element tables.
+        assert_eq!(db.table_names().len(), 57);
+        assert!(db.table("g_policy").is_some());
+        assert!(db.table("g_data_group").is_some());
+        assert!(db.table("g_individual_decision").is_some());
+        assert!(db.table("g_stated_purpose").is_some());
+    }
+
+    #[test]
+    fn data_table_matches_figure_9() {
+        let (db, _schema) = installed();
+        let t = db.table("g_data").unwrap();
+        let names = t.schema.column_names();
+        // id + foreign key of DATA-GROUP + ref/optional attributes.
+        assert_eq!(
+            names,
+            vec!["policy_id", "statement_id", "data_group_id", "data_id", "ref", "optional"]
+        );
+        assert_eq!(t.schema.primary_key.len(), 4);
+    }
+
+    #[test]
+    fn shreds_volga() {
+        let (mut db, schema) = installed();
+        let aug = augment_policy(&volga_policy());
+        let elem = policy_to_element(&aug);
+        let rows = schema.shred(&mut db, 1, &elem).unwrap();
+        assert!(rows > 20, "only {rows} rows");
+        assert_eq!(db.table("g_policy").unwrap().len(), 1);
+        assert_eq!(db.table("g_statement").unwrap().len(), 2);
+        assert_eq!(db.table("g_purpose").unwrap().len(), 2);
+        // one `current` purpose element
+        assert_eq!(db.table("g_current").unwrap().len(), 1);
+        // the required attribute is preserved
+        let r = db
+            .query("SELECT required FROM g_individual_decision")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_str(), Some("opt-in"));
+    }
+
+    #[test]
+    fn figure_13_query_runs_against_generic_tables() {
+        let (mut db, schema) = installed();
+        let aug = augment_policy(&volga_policy());
+        schema.shred(&mut db, 1, &policy_to_element(&aug)).unwrap();
+        // Jane's simplified first rule (paper Fig. 13): no admin and
+        // contact is opt-in → no match.
+        let sql = "SELECT 'block' FROM g_policy WHERE EXISTS (\
+              SELECT * FROM g_statement WHERE g_statement.policy_id = g_policy.policy_id AND EXISTS (\
+                SELECT * FROM g_purpose WHERE g_purpose.policy_id = g_statement.policy_id \
+                  AND g_purpose.statement_id = g_statement.statement_id AND (\
+                  EXISTS (SELECT * FROM g_admin WHERE g_admin.policy_id = g_purpose.policy_id \
+                     AND g_admin.statement_id = g_purpose.statement_id AND g_admin.purpose_id = g_purpose.purpose_id) \
+                  OR EXISTS (SELECT * FROM g_contact WHERE g_contact.policy_id = g_purpose.policy_id \
+                     AND g_contact.statement_id = g_purpose.statement_id AND g_contact.purpose_id = g_purpose.purpose_id \
+                     AND g_contact.required = 'always'))))";
+        assert!(db.query(sql).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiple_policies_coexist() {
+        let (mut db, schema) = installed();
+        let elem = policy_to_element(&volga_policy());
+        schema.shred(&mut db, 1, &elem).unwrap();
+        schema.shred(&mut db, 2, &elem).unwrap();
+        assert_eq!(db.table("g_policy").unwrap().len(), 2);
+        let r = db
+            .query("SELECT COUNT(*) FROM g_statement WHERE policy_id = 2")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn non_policy_root_rejected() {
+        let (mut db, schema) = installed();
+        let err = schema
+            .shred(&mut db, 1, &p3p_xmldom::parse_element("<RULESET/>").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("POLICY"));
+    }
+
+    #[test]
+    fn misplaced_elements_are_skipped() {
+        let (mut db, schema) = installed();
+        let elem = p3p_xmldom::parse_element(
+            "<POLICY name=\"p\"><PURPOSE><current/></PURPOSE><STATEMENT/></POLICY>",
+        )
+        .unwrap();
+        schema.shred(&mut db, 1, &elem).unwrap();
+        // PURPOSE directly under POLICY is not in the meta-schema
+        // hierarchy and must not be stored.
+        assert_eq!(db.table("g_purpose").unwrap().len(), 0);
+        assert_eq!(db.table("g_statement").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sql_quote_escapes() {
+        assert_eq!(sql_quote("it's"), "'it''s'");
+        assert_eq!(sql_quote("plain"), "'plain'");
+    }
+}

@@ -1,0 +1,213 @@
+//! The hybrid architecture of §4.2.
+//!
+//! The paper lists as a server-centric disadvantage that a client can
+//! no longer skip checks by caching the reference file — and answers
+//! it: *"it is possible to design a hybrid architecture in which the
+//! reference file processing is done at the client while the preference
+//! checking is done at the server."*
+//!
+//! [`HybridClient`] is that client half: it caches the site's reference
+//! file (which P3P clients fetch from a well-known location anyway),
+//! resolves request URIs to policy names locally, remembers the verdict
+//! per policy, and only contacts the server for policies it has not
+//! checked yet. Since many pages share one policy, most requests are
+//! decided without any server round trip.
+
+use crate::error::ServerError;
+use crate::server::{EngineKind, PolicyServer, Target};
+use p3p_appel::engine::Verdict;
+use p3p_appel::model::Ruleset;
+use p3p_policy::reference::ReferenceFile;
+use std::collections::BTreeMap;
+
+/// Round-trip statistics for the hybrid client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HybridStats {
+    /// URI resolutions answered from the cached reference file.
+    pub local_resolutions: u64,
+    /// Verdicts answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Matches that had to go to the server.
+    pub server_matches: u64,
+}
+
+/// The client half of the hybrid architecture.
+#[derive(Debug, Clone)]
+pub struct HybridClient {
+    reference: ReferenceFile,
+    /// policy name → verdict, per preference identity. The client holds
+    /// one preference, so a flat map suffices.
+    verdicts: BTreeMap<String, Verdict>,
+    stats: HybridStats,
+}
+
+impl HybridClient {
+    /// A client that downloaded the site's reference file.
+    pub fn new(reference: ReferenceFile) -> HybridClient {
+        HybridClient {
+            reference,
+            verdicts: BTreeMap::new(),
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Parse the reference file from XML (as fetched from
+    /// `/w3c/p3p.xml`).
+    pub fn from_xml(xml: &str) -> Result<HybridClient, ServerError> {
+        Ok(HybridClient::new(ReferenceFile::parse(xml)?))
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Resolve a URI locally against the cached reference file.
+    pub fn resolve_local(&mut self, uri: &str) -> Option<String> {
+        self.stats.local_resolutions += 1;
+        self.reference.lookup(uri).map(|r| r.policy_name().to_string())
+    }
+
+    /// Decide a request: local reference-file processing plus cached
+    /// verdicts; the server is only consulted for an unseen policy.
+    pub fn check_request(
+        &mut self,
+        server: &mut PolicyServer,
+        ruleset: &Ruleset,
+        uri: &str,
+        engine: EngineKind,
+    ) -> Result<Verdict, ServerError> {
+        let policy = self
+            .resolve_local(uri)
+            .ok_or_else(|| ServerError::NoApplicablePolicy(uri.to_string()))?;
+        if let Some(v) = self.verdicts.get(&policy) {
+            self.stats.cache_hits += 1;
+            return Ok(v.clone());
+        }
+        let outcome = server.match_preference(ruleset, Target::Policy(&policy), engine)?;
+        self.stats.server_matches += 1;
+        self.verdicts.insert(policy, outcome.verdict.clone());
+        Ok(outcome.verdict)
+    }
+
+    /// Drop cached verdicts (e.g. after the site announces a policy
+    /// change — reference files carry an EXPIRY for this purpose).
+    pub fn invalidate(&mut self) {
+        self.verdicts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::model::{jane_preference, Behavior};
+    use p3p_policy::model::volga_policy;
+    use p3p_policy::reference::PolicyRef;
+
+    fn setup() -> (PolicyServer, HybridClient) {
+        let mut server = PolicyServer::new();
+        server.install_policy(&volga_policy()).unwrap();
+        let mut aggressive = volga_policy();
+        aggressive.name = "marketing".to_string();
+        aggressive.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        server.install_policy(&aggressive).unwrap();
+
+        let mut file = ReferenceFile::default();
+        let mut promo = PolicyRef::new("#marketing");
+        promo.includes.push("/promo/*".to_string());
+        file.policy_refs.push(promo);
+        let mut rest = PolicyRef::new("#volga");
+        rest.includes.push("/*".to_string());
+        file.policy_refs.push(rest);
+        (server, HybridClient::new(file))
+    }
+
+    #[test]
+    fn local_resolution_matches_server_routing() {
+        let (mut server, mut client) = setup();
+        server
+            .install_reference_xml(
+                &HybridClient::new(client.reference.clone()).reference.to_xml(),
+            )
+            .unwrap();
+        for uri in ["/promo/sale", "/books/1", "/checkout"] {
+            let local = client.resolve_local(uri).unwrap();
+            let server_id = server.resolve(Target::Uri(uri)).unwrap();
+            assert_eq!(Some(server_id), server.policy_id(&local), "{uri}");
+        }
+    }
+
+    #[test]
+    fn repeated_pages_avoid_server_round_trips() {
+        let (mut server, mut client) = setup();
+        let jane = jane_preference();
+        let pages = [
+            "/books/1", "/books/2", "/books/3", "/cart", "/promo/sale", "/promo/clearance",
+            "/books/4",
+        ];
+        for page in pages {
+            client
+                .check_request(&mut server, &jane, page, EngineKind::Sql)
+                .unwrap();
+        }
+        let stats = client.stats();
+        // Seven pages, but only two policies: two server matches.
+        assert_eq!(stats.server_matches, 2);
+        assert_eq!(stats.cache_hits, 5);
+        assert_eq!(stats.local_resolutions, 7);
+    }
+
+    #[test]
+    fn verdicts_agree_with_direct_server_matching() {
+        let (mut server, mut client) = setup();
+        let jane = jane_preference();
+        let ok = client
+            .check_request(&mut server, &jane, "/books/1", EngineKind::Sql)
+            .unwrap();
+        assert_eq!(ok.behavior, Behavior::Request);
+        let blocked = client
+            .check_request(&mut server, &jane, "/promo/sale", EngineKind::Sql)
+            .unwrap();
+        assert_eq!(blocked.behavior, Behavior::Block);
+    }
+
+    #[test]
+    fn invalidate_forces_refresh() {
+        let (mut server, mut client) = setup();
+        let jane = jane_preference();
+        client
+            .check_request(&mut server, &jane, "/books/1", EngineKind::Sql)
+            .unwrap();
+        client.invalidate();
+        client
+            .check_request(&mut server, &jane, "/books/2", EngineKind::Sql)
+            .unwrap();
+        assert_eq!(client.stats().server_matches, 2);
+    }
+
+    #[test]
+    fn uncovered_uri_is_an_error() {
+        let (mut server, mut client) = setup();
+        let mut narrow = HybridClient::new({
+            let mut f = ReferenceFile::default();
+            let mut r = PolicyRef::new("#volga");
+            r.includes.push("/only/*".to_string());
+            f.policy_refs.push(r);
+            f
+        });
+        assert!(matches!(
+            narrow.check_request(&mut server, &jane_preference(), "/other", EngineKind::Sql),
+            Err(ServerError::NoApplicablePolicy(_))
+        ));
+        let _ = client.resolve_local("/x");
+    }
+
+    #[test]
+    fn from_xml_parses_reference() {
+        let client = HybridClient::from_xml(
+            "<META><POLICY-REFERENCES><POLICY-REF about=\"#p\"><INCLUDE>/*</INCLUDE></POLICY-REF></POLICY-REFERENCES></META>",
+        )
+        .unwrap();
+        assert_eq!(client.reference.policy_refs.len(), 1);
+    }
+}

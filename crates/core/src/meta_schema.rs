@@ -1,0 +1,187 @@
+//! The P3P element meta-schema driving the generic (Figure 8) relational
+//! decomposition.
+//!
+//! The paper's schema-decomposition algorithm creates one table per
+//! element *type*, whose key is its own id plus the primary key of the
+//! parent element's table. This module describes the matchable P3P
+//! element hierarchy — names, parents, attributes, text content — so
+//! both the DDL generator and the DOM-driven shredder (Figure 10) can
+//! be written once, generically.
+
+use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Retention};
+
+/// One element type in the P3P hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementDef {
+    /// XML local name, e.g. `DATA-GROUP` or `individual-decision`.
+    pub name: &'static str,
+    /// Parent element's local name (`None` for POLICY).
+    pub parent: Option<&'static str>,
+    /// Attributes stored as columns.
+    pub attrs: &'static [&'static str],
+    /// Whether the element's text content is stored (CONSEQUENCE).
+    pub has_text: bool,
+}
+
+/// The structural (non-value) elements.
+const STRUCTURAL: &[ElementDef] = &[
+    ElementDef { name: "POLICY", parent: None, attrs: &["name", "discuri", "opturi"], has_text: false },
+    ElementDef { name: "STATEMENT", parent: Some("POLICY"), attrs: &[], has_text: false },
+    ElementDef { name: "CONSEQUENCE", parent: Some("STATEMENT"), attrs: &[], has_text: true },
+    ElementDef { name: "NON-IDENTIFIABLE", parent: Some("STATEMENT"), attrs: &[], has_text: false },
+    ElementDef { name: "PURPOSE", parent: Some("STATEMENT"), attrs: &[], has_text: false },
+    ElementDef { name: "RECIPIENT", parent: Some("STATEMENT"), attrs: &[], has_text: false },
+    ElementDef { name: "RETENTION", parent: Some("STATEMENT"), attrs: &[], has_text: false },
+    ElementDef { name: "DATA-GROUP", parent: Some("STATEMENT"), attrs: &["base"], has_text: false },
+    ElementDef { name: "DATA", parent: Some("DATA-GROUP"), attrs: &["ref", "optional"], has_text: false },
+    ElementDef { name: "CATEGORIES", parent: Some("DATA"), attrs: &[], has_text: false },
+    ElementDef { name: "ACCESS", parent: Some("POLICY"), attrs: &[], has_text: false },
+];
+
+/// Attributes of vocabulary value elements under PURPOSE/RECIPIENT.
+const REQUIRED_ONLY: &[&str] = &["required"];
+
+/// The full meta-schema: structural elements plus every vocabulary
+/// value element at its place in the hierarchy.
+pub fn all_elements() -> Vec<ElementDef> {
+    let mut defs: Vec<ElementDef> = STRUCTURAL.to_vec();
+    for p in Purpose::ALL {
+        defs.push(ElementDef {
+            name: p.as_str(),
+            parent: Some("PURPOSE"),
+            attrs: REQUIRED_ONLY,
+            has_text: false,
+        });
+    }
+    for r in Recipient::ALL {
+        defs.push(ElementDef {
+            name: r.as_str(),
+            parent: Some("RECIPIENT"),
+            attrs: REQUIRED_ONLY,
+            has_text: false,
+        });
+    }
+    for r in Retention::ALL {
+        defs.push(ElementDef {
+            name: r.as_str(),
+            parent: Some("RETENTION"),
+            attrs: &[],
+            has_text: false,
+        });
+    }
+    for c in Category::ALL {
+        defs.push(ElementDef {
+            name: c.as_str(),
+            parent: Some("CATEGORIES"),
+            attrs: &[],
+            has_text: false,
+        });
+    }
+    for a in Access::ALL {
+        defs.push(ElementDef {
+            name: a.as_str(),
+            parent: Some("ACCESS"),
+            attrs: &[],
+            has_text: false,
+        });
+    }
+    defs
+}
+
+/// Look up an element definition by XML local name.
+pub fn find(name: &str) -> Option<ElementDef> {
+    all_elements().into_iter().find(|d| d.name == name)
+}
+
+/// Relational identifier for an element or attribute name: lowercase,
+/// `-` → `_`.
+pub fn sql_name(name: &str) -> String {
+    name.to_ascii_lowercase().replace('-', "_")
+}
+
+/// The id column of an element's table, e.g. `data_id` for DATA.
+pub fn id_column(name: &str) -> String {
+    format!("{}_id", sql_name(name))
+}
+
+/// The chain of id columns forming an element's primary key: the
+/// ancestors' id columns (outermost first) followed by its own.
+pub fn key_chain(name: &str) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut current = Some(name.to_string());
+    while let Some(n) = current {
+        chain.push(id_column(&n));
+        current = find(&n).and_then(|d| d.parent.map(str::to_string));
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_covers_vocabularies() {
+        // 11 structural + 12 purposes + 6 recipients + 5 retentions +
+        // 17 categories + 6 access values.
+        assert_eq!(all_elements().len(), 11 + 12 + 6 + 5 + 17 + 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let defs = all_elements();
+        let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn sql_name_mangling() {
+        assert_eq!(sql_name("DATA-GROUP"), "data_group");
+        assert_eq!(sql_name("individual-decision"), "individual_decision");
+        assert_eq!(id_column("DATA-GROUP"), "data_group_id");
+    }
+
+    #[test]
+    fn key_chain_matches_figure_9() {
+        // "the primary key for the DATA table will consist of the
+        //  concatenation of data id with the foreign key" — paper §5.1;
+        // the foreign key is the DATA-GROUP table's primary key.
+        assert_eq!(
+            key_chain("DATA"),
+            vec!["policy_id", "statement_id", "data_group_id", "data_id"]
+        );
+        assert_eq!(key_chain("POLICY"), vec!["policy_id"]);
+        assert_eq!(
+            key_chain("current"),
+            vec!["policy_id", "statement_id", "purpose_id", "current_id"]
+        );
+    }
+
+    #[test]
+    fn every_parent_exists() {
+        for def in all_elements() {
+            if let Some(p) = def.parent {
+                assert!(find(p).is_some(), "missing parent {p} of {}", def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn value_elements_under_purpose_take_required() {
+        let d = find("individual-decision").unwrap();
+        assert_eq!(d.parent, Some("PURPOSE"));
+        assert_eq!(d.attrs, &["required"]);
+        let r = find("stated-purpose").unwrap();
+        assert!(r.attrs.is_empty());
+    }
+
+    #[test]
+    fn find_rejects_unknown() {
+        assert!(find("RULESET").is_none());
+        assert!(find("frobnicate").is_none());
+    }
+}

@@ -1,0 +1,669 @@
+//! The policy server: the deployable façade over the whole
+//! server-centric architecture (paper Figures 5–6).
+//!
+//! A site installs its policies (shredded once into both the optimized
+//! and generic schemas, with shred-time category augmentation) and its
+//! reference file; user preferences then arrive as APPEL rulesets and
+//! are matched through any of the engines:
+//!
+//! * [`EngineKind::Sql`] — the paper's proposal: APPEL → SQL over the
+//!   optimized (Figure 14) schema.
+//! * [`EngineKind::SqlGeneric`] — same, over the generic (Figure 8)
+//!   schema (the schema ablation of §5.4).
+//! * [`EngineKind::XQueryXTable`] — APPEL → XQuery → (XTABLE) SQL over
+//!   the generic schema (the paper's second variation).
+//! * [`EngineKind::XQueryNative`] — APPEL → XQuery evaluated directly
+//!   on the stored XML (the third variation, which the paper could not
+//!   benchmark; an extension here).
+//! * [`EngineKind::Native`] — the client-centric baseline: the native
+//!   APPEL engine re-parsing and re-augmenting the policy per match.
+
+use crate::appel2sql::{translate_rule_generic, translate_rule_optimized};
+use crate::appel2xquery::translate_rule_xquery;
+use crate::error::ServerError;
+use crate::generic::GenericSchema;
+use crate::optimized;
+use crate::refschema;
+use crate::view;
+use crate::xtable::XTable;
+use p3p_appel::engine::{AppelEngine, Verdict};
+use p3p_appel::model::Ruleset;
+use p3p_minidb::Database;
+use p3p_policy::augment::augment_policy;
+use p3p_policy::model::Policy;
+use p3p_policy::reference::ReferenceFile;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Which matching engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Native APPEL engine on policy XML (client-centric baseline).
+    Native,
+    /// APPEL → SQL on the optimized schema (the paper's proposal).
+    Sql,
+    /// APPEL → SQL on the generic schema.
+    SqlGeneric,
+    /// APPEL → XQuery → SQL via the XTABLE stand-in.
+    XQueryXTable,
+    /// APPEL → XQuery evaluated on the native XML store.
+    XQueryNative,
+}
+
+impl EngineKind {
+    /// All engines, in the order the paper discusses them.
+    pub const ALL: &'static [EngineKind] = &[
+        EngineKind::Native,
+        EngineKind::Sql,
+        EngineKind::SqlGeneric,
+        EngineKind::XQueryXTable,
+        EngineKind::XQueryNative,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Native => "APPEL engine",
+            EngineKind::Sql => "SQL",
+            EngineKind::SqlGeneric => "SQL (generic schema)",
+            EngineKind::XQueryXTable => "XQuery",
+            EngineKind::XQueryNative => "XQuery (XML store)",
+        }
+    }
+}
+
+/// What to match against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target<'a> {
+    /// A named installed policy.
+    Policy(&'a str),
+    /// A request URI, routed through the reference file (§2.3).
+    Uri(&'a str),
+    /// A cookie in `name=value` form, routed through the reference
+    /// file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns (§5.5).
+    Cookie(&'a str),
+}
+
+/// The result of one preference match, with the conversion/query time
+/// split the paper reports in Figure 20.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchOutcome {
+    pub verdict: Verdict,
+    /// Time translating APPEL into the engine's query language.
+    pub convert: Duration,
+    /// Time executing the queries (or the native match).
+    pub query: Duration,
+}
+
+/// The server: database + document stores + catalogs.
+#[derive(Debug, Clone)]
+pub struct PolicyServer {
+    db: Database,
+    generic: GenericSchema,
+    xtable: XTable,
+    /// name → (policy id, original XML text) — what a client would be
+    /// served, fed to the native engine.
+    raw_xml: BTreeMap<String, (i64, String)>,
+    /// id → explicit-form XML for the XQuery-on-XML engine.
+    explicit_xml: BTreeMap<i64, p3p_xmldom::Element>,
+    next_policy_id: i64,
+    next_meta_id: i64,
+    native: AppelEngine,
+}
+
+impl PolicyServer {
+    /// A fresh server with all schemas installed.
+    pub fn new() -> PolicyServer {
+        let mut db = Database::new();
+        let generic = GenericSchema::default();
+        optimized::install(&mut db).expect("optimized DDL");
+        generic.install(&mut db).expect("generic DDL");
+        refschema::install(&mut db).expect("reference DDL");
+        PolicyServer {
+            db,
+            xtable: XTable::new(generic.clone()),
+            generic,
+            raw_xml: BTreeMap::new(),
+            explicit_xml: BTreeMap::new(),
+            next_policy_id: 0,
+            next_meta_id: 0,
+            native: AppelEngine::default(),
+        }
+    }
+
+    /// A deep copy of the full server state (database, stores,
+    /// catalogs) — the snapshot primitive behind
+    /// [`crate::concurrent::MatchPool`].
+    pub fn clone_state(&self) -> PolicyServer {
+        self.clone()
+    }
+
+    /// The underlying database (for audits and tests).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (index ablation benches).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Names of installed policies.
+    pub fn policy_names(&self) -> Vec<String> {
+        self.raw_xml.keys().cloned().collect()
+    }
+
+    /// The id of an installed policy.
+    pub fn policy_id(&self, name: &str) -> Option<i64> {
+        self.raw_xml.get(name).map(|(id, _)| *id)
+    }
+
+    /// Install a policy from its model. Returns the assigned id.
+    /// Shreds into both schemas and stores both XML forms.
+    pub fn install_policy(&mut self, policy: &Policy) -> Result<i64, ServerError> {
+        let xml = policy.to_xml();
+        self.install_with_xml(policy, xml)
+    }
+
+    /// Install a policy from XML text (the text is kept verbatim as
+    /// what clients — and the native engine — receive).
+    pub fn install_policy_xml(&mut self, xml: &str) -> Result<i64, ServerError> {
+        let policy = Policy::parse(xml)?;
+        self.install_with_xml(&policy, xml.to_string())
+    }
+
+    /// Install a policy that references site-defined data schemas
+    /// (P3P §5 DATASCHEMA). The schemas are applied first — custom
+    /// references gain their categories and set expansions — so every
+    /// engine, including the native one, matches the normalized form.
+    pub fn install_policy_with_schemas(
+        &mut self,
+        policy: &Policy,
+        schemas: &[p3p_policy::DataSchema],
+    ) -> Result<i64, ServerError> {
+        let mut normalized = policy.clone();
+        for schema in schemas {
+            normalized = schema.apply_to_policy(&normalized);
+        }
+        self.install_policy(&normalized)
+    }
+
+    fn install_with_xml(&mut self, policy: &Policy, xml: String) -> Result<i64, ServerError> {
+        if self.raw_xml.contains_key(&policy.name) {
+            return Err(ServerError::Install(format!(
+                "policy `{}` is already installed",
+                policy.name
+            )));
+        }
+        self.next_policy_id += 1;
+        let id = self.next_policy_id;
+        optimized::shred(&mut self.db, id, policy)?;
+        let augmented = augment_policy(policy);
+        let explicit = view::policy_xml_explicit(&augmented);
+        self.generic.shred(&mut self.db, id, &explicit)?;
+        self.raw_xml.insert(policy.name.clone(), (id, xml));
+        self.explicit_xml.insert(id, explicit);
+        Ok(id)
+    }
+
+    /// Remove a policy everywhere.
+    pub fn remove_policy(&mut self, name: &str) -> Result<(), ServerError> {
+        let Some((id, _)) = self.raw_xml.remove(name) else {
+            return Err(ServerError::UnknownPolicy(name.to_string()));
+        };
+        optimized::unshred(&mut self.db, id)?;
+        self.explicit_xml.remove(&id);
+        // Generic tables: sweep by policy_id.
+        let tables: Vec<String> = self
+            .db
+            .table_names()
+            .into_iter()
+            .filter(|t| t.starts_with("g_"))
+            .collect();
+        for t in tables {
+            self.db
+                .execute(&format!("DELETE FROM {t} WHERE policy_id = {id}"))?;
+        }
+        Ok(())
+    }
+
+    /// Install a reference file, resolving POLICY-REF names against the
+    /// installed policies.
+    pub fn install_reference(&mut self, file: &ReferenceFile) -> Result<(), ServerError> {
+        self.next_meta_id += 1;
+        let names = self.raw_xml.clone();
+        refschema::shred_reference(&mut self.db, self.next_meta_id, file, |name| {
+            names.get(name).map(|(id, _)| *id)
+        })
+    }
+
+    /// Install a reference file from XML text.
+    pub fn install_reference_xml(&mut self, xml: &str) -> Result<(), ServerError> {
+        let file = ReferenceFile::parse(xml)?;
+        self.install_reference(&file)
+    }
+
+    /// Resolve a target to the applicable policy id (paper §5.3:
+    /// `applicablePolicy()`).
+    pub fn resolve(&self, target: Target<'_>) -> Result<i64, ServerError> {
+        match target {
+            Target::Policy(name) => self
+                .policy_id(name)
+                .ok_or_else(|| ServerError::UnknownPolicy(name.to_string())),
+            Target::Uri(uri) => refschema::applicable_policy(&self.db, uri)?
+                .ok_or_else(|| ServerError::NoApplicablePolicy(uri.to_string())),
+            Target::Cookie(cookie) => refschema::applicable_cookie_policy(&self.db, cookie)?
+                .ok_or_else(|| ServerError::NoApplicablePolicy(format!("cookie {cookie}"))),
+        }
+    }
+
+    /// Match a preference against a target with the chosen engine.
+    pub fn match_preference(
+        &mut self,
+        ruleset: &Ruleset,
+        target: Target<'_>,
+        engine: EngineKind,
+    ) -> Result<MatchOutcome, ServerError> {
+        let policy_id = self.resolve(target)?;
+        match engine {
+            EngineKind::Native => self.match_native(ruleset, policy_id),
+            EngineKind::Sql => self.match_sql(ruleset, policy_id, false),
+            EngineKind::SqlGeneric => self.match_sql(ruleset, policy_id, true),
+            EngineKind::XQueryXTable => self.match_xtable(ruleset, policy_id),
+            EngineKind::XQueryNative => self.match_xquery_native(ruleset, policy_id),
+        }
+    }
+
+    fn raw_xml_of(&self, policy_id: i64) -> Result<&str, ServerError> {
+        self.raw_xml
+            .values()
+            .find(|(id, _)| *id == policy_id)
+            .map(|(_, xml)| xml.as_str())
+            .ok_or_else(|| ServerError::UnknownPolicy(format!("id {policy_id}")))
+    }
+
+    fn match_native(&self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
+        let xml = self.raw_xml_of(policy_id)?;
+        let start = Instant::now();
+        let verdict = self.native.evaluate_policy_xml(ruleset, xml)?;
+        Ok(MatchOutcome {
+            verdict,
+            convert: Duration::ZERO,
+            query: start.elapsed(),
+        })
+    }
+
+    fn match_sql(
+        &mut self,
+        ruleset: &Ruleset,
+        policy_id: i64,
+        generic: bool,
+    ) -> Result<MatchOutcome, ServerError> {
+        refschema::stage_applicable(&mut self.db, policy_id)?;
+        // Convert phase: "We translate each rule into a SQL query ...
+        // and submit the queries to the database in order" (§5.3) — the
+        // whole preference is translated before the first query runs.
+        let t0 = Instant::now();
+        let mut queries = Vec::with_capacity(ruleset.rules.len());
+        for rule in &ruleset.rules {
+            queries.push(if generic {
+                translate_rule_generic(rule, &self.generic)?
+            } else {
+                translate_rule_optimized(rule)?
+            });
+        }
+        let convert = t0.elapsed();
+        // Query phase: run in order; the first non-empty result fires.
+        let t1 = Instant::now();
+        for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+            let result = self.db.query(sql)?;
+            if !result.is_empty() {
+                return Ok(MatchOutcome {
+                    verdict: Verdict {
+                        behavior: rule.behavior.clone(),
+                        fired_rule: Some(index),
+                    },
+                    convert,
+                    query: t1.elapsed(),
+                });
+            }
+        }
+        Ok(MatchOutcome {
+            verdict: Verdict::default_block(),
+            convert,
+            query: t1.elapsed(),
+        })
+    }
+
+    fn match_xtable(&mut self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
+        refschema::stage_applicable(&mut self.db, policy_id)?;
+        // Convert phase: APPEL → XQuery text → (reparse) → XTABLE → SQL
+        // for the whole preference. A rule beyond the compiler's
+        // capability fails the preference, as it did for the Medium
+        // level in the paper (§6.3.2). Unconditional (OTHERWISE) rules
+        // carry no query.
+        let t0 = Instant::now();
+        let mut queries: Vec<Option<String>> = Vec::with_capacity(ruleset.rules.len());
+        for rule in &ruleset.rules {
+            if rule.pattern.is_empty() {
+                queries.push(None);
+                continue;
+            }
+            let xq = translate_rule_xquery(rule, "applicable-policy")?;
+            let text = xq.to_string();
+            let reparsed = p3p_xquery::parse_xquery(&text)?;
+            queries.push(Some(self.xtable.compile(&reparsed)?));
+        }
+        let convert = t0.elapsed();
+        let t1 = Instant::now();
+        for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+            let fired = match sql {
+                Some(sql) => !self.db.query(sql)?.is_empty(),
+                None => true,
+            };
+            if fired {
+                return Ok(MatchOutcome {
+                    verdict: Verdict {
+                        behavior: rule.behavior.clone(),
+                        fired_rule: Some(index),
+                    },
+                    convert,
+                    query: t1.elapsed(),
+                });
+            }
+        }
+        Ok(MatchOutcome {
+            verdict: Verdict::default_block(),
+            convert,
+            query: t1.elapsed(),
+        })
+    }
+
+    fn match_xquery_native(
+        &self,
+        ruleset: &Ruleset,
+        policy_id: i64,
+    ) -> Result<MatchOutcome, ServerError> {
+        let doc = self
+            .explicit_xml
+            .get(&policy_id)
+            .ok_or_else(|| ServerError::UnknownPolicy(format!("id {policy_id}")))?;
+        let mut convert = Duration::ZERO;
+        let mut query = Duration::ZERO;
+        for (index, rule) in ruleset.rules.iter().enumerate() {
+            if rule.pattern.is_empty() {
+                return Ok(MatchOutcome {
+                    verdict: Verdict {
+                        behavior: rule.behavior.clone(),
+                        fired_rule: Some(index),
+                    },
+                    convert,
+                    query,
+                });
+            }
+            let t0 = Instant::now();
+            let xq = translate_rule_xquery(rule, "applicable-policy")?;
+            convert += t0.elapsed();
+            let t1 = Instant::now();
+            let fired = p3p_xquery::eval_xquery(&xq, doc).is_some();
+            query += t1.elapsed();
+            if fired {
+                return Ok(MatchOutcome {
+                    verdict: Verdict {
+                        behavior: rule.behavior.clone(),
+                        fired_rule: Some(index),
+                    },
+                    convert,
+                    query,
+                });
+            }
+        }
+        Ok(MatchOutcome {
+            verdict: Verdict::default_block(),
+            convert,
+            query,
+        })
+    }
+}
+
+impl Default for PolicyServer {
+    fn default() -> Self {
+        PolicyServer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::model::{jane_preference, Behavior};
+    use p3p_policy::model::volga_policy;
+
+    fn server_with_volga() -> PolicyServer {
+        let mut s = PolicyServer::new();
+        s.install_policy(&volga_policy()).unwrap();
+        s
+    }
+
+    #[test]
+    fn all_engines_agree_on_the_papers_walkthrough() {
+        let mut s = server_with_volga();
+        let jane = jane_preference();
+        for engine in EngineKind::ALL {
+            let out = s
+                .match_preference(&jane, Target::Policy("volga"), *engine)
+                .unwrap();
+            assert_eq!(
+                out.verdict.behavior,
+                Behavior::Request,
+                "engine {engine:?} disagreed"
+            );
+            assert_eq!(out.verdict.fired_rule, Some(2), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn all_engines_block_the_always_variant() {
+        // Flip individual-decision to `always`: Jane's first rule fires
+        // (paper §2.2's counterfactual).
+        let mut policy = volga_policy();
+        policy.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        policy.name = "volga2".to_string();
+        let mut s = PolicyServer::new();
+        s.install_policy(&policy).unwrap();
+        let jane = jane_preference();
+        for engine in EngineKind::ALL {
+            let out = s
+                .match_preference(&jane, Target::Policy("volga2"), *engine)
+                .unwrap();
+            assert_eq!(out.verdict.behavior, Behavior::Block, "engine {engine:?}");
+            assert_eq!(out.verdict.fired_rule, Some(0), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn uri_routing_through_reference_file() {
+        let mut s = server_with_volga();
+        let mut second = volga_policy();
+        second.name = "marketing".to_string();
+        second.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&second).unwrap();
+        s.install_reference_xml(
+            r#"<META><POLICY-REFERENCES>
+                 <POLICY-REF about="/p3p/policies.xml#marketing">
+                   <INCLUDE>/promo/*</INCLUDE>
+                 </POLICY-REF>
+                 <POLICY-REF about="/p3p/policies.xml#volga">
+                   <INCLUDE>/*</INCLUDE>
+                 </POLICY-REF>
+               </POLICY-REFERENCES></META>"#,
+        )
+        .unwrap();
+        let jane = jane_preference();
+        let shop = s
+            .match_preference(&jane, Target::Uri("/books/catalog"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(shop.verdict.behavior, Behavior::Request);
+        let promo = s
+            .match_preference(&jane, Target::Uri("/promo/spring"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(promo.verdict.behavior, Behavior::Block);
+    }
+
+    #[test]
+    fn cookie_routing_through_reference_file() {
+        let mut s = server_with_volga();
+        s.install_reference_xml(
+            r#"<META><POLICY-REFERENCES>
+                 <POLICY-REF about="/p3p/policies.xml#volga">
+                   <INCLUDE>/*</INCLUDE>
+                   <COOKIE-INCLUDE>session=*</COOKIE-INCLUDE>
+                   <COOKIE-EXCLUDE>session=opaque*</COOKIE-EXCLUDE>
+                 </POLICY-REF>
+               </POLICY-REFERENCES></META>"#,
+        )
+        .unwrap();
+        let jane = jane_preference();
+        let ok = s
+            .match_preference(&jane, Target::Cookie("session=abc"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(ok.verdict.behavior, Behavior::Request);
+        assert!(matches!(
+            s.match_preference(&jane, Target::Cookie("session=opaque42"), EngineKind::Sql),
+            Err(ServerError::NoApplicablePolicy(_))
+        ));
+        assert!(matches!(
+            s.match_preference(&jane, Target::Cookie("tracker=1"), EngineKind::Sql),
+            Err(ServerError::NoApplicablePolicy(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let mut s = server_with_volga();
+        let jane = jane_preference();
+        assert!(matches!(
+            s.match_preference(&jane, Target::Policy("nope"), EngineKind::Sql),
+            Err(ServerError::UnknownPolicy(_))
+        ));
+        assert!(matches!(
+            s.match_preference(&jane, Target::Uri("/x"), EngineKind::Sql),
+            Err(ServerError::NoApplicablePolicy(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_install_rejected() {
+        let mut s = server_with_volga();
+        assert!(matches!(
+            s.install_policy(&volga_policy()),
+            Err(ServerError::Install(_))
+        ));
+    }
+
+    #[test]
+    fn remove_policy_clears_all_tables() {
+        let mut s = server_with_volga();
+        s.remove_policy("volga").unwrap();
+        assert!(s.policy_names().is_empty());
+        assert_eq!(s.database().table("policy").unwrap().len(), 0);
+        assert_eq!(s.database().table("g_policy").unwrap().len(), 0);
+        // Reinstall works.
+        s.install_policy(&volga_policy()).unwrap();
+    }
+
+    #[test]
+    fn xtable_rejects_exact_preference_like_the_paper() {
+        // A preference with an or-exact rule: the SQL path handles it,
+        // the XTABLE path reports it as too complex (the Medium hole in
+        // Figure 21).
+        let mut s = server_with_volga();
+        let pref = p3p_appel::parse::parse_ruleset_str(
+            r#"<appel:RULESET>
+                 <appel:RULE behavior="block">
+                   <POLICY><STATEMENT>
+                     <PURPOSE appel:connective="or-exact"><current/><admin/></PURPOSE>
+                   </STATEMENT></POLICY>
+                 </appel:RULE>
+                 <appel:OTHERWISE><appel:RULE behavior="request"/></appel:OTHERWISE>
+               </appel:RULESET>"#,
+        )
+        .unwrap();
+        let sql = s
+            .match_preference(&pref, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        // Volga's first statement has exactly {current} ⊆ {current,admin}
+        // so the exact rule fires.
+        assert_eq!(sql.verdict.behavior, Behavior::Block);
+        let err = s
+            .match_preference(&pref, Target::Policy("volga"), EngineKind::XQueryXTable)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::XQuery(p3p_xquery::XQueryError::TooComplex { .. })
+        ));
+        // The native engine and the XML-store engine both handle it.
+        let native = s
+            .match_preference(&pref, Target::Policy("volga"), EngineKind::Native)
+            .unwrap();
+        assert_eq!(native.verdict.behavior, Behavior::Block);
+        let xmlstore = s
+            .match_preference(&pref, Target::Policy("volga"), EngineKind::XQueryNative)
+            .unwrap();
+        assert_eq!(xmlstore.verdict.behavior, Behavior::Block);
+    }
+
+    #[test]
+    fn custom_data_schemas_normalize_before_install() {
+        use p3p_policy::model::{DataRef, Statement};
+        use p3p_policy::vocab::{Purpose, Recipient, Retention};
+        let schema = p3p_policy::DataSchema::parse(
+            "<DATASCHEMA><DATA-DEF ref=\"#loyalty.card\"><CATEGORIES><uniqueid/></CATEGORIES></DATA-DEF></DATASCHEMA>",
+        )
+        .unwrap();
+        let mut policy = p3p_policy::model::Policy::new("store");
+        policy.statements.push(Statement::simple(
+            [Purpose::Current],
+            [Recipient::Ours],
+            Retention::StatedPurpose,
+            [DataRef::new("loyalty.card")],
+        ));
+        let mut s = PolicyServer::new();
+        s.install_policy_with_schemas(&policy, &[schema]).unwrap();
+        // The custom category landed in the category table...
+        let r = s
+            .database()
+            .query("SELECT COUNT(*) FROM category WHERE category = 'uniqueid'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap().as_int(), Some(1));
+        // ...and a preference blocking uniqueid data fires on every
+        // engine, custom schema or not.
+        let pref = p3p_appel::parse::parse_ruleset_str(
+            "<appel:RULESET><appel:RULE behavior=\"block\"><POLICY><STATEMENT><DATA-GROUP><DATA><CATEGORIES appel:connective=\"or\"><uniqueid/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY></appel:RULE></appel:RULESET>",
+        )
+        .unwrap();
+        for engine in EngineKind::ALL {
+            if *engine == EngineKind::XQueryXTable {
+                continue; // attribute-free DATA steps compile, but keep this focused
+            }
+            let out = s
+                .match_preference(&pref, Target::Policy("store"), *engine)
+                .unwrap();
+            assert_eq!(out.verdict.behavior, Behavior::Block, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn install_from_xml_preserves_text_for_native_engine() {
+        let mut s = PolicyServer::new();
+        let xml = volga_policy().to_xml();
+        s.install_policy_xml(&xml).unwrap();
+        assert_eq!(s.raw_xml_of(1).unwrap(), xml);
+    }
+
+    #[test]
+    fn engine_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            EngineKind::ALL.iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), EngineKind::ALL.len());
+    }
+}

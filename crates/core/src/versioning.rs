@@ -1,0 +1,344 @@
+//! Policy version management over the database.
+//!
+//! §4.2: *"Policies of a website will not stay static forever. Versions
+//! of policies can be better managed using a database system than the
+//! current file system based implementations."* This module keeps a
+//! version history table next to the shredded tables: every upgrade of
+//! a named policy archives the previous serialized form, records what
+//! changed at the vocabulary level, and can roll the live policy back
+//! to any archived version.
+
+use crate::error::ServerError;
+use crate::generic::sql_quote;
+use crate::server::PolicyServer;
+use p3p_policy::model::Policy;
+use std::collections::BTreeSet;
+
+/// Install the version-history table. Idempotent.
+pub fn install(server: &mut PolicyServer) -> Result<(), ServerError> {
+    let db = server.database_mut();
+    if db.table("policy_version").is_none() {
+        db.execute(
+            "CREATE TABLE policy_version (name VARCHAR NOT NULL, version INT NOT NULL, \
+             xml VARCHAR NOT NULL, note VARCHAR, PRIMARY KEY (name, version))",
+        )?;
+    }
+    Ok(())
+}
+
+/// Upgrade a policy: archive the live version, then replace it with
+/// `new_policy` (which must carry the same name). Returns the new
+/// version number (the first upgrade of a policy produces version 2;
+/// the initial install is retroactively archived as version 1).
+pub fn upgrade_policy(
+    server: &mut PolicyServer,
+    new_policy: &Policy,
+    note: &str,
+) -> Result<i64, ServerError> {
+    install(server)?;
+    let name = new_policy.name.clone();
+    let Some(current_id) = server.policy_id(&name) else {
+        return Err(ServerError::UnknownPolicy(name));
+    };
+    // Archive the live form (reconstruct its augmented model from the
+    // tables; the archive stores XML).
+    let live = crate::view::reconstruct_policy(server.database(), current_id)?;
+    let latest = latest_version(server, &name)?;
+    let next = match latest {
+        Some(v) => v + 1,
+        None => {
+            // First upgrade: archive the original as version 1.
+            archive(server, &name, 1, &live.to_xml(), "initial version")?;
+            2
+        }
+    };
+    archive(server, &name, next, &new_policy.to_xml(), note)?;
+    server.remove_policy(&name)?;
+    server.install_policy(new_policy)?;
+    Ok(next)
+}
+
+/// Roll the live policy back to an archived version. The rollback
+/// itself is recorded as a new version (history is append-only).
+pub fn rollback(server: &mut PolicyServer, name: &str, version: i64) -> Result<i64, ServerError> {
+    let Some(xml) = version_xml(server, name, version)? else {
+        return Err(ServerError::Install(format!(
+            "policy `{name}` has no archived version {version}"
+        )));
+    };
+    let policy = Policy::parse(&xml)?;
+    upgrade_policy(server, &policy, &format!("rollback to version {version}"))
+}
+
+fn archive(
+    server: &mut PolicyServer,
+    name: &str,
+    version: i64,
+    xml: &str,
+    note: &str,
+) -> Result<(), ServerError> {
+    server.database_mut().execute(&format!(
+        "INSERT INTO policy_version VALUES ({}, {version}, {}, {})",
+        sql_quote(name),
+        sql_quote(xml),
+        sql_quote(note)
+    ))?;
+    Ok(())
+}
+
+/// The highest archived version of a policy, if any.
+pub fn latest_version(server: &PolicyServer, name: &str) -> Result<Option<i64>, ServerError> {
+    if server.database().table("policy_version").is_none() {
+        return Ok(None);
+    }
+    let r = server.database().query(&format!(
+        "SELECT version FROM policy_version WHERE name = {} ORDER BY version DESC LIMIT 1",
+        sql_quote(name)
+    ))?;
+    Ok(r.rows.first().and_then(|row| row[0].as_int()))
+}
+
+/// The archived XML of one version.
+pub fn version_xml(
+    server: &PolicyServer,
+    name: &str,
+    version: i64,
+) -> Result<Option<String>, ServerError> {
+    let r = server.database().query(&format!(
+        "SELECT xml FROM policy_version WHERE name = {} AND version = {version}",
+        sql_quote(name)
+    ))?;
+    Ok(r.rows.first().and_then(|row| row[0].as_str()).map(str::to_string))
+}
+
+/// The full history of a policy: `(version, note)` rows in order.
+pub fn history(server: &PolicyServer, name: &str) -> Result<Vec<(i64, String)>, ServerError> {
+    if server.database().table("policy_version").is_none() {
+        return Ok(Vec::new());
+    }
+    let r = server.database().query(&format!(
+        "SELECT version, note FROM policy_version WHERE name = {} ORDER BY version",
+        sql_quote(name)
+    ))?;
+    Ok(r.rows
+        .iter()
+        .map(|row| {
+            (
+                row[0].as_int().unwrap_or_default(),
+                row[1].as_str().unwrap_or_default().to_string(),
+            )
+        })
+        .collect())
+}
+
+/// A vocabulary-level diff between two policy versions: which purposes,
+/// recipients, and data references were added or removed anywhere in
+/// the policy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyDiff {
+    pub purposes_added: Vec<String>,
+    pub purposes_removed: Vec<String>,
+    pub recipients_added: Vec<String>,
+    pub recipients_removed: Vec<String>,
+    pub data_added: Vec<String>,
+    pub data_removed: Vec<String>,
+}
+
+impl PolicyDiff {
+    /// True when nothing changed at the vocabulary level.
+    pub fn is_empty(&self) -> bool {
+        self.purposes_added.is_empty()
+            && self.purposes_removed.is_empty()
+            && self.recipients_added.is_empty()
+            && self.recipients_removed.is_empty()
+            && self.data_added.is_empty()
+            && self.data_removed.is_empty()
+    }
+}
+
+/// Diff two policies at the vocabulary level.
+pub fn diff(old: &Policy, new: &Policy) -> PolicyDiff {
+    fn purposes(p: &Policy) -> BTreeSet<String> {
+        p.all_purposes()
+            .map(|pu| format!("{} ({})", pu.purpose, pu.required))
+            .collect()
+    }
+    fn recipients(p: &Policy) -> BTreeSet<String> {
+        p.statements
+            .iter()
+            .flat_map(|s| s.recipients.iter())
+            .map(|r| format!("{} ({})", r.recipient, r.required))
+            .collect()
+    }
+    fn data(p: &Policy) -> BTreeSet<String> {
+        p.all_data_refs().map(|d| d.reference.clone()).collect()
+    }
+    let (po, pn) = (purposes(old), purposes(new));
+    let (ro, rn) = (recipients(old), recipients(new));
+    let (dold, dnew) = (data(old), data(new));
+    PolicyDiff {
+        purposes_added: pn.difference(&po).cloned().collect(),
+        purposes_removed: po.difference(&pn).cloned().collect(),
+        recipients_added: rn.difference(&ro).cloned().collect(),
+        recipients_removed: ro.difference(&rn).cloned().collect(),
+        data_added: dnew.difference(&dold).cloned().collect(),
+        data_removed: dold.difference(&dnew).cloned().collect(),
+    }
+}
+
+/// Diff two *archived* versions of a policy.
+pub fn diff_versions(
+    server: &PolicyServer,
+    name: &str,
+    from: i64,
+    to: i64,
+) -> Result<PolicyDiff, ServerError> {
+    let old = version_xml(server, name, from)?
+        .ok_or_else(|| ServerError::Install(format!("no version {from} of `{name}`")))?;
+    let new = version_xml(server, name, to)?
+        .ok_or_else(|| ServerError::Install(format!("no version {to} of `{name}`")))?;
+    Ok(diff(&Policy::parse(&old)?, &Policy::parse(&new)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_policy::model::{volga_policy, PurposeUse};
+    use p3p_policy::vocab::Purpose;
+    use p3p_policy::Required;
+
+    fn setup() -> PolicyServer {
+        let mut s = PolicyServer::new();
+        s.install_policy(&volga_policy()).unwrap();
+        install(&mut s).unwrap();
+        s
+    }
+
+    fn v2() -> Policy {
+        let mut p = volga_policy();
+        p.statements[1]
+            .purposes
+            .push(PurposeUse::opt_in(Purpose::Telemarketing));
+        p
+    }
+
+    #[test]
+    fn first_upgrade_archives_both_versions() {
+        let mut s = setup();
+        let v = upgrade_policy(&mut s, &v2(), "add telemarketing opt-in").unwrap();
+        assert_eq!(v, 2);
+        let h = history(&s, "volga").unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], (1, "initial version".to_string()));
+        assert_eq!(h[1].0, 2);
+    }
+
+    #[test]
+    fn upgrade_replaces_live_policy() {
+        let mut s = setup();
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        // Live tables now contain the telemarketing purpose.
+        let r = s
+            .database()
+            .query("SELECT COUNT(*) FROM purpose WHERE purpose = 'telemarketing'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn rollback_restores_and_appends_history() {
+        let mut s = setup();
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        let v = rollback(&mut s, "volga", 1).unwrap();
+        assert_eq!(v, 3);
+        let r = s
+            .database()
+            .query("SELECT COUNT(*) FROM purpose WHERE purpose = 'telemarketing'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap().as_int(), Some(0));
+        assert_eq!(history(&s, "volga").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rollback_to_missing_version_errors() {
+        let mut s = setup();
+        assert!(rollback(&mut s, "volga", 7).is_err());
+    }
+
+    #[test]
+    fn upgrade_of_unknown_policy_errors() {
+        let mut s = PolicyServer::new();
+        assert!(matches!(
+            upgrade_policy(&mut s, &volga_policy(), "x"),
+            Err(ServerError::UnknownPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn diff_reports_vocabulary_changes() {
+        let d = diff(&volga_policy(), &v2());
+        assert_eq!(d.purposes_added, vec!["telemarketing (opt-in)"]);
+        assert!(d.purposes_removed.is_empty());
+        assert!(d.recipients_added.is_empty());
+        assert!(d.data_added.is_empty());
+        assert!(!d.is_empty());
+        assert!(diff(&volga_policy(), &volga_policy()).is_empty());
+    }
+
+    #[test]
+    fn diff_tracks_required_changes() {
+        let mut changed = volga_policy();
+        changed.statements[1].purposes[0].required = Required::Always;
+        let d = diff(&volga_policy(), &changed);
+        assert_eq!(d.purposes_added, vec!["individual-decision (always)"]);
+        assert_eq!(d.purposes_removed, vec!["individual-decision (opt-in)"]);
+    }
+
+    #[test]
+    fn diff_versions_reads_the_archive() {
+        let mut s = setup();
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        let d = diff_versions(&s, "volga", 1, 2).unwrap();
+        assert_eq!(d.purposes_added, vec!["telemarketing (opt-in)"]);
+        assert!(diff_versions(&s, "volga", 1, 9).is_err());
+    }
+
+    #[test]
+    fn archived_version_one_reflects_augmented_live_form() {
+        let mut s = setup();
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        let xml = version_xml(&s, "volga", 1).unwrap().unwrap();
+        let archived = Policy::parse(&xml).unwrap();
+        // The archive of the live form carries the augmented data rows.
+        assert!(archived
+            .all_data_refs()
+            .any(|d| d.reference == "user.name.given"));
+    }
+
+    #[test]
+    fn upgrades_and_rollbacks_change_match_verdicts() {
+        use p3p_appel::model::{jane_preference, Behavior};
+        let mut s = setup();
+        // Jane's first rule blocks *any* telemarketing (Figure 2 lists
+        // it without a required constraint), so v2 trips her preference.
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        let blocked = s
+            .match_preference(
+                &jane_preference(),
+                crate::server::Target::Policy("volga"),
+                crate::server::EngineKind::Sql,
+            )
+            .unwrap();
+        assert_eq!(blocked.verdict.behavior, Behavior::Block);
+        // Rolling back to version 1 restores the acceptable policy.
+        rollback(&mut s, "volga", 1).unwrap();
+        let ok = s
+            .match_preference(
+                &jane_preference(),
+                crate::server::Target::Policy("volga"),
+                crate::server::EngineKind::Sql,
+            )
+            .unwrap();
+        assert_eq!(ok.verdict.behavior, Behavior::Request);
+    }
+}

@@ -1,0 +1,721 @@
+//! The database façade: catalog plus the `execute`/`query` entry points.
+
+use crate::error::DbError;
+use crate::exec;
+use crate::schema::{ColumnDef, ForeignKey, TableSchema};
+use crate::sql::ast::Statement;
+use crate::sql::parse_statement;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// The result of a SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// The single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => Some(&self.rows[0][0]),
+            _ => None,
+        }
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Outcome of `execute` for non-SELECT statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Table or index created / dropped.
+    Ddl,
+    /// Rows inserted.
+    Inserted(usize),
+    /// Rows deleted.
+    Deleted(usize),
+    /// Rows updated.
+    Updated(usize),
+    /// A SELECT ran; its result.
+    Rows(QueryResult),
+}
+
+/// An in-memory database: named tables plus execution settings.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    use_indexes: bool,
+    check_foreign_keys: bool,
+}
+
+impl Database {
+    /// An empty database with indexes and FK checking enabled.
+    pub fn new() -> Database {
+        Database {
+            tables: BTreeMap::new(),
+            use_indexes: true,
+            check_foreign_keys: true,
+        }
+    }
+
+    /// Enable or disable hash-index use during query execution (the
+    /// suite's index-ablation knob). Indexes are still maintained.
+    pub fn set_use_indexes(&mut self, enabled: bool) {
+        self.use_indexes = enabled;
+    }
+
+    /// Whether query execution may use hash indexes.
+    pub fn use_indexes(&self) -> bool {
+        self.use_indexes
+    }
+
+    /// Enable or disable foreign-key checking on insert.
+    pub fn set_check_foreign_keys(&mut self, enabled: bool) {
+        self.check_foreign_keys = enabled;
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Execute any SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, DbError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> Result<ExecOutcome, DbError> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                foreign_keys,
+            } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return Err(DbError::DuplicateTable(name));
+                }
+                let column_defs: Vec<ColumnDef> = columns
+                    .into_iter()
+                    .map(|(name, data_type, not_null)| ColumnDef {
+                        name,
+                        data_type,
+                        not_null,
+                    })
+                    .collect();
+                let mut pk_indexes = Vec::new();
+                for pk in &primary_key {
+                    let idx = column_defs
+                        .iter()
+                        .position(|c| c.name.eq_ignore_ascii_case(pk))
+                        .ok_or_else(|| DbError::UnknownColumn(pk.clone()))?;
+                    pk_indexes.push(idx);
+                }
+                let fks = foreign_keys
+                    .into_iter()
+                    .map(|(cols, rtable, rcols)| ForeignKey {
+                        columns: cols,
+                        references_table: rtable,
+                        references_columns: rcols,
+                    })
+                    .collect();
+                let schema = TableSchema {
+                    name: name.clone(),
+                    columns: column_defs,
+                    primary_key: pk_indexes,
+                    foreign_keys: fks,
+                };
+                self.tables.insert(key, Table::new(schema));
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateIndex { table, columns, .. } => {
+                let t = self
+                    .table_mut(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                t.create_index(&columns)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropTable { name, if_exists } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.remove(&key).is_none() && !if_exists {
+                    return Err(DbError::UnknownTable(name));
+                }
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                let mut inserted = 0usize;
+                for tuple in values {
+                    let row = self.build_row(&table, &columns, tuple)?;
+                    if self.check_foreign_keys {
+                        self.check_fks(&table, &row)?;
+                    }
+                    let t = self
+                        .table_mut(&table)
+                        .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                    t.insert(row)?;
+                    inserted += 1;
+                }
+                Ok(ExecOutcome::Inserted(inserted))
+            }
+            Statement::Delete { table, filter } => {
+                // Select the matching row ids via a scan.
+                let select = crate::sql::ast::SelectStmt {
+                    distinct: false,
+                    items: vec![crate::sql::ast::SelectItem::Wildcard],
+                    from: vec![crate::sql::ast::TableRef {
+                        table: table.clone(),
+                        alias: None,
+                    }],
+                    filter,
+                    group_by: vec![],
+                    order_by: vec![],
+                    limit: None,
+                };
+                let matching = exec::run_select(self, &select)?;
+                let t = self
+                    .table_mut(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                // Identify row ids by value equality against the scan
+                // output (rows are whole-row projections in order).
+                let mut ids = Vec::new();
+                let mut remaining: Vec<&Vec<Value>> = matching.rows.iter().collect();
+                for (id, row) in t.rows().iter().enumerate() {
+                    if let Some(pos) = remaining.iter().position(|m| *m == row) {
+                        remaining.remove(pos);
+                        ids.push(id);
+                    }
+                }
+                let n = t.delete_rows(ids);
+                Ok(ExecOutcome::Deleted(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                // Resolve target column indexes and constant values.
+                let (col_indexes, values) = {
+                    let t = self
+                        .table(&table)
+                        .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                    let mut idx = Vec::with_capacity(assignments.len());
+                    let mut vals = Vec::with_capacity(assignments.len());
+                    for (col, e) in &assignments {
+                        idx.push(
+                            t.schema
+                                .column_index(col)
+                                .ok_or_else(|| DbError::UnknownColumn(col.clone()))?,
+                        );
+                        vals.push(exec::eval_const(self, e)?);
+                    }
+                    (idx, vals)
+                };
+                // Find matching rows via a scan, like DELETE.
+                let select = crate::sql::ast::SelectStmt {
+                    distinct: false,
+                    items: vec![crate::sql::ast::SelectItem::Wildcard],
+                    from: vec![crate::sql::ast::TableRef {
+                        table: table.clone(),
+                        alias: None,
+                    }],
+                    filter,
+                    group_by: vec![],
+                    order_by: vec![],
+                    limit: None,
+                };
+                let matching = exec::run_select(self, &select)?;
+                let t = self
+                    .table_mut(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                let n = t.update_rows(&matching.rows, &col_indexes, &values)?;
+                Ok(ExecOutcome::Updated(n))
+            }
+            Statement::Select(sel) => Ok(ExecOutcome::Rows(exec::run_select(self, &sel)?)),
+        }
+    }
+
+    /// Run a SELECT and return its rows (errors on non-SELECT).
+    pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => exec::run_select(self, &sel),
+            _ => Err(DbError::Execution(
+                "query() accepts SELECT statements only".to_string(),
+            )),
+        }
+    }
+
+    /// Build a full row for INSERT, reordering named columns and
+    /// filling unnamed ones with NULL.
+    fn build_row(
+        &self,
+        table: &str,
+        columns: &[String],
+        tuple: Vec<crate::sql::ast::Expr>,
+    ) -> Result<Vec<Value>, DbError> {
+        let t = self
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let schema = &t.schema;
+        let mut values = Vec::with_capacity(tuple.len());
+        for e in tuple {
+            values.push(exec::eval_const(self, &e)?);
+        }
+        if columns.is_empty() {
+            return Ok(values);
+        }
+        if columns.len() != values.len() {
+            return Err(DbError::Constraint(format!(
+                "INSERT names {} columns but provides {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.columns.len()];
+        for (name, value) in columns.iter().zip(values) {
+            let idx = schema
+                .column_index(name)
+                .ok_or_else(|| DbError::UnknownColumn(name.clone()))?;
+            row[idx] = value;
+        }
+        Ok(row)
+    }
+
+    /// Verify every FK of `table` holds for `row`.
+    fn check_fks(&self, table: &str, row: &[Value]) -> Result<(), DbError> {
+        let t = self
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        for fk in &t.schema.foreign_keys {
+            let mut key = Vec::with_capacity(fk.columns.len());
+            for col in &fk.columns {
+                let idx = t
+                    .schema
+                    .column_index(col)
+                    .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+                key.push(row[idx].clone());
+            }
+            // NULLs in the FK opt out of the check (SQL semantics).
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            let parent = self
+                .table(&fk.references_table)
+                .ok_or_else(|| DbError::UnknownTable(fk.references_table.clone()))?;
+            let mut ref_idx = Vec::with_capacity(fk.references_columns.len());
+            for col in &fk.references_columns {
+                ref_idx.push(
+                    parent
+                        .schema
+                        .column_index(col)
+                        .ok_or_else(|| DbError::UnknownColumn(col.clone()))?,
+                );
+            }
+            let found = match parent.find_index(&ref_idx) {
+                Some(index) => {
+                    // Probe key must be ordered like the index columns.
+                    let ordered: Vec<Value> = index
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            let pos = ref_idx.iter().position(|r| r == c).expect("covered");
+                            key[pos].clone()
+                        })
+                        .collect();
+                    !index.probe(&ordered).is_empty()
+                }
+                None => parent
+                    .rows()
+                    .iter()
+                    .any(|r| ref_idx.iter().zip(&key) .all(|(&i, k)| &r[i] == k)),
+            };
+            if !found {
+                return Err(DbError::Constraint(format!(
+                    "foreign key violation: `{}` {:?} not present in `{}`",
+                    table, key, fk.references_table
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_db() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE policy (policy_id INT NOT NULL, name VARCHAR, PRIMARY KEY (policy_id))",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE statement (policy_id INT NOT NULL, statement_id INT NOT NULL, consequence VARCHAR, \
+             PRIMARY KEY (policy_id, statement_id), \
+             FOREIGN KEY (policy_id) REFERENCES policy (policy_id))",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE purpose (policy_id INT NOT NULL, statement_id INT NOT NULL, purpose VARCHAR NOT NULL, required VARCHAR NOT NULL, \
+             FOREIGN KEY (policy_id, statement_id) REFERENCES statement (policy_id, statement_id))",
+        )
+        .unwrap();
+        db.execute("INSERT INTO policy VALUES (1, 'volga')").unwrap();
+        db.execute("INSERT INTO statement VALUES (1, 1, 'purchase'), (1, 2, 'recommendations')")
+            .unwrap();
+        db.execute(
+            "INSERT INTO purpose VALUES (1, 1, 'current', 'always'), (1, 2, 'individual-decision', 'opt-in'), (1, 2, 'contact', 'opt-in')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = policy_db();
+        let r = db.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        assert_eq!(r.scalar().unwrap().as_str(), Some("volga"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = policy_db();
+        assert!(matches!(
+            db.execute("CREATE TABLE policy (x INT)"),
+            Err(DbError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = policy_db();
+        db.execute("DROP TABLE purpose").unwrap();
+        assert!(db.table("purpose").is_none());
+        assert!(db.execute("DROP TABLE purpose").is_err());
+        db.execute("DROP TABLE IF EXISTS purpose").unwrap();
+    }
+
+    #[test]
+    fn insert_with_named_columns_fills_null() {
+        let mut db = policy_db();
+        db.execute("INSERT INTO statement (policy_id, statement_id) VALUES (1, 3)")
+            .unwrap();
+        let r = db
+            .query("SELECT consequence FROM statement WHERE statement_id = 3")
+            .unwrap();
+        assert!(r.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn primary_key_enforced_via_sql() {
+        let mut db = policy_db();
+        let err = db.execute("INSERT INTO policy VALUES (1, 'dup')").unwrap_err();
+        assert!(err.to_string().contains("duplicate primary key"));
+    }
+
+    #[test]
+    fn foreign_keys_enforced() {
+        let mut db = policy_db();
+        let err = db
+            .execute("INSERT INTO statement VALUES (99, 1, NULL)")
+            .unwrap_err();
+        assert!(err.to_string().contains("foreign key violation"));
+        db.set_check_foreign_keys(false);
+        db.execute("INSERT INTO statement VALUES (99, 1, NULL)").unwrap();
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let mut db = policy_db();
+        let out = db
+            .execute("DELETE FROM purpose WHERE required = 'opt-in'")
+            .unwrap();
+        assert_eq!(out, ExecOutcome::Deleted(2));
+        assert_eq!(db.table("purpose").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_all() {
+        let mut db = policy_db();
+        let out = db.execute("DELETE FROM purpose").unwrap();
+        assert_eq!(out, ExecOutcome::Deleted(3));
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let db = policy_db();
+        let r = db
+            .query(
+                "SELECT p.name, s.consequence FROM policy p, statement s \
+                 WHERE s.policy_id = p.policy_id AND s.statement_id = 2",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1].as_str(), Some("recommendations"));
+    }
+
+    #[test]
+    fn correlated_exists_figure13_shape() {
+        let db = policy_db();
+        // Jane's simplified first rule (paper Fig. 13) against the
+        // shredded Volga-like data: no admin purpose and contact is
+        // opt-in, so no row comes back.
+        let sql = "SELECT 'block' FROM policy WHERE EXISTS (\
+                     SELECT * FROM statement WHERE statement.policy_id = policy.policy_id AND EXISTS (\
+                       SELECT * FROM purpose WHERE purpose.policy_id = statement.policy_id \
+                         AND purpose.statement_id = statement.statement_id \
+                         AND (purpose.purpose = 'admin' OR purpose.purpose = 'contact' AND purpose.required = 'always')))";
+        let r = db.query(sql).unwrap();
+        assert!(r.is_empty());
+        // Flip contact to `always` and the rule fires.
+        let mut db2 = policy_db();
+        db2.execute("DELETE FROM purpose WHERE purpose = 'contact'").unwrap();
+        db2.execute("INSERT INTO purpose VALUES (1, 2, 'contact', 'always')").unwrap();
+        let r2 = db2.query(sql).unwrap();
+        assert_eq!(r2.rows.len(), 1);
+        assert_eq!(r2.rows[0][0].as_str(), Some("block"));
+    }
+
+    #[test]
+    fn not_exists() {
+        let db = policy_db();
+        let r = db
+            .query(
+                "SELECT name FROM policy WHERE NOT EXISTS (\
+                   SELECT * FROM purpose WHERE purpose.policy_id = policy.policy_id AND purpose.purpose = 'telemarketing')",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn count_and_group_by() {
+        let db = policy_db();
+        let r = db
+            .query(
+                "SELECT statement_id, COUNT(*) AS n FROM purpose GROUP BY statement_id ORDER BY statement_id",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(2)],
+        ]);
+    }
+
+    #[test]
+    fn global_count_over_empty_is_zero() {
+        let db = policy_db();
+        let r = db
+            .query("SELECT COUNT(*) FROM purpose WHERE purpose = 'nope'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let db = policy_db();
+        let r = db
+            .query("SELECT purpose FROM purpose ORDER BY purpose DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0].as_str(), Some("individual-decision"));
+    }
+
+    #[test]
+    fn in_and_like() {
+        let db = policy_db();
+        let r = db
+            .query("SELECT purpose FROM purpose WHERE purpose IN ('current', 'contact') ORDER BY purpose")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r2 = db
+            .query("SELECT purpose FROM purpose WHERE purpose LIKE '%decision%'")
+            .unwrap();
+        assert_eq!(r2.rows.len(), 1);
+    }
+
+    #[test]
+    fn is_null_filters() {
+        let mut db = policy_db();
+        db.execute("INSERT INTO statement (policy_id, statement_id) VALUES (1, 3)").unwrap();
+        let r = db
+            .query("SELECT statement_id FROM statement WHERE consequence IS NULL")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r2 = db
+            .query("SELECT statement_id FROM statement WHERE consequence IS NOT NULL")
+            .unwrap();
+        assert_eq!(r2.rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = policy_db();
+        assert!(matches!(db.query("SELECT * FROM nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.query("SELECT nope FROM policy"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_detected() {
+        let db = policy_db();
+        let err = db
+            .query("SELECT policy_id FROM policy p, statement s")
+            .unwrap_err();
+        assert!(matches!(err, DbError::AmbiguousColumn(_)));
+    }
+
+    #[test]
+    fn index_use_is_observable() {
+        let db = policy_db();
+        exec::take_stats();
+        db.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        let with = exec::take_stats();
+        assert!(with.index_probes >= 1, "{with:?}");
+
+        let mut db2 = policy_db();
+        db2.set_use_indexes(false);
+        exec::take_stats();
+        db2.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        let without = exec::take_stats();
+        assert_eq!(without.index_probes, 0);
+        assert!(without.rows_scanned >= with.rows_scanned);
+    }
+
+    #[test]
+    fn results_agree_with_and_without_indexes() {
+        let db = policy_db();
+        let mut db_noidx = policy_db();
+        db_noidx.set_use_indexes(false);
+        for sql in [
+            "SELECT * FROM purpose WHERE policy_id = 1 AND statement_id = 2",
+            "SELECT name FROM policy p WHERE EXISTS (SELECT * FROM statement s WHERE s.policy_id = p.policy_id)",
+        ] {
+            assert_eq!(db.query(sql).unwrap(), db_noidx.query(sql).unwrap(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn query_rejects_ddl() {
+        let db = policy_db();
+        assert!(db.query("DELETE FROM policy").is_err());
+    }
+
+    #[test]
+    fn select_constant_per_row() {
+        let db = policy_db();
+        let r = db.query("SELECT 'block' FROM policy").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].as_str(), Some("block"));
+    }
+
+    #[test]
+    fn update_with_filter() {
+        let mut db = policy_db();
+        let out = db
+            .execute("UPDATE purpose SET required = 'always' WHERE required = 'opt-in'")
+            .unwrap();
+        assert_eq!(out, ExecOutcome::Updated(2));
+        let r = db
+            .query("SELECT COUNT(*) FROM purpose WHERE required = 'always'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(3));
+        // Index reflects the change.
+        let probe = db
+            .query("SELECT purpose FROM purpose WHERE policy_id = 1 AND statement_id = 2 AND required = 'opt-in'")
+            .unwrap();
+        assert!(probe.is_empty());
+    }
+
+    #[test]
+    fn update_without_filter_touches_all() {
+        let mut db = policy_db();
+        let out = db.execute("UPDATE statement SET consequence = 'redacted'").unwrap();
+        assert_eq!(out, ExecOutcome::Updated(2));
+        let r = db
+            .query("SELECT DISTINCT consequence FROM statement")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn update_rejects_pk_duplication_and_rolls_back() {
+        let mut db = policy_db();
+        db.execute("INSERT INTO policy VALUES (2, 'other')").unwrap();
+        let err = db.execute("UPDATE policy SET policy_id = 1").unwrap_err();
+        assert!(err.to_string().contains("primary key"), "{err}");
+        // Nothing changed.
+        let r = db.query("SELECT COUNT(*) FROM policy WHERE policy_id = 2").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn update_rejects_type_and_null_violations() {
+        let mut db = policy_db();
+        assert!(db
+            .execute("UPDATE purpose SET required = 7")
+            .is_err());
+        assert!(db.execute("UPDATE purpose SET required = NULL").is_err());
+        assert!(db.execute("UPDATE purpose SET nope = 'x'").is_err());
+    }
+
+    #[test]
+    fn select_distinct_dedupes() {
+        let db = policy_db();
+        let all = db.query("SELECT policy_id FROM purpose").unwrap();
+        assert_eq!(all.rows.len(), 3);
+        let distinct = db.query("SELECT DISTINCT policy_id FROM purpose").unwrap();
+        assert_eq!(distinct.rows.len(), 1);
+    }
+
+    #[test]
+    fn select_distinct_with_order_by() {
+        let db = policy_db();
+        let r = db
+            .query("SELECT DISTINCT required FROM purpose ORDER BY required DESC")
+            .unwrap();
+        let got: Vec<&str> = r.rows.iter().map(|row| row[0].as_str().unwrap()).collect();
+        assert_eq!(got, ["opt-in", "always"]);
+    }
+
+    #[test]
+    fn insert_arity_mismatch() {
+        let mut db = policy_db();
+        assert!(db.execute("INSERT INTO policy VALUES (2)").is_err());
+        assert!(db
+            .execute("INSERT INTO policy (policy_id) VALUES (2, 'x')")
+            .is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Database errors.
+
+use std::fmt;
+
+/// Any error produced by the engine: SQL syntax, binding, constraint,
+/// or execution problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Lexical or syntactic error in a SQL string.
+    Syntax {
+        /// Byte offset in the SQL text where the problem was found.
+        offset: usize,
+        message: String,
+    },
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column could not be resolved.
+    UnknownColumn(String),
+    /// An ambiguous column reference (matches several FROM tables).
+    AmbiguousColumn(String),
+    /// A table being created already exists.
+    DuplicateTable(String),
+    /// Constraint violation (primary key, NOT NULL, arity, FK, …).
+    Constraint(String),
+    /// Type mismatch during evaluation or insertion.
+    Type(String),
+    /// Anything else.
+    Execution(String),
+}
+
+impl DbError {
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> DbError {
+        DbError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax { offset, message } => {
+                write!(f, "SQL syntax error at offset {offset}: {message}")
+            }
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            DbError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            DbError::syntax(10, "expected FROM").to_string(),
+            "SQL syntax error at offset 10: expected FROM"
+        );
+        assert_eq!(
+            DbError::UnknownTable("policy".into()).to_string(),
+            "unknown table `policy`"
+        );
+        assert_eq!(
+            DbError::Constraint("duplicate primary key".into()).to_string(),
+            "constraint violation: duplicate primary key"
+        );
+    }
+}

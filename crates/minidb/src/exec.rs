@@ -1,0 +1,719 @@
+//! Query execution: binding, predicate evaluation, nested-loop joins
+//! with hash-index acceleration, correlated EXISTS, and aggregation.
+
+use crate::database::{Database, QueryResult};
+use crate::error::DbError;
+use crate::sql::ast::{CompareOp, Expr, SelectItem, SelectStmt, TableRef};
+use crate::table::Table;
+use crate::value::{like_match, Value};
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Execution statistics, accumulated across queries until reset.
+///
+/// Used by tests and by the index-ablation bench to confirm that index
+/// probes actually replace scans.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows visited by table scans.
+    pub rows_scanned: u64,
+    /// Hash-index probes performed.
+    pub index_probes: u64,
+    /// Subqueries (EXISTS bodies) evaluated.
+    pub subqueries: u64,
+}
+
+thread_local! {
+    static STATS: Cell<ExecStats> = Cell::new(ExecStats::default());
+}
+
+/// Read and reset the thread's execution statistics.
+pub fn take_stats() -> ExecStats {
+    STATS.with(|s| s.replace(ExecStats::default()))
+}
+
+fn bump(f: impl FnOnce(&mut ExecStats)) {
+    STATS.with(|s| {
+        let mut v = s.get();
+        f(&mut v);
+        s.set(v);
+    });
+}
+
+/// One bound table in a scope: the binding name (alias or table name),
+/// the column names, and the current row.
+#[derive(Debug, Clone)]
+struct Binding {
+    name: String,
+    columns: Vec<String>,
+    row: Vec<Value>,
+}
+
+/// An evaluation environment: the current query's bindings plus a chain
+/// of outer environments for correlated subqueries.
+struct Env<'a> {
+    bindings: Vec<Binding>,
+    outer: Option<&'a Env<'a>>,
+}
+
+impl<'a> Env<'a> {
+    fn root() -> Env<'static> {
+        Env {
+            bindings: Vec::new(),
+            outer: None,
+        }
+    }
+
+    /// Resolve a column reference to its value.
+    fn lookup(&self, qualifier: Option<&str>, name: &str) -> Result<Value, DbError> {
+        // Innermost scope first.
+        let mut scope: Option<&Env<'_>> = Some(self);
+        while let Some(env) = scope {
+            let mut found: Option<Value> = None;
+            let mut count = 0;
+            for b in &env.bindings {
+                if let Some(q) = qualifier {
+                    if !b.name.eq_ignore_ascii_case(q) {
+                        continue;
+                    }
+                }
+                if let Some(i) = b
+                    .columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                {
+                    found = Some(b.row[i].clone());
+                    count += 1;
+                }
+            }
+            match count {
+                0 => scope = env.outer,
+                1 => return Ok(found.expect("count==1")),
+                _ => {
+                    return Err(DbError::AmbiguousColumn(match qualifier {
+                        Some(q) => format!("{q}.{name}"),
+                        None => name.to_string(),
+                    }))
+                }
+            }
+        }
+        Err(DbError::UnknownColumn(match qualifier {
+            Some(q) => format!("{q}.{name}"),
+            None => name.to_string(),
+        }))
+    }
+}
+
+/// Run a SELECT against the database with no outer context.
+pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+    let root = Env::root();
+    select_with_env(db, stmt, &root)
+}
+
+fn select_with_env(db: &Database, stmt: &SelectStmt, outer: &Env<'_>) -> Result<QueryResult, DbError> {
+    // Resolve FROM tables up front.
+    let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+        tables.push((tref, table));
+    }
+    // Check for duplicate binding names.
+    for (i, (a, _)) in tables.iter().enumerate() {
+        if tables[..i]
+            .iter()
+            .any(|(b, _)| b.binding_name().eq_ignore_ascii_case(a.binding_name()))
+        {
+            return Err(DbError::Execution(format!(
+                "duplicate table binding `{}`",
+                a.binding_name()
+            )));
+        }
+    }
+
+    let aggregate = !stmt.group_by.is_empty()
+        || stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Count { .. }));
+
+    let mut joined: Vec<Vec<Binding>> = Vec::new();
+    join_scan(db, &tables, 0, &mut Vec::new(), stmt.filter.as_ref(), outer, &mut |bindings| {
+        joined.push(bindings.to_vec());
+        Ok(true)
+    })?;
+
+    let columns = output_columns(stmt, &tables);
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if aggregate {
+        rows = aggregate_rows(db, stmt, &tables, &joined, outer)?;
+    } else {
+        for bindings in &joined {
+            let env = Env {
+                bindings: bindings.clone(),
+                outer: Some(outer),
+            };
+            rows.push(project_row(db, &stmt.items, &tables, &env)?);
+        }
+    }
+
+    if stmt.distinct {
+        // Preserve first-occurrence order.
+        let mut seen: Vec<&Vec<Value>> = Vec::new();
+        let mut deduped: Vec<Vec<Value>> = Vec::new();
+        for row in &rows {
+            if !seen.contains(&row) {
+                deduped.push(row.clone());
+                seen.push(row);
+            }
+        }
+        drop(seen);
+        rows = deduped;
+    }
+
+    // ORDER BY evaluates against output columns first, then bindings.
+    if !stmt.order_by.is_empty() && !stmt.distinct {
+        order_rows(db, stmt, &columns, &mut rows, &joined, outer, aggregate)?;
+    } else if !stmt.order_by.is_empty() {
+        // After DISTINCT, joined-row keys no longer line up; sort by
+        // output columns only.
+        order_output_rows(stmt, &columns, &mut rows)?;
+    }
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit);
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// Recursive nested-loop join over the FROM tables. `emit` returns
+/// `false` to stop early (EXISTS short-circuit).
+fn join_scan(
+    db: &Database,
+    tables: &[(&TableRef, &Table)],
+    depth: usize,
+    bound: &mut Vec<Binding>,
+    filter: Option<&Expr>,
+    outer: &Env<'_>,
+    emit: &mut dyn FnMut(&[Binding]) -> Result<bool, DbError>,
+) -> Result<bool, DbError> {
+    if depth == tables.len() {
+        // All tables bound: evaluate the residual filter.
+        let env = Env {
+            bindings: bound.clone(),
+            outer: Some(outer),
+        };
+        let keep = match filter {
+            Some(f) => eval_pred(db, f, &env)? == Some(true),
+            None => true,
+        };
+        if keep {
+            return emit(bound);
+        }
+        return Ok(true);
+    }
+    let (tref, table) = tables[depth];
+    let columns = table.schema.column_names();
+
+    // Try index probe: collect equality conjuncts `this.col = expr`
+    // where expr is evaluable from already-bound tables + outer env.
+    let candidate_rows: Option<Vec<usize>> = if db.use_indexes() {
+        probe_rows(db, tref, table, filter, bound, outer)?
+    } else {
+        None
+    };
+
+    let mut visit = |row: &[Value]| -> Result<bool, DbError> {
+        bound.push(Binding {
+            name: tref.binding_name().to_string(),
+            columns: columns.clone(),
+            row: row.to_vec(),
+        });
+        let cont = join_scan(db, tables, depth + 1, bound, filter, outer, emit)?;
+        bound.pop();
+        Ok(cont)
+    };
+
+    match candidate_rows {
+        Some(ids) => {
+            bump(|s| s.index_probes += 1);
+            for id in ids {
+                bump(|s| s.rows_scanned += 1);
+                if !visit(&table.rows()[id])? {
+                    return Ok(false);
+                }
+            }
+        }
+        None => {
+            for row in table.rows() {
+                bump(|s| s.rows_scanned += 1);
+                if !visit(row)? {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Find an index usable for this table given the filter's top-level
+/// equality conjuncts; returns the candidate row ids when one applies.
+fn probe_rows(
+    db: &Database,
+    tref: &TableRef,
+    table: &Table,
+    filter: Option<&Expr>,
+    bound: &[Binding],
+    outer: &Env<'_>,
+) -> Result<Option<Vec<usize>>, DbError> {
+    let Some(filter) = filter else { return Ok(None) };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    // Equality pairs (column index in this table, evaluable value).
+    let env = Env {
+        bindings: bound.to_vec(),
+        outer: Some(outer),
+    };
+    let mut eq_pairs: Vec<(usize, Value)> = Vec::new();
+    for c in conjuncts {
+        let Expr::Compare {
+            op: CompareOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        for (col_side, val_side) in [(left, right), (right, left)] {
+            let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                continue;
+            };
+            let qualifies = match qualifier {
+                Some(q) => q.eq_ignore_ascii_case(tref.binding_name()),
+                // Unqualified references are only safely attributable in
+                // single-table scans.
+                None => bound.is_empty(),
+            };
+            if !qualifies {
+                continue;
+            }
+            let Some(col_idx) = table.schema.column_index(name) else {
+                continue;
+            };
+            // The other side must be evaluable *without* this table.
+            if let Ok(v) = eval_value(db, val_side, &env) {
+                if !v.is_null() {
+                    eq_pairs.push((col_idx, v));
+                }
+                break;
+            }
+        }
+    }
+    if eq_pairs.is_empty() {
+        return Ok(None);
+    }
+    // Find the largest index fully covered by the equality pairs.
+    let mut best: Option<(&crate::table::Index, Vec<Value>)> = None;
+    for index in table.indexes() {
+        if index
+            .columns
+            .iter()
+            .all(|c| eq_pairs.iter().any(|(ec, _)| ec == c))
+        {
+            let key: Vec<Value> = index
+                .columns
+                .iter()
+                .map(|c| {
+                    eq_pairs
+                        .iter()
+                        .find(|(ec, _)| ec == c)
+                        .map(|(_, v)| v.clone())
+                        .expect("covered")
+                })
+                .collect();
+            let better = match &best {
+                Some((b, _)) => index.columns.len() > b.columns.len(),
+                None => true,
+            };
+            if better {
+                best = Some((index, key));
+            }
+        }
+    }
+    Ok(best.map(|(index, key)| index.probe(&key).to_vec()))
+}
+
+/// Flatten nested ANDs into conjuncts.
+fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Output column names for a SELECT.
+fn output_columns(stmt: &SelectStmt, tables: &[(&TableRef, &Table)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (_, table) in tables {
+                    out.extend(table.schema.column_names());
+                }
+            }
+            SelectItem::Expr { expr, alias } => out.push(match (alias, expr) {
+                (Some(a), _) => a.clone(),
+                (None, Expr::Column { name, .. }) => name.clone(),
+                (None, Expr::Literal(v)) => v.to_string(),
+                (None, _) => "expr".to_string(),
+            }),
+            SelectItem::Count { alias, .. } => {
+                out.push(alias.clone().unwrap_or_else(|| "count".to_string()))
+            }
+        }
+    }
+    out
+}
+
+/// Project one output row from a fully-bound environment.
+fn project_row(
+    db: &Database,
+    items: &[SelectItem],
+    tables: &[(&TableRef, &Table)],
+    env: &Env<'_>,
+) -> Result<Vec<Value>, DbError> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (tref, _) in tables {
+                    let binding = env
+                        .bindings
+                        .iter()
+                        .find(|b| b.name == tref.binding_name())
+                        .expect("bound table");
+                    out.extend(binding.row.iter().cloned());
+                }
+            }
+            SelectItem::Expr { expr, .. } => out.push(eval_value(db, expr, env)?),
+            SelectItem::Count { .. } => {
+                return Err(DbError::Execution(
+                    "COUNT outside aggregate evaluation".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate execution: group the joined rows and compute COUNTs.
+fn aggregate_rows(
+    db: &Database,
+    stmt: &SelectStmt,
+    tables: &[(&TableRef, &Table)],
+    joined: &[Vec<Binding>],
+    outer: &Env<'_>,
+) -> Result<Vec<Vec<Value>>, DbError> {
+    let _ = tables;
+    // Group key → member environments.
+    let mut groups: Vec<(Vec<Value>, Vec<Vec<Binding>>)> = Vec::new();
+    let mut index: HashMap<Vec<String>, usize> = HashMap::new();
+    for bindings in joined.iter().cloned() {
+        let env = Env {
+            bindings: bindings.clone(),
+            outer: Some(outer),
+        };
+        let key: Vec<Value> = stmt
+            .group_by
+            .iter()
+            .map(|e| eval_value(db, e, &env))
+            .collect::<Result<_, _>>()?;
+        let hash_key: Vec<String> = key.iter().map(|v| format!("{v:?}")).collect();
+        match index.get(&hash_key) {
+            Some(&i) => groups[i].1.push(bindings),
+            None => {
+                index.insert(hash_key, groups.len());
+                groups.push((key, vec![bindings]));
+            }
+        }
+    }
+    // With no GROUP BY, a global aggregate over zero rows still yields
+    // one row.
+    if stmt.group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+    let mut rows = Vec::new();
+    for (_key, members) in &groups {
+        let mut row = Vec::new();
+        let representative = members.first();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Count { expr, .. } => {
+                    let n = match expr {
+                        None => members.len() as i64,
+                        Some(e) => {
+                            let mut n = 0i64;
+                            for m in members {
+                                let env = Env {
+                                    bindings: m.clone(),
+                                    outer: Some(outer),
+                                };
+                                if !eval_value(db, e, &env)?.is_null() {
+                                    n += 1;
+                                }
+                            }
+                            n
+                        }
+                    };
+                    row.push(Value::Int(n));
+                }
+                SelectItem::Expr { expr, .. } => {
+                    let Some(m) = representative else {
+                        row.push(Value::Null);
+                        continue;
+                    };
+                    let env = Env {
+                        bindings: m.clone(),
+                        outer: Some(outer),
+                    };
+                    row.push(eval_value(db, expr, &env)?);
+                }
+                SelectItem::Wildcard => {
+                    return Err(DbError::Execution(
+                        "SELECT * is not allowed with GROUP BY".to_string(),
+                    ))
+                }
+            }
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Sort output rows per ORDER BY. Keys referring to output column names
+/// (or aliases) sort on the projected values; otherwise the key is
+/// evaluated against the source bindings (non-aggregate queries only).
+fn order_rows(
+    db: &Database,
+    stmt: &SelectStmt,
+    columns: &[String],
+    rows: &mut [Vec<Value>],
+    joined: &[Vec<Binding>],
+    outer: &Env<'_>,
+    aggregate: bool,
+) -> Result<(), DbError> {
+    // Precompute sort keys per row.
+    let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for (expr, _) in &stmt.order_by {
+            let key = if let Expr::Column { qualifier: None, name } = expr {
+                columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                    .map(|ci| row[ci].clone())
+            } else {
+                None
+            };
+            let key = match key {
+                Some(k) => k,
+                None if !aggregate => {
+                    let env = Env {
+                        bindings: joined[i].clone(),
+                        outer: Some(outer),
+                    };
+                    eval_value(db, expr, &env)?
+                }
+                None => {
+                    return Err(DbError::Execution(
+                        "ORDER BY key must name an output column in aggregate queries"
+                            .to_string(),
+                    ))
+                }
+            };
+            keys.push(key);
+        }
+        keyed.push((keys, i));
+    }
+    let descending: Vec<bool> = stmt.order_by.iter().map(|(_, d)| *d).collect();
+    keyed.sort_by(|(a, ai), (b, bi)| {
+        for ((ka, kb), desc) in a.iter().zip(b).zip(&descending) {
+            let ord = ka.total_cmp(kb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        ai.cmp(bi) // stable
+    });
+    let reordered: Vec<Vec<Value>> = keyed.iter().map(|(_, i)| rows[*i].clone()).collect();
+    rows.clone_from_slice(&reordered);
+    Ok(())
+}
+
+/// ORDER BY restricted to output-column keys (used after DISTINCT).
+fn order_output_rows(
+    stmt: &SelectStmt,
+    columns: &[String],
+    rows: &mut [Vec<Value>],
+) -> Result<(), DbError> {
+    let mut key_indexes = Vec::with_capacity(stmt.order_by.len());
+    for (expr, desc) in &stmt.order_by {
+        let Expr::Column { qualifier: None, name } = expr else {
+            return Err(DbError::Execution(
+                "ORDER BY after DISTINCT must name an output column".to_string(),
+            ));
+        };
+        let ci = columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::UnknownColumn(name.clone()))?;
+        key_indexes.push((ci, *desc));
+    }
+    rows.sort_by(|a, b| {
+        for &(ci, desc) in &key_indexes {
+            let ord = a[ci].total_cmp(&b[ci]);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(())
+}
+
+/// Evaluate an expression to a value. Predicates evaluate to
+/// `Int(1)`/`Int(0)`/`Null` when used in value position.
+fn eval_value(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.lookup(qualifier.as_deref(), name),
+        other => Ok(match eval_pred(db, other, env)? {
+            Some(true) => Value::Int(1),
+            Some(false) => Value::Int(0),
+            None => Value::Null,
+        }),
+    }
+}
+
+/// Evaluate a predicate with SQL three-valued logic.
+fn eval_pred(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Option<bool>, DbError> {
+    match expr {
+        Expr::Compare { op, left, right } => {
+            let l = eval_value(db, left, env)?;
+            let r = eval_value(db, right, env)?;
+            Ok(match op {
+                CompareOp::Eq => l.sql_eq(&r),
+                CompareOp::Neq => l.sql_eq(&r).map(|b| !b),
+                CompareOp::Lt => l.sql_cmp(&r).map(|o| o == Ordering::Less),
+                CompareOp::Le => l.sql_cmp(&r).map(|o| o != Ordering::Greater),
+                CompareOp::Gt => l.sql_cmp(&r).map(|o| o == Ordering::Greater),
+                CompareOp::Ge => l.sql_cmp(&r).map(|o| o != Ordering::Less),
+            })
+        }
+        Expr::And(a, b) => {
+            let l = eval_pred(db, a, env)?;
+            if l == Some(false) {
+                return Ok(Some(false));
+            }
+            let r = eval_pred(db, b, env)?;
+            Ok(match (l, r) {
+                (Some(true), Some(true)) => Some(true),
+                (_, Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        Expr::Or(a, b) => {
+            let l = eval_pred(db, a, env)?;
+            if l == Some(true) {
+                return Ok(Some(true));
+            }
+            let r = eval_pred(db, b, env)?;
+            Ok(match (l, r) {
+                (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        Expr::Not(inner) => Ok(eval_pred(db, inner, env)?.map(|b| !b)),
+        Expr::Exists(sub) => {
+            bump(|s| s.subqueries += 1);
+            Ok(Some(exists(db, sub, env)?))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_value(db, expr, env)?;
+            let mut saw_null = false;
+            let mut found = false;
+            for item in list {
+                let iv = eval_value(db, item, env)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            let base = if found {
+                Some(true)
+            } else if saw_null {
+                None
+            } else {
+                Some(false)
+            };
+            Ok(if *negated { base.map(|b| !b) } else { base })
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_value(db, expr, env)?;
+            let p = eval_value(db, pattern, env)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(None),
+                (Value::Text(s), Value::Text(pat)) => {
+                    let m = like_match(&pat, &s);
+                    Ok(Some(if *negated { !m } else { m }))
+                }
+                _ => Err(DbError::Type("LIKE requires text operands".to_string())),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_value(db, expr, env)?;
+            let is_null = v.is_null();
+            Ok(Some(if *negated { !is_null } else { is_null }))
+        }
+        Expr::Literal(Value::Int(i)) => Ok(Some(*i != 0)),
+        Expr::Literal(Value::Null) => Ok(None),
+        other => Err(DbError::Type(format!(
+            "expression is not a predicate: {other:?}"
+        ))),
+    }
+}
+
+/// Correlated EXISTS: run the subquery until the first row survives.
+fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
+    let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+        tables.push((tref, table));
+    }
+    let mut found = false;
+    join_scan(db, &tables, 0, &mut Vec::new(), stmt.filter.as_ref(), env, &mut |_| {
+        found = true;
+        Ok(false) // stop at first row
+    })?;
+    Ok(found)
+}
+
+/// Evaluate a scalar expression with no table context (INSERT values).
+pub fn eval_const(db: &Database, expr: &Expr) -> Result<Value, DbError> {
+    let root = Env::root();
+    eval_value(db, expr, &root)
+}

@@ -1,0 +1,289 @@
+//! Textual EXPLAIN plans.
+//!
+//! [`explain`] renders the access path the executor will take for a
+//! SELECT: which tables are scanned sequentially, which are answered by
+//! hash-index probes (and on which columns), and how EXISTS subqueries
+//! nest. Used by the suite's documentation and by the index-ablation
+//! analysis to show *why* the optimized schema's queries stay flat.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::sql::ast::{CompareOp, Expr, SelectStmt, Statement};
+use crate::sql::parse_statement;
+
+/// Produce a textual plan for a SELECT statement.
+pub fn explain(db: &Database, sql: &str) -> Result<String, DbError> {
+    let stmt = parse_statement(sql)?;
+    let Statement::Select(select) = stmt else {
+        return Err(DbError::Execution("EXPLAIN requires a SELECT".to_string()));
+    };
+    let mut out = String::new();
+    explain_select(db, &select, &[], 0, &mut out)?;
+    Ok(out)
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Names visible from outer queries (for correlation analysis).
+fn explain_select(
+    db: &Database,
+    select: &SelectStmt,
+    outer_names: &[String],
+    depth: usize,
+    out: &mut String,
+) -> Result<(), DbError> {
+    indent(out, depth);
+    out.push_str("Select");
+    if select.distinct {
+        out.push_str(" DISTINCT");
+    }
+    if !select.group_by.is_empty() {
+        out.push_str(" (grouped)");
+    }
+    if let Some(n) = select.limit {
+        out.push_str(&format!(" LIMIT {n}"));
+    }
+    out.push('\n');
+
+    let mut visible: Vec<String> = outer_names.to_vec();
+    for (i, tref) in select.from.iter().enumerate() {
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+        // Equality conjuncts on this table whose other side references
+        // only earlier bindings or outer names.
+        let eq_cols = equality_columns(select.filter.as_ref(), tref.binding_name(), &visible, i == 0);
+        let access = if db.use_indexes() {
+            best_index(table, &eq_cols)
+        } else {
+            None
+        };
+        indent(out, depth + 1);
+        match access {
+            Some(cols) => out.push_str(&format!(
+                "IndexProbe {} AS {} on ({})\n",
+                tref.table,
+                tref.binding_name(),
+                cols.join(", ")
+            )),
+            None => out.push_str(&format!(
+                "SeqScan {} AS {} ({} rows)\n",
+                tref.table,
+                tref.binding_name(),
+                table.len()
+            )),
+        }
+        visible.push(tref.binding_name().to_string());
+    }
+    if let Some(filter) = &select.filter {
+        indent(out, depth + 1);
+        out.push_str("Filter\n");
+        explain_expr(db, filter, &visible, depth + 2, out)?;
+    }
+    Ok(())
+}
+
+/// Render subquery structure beneath a filter.
+fn explain_expr(
+    db: &Database,
+    expr: &Expr,
+    visible: &[String],
+    depth: usize,
+    out: &mut String,
+) -> Result<(), DbError> {
+    match expr {
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            explain_expr(db, a, visible, depth, out)?;
+            explain_expr(db, b, visible, depth, out)?;
+        }
+        Expr::Not(inner) => {
+            explain_expr(db, inner, visible, depth, out)?;
+        }
+        Expr::Exists(sub) => {
+            indent(out, depth);
+            out.push_str("Exists\n");
+            explain_select(db, sub, visible, depth + 1, out)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Columns of `binding` constrained by equality against something
+/// evaluable without this table.
+fn equality_columns(
+    filter: Option<&Expr>,
+    binding: &str,
+    visible: &[String],
+    allow_unqualified: bool,
+) -> Vec<String> {
+    let Some(filter) = filter else {
+        return Vec::new();
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    let mut cols = Vec::new();
+    for c in conjuncts {
+        let Expr::Compare {
+            op: CompareOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        for (col_side, val_side) in [(left, right), (right, left)] {
+            let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                continue;
+            };
+            let ours = match qualifier {
+                Some(q) => q.eq_ignore_ascii_case(binding),
+                None => allow_unqualified,
+            };
+            if ours && side_is_independent(val_side, binding, visible) {
+                cols.push(name.clone());
+                break;
+            }
+        }
+    }
+    cols
+}
+
+/// Is the expression computable without the given binding — i.e. does
+/// it reference only literals and visible (earlier/outer) bindings?
+fn side_is_independent(expr: &Expr, binding: &str, visible: &[String]) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Column {
+            qualifier: Some(q), ..
+        } => !q.eq_ignore_ascii_case(binding) && visible.iter().any(|v| v.eq_ignore_ascii_case(q)),
+        Expr::Column { qualifier: None, .. } => false,
+        _ => false,
+    }
+}
+
+/// Largest index fully covered by the constrained columns.
+fn best_index(table: &crate::table::Table, eq_cols: &[String]) -> Option<Vec<String>> {
+    let schema = &table.schema;
+    let eq_idx: Vec<usize> = eq_cols
+        .iter()
+        .filter_map(|c| schema.column_index(c))
+        .collect();
+    let mut best: Option<Vec<usize>> = None;
+    for index in table.indexes() {
+        if index.columns.iter().all(|c| eq_idx.contains(c)) {
+            let better = best.as_ref().is_none_or(|b| index.columns.len() > b.len());
+            if better {
+                best = Some(index.columns.clone());
+            }
+        }
+    }
+    best.map(|cols| {
+        cols.iter()
+            .map(|&i| schema.columns[i].name.clone())
+            .collect()
+    })
+}
+
+fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE policy (policy_id INT NOT NULL, name VARCHAR, PRIMARY KEY (policy_id))")
+            .unwrap();
+        db.execute(
+            "CREATE TABLE statement (policy_id INT NOT NULL, statement_id INT NOT NULL, \
+             PRIMARY KEY (policy_id, statement_id))",
+        )
+        .unwrap();
+        db.execute("CREATE INDEX idx_statement_fk ON statement (policy_id)").unwrap();
+        db.execute("INSERT INTO policy VALUES (1, 'volga')").unwrap();
+        db.execute("INSERT INTO statement VALUES (1, 1), (1, 2)").unwrap();
+        db
+    }
+
+    #[test]
+    fn literal_probe_is_detected() {
+        let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        assert!(plan.contains("IndexProbe policy AS policy on (policy_id)"), "{plan}");
+    }
+
+    #[test]
+    fn unconstrained_scan_is_sequential() {
+        let plan = explain(&db(), "SELECT name FROM policy").unwrap();
+        assert!(plan.contains("SeqScan policy AS policy (1 rows)"), "{plan}");
+    }
+
+    #[test]
+    fn correlated_exists_probes_fk_index() {
+        let plan = explain(
+            &db(),
+            "SELECT name FROM policy p WHERE EXISTS (SELECT * FROM statement s WHERE s.policy_id = p.policy_id)",
+        )
+        .unwrap();
+        assert!(plan.contains("Exists"), "{plan}");
+        assert!(plan.contains("IndexProbe statement AS s on (policy_id)"), "{plan}");
+    }
+
+    #[test]
+    fn disabled_indexes_show_scans_everywhere() {
+        let mut d = db();
+        d.set_use_indexes(false);
+        let plan = explain(&d, "SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        assert!(plan.contains("SeqScan"), "{plan}");
+        assert!(!plan.contains("IndexProbe"), "{plan}");
+    }
+
+    #[test]
+    fn join_order_gates_index_use() {
+        // The second table can probe using the first table's binding.
+        let plan = explain(
+            &db(),
+            "SELECT * FROM policy p, statement s WHERE s.policy_id = p.policy_id",
+        )
+        .unwrap();
+        assert!(plan.contains("SeqScan policy AS p"), "{plan}");
+        assert!(plan.contains("IndexProbe statement AS s"), "{plan}");
+    }
+
+    #[test]
+    fn distinct_and_limit_are_annotated() {
+        let plan = explain(&db(), "SELECT DISTINCT name FROM policy LIMIT 3").unwrap();
+        assert!(plan.contains("Select DISTINCT LIMIT 3"), "{plan}");
+    }
+
+    #[test]
+    fn non_select_is_rejected() {
+        assert!(explain(&db(), "DELETE FROM policy").is_err());
+    }
+
+    #[test]
+    fn multi_column_index_wins_over_prefix() {
+        let plan = explain(
+            &db(),
+            "SELECT * FROM statement WHERE policy_id = 1 AND statement_id = 2",
+        )
+        .unwrap();
+        // The PK index on (policy_id, statement_id) beats the FK index.
+        assert!(
+            plan.contains("on (policy_id, statement_id)"),
+            "{plan}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # p3p-minidb — a small in-memory relational engine
+//!
+//! The server-centric P3P architecture stores shredded privacy policies
+//! in relational tables and evaluates APPEL preferences as SQL queries
+//! (paper §4–5). The paper used DB2 UDB 7.2; this crate is the
+//! substrate standing in for it: a deterministic, in-memory relational
+//! engine executing exactly the SQL dialect the suite's translators
+//! emit.
+//!
+//! Supported SQL (see [`sql`] for the grammar):
+//!
+//! * `CREATE TABLE` with column types, `NOT NULL`, multi-column
+//!   `PRIMARY KEY`, and `FOREIGN KEY ... REFERENCES` declarations;
+//! * `CREATE INDEX` (hash indexes, also auto-created for primary keys);
+//! * `INSERT INTO ... VALUES`, `DELETE FROM ... [WHERE]`, `DROP TABLE`;
+//! * `SELECT` with projections, `COUNT(*)`/`COUNT(col)`, multi-table
+//!   `FROM` with aliases, `WHERE` with `=`, `<>`, `<`, `<=`, `>`, `>=`,
+//!   `AND`/`OR`/`NOT`, `IN (...)`, `LIKE`, `IS [NOT] NULL`, and —
+//!   central to the APPEL translation — arbitrarily nested *correlated*
+//!   `EXISTS` subqueries;
+//! * `GROUP BY`, `ORDER BY`, `LIMIT`.
+//!
+//! Execution is nested-loop with hash-index acceleration: equality
+//! conjuncts against indexed columns (including values bound by outer
+//! queries) become index probes. [`Database::set_use_indexes`] turns
+//! this off for the suite's index-ablation bench.
+//!
+//! ## Example
+//!
+//! ```
+//! use p3p_minidb::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE purpose (policy_id INT, statement_id INT, purpose VARCHAR, required VARCHAR, PRIMARY KEY (policy_id, statement_id, purpose))").unwrap();
+//! db.execute("INSERT INTO purpose VALUES (1, 1, 'current', 'always')").unwrap();
+//! db.execute("INSERT INTO purpose VALUES (1, 2, 'contact', 'opt-in')").unwrap();
+//! let result = db.query("SELECT purpose FROM purpose WHERE required = 'opt-in'").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! assert_eq!(result.rows[0][0].as_str(), Some("contact"));
+//! ```
+
+pub mod database;
+pub mod error;
+pub mod explain;
+pub mod exec;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use database::{Database, ExecOutcome, QueryResult};
+pub use error::DbError;
+pub use explain::explain;
+pub use schema::{ColumnDef, DataType, ForeignKey, TableSchema};
+pub use value::Value;

@@ -1,0 +1,179 @@
+//! Table schemas and the catalog types.
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// Column data types. `VARCHAR`/`TEXT`/`CHAR` are all text; `INT`,
+/// `INTEGER`, `BIGINT` are all 64-bit integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    Int,
+    Text,
+}
+
+impl DataType {
+    /// Does `value` inhabit this type (NULL inhabits all)?
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null) | (DataType::Int, Value::Int(_)) | (DataType::Text, Value::Text(_))
+        )
+    }
+
+    /// Parse a SQL type name.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Some(DataType::Int),
+            "VARCHAR" | "TEXT" | "CHAR" | "CLOB" => Some(DataType::Text),
+            _ => None,
+        }
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+/// A foreign-key declaration (checked on insert when enabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Columns in this table.
+    pub columns: Vec<String>,
+    /// The referenced table.
+    pub references_table: String,
+    /// The referenced columns.
+    pub references_columns: Vec<String>,
+}
+
+/// A table schema: columns plus key declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Indexes into `columns` forming the primary key (empty = none).
+    pub primary_key: Vec<usize>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Look up a column index by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Validate a full row against types, NOT NULL, and arity.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), DbError> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Constraint(format!(
+                "table `{}` expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, value) in self.columns.iter().zip(row) {
+            if !col.data_type.admits(value) {
+                return Err(DbError::Type(format!(
+                    "value {value} does not fit column `{}`",
+                    col.name
+                )));
+            }
+            if col.not_null && value.is_null() {
+                return Err(DbError::Constraint(format!(
+                    "column `{}` is NOT NULL",
+                    col.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the primary-key values of a row (empty when no PK).
+    pub fn primary_key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "purpose".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "policy_id".into(),
+                    data_type: DataType::Int,
+                    not_null: true,
+                },
+                ColumnDef {
+                    name: "purpose".into(),
+                    data_type: DataType::Text,
+                    not_null: false,
+                },
+            ],
+            primary_key: vec![0],
+            foreign_keys: vec![],
+        }
+    }
+
+    #[test]
+    fn datatype_parsing() {
+        assert_eq!(DataType::parse("INT"), Some(DataType::Int));
+        assert_eq!(DataType::parse("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse("VARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::parse("BLOB"), None);
+    }
+
+    #[test]
+    fn datatype_admits() {
+        assert!(DataType::Int.admits(&Value::Int(1)));
+        assert!(DataType::Int.admits(&Value::Null));
+        assert!(!DataType::Int.admits(&Value::Text("x".into())));
+        assert!(DataType::Text.admits(&Value::Text("x".into())));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("POLICY_ID"), Some(0));
+        assert_eq!(s.column_index("purpose"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn row_checks() {
+        let s = schema();
+        assert!(s.check_row(&[Value::Int(1), Value::Text("current".into())]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Null]).is_ok());
+        // arity
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // type
+        assert!(s
+            .check_row(&[Value::Text("x".into()), Value::Null])
+            .is_err());
+        // not null
+        assert!(s.check_row(&[Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn primary_key_extraction() {
+        let s = schema();
+        assert_eq!(
+            s.primary_key_of(&[Value::Int(7), Value::Text("x".into())]),
+            vec![Value::Int(7)]
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The SQL abstract syntax tree.
+
+use crate::schema::DataType;
+use crate::value::Value;
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType, bool)>, // (name, type, not_null)
+        primary_key: Vec<String>,
+        foreign_keys: Vec<(Vec<String>, String, Vec<String>)>, // (cols, ref table, ref cols)
+    },
+    CreateIndex {
+        /// Index name (informational; indexes are looked up by columns).
+        name: String,
+        table: String,
+        columns: Vec<String>,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        /// Target columns; empty means "all, in schema order".
+        columns: Vec<String>,
+        /// One or more value tuples.
+        values: Vec<Vec<Expr>>,
+    },
+    Delete {
+        table: String,
+        filter: Option<Expr>,
+    },
+    Update {
+        table: String,
+        /// `(column, value expression)` assignments.
+        assignments: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    Select(SelectStmt),
+}
+
+/// A SELECT query (also used for subqueries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT` removes duplicate output rows.
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub filter: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub order_by: Vec<(Expr, bool)>, // (expr, descending)
+    pub limit: Option<usize>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS name]`
+    Expr { expr: Expr, alias: Option<String> },
+    /// `COUNT(*)` / `COUNT(expr)` with optional alias.
+    Count { expr: Option<Expr>, alias: Option<String> },
+}
+
+/// A FROM-clause table with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the table is referred to by in this query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// `[qualifier.]column`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Compare {
+        op: CompareOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Exists(Box<SelectStmt>),
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Expr {
+    /// Convenience: `a AND b` folding a possibly-absent left side.
+    pub fn and_maybe(lhs: Option<Expr>, rhs: Expr) -> Expr {
+        match lhs {
+            Some(l) => Expr::And(Box::new(l), Box::new(rhs)),
+            None => rhs,
+        }
+    }
+
+    /// Column reference helper.
+    pub fn col(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Equality comparison helper.
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::Compare {
+            op: CompareOp::Eq,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let plain = TableRef { table: "policy".into(), alias: None };
+        let aliased = TableRef { table: "policy".into(), alias: Some("p".into()) };
+        assert_eq!(plain.binding_name(), "policy");
+        assert_eq!(aliased.binding_name(), "p");
+    }
+
+    #[test]
+    fn and_maybe_folds() {
+        let rhs = Expr::Literal(Value::Int(1));
+        assert_eq!(Expr::and_maybe(None, rhs.clone()), rhs);
+        let both = Expr::and_maybe(Some(Expr::Literal(Value::Int(2))), rhs);
+        assert!(matches!(both, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        let e = Expr::eq(Expr::col("p", "policy_id"), Expr::Literal(Value::Int(3)));
+        match e {
+            Expr::Compare { op: CompareOp::Eq, left, .. } => match *left {
+                Expr::Column { qualifier, name } => {
+                    assert_eq!(qualifier.as_deref(), Some("p"));
+                    assert_eq!(name, "policy_id");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

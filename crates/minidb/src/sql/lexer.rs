@@ -1,0 +1,310 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// One SQL token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are uppercased identifiers matched later; the
+/// lexer only distinguishes shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`SELECT`, `policy`, `policy_id`).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (single quotes, `''` escapes a quote).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            b'<' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'>') => (TokenKind::Neq, 2),
+                    Some(b'=') => (TokenKind::Le, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += len;
+            }
+            b'>' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += len;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                i += 2;
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::syntax(start, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // advance one UTF-8 scalar
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| DbError::syntax(start, format!("invalid integer `{text}`")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset: start,
+                });
+            }
+            b'-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| DbError::syntax(start, format!("invalid integer `{text}`")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset: start,
+                });
+            }
+            b'"' => {
+                // quoted identifier
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::syntax(start, "unterminated quoted identifier")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(s),
+                    offset: start,
+                });
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(sql[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(DbError::syntax(
+                    i,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        assert_eq!(
+            kinds("SELECT 'block' FROM policy WHERE id = 42"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Str("block".into()),
+                TokenKind::Word("FROM".into()),
+                TokenKind::Word("policy".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Word("id".into()),
+                TokenKind::Eq,
+                TokenKind::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <> b <= c >= d < e > f != g"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Neq,
+                TokenKind::Word("b".into()),
+                TokenKind::Le,
+                TokenKind::Word("c".into()),
+                TokenKind::Ge,
+                TokenKind::Word("d".into()),
+                TokenKind::Lt,
+                TokenKind::Word("e".into()),
+                TokenKind::Gt,
+                TokenKind::Word("f".into()),
+                TokenKind::Neq,
+                TokenKind::Word("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+    }
+
+    #[test]
+    fn qualified_and_star() {
+        assert_eq!(
+            kinds("p.policy_id, *"),
+            vec![
+                TokenKind::Word("p".into()),
+                TokenKind::Dot,
+                TokenKind::Word("policy_id".into()),
+                TokenKind::Comma,
+                TokenKind::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_integers_and_comments() {
+        assert_eq!(
+            kinds("-- header\n-7 -- trailing"),
+            vec![TokenKind::Int(-7)]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("\"weird name\""), vec![TokenKind::Word("weird name".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! The SQL front-end: lexer, AST, and recursive-descent parser for the
+//! dialect the P3P translators emit.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, SelectItem, SelectStmt, Statement, TableRef};
+pub use parser::parse_statement;

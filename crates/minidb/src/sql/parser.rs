@@ -1,0 +1,774 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::DbError;
+use crate::schema::DataType;
+use crate::sql::ast::{CompareOp, Expr, SelectItem, SelectStmt, Statement, TableRef};
+use crate::sql::lexer::{tokenize, Token, TokenKind};
+use crate::value::Value;
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.offset)
+    }
+
+    fn err(&self, message: impl Into<String>) -> DbError {
+        DbError::syntax(self.offset(), message)
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive word) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), DbError> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    /// A (non-keyword-checked) identifier.
+    fn identifier(&mut self) -> Result<String, DbError> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return Err(self.err("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.identifier()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.identifier()?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let column = self.identifier()?;
+                self.expect_kind(&TokenKind::Eq, "`=`")?;
+                let value = self.primary()?;
+                assignments.push((column, value));
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                filter,
+            });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.identifier()?;
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, filter });
+        }
+        Err(self.err("expected SELECT, CREATE, DROP, INSERT, or DELETE"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        let name = self.identifier()?;
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        let mut foreign_keys = Vec::new();
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                primary_key = self.paren_name_list()?;
+            } else if self.eat_kw("FOREIGN") {
+                self.expect_kw("KEY")?;
+                let cols = self.paren_name_list()?;
+                self.expect_kw("REFERENCES")?;
+                let ref_table = self.identifier()?;
+                let ref_cols = self.paren_name_list()?;
+                foreign_keys.push((cols, ref_table, ref_cols));
+            } else {
+                let col_name = self.identifier()?;
+                let type_name = self.identifier()?;
+                let data_type = DataType::parse(&type_name)
+                    .ok_or_else(|| self.err(format!("unknown type `{type_name}`")))?;
+                // optional (n) size suffix, ignored
+                if self.eat_kind(&TokenKind::LParen) {
+                    match self.advance() {
+                        Some(TokenKind::Int(_)) => {}
+                        _ => return Err(self.err("expected a length")),
+                    }
+                    self.expect_kind(&TokenKind::RParen, "`)`")?;
+                }
+                let mut not_null = false;
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    not_null = true;
+                }
+                columns.push((col_name, data_type, not_null));
+            }
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(&TokenKind::RParen, "`)` or `,`")?;
+            break;
+        }
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            foreign_keys,
+        })
+    }
+
+    fn create_index(&mut self) -> Result<Statement, DbError> {
+        let name = self.identifier()?;
+        self.expect_kw("ON")?;
+        let table = self.identifier()?;
+        let columns = self.paren_name_list()?;
+        Ok(Statement::CreateIndex { name, table, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("INTO")?;
+        let table = self.identifier()?;
+        let columns = if self.peek() == Some(&TokenKind::LParen) {
+            self.paren_name_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("VALUES")?;
+        let mut values = Vec::new();
+        loop {
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let mut tuple = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    tuple.push(self.expr()?);
+                    if !self.eat_kind(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            values.push(tuple);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, values })
+    }
+
+    fn paren_name_list(&mut self) -> Result<Vec<String>, DbError> {
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        let mut names = Vec::new();
+        loop {
+            names.push(self.identifier()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, "`)`")?;
+        Ok(names)
+    }
+
+    /// Parse a SELECT (assumes the SELECT keyword has not been consumed).
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.identifier()?;
+            let has_alias = self.eat_kw("AS")
+                || matches!(self.peek(), Some(TokenKind::Word(w)) if !is_clause_keyword(w));
+            let alias = if has_alias {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(TokenKind::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected a nonnegative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        if self.peek_kw("COUNT") {
+            self.pos += 1;
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let inner = if self.eat_kind(&TokenKind::Star) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            let alias = self.optional_alias()?;
+            return Ok(SelectItem::Count { expr: inner, alias });
+        }
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>, DbError> {
+        if self.eat_kw("AS") {
+            Ok(Some(self.identifier()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // Expression grammar: or_expr > and_expr > not_expr > predicate.
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.peek_kw("NOT") {
+            // NOT EXISTS is handled in predicate; plain NOT here.
+            let save = self.pos;
+            self.pos += 1;
+            if self.peek_kw("EXISTS") {
+                self.pos = save;
+                return self.predicate();
+            }
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, DbError> {
+        if self.peek_kw("EXISTS") {
+            self.pos += 1;
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let sub = self.select()?;
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::Exists(Box::new(sub)));
+        }
+        if self.peek_kw("NOT") {
+            self.pos += 1;
+            self.expect_kw("EXISTS")?;
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let sub = self.select()?;
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::Not(Box::new(Expr::Exists(Box::new(sub)))));
+        }
+        let left = self.primary()?;
+        // postfix predicates
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.peek_kw("NOT") {
+            // NOT IN / NOT LIKE
+            let save = self.pos;
+            self.pos += 1;
+            if self.peek_kw("IN") || self.peek_kw("LIKE") {
+                true
+            } else {
+                self.pos = save;
+                return Ok(left);
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.primary()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.primary()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected IN or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(CompareOp::Eq),
+            Some(TokenKind::Neq) => Some(CompareOp::Neq),
+            Some(TokenKind::Lt) => Some(CompareOp::Lt),
+            Some(TokenKind::Le) => Some(CompareOp::Le),
+            Some(TokenKind::Gt) => Some(CompareOp::Gt),
+            Some(TokenKind::Ge) => Some(CompareOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.primary()?;
+            return Ok(Expr::Compare {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    /// Literals, column references, and parenthesized expressions.
+    fn primary(&mut self) -> Result<Expr, DbError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(TokenKind::Word(w)) => {
+                self.pos += 1;
+                if self.eat_kind(&TokenKind::Dot) {
+                    let name = self.identifier()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(w),
+                        name,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: w,
+                    })
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+/// Words that end a FROM alias position.
+fn is_clause_keyword(w: &str) -> bool {
+    [
+        "WHERE", "GROUP", "ORDER", "LIMIT", "ON", "AND", "OR", "UNION", "AS",
+    ]
+    .iter()
+    .any(|k| w.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_keys() {
+        let stmt = parse_statement(
+            "CREATE TABLE statement (policy_id INT NOT NULL, statement_id INT NOT NULL, consequence VARCHAR, \
+             PRIMARY KEY (policy_id, statement_id), \
+             FOREIGN KEY (policy_id) REFERENCES policy (policy_id))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                foreign_keys,
+            } => {
+                assert_eq!(name, "statement");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0], ("policy_id".into(), DataType::Int, true));
+                assert_eq!(columns[2], ("consequence".into(), DataType::Text, false));
+                assert_eq!(primary_key, vec!["policy_id", "statement_id"]);
+                assert_eq!(foreign_keys.len(), 1);
+                assert_eq!(foreign_keys[0].1, "policy");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_varchar_length() {
+        let stmt = parse_statement("CREATE TABLE t (s VARCHAR(255))").unwrap();
+        assert!(matches!(stmt, Statement::CreateTable { .. }));
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let stmt = parse_statement(
+            "INSERT INTO purpose (policy_id, purpose) VALUES (1, 'current'), (2, 'admin')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { table, columns, values } => {
+                assert_eq!(table, "purpose");
+                assert_eq!(columns, vec!["policy_id", "purpose"]);
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = parse_statement("DELETE FROM policy WHERE policy_id = 3").unwrap();
+        assert!(matches!(stmt, Statement::Delete { ref table, filter: Some(_) } if table == "policy"));
+        let all = parse_statement("DELETE FROM policy").unwrap();
+        assert!(matches!(all, Statement::Delete { filter: None, .. }));
+    }
+
+    #[test]
+    fn parses_drop_table() {
+        assert!(matches!(
+            parse_statement("DROP TABLE policy").unwrap(),
+            Statement::DropTable { if_exists: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP TABLE IF EXISTS policy").unwrap(),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_select_with_alias_and_where() {
+        let stmt = parse_statement(
+            "SELECT p.name FROM policy p WHERE p.policy_id = 1 AND p.name <> 'x'",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert_eq!(sel.from[0].binding_name(), "p");
+        assert!(matches!(sel.filter, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn parses_nested_exists() {
+        // The shape of Figure 13 in the paper.
+        let stmt = parse_statement(
+            "SELECT 'block' FROM applicable_policy WHERE EXISTS (\
+               SELECT * FROM policy WHERE policy.policy_id = applicable_policy.policy_id AND EXISTS (\
+                 SELECT * FROM statement WHERE statement.policy_id = policy.policy_id AND EXISTS (\
+                   SELECT * FROM purpose WHERE purpose.policy_id = statement.policy_id AND (\
+                     purpose.purpose = 'admin' OR purpose.purpose = 'contact' AND purpose.required = 'always'))))",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        let Some(Expr::Exists(level1)) = sel.filter else { panic!() };
+        let Some(Expr::And(_, rhs)) = level1.filter else { panic!() };
+        assert!(matches!(*rhs, Expr::Exists(_)));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        match sel.filter.unwrap() {
+            Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_like_isnull() {
+        let stmt = parse_statement(
+            "SELECT * FROM t WHERE a IN ('x', 'y') AND b NOT IN (1) AND c LIKE '%z%' AND d NOT LIKE 'q' AND e IS NULL AND f IS NOT NULL",
+        );
+        assert!(stmt.is_ok(), "{stmt:?}");
+    }
+
+    #[test]
+    fn parses_not_exists() {
+        let stmt = parse_statement(
+            "SELECT * FROM purpose p WHERE NOT EXISTS (SELECT * FROM purpose q WHERE q.purpose = p.purpose)",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert!(matches!(sel.filter, Some(Expr::Not(_))));
+    }
+
+    #[test]
+    fn parses_count_group_order_limit() {
+        let stmt = parse_statement(
+            "SELECT purpose, COUNT(*) AS n FROM purpose GROUP BY purpose ORDER BY n DESC, purpose ASC LIMIT 5",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert_eq!(sel.items.len(), 2);
+        assert!(matches!(sel.items[1], SelectItem::Count { expr: None, ref alias } if alias.as_deref() == Some("n")));
+        assert_eq!(sel.group_by.len(), 1);
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].1);
+        assert_eq!(sel.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let stmt = parse_statement("CREATE INDEX idx_purpose ON purpose (policy_id, statement_id)").unwrap();
+        match stmt {
+            Statement::CreateIndex { name, table, columns } => {
+                assert_eq!(name, "idx_purpose");
+                assert_eq!(table, "purpose");
+                assert_eq!(columns.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_constant_projection() {
+        let stmt = parse_statement("SELECT 'block' FROM policy").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert!(
+            matches!(&sel.items[0], SelectItem::Expr { expr: Expr::Literal(Value::Text(s)), .. } if s == "block")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELEKT * FROM t").is_err());
+        assert!(parse_statement("SELECT * FROM").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT * FROM t extra garbage here").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1,)").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn parses_update() {
+        let stmt = parse_statement(
+            "UPDATE policy SET name = 'renamed', policy_id = 9 WHERE policy_id = 1",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Update { table, assignments, filter } => {
+                assert_eq!(table, "policy");
+                assert_eq!(assignments.len(), 2);
+                assert_eq!(assignments[0].0, "name");
+                assert!(filter.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 1").unwrap(),
+            Statement::Update { filter: None, .. }
+        ));
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("UPDATE t a = 1").is_err());
+    }
+
+    #[test]
+    fn parses_select_distinct() {
+        let stmt = parse_statement("SELECT DISTINCT purpose FROM purpose").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert!(sel.distinct);
+        let plain = parse_statement("SELECT purpose FROM purpose").unwrap();
+        let Statement::Select(sel2) = plain else { panic!() };
+        assert!(!sel2.distinct);
+    }
+
+    #[test]
+    fn semicolon_is_tolerated() {
+        assert!(parse_statement("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn plain_not_negates() {
+        let stmt = parse_statement("SELECT * FROM t WHERE NOT a = 1").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert!(matches!(sel.filter, Some(Expr::Not(_))));
+    }
+}

@@ -1,0 +1,346 @@
+//! Row storage with hash indexes.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index over one or more columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Indexes into the table's column list.
+    pub columns: Vec<usize>,
+    /// Key values → row numbers.
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl Index {
+    fn new(columns: Vec<usize>) -> Index {
+        Index {
+            columns,
+            map: HashMap::new(),
+        }
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    fn insert(&mut self, row: &[Value], row_id: usize) {
+        self.map.entry(self.key_of(row)).or_default().push(row_id);
+    }
+
+    /// Row ids whose indexed columns equal `key`.
+    pub fn probe(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A stored table: schema, rows, and indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// An empty table. A unique index on the primary key (when present)
+    /// is created automatically.
+    pub fn new(schema: TableSchema) -> Table {
+        let mut t = Table {
+            indexes: Vec::new(),
+            rows: Vec::new(),
+            schema,
+        };
+        if !t.schema.primary_key.is_empty() {
+            t.indexes.push(Index::new(t.schema.primary_key.clone()));
+        }
+        t
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a validated row (primary-key uniqueness enforced).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), DbError> {
+        self.schema.check_row(&row)?;
+        if !self.schema.primary_key.is_empty() {
+            let key = self.schema.primary_key_of(&row);
+            if key.iter().any(Value::is_null) {
+                return Err(DbError::Constraint(format!(
+                    "primary key of `{}` may not contain NULL",
+                    self.schema.name
+                )));
+            }
+            if !self.indexes[0].probe(&key).is_empty() {
+                return Err(DbError::Constraint(format!(
+                    "duplicate primary key in `{}`",
+                    self.schema.name
+                )));
+            }
+        }
+        let row_id = self.rows.len();
+        for index in &mut self.indexes {
+            index.insert(&row, row_id);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Add a hash index over the named columns; backfills existing rows.
+    pub fn create_index(&mut self, column_names: &[String]) -> Result<(), DbError> {
+        let mut columns = Vec::with_capacity(column_names.len());
+        for name in column_names {
+            columns.push(
+                self.schema
+                    .column_index(name)
+                    .ok_or_else(|| DbError::UnknownColumn(name.clone()))?,
+            );
+        }
+        if self.indexes.iter().any(|i| i.columns == columns) {
+            return Ok(()); // idempotent
+        }
+        let mut index = Index::new(columns);
+        for (row_id, row) in self.rows.iter().enumerate() {
+            index.insert(row, row_id);
+        }
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Find an index covering exactly the given column set (order
+    /// insensitive prefix match is not attempted — the shredder creates
+    /// the indexes it needs).
+    pub fn find_index(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| {
+            i.columns.len() == columns.len() && i.columns.iter().all(|c| columns.contains(c))
+        })
+    }
+
+    /// All indexes (for planning).
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Delete the rows at the given positions, rebuilding indexes.
+    pub fn delete_rows(&mut self, mut row_ids: Vec<usize>) -> usize {
+        row_ids.sort_unstable();
+        row_ids.dedup();
+        for &id in row_ids.iter().rev() {
+            self.rows.remove(id);
+        }
+        let columns: Vec<Vec<usize>> = self.indexes.iter().map(|i| i.columns.clone()).collect();
+        self.indexes = columns.into_iter().map(Index::new).collect();
+        for (row_id, row) in self.rows.iter().enumerate() {
+            for index in &mut self.indexes {
+                index.insert(row, row_id);
+            }
+        }
+        row_ids.len()
+    }
+
+    /// Apply UPDATE assignments to every row equal to one of
+    /// `matching` (whole-row comparison, each matched at most once),
+    /// re-validating constraints; all indexes are rebuilt. Returns the
+    /// number of rows changed. On any constraint violation nothing is
+    /// modified.
+    pub fn update_rows(
+        &mut self,
+        matching: &[Vec<Value>],
+        col_indexes: &[usize],
+        values: &[Value],
+    ) -> Result<usize, DbError> {
+        debug_assert_eq!(col_indexes.len(), values.len());
+        let mut updated = self.rows.clone();
+        let mut remaining: Vec<&Vec<Value>> = matching.iter().collect();
+        let mut changed = 0usize;
+        for row in &mut updated {
+            if let Some(pos) = remaining.iter().position(|m| *m == row) {
+                remaining.remove(pos);
+                for (&col, value) in col_indexes.iter().zip(values) {
+                    row[col] = value.clone();
+                }
+                self.schema.check_row(row)?;
+                changed += 1;
+            }
+        }
+        // Re-check primary-key uniqueness over the updated image.
+        if !self.schema.primary_key.is_empty() {
+            let mut keys: Vec<Vec<Value>> = updated
+                .iter()
+                .map(|r| self.schema.primary_key_of(r))
+                .collect();
+            if keys.iter().any(|k| k.iter().any(Value::is_null)) {
+                return Err(DbError::Constraint(format!(
+                    "primary key of `{}` may not contain NULL",
+                    self.schema.name
+                )));
+            }
+            let before = keys.len();
+            keys.sort_by(|a, b| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| x.total_cmp(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            keys.dedup();
+            if keys.len() != before {
+                return Err(DbError::Constraint(format!(
+                    "UPDATE would duplicate a primary key in `{}`",
+                    self.schema.name
+                )));
+            }
+        }
+        self.rows = updated;
+        let columns: Vec<Vec<usize>> = self.indexes.iter().map(|i| i.columns.clone()).collect();
+        self.indexes = columns.into_iter().map(Index::new).collect();
+        for (row_id, row) in self.rows.iter().enumerate() {
+            for index in &mut self.indexes {
+                index.insert(row, row_id);
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Remove all rows, keeping the schema and (empty) indexes.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for index in &mut self.indexes {
+            *index = Index::new(index.columns.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn table() -> Table {
+        Table::new(TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                    not_null: true,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    data_type: DataType::Text,
+                    not_null: false,
+                },
+            ],
+            primary_key: vec![0],
+            foreign_keys: vec![],
+        })
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let err = t.insert(vec![Value::Int(1), Value::Null]).unwrap_err();
+        assert!(err.to_string().contains("duplicate primary key"));
+    }
+
+    #[test]
+    fn primary_key_rejects_null() {
+        let mut t = Table::new(TableSchema {
+            name: "t".into(),
+            columns: vec![ColumnDef {
+                name: "id".into(),
+                data_type: DataType::Int,
+                not_null: false,
+            }],
+            primary_key: vec![0],
+            foreign_keys: vec![],
+        });
+        assert!(t.insert(vec![Value::Null]).is_err());
+    }
+
+    #[test]
+    fn pk_index_probe() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))]).unwrap();
+        }
+        let idx = t.find_index(&[0]).unwrap();
+        assert_eq!(idx.probe(&[Value::Int(42)]), &[42]);
+        assert!(idx.probe(&[Value::Int(1000)]).is_empty());
+    }
+
+    #[test]
+    fn secondary_index_backfills() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("x".into())]).unwrap();
+        t.create_index(&["name".to_string()]).unwrap();
+        let idx = t.find_index(&[1]).unwrap();
+        assert_eq!(idx.probe(&[Value::Text("x".into())]).len(), 2);
+    }
+
+    #[test]
+    fn create_index_is_idempotent() {
+        let mut t = table();
+        t.create_index(&["name".to_string()]).unwrap();
+        t.create_index(&["name".to_string()]).unwrap();
+        assert_eq!(t.indexes().len(), 2); // pk + name
+    }
+
+    #[test]
+    fn create_index_unknown_column() {
+        let mut t = table();
+        assert!(t.create_index(&["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn delete_rows_rebuilds_indexes() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        let removed = t.delete_rows(vec![1, 3]);
+        assert_eq!(removed, 2);
+        assert_eq!(t.len(), 3);
+        let idx = t.find_index(&[0]).unwrap();
+        assert!(idx.probe(&[Value::Int(1)]).is_empty());
+        assert_eq!(idx.probe(&[Value::Int(4)]).len(), 1);
+        // row id must point at the right row after compaction
+        let id = idx.probe(&[Value::Int(4)])[0];
+        assert_eq!(t.rows()[id][0], Value::Int(4));
+    }
+
+    #[test]
+    fn truncate_empties_but_keeps_schema() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        // reinsert with same pk works
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+    }
+}

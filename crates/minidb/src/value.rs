@@ -1,0 +1,190 @@
+//! SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single SQL value. The P3P schemas only need integers and strings,
+/// plus NULL for optional columns (e.g. `consequence`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Text(String),
+}
+
+impl Value {
+    /// Text content, when this is a `Text`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, when this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL three-valued equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => Some(a == b),
+        }
+    }
+
+    /// SQL comparison; `None` when either side is NULL or the types are
+    /// incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order for ORDER BY / GROUP BY: NULLs first, then ints,
+    /// then text; cross-type ordered by that rank.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+
+/// Match `text` against a SQL LIKE `pattern`: `%` matches any run,
+/// `_` matches exactly one character.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti] || p[pi] == '_') {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Text("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Text("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_typed() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Text("b".into()).sql_cmp(&Value::Text("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Text("1".into())), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        let mut vs = [Value::Text("a".into()), Value::Null, Value::Int(5)];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Int(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+    }
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%", "abcdef"));
+        assert!(like_match("%c", "abc"));
+        assert!(like_match("a%c", "abc"));
+        assert!(like_match("a%c", "ac"));
+        assert!(!like_match("a%c", "ab"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%pol%", "the policy table"));
+    }
+}

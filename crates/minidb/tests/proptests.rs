@@ -1,0 +1,163 @@
+//! Property-based tests for the relational engine.
+
+use p3p_minidb::{Database, Value};
+use proptest::prelude::*;
+
+/// Fresh two-table database with `n` parent rows and child rows fanned
+/// out under them.
+fn build_db(parents: &[i64], children: &[(i64, String)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE parent (id INT NOT NULL, PRIMARY KEY (id))")
+        .unwrap();
+    db.execute(
+        "CREATE TABLE child (parent_id INT NOT NULL, label VARCHAR NOT NULL)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX idx_child ON child (parent_id)").unwrap();
+    for p in parents {
+        db.execute(&format!("INSERT INTO parent VALUES ({p})")).unwrap();
+    }
+    db.set_check_foreign_keys(false);
+    for (p, l) in children {
+        db.execute(&format!("INSERT INTO child VALUES ({p}, '{l}')")).unwrap();
+    }
+    db
+}
+
+fn parents_strategy() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::btree_set(0i64..50, 0..12).prop_map(|s| s.into_iter().collect())
+}
+
+fn children_strategy() -> impl Strategy<Value = Vec<(i64, String)>> {
+    proptest::collection::vec((0i64..50, "[a-z]{1,6}"), 0..24)
+}
+
+proptest! {
+    /// Index-assisted execution returns exactly what pure nested-loop
+    /// execution returns, for scans, joins, and correlated EXISTS.
+    #[test]
+    fn index_use_is_semantically_invisible(
+        parents in parents_strategy(),
+        children in children_strategy(),
+        probe in 0i64..50,
+    ) {
+        let db = build_db(&parents, &children);
+        let mut db_slow = build_db(&parents, &children);
+        db_slow.set_use_indexes(false);
+        let queries = [
+            format!("SELECT * FROM child WHERE parent_id = {probe}"),
+            format!(
+                "SELECT id FROM parent WHERE EXISTS (SELECT * FROM child WHERE child.parent_id = parent.id) AND id = {probe}"
+            ),
+            "SELECT p.id, c.label FROM parent p, child c WHERE c.parent_id = p.id ORDER BY p.id, c.label".to_string(),
+            "SELECT id FROM parent WHERE NOT EXISTS (SELECT * FROM child WHERE child.parent_id = parent.id) ORDER BY id".to_string(),
+        ];
+        for q in &queries {
+            prop_assert_eq!(db.query(q).unwrap(), db_slow.query(q).unwrap(), "{}", q);
+        }
+    }
+
+    /// COUNT(*) grouped by parent matches a manual tally.
+    #[test]
+    fn group_count_matches_manual(
+        parents in parents_strategy(),
+        children in children_strategy(),
+    ) {
+        let db = build_db(&parents, &children);
+        let r = db
+            .query("SELECT parent_id, COUNT(*) AS n FROM child GROUP BY parent_id ORDER BY parent_id")
+            .unwrap();
+        let mut manual: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (p, _) in &children {
+            *manual.entry(*p).or_default() += 1;
+        }
+        let got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        let want: Vec<(i64, i64)> = manual.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// EXISTS agrees with a COUNT-based reformulation.
+    #[test]
+    fn exists_agrees_with_count(
+        parents in parents_strategy(),
+        children in children_strategy(),
+    ) {
+        let db = build_db(&parents, &children);
+        let with_exists = db
+            .query("SELECT id FROM parent WHERE EXISTS (SELECT * FROM child WHERE child.parent_id = parent.id) ORDER BY id")
+            .unwrap();
+        let have_children: std::collections::BTreeSet<i64> =
+            children.iter().map(|(p, _)| *p).collect();
+        let expected: Vec<i64> = parents
+            .iter()
+            .copied()
+            .filter(|p| have_children.contains(p))
+            .collect();
+        let got: Vec<i64> = with_exists.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// DELETE removes exactly the rows the same WHERE clause selects.
+    #[test]
+    fn delete_matches_select(
+        parents in parents_strategy(),
+        children in children_strategy(),
+        probe in 0i64..50,
+    ) {
+        let mut db = build_db(&parents, &children);
+        let before = db
+            .query(&format!("SELECT * FROM child WHERE parent_id = {probe}"))
+            .unwrap()
+            .rows
+            .len();
+        let total = db.table("child").unwrap().len();
+        db.execute(&format!("DELETE FROM child WHERE parent_id = {probe}")).unwrap();
+        prop_assert_eq!(db.table("child").unwrap().len(), total - before);
+        let remaining = db
+            .query(&format!("SELECT * FROM child WHERE parent_id = {probe}"))
+            .unwrap();
+        prop_assert!(remaining.is_empty());
+    }
+
+    /// ORDER BY produces a sorted, permutation-preserving result.
+    #[test]
+    fn order_by_sorts(children in children_strategy()) {
+        let db = build_db(&[], &children);
+        let r = db.query("SELECT label FROM child ORDER BY label").unwrap();
+        let mut expected: Vec<String> = children.iter().map(|(_, l)| l.clone()).collect();
+        expected.sort();
+        let got: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap().to_string())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// LIMIT n returns a prefix of the unlimited result.
+    #[test]
+    fn limit_is_prefix(children in children_strategy(), n in 0usize..30) {
+        let db = build_db(&[], &children);
+        let all = db.query("SELECT label FROM child ORDER BY label").unwrap();
+        let limited = db
+            .query(&format!("SELECT label FROM child ORDER BY label LIMIT {n}"))
+            .unwrap();
+        prop_assert_eq!(limited.rows.len(), n.min(all.rows.len()));
+        prop_assert_eq!(&all.rows[..limited.rows.len()], &limited.rows[..]);
+    }
+
+    /// String literals with doubled quotes survive the round trip.
+    #[test]
+    fn string_escaping_roundtrip(s in "[a-z' ]{0,12}") {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (v VARCHAR)").unwrap();
+        let quoted = s.replace('\'', "''");
+        db.execute(&format!("INSERT INTO t VALUES ('{quoted}')")).unwrap();
+        let r = db.query("SELECT v FROM t").unwrap();
+        prop_assert_eq!(r.rows[0][0].clone(), Value::Text(s));
+    }
+}

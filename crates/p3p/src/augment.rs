@@ -1,0 +1,163 @@
+//! Shred-time category augmentation on the policy model.
+//!
+//! The server-centric architecture performs the base-data-schema
+//! category augmentation **once, while shredding** the policy into
+//! relational tables, instead of on every match as the native APPEL
+//! engine must (paper §6.3.2: "Our SQL implementation ... does this
+//! expansion while shredding the policy into relational tables, and
+//! incurs no corresponding cost at the time of preference checking").
+//!
+//! Augmentation does two things to every [`DataRef`]:
+//!
+//! 1. extends its explicit categories with the categories the base data
+//!    schema fixes for the referenced element(s);
+//! 2. expands *set* references (`user.name`) by appending one
+//!    [`DataRef`] per covered leaf (`user.name.given`, …), each carrying
+//!    that leaf's categories, so preferences that name leaf elements
+//!    match policies that declare sets.
+
+use crate::base_schema;
+use crate::model::{DataRef, Policy, Statement};
+
+/// Return an augmented copy of a policy.
+pub fn augment_policy(policy: &Policy) -> Policy {
+    let mut out = policy.clone();
+    for stmt in &mut out.statements {
+        augment_statement(stmt);
+    }
+    out
+}
+
+/// Augment one statement in place.
+pub fn augment_statement(stmt: &mut Statement) {
+    for group in &mut stmt.data_groups {
+        let mut present: Vec<String> = group.data.iter().map(|d| d.reference.clone()).collect();
+        let mut additions: Vec<DataRef> = Vec::new();
+        for d in &mut group.data {
+            let effective = d.effective_categories();
+            d.categories = effective;
+            for leaf in expansion_of(d) {
+                // Idempotence: a leaf already declared (explicitly or by
+                // a previous augmentation pass) is not added again.
+                if !present.contains(&leaf.reference) {
+                    present.push(leaf.reference.clone());
+                    additions.push(leaf);
+                }
+            }
+        }
+        group.data.extend(additions);
+    }
+}
+
+/// The leaf expansions a set reference contributes (empty for leaves
+/// and unknown references).
+pub fn expansion_of(d: &DataRef) -> Vec<DataRef> {
+    let leaves = base_schema::leaves_of(&d.reference);
+    if leaves.len() == 1 && leaves[0] == d.reference {
+        return Vec::new();
+    }
+    leaves
+        .into_iter()
+        .map(|leaf| {
+            let mut leaf_ref = DataRef::new(leaf);
+            leaf_ref.optional = d.optional;
+            leaf_ref.categories = base_schema::categories_of(leaf);
+            leaf_ref
+        })
+        .collect()
+}
+
+/// Is this policy a fixed point of augmentation?
+pub fn is_augmented(policy: &Policy) -> bool {
+    &augment_policy(policy) == policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::volga_policy;
+    use crate::vocab::Category;
+
+    #[test]
+    fn volga_augmentation_expands_sets_and_categories() {
+        let aug = augment_policy(&volga_policy());
+        let s1 = &aug.statements[0];
+        let refs: Vec<&str> = s1.data_groups[0]
+            .data
+            .iter()
+            .map(|d| d.reference.as_str())
+            .collect();
+        // Original three refs survive...
+        assert!(refs.contains(&"user.name"));
+        assert!(refs.contains(&"dynamic.miscdata"));
+        // ...and the user.name set gained its six leaves.
+        assert!(refs.contains(&"user.name.given"));
+        assert!(refs.contains(&"user.name.family"));
+        assert_eq!(refs.len(), 3 + 6 + 7); // name leaves + postal leaves
+
+        // The set reference itself carries the union of leaf categories.
+        let name_ref = s1.data_groups[0]
+            .data
+            .iter()
+            .find(|d| d.reference == "user.name")
+            .unwrap();
+        assert!(name_ref.categories.contains(&Category::Physical));
+        assert!(name_ref.categories.contains(&Category::Demographic));
+    }
+
+    #[test]
+    fn augmentation_is_idempotent() {
+        let once = augment_policy(&volga_policy());
+        let twice = augment_policy(&once);
+        assert_eq!(once, twice);
+        assert!(is_augmented(&once));
+        assert!(!is_augmented(&volga_policy()));
+    }
+
+    #[test]
+    fn leaf_reference_gains_no_expansion() {
+        let d = DataRef::new("user.bdate");
+        assert!(expansion_of(&d).is_empty());
+    }
+
+    #[test]
+    fn unknown_reference_untouched() {
+        let d = DataRef::new("custom.thing").with_categories([Category::Preference]);
+        assert!(expansion_of(&d).is_empty());
+        let mut p = Policy::new("p");
+        p.statements.push(Statement {
+            data_groups: vec![crate::model::DataGroup {
+                base: None,
+                data: vec![d.clone()],
+            }],
+            ..Statement::default()
+        });
+        let aug = augment_policy(&p);
+        assert_eq!(aug.statements[0].data_groups[0].data, vec![d]);
+    }
+
+    #[test]
+    fn optional_flag_propagates_to_leaves() {
+        let d = DataRef::new("user.name").optional();
+        let exp = expansion_of(&d);
+        assert_eq!(exp.len(), 6);
+        assert!(exp.iter().all(|l| l.optional));
+    }
+
+    #[test]
+    fn explicit_categories_preserved_and_deduped() {
+        let mut p = Policy::new("p");
+        p.statements.push(Statement {
+            data_groups: vec![crate::model::DataGroup {
+                base: None,
+                data: vec![DataRef::new("user.bdate").with_categories([Category::Demographic])],
+            }],
+            ..Statement::default()
+        });
+        let aug = augment_policy(&p);
+        assert_eq!(
+            aug.statements[0].data_groups[0].data[0].categories,
+            vec![Category::Demographic]
+        );
+    }
+}

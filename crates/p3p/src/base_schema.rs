@@ -1,0 +1,300 @@
+//! The P3P 1.0 *base data schema*.
+//!
+//! P3P predefines a hierarchy of data elements (`user.name.given`,
+//! `dynamic.miscdata`, …) and fixes the data categories of most of them
+//! (P3P §5.5–5.7 and Appendix 3). A policy that references
+//! `#user.home-info.postal` implicitly collects every leaf beneath that
+//! node, and those leaves carry the schema's categories whether or not
+//! the policy repeats them.
+//!
+//! The APPEL matching algorithm therefore *augments* every `DATA`
+//! element of a policy with the categories the base schema assigns
+//! before matching (APPEL §5.4.6). The paper's profiling (§6.3.2) found
+//! this augmentation accounts for most of the native engine's cost — the
+//! server-centric design instead performs it once, at shred time. Both
+//! code paths in this suite call into this module, so the comparison
+//! exercises identical semantics.
+
+use crate::vocab::Category;
+
+use Category::*;
+
+/// One leaf of the base data schema: dotted path plus fixed categories.
+///
+/// Variable-category elements (`dynamic.miscdata`, `dynamic.cookies`)
+/// appear with an empty category list; their categories must be declared
+/// explicitly by each policy.
+pub const BASE_SCHEMA: &[(&str, &[Category])] = &[
+    // --- dynamic data (generated in the course of the interaction) ---
+    ("dynamic.clickstream", &[Navigation, Computer]),
+    ("dynamic.http.referer", &[Navigation]),
+    ("dynamic.http.useragent", &[Computer]),
+    ("dynamic.clientevents", &[Navigation, Interactive]),
+    ("dynamic.searchtext", &[Interactive]),
+    ("dynamic.interactionrecord", &[Interactive]),
+    ("dynamic.cookies", &[]),
+    ("dynamic.miscdata", &[]),
+    // --- user: name ---
+    ("user.name.prefix", &[Demographic, Physical]),
+    ("user.name.given", &[Physical]),
+    ("user.name.middle", &[Physical]),
+    ("user.name.family", &[Physical]),
+    ("user.name.suffix", &[Demographic, Physical]),
+    ("user.name.nickname", &[Demographic, Physical]),
+    // --- user: identity and demographics ---
+    ("user.bdate", &[Demographic]),
+    ("user.login.id", &[UniqueId]),
+    ("user.login.password", &[UniqueId]),
+    ("user.cert.key", &[UniqueId]),
+    ("user.cert.format", &[UniqueId]),
+    ("user.gender", &[Demographic]),
+    ("user.employer", &[Demographic]),
+    ("user.department", &[Demographic]),
+    ("user.jobtitle", &[Demographic]),
+    // --- user: home contact information ---
+    ("user.home-info.postal.name", &[Physical, Demographic]),
+    ("user.home-info.postal.street", &[Physical, Demographic]),
+    ("user.home-info.postal.city", &[Physical, Demographic]),
+    ("user.home-info.postal.stateprov", &[Physical, Demographic]),
+    ("user.home-info.postal.postalcode", &[Physical, Demographic]),
+    ("user.home-info.postal.country", &[Physical, Demographic]),
+    ("user.home-info.postal.organization", &[Physical, Demographic]),
+    ("user.home-info.telecom.telephone", &[Physical]),
+    ("user.home-info.telecom.fax", &[Physical]),
+    ("user.home-info.telecom.mobile", &[Physical]),
+    ("user.home-info.telecom.pager", &[Physical]),
+    ("user.home-info.online.email", &[Online]),
+    ("user.home-info.online.uri", &[Online]),
+    // --- user: business contact information ---
+    ("user.business-info.postal.name", &[Physical, Demographic]),
+    ("user.business-info.postal.street", &[Physical, Demographic]),
+    ("user.business-info.postal.city", &[Physical, Demographic]),
+    ("user.business-info.postal.stateprov", &[Physical, Demographic]),
+    ("user.business-info.postal.postalcode", &[Physical, Demographic]),
+    ("user.business-info.postal.country", &[Physical, Demographic]),
+    ("user.business-info.postal.organization", &[Physical, Demographic]),
+    ("user.business-info.telecom.telephone", &[Physical]),
+    ("user.business-info.telecom.fax", &[Physical]),
+    ("user.business-info.telecom.mobile", &[Physical]),
+    ("user.business-info.telecom.pager", &[Physical]),
+    ("user.business-info.online.email", &[Online]),
+    ("user.business-info.online.uri", &[Online]),
+    // --- thirdparty: mirrors user ---
+    ("thirdparty.name.prefix", &[Demographic, Physical]),
+    ("thirdparty.name.given", &[Physical]),
+    ("thirdparty.name.middle", &[Physical]),
+    ("thirdparty.name.family", &[Physical]),
+    ("thirdparty.name.suffix", &[Demographic, Physical]),
+    ("thirdparty.name.nickname", &[Demographic, Physical]),
+    ("thirdparty.bdate", &[Demographic]),
+    ("thirdparty.login.id", &[UniqueId]),
+    ("thirdparty.login.password", &[UniqueId]),
+    ("thirdparty.cert.key", &[UniqueId]),
+    ("thirdparty.cert.format", &[UniqueId]),
+    ("thirdparty.gender", &[Demographic]),
+    ("thirdparty.employer", &[Demographic]),
+    ("thirdparty.department", &[Demographic]),
+    ("thirdparty.jobtitle", &[Demographic]),
+    ("thirdparty.home-info.postal.name", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.street", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.city", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.stateprov", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.postalcode", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.country", &[Physical, Demographic]),
+    ("thirdparty.home-info.postal.organization", &[Physical, Demographic]),
+    ("thirdparty.home-info.telecom.telephone", &[Physical]),
+    ("thirdparty.home-info.telecom.fax", &[Physical]),
+    ("thirdparty.home-info.telecom.mobile", &[Physical]),
+    ("thirdparty.home-info.telecom.pager", &[Physical]),
+    ("thirdparty.home-info.online.email", &[Online]),
+    ("thirdparty.home-info.online.uri", &[Online]),
+    ("thirdparty.business-info.postal.name", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.street", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.city", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.stateprov", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.postalcode", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.country", &[Physical, Demographic]),
+    ("thirdparty.business-info.postal.organization", &[Physical, Demographic]),
+    ("thirdparty.business-info.telecom.telephone", &[Physical]),
+    ("thirdparty.business-info.telecom.fax", &[Physical]),
+    ("thirdparty.business-info.telecom.mobile", &[Physical]),
+    ("thirdparty.business-info.telecom.pager", &[Physical]),
+    ("thirdparty.business-info.online.email", &[Online]),
+    ("thirdparty.business-info.online.uri", &[Online]),
+    // --- business (entity description data) ---
+    ("business.name", &[Demographic]),
+    ("business.department", &[Demographic]),
+    ("business.contact-info.postal.street", &[Physical, Demographic]),
+    ("business.contact-info.postal.city", &[Physical, Demographic]),
+    ("business.contact-info.postal.stateprov", &[Physical, Demographic]),
+    ("business.contact-info.postal.postalcode", &[Physical, Demographic]),
+    ("business.contact-info.postal.country", &[Physical, Demographic]),
+    ("business.contact-info.telecom.telephone", &[Physical]),
+    ("business.contact-info.online.email", &[Online]),
+    ("business.contact-info.online.uri", &[Online]),
+];
+
+/// True when `reference` names a node of the base data schema, either a
+/// leaf or an interior node (a proper prefix of some leaf path).
+pub fn is_known(reference: &str) -> bool {
+    BASE_SCHEMA.iter().any(|(path, _)| {
+        *path == reference
+            || (path.len() > reference.len()
+                && path.starts_with(reference)
+                && path.as_bytes()[reference.len()] == b'.')
+    })
+}
+
+/// The leaves covered by `reference`: the leaf itself, or every leaf
+/// under an interior node. Referencing `user.name` collects all six
+/// name fields (P3P §5.5: a reference to a set includes its members).
+pub fn leaves_of(reference: &str) -> Vec<&'static str> {
+    BASE_SCHEMA
+        .iter()
+        .filter(|(path, _)| {
+            *path == reference
+                || (path.len() > reference.len()
+                    && path.starts_with(reference)
+                    && path.as_bytes()[reference.len()] == b'.')
+        })
+        .map(|(path, _)| *path)
+        .collect()
+}
+
+/// The categories the base schema fixes for `reference`: the union of
+/// the categories of every leaf it covers. For a reference below a leaf
+/// (not expected with the published schema, but tolerated), the nearest
+/// ancestor leaf's categories apply. Unknown references yield no
+/// categories — their policies must declare categories explicitly, as
+/// `dynamic.miscdata` does.
+pub fn categories_of(reference: &str) -> Vec<Category> {
+    let mut out: Vec<Category> = Vec::new();
+    let mut push_all = |cats: &[Category]| {
+        for c in cats {
+            if !out.contains(c) {
+                out.push(*c);
+            }
+        }
+    };
+    let mut found = false;
+    for (path, cats) in BASE_SCHEMA {
+        let covered = *path == reference
+            || (path.len() > reference.len()
+                && path.starts_with(reference)
+                && path.as_bytes()[reference.len()] == b'.');
+        if covered {
+            found = true;
+            push_all(cats);
+        }
+    }
+    if !found {
+        // Walk up: nearest ancestor leaf.
+        for (path, cats) in BASE_SCHEMA {
+            if reference.len() > path.len()
+                && reference.starts_with(path)
+                && reference.as_bytes()[path.len()] == b'.'
+            {
+                push_all(cats);
+            }
+        }
+    }
+    out
+}
+
+/// Number of leaves in the base schema (used by benches to size the
+/// augmentation work).
+pub fn leaf_count() -> usize {
+    BASE_SCHEMA.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_nonempty_and_paths_unique() {
+        assert!(BASE_SCHEMA.len() >= 90);
+        let mut paths: Vec<&str> = BASE_SCHEMA.iter().map(|(p, _)| *p).collect();
+        paths.sort_unstable();
+        let before = paths.len();
+        paths.dedup();
+        assert_eq!(paths.len(), before, "duplicate schema paths");
+    }
+
+    #[test]
+    fn leaf_lookup_exact() {
+        assert_eq!(
+            categories_of("user.home-info.online.email"),
+            vec![Category::Online]
+        );
+        assert_eq!(categories_of("user.bdate"), vec![Category::Demographic]);
+    }
+
+    #[test]
+    fn interior_lookup_unions_leaves() {
+        let cats = categories_of("user.name");
+        assert!(cats.contains(&Category::Physical));
+        assert!(cats.contains(&Category::Demographic));
+        let postal = categories_of("user.home-info.postal");
+        assert_eq!(postal, vec![Category::Physical, Category::Demographic]);
+    }
+
+    #[test]
+    fn top_level_user_covers_many_categories() {
+        let cats = categories_of("user");
+        for c in [
+            Category::Physical,
+            Category::Demographic,
+            Category::Online,
+            Category::UniqueId,
+        ] {
+            assert!(cats.contains(&c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn variable_category_elements_have_no_fixed_categories() {
+        assert!(categories_of("dynamic.miscdata").is_empty());
+        assert!(categories_of("dynamic.cookies").is_empty());
+    }
+
+    #[test]
+    fn unknown_reference_has_no_categories() {
+        assert!(categories_of("custom.survey.answers").is_empty());
+        assert!(!is_known("custom.survey.answers"));
+    }
+
+    #[test]
+    fn below_leaf_reference_inherits_ancestor() {
+        // Not a real schema node, but a sub-reference should inherit.
+        assert_eq!(
+            categories_of("user.bdate.ymd.year"),
+            vec![Category::Demographic]
+        );
+    }
+
+    #[test]
+    fn is_known_for_interior_and_leaf() {
+        assert!(is_known("user"));
+        assert!(is_known("user.name"));
+        assert!(is_known("user.name.given"));
+        assert!(!is_known("user.nam"));
+    }
+
+    #[test]
+    fn leaves_of_expands_sets() {
+        assert_eq!(leaves_of("user.name").len(), 6);
+        assert_eq!(leaves_of("user.home-info.online.email").len(), 1);
+        assert!(leaves_of("nonexistent").is_empty());
+        // No false prefix matches: `user.nam` must not match `user.name.*`.
+        assert!(leaves_of("user.nam").is_empty());
+    }
+
+    #[test]
+    fn thirdparty_mirrors_user() {
+        assert_eq!(
+            categories_of("thirdparty.home-info.postal"),
+            categories_of("user.home-info.postal")
+        );
+    }
+}

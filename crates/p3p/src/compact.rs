@@ -1,0 +1,350 @@
+//! Compact policies (paper §3.2).
+//!
+//! IE6's cookie filtering works on *compact policies*: a short sequence
+//! of three-to-five-letter tokens sent in the `P3P` HTTP response
+//! header, summarizing the full policy. This module derives a compact
+//! policy from a full [`Policy`], parses header strings, and implements
+//! an IE6-style evaluation against a coarse preference level, so the
+//! suite covers the second prominent client-centric implementation the
+//! paper surveys.
+
+use crate::model::Policy;
+use crate::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
+
+/// One compact-policy token.
+///
+/// The token set follows P3P 1.0 §4: access tokens, purpose tokens
+/// (suffixed `a`/`o` for opt-in/opt-out), recipient tokens, retention
+/// tokens, and category tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompactToken(pub String);
+
+impl CompactToken {
+    /// The textual token, e.g. `CUR` or `CONo`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A compact policy: an ordered token list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompactPolicy {
+    pub tokens: Vec<CompactToken>,
+}
+
+fn purpose_token(p: Purpose) -> &'static str {
+    match p {
+        Purpose::Current => "CUR",
+        Purpose::Admin => "ADM",
+        Purpose::Develop => "DEV",
+        Purpose::Tailoring => "TAI",
+        Purpose::PseudoAnalysis => "PSA",
+        Purpose::PseudoDecision => "PSD",
+        Purpose::IndividualAnalysis => "IVA",
+        Purpose::IndividualDecision => "IVD",
+        Purpose::Contact => "CON",
+        Purpose::Historical => "HIS",
+        Purpose::Telemarketing => "TEL",
+        Purpose::OtherPurpose => "OTP",
+    }
+}
+
+fn recipient_token(r: Recipient) -> &'static str {
+    match r {
+        Recipient::Ours => "OUR",
+        Recipient::Delivery => "DEL",
+        Recipient::Same => "SAM",
+        Recipient::OtherRecipient => "OTR",
+        Recipient::Unrelated => "UNR",
+        Recipient::Public => "PUB",
+    }
+}
+
+fn retention_token(r: Retention) -> &'static str {
+    match r {
+        Retention::NoRetention => "NOR",
+        Retention::StatedPurpose => "STP",
+        Retention::LegalRequirement => "LEG",
+        Retention::BusinessPractices => "BUS",
+        Retention::Indefinitely => "IND",
+    }
+}
+
+fn access_token(a: Access) -> &'static str {
+    match a {
+        Access::NonIdent => "NOI",
+        Access::All => "ALL",
+        Access::ContactAndOther => "CAO",
+        Access::IdentContact => "IDC",
+        Access::OtherIdent => "OTI",
+        Access::NoAccess => "NON",
+    }
+}
+
+fn category_token(c: Category) -> &'static str {
+    match c {
+        Category::Physical => "PHY",
+        Category::Online => "ONL",
+        Category::UniqueId => "UNI",
+        Category::Purchase => "PUR",
+        Category::Financial => "FIN",
+        Category::Computer => "COM",
+        Category::Navigation => "NAV",
+        Category::Interactive => "INT",
+        Category::Demographic => "DEM",
+        Category::Content => "CNT",
+        Category::State => "STA",
+        Category::Political => "POL",
+        Category::Health => "HEA",
+        Category::Preference => "PRE",
+        Category::Location => "LOC",
+        Category::Government => "GOV",
+        Category::OtherCategory => "OTC",
+    }
+}
+
+fn required_suffix(r: Required) -> &'static str {
+    match r {
+        Required::Always => "",
+        Required::OptIn => "a", // "attribute" consent required
+        Required::OptOut => "o",
+    }
+}
+
+impl CompactPolicy {
+    /// Derive the compact form of a full policy: access token, then the
+    /// deduplicated purpose/recipient/retention/category tokens in
+    /// vocabulary order.
+    pub fn from_policy(policy: &Policy) -> CompactPolicy {
+        let mut tokens: Vec<CompactToken> = Vec::new();
+        let mut push = |t: String| {
+            if !tokens.iter().any(|x| x.0 == t) {
+                tokens.push(CompactToken(t));
+            }
+        };
+        if let Some(a) = policy.access {
+            push(access_token(a).to_string());
+        }
+        for s in &policy.statements {
+            for pu in &s.purposes {
+                push(format!(
+                    "{}{}",
+                    purpose_token(pu.purpose),
+                    required_suffix(pu.required)
+                ));
+            }
+            for ru in &s.recipients {
+                push(format!(
+                    "{}{}",
+                    recipient_token(ru.recipient),
+                    required_suffix(ru.required)
+                ));
+            }
+            for r in &s.retention {
+                push(retention_token(*r).to_string());
+            }
+            for g in &s.data_groups {
+                for d in &g.data {
+                    for c in d.effective_categories() {
+                        push(category_token(c).to_string());
+                    }
+                }
+            }
+        }
+        CompactPolicy { tokens }
+    }
+
+    /// Parse a `P3P: CP="..."` header value (with or without the
+    /// `CP=`/quotes wrapper) into tokens.
+    pub fn parse_header(header: &str) -> CompactPolicy {
+        let inner = header
+            .trim()
+            .trim_start_matches("CP=")
+            .trim_matches('"')
+            .trim();
+        CompactPolicy {
+            tokens: inner
+                .split_whitespace()
+                .map(|t| CompactToken(t.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Render as the value of a `P3P` response header.
+    pub fn to_header(&self) -> String {
+        let body: Vec<&str> = self.tokens.iter().map(|t| t.as_str()).collect();
+        format!("CP=\"{}\"", body.join(" "))
+    }
+
+    /// True when any token (ignoring consent suffixes) is in `set`.
+    fn has_any(&self, set: &[&str]) -> bool {
+        self.tokens.iter().any(|t| {
+            let base = t.0.trim_end_matches(['a', 'o']);
+            set.contains(&base)
+        })
+    }
+
+    /// True when the token appears *without* an opt-in/opt-out suffix.
+    fn has_unconditional(&self, token: &str) -> bool {
+        self.tokens.iter().any(|t| t.0 == token)
+    }
+}
+
+/// IE6's privacy slider positions (§3.2: the user picks a preference
+/// level; cookies whose compact policy is incompatible are blocked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CookiePreference {
+    /// Accept all cookies.
+    Low,
+    /// Block third-party-style sharing without consent.
+    Medium,
+    /// Additionally block identified profiling without consent.
+    High,
+    /// Block everything touching personally identifiable information.
+    BlockAll,
+}
+
+/// The IE6-style verdict on a cookie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CookieVerdict {
+    Accept,
+    Block,
+}
+
+/// Evaluate a compact policy against a preference level, approximating
+/// IE6's default rules.
+pub fn evaluate_cookie(policy: &CompactPolicy, pref: CookiePreference) -> CookieVerdict {
+    match pref {
+        CookiePreference::Low => CookieVerdict::Accept,
+        CookiePreference::Medium => {
+            // Block when data is shared with unrelated parties or made
+            // public without consent.
+            if policy.has_unconditional("UNR") || policy.has_unconditional("PUB") {
+                CookieVerdict::Block
+            } else {
+                CookieVerdict::Accept
+            }
+        }
+        CookiePreference::High => {
+            if policy.has_unconditional("UNR")
+                || policy.has_unconditional("PUB")
+                || policy.has_unconditional("IVA")
+                || policy.has_unconditional("IVD")
+                || policy.has_unconditional("CON")
+                || policy.has_unconditional("TEL")
+            {
+                CookieVerdict::Block
+            } else {
+                CookieVerdict::Accept
+            }
+        }
+        CookiePreference::BlockAll => {
+            // Any personally identifiable category blocks.
+            if policy.has_any(&["PHY", "ONL", "UNI", "GOV", "FIN", "PUR", "LOC"]) {
+                CookieVerdict::Block
+            } else {
+                CookieVerdict::Accept
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::volga_policy;
+
+    #[test]
+    fn volga_compact_tokens() {
+        let cp = CompactPolicy::from_policy(&volga_policy());
+        let tokens: Vec<&str> = cp.tokens.iter().map(|t| t.as_str()).collect();
+        assert!(tokens.contains(&"CAO"), "{tokens:?}");
+        assert!(tokens.contains(&"CUR"));
+        assert!(tokens.contains(&"IVDa"), "opt-in suffix expected: {tokens:?}");
+        assert!(tokens.contains(&"CONa"));
+        assert!(tokens.contains(&"OUR"));
+        assert!(tokens.contains(&"SAM"));
+        assert!(tokens.contains(&"STP"));
+        assert!(tokens.contains(&"BUS"));
+        assert!(tokens.contains(&"PUR"));
+        // base-schema augmentation reaches the compact form too
+        assert!(tokens.contains(&"PHY"));
+        assert!(tokens.contains(&"ONL"));
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let cp = CompactPolicy::from_policy(&volga_policy());
+        let header = cp.to_header();
+        assert!(header.starts_with("CP=\""));
+        let reparsed = CompactPolicy::parse_header(&header);
+        assert_eq!(cp, reparsed);
+    }
+
+    #[test]
+    fn parse_header_tolerates_bare_tokens() {
+        let cp = CompactPolicy::parse_header("CAO DSP COR");
+        assert_eq!(cp.tokens.len(), 3);
+        assert_eq!(cp.tokens[0].as_str(), "CAO");
+    }
+
+    #[test]
+    fn low_accepts_everything() {
+        let cp = CompactPolicy::parse_header("UNR PUB IVD TEL PHY");
+        assert_eq!(evaluate_cookie(&cp, CookiePreference::Low), CookieVerdict::Accept);
+    }
+
+    #[test]
+    fn medium_blocks_unrelated_sharing() {
+        let unrelated = CompactPolicy::parse_header("CUR UNR");
+        assert_eq!(
+            evaluate_cookie(&unrelated, CookiePreference::Medium),
+            CookieVerdict::Block
+        );
+        // ...but not when the sharing is opt-in.
+        let opt_in = CompactPolicy::parse_header("CUR UNRa");
+        assert_eq!(
+            evaluate_cookie(&opt_in, CookiePreference::Medium),
+            CookieVerdict::Accept
+        );
+    }
+
+    #[test]
+    fn high_blocks_unconsented_profiling() {
+        let profiling = CompactPolicy::parse_header("CUR IVD OUR");
+        assert_eq!(
+            evaluate_cookie(&profiling, CookiePreference::High),
+            CookieVerdict::Block
+        );
+        let volga = CompactPolicy::from_policy(&volga_policy());
+        // Volga's profiling is opt-in, so High accepts it.
+        assert_eq!(
+            evaluate_cookie(&volga, CookiePreference::High),
+            CookieVerdict::Accept
+        );
+    }
+
+    #[test]
+    fn block_all_blocks_identifiable_categories() {
+        let volga = CompactPolicy::from_policy(&volga_policy());
+        assert_eq!(
+            evaluate_cookie(&volga, CookiePreference::BlockAll),
+            CookieVerdict::Block
+        );
+        let anonymous = CompactPolicy::parse_header("CUR NOI NAV COM");
+        assert_eq!(
+            evaluate_cookie(&anonymous, CookiePreference::BlockAll),
+            CookieVerdict::Accept
+        );
+    }
+
+    #[test]
+    fn tokens_are_deduplicated() {
+        let cp = CompactPolicy::from_policy(&volga_policy());
+        let mut sorted: Vec<&str> = cp.tokens.iter().map(|t| t.as_str()).collect();
+        let before = sorted.len();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before);
+    }
+}

@@ -1,0 +1,347 @@
+//! Custom data schemas (P3P 1.0 §5: DATASCHEMA / DATA-DEF).
+//!
+//! Besides the fixed base data schema, P3P lets a site publish its own
+//! data schema — a `<DATASCHEMA>` document of `<DATA-DEF>` elements,
+//! each assigning categories to a site-specific data element. Policies
+//! then reference those elements through a DATA-GROUP `base` attribute.
+//!
+//! A custom schema can be *applied* to a policy: every data reference
+//! it defines gains the schema's categories (as explicit CATEGORIES)
+//! and set references expand to their leaves — the same normalization
+//! the base schema gets via [`crate::augment`], done once so every
+//! downstream engine sees identical policies.
+
+use crate::error::PolicyError;
+use crate::model::{DataRef, Policy};
+use crate::vocab::Category;
+use p3p_xmldom::{parse_element, Element, ElementBuilder};
+
+/// One custom data element definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDef {
+    /// Dotted path, e.g. `loyalty.card.number` (no leading `#`).
+    pub path: String,
+    /// Categories the site assigns to the element.
+    pub categories: Vec<Category>,
+    /// Optional human-readable description.
+    pub short_description: Option<String>,
+}
+
+/// A parsed custom data schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataSchema {
+    /// The schema's URI (`xml:base`-like identity), if declared.
+    pub uri: Option<String>,
+    pub defs: Vec<DataDef>,
+}
+
+impl DataSchema {
+    /// Parse a `<DATASCHEMA>` document.
+    pub fn parse(xml: &str) -> Result<DataSchema, PolicyError> {
+        let root = parse_element(xml)?;
+        Self::from_element(&root)
+    }
+
+    /// Parse from a `<DATASCHEMA>` element.
+    pub fn from_element(root: &Element) -> Result<DataSchema, PolicyError> {
+        if root.name.local != "DATASCHEMA" {
+            return Err(PolicyError::invalid(
+                root.name.local.clone(),
+                "expected a DATASCHEMA element",
+            ));
+        }
+        let mut schema = DataSchema {
+            uri: root.attr_local("uri").map(str::to_string),
+            defs: Vec::new(),
+        };
+        for def in root.find_children("DATA-DEF") {
+            let path = def
+                .attr_local("ref")
+                .ok_or_else(|| PolicyError::invalid("DATA-DEF", "missing ref attribute"))?
+                .trim_start_matches('#')
+                .to_string();
+            if path.is_empty() {
+                return Err(PolicyError::invalid("DATA-DEF", "empty ref"));
+            }
+            let mut categories = Vec::new();
+            for cats in def.find_children("CATEGORIES") {
+                for c in cats.child_elements() {
+                    let cat = Category::from_token(&c.name.local)?;
+                    if !categories.contains(&cat) {
+                        categories.push(cat);
+                    }
+                }
+            }
+            schema.defs.push(DataDef {
+                path,
+                categories,
+                short_description: def
+                    .attr_local("short-description")
+                    .map(str::to_string),
+            });
+        }
+        Ok(schema)
+    }
+
+    /// Serialize back to a `<DATASCHEMA>` element.
+    pub fn to_element(&self) -> Element {
+        let mut b = ElementBuilder::new("DATASCHEMA");
+        if let Some(uri) = &self.uri {
+            b = b.attr("uri", uri.clone());
+        }
+        for def in &self.defs {
+            let mut d = ElementBuilder::new("DATA-DEF").attr("ref", format!("#{}", def.path));
+            if let Some(desc) = &def.short_description {
+                d = d.attr("short-description", desc.clone());
+            }
+            if !def.categories.is_empty() {
+                d = d.child(
+                    ElementBuilder::new("CATEGORIES")
+                        .leaves(def.categories.iter().map(|c| c.as_str())),
+                );
+            }
+            b = b.child(d);
+        }
+        b.build()
+    }
+
+    /// Serialize to XML text.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_pretty_xml()
+    }
+
+    /// Does this schema define `reference` (as a leaf or interior
+    /// node)?
+    pub fn is_known(&self, reference: &str) -> bool {
+        self.defs.iter().any(|d| {
+            d.path == reference
+                || (d.path.len() > reference.len()
+                    && d.path.starts_with(reference)
+                    && d.path.as_bytes()[reference.len()] == b'.')
+        })
+    }
+
+    /// Categories this schema fixes for `reference` (union over covered
+    /// leaves; ancestor fallback like the base schema).
+    pub fn categories_of(&self, reference: &str) -> Vec<Category> {
+        let mut out: Vec<Category> = Vec::new();
+        let mut push_all = |cats: &[Category]| {
+            for c in cats {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+        };
+        let mut found = false;
+        for d in &self.defs {
+            let covered = d.path == reference
+                || (d.path.len() > reference.len()
+                    && d.path.starts_with(reference)
+                    && d.path.as_bytes()[reference.len()] == b'.');
+            if covered {
+                found = true;
+                push_all(&d.categories);
+            }
+        }
+        if !found {
+            for d in &self.defs {
+                if reference.len() > d.path.len()
+                    && reference.starts_with(&d.path)
+                    && reference.as_bytes()[d.path.len()] == b'.'
+                {
+                    push_all(&d.categories);
+                }
+            }
+        }
+        out
+    }
+
+    /// The leaves covered by a reference.
+    pub fn leaves_of(&self, reference: &str) -> Vec<&str> {
+        self.defs
+            .iter()
+            .filter(|d| {
+                d.path == reference
+                    || (d.path.len() > reference.len()
+                        && d.path.starts_with(reference)
+                        && d.path.as_bytes()[reference.len()] == b'.')
+            })
+            .map(|d| d.path.as_str())
+            .collect()
+    }
+
+    /// Normalize a policy against this schema: every DATA reference the
+    /// schema defines gains its categories explicitly, and set
+    /// references gain leaf expansions. The result no longer needs this
+    /// schema — any engine can match it with base-schema knowledge
+    /// alone.
+    pub fn apply_to_policy(&self, policy: &Policy) -> Policy {
+        let mut out = policy.clone();
+        for stmt in &mut out.statements {
+            for group in &mut stmt.data_groups {
+                let mut present: Vec<String> =
+                    group.data.iter().map(|d| d.reference.clone()).collect();
+                let mut additions: Vec<DataRef> = Vec::new();
+                for d in &mut group.data {
+                    for c in self.categories_of(&d.reference) {
+                        if !d.categories.contains(&c) {
+                            d.categories.push(c);
+                        }
+                    }
+                    let leaves = self.leaves_of(&d.reference);
+                    let is_set = leaves.len() > 1 || (leaves.len() == 1 && leaves[0] != d.reference);
+                    if is_set {
+                        for leaf in leaves {
+                            if !present.iter().any(|p| p == leaf) {
+                                present.push(leaf.to_string());
+                                let mut leaf_ref = DataRef::new(leaf);
+                                leaf_ref.optional = d.optional;
+                                leaf_ref.categories = self.categories_of(leaf);
+                                additions.push(leaf_ref);
+                            }
+                        }
+                    }
+                }
+                group.data.extend(additions);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Statement;
+    use crate::vocab::{Purpose, Recipient, Retention};
+
+    const LOYALTY_XML: &str = r##"
+<DATASCHEMA uri="http://store.example.com/schema">
+  <DATA-DEF ref="#loyalty.card.number" short-description="Loyalty card number">
+    <CATEGORIES><uniqueid/><purchase/></CATEGORIES>
+  </DATA-DEF>
+  <DATA-DEF ref="#loyalty.tier">
+    <CATEGORIES><preference/></CATEGORIES>
+  </DATA-DEF>
+  <DATA-DEF ref="#loyalty.card.issued">
+    <CATEGORIES><purchase/></CATEGORIES>
+  </DATA-DEF>
+</DATASCHEMA>"##;
+
+    fn schema() -> DataSchema {
+        DataSchema::parse(LOYALTY_XML).unwrap()
+    }
+
+    #[test]
+    fn parses_defs_and_metadata() {
+        let s = schema();
+        assert_eq!(s.uri.as_deref(), Some("http://store.example.com/schema"));
+        assert_eq!(s.defs.len(), 3);
+        assert_eq!(s.defs[0].path, "loyalty.card.number");
+        assert_eq!(
+            s.defs[0].categories,
+            vec![Category::UniqueId, Category::Purchase]
+        );
+        assert_eq!(
+            s.defs[0].short_description.as_deref(),
+            Some("Loyalty card number")
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_xml() {
+        let s = schema();
+        let again = DataSchema::parse(&s.to_xml()).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn lookups_mirror_base_schema_semantics() {
+        let s = schema();
+        assert!(s.is_known("loyalty.card.number"));
+        assert!(s.is_known("loyalty.card"));
+        assert!(s.is_known("loyalty"));
+        assert!(!s.is_known("loyal"));
+        assert_eq!(
+            s.categories_of("loyalty.card"),
+            vec![Category::UniqueId, Category::Purchase]
+        );
+        assert_eq!(s.leaves_of("loyalty.card").len(), 2);
+        // below-leaf fallback
+        assert_eq!(
+            s.categories_of("loyalty.tier.name"),
+            vec![Category::Preference]
+        );
+    }
+
+    #[test]
+    fn apply_normalizes_policy() {
+        let s = schema();
+        let mut p = Policy::new("store");
+        p.statements.push(Statement::simple(
+            [Purpose::Current],
+            [Recipient::Ours],
+            Retention::StatedPurpose,
+            [DataRef::new("loyalty.card")],
+        ));
+        let applied = s.apply_to_policy(&p);
+        let refs: Vec<&str> = applied.statements[0].data_groups[0]
+            .data
+            .iter()
+            .map(|d| d.reference.as_str())
+            .collect();
+        assert!(refs.contains(&"loyalty.card"));
+        assert!(refs.contains(&"loyalty.card.number"));
+        assert!(refs.contains(&"loyalty.card.issued"));
+        let set_ref = &applied.statements[0].data_groups[0].data[0];
+        assert!(set_ref.categories.contains(&Category::UniqueId));
+        assert!(set_ref.categories.contains(&Category::Purchase));
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let s = schema();
+        let mut p = Policy::new("store");
+        p.statements.push(Statement::simple(
+            [Purpose::Current],
+            [Recipient::Ours],
+            Retention::StatedPurpose,
+            [DataRef::new("loyalty.card"), DataRef::new("user.name")],
+        ));
+        let once = s.apply_to_policy(&p);
+        let twice = s.apply_to_policy(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn apply_ignores_unrelated_references() {
+        let s = schema();
+        let mut p = Policy::new("store");
+        p.statements.push(Statement::simple(
+            [Purpose::Current],
+            [Recipient::Ours],
+            Retention::StatedPurpose,
+            [DataRef::new("user.bdate")],
+        ));
+        assert_eq!(s.apply_to_policy(&p), p);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(DataSchema::parse("<POLICY/>").is_err());
+        assert!(DataSchema::parse("<DATASCHEMA><DATA-DEF/></DATASCHEMA>").is_err());
+        assert!(DataSchema::parse(
+            "<DATASCHEMA><DATA-DEF ref=\"#x\"><CATEGORIES><zap/></CATEGORIES></DATA-DEF></DATASCHEMA>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_categories_are_deduped() {
+        let s = DataSchema::parse(
+            "<DATASCHEMA><DATA-DEF ref=\"#x\"><CATEGORIES><purchase/><purchase/></CATEGORIES></DATA-DEF></DATASCHEMA>",
+        )
+        .unwrap();
+        assert_eq!(s.defs[0].categories, vec![Category::Purchase]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors raised while parsing or validating P3P documents.
+
+use std::fmt;
+
+/// An error produced while turning XML into the P3P model or while
+/// validating a model instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The underlying XML was not well-formed.
+    Xml(p3p_xmldom::ParseError),
+    /// The XML was well-formed but not valid P3P.
+    Invalid {
+        /// Which element the problem was found in.
+        context: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A vocabulary token was not recognised (e.g. an unknown purpose).
+    UnknownToken {
+        /// Vocabulary name, e.g. `PURPOSE`.
+        vocabulary: &'static str,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl PolicyError {
+    pub(crate) fn invalid(context: impl Into<String>, message: impl Into<String>) -> Self {
+        PolicyError::Invalid {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Xml(e) => write!(f, "{e}"),
+            PolicyError::Invalid { context, message } => {
+                write!(f, "invalid P3P in <{context}>: {message}")
+            }
+            PolicyError::UnknownToken { vocabulary, token } => {
+                write!(f, "unknown {vocabulary} token `{token}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p3p_xmldom::ParseError> for PolicyError {
+    fn from(e: p3p_xmldom::ParseError) -> Self {
+        PolicyError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let inv = PolicyError::invalid("STATEMENT", "missing PURPOSE");
+        assert_eq!(inv.to_string(), "invalid P3P in <STATEMENT>: missing PURPOSE");
+        let unk = PolicyError::UnknownToken {
+            vocabulary: "PURPOSE",
+            token: "frobnicate".into(),
+        };
+        assert_eq!(unk.to_string(), "unknown PURPOSE token `frobnicate`");
+    }
+
+    #[test]
+    fn xml_errors_convert() {
+        let xml_err = p3p_xmldom::parse_element("<A").unwrap_err();
+        let err: PolicyError = xml_err.into();
+        assert!(matches!(err, PolicyError::Xml(_)));
+    }
+}

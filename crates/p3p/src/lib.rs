@@ -1,0 +1,61 @@
+//! # p3p-policy — the P3P 1.0 data model
+//!
+//! The Platform for Privacy Preferences (P3P 1.0, W3C Recommendation,
+//! April 2002) lets a web site publish its data-collection and data-use
+//! practices as a machine-readable XML *policy*. This crate models that
+//! policy language:
+//!
+//! * [`vocab`] — the closed P3P vocabularies: 12 [`vocab::Purpose`]s,
+//!   6 [`vocab::Recipient`]s, 5 [`vocab::Retention`]s, 17
+//!   [`vocab::Category`]s, the `required` attribute
+//!   ([`vocab::Required`]), and [`vocab::Access`].
+//! * [`model`] — [`model::Policy`], [`model::Statement`],
+//!   [`model::DataGroup`], [`model::DataRef`], [`model::Entity`], etc.
+//! * [`base_schema`] — the P3P *base data schema* (`user.name.given`,
+//!   `dynamic.miscdata`, …) with the category assignments the
+//!   specification fixes for each data element. Category augmentation of
+//!   `DATA` elements from this schema is the step the paper's profiling
+//!   found to dominate the native APPEL engine's matching cost (§6.3.2).
+//! * [`parse`] / [`serialize`] — XML ⇄ model, both directions.
+//! * [`mod@reference`] — P3P reference files (META / POLICY-REF with
+//!   INCLUDE/EXCLUDE URI patterns) and the URI → policy lookup (§2.3).
+//! * [`compact`] — compact policies, the abbreviated header encoding
+//!   used by IE6's cookie filtering (§3.2).
+//! * [`validate`] — structural well-formedness checks for policies.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use p3p_policy::model::Policy;
+//!
+//! let xml = r##"
+//! <POLICY name="minimal">
+//!   <STATEMENT>
+//!     <PURPOSE><current/></PURPOSE>
+//!     <RECIPIENT><ours/></RECIPIENT>
+//!     <RETENTION><stated-purpose/></RETENTION>
+//!     <DATA-GROUP><DATA ref="#user.name"/></DATA-GROUP>
+//!   </STATEMENT>
+//! </POLICY>"##;
+//! let policy = Policy::parse(xml).unwrap();
+//! assert_eq!(policy.statements.len(), 1);
+//! assert_eq!(policy.statements[0].purposes[0].purpose.as_str(), "current");
+//! ```
+
+pub mod augment;
+pub mod base_schema;
+pub mod compact;
+pub mod dataschema;
+pub mod error;
+pub mod model;
+pub mod parse;
+pub mod reference;
+pub mod serialize;
+pub mod validate;
+pub mod vocab;
+
+pub use dataschema::{DataDef, DataSchema};
+pub use error::PolicyError;
+pub use model::{DataGroup, DataRef, Entity, Policy, PurposeUse, RecipientUse, Statement};
+pub use reference::{PolicyRef, ReferenceFile};
+pub use vocab::{Access, Category, Purpose, Recipient, Required, Retention};

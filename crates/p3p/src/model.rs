@@ -1,0 +1,394 @@
+//! The P3P policy object model.
+//!
+//! Mirrors the element structure of a P3P 1.0 POLICY document
+//! (paper §2.1): a policy carries identity/ENTITY information, an ACCESS
+//! declaration, optional DISPUTES, and a sequence of STATEMENTs; each
+//! statement binds purposes, recipients, a retention, and the data
+//! groups collected under those terms.
+
+use crate::error::PolicyError;
+use crate::vocab::{Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention};
+
+/// A complete P3P policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// The `name` attribute — unique within a site's policies.
+    pub name: String,
+    /// The `discuri` attribute: URI of the human-readable policy.
+    pub discuri: Option<String>,
+    /// The `opturi` attribute: URI for opt-in/opt-out instructions.
+    pub opturi: Option<String>,
+    /// The legal entity making the statement (required by P3P; optional
+    /// here so fragments can be modelled).
+    pub entity: Option<Entity>,
+    /// The ACCESS declaration.
+    pub access: Option<Access>,
+    /// Dispute resolution procedures.
+    pub disputes: Vec<Dispute>,
+    /// The policy's statements, in document order.
+    pub statements: Vec<Statement>,
+    /// The `xml:lang` of human-readable fields, if declared.
+    pub lang: Option<String>,
+}
+
+impl Policy {
+    /// A policy with just a name; populate the rest via the fields.
+    pub fn new(name: impl Into<String>) -> Self {
+        Policy {
+            name: name.into(),
+            discuri: None,
+            opturi: None,
+            entity: None,
+            access: None,
+            disputes: Vec::new(),
+            statements: Vec::new(),
+            lang: None,
+        }
+    }
+
+    /// Parse a policy from XML text. See [`crate::parse`].
+    pub fn parse(xml: &str) -> Result<Policy, PolicyError> {
+        crate::parse::parse_policy_str(xml)
+    }
+
+    /// Serialize to XML text. See [`crate::serialize`].
+    pub fn to_xml(&self) -> String {
+        crate::serialize::policy_to_element(self).to_pretty_xml()
+    }
+
+    /// All purposes used anywhere in the policy (with duplicates).
+    pub fn all_purposes(&self) -> impl Iterator<Item = &PurposeUse> {
+        self.statements.iter().flat_map(|s| s.purposes.iter())
+    }
+
+    /// All data references anywhere in the policy.
+    pub fn all_data_refs(&self) -> impl Iterator<Item = &DataRef> {
+        self.statements
+            .iter()
+            .flat_map(|s| s.data_groups.iter())
+            .flat_map(|g| g.data.iter())
+    }
+
+    /// Total number of DATA elements in the policy.
+    pub fn data_element_count(&self) -> usize {
+        self.all_data_refs().count()
+    }
+}
+
+/// The legal entity behind a policy (ENTITY element).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Entity {
+    /// `business.name` in the entity's DATA-GROUP.
+    pub business_name: Option<String>,
+    /// Additional `(ref, value)` pairs from the entity description
+    /// (e.g. `#business.contact-info.online.email` → address).
+    pub fields: Vec<(String, String)>,
+}
+
+impl Entity {
+    /// An entity carrying only a business name.
+    pub fn named(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Entity {
+            business_name: Some(name.clone()),
+            fields: vec![("business.name".to_string(), name)],
+        }
+    }
+}
+
+/// A DISPUTES element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dispute {
+    pub resolution_type: ResolutionType,
+    /// The `service` attribute: URI of the resolution service.
+    pub service: Option<String>,
+    /// Human-readable description.
+    pub description: Option<String>,
+    /// Remedies offered.
+    pub remedies: Vec<Remedy>,
+}
+
+/// A STATEMENT: one unit of "we collect these data for these purposes".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Statement {
+    /// Human-readable CONSEQUENCE text, if any.
+    pub consequence: Option<String>,
+    /// Marks statements about non-identifiable data.
+    pub non_identifiable: bool,
+    /// Purposes (each with its `required` setting).
+    pub purposes: Vec<PurposeUse>,
+    /// Recipients (each with its `required` setting).
+    pub recipients: Vec<RecipientUse>,
+    /// Retention values. P3P allows exactly one subelement; kept as a
+    /// vec so invalid documents can be represented before validation.
+    pub retention: Vec<Retention>,
+    /// The data groups collected under this statement.
+    pub data_groups: Vec<DataGroup>,
+}
+
+impl Statement {
+    /// A statement with the given parts and `always` requirements.
+    pub fn simple(
+        purposes: impl IntoIterator<Item = Purpose>,
+        recipients: impl IntoIterator<Item = Recipient>,
+        retention: Retention,
+        data_refs: impl IntoIterator<Item = DataRef>,
+    ) -> Self {
+        Statement {
+            consequence: None,
+            non_identifiable: false,
+            purposes: purposes.into_iter().map(PurposeUse::always).collect(),
+            recipients: recipients.into_iter().map(RecipientUse::always).collect(),
+            retention: vec![retention],
+            data_groups: vec![DataGroup {
+                base: None,
+                data: data_refs.into_iter().collect(),
+            }],
+        }
+    }
+}
+
+/// A purpose together with its `required` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PurposeUse {
+    pub purpose: Purpose,
+    pub required: Required,
+}
+
+impl PurposeUse {
+    /// The default: `required="always"`.
+    pub fn always(purpose: Purpose) -> Self {
+        PurposeUse {
+            purpose,
+            required: Required::Always,
+        }
+    }
+
+    /// An opt-in purpose (explicit consent needed), as in the second
+    /// statement of the paper's Volga policy.
+    pub fn opt_in(purpose: Purpose) -> Self {
+        PurposeUse {
+            purpose,
+            required: Required::OptIn,
+        }
+    }
+
+    /// An opt-out purpose.
+    pub fn opt_out(purpose: Purpose) -> Self {
+        PurposeUse {
+            purpose,
+            required: Required::OptOut,
+        }
+    }
+}
+
+/// A recipient together with its `required` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecipientUse {
+    pub recipient: Recipient,
+    pub required: Required,
+}
+
+impl RecipientUse {
+    /// The default: `required="always"`.
+    pub fn always(recipient: Recipient) -> Self {
+        RecipientUse {
+            recipient,
+            required: Required::Always,
+        }
+    }
+}
+
+/// A DATA-GROUP: a set of data references sharing an optional `base`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataGroup {
+    /// The `base` attribute (defaults to the P3P base data schema URI
+    /// when absent; `Some("")` denotes an explicit empty base).
+    pub base: Option<String>,
+    pub data: Vec<DataRef>,
+}
+
+/// A DATA element: a reference into a data schema plus explicit
+/// categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRef {
+    /// The `ref` attribute *without* the leading `#`,
+    /// e.g. `user.home-info.postal`.
+    pub reference: String,
+    /// The `optional` attribute (`yes` ⇒ true).
+    pub optional: bool,
+    /// Categories declared explicitly in the policy. Variable-category
+    /// elements such as `dynamic.miscdata` must declare these; fixed
+    /// elements inherit them from the base data schema instead.
+    pub categories: Vec<Category>,
+}
+
+impl DataRef {
+    /// A non-optional reference with no explicit categories.
+    pub fn new(reference: impl Into<String>) -> Self {
+        DataRef {
+            reference: reference.into(),
+            optional: false,
+            categories: Vec::new(),
+        }
+    }
+
+    /// Attach explicit categories.
+    pub fn with_categories(mut self, categories: impl IntoIterator<Item = Category>) -> Self {
+        self.categories.extend(categories);
+        self
+    }
+
+    /// Mark the element optional.
+    pub fn optional(mut self) -> Self {
+        self.optional = true;
+        self
+    }
+
+    /// The reference in `#`-prefixed form as it appears in XML.
+    pub fn href(&self) -> String {
+        format!("#{}", self.reference)
+    }
+
+    /// The effective categories: explicit ones plus those the base data
+    /// schema fixes for this element. This is exactly the augmentation
+    /// the paper performs at shred time (server-centric) or per match
+    /// (native APPEL engine).
+    pub fn effective_categories(&self) -> Vec<Category> {
+        let mut cats = self.categories.clone();
+        for c in crate::base_schema::categories_of(&self.reference) {
+            if !cats.contains(&c) {
+                cats.push(c);
+            }
+        }
+        cats
+    }
+}
+
+/// Construct the bookseller policy of the paper's Figure 1.
+///
+/// Statement 1: name, postal address, and miscellaneous purchase data
+/// used to complete the current transaction (recipients: ours/same,
+/// retention: stated-purpose). Statement 2: email and purchase data used
+/// for opt-in individualized recommendations (recipient: ours,
+/// retention: business-practices).
+pub fn volga_policy() -> Policy {
+    let mut policy = Policy::new("volga");
+    policy.entity = Some(Entity::named("Volga Booksellers"));
+    policy.access = Some(Access::ContactAndOther);
+    policy.discuri = Some("http://volga.example.com/privacy.html".to_string());
+
+    let statement1 = Statement {
+        consequence: Some(
+            "We use this information to complete your current purchase.".to_string(),
+        ),
+        non_identifiable: false,
+        purposes: vec![PurposeUse::always(Purpose::Current)],
+        recipients: vec![
+            RecipientUse::always(Recipient::Ours),
+            RecipientUse::always(Recipient::Same),
+        ],
+        retention: vec![Retention::StatedPurpose],
+        data_groups: vec![DataGroup {
+            base: None,
+            data: vec![
+                DataRef::new("user.name"),
+                DataRef::new("user.home-info.postal"),
+                DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]),
+            ],
+        }],
+    };
+
+    let statement2 = Statement {
+        consequence: Some(
+            "With your consent we email personalized book recommendations.".to_string(),
+        ),
+        non_identifiable: false,
+        purposes: vec![
+            PurposeUse::opt_in(Purpose::IndividualDecision),
+            PurposeUse::opt_in(Purpose::Contact),
+        ],
+        recipients: vec![RecipientUse::always(Recipient::Ours)],
+        retention: vec![Retention::BusinessPractices],
+        data_groups: vec![DataGroup {
+            base: None,
+            data: vec![
+                DataRef::new("user.home-info.online.email"),
+                DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]),
+            ],
+        }],
+    };
+
+    policy.statements = vec![statement1, statement2];
+    policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volga_matches_figure_1_structure() {
+        let p = volga_policy();
+        assert_eq!(p.statements.len(), 2);
+        let s1 = &p.statements[0];
+        assert_eq!(s1.purposes, vec![PurposeUse::always(Purpose::Current)]);
+        assert_eq!(s1.recipients.len(), 2);
+        assert_eq!(s1.retention, vec![Retention::StatedPurpose]);
+        assert_eq!(s1.data_groups[0].data.len(), 3);
+
+        let s2 = &p.statements[1];
+        assert!(s2
+            .purposes
+            .iter()
+            .all(|pu| pu.required == Required::OptIn));
+        assert_eq!(s2.retention, vec![Retention::BusinessPractices]);
+    }
+
+    #[test]
+    fn data_ref_href_form() {
+        assert_eq!(DataRef::new("user.name").href(), "#user.name");
+    }
+
+    #[test]
+    fn effective_categories_union_explicit_and_base_schema() {
+        // user.home-info.postal is `physical` + `demographic` in the base
+        // schema; an explicit extra category must be preserved.
+        let d = DataRef::new("user.home-info.postal").with_categories([Category::Preference]);
+        let cats = d.effective_categories();
+        assert!(cats.contains(&Category::Preference));
+        assert!(cats.contains(&Category::Physical));
+        // no duplicates even if explicit repeats a base category
+        let d2 = DataRef::new("user.home-info.postal").with_categories([Category::Physical]);
+        let cats2 = d2.effective_categories();
+        assert_eq!(
+            cats2.iter().filter(|c| **c == Category::Physical).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn statement_simple_defaults_to_always() {
+        let s = Statement::simple(
+            [Purpose::Current],
+            [Recipient::Ours],
+            Retention::NoRetention,
+            [DataRef::new("user.name")],
+        );
+        assert_eq!(s.purposes[0].required, Required::Always);
+        assert_eq!(s.recipients[0].required, Required::Always);
+    }
+
+    #[test]
+    fn policy_iterators_cover_all_statements() {
+        let p = volga_policy();
+        assert_eq!(p.all_purposes().count(), 3);
+        assert_eq!(p.data_element_count(), 5);
+    }
+
+    #[test]
+    fn purpose_use_constructors() {
+        assert_eq!(PurposeUse::opt_out(Purpose::Contact).required, Required::OptOut);
+        assert_eq!(PurposeUse::opt_in(Purpose::Contact).required, Required::OptIn);
+    }
+}

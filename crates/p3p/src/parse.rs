@@ -1,0 +1,349 @@
+//! Parsing P3P policy XML into the object model.
+//!
+//! Accepts both plain and prefixed element names (`POLICY` and
+//! `p3p:POLICY`), and either a bare `<POLICY>` document or a
+//! `<POLICIES>` wrapper containing several.
+
+use crate::error::PolicyError;
+use crate::model::{
+    DataGroup, DataRef, Dispute, Entity, Policy, PurposeUse, RecipientUse, Statement,
+};
+use crate::vocab::{Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention};
+use p3p_xmldom::{parse_element, Element};
+
+/// Parse one `<POLICY>` document from text.
+pub fn parse_policy_str(xml: &str) -> Result<Policy, PolicyError> {
+    let root = parse_element(xml)?;
+    parse_policy(&root)
+}
+
+/// Parse a `<POLICIES>` document (or a single `<POLICY>`) from text.
+pub fn parse_policies_str(xml: &str) -> Result<Vec<Policy>, PolicyError> {
+    let root = parse_element(xml)?;
+    if root.name.local == "POLICIES" {
+        root.find_children("POLICY").map(parse_policy).collect()
+    } else {
+        Ok(vec![parse_policy(&root)?])
+    }
+}
+
+/// Parse a `<POLICY>` element.
+pub fn parse_policy(root: &Element) -> Result<Policy, PolicyError> {
+    if root.name.local != "POLICY" {
+        return Err(PolicyError::invalid(
+            root.name.local.clone(),
+            "expected a POLICY element",
+        ));
+    }
+    let mut policy = Policy::new(root.attr_local("name").unwrap_or("unnamed"));
+    policy.discuri = root.attr_local("discuri").map(str::to_string);
+    policy.opturi = root.attr_local("opturi").map(str::to_string);
+    policy.lang = root.attr_local("lang").map(str::to_string);
+
+    for child in root.child_elements() {
+        match child.name.local.as_str() {
+            "ENTITY" => policy.entity = Some(parse_entity(child)?),
+            "ACCESS" => policy.access = Some(parse_access(child)?),
+            "DISPUTES-GROUP" => {
+                for d in child.find_children("DISPUTES") {
+                    policy.disputes.push(parse_dispute(d)?);
+                }
+            }
+            "STATEMENT" => policy.statements.push(parse_statement(child)?),
+            "EXTENSION" | "TEST" => {} // tolerated, ignored
+            other => {
+                return Err(PolicyError::invalid(
+                    "POLICY",
+                    format!("unexpected child element <{other}>"),
+                ))
+            }
+        }
+    }
+    Ok(policy)
+}
+
+fn parse_entity(elem: &Element) -> Result<Entity, PolicyError> {
+    let mut entity = Entity::default();
+    // ENTITY contains a DATA-GROUP of business.* DATA elements with text
+    // values.
+    if let Some(group) = elem.find_child("DATA-GROUP") {
+        for data in group.find_children("DATA") {
+            let reference = data
+                .attr_local("ref")
+                .ok_or_else(|| PolicyError::invalid("ENTITY/DATA", "missing ref attribute"))?
+                .trim_start_matches('#')
+                .to_string();
+            let value = data.text();
+            if reference == "business.name" {
+                entity.business_name = Some(value.clone());
+            }
+            entity.fields.push((reference, value));
+        }
+    }
+    Ok(entity)
+}
+
+fn parse_access(elem: &Element) -> Result<Access, PolicyError> {
+    let child = elem
+        .child_elements()
+        .next()
+        .ok_or_else(|| PolicyError::invalid("ACCESS", "missing access value element"))?;
+    Access::from_token(&child.name.local)
+}
+
+fn parse_dispute(elem: &Element) -> Result<Dispute, PolicyError> {
+    let resolution_type = elem
+        .attr_local("resolution-type")
+        .ok_or_else(|| PolicyError::invalid("DISPUTES", "missing resolution-type"))
+        .and_then(ResolutionType::from_token)?;
+    let mut remedies = Vec::new();
+    if let Some(rem) = elem.find_child("REMEDIES") {
+        for r in rem.child_elements() {
+            remedies.push(Remedy::from_token(&r.name.local)?);
+        }
+    }
+    Ok(Dispute {
+        resolution_type,
+        service: elem.attr_local("service").map(str::to_string),
+        description: elem.find_child("LONG-DESCRIPTION").map(|d| d.text()),
+        remedies,
+    })
+}
+
+/// Parse a `<STATEMENT>` element.
+pub fn parse_statement(elem: &Element) -> Result<Statement, PolicyError> {
+    let mut stmt = Statement::default();
+    for child in elem.child_elements() {
+        match child.name.local.as_str() {
+            "CONSEQUENCE" => stmt.consequence = Some(child.text()),
+            "NON-IDENTIFIABLE" => stmt.non_identifiable = true,
+            "PURPOSE" => {
+                for p in child.child_elements() {
+                    stmt.purposes.push(PurposeUse {
+                        purpose: Purpose::from_token(&p.name.local)?,
+                        required: parse_required(p)?,
+                    });
+                }
+            }
+            "RECIPIENT" => {
+                for r in child.child_elements() {
+                    stmt.recipients.push(RecipientUse {
+                        recipient: Recipient::from_token(&r.name.local)?,
+                        required: parse_required(r)?,
+                    });
+                }
+            }
+            "RETENTION" => {
+                for r in child.child_elements() {
+                    stmt.retention.push(Retention::from_token(&r.name.local)?);
+                }
+            }
+            "DATA-GROUP" => stmt.data_groups.push(parse_data_group(child)?),
+            "EXTENSION" => {}
+            other => {
+                return Err(PolicyError::invalid(
+                    "STATEMENT",
+                    format!("unexpected child element <{other}>"),
+                ))
+            }
+        }
+    }
+    Ok(stmt)
+}
+
+fn parse_required(elem: &Element) -> Result<Required, PolicyError> {
+    match elem.attr_local("required") {
+        // "By default, the value of the required attribute is set to
+        //  always" — paper §2.1.
+        None => Ok(Required::Always),
+        Some(v) => Required::from_token(v),
+    }
+}
+
+fn parse_data_group(elem: &Element) -> Result<DataGroup, PolicyError> {
+    let mut group = DataGroup {
+        base: elem.attr_local("base").map(str::to_string),
+        data: Vec::new(),
+    };
+    for data in elem.find_children("DATA") {
+        group.data.push(parse_data(data)?);
+    }
+    Ok(group)
+}
+
+fn parse_data(elem: &Element) -> Result<DataRef, PolicyError> {
+    let reference = elem
+        .attr_local("ref")
+        .ok_or_else(|| PolicyError::invalid("DATA", "missing ref attribute"))?
+        .trim_start_matches('#')
+        .to_string();
+    let optional = matches!(elem.attr_local("optional"), Some("yes"));
+    let mut categories = Vec::new();
+    for cats in elem.find_children("CATEGORIES") {
+        for c in cats.child_elements() {
+            categories.push(Category::from_token(&c.name.local)?);
+        }
+    }
+    Ok(DataRef {
+        reference,
+        optional,
+        categories,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::volga_policy;
+
+    const VOLGA_XML: &str = r##"
+<POLICY name="volga" discuri="http://volga.example.com/privacy.html">
+  <ENTITY>
+    <DATA-GROUP>
+      <DATA ref="#business.name">Volga Booksellers</DATA>
+      <DATA ref="#business.contact-info.online.email">privacy@volga.example.com</DATA>
+    </DATA-GROUP>
+  </ENTITY>
+  <ACCESS><contact-and-other/></ACCESS>
+  <STATEMENT>
+    <PURPOSE><current/></PURPOSE>
+    <RECIPIENT><ours/><same/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.name"/>
+      <DATA ref="#user.home-info.postal"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+  <STATEMENT>
+    <PURPOSE>
+      <individual-decision required="opt-in"/>
+      <contact required="opt-in"/>
+    </PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><business-practices/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>"##;
+
+    #[test]
+    fn parses_figure_1_policy() {
+        let p = parse_policy_str(VOLGA_XML).unwrap();
+        assert_eq!(p.name, "volga");
+        assert_eq!(p.statements.len(), 2);
+        assert_eq!(p.access, Some(Access::ContactAndOther));
+        assert_eq!(
+            p.entity.as_ref().unwrap().business_name.as_deref(),
+            Some("Volga Booksellers")
+        );
+        let s1 = &p.statements[0];
+        assert_eq!(s1.purposes, vec![PurposeUse::always(Purpose::Current)]);
+        assert_eq!(s1.recipients.len(), 2);
+        assert_eq!(s1.retention, vec![Retention::StatedPurpose]);
+        assert_eq!(s1.data_groups[0].data[2].categories, vec![Category::Purchase]);
+
+        let s2 = &p.statements[1];
+        assert_eq!(s2.purposes[0].required, Required::OptIn);
+        assert_eq!(s2.purposes[1].purpose, Purpose::Contact);
+    }
+
+    #[test]
+    fn required_defaults_to_always() {
+        let p = parse_policy_str(
+            "<POLICY name=\"p\"><STATEMENT><PURPOSE><contact/></PURPOSE></STATEMENT></POLICY>",
+        )
+        .unwrap();
+        assert_eq!(p.statements[0].purposes[0].required, Required::Always);
+    }
+
+    #[test]
+    fn optional_attribute_parses() {
+        let p = parse_policy_str(
+            "<POLICY name=\"p\"><STATEMENT><DATA-GROUP><DATA ref=\"#user.bdate\" optional=\"yes\"/></DATA-GROUP></STATEMENT></POLICY>",
+        )
+        .unwrap();
+        assert!(p.statements[0].data_groups[0].data[0].optional);
+    }
+
+    #[test]
+    fn prefixed_elements_are_accepted() {
+        let p = parse_policy_str(
+            "<p3p:POLICY name=\"p\"><p3p:STATEMENT><p3p:PURPOSE><p3p:admin/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY>",
+        )
+        .unwrap();
+        assert_eq!(p.statements[0].purposes[0].purpose, Purpose::Admin);
+    }
+
+    #[test]
+    fn policies_wrapper_parses_multiple() {
+        let ps = parse_policies_str(
+            "<POLICIES><POLICY name=\"a\"/><POLICY name=\"b\"/></POLICIES>",
+        )
+        .unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].name, "b");
+    }
+
+    #[test]
+    fn unknown_purpose_is_rejected() {
+        let err = parse_policy_str(
+            "<POLICY name=\"p\"><STATEMENT><PURPOSE><zap/></PURPOSE></STATEMENT></POLICY>",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PolicyError::UnknownToken { vocabulary: "PURPOSE", .. }));
+    }
+
+    #[test]
+    fn unexpected_statement_child_is_rejected() {
+        let err = parse_policy_str(
+            "<POLICY name=\"p\"><STATEMENT><WEIRD/></STATEMENT></POLICY>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("WEIRD"));
+    }
+
+    #[test]
+    fn data_without_ref_is_rejected() {
+        assert!(parse_policy_str(
+            "<POLICY name=\"p\"><STATEMENT><DATA-GROUP><DATA/></DATA-GROUP></STATEMENT></POLICY>",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_policy_root_is_rejected() {
+        assert!(parse_policy_str("<RULESET/>").is_err());
+    }
+
+    #[test]
+    fn disputes_parse() {
+        let p = parse_policy_str(
+            r#"<POLICY name="p">
+                 <DISPUTES-GROUP>
+                   <DISPUTES resolution-type="independent" service="http://trust.example.org">
+                     <REMEDIES><correct/><money/></REMEDIES>
+                   </DISPUTES>
+                 </DISPUTES-GROUP>
+               </POLICY>"#,
+        )
+        .unwrap();
+        assert_eq!(p.disputes.len(), 1);
+        assert_eq!(p.disputes[0].resolution_type, ResolutionType::Independent);
+        assert_eq!(p.disputes[0].remedies, vec![Remedy::Correct, Remedy::Money]);
+    }
+
+    #[test]
+    fn model_roundtrips_through_xml() {
+        let original = volga_policy();
+        let xml = original.to_xml();
+        let reparsed = parse_policy_str(&xml).unwrap();
+        assert_eq!(original, reparsed);
+    }
+}

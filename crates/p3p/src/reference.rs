@@ -1,0 +1,322 @@
+//! P3P reference files (paper §2.3, §5.5).
+//!
+//! A site may publish several policies, each covering part of the site.
+//! The reference file (a `<META>` document) holds `<POLICY-REF>`
+//! entries whose INCLUDE/EXCLUDE patterns map request URIs to policies,
+//! with separate COOKIE-INCLUDE/COOKIE-EXCLUDE patterns for cookies.
+
+use crate::error::PolicyError;
+use p3p_xmldom::{parse_element, Element, ElementBuilder};
+
+/// A parsed reference file (the `<META>`/`<POLICY-REFERENCES>` content).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReferenceFile {
+    /// Policy references in document order. Order matters: the first
+    /// match wins.
+    pub policy_refs: Vec<PolicyRef>,
+    /// Lifetime of the reference file in seconds (`EXPIRY max-age`).
+    pub max_age: Option<u64>,
+}
+
+/// One `<POLICY-REF>`: a policy URI plus the URI patterns it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRef {
+    /// The `about` attribute: URI (or fragment) of the policy. A
+    /// fragment like `/p3p/policies.xml#checkout` names the policy
+    /// `checkout`.
+    pub about: String,
+    /// Local path patterns covered (`<INCLUDE>`), with `*` wildcards.
+    pub includes: Vec<String>,
+    /// Local path patterns excluded (`<EXCLUDE>`).
+    pub excludes: Vec<String>,
+    /// Cookie patterns covered (`<COOKIE-INCLUDE>`), `name=value` form
+    /// with wildcards.
+    pub cookie_includes: Vec<String>,
+    /// Cookie patterns excluded (`<COOKIE-EXCLUDE>`).
+    pub cookie_excludes: Vec<String>,
+}
+
+impl PolicyRef {
+    /// A reference covering nothing; add patterns via the fields.
+    pub fn new(about: impl Into<String>) -> Self {
+        PolicyRef {
+            about: about.into(),
+            includes: Vec::new(),
+            excludes: Vec::new(),
+            cookie_includes: Vec::new(),
+            cookie_excludes: Vec::new(),
+        }
+    }
+
+    /// The policy's local name: the URI fragment if present, otherwise
+    /// the whole `about` value.
+    pub fn policy_name(&self) -> &str {
+        match self.about.rsplit_once('#') {
+            Some((_, frag)) => frag,
+            None => &self.about,
+        }
+    }
+
+    /// Does this reference cover `path`? Covered when some INCLUDE
+    /// matches and no EXCLUDE matches (P3P §2.3.2.1.3).
+    pub fn covers(&self, path: &str) -> bool {
+        self.includes.iter().any(|p| wildcard_match(p, path))
+            && !self.excludes.iter().any(|p| wildcard_match(p, path))
+    }
+
+    /// Does this reference cover the cookie `name=value`?
+    pub fn covers_cookie(&self, cookie: &str) -> bool {
+        self.cookie_includes.iter().any(|p| wildcard_match(p, cookie))
+            && !self.cookie_excludes.iter().any(|p| wildcard_match(p, cookie))
+    }
+}
+
+impl ReferenceFile {
+    /// Parse a `<META>` document from text.
+    pub fn parse(xml: &str) -> Result<ReferenceFile, PolicyError> {
+        let root = parse_element(xml)?;
+        Self::from_element(&root)
+    }
+
+    /// Parse from a `<META>` (or bare `<POLICY-REFERENCES>`) element.
+    pub fn from_element(root: &Element) -> Result<ReferenceFile, PolicyError> {
+        let refs_parent = match root.name.local.as_str() {
+            "META" => root.find_child("POLICY-REFERENCES").ok_or_else(|| {
+                PolicyError::invalid("META", "missing POLICY-REFERENCES element")
+            })?,
+            "POLICY-REFERENCES" => root,
+            other => {
+                return Err(PolicyError::invalid(
+                    other,
+                    "expected META or POLICY-REFERENCES",
+                ))
+            }
+        };
+        let mut file = ReferenceFile::default();
+        if let Some(expiry) = refs_parent.find_child("EXPIRY") {
+            if let Some(max_age) = expiry.attr_local("max-age") {
+                file.max_age = max_age.parse().ok();
+            }
+        }
+        for r in refs_parent.find_children("POLICY-REF") {
+            let about = r
+                .attr_local("about")
+                .ok_or_else(|| PolicyError::invalid("POLICY-REF", "missing about attribute"))?;
+            let mut policy_ref = PolicyRef::new(about);
+            for child in r.child_elements() {
+                let text = child.text();
+                match child.name.local.as_str() {
+                    "INCLUDE" => policy_ref.includes.push(text),
+                    "EXCLUDE" => policy_ref.excludes.push(text),
+                    "COOKIE-INCLUDE" => policy_ref.cookie_includes.push(text),
+                    "COOKIE-EXCLUDE" => policy_ref.cookie_excludes.push(text),
+                    "METHOD" => {} // HTTP method scoping, accepted and ignored
+                    other => {
+                        return Err(PolicyError::invalid(
+                            "POLICY-REF",
+                            format!("unexpected child element <{other}>"),
+                        ))
+                    }
+                }
+            }
+            file.policy_refs.push(policy_ref);
+        }
+        Ok(file)
+    }
+
+    /// Serialize to a `<META>` element.
+    pub fn to_element(&self) -> Element {
+        let mut refs = ElementBuilder::new("POLICY-REFERENCES");
+        if let Some(age) = self.max_age {
+            refs = refs.child(ElementBuilder::new("EXPIRY").attr("max-age", age.to_string()));
+        }
+        for r in &self.policy_refs {
+            let mut b = ElementBuilder::new("POLICY-REF").attr("about", r.about.clone());
+            for p in &r.includes {
+                b = b.child(ElementBuilder::new("INCLUDE").text(p.clone()));
+            }
+            for p in &r.excludes {
+                b = b.child(ElementBuilder::new("EXCLUDE").text(p.clone()));
+            }
+            for p in &r.cookie_includes {
+                b = b.child(ElementBuilder::new("COOKIE-INCLUDE").text(p.clone()));
+            }
+            for p in &r.cookie_excludes {
+                b = b.child(ElementBuilder::new("COOKIE-EXCLUDE").text(p.clone()));
+            }
+            refs = refs.child(b);
+        }
+        ElementBuilder::new("META").child(refs).build()
+    }
+
+    /// Serialize to XML text.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_pretty_xml()
+    }
+
+    /// Find the policy applicable to a request path: the first
+    /// `POLICY-REF` (in document order) that covers it.
+    pub fn lookup(&self, path: &str) -> Option<&PolicyRef> {
+        self.policy_refs.iter().find(|r| r.covers(path))
+    }
+
+    /// Find the policy applicable to a cookie.
+    pub fn lookup_cookie(&self, cookie: &str) -> Option<&PolicyRef> {
+        self.policy_refs.iter().find(|r| r.covers_cookie(cookie))
+    }
+}
+
+/// Match `pattern` (with `*` wildcards) against `text`.
+///
+/// P3P local-URI patterns: `*` matches any run of characters (including
+/// none); all other characters match literally. Iterative two-pointer
+/// algorithm with backtracking — linear in practice, no recursion.
+pub fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REF_XML: &str = r#"
+<META>
+  <POLICY-REFERENCES>
+    <EXPIRY max-age="86400"/>
+    <POLICY-REF about="/p3p/policies.xml#checkout">
+      <INCLUDE>/checkout/*</INCLUDE>
+      <INCLUDE>/cart/*</INCLUDE>
+      <EXCLUDE>/checkout/help*</EXCLUDE>
+      <COOKIE-INCLUDE>session=*</COOKIE-INCLUDE>
+    </POLICY-REF>
+    <POLICY-REF about="/p3p/policies.xml#general">
+      <INCLUDE>/*</INCLUDE>
+    </POLICY-REF>
+  </POLICY-REFERENCES>
+</META>"#;
+
+    #[test]
+    fn parses_reference_file() {
+        let f = ReferenceFile::parse(REF_XML).unwrap();
+        assert_eq!(f.max_age, Some(86400));
+        assert_eq!(f.policy_refs.len(), 2);
+        assert_eq!(f.policy_refs[0].policy_name(), "checkout");
+        assert_eq!(f.policy_refs[0].includes.len(), 2);
+        assert_eq!(f.policy_refs[0].excludes.len(), 1);
+    }
+
+    #[test]
+    fn lookup_respects_document_order_and_excludes() {
+        let f = ReferenceFile::parse(REF_XML).unwrap();
+        assert_eq!(f.lookup("/checkout/pay").unwrap().policy_name(), "checkout");
+        assert_eq!(f.lookup("/cart/view").unwrap().policy_name(), "checkout");
+        // excluded from checkout, falls through to general
+        assert_eq!(f.lookup("/checkout/help/faq").unwrap().policy_name(), "general");
+        assert_eq!(f.lookup("/index.html").unwrap().policy_name(), "general");
+    }
+
+    #[test]
+    fn lookup_returns_none_when_nothing_covers() {
+        let mut f = ReferenceFile::default();
+        f.policy_refs.push({
+            let mut r = PolicyRef::new("#only");
+            r.includes.push("/only/*".to_string());
+            r
+        });
+        assert!(f.lookup("/other").is_none());
+    }
+
+    #[test]
+    fn cookie_lookup() {
+        let f = ReferenceFile::parse(REF_XML).unwrap();
+        assert_eq!(
+            f.lookup_cookie("session=abc123").unwrap().policy_name(),
+            "checkout"
+        );
+        assert!(f.lookup_cookie("tracker=xyz").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_xml() {
+        let f = ReferenceFile::parse(REF_XML).unwrap();
+        let again = ReferenceFile::parse(&f.to_xml()).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn policy_name_without_fragment_is_whole_about() {
+        assert_eq!(PolicyRef::new("general").policy_name(), "general");
+    }
+
+    #[test]
+    fn rejects_missing_about() {
+        let bad = "<META><POLICY-REFERENCES><POLICY-REF><INCLUDE>/*</INCLUDE></POLICY-REF></POLICY-REFERENCES></META>";
+        assert!(ReferenceFile::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(ReferenceFile::parse("<POLICY/>").is_err());
+    }
+
+    // --- wildcard matcher ---
+
+    #[test]
+    fn wildcard_literal() {
+        assert!(wildcard_match("/index.html", "/index.html"));
+        assert!(!wildcard_match("/index.html", "/index.htm"));
+        assert!(!wildcard_match("/index.htm", "/index.html"));
+    }
+
+    #[test]
+    fn wildcard_star_positions() {
+        assert!(wildcard_match("/*", "/anything/at/all"));
+        assert!(wildcard_match("*", ""));
+        assert!(wildcard_match("/a/*/c", "/a/b/c"));
+        assert!(wildcard_match("/a/*/c", "/a/bb/x/c"));
+        assert!(!wildcard_match("/a/*/c", "/a/b/d"));
+        assert!(wildcard_match("*.html", "/deep/path/page.html"));
+        assert!(wildcard_match("/cgi*", "/cgi-bin/run"));
+    }
+
+    #[test]
+    fn wildcard_multiple_stars() {
+        assert!(wildcard_match("/a*b*c", "/aXXbYYc"));
+        assert!(wildcard_match("/a*b*c", "/abc"));
+        assert!(!wildcard_match("/a*b*c", "/acb"));
+    }
+
+    #[test]
+    fn wildcard_empty_pattern_matches_only_empty() {
+        assert!(wildcard_match("", ""));
+        assert!(!wildcard_match("", "x"));
+    }
+
+    #[test]
+    fn wildcard_trailing_star_matches_empty_suffix() {
+        assert!(wildcard_match("/checkout/*", "/checkout/"));
+        assert!(!wildcard_match("/checkout/*", "/checkout"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Serializing the P3P object model back to XML.
+//!
+//! The output parses back to an identical model (see the round-trip
+//! tests in [`crate::parse`] and the property tests), which is what the
+//! reconstruction view of the server-centric architecture relies on.
+
+use crate::model::{DataGroup, DataRef, Dispute, Policy, Statement};
+use crate::vocab::Required;
+use p3p_xmldom::{Element, ElementBuilder};
+
+/// Build the `<POLICY>` element for a policy.
+pub fn policy_to_element(policy: &Policy) -> Element {
+    let mut b = ElementBuilder::new("POLICY").attr("name", policy.name.clone());
+    if let Some(uri) = &policy.discuri {
+        b = b.attr("discuri", uri.clone());
+    }
+    if let Some(uri) = &policy.opturi {
+        b = b.attr("opturi", uri.clone());
+    }
+    if let Some(lang) = &policy.lang {
+        b = b.attr("xml:lang", lang.clone());
+    }
+    if let Some(entity) = &policy.entity {
+        let mut group = ElementBuilder::new("DATA-GROUP");
+        let mut wrote_name = false;
+        for (reference, value) in &entity.fields {
+            group = group.child(
+                ElementBuilder::new("DATA")
+                    .attr("ref", format!("#{reference}"))
+                    .text(value.clone()),
+            );
+            wrote_name |= reference == "business.name";
+        }
+        if !wrote_name {
+            if let Some(name) = &entity.business_name {
+                group = group.child(
+                    ElementBuilder::new("DATA")
+                        .attr("ref", "#business.name")
+                        .text(name.clone()),
+                );
+            }
+        }
+        b = b.child(ElementBuilder::new("ENTITY").child(group));
+    }
+    if let Some(access) = policy.access {
+        b = b.child(ElementBuilder::new("ACCESS").child(ElementBuilder::new(access.as_str())));
+    }
+    if !policy.disputes.is_empty() {
+        let mut dg = ElementBuilder::new("DISPUTES-GROUP");
+        for d in &policy.disputes {
+            dg = dg.child_element(dispute_to_element(d));
+        }
+        b = b.child(dg);
+    }
+    for stmt in &policy.statements {
+        b = b.child_element(statement_to_element(stmt));
+    }
+    b.build()
+}
+
+fn dispute_to_element(d: &Dispute) -> Element {
+    let mut b = ElementBuilder::new("DISPUTES").attr("resolution-type", d.resolution_type.as_str());
+    if let Some(service) = &d.service {
+        b = b.attr("service", service.clone());
+    }
+    if let Some(desc) = &d.description {
+        b = b.child(ElementBuilder::new("LONG-DESCRIPTION").text(desc.clone()));
+    }
+    if !d.remedies.is_empty() {
+        b = b.child(
+            ElementBuilder::new("REMEDIES").leaves(d.remedies.iter().map(|r| r.as_str())),
+        );
+    }
+    b.build()
+}
+
+/// Build the `<STATEMENT>` element for a statement.
+pub fn statement_to_element(stmt: &Statement) -> Element {
+    let mut b = ElementBuilder::new("STATEMENT");
+    if let Some(consequence) = &stmt.consequence {
+        b = b.child(ElementBuilder::new("CONSEQUENCE").text(consequence.clone()));
+    }
+    if stmt.non_identifiable {
+        b = b.child(ElementBuilder::new("NON-IDENTIFIABLE"));
+    }
+    if !stmt.purposes.is_empty() {
+        let mut p = ElementBuilder::new("PURPOSE");
+        for pu in &stmt.purposes {
+            let mut e = ElementBuilder::new(pu.purpose.as_str());
+            if pu.required != Required::Always {
+                e = e.attr("required", pu.required.as_str());
+            }
+            p = p.child(e);
+        }
+        b = b.child(p);
+    }
+    if !stmt.recipients.is_empty() {
+        let mut r = ElementBuilder::new("RECIPIENT");
+        for ru in &stmt.recipients {
+            let mut e = ElementBuilder::new(ru.recipient.as_str());
+            if ru.required != Required::Always {
+                e = e.attr("required", ru.required.as_str());
+            }
+            r = r.child(e);
+        }
+        b = b.child(r);
+    }
+    if !stmt.retention.is_empty() {
+        b = b.child(
+            ElementBuilder::new("RETENTION").leaves(stmt.retention.iter().map(|r| r.as_str())),
+        );
+    }
+    for group in &stmt.data_groups {
+        b = b.child_element(data_group_to_element(group));
+    }
+    b.build()
+}
+
+fn data_group_to_element(group: &DataGroup) -> Element {
+    let mut b = ElementBuilder::new("DATA-GROUP");
+    if let Some(base) = &group.base {
+        b = b.attr("base", base.clone());
+    }
+    for d in &group.data {
+        b = b.child_element(data_to_element(d));
+    }
+    b.build()
+}
+
+/// Build a `<DATA>` element (shared with the reconstruction view).
+pub fn data_to_element(d: &DataRef) -> Element {
+    let mut b = ElementBuilder::new("DATA").attr("ref", d.href());
+    if d.optional {
+        b = b.attr("optional", "yes");
+    }
+    if !d.categories.is_empty() {
+        b = b.child(
+            ElementBuilder::new("CATEGORIES").leaves(d.categories.iter().map(|c| c.as_str())),
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::volga_policy;
+    use crate::vocab::{Category, Purpose};
+
+    #[test]
+    fn volga_serializes_with_expected_markers() {
+        let xml = volga_policy().to_xml();
+        for marker in [
+            "<POLICY name=\"volga\"",
+            "<current/>",
+            "<ours/>",
+            "<same/>",
+            "<stated-purpose/>",
+            "<individual-decision required=\"opt-in\"/>",
+            "<contact required=\"opt-in\"/>",
+            "ref=\"#dynamic.miscdata\"",
+            "<purchase/>",
+            "<business-practices/>",
+        ] {
+            assert!(xml.contains(marker), "missing {marker} in:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn always_required_is_omitted() {
+        let xml = volga_policy().to_xml();
+        assert!(!xml.contains("required=\"always\""));
+    }
+
+    #[test]
+    fn data_element_includes_categories() {
+        let d = DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]);
+        let e = data_to_element(&d);
+        assert_eq!(e.attr("ref"), Some("#dynamic.miscdata"));
+        assert!(e.find_child("CATEGORIES").unwrap().find_child("purchase").is_some());
+    }
+
+    #[test]
+    fn optional_data_serializes_attribute() {
+        let d = DataRef::new("user.bdate").optional();
+        assert_eq!(data_to_element(&d).attr("optional"), Some("yes"));
+    }
+
+    #[test]
+    fn statement_orders_children_canonically() {
+        let p = volga_policy();
+        let e = statement_to_element(&p.statements[0]);
+        let names: Vec<_> = e.child_elements().map(|c| c.name.local.clone()).collect();
+        assert_eq!(
+            names,
+            ["CONSEQUENCE", "PURPOSE", "RECIPIENT", "RETENTION", "DATA-GROUP"]
+        );
+    }
+
+    #[test]
+    fn empty_policy_serializes_minimal() {
+        let p = Policy::new("empty");
+        let e = policy_to_element(&p);
+        assert_eq!(e.child_elements().count(), 0);
+        assert_eq!(e.attr("name"), Some("empty"));
+    }
+
+    #[test]
+    fn purpose_vocabulary_tokens_serialize_exactly() {
+        let mut p = Policy::new("p");
+        p.statements.push(Statement::simple(
+            [Purpose::PseudoAnalysis, Purpose::OtherPurpose],
+            [],
+            crate::vocab::Retention::NoRetention,
+            [],
+        ));
+        let xml = p.to_xml();
+        assert!(xml.contains("<pseudo-analysis/>"));
+        assert!(xml.contains("<other-purpose/>"));
+    }
+}

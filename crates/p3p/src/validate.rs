@@ -1,0 +1,223 @@
+//! Structural validation of P3P policies.
+//!
+//! The parser accepts any well-formed combination of known elements;
+//! this module enforces the P3P 1.0 constraints a conforming policy must
+//! satisfy before it is installed server-side (shredding assumes them,
+//! e.g. "each STATEMENT can have only one RETENTION element" — paper
+//! §5.4).
+
+use crate::base_schema;
+use crate::model::{Policy, Statement};
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending statement, when applicable.
+    pub statement: Option<usize>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.statement {
+            Some(i) => write!(f, "statement {}: {}", i, self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+/// Validate a policy; an empty vec means conforming.
+pub fn validate(policy: &Policy) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if policy.name.is_empty() {
+        out.push(Violation {
+            statement: None,
+            message: "policy name must not be empty".to_string(),
+        });
+    }
+    if policy.statements.is_empty() {
+        out.push(Violation {
+            statement: None,
+            message: "policy must contain at least one STATEMENT".to_string(),
+        });
+    }
+    for (i, stmt) in policy.statements.iter().enumerate() {
+        for v in validate_statement(stmt) {
+            out.push(Violation {
+                statement: Some(i),
+                ..v
+            });
+        }
+    }
+    out
+}
+
+fn validate_statement(stmt: &Statement) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |message: String| {
+        out.push(Violation {
+            statement: None,
+            message,
+        })
+    };
+    if !stmt.non_identifiable {
+        if stmt.purposes.is_empty() {
+            push("STATEMENT must declare at least one PURPOSE".to_string());
+        }
+        if stmt.recipients.is_empty() {
+            push("STATEMENT must declare at least one RECIPIENT".to_string());
+        }
+        if stmt.retention.is_empty() {
+            push("STATEMENT must declare a RETENTION".to_string());
+        }
+    }
+    if stmt.retention.len() > 1 {
+        push(format!(
+            "RETENTION must have exactly one subelement, found {}",
+            stmt.retention.len()
+        ));
+    }
+    // Duplicate purposes within a statement are redundant at best.
+    for (i, a) in stmt.purposes.iter().enumerate() {
+        if stmt.purposes[..i].iter().any(|b| b.purpose == a.purpose) {
+            push(format!("duplicate purpose `{}`", a.purpose));
+        }
+    }
+    for (i, a) in stmt.recipients.iter().enumerate() {
+        if stmt.recipients[..i].iter().any(|b| b.recipient == a.recipient) {
+            push(format!("duplicate recipient `{}`", a.recipient));
+        }
+    }
+    for group in &stmt.data_groups {
+        for d in &group.data {
+            let in_base = !group.base.as_deref().is_none_or(str::is_empty);
+            // Only references into the base schema (base attribute absent)
+            // can be checked against it.
+            if group.base.is_none() && !base_schema::is_known(&d.reference) && d.categories.is_empty()
+            {
+                push(format!(
+                    "data element `{}` is not in the base data schema and declares no categories",
+                    d.reference
+                ));
+            }
+            let _ = in_base;
+            if d.reference.is_empty() {
+                push("DATA ref must not be empty".to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: `Ok(())` when conforming, `Err` with findings otherwise.
+pub fn check(policy: &Policy) -> Result<(), Vec<Violation>> {
+    let v = validate(policy);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{volga_policy, DataGroup, DataRef, PurposeUse, RecipientUse};
+    use crate::vocab::{Purpose, Recipient, Retention};
+
+    #[test]
+    fn volga_is_conforming() {
+        assert!(check(&volga_policy()).is_ok());
+    }
+
+    #[test]
+    fn empty_policy_is_flagged() {
+        let p = Policy::new("p");
+        let v = validate(&p);
+        assert!(v.iter().any(|v| v.message.contains("at least one STATEMENT")));
+    }
+
+    #[test]
+    fn empty_name_is_flagged() {
+        let p = Policy::new("");
+        assert!(validate(&p).iter().any(|v| v.message.contains("name")));
+    }
+
+    #[test]
+    fn statement_missing_parts_flagged() {
+        let mut p = Policy::new("p");
+        p.statements.push(Statement::default());
+        let v = validate(&p);
+        assert_eq!(v.iter().filter(|v| v.statement == Some(0)).count(), 3);
+    }
+
+    #[test]
+    fn non_identifiable_statement_needs_nothing() {
+        let mut p = Policy::new("p");
+        p.statements.push(Statement {
+            non_identifiable: true,
+            ..Statement::default()
+        });
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn multiple_retention_flagged() {
+        let mut p = volga_policy();
+        p.statements[0].retention.push(Retention::Indefinitely);
+        assert!(validate(&p)
+            .iter()
+            .any(|v| v.message.contains("exactly one subelement")));
+    }
+
+    #[test]
+    fn duplicate_purpose_flagged() {
+        let mut p = volga_policy();
+        p.statements[0].purposes.push(PurposeUse::always(Purpose::Current));
+        assert!(validate(&p).iter().any(|v| v.message.contains("duplicate purpose")));
+    }
+
+    #[test]
+    fn duplicate_recipient_flagged() {
+        let mut p = volga_policy();
+        p.statements[0]
+            .recipients
+            .push(RecipientUse::always(Recipient::Ours));
+        assert!(validate(&p)
+            .iter()
+            .any(|v| v.message.contains("duplicate recipient")));
+    }
+
+    #[test]
+    fn unknown_data_without_categories_flagged() {
+        let mut p = volga_policy();
+        p.statements[0].data_groups.push(DataGroup {
+            base: None,
+            data: vec![DataRef::new("custom.unknown.thing")],
+        });
+        assert!(validate(&p)
+            .iter()
+            .any(|v| v.message.contains("not in the base data schema")));
+    }
+
+    #[test]
+    fn unknown_data_with_categories_ok() {
+        let mut p = volga_policy();
+        p.statements[0].data_groups.push(DataGroup {
+            base: None,
+            data: vec![DataRef::new("custom.unknown.thing")
+                .with_categories([crate::vocab::Category::Preference])],
+        });
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn violation_display_mentions_statement() {
+        let v = Violation {
+            statement: Some(2),
+            message: "boom".to_string(),
+        };
+        assert_eq!(v.to_string(), "statement 2: boom");
+    }
+}

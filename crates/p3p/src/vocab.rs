@@ -1,0 +1,380 @@
+//! The closed P3P 1.0 vocabularies.
+//!
+//! P3P fixes the legal values for PURPOSE (12), RECIPIENT (6),
+//! RETENTION (5), data CATEGORIES (17), the `required` attribute on
+//! purposes/recipients, and the ACCESS element. Each vocabulary is a
+//! fieldless enum with loss-free string conversions; the string forms are
+//! exactly the XML element names of the specification.
+
+use crate::error::PolicyError;
+use std::fmt;
+
+/// Generates a P3P vocabulary enum with string conversions.
+macro_rules! vocabulary {
+    (
+        $(#[$doc:meta])*
+        $name:ident ($label:literal) {
+            $( $(#[$vdoc:meta])* $variant:ident => $token:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum $name {
+            $( $(#[$vdoc])* $variant, )+
+        }
+
+        impl $name {
+            /// Every member of the vocabulary, in specification order.
+            pub const ALL: &'static [$name] = &[ $( $name::$variant, )+ ];
+
+            /// The XML token for this value (the element name in P3P).
+            pub const fn as_str(self) -> &'static str {
+                match self {
+                    $( $name::$variant => $token, )+
+                }
+            }
+
+            /// Parse an XML token; `Err` carries the vocabulary name.
+            pub fn from_token(token: &str) -> Result<Self, PolicyError> {
+                match token {
+                    $( $token => Ok($name::$variant), )+
+                    _ => Err(PolicyError::UnknownToken {
+                        vocabulary: $label,
+                        token: token.to_string(),
+                    }),
+                }
+            }
+
+            /// Number of members in the vocabulary.
+            pub const fn cardinality() -> usize {
+                $name::ALL.len()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl std::str::FromStr for $name {
+            type Err = PolicyError;
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                $name::from_token(s)
+            }
+        }
+    };
+}
+
+vocabulary! {
+    /// Purposes for which collected data may be used (P3P §3.3.4).
+    ///
+    /// A STATEMENT lists one or more purposes; all purposes in a
+    /// statement share the statement's recipients, retention, and data.
+    Purpose ("PURPOSE") {
+        /// Completion and support of the activity for which the data was
+        /// provided (the only purpose privacy-conscious users routinely
+        /// accept — see Jane's preference, paper Fig. 2).
+        Current => "current",
+        /// Technical administration of the web site.
+        Admin => "admin",
+        /// Research and development.
+        Develop => "develop",
+        /// One-time tailoring of the current visit.
+        Tailoring => "tailoring",
+        /// Pseudonymous analysis of habits and interests.
+        PseudoAnalysis => "pseudo-analysis",
+        /// Pseudonymous decision-making.
+        PseudoDecision => "pseudo-decision",
+        /// Identified analysis of habits and interests.
+        IndividualAnalysis => "individual-analysis",
+        /// Identified decision-making — e.g. personalized book
+        /// recommendations in the paper's Volga example.
+        IndividualDecision => "individual-decision",
+        /// Contacting visitors for marketing through channels other than
+        /// voice telephone.
+        Contact => "contact",
+        /// Historical preservation under law or policy.
+        Historical => "historical",
+        /// Contacting visitors for marketing via voice telephone.
+        Telemarketing => "telemarketing",
+        /// Uses not captured by the above (must be explained in
+        /// human-readable text).
+        OtherPurpose => "other-purpose",
+    }
+}
+
+vocabulary! {
+    /// Recipients of collected data (P3P §3.3.5).
+    Recipient ("RECIPIENT") {
+        /// Ourselves and/or entities acting as our agents.
+        Ours => "ours",
+        /// Delivery services possibly following different practices.
+        Delivery => "delivery",
+        /// Legal entities following our practices.
+        Same => "same",
+        /// Legal entities following different, disclosed practices.
+        OtherRecipient => "other-recipient",
+        /// Unrelated third parties whose practices are unknown to us.
+        Unrelated => "unrelated",
+        /// Public fora.
+        Public => "public",
+    }
+}
+
+vocabulary! {
+    /// How long collected data is retained (P3P §3.3.6).
+    Retention ("RETENTION") {
+        /// Not retained beyond the current online interaction.
+        NoRetention => "no-retention",
+        /// Discarded at the earliest time possible after the stated
+        /// purpose is met.
+        StatedPurpose => "stated-purpose",
+        /// Retained to meet a stated legal requirement.
+        LegalRequirement => "legal-requirement",
+        /// Long-term retention under a business practice with a
+        /// destruction timetable.
+        BusinessPractices => "business-practices",
+        /// Retained indefinitely.
+        Indefinitely => "indefinitely",
+    }
+}
+
+vocabulary! {
+    /// Data categories (P3P §3.4): quality-of-kind labels attached to
+    /// data elements, either explicitly in a policy or implicitly via
+    /// the base data schema.
+    Category ("CATEGORIES") {
+        /// Physical contact information (postal address, phone).
+        Physical => "physical",
+        /// Online contact information (email, URI).
+        Online => "online",
+        /// Unique identifiers issued by the site or user agents.
+        UniqueId => "uniqueid",
+        /// Purchase information, incl. payment instruments — the paper's
+        /// Volga policy attaches this to `dynamic.miscdata`.
+        Purchase => "purchase",
+        /// Financial information (accounts, balances).
+        Financial => "financial",
+        /// Computer information (IP address, OS, browser).
+        Computer => "computer",
+        /// Navigation and clickstream data.
+        Navigation => "navigation",
+        /// Data actively generated by interacting with the site.
+        Interactive => "interactive",
+        /// Demographic and socio-economic data.
+        Demographic => "demographic",
+        /// The content of communications (mail bodies, chat).
+        Content => "content",
+        /// Mechanisms for maintaining a stateful session (cookies).
+        State => "state",
+        /// Membership in political/religious/trade groups.
+        Political => "political",
+        /// Health information.
+        Health => "health",
+        /// Individual tastes and preferences.
+        Preference => "preference",
+        /// Current physical location beyond what `physical` covers.
+        Location => "location",
+        /// Government-issued identifiers (SSN, …).
+        Government => "government",
+        /// Anything else (must be explained in human-readable text).
+        OtherCategory => "other-category",
+    }
+}
+
+vocabulary! {
+    /// The `required` attribute on PURPOSE/RECIPIENT subelements
+    /// (P3P §3.3.4): whether the practice is unconditional or subject to
+    /// user opt-in/opt-out. The paper's Volga/Jane walk-through (§2)
+    /// hinges on `opt-in` versus the `always` default.
+    Required ("required") {
+        /// Data may always be used this way (the default).
+        Always => "always",
+        /// The practice applies only with explicit user consent.
+        OptIn => "opt-in",
+        /// The practice applies unless the user takes action to decline.
+        OptOut => "opt-out",
+    }
+}
+
+vocabulary! {
+    /// The ACCESS element (P3P §3.2.4): what collected data the
+    /// individual can see.
+    Access ("ACCESS") {
+        /// No identified data is collected.
+        NonIdent => "nonident",
+        /// Access to all identified data.
+        All => "all",
+        /// Access to identified contact information and other data.
+        ContactAndOther => "contact-and-other",
+        /// Access to identified contact information only.
+        IdentContact => "ident-contact",
+        /// Access to other identified data only.
+        OtherIdent => "other-ident",
+        /// No access.
+        NoAccess => "none",
+    }
+}
+
+vocabulary! {
+    /// Remedies offered in DISPUTES (P3P §3.2.5).
+    Remedy ("REMEDIES") {
+        /// Errors will be corrected.
+        Correct => "correct",
+        /// Money-back or other compensation.
+        Money => "money",
+        /// Remedies provided under law.
+        Law => "law",
+    }
+}
+
+/// Dispute resolution types (the `resolution-type` attribute of
+/// DISPUTES).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolutionType {
+    /// Customer service at the site.
+    Service,
+    /// An independent organization.
+    Independent,
+    /// A court of law.
+    Court,
+    /// An applicable law.
+    ApplicableLaw,
+}
+
+impl ResolutionType {
+    pub const ALL: &'static [ResolutionType] = &[
+        ResolutionType::Service,
+        ResolutionType::Independent,
+        ResolutionType::Court,
+        ResolutionType::ApplicableLaw,
+    ];
+
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ResolutionType::Service => "service",
+            ResolutionType::Independent => "independent",
+            ResolutionType::Court => "court",
+            ResolutionType::ApplicableLaw => "law",
+        }
+    }
+
+    pub fn from_token(token: &str) -> Result<Self, PolicyError> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|r| r.as_str() == token)
+            .ok_or_else(|| PolicyError::UnknownToken {
+                vocabulary: "resolution-type",
+                token: token.to_string(),
+            })
+    }
+}
+
+impl fmt::Display for ResolutionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_the_paper() {
+        // "P3P has predefined values for PURPOSE (12 choices),
+        //  RECIPIENT (6), and RETENTION (5)." — paper §2.1.
+        assert_eq!(Purpose::cardinality(), 12);
+        assert_eq!(Recipient::cardinality(), 6);
+        assert_eq!(Retention::cardinality(), 5);
+        assert_eq!(Category::cardinality(), 17);
+        assert_eq!(Required::cardinality(), 3);
+        assert_eq!(Access::cardinality(), 6);
+    }
+
+    #[test]
+    fn tokens_roundtrip_for_every_vocabulary_member() {
+        for p in Purpose::ALL {
+            assert_eq!(Purpose::from_token(p.as_str()).unwrap(), *p);
+        }
+        for r in Recipient::ALL {
+            assert_eq!(Recipient::from_token(r.as_str()).unwrap(), *r);
+        }
+        for r in Retention::ALL {
+            assert_eq!(Retention::from_token(r.as_str()).unwrap(), *r);
+        }
+        for c in Category::ALL {
+            assert_eq!(Category::from_token(c.as_str()).unwrap(), *c);
+        }
+        for r in Required::ALL {
+            assert_eq!(Required::from_token(r.as_str()).unwrap(), *r);
+        }
+        for a in Access::ALL {
+            assert_eq!(Access::from_token(a.as_str()).unwrap(), *a);
+        }
+        for r in Remedy::ALL {
+            assert_eq!(Remedy::from_token(r.as_str()).unwrap(), *r);
+        }
+        for r in ResolutionType::ALL {
+            assert_eq!(ResolutionType::from_token(r.as_str()).unwrap(), *r);
+        }
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // Tokens used in the paper's figures.
+        assert_eq!(Purpose::from_token("current").unwrap(), Purpose::Current);
+        assert_eq!(
+            Purpose::from_token("individual-decision").unwrap(),
+            Purpose::IndividualDecision
+        );
+        assert_eq!(Recipient::from_token("ours").unwrap(), Recipient::Ours);
+        assert_eq!(Recipient::from_token("same").unwrap(), Recipient::Same);
+        assert_eq!(
+            Retention::from_token("stated-purpose").unwrap(),
+            Retention::StatedPurpose
+        );
+        assert_eq!(
+            Retention::from_token("business-practices").unwrap(),
+            Retention::BusinessPractices
+        );
+        assert_eq!(Category::from_token("purchase").unwrap(), Category::Purchase);
+        assert_eq!(Required::from_token("opt-in").unwrap(), Required::OptIn);
+    }
+
+    #[test]
+    fn unknown_tokens_are_reported_with_vocabulary() {
+        let err = Purpose::from_token("frobnicate").unwrap_err();
+        match err {
+            PolicyError::UnknownToken { vocabulary, token } => {
+                assert_eq!(vocabulary, "PURPOSE");
+                assert_eq!(token, "frobnicate");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_str_trait_works() {
+        let p: Purpose = "contact".parse().unwrap();
+        assert_eq!(p, Purpose::Contact);
+        assert!("".parse::<Purpose>().is_err());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(Purpose::PseudoAnalysis.to_string(), "pseudo-analysis");
+        assert_eq!(Access::NoAccess.to_string(), "none");
+        assert_eq!(ResolutionType::ApplicableLaw.to_string(), "law");
+    }
+
+    #[test]
+    fn vocabulary_tokens_are_distinct() {
+        let mut tokens: Vec<&str> = Purpose::ALL.iter().map(|p| p.as_str()).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), Purpose::cardinality());
+    }
+}

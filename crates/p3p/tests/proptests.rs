@@ -1,0 +1,188 @@
+//! Property-based tests for the P3P policy model: XML round-trips,
+//! augmentation laws, compact-policy stability, and reference-file
+//! matcher laws.
+
+use p3p_policy::augment::{augment_policy, is_augmented};
+use p3p_policy::compact::CompactPolicy;
+use p3p_policy::model::{DataGroup, DataRef, Policy, PurposeUse, RecipientUse, Statement};
+use p3p_policy::reference::wildcard_match;
+use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
+use proptest::prelude::*;
+
+fn required_strategy() -> impl Strategy<Value = Required> {
+    prop::sample::select(Required::ALL.to_vec())
+}
+
+fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
+    (
+        prop::sample::select(vec![
+            "user.name",
+            "user.name.given",
+            "user.bdate",
+            "user.home-info.postal",
+            "user.home-info.online.email",
+            "dynamic.clickstream",
+            "dynamic.cookies",
+            "dynamic.miscdata",
+            "custom.survey.q1",
+        ]),
+        prop::bool::ANY,
+        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..3),
+    )
+        .prop_map(|(r, optional, mut cats)| {
+            cats.sort_unstable();
+            cats.dedup();
+            DataRef {
+                reference: r.to_string(),
+                optional,
+                categories: cats,
+            }
+        })
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(
+            (prop::sample::select(Purpose::ALL.to_vec()), required_strategy()),
+            1..4,
+        ),
+        prop::collection::vec(
+            (prop::sample::select(Recipient::ALL.to_vec()), required_strategy()),
+            1..3,
+        ),
+        prop::sample::select(Retention::ALL.to_vec()),
+        prop::collection::vec(data_ref_strategy(), 0..4),
+        prop::option::of("[a-zA-Z0-9 .,]{0,40}"),
+    )
+        .prop_map(|(purposes, recipients, retention, data, consequence)| {
+            let mut purposes: Vec<PurposeUse> = purposes
+                .into_iter()
+                .map(|(purpose, required)| PurposeUse { purpose, required })
+                .collect();
+            purposes.sort_by_key(|p| p.purpose);
+            purposes.dedup_by_key(|p| p.purpose);
+            let mut recipients: Vec<RecipientUse> = recipients
+                .into_iter()
+                .map(|(recipient, required)| RecipientUse { recipient, required })
+                .collect();
+            recipients.sort_by_key(|r| r.recipient);
+            recipients.dedup_by_key(|r| r.recipient);
+            Statement {
+                consequence: consequence.map(|c| c.trim().to_string()).filter(|c| !c.is_empty()),
+                non_identifiable: false,
+                purposes,
+                recipients,
+                retention: vec![retention],
+                data_groups: if data.is_empty() {
+                    vec![]
+                } else {
+                    vec![DataGroup { base: None, data }]
+                },
+            }
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    (
+        "[a-z][a-z0-9-]{0,12}",
+        prop::option::of(prop::sample::select(Access::ALL.to_vec())),
+        prop::collection::vec(statement_strategy(), 1..4),
+    )
+        .prop_map(|(name, access, statements)| {
+            let mut p = Policy::new(name);
+            p.access = access;
+            p.statements = statements;
+            p
+        })
+}
+
+proptest! {
+    /// serialize ∘ parse is the identity on policies.
+    #[test]
+    fn policy_xml_roundtrip(policy in policy_strategy()) {
+        let xml = policy.to_xml();
+        let back = Policy::parse(&xml).unwrap();
+        prop_assert_eq!(policy, back);
+    }
+
+    /// Augmentation is idempotent and monotone (never removes data or
+    /// categories).
+    #[test]
+    fn augmentation_laws(policy in policy_strategy()) {
+        let once = augment_policy(&policy);
+        prop_assert!(is_augmented(&once));
+        prop_assert_eq!(&augment_policy(&once), &once);
+        for (orig, aug) in policy.statements.iter().zip(&once.statements) {
+            let orig_refs: Vec<&str> = orig
+                .data_groups
+                .iter()
+                .flat_map(|g| g.data.iter())
+                .map(|d| d.reference.as_str())
+                .collect();
+            let aug_refs: Vec<&str> = aug
+                .data_groups
+                .iter()
+                .flat_map(|g| g.data.iter())
+                .map(|d| d.reference.as_str())
+                .collect();
+            for r in orig_refs {
+                prop_assert!(aug_refs.contains(&r), "lost {r}");
+            }
+        }
+    }
+
+    /// Augmentation commutes with XML round-tripping.
+    #[test]
+    fn augmentation_commutes_with_xml(policy in policy_strategy()) {
+        let a = augment_policy(&Policy::parse(&policy.to_xml()).unwrap());
+        let b = Policy::parse(&augment_policy(&policy).to_xml()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The compact policy of a policy equals the compact policy of its
+    /// augmented form (augmentation is already folded in).
+    #[test]
+    fn compact_policy_is_augmentation_stable(policy in policy_strategy()) {
+        let direct = CompactPolicy::from_policy(&policy);
+        let via_augmented = CompactPolicy::from_policy(&augment_policy(&policy));
+        let tokens = |cp: &CompactPolicy| {
+            let mut t: Vec<String> = cp.tokens.iter().map(|t| t.as_str().to_string()).collect();
+            t.sort();
+            t
+        };
+        prop_assert_eq!(tokens(&direct), tokens(&via_augmented));
+    }
+
+    /// Compact headers round-trip.
+    #[test]
+    fn compact_header_roundtrip(policy in policy_strategy()) {
+        let cp = CompactPolicy::from_policy(&policy);
+        prop_assert_eq!(CompactPolicy::parse_header(&cp.to_header()), cp);
+    }
+
+    /// Wildcard matcher laws: exact strings match themselves; `*`
+    /// matches everything; a pattern matches what it generates.
+    #[test]
+    fn wildcard_laws(text in "[a-z/.]{0,20}", prefix in "[a-z/]{0,8}", suffix in "[a-z.]{0,8}") {
+        prop_assert!(wildcard_match(&text, &text));
+        prop_assert!(wildcard_match("*", &text));
+        let pattern = format!("{prefix}*{suffix}");
+        let generated = format!("{prefix}{text}{suffix}");
+        prop_assert!(wildcard_match(&pattern, &generated), "{pattern} vs {generated}");
+    }
+
+    /// Validation accepts everything the generator produces whose
+    /// unknown data refs carry explicit categories.
+    #[test]
+    fn generated_policies_validate_conditionally(policy in policy_strategy()) {
+        let violations = p3p_policy::validate::validate(&policy);
+        for v in &violations {
+            // The only acceptable finding is an unknown data element
+            // without categories (the generator may produce those).
+            prop_assert!(
+                v.message.contains("not in the base data schema"),
+                "unexpected violation: {v}"
+            );
+        }
+    }
+}

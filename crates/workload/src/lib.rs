@@ -1,0 +1,33 @@
+//! # p3p-workload — experiment inputs
+//!
+//! The paper's evaluation (§6.2) used two data sets that no longer
+//! exist in retrievable form:
+//!
+//! * **29 P3P policies** crawled from Fortune-1000 sites (1.6–11.9 KB,
+//!   average 4.4 KB, 54 statements in total — about 2 per policy);
+//! * **5 APPEL preferences** from the JRC test suite, one per privacy
+//!   sensitivity level, with 10/7/4/2/1 rules and sizes of roughly
+//!   3.1/2.8/2.1/0.9/0.3 KB (Figure 19).
+//!
+//! This crate regenerates both deterministically: [`policies`] builds a
+//! synthetic corpus matched to every published statistic of the crawl,
+//! and [`preferences`] reconstructs the five sensitivity levels from
+//! the paper's description and the APPEL draft's examples — including
+//! the Medium level's exactness construct whose XTABLE translation
+//! fails, reproducing the hole in Figure 21.
+//!
+//! ```
+//! use p3p_workload::{policies::corpus, preferences::Sensitivity};
+//!
+//! let corpus = corpus(42);
+//! assert_eq!(corpus.len(), 29);
+//! assert_eq!(Sensitivity::VeryHigh.ruleset().rule_count(), 10);
+//! ```
+
+pub mod policies;
+pub mod preferences;
+pub mod stats;
+
+pub use policies::{corpus, corpus_n};
+pub use preferences::Sensitivity;
+pub use stats::{corpus_stats, preference_stats, CorpusStats, PreferenceStats};

@@ -1,0 +1,368 @@
+//! Deterministic generation of the Fortune-1000-like policy corpus.
+//!
+//! The published statistics being matched (paper §6.2):
+//!
+//! * 29 policies;
+//! * serialized sizes from 1.6 to 11.9 KB, average 4.4 KB;
+//! * 54 statements in total (≈2 per policy).
+//!
+//! Policies are built from the real P3P vocabulary with a seeded RNG,
+//! then their CONSEQUENCE texts are padded until each lands on its
+//! target size, so corpus statistics are stable across runs and
+//! platforms.
+
+use p3p_policy::model::{DataGroup, DataRef, Entity, Policy, PurposeUse, RecipientUse, Statement};
+use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of policies in the corpus (paper §6.2).
+pub const CORPUS_SIZE: usize = 29;
+
+/// Total statements across the corpus (paper §6.2).
+pub const TOTAL_STATEMENTS: usize = 54;
+
+/// Per-policy target sizes in bytes. Chosen to match the published
+/// spread: min 1.6 KB, max 11.9 KB, mean ≈4.4 KB.
+const TARGET_SIZES: [usize; CORPUS_SIZE] = [
+    1600, 1900, 2100, 2300, 2500, 2700, 2900, 3100, 3300, 3500, 3700, 3900, 4100, 4300, 4500,
+    4700, 4900, 5100, 5300, 5500, 5700, 5900, 6100, 4000, 4200, 3200, 5000, 9000, 11900,
+];
+
+/// Per-policy statement counts, summing to [`TOTAL_STATEMENTS`].
+const STATEMENT_COUNTS: [usize; CORPUS_SIZE] = [
+    1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3,
+];
+
+/// Company names for the synthetic sites (Fortune-1000 flavored).
+const COMPANIES: [&str; CORPUS_SIZE] = [
+    "acme-books", "borealis-air", "cascade-bank", "dynamo-retail", "everest-insurance",
+    "fairway-hotels", "granite-telecom", "horizon-media", "ironwood-energy", "junction-freight",
+    "keystone-health", "lumen-software", "meridian-foods", "northgate-auto", "orchard-pharma",
+    "pinnacle-travel", "quarry-mining", "redwood-realty", "summit-sports", "tidewater-shipping",
+    "umbra-security", "vertex-chemicals", "willow-apparel", "xenia-electronics", "yonder-games",
+    "zephyr-airlines", "atlas-grocers", "beacon-press", "citadel-finance",
+];
+
+/// Words used to pad CONSEQUENCE texts to the target size.
+const FILLER: [&str; 12] = [
+    "service", "quality", "improve", "customer", "experience", "orders", "support", "secure",
+    "deliver", "account", "request", "records",
+];
+
+/// Build the full corpus with a seed. Identical seeds produce
+/// byte-identical corpora.
+pub fn corpus(seed: u64) -> Vec<Policy> {
+    (0..CORPUS_SIZE).map(|i| build_policy(seed, i)).collect()
+}
+
+/// Build a corpus of arbitrary size (a scalability extension beyond
+/// the paper's 29-site crawl). The first [`CORPUS_SIZE`] policies are
+/// exactly [`corpus`]'s; additional ones reuse the published size and
+/// statement-count distributions cyclically, under derived names.
+pub fn corpus_n(seed: u64, n: usize) -> Vec<Policy> {
+    (0..n)
+        .map(|i| {
+            if i < CORPUS_SIZE {
+                build_policy(seed, i)
+            } else {
+                let mut p = build_policy(seed ^ (i as u64 * 0x5851_f42d), i % CORPUS_SIZE);
+                p.name = format!("{}-{}", p.name, i / CORPUS_SIZE);
+                p
+            }
+        })
+        .collect()
+}
+
+/// Build the `index`-th policy of the corpus.
+pub fn build_policy(seed: u64, index: usize) -> Policy {
+    assert!(index < CORPUS_SIZE, "corpus has {CORPUS_SIZE} policies");
+    let mut rng = StdRng::seed_from_u64(seed ^ ((index as u64 + 1) * 0x9e37_79b9));
+    let company = COMPANIES[index];
+    let mut policy = Policy::new(company);
+    policy.entity = Some(Entity::named(title_case(company)));
+    policy.discuri = Some(format!("http://www.{company}.example.com/privacy.html"));
+    policy.access = Some(*pick(&mut rng, Access::ALL));
+
+    for si in 0..STATEMENT_COUNTS[index] {
+        policy.statements.push(build_statement(&mut rng, si));
+    }
+
+    pad_to_size(&mut policy, TARGET_SIZES[index]);
+    policy
+}
+
+fn build_statement(rng: &mut StdRng, index: usize) -> Statement {
+    // The first statement is always the transactional one (like Volga's);
+    // later statements carry marketing/analytics practices.
+    let mut stmt = Statement::default();
+    if index == 0 {
+        stmt.consequence = Some("We use this information to complete your request.".to_string());
+        stmt.purposes.push(PurposeUse::always(Purpose::Current));
+        if rng.gen_bool(0.5) {
+            stmt.purposes.push(PurposeUse::always(Purpose::Admin));
+        }
+        stmt.recipients.push(RecipientUse::always(Recipient::Ours));
+        if rng.gen_bool(0.4) {
+            stmt.recipients.push(RecipientUse::always(Recipient::Same));
+        }
+        if rng.gen_bool(0.2) {
+            stmt.recipients
+                .push(RecipientUse::always(Recipient::Delivery));
+        }
+        stmt.retention.push(*pick(
+            rng,
+            &[Retention::StatedPurpose, Retention::LegalRequirement],
+        ));
+        stmt.data_groups.push(DataGroup {
+            base: None,
+            data: transactional_data(rng),
+        });
+    } else {
+        stmt.consequence = Some("We analyze usage to improve and market our services.".to_string());
+        let marketing: &[Purpose] = &[
+            Purpose::IndividualAnalysis,
+            Purpose::IndividualDecision,
+            Purpose::Contact,
+            Purpose::Telemarketing,
+            Purpose::PseudoAnalysis,
+            Purpose::PseudoDecision,
+            Purpose::Tailoring,
+            Purpose::Develop,
+            Purpose::Historical,
+            Purpose::OtherPurpose,
+        ];
+        let count = rng.gen_range(1..=3);
+        let mut chosen = marketing.to_vec();
+        chosen.shuffle(rng);
+        for p in chosen.into_iter().take(count) {
+            let required = *pick(
+                rng,
+                &[
+                    Required::Always,
+                    Required::OptIn,
+                    Required::OptIn,
+                    Required::OptOut,
+                ],
+            );
+            stmt.purposes.push(PurposeUse {
+                purpose: p,
+                required,
+            });
+        }
+        stmt.recipients.push(RecipientUse::always(Recipient::Ours));
+        if rng.gen_bool(0.25) {
+            stmt.recipients.push(RecipientUse {
+                recipient: *pick(
+                    rng,
+                    &[
+                        Recipient::Same,
+                        Recipient::OtherRecipient,
+                        Recipient::Unrelated,
+                        Recipient::Public,
+                    ],
+                ),
+                required: *pick(rng, &[Required::Always, Required::OptIn]),
+            });
+        }
+        stmt.retention.push(*pick(
+            rng,
+            &[
+                Retention::BusinessPractices,
+                Retention::Indefinitely,
+                Retention::StatedPurpose,
+            ],
+        ));
+        stmt.data_groups.push(DataGroup {
+            base: None,
+            data: analytics_data(rng),
+        });
+    }
+    stmt
+}
+
+fn transactional_data(rng: &mut StdRng) -> Vec<DataRef> {
+    let mut data = vec![DataRef::new("user.name")];
+    if rng.gen_bool(0.8) {
+        data.push(DataRef::new("user.home-info.postal"));
+    }
+    if rng.gen_bool(0.6) {
+        data.push(DataRef::new("user.home-info.telecom.telephone"));
+    }
+    data.push(DataRef::new("user.home-info.online.email"));
+    data.push(DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]));
+    data
+}
+
+fn analytics_data(rng: &mut StdRng) -> Vec<DataRef> {
+    let mut data = vec![DataRef::new("dynamic.clickstream")];
+    if rng.gen_bool(0.5) {
+        data.push(DataRef::new("dynamic.cookies").with_categories([Category::State]));
+    }
+    if rng.gen_bool(0.5) {
+        data.push(DataRef::new("user.bdate").optional());
+    }
+    if rng.gen_bool(0.3) {
+        data.push(DataRef::new("user.gender").optional());
+    }
+    if rng.gen_bool(0.4) {
+        data.push(
+            DataRef::new("dynamic.miscdata")
+                .with_categories([Category::Preference, Category::Demographic]),
+        );
+    }
+    data
+}
+
+/// Grow (or accept) the policy's serialized size to ≈ the target by
+/// appending filler sentences to the first statement's CONSEQUENCE.
+fn pad_to_size(policy: &mut Policy, target: usize) {
+    let mut word = 0usize;
+    loop {
+        let size = policy.to_xml().len();
+        if size + 16 >= target {
+            return;
+        }
+        let consequence = policy.statements[0]
+            .consequence
+            .get_or_insert_with(String::new);
+        consequence.push(' ');
+        consequence.push_str(FILLER[word % FILLER.len()]);
+        word += 1;
+        // Refill in chunks to avoid re-serializing per word.
+        let deficit = target.saturating_sub(size);
+        if deficit > 160 {
+            for _ in 0..(deficit / 10) {
+                consequence.push(' ');
+                consequence.push_str(FILLER[word % FILLER.len()]);
+                word += 1;
+            }
+        }
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+fn title_case(slug: &str) -> String {
+    slug.split('-')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_29_policies_and_54_statements() {
+        let c = corpus(42);
+        assert_eq!(c.len(), CORPUS_SIZE);
+        let statements: usize = c.iter().map(|p| p.statements.len()).sum();
+        assert_eq!(statements, TOTAL_STATEMENTS);
+    }
+
+    #[test]
+    fn sizes_match_published_statistics() {
+        let c = corpus(42);
+        let sizes: Vec<usize> = c.iter().map(|p| p.to_xml().len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        let avg = sizes.iter().sum::<usize>() / sizes.len();
+        // Paper: 1.6 KB min, 11.9 KB max, 4.4 KB average.
+        assert!((1400..=1800).contains(&min), "min {min}");
+        assert!((11000..=12200).contains(&max), "max {max}");
+        assert!((4100..=4700).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(corpus(42), corpus(42));
+        assert_ne!(corpus(42), corpus(43));
+    }
+
+    #[test]
+    fn every_policy_is_valid() {
+        for p in corpus(42) {
+            assert!(
+                p3p_policy::validate::check(&p).is_ok(),
+                "policy {} invalid: {:?}",
+                p.name,
+                p3p_policy::validate::validate(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn every_policy_roundtrips_through_xml() {
+        for p in corpus(42) {
+            let xml = p.to_xml();
+            let back = Policy::parse(&xml).unwrap();
+            assert_eq!(p, back, "policy {}", p.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = corpus(42);
+        let mut names: Vec<&str> = c.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORPUS_SIZE);
+    }
+
+    #[test]
+    fn corpus_exercises_optins_and_third_parties() {
+        // The corpus must contain policy features preferences react to.
+        let c = corpus(42);
+        let any_optin = c.iter().any(|p| {
+            p.all_purposes()
+                .any(|pu| pu.required == Required::OptIn)
+        });
+        let any_always_marketing = c.iter().any(|p| {
+            p.all_purposes().any(|pu| {
+                pu.required == Required::Always
+                    && matches!(pu.purpose, Purpose::Telemarketing | Purpose::Contact | Purpose::IndividualDecision)
+            })
+        });
+        let any_third_party = c.iter().any(|p| {
+            p.statements.iter().any(|s| {
+                s.recipients.iter().any(|r| {
+                    matches!(r.recipient, Recipient::Unrelated | Recipient::Public)
+                })
+            })
+        });
+        assert!(any_optin);
+        assert!(any_always_marketing);
+        assert!(any_third_party);
+    }
+
+    #[test]
+    fn corpus_n_extends_with_unique_names() {
+        let big = corpus_n(42, 70);
+        assert_eq!(big.len(), 70);
+        assert_eq!(&big[..29], corpus(42).as_slice());
+        let mut names: Vec<&str> = big.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate names in extended corpus");
+        for p in &big {
+            assert!(p3p_policy::validate::check(p).is_ok(), "{} invalid", p.name);
+        }
+    }
+
+    #[test]
+    fn title_case_formats_company_names() {
+        assert_eq!(title_case("acme-books"), "Acme Books");
+    }
+}

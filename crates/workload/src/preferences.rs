@@ -1,0 +1,412 @@
+//! The five JRC-style APPEL preferences (paper §6.2, Figure 19).
+//!
+//! The JRC test suite graded privacy sensitivity into five levels; the
+//! paper reports only their rule counts and sizes (10/7/4/2/1 rules,
+//! ≈3.1/2.8/2.1/0.9/0.3 KB). The rulesets here are reconstructed from
+//! that shape, the paper's Figure 2 (Jane), and the APPEL draft's
+//! example rules. The Medium level deliberately contains an `or-exact`
+//! rule: its XQuery translation defeats the XTABLE compiler, which is
+//! how the suite reproduces the missing Medium entry of Figure 21.
+
+use p3p_appel::model::{Behavior, Connective, Expr, Rule, Ruleset};
+
+/// The five JRC sensitivity levels, strictest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sensitivity {
+    VeryHigh,
+    High,
+    Medium,
+    Low,
+    VeryLow,
+}
+
+impl Sensitivity {
+    /// All levels in the paper's Figure 19 order.
+    pub const ALL: [Sensitivity; 5] = [
+        Sensitivity::VeryHigh,
+        Sensitivity::High,
+        Sensitivity::Medium,
+        Sensitivity::Low,
+        Sensitivity::VeryLow,
+    ];
+
+    /// Display name matching Figure 19.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sensitivity::VeryHigh => "Very High",
+            Sensitivity::High => "High",
+            Sensitivity::Medium => "Medium",
+            Sensitivity::Low => "Low",
+            Sensitivity::VeryLow => "Very Low",
+        }
+    }
+
+    /// Rule count published in Figure 19.
+    pub fn published_rule_count(self) -> usize {
+        match self {
+            Sensitivity::VeryHigh => 10,
+            Sensitivity::High => 7,
+            Sensitivity::Medium => 4,
+            Sensitivity::Low => 2,
+            Sensitivity::VeryLow => 1,
+        }
+    }
+
+    /// Size in KB published in Figure 19.
+    pub fn published_size_kb(self) -> f64 {
+        match self {
+            Sensitivity::VeryHigh => 3.1,
+            Sensitivity::High => 2.8,
+            Sensitivity::Medium => 2.1,
+            Sensitivity::Low => 0.9,
+            Sensitivity::VeryLow => 0.3,
+        }
+    }
+
+    /// Build the level's ruleset.
+    pub fn ruleset(self) -> Ruleset {
+        let mut rs = match self {
+            Sensitivity::VeryHigh => very_high(),
+            Sensitivity::High => high(),
+            Sensitivity::Medium => medium(),
+            Sensitivity::Low => low(),
+            Sensitivity::VeryLow => very_low(),
+        };
+        rs.created_by = Some("p3p-suite preference generator".to_string());
+        pad_to_size(&mut rs, (self.published_size_kb() * 1000.0) as usize);
+        rs
+    }
+}
+
+// --- building blocks ---------------------------------------------------
+
+fn statement_rule(behavior: Behavior, description: &str, inner: Expr) -> Rule {
+    let mut rule = Rule::with_pattern(
+        behavior,
+        Expr::named("POLICY").with_child(Expr::named("STATEMENT").with_child(inner)),
+    );
+    rule.description = Some(description.to_string());
+    rule
+}
+
+fn purpose_or(values: &[(&str, Option<&str>)]) -> Expr {
+    let mut e = Expr::named("PURPOSE").with_connective(Connective::Or);
+    for (name, required) in values {
+        let mut child = Expr::named(*name);
+        if let Some(r) = required {
+            child = child.with_attr("required", *r);
+        }
+        e = e.with_child(child);
+    }
+    e
+}
+
+fn recipient_or(values: &[(&str, Option<&str>)]) -> Expr {
+    let mut e = Expr::named("RECIPIENT").with_connective(Connective::Or);
+    for (name, required) in values {
+        let mut child = Expr::named(*name);
+        if let Some(r) = required {
+            child = child.with_attr("required", *r);
+        }
+        e = e.with_child(child);
+    }
+    e
+}
+
+fn retention_or(values: &[&str]) -> Expr {
+    Expr::named("RETENTION")
+        .with_connective(Connective::Or)
+        .with_leaves(values.iter().copied())
+}
+
+fn categories_rule(behavior: Behavior, description: &str, categories: &[&str]) -> Rule {
+    let cats = Expr::named("CATEGORIES")
+        .with_connective(Connective::Or)
+        .with_leaves(categories.iter().copied());
+    let data = Expr::named("DATA").with_child(cats);
+    let group = Expr::named("DATA-GROUP").with_child(data);
+    statement_rule(behavior, description, group)
+}
+
+fn otherwise_request() -> Rule {
+    let mut rule = Rule::unconditional(Behavior::Request);
+    rule.otherwise = true;
+    rule
+}
+
+// --- the five levels ----------------------------------------------------
+
+/// Very High (10 rules): essentially nothing beyond transaction
+/// completion with the site itself is tolerated.
+fn very_high() -> Ruleset {
+    Ruleset::new(vec![
+        statement_rule(
+            Behavior::Block,
+            "no secondary purposes at all, opt-in or not",
+            purpose_or(&[
+                ("admin", None),
+                ("develop", None),
+                ("tailoring", None),
+                ("pseudo-analysis", None),
+                ("pseudo-decision", None),
+                ("individual-analysis", None),
+                ("individual-decision", None),
+                ("contact", None),
+                ("historical", None),
+                ("telemarketing", None),
+                ("other-purpose", None),
+            ]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "data stays with the site",
+            recipient_or(&[
+                ("delivery", None),
+                ("same", None),
+                ("other-recipient", None),
+                ("unrelated", None),
+                ("public", None),
+            ]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "no long-term retention",
+            retention_or(&["business-practices", "indefinitely", "legal-requirement"]),
+        ),
+        categories_rule(
+            Behavior::Block,
+            "no sensitive categories",
+            &["financial", "health", "political", "government"],
+        ),
+        Rule {
+            description: Some("site must grant access to collected data".to_string()),
+            ..Rule::with_pattern(
+                Behavior::Block,
+                Expr::named("POLICY").with_child(
+                    Expr::named("ACCESS").with_connective(Connective::Or).with_leaves(["none", "nonident"]),
+                ),
+            )
+        },
+        statement_rule(
+            Behavior::Block,
+            "no birth dates",
+            Expr::named("DATA-GROUP")
+                .with_child(Expr::named("DATA").with_attr("ref", "#user.bdate")),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "no telephone solicitation ever",
+            purpose_or(&[("telemarketing", Some("opt-out"))]),
+        ),
+        categories_rule(
+            Behavior::Block,
+            "no mandatory demographics",
+            &["demographic"],
+        ),
+        statement_rule(
+            Behavior::Limited,
+            "cookies only with limitation",
+            Expr::named("DATA-GROUP")
+                .with_child(Expr::named("DATA").with_attr("ref", "#dynamic.cookies")),
+        ),
+        otherwise_request(),
+    ])
+}
+
+/// High (7 rules): Jane's preference (Figure 2) extended with retention
+/// and sensitive-category rules.
+fn high() -> Ruleset {
+    Ruleset::new(vec![
+        statement_rule(
+            Behavior::Block,
+            "no unconsented marketing or profiling",
+            purpose_or(&[
+                ("individual-analysis", Some("always")),
+                ("individual-decision", Some("always")),
+                ("contact", Some("always")),
+                ("telemarketing", Some("always")),
+                ("other-purpose", None),
+            ]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "no undisclosed third parties",
+            recipient_or(&[("unrelated", None), ("public", None)]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "disclosed third parties only with consent",
+            recipient_or(&[
+                ("other-recipient", Some("always")),
+                ("delivery", Some("always")),
+            ]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "no indefinite retention",
+            retention_or(&["indefinitely"]),
+        ),
+        categories_rule(
+            Behavior::Block,
+            "no sensitive categories",
+            &["health", "political", "government"],
+        ),
+        statement_rule(
+            Behavior::Limited,
+            "limit cookie-based state",
+            Expr::named("DATA-GROUP")
+                .with_child(Expr::named("DATA").with_attr("ref", "#dynamic.cookies")),
+        ),
+        otherwise_request(),
+    ])
+}
+
+/// Medium (4 rules): block hard marketing, require disclosure, and
+/// *request-if-exactly-benign* — the `or-exact` rule whose XTABLE
+/// translation is too complex (the Figure 21 hole).
+fn medium() -> Ruleset {
+    Ruleset::new(vec![
+        statement_rule(
+            Behavior::Block,
+            "no unconsented direct marketing",
+            purpose_or(&[
+                ("telemarketing", Some("always")),
+                ("individual-decision", Some("always")),
+                ("contact", Some("always")),
+            ]),
+        ),
+        statement_rule(
+            Behavior::Block,
+            "no undisclosed third parties",
+            recipient_or(&[("unrelated", None), ("public", None)]),
+        ),
+        statement_rule(
+            Behavior::Request,
+            "fast-path: purely operational statements",
+            Expr::named("PURPOSE")
+                .with_connective(Connective::OrExact)
+                .with_leaves(["current", "admin", "develop", "tailoring", "pseudo-analysis"]),
+        ),
+        otherwise_request(),
+    ])
+}
+
+/// Low (2 rules): only block wholly undisclosed sharing.
+fn low() -> Ruleset {
+    Ruleset::new(vec![
+        statement_rule(
+            Behavior::Block,
+            "no undisclosed third parties",
+            recipient_or(&[("unrelated", None), ("public", None)]),
+        ),
+        otherwise_request(),
+    ])
+}
+
+/// Very Low (1 rule): accept everything.
+fn very_low() -> Ruleset {
+    Ruleset::new(vec![otherwise_request()])
+}
+
+/// Pad the serialized size toward the published figure by extending the
+/// first rule's description (JRC rules carried verbose descriptions).
+fn pad_to_size(rs: &mut Ruleset, target: usize) {
+    const PAD: &str = " this rule was generated to mirror the JRC preference suite";
+    loop {
+        let size = rs.to_xml().len();
+        if size + PAD.len() >= target {
+            return;
+        }
+        let rule = rs.rules.first_mut().expect("rulesets are nonempty");
+        let d = rule.description.get_or_insert_with(String::new);
+        let deficit = target - size;
+        for _ in 0..=(deficit / PAD.len()) {
+            d.push_str(PAD);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_counts_match_figure_19() {
+        for level in Sensitivity::ALL {
+            assert_eq!(
+                level.ruleset().rule_count(),
+                level.published_rule_count(),
+                "level {level:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_match_figure_19_within_tolerance() {
+        for level in Sensitivity::ALL {
+            let size = level.ruleset().to_xml().len() as f64 / 1000.0;
+            let published = level.published_size_kb();
+            assert!(
+                (size - published).abs() / published < 0.25,
+                "level {level:?}: generated {size:.2} KB vs published {published} KB"
+            );
+        }
+    }
+
+    #[test]
+    fn rulesets_roundtrip_through_xml() {
+        for level in Sensitivity::ALL {
+            let rs = level.ruleset();
+            let xml = rs.to_xml();
+            let back = Ruleset::parse(&xml).unwrap();
+            assert_eq!(rs, back, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn only_medium_uses_exact_connectives() {
+        fn has_exact(e: &Expr) -> bool {
+            e.connective.is_exact() || e.children.iter().any(has_exact)
+        }
+        for level in Sensitivity::ALL {
+            let any = level
+                .ruleset()
+                .rules
+                .iter()
+                .flat_map(|r| r.pattern.iter())
+                .any(has_exact);
+            assert_eq!(any, level == Sensitivity::Medium, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn every_level_ends_with_a_request_fallback() {
+        for level in Sensitivity::ALL {
+            let rs = level.ruleset();
+            let last = rs.rules.last().unwrap();
+            assert_eq!(last.behavior, Behavior::Request, "level {level:?}");
+            assert!(last.pattern.is_empty());
+        }
+    }
+
+    #[test]
+    fn strictness_orders_block_rule_counts() {
+        let blocks = |s: Sensitivity| {
+            s.ruleset()
+                .rules
+                .iter()
+                .filter(|r| r.behavior == Behavior::Block)
+                .count()
+        };
+        assert!(blocks(Sensitivity::VeryHigh) > blocks(Sensitivity::High));
+        assert!(blocks(Sensitivity::High) > blocks(Sensitivity::Medium));
+        assert!(blocks(Sensitivity::Medium) > blocks(Sensitivity::Low));
+        assert_eq!(blocks(Sensitivity::VeryLow), 0);
+    }
+
+    #[test]
+    fn labels_match_figure_19() {
+        let labels: Vec<&str> = Sensitivity::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["Very High", "High", "Medium", "Low", "Very Low"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! A fluent builder for constructing element trees programmatically.
+//!
+//! Used heavily by the workload generator and by tests.
+
+use crate::node::{Element, QName};
+
+/// Fluent construction of [`Element`] trees.
+///
+/// ```
+/// use p3p_xmldom::ElementBuilder;
+///
+/// let purpose = ElementBuilder::new("PURPOSE")
+///     .attr("appel:connective", "or")
+///     .child(ElementBuilder::new("admin"))
+///     .child(ElementBuilder::new("contact").attr("required", "always"))
+///     .build();
+/// assert_eq!(purpose.child_elements().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    element: Element,
+}
+
+impl ElementBuilder {
+    /// Start building an element with the given (possibly prefixed) name.
+    pub fn new(name: impl Into<QName>) -> Self {
+        ElementBuilder {
+            element: Element::new(name),
+        }
+    }
+
+    /// Add an attribute.
+    pub fn attr(mut self, name: impl Into<QName>, value: impl Into<String>) -> Self {
+        self.element.set_attr(name, value);
+        self
+    }
+
+    /// Add a child element.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.element.push_element(child.build());
+        self
+    }
+
+    /// Add an already-built child element.
+    pub fn child_element(mut self, child: Element) -> Self {
+        self.element.push_element(child);
+        self
+    }
+
+    /// Add several children with the given names, each empty.
+    ///
+    /// Convenient for P3P value elements: `.leaves(["ours", "same"])`.
+    pub fn leaves<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<QName>,
+    {
+        for n in names {
+            self.element.push_element(Element::new(n));
+        }
+        self
+    }
+
+    /// Add a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.element.push_text(text);
+        self
+    }
+
+    /// Add children conditionally.
+    pub fn child_if(self, condition: bool, make: impl FnOnce() -> ElementBuilder) -> Self {
+        if condition {
+            self.child(make())
+        } else {
+            self
+        }
+    }
+
+    /// Finish and return the element.
+    pub fn build(self) -> Element {
+        self.element
+    }
+}
+
+impl From<ElementBuilder> for Element {
+    fn from(b: ElementBuilder) -> Element {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let e = ElementBuilder::new("POLICY")
+            .attr("name", "p")
+            .child(
+                ElementBuilder::new("STATEMENT")
+                    .child(ElementBuilder::new("PURPOSE").leaves(["current"])),
+            )
+            .build();
+        assert_eq!(e.attr("name"), Some("p"));
+        assert!(e
+            .find_child("STATEMENT")
+            .and_then(|s| s.find_child("PURPOSE"))
+            .and_then(|p| p.find_child("current"))
+            .is_some());
+    }
+
+    #[test]
+    fn leaves_adds_empty_children_in_order() {
+        let e = ElementBuilder::new("RECIPIENT").leaves(["ours", "same"]).build();
+        let names: Vec<_> = e.child_elements().map(|c| c.name.local.clone()).collect();
+        assert_eq!(names, ["ours", "same"]);
+    }
+
+    #[test]
+    fn child_if_is_conditional() {
+        let with = ElementBuilder::new("A")
+            .child_if(true, || ElementBuilder::new("B"))
+            .build();
+        let without = ElementBuilder::new("A")
+            .child_if(false, || ElementBuilder::new("B"))
+            .build();
+        assert_eq!(with.child_elements().count(), 1);
+        assert_eq!(without.child_elements().count(), 0);
+    }
+
+    #[test]
+    fn text_builder_roundtrips() {
+        let e = ElementBuilder::new("CONSEQUENCE").text("we ship books").build();
+        assert_eq!(e.text(), "we ship books");
+    }
+}

@@ -1,0 +1,63 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A line/column position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the document.
+    pub const START: Position = Position { line: 1, column: 1 };
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the input the error was detected.
+    pub position: Position,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: Position, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let err = ParseError::new(Position { line: 3, column: 7 }, "unexpected `<`");
+        assert_eq!(err.to_string(), "XML parse error at 3:7: unexpected `<`");
+    }
+
+    #[test]
+    fn start_position_is_one_one() {
+        assert_eq!(Position::START.to_string(), "1:1");
+    }
+}

@@ -1,0 +1,156 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use crate::error::{ParseError, Position};
+use std::borrow::Cow;
+
+/// Escape text for use as element character data.
+///
+/// `<`, `>`, and `&` are replaced with entity references. Returns a
+/// borrowed string when no escaping is necessary.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escape text for use as a (double-quoted) attribute value.
+///
+/// In addition to the character-data escapes, `"` is replaced.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\n' | b'\t')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\t' if attr => out.push_str("&#9;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Expand entity and character references in raw XML text.
+///
+/// Supports the five predefined entities (`&lt;` `&gt;` `&amp;` `&apos;`
+/// `&quot;`) and decimal (`&#10;`) / hexadecimal (`&#x0A;`) character
+/// references. `pos` is used for error reporting only.
+pub fn unescape(s: &str, pos: Position) -> Result<Cow<'_, str>, ParseError> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        let semi = tail
+            .find(';')
+            .ok_or_else(|| ParseError::new(pos, "unterminated entity reference"))?;
+        let entity = &tail[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    ParseError::new(pos, format!("invalid character reference `&{entity};`"))
+                })?;
+                out.push(char_for(code, pos, entity)?);
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..].parse::<u32>().map_err(|_| {
+                    ParseError::new(pos, format!("invalid character reference `&{entity};`"))
+                })?;
+                out.push(char_for(code, pos, entity)?);
+            }
+            _ => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unknown entity `&{entity};`"),
+                ));
+            }
+        }
+        rest = &tail[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn char_for(code: u32, pos: Position, entity: &str) -> Result<char, ParseError> {
+    char::from_u32(code)
+        .ok_or_else(|| ParseError::new(pos, format!("character reference `&{entity};` out of range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello", Position::START).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn attribute_escaping_covers_quotes() {
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn attribute_escaping_preserves_whitespace_via_charrefs() {
+        assert_eq!(escape_attr("a\tb\nc"), "a&#9;b&#10;c");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        let got = unescape("&lt;x&gt; &amp; &apos;y&apos; &quot;z&quot;", Position::START).unwrap();
+        assert_eq!(got, "<x> & 'y' \"z\"");
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", Position::START).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("&nope;", Position::START).unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(unescape("a &lt", Position::START).is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_out_of_range_charref() {
+        assert!(unescape("&#x110000;", Position::START).is_err());
+        assert!(unescape("&#xD800;", Position::START).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let original = "a <b> & \"c\" 'd'";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped, Position::START).unwrap(), original);
+    }
+}

@@ -1,0 +1,48 @@
+//! # p3p-xmldom — a minimal XML document model
+//!
+//! This crate is the XML substrate for the P3P suite. Both P3P privacy
+//! policies and APPEL privacy preferences are XML documents, and the
+//! reproduction is built without any third-party XML crate, so parsing,
+//! an owned DOM, escaping, serialization, and a small named document
+//! store (the "native XML store" of the paper's third architectural
+//! variation) all live here.
+//!
+//! The dialect supported is the subset of XML 1.0 needed by P3P 1.0 and
+//! APPEL 1.0 documents:
+//!
+//! * elements with attributes, nested elements, and character data;
+//! * namespace *prefixes* kept as part of qualified names (no URI
+//!   resolution — P3P/APPEL use fixed, well-known prefixes);
+//! * comments, processing instructions, and CDATA sections (skipped or
+//!   folded into text, respectively);
+//! * the five predefined entities plus decimal/hex character references;
+//! * an optional XML declaration and DOCTYPE (both skipped).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use p3p_xmldom::{parse_document, Element};
+//!
+//! let doc = parse_document("<POLICY name=\"p1\"><STATEMENT/></POLICY>").unwrap();
+//! assert_eq!(doc.root.name.local, "POLICY");
+//! assert_eq!(doc.root.attr("name"), Some("p1"));
+//! assert_eq!(doc.root.child_elements().count(), 1);
+//!
+//! let rebuilt: Element = doc.root.clone();
+//! assert!(rebuilt.to_xml().contains("<STATEMENT/>"));
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod escape;
+pub mod node;
+pub mod parser;
+pub mod store;
+pub mod writer;
+
+pub use builder::ElementBuilder;
+pub use error::{ParseError, Position};
+pub use node::{Attribute, Document, Element, Node, QName};
+pub use parser::{parse_document, parse_element};
+pub use store::DocumentStore;
+pub use writer::{WriteOptions, XmlWriter};

@@ -1,0 +1,329 @@
+//! The owned DOM: qualified names, attributes, elements, and documents.
+
+use std::fmt;
+
+/// A qualified name: an optional namespace prefix plus a local name.
+///
+/// P3P and APPEL use fixed, well-known prefixes (`appel:`, `p3p:`), so the
+/// model deliberately keeps prefixes textual instead of resolving
+/// namespace URIs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace prefix, e.g. `appel` in `appel:RULE`. `None` for
+    /// unprefixed names.
+    pub prefix: Option<String>,
+    /// Local part of the name, e.g. `RULE`.
+    pub local: String,
+}
+
+impl QName {
+    /// An unprefixed name.
+    pub fn local(name: impl Into<String>) -> Self {
+        QName {
+            prefix: None,
+            local: name.into(),
+        }
+    }
+
+    /// A prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, name: impl Into<String>) -> Self {
+        QName {
+            prefix: Some(prefix.into()),
+            local: name.into(),
+        }
+    }
+
+    /// Parse `prefix:local` or `local` from text.
+    pub fn parse(s: &str) -> Self {
+        match s.split_once(':') {
+            Some((p, l)) => QName::prefixed(p, l),
+            None => QName::local(s),
+        }
+    }
+
+    /// True when the local parts are equal, ignoring prefixes.
+    ///
+    /// APPEL matching compares element names this way: the draft matches
+    /// `<PURPOSE>` in a rule against `<p3p:PURPOSE>` in a policy.
+    pub fn matches_local(&self, other: &QName) -> bool {
+        self.local == other.local
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> Self {
+        QName::parse(s)
+    }
+}
+
+/// A single attribute: name plus (unescaped) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: QName,
+    pub value: String,
+}
+
+/// A node in element content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    /// Character data (already unescaped). CDATA sections are folded in.
+    Text(String),
+    /// A comment; preserved so round-tripping keeps annotations.
+    Comment(String),
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: name, attributes, and ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    pub name: QName,
+    pub attributes: Vec<Attribute>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// An empty element with the given (possibly prefixed) name.
+    pub fn new(name: impl Into<QName>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Look up an attribute value by name. `name` may be `prefix:local`
+    /// or plain `local`; a plain query also matches the unprefixed
+    /// attribute only, while a prefixed query requires the prefix.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        let q = QName::parse(name);
+        self.attributes
+            .iter()
+            .find(|a| a.name == q)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Look up an attribute by local name, ignoring any prefix.
+    pub fn attr_local(&self, local: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name.local == local)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<QName>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(existing) = self.attributes.iter_mut().find(|a| a.name == name) {
+            existing.value = value;
+        } else {
+            self.attributes.push(Attribute { name, value });
+        }
+    }
+
+    /// Remove an attribute by qualified name; returns the old value.
+    pub fn remove_attr(&mut self, name: &str) -> Option<String> {
+        let q = QName::parse(name);
+        let idx = self.attributes.iter().position(|a| a.name == q)?;
+        Some(self.attributes.remove(idx).value)
+    }
+
+    /// Append a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Append a text child.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Iterate over child *elements* (skipping text and comments).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Mutable iteration over child elements.
+    pub fn child_elements_mut(&mut self) -> impl Iterator<Item = &mut Element> {
+        self.children.iter_mut().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given *local* name (prefix ignored).
+    pub fn find_child(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name.local == local)
+    }
+
+    /// All child elements with the given local name.
+    pub fn find_children<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name.local == local)
+    }
+
+    /// Concatenated text content of this element's direct text children,
+    /// with surrounding whitespace trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// Depth-first pre-order visit of every element in the subtree.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Element)) {
+        visit(self);
+        for child in self.child_elements() {
+            child.walk(visit);
+        }
+    }
+
+    /// Serialize this element (and subtree) to compact XML text.
+    pub fn to_xml(&self) -> String {
+        crate::writer::XmlWriter::new(crate::writer::WriteOptions::compact()).element_to_string(self)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty_xml(&self) -> String {
+        crate::writer::XmlWriter::new(crate::writer::WriteOptions::pretty()).element_to_string(self)
+    }
+}
+
+/// A parsed document: prolog data we keep, plus the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// True when the input began with an `<?xml ...?>` declaration.
+    pub had_declaration: bool,
+    pub root: Element,
+}
+
+impl Document {
+    /// Wrap a root element as a document.
+    pub fn with_root(root: Element) -> Self {
+        Document {
+            had_declaration: false,
+            root,
+        }
+    }
+
+    /// Serialize the whole document, emitting an XML declaration.
+    pub fn to_xml(&self) -> String {
+        format!("<?xml version=\"1.0\"?>\n{}", self.root.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        let mut root = Element::new("POLICY");
+        root.set_attr("name", "p1");
+        let mut stmt = Element::new("STATEMENT");
+        let mut purpose = Element::new("PURPOSE");
+        purpose.push_element(Element::new("current"));
+        stmt.push_element(purpose);
+        root.push_element(stmt);
+        root
+    }
+
+    #[test]
+    fn qname_parsing_and_display() {
+        assert_eq!(QName::parse("appel:RULE"), QName::prefixed("appel", "RULE"));
+        assert_eq!(QName::parse("RULE"), QName::local("RULE"));
+        assert_eq!(QName::prefixed("appel", "RULE").to_string(), "appel:RULE");
+    }
+
+    #[test]
+    fn qname_local_matching_ignores_prefix() {
+        assert!(QName::parse("p3p:PURPOSE").matches_local(&QName::parse("PURPOSE")));
+        assert!(!QName::parse("PURPOSE").matches_local(&QName::parse("RECIPIENT")));
+    }
+
+    #[test]
+    fn attribute_set_replaces_existing() {
+        let mut e = Element::new("X");
+        e.set_attr("a", "1");
+        e.set_attr("a", "2");
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.attr("a"), Some("2"));
+    }
+
+    #[test]
+    fn attr_lookup_respects_prefix() {
+        let mut e = Element::new("X");
+        e.set_attr("appel:connective", "or");
+        assert_eq!(e.attr("appel:connective"), Some("or"));
+        assert_eq!(e.attr("connective"), None);
+        assert_eq!(e.attr_local("connective"), Some("or"));
+    }
+
+    #[test]
+    fn remove_attr_returns_value() {
+        let mut e = Element::new("X");
+        e.set_attr("a", "1");
+        assert_eq!(e.remove_attr("a"), Some("1".to_string()));
+        assert_eq!(e.remove_attr("a"), None);
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let root = sample();
+        assert_eq!(root.child_elements().count(), 1);
+        let stmt = root.find_child("STATEMENT").unwrap();
+        let purpose = stmt.find_child("PURPOSE").unwrap();
+        assert!(purpose.find_child("current").is_some());
+        assert!(root.find_child("ENTITY").is_none());
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let mut e = Element::new("CONSEQUENCE");
+        e.push_text("  We use your data ");
+        e.push_text("for shipping.  ");
+        assert_eq!(e.text(), "We use your data for shipping.");
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 4);
+    }
+
+    #[test]
+    fn walk_visits_preorder() {
+        let root = sample();
+        let mut names = Vec::new();
+        root.walk(&mut |e| names.push(e.name.local.clone()));
+        assert_eq!(names, ["POLICY", "STATEMENT", "PURPOSE", "current"]);
+    }
+}

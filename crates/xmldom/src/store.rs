@@ -1,0 +1,115 @@
+//! A small named document store.
+//!
+//! This plays the role of the "native XML store" in the paper's third
+//! architectural variation (§4): policies are kept as XML documents keyed
+//! by name, and XQuery runs directly against them. The paper could not
+//! evaluate this variation for lack of a public-domain native XML store;
+//! this crate provides one so the suite can (see `p3p-xquery::eval`).
+
+use crate::error::ParseError;
+use crate::node::{Document, Element};
+use crate::parser::parse_document;
+use std::collections::BTreeMap;
+
+/// An in-memory collection of named XML documents.
+#[derive(Debug, Default, Clone)]
+pub struct DocumentStore {
+    docs: BTreeMap<String, Document>,
+}
+
+impl DocumentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse `xml` and store it under `name`, replacing any previous
+    /// document with that name.
+    pub fn insert_xml(&mut self, name: impl Into<String>, xml: &str) -> Result<(), ParseError> {
+        let doc = parse_document(xml)?;
+        self.docs.insert(name.into(), doc);
+        Ok(())
+    }
+
+    /// Store an already-built document under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, doc: Document) {
+        self.docs.insert(name.into(), doc);
+    }
+
+    /// Fetch a document by name.
+    pub fn get(&self, name: &str) -> Option<&Document> {
+        self.docs.get(name)
+    }
+
+    /// Fetch a document's root element by name.
+    pub fn root(&self, name: &str) -> Option<&Element> {
+        self.docs.get(name).map(|d| &d.root)
+    }
+
+    /// Remove a document; returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Document> {
+        self.docs.remove(name)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate over `(name, document)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Document)> {
+        self.docs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_fetch() {
+        let mut store = DocumentStore::new();
+        store.insert_xml("volga", "<POLICY name=\"volga\"/>").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.root("volga").unwrap().attr("name"), Some("volga"));
+        assert!(store.get("missing").is_none());
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut store = DocumentStore::new();
+        store.insert_xml("p", "<A/>").unwrap();
+        store.insert_xml("p", "<B/>").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.root("p").unwrap().name.local, "B");
+    }
+
+    #[test]
+    fn invalid_xml_is_rejected_and_store_unchanged() {
+        let mut store = DocumentStore::new();
+        assert!(store.insert_xml("bad", "<A><B></A>").is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_document() {
+        let mut store = DocumentStore::new();
+        store.insert_xml("p", "<A/>").unwrap();
+        assert!(store.remove("p").is_some());
+        assert!(store.remove("p").is_none());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut store = DocumentStore::new();
+        store.insert_xml("b", "<B/>").unwrap();
+        store.insert_xml("a", "<A/>").unwrap();
+        let names: Vec<_> = store.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Serialization of the DOM back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, Node};
+
+/// Formatting options for [`XmlWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Emit newlines and indentation.
+    pub pretty: bool,
+    /// Spaces per indent level (ignored unless `pretty`).
+    pub indent: usize,
+    /// Emit comments. Policies keep annotations; hashing/size
+    /// measurements may want them off.
+    pub comments: bool,
+}
+
+impl WriteOptions {
+    /// Single-line, no insignificant whitespace.
+    pub fn compact() -> Self {
+        WriteOptions {
+            pretty: false,
+            indent: 0,
+            comments: true,
+        }
+    }
+
+    /// Two-space indentation.
+    pub fn pretty() -> Self {
+        WriteOptions {
+            pretty: true,
+            indent: 2,
+            comments: true,
+        }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions::compact()
+    }
+}
+
+/// Serializes [`Element`] trees to text.
+pub struct XmlWriter {
+    options: WriteOptions,
+}
+
+impl XmlWriter {
+    pub fn new(options: WriteOptions) -> Self {
+        XmlWriter { options }
+    }
+
+    /// Serialize one element subtree to a string.
+    pub fn element_to_string(&self, elem: &Element) -> String {
+        let mut out = String::with_capacity(256);
+        self.write_element(elem, 0, &mut out);
+        out
+    }
+
+    fn write_element(&self, elem: &Element, depth: usize, out: &mut String) {
+        if self.options.pretty && !out.is_empty() {
+            out.push('\n');
+        }
+        if self.options.pretty {
+            out.push_str(&" ".repeat(depth * self.options.indent));
+        }
+        out.push('<');
+        out.push_str(&elem.name.to_string());
+        for attr in &elem.attributes {
+            out.push(' ');
+            out.push_str(&attr.name.to_string());
+            out.push_str("=\"");
+            out.push_str(&escape_attr(&attr.value));
+            out.push('"');
+        }
+        let visible_children: Vec<&Node> = elem
+            .children
+            .iter()
+            .filter(|n| self.options.comments || !matches!(n, Node::Comment(_)))
+            .collect();
+        if visible_children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        let text_only = visible_children.iter().all(|n| matches!(n, Node::Text(_)));
+        for node in &visible_children {
+            match node {
+                Node::Element(child) => self.write_element(child, depth + 1, out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Comment(c) => {
+                    if self.options.pretty {
+                        out.push('\n');
+                        out.push_str(&" ".repeat((depth + 1) * self.options.indent));
+                    }
+                    out.push_str("<!--");
+                    out.push_str(c);
+                    out.push_str("-->");
+                }
+            }
+        }
+        if self.options.pretty && !text_only {
+            out.push('\n');
+            out.push_str(&" ".repeat(depth * self.options.indent));
+        }
+        out.push_str("</");
+        out.push_str(&elem.name.to_string());
+        out.push('>');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_element;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<POLICY name=\"p1\"><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
+        let e = parse_element(src).unwrap();
+        assert_eq!(e.to_xml(), src);
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let mut e = Element::new("X");
+        e.set_attr("v", "a\"b<c>&");
+        assert_eq!(e.to_xml(), "<X v=\"a&quot;b&lt;c&gt;&amp;\"/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut e = Element::new("X");
+        e.push_text("1 < 2 & 3 > 2");
+        assert_eq!(e.to_xml(), "<X>1 &lt; 2 &amp; 3 &gt; 2</X>");
+    }
+
+    #[test]
+    fn pretty_output_indents_nested_elements() {
+        let e = parse_element("<A><B><C/></B></A>").unwrap();
+        let pretty = e.to_pretty_xml();
+        assert_eq!(pretty, "<A>\n  <B>\n    <C/>\n  </B>\n</A>");
+    }
+
+    #[test]
+    fn pretty_keeps_text_inline() {
+        let e = parse_element("<A><B>hello</B></A>").unwrap();
+        let pretty = e.to_pretty_xml();
+        assert!(pretty.contains("<B>hello</B>"), "{pretty}");
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure() {
+        let src = "<POLICY><STATEMENT><PURPOSE><current/><admin/></PURPOSE></STATEMENT></POLICY>";
+        let e = parse_element(src).unwrap();
+        let reparsed = parse_element(&e.to_pretty_xml()).unwrap();
+        assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn comments_can_be_suppressed() {
+        let e = parse_element("<A><!-- hidden --><B/></A>").unwrap();
+        let w = XmlWriter::new(WriteOptions {
+            comments: false,
+            ..WriteOptions::compact()
+        });
+        assert_eq!(w.element_to_string(&e), "<A><B/></A>");
+    }
+
+    #[test]
+    fn prefixed_names_serialize_with_prefix() {
+        let e = parse_element("<appel:RULESET><appel:RULE behavior=\"block\"/></appel:RULESET>").unwrap();
+        assert_eq!(
+            e.to_xml(),
+            "<appel:RULESET><appel:RULE behavior=\"block\"/></appel:RULESET>"
+        );
+    }
+}

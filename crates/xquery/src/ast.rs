@@ -1,0 +1,248 @@
+//! The XQuery subset AST: the `if (document(...)/path) then <b/>` form
+//! of the paper's Figure 18.
+
+use std::fmt;
+
+/// A complete query: test a path against a named document; when the
+/// path selects at least one node, return the behavior element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XQuery {
+    /// The `document("...")` argument.
+    pub document: String,
+    /// The root step (applied to the document's root element).
+    pub root: Step,
+    /// Name of the element returned by the `then` branch, e.g. `block`.
+    pub behavior: String,
+}
+
+/// One XPath step: an element name test plus an optional predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    pub name: String,
+    pub predicate: Option<Pred>,
+}
+
+impl Step {
+    /// A step with no predicate.
+    pub fn named(name: impl Into<String>) -> Step {
+        Step {
+            name: name.into(),
+            predicate: None,
+        }
+    }
+
+    /// Attach a predicate.
+    pub fn with_pred(mut self, pred: Pred) -> Step {
+        self.predicate = Some(pred);
+        self
+    }
+
+    /// Number of predicate nodes in this step's subtree (the XTABLE
+    /// complexity measure).
+    pub fn size(&self) -> usize {
+        1 + self.predicate.as_ref().map_or(0, Pred::size)
+    }
+}
+
+/// A predicate inside `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation: `not(...)`.
+    Not(Box<Pred>),
+    /// Existence of a child path: `STATEMENT[...]` or `A/B[...]`.
+    Exists(Vec<Step>),
+    /// Attribute comparison: `@required = "always"`.
+    AttrEq(String, String),
+    /// Exactness: every child element of the context node matches one
+    /// of the listed steps. This is the `*-exact` APPEL connective —
+    /// XPath 1.0 writes it `not(*[not(self::a | self::b)])`; this AST
+    /// keeps it first-class as `only(a, b)`. The XTABLE compiler cannot
+    /// translate it (see `p3p-server::xtable`), reproducing the paper's
+    /// Medium-preference failure.
+    OnlyChildren(Vec<Step>),
+}
+
+impl Pred {
+    /// Number of nodes in the predicate tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Pred::And(ps) | Pred::Or(ps) => 1 + ps.iter().map(Pred::size).sum::<usize>(),
+            Pred::Not(p) => 1 + p.size(),
+            Pred::Exists(steps) => steps.iter().map(Step::size).sum(),
+            Pred::AttrEq(_, _) => 1,
+            Pred::OnlyChildren(steps) => 1 + steps.iter().map(Step::size).sum::<usize>(),
+        }
+    }
+
+    /// Smart conjunction: flattens singletons.
+    pub fn and(mut preds: Vec<Pred>) -> Pred {
+        if preds.len() == 1 {
+            preds.remove(0)
+        } else {
+            Pred::And(preds)
+        }
+    }
+
+    /// Smart disjunction: flattens singletons.
+    pub fn or(mut preds: Vec<Pred>) -> Pred {
+        if preds.len() == 1 {
+            preds.remove(0)
+        } else {
+            Pred::Or(preds)
+        }
+    }
+}
+
+impl XQuery {
+    /// Total size: steps + predicates (used for the XTABLE limit).
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+}
+
+// --- textual form -------------------------------------------------------
+
+impl fmt::Display for XQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "if (document(\"{}\")/{}) then <{}/>",
+            self.document, self.root, self.behavior
+        )
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if let Some(p) = &self.predicate {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::And(ps) => write_joined(f, ps, " and "),
+            Pred::Or(ps) => write_joined(f, ps, " or "),
+            Pred::Not(p) => write!(f, "not({p})"),
+            Pred::Exists(steps) => {
+                for (i, s) in steps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            Pred::AttrEq(name, value) => write!(f, "@{name} = \"{value}\""),
+            Pred::OnlyChildren(steps) => {
+                f.write_str("only(")?;
+                for (i, s) in steps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+fn write_joined(f: &mut fmt::Formatter<'_>, ps: &[Pred], sep: &str) -> fmt::Result {
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        // Parenthesize nested boolean combinations for unambiguity.
+        match p {
+            Pred::And(_) | Pred::Or(_) => write!(f, "({p})")?,
+            _ => write!(f, "{p}")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_18() -> XQuery {
+        // if (document("applicable-policy")/POLICY[STATEMENT[PURPOSE[
+        //    admin or contact[@required = "always"]]]]) then <block/>
+        let purpose_pred = Pred::Or(vec![
+            Pred::Exists(vec![Step::named("admin")]),
+            Pred::Exists(vec![
+                Step::named("contact").with_pred(Pred::AttrEq("required".into(), "always".into()))
+            ]),
+        ]);
+        XQuery {
+            document: "applicable-policy".into(),
+            root: Step::named("POLICY").with_pred(Pred::Exists(vec![Step::named("STATEMENT")
+                .with_pred(Pred::Exists(vec![
+                    Step::named("PURPOSE").with_pred(purpose_pred)
+                ]))])),
+            behavior: "block".into(),
+        }
+    }
+
+    #[test]
+    fn display_matches_figure_18_shape() {
+        let q = figure_18();
+        assert_eq!(
+            q.to_string(),
+            "if (document(\"applicable-policy\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>"
+        );
+    }
+
+    #[test]
+    fn size_counts_steps_and_predicates() {
+        assert_eq!(Step::named("POLICY").size(), 1);
+        let q = figure_18();
+        // POLICY, STATEMENT, PURPOSE steps + or-node + admin step +
+        // contact step + attr-eq.
+        assert_eq!(q.size(), 7);
+    }
+
+    #[test]
+    fn smart_constructors_flatten_singletons() {
+        let single = Pred::and(vec![Pred::AttrEq("a".into(), "b".into())]);
+        assert!(matches!(single, Pred::AttrEq(_, _)));
+        let multi = Pred::or(vec![
+            Pred::AttrEq("a".into(), "b".into()),
+            Pred::AttrEq("c".into(), "d".into()),
+        ]);
+        assert!(matches!(multi, Pred::Or(_)));
+    }
+
+    #[test]
+    fn nested_boolean_display_is_parenthesized() {
+        let p = Pred::And(vec![
+            Pred::Or(vec![
+                Pred::Exists(vec![Step::named("a")]),
+                Pred::Exists(vec![Step::named("b")]),
+            ]),
+            Pred::Exists(vec![Step::named("c")]),
+        ]);
+        assert_eq!(p.to_string(), "(a or b) and c");
+    }
+
+    #[test]
+    fn multi_step_exists_displays_with_slash() {
+        let p = Pred::Exists(vec![Step::named("DATA-GROUP"), Step::named("DATA")]);
+        assert_eq!(p.to_string(), "DATA-GROUP/DATA");
+    }
+
+    #[test]
+    fn not_displays() {
+        let p = Pred::Not(Box::new(Pred::Exists(vec![Step::named("unrelated")])));
+        assert_eq!(p.to_string(), "not(unrelated)");
+    }
+}

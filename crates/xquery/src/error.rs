@@ -1,0 +1,67 @@
+//! XQuery subsystem errors.
+
+use std::fmt;
+
+/// An error from parsing or compiling an XQuery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XQueryError {
+    /// Syntax error in the query text.
+    Syntax {
+        /// Byte offset where the problem was found.
+        offset: usize,
+        message: String,
+    },
+    /// The query exceeds a processor's capability — the XTABLE
+    /// compiler raises this for queries past its complexity limit,
+    /// reproducing the paper's Medium-preference failure (§6.3.2).
+    TooComplex {
+        /// A measure of the query's size (predicate count).
+        size: usize,
+        /// The processor's limit.
+        limit: usize,
+    },
+    /// A construct the downstream processor cannot handle.
+    Unsupported(String),
+}
+
+impl XQueryError {
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> XQueryError {
+        XQueryError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::Syntax { offset, message } => {
+                write!(f, "XQuery syntax error at offset {offset}: {message}")
+            }
+            XQueryError::TooComplex { size, limit } => write!(
+                f,
+                "query too complex for the processor: size {size} exceeds limit {limit}"
+            ),
+            XQueryError::Unsupported(what) => write!(f, "unsupported XQuery construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(XQueryError::syntax(3, "expected `if`").to_string().contains("offset 3"));
+        assert!(XQueryError::TooComplex { size: 40, limit: 32 }
+            .to_string()
+            .contains("exceeds limit 32"));
+        assert!(XQueryError::Unsupported("exact connective".into())
+            .to_string()
+            .contains("exact connective"));
+    }
+}

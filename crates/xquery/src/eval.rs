@@ -1,0 +1,213 @@
+//! Direct evaluation of the XQuery subset over XML documents.
+//!
+//! This realizes the paper's third architectural variation — policies in
+//! a native XML store, queried without a relational detour (§4,
+//! variation 3) — which the paper could not benchmark because no
+//! public-domain XML store was available (§6.1).
+
+use crate::ast::{Pred, Step, XQuery};
+use p3p_xmldom::Element;
+
+/// Evaluate a query against the root element of the applicable policy
+/// document. Returns the behavior name when the path selects at least
+/// one node, `None` otherwise.
+pub fn eval_xquery(query: &XQuery, policy_root: &Element) -> Option<String> {
+    if step_matches(&query.root, policy_root) {
+        Some(query.behavior.clone())
+    } else {
+        None
+    }
+}
+
+/// Does `step` match `elem` (name test + predicate)?
+fn step_matches(step: &Step, elem: &Element) -> bool {
+    if step.name != "*" && elem.name.local != step.name {
+        return false;
+    }
+    match &step.predicate {
+        None => true,
+        Some(p) => pred_holds(p, elem),
+    }
+}
+
+/// Evaluate a predicate with `elem` as the context node.
+fn pred_holds(pred: &Pred, elem: &Element) -> bool {
+    match pred {
+        Pred::And(ps) => ps.iter().all(|p| pred_holds(p, elem)),
+        Pred::Or(ps) => ps.iter().any(|p| pred_holds(p, elem)),
+        Pred::Not(p) => !pred_holds(p, elem),
+        Pred::AttrEq(name, value) => elem.attr_local(name) == Some(value.as_str()),
+        Pred::Exists(steps) => exists_path(steps, elem),
+        Pred::OnlyChildren(steps) => elem
+            .child_elements()
+            .all(|c| steps.iter().any(|s| step_matches(s, c))),
+    }
+}
+
+/// Does a relative path select at least one node from `context`?
+fn exists_path(steps: &[Step], context: &Element) -> bool {
+    let Some((first, rest)) = steps.split_first() else {
+        return true;
+    };
+    context
+        .child_elements()
+        .any(|child| step_matches(first, child) && exists_path(rest, child))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_xquery;
+    use p3p_xmldom::parse_element;
+
+    fn volga_like() -> Element {
+        parse_element(
+            r#"<POLICY name="volga">
+                 <STATEMENT>
+                   <PURPOSE><current/></PURPOSE>
+                   <RECIPIENT><ours/><same/></RECIPIENT>
+                 </STATEMENT>
+                 <STATEMENT>
+                   <PURPOSE>
+                     <individual-decision required="opt-in"/>
+                     <contact required="opt-in"/>
+                   </PURPOSE>
+                   <RECIPIENT><ours/></RECIPIENT>
+                 </STATEMENT>
+               </POLICY>"#,
+        )
+        .unwrap()
+    }
+
+    fn run(q: &str, policy: &Element) -> Option<String> {
+        eval_xquery(&parse_xquery(q).unwrap(), policy)
+    }
+
+    #[test]
+    fn figure_18_against_conforming_policy() {
+        // Volga has no admin purpose and contact is opt-in, so the
+        // block query selects nothing.
+        let policy = volga_like();
+        let out = run(
+            "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>",
+            &policy,
+        );
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn figure_18_fires_on_always_contact() {
+        let policy = parse_element(
+            "<POLICY><STATEMENT><PURPOSE><contact required=\"always\"/></PURPOSE></STATEMENT></POLICY>",
+        )
+        .unwrap();
+        let out = run(
+            "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>",
+            &policy,
+        );
+        assert_eq!(out, Some("block".to_string()));
+    }
+
+    #[test]
+    fn root_name_must_match() {
+        let policy = volga_like();
+        assert_eq!(run("if (document(\"p\")/RULESET) then <block/>", &policy), None);
+        assert_eq!(
+            run("if (document(\"p\")/POLICY) then <request/>", &policy),
+            Some("request".to_string())
+        );
+    }
+
+    #[test]
+    fn multi_step_paths() {
+        let policy = parse_element(
+            "<POLICY><STATEMENT><DATA-GROUP><DATA ref=\"#user.name\"/></DATA-GROUP></STATEMENT></POLICY>",
+        )
+        .unwrap();
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[STATEMENT/DATA-GROUP/DATA[@ref = \"#user.name\"]]) then <block/>",
+                &policy
+            ),
+            Some("block".to_string())
+        );
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[STATEMENT/DATA-GROUP/DATA[@ref = \"#user.bdate\"]]) then <block/>",
+                &policy
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn not_negates() {
+        let policy = volga_like();
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[not(STATEMENT[RECIPIENT[unrelated]])]) then <request/>",
+                &policy
+            ),
+            Some("request".to_string())
+        );
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[not(STATEMENT[RECIPIENT[ours]])]) then <request/>",
+                &policy
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn and_or_combinations() {
+        let policy = volga_like();
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[current] and RECIPIENT[same]]]) then <request/>",
+                &policy
+            ),
+            Some("request".to_string())
+        );
+        // current and same are in the same statement; contact is in the
+        // other — a single STATEMENT step must not mix them.
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[contact] and RECIPIENT[same]]]) then <request/>",
+                &policy
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn attribute_comparison_requires_presence() {
+        let policy = volga_like();
+        // `ours` has no required attribute: @required = "always" is false.
+        assert_eq!(
+            run(
+                "if (document(\"p\")/POLICY[STATEMENT[RECIPIENT[ours[@required = \"always\"]]]]) then <block/>",
+                &policy
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let policy = volga_like();
+        let q = crate::ast::XQuery {
+            document: "p".into(),
+            root: crate::ast::Step::named("*"),
+            behavior: "request".into(),
+        };
+        assert_eq!(eval_xquery(&q, &policy), Some("request".to_string()));
+    }
+
+    #[test]
+    fn empty_exists_path_is_true() {
+        // Degenerate but well-defined: an empty relative path selects
+        // the context node itself.
+        assert!(super::exists_path(&[], &volga_like()));
+    }
+}

@@ -1,0 +1,48 @@
+//! # p3p-xquery — an XQuery/XPath subset
+//!
+//! The paper's second and third architectural variations (§4) express
+//! APPEL preferences as XQuery instead of SQL: either against an XML
+//! *view* of the shredded relational tables (via XTABLE/XPERANTO) or
+//! against a native XML store. This crate provides the query-language
+//! substrate:
+//!
+//! * [`ast`] — the `if (document("...")/PATH) then <behavior/>` query
+//!   form of the paper's Figure 18, with XPath steps, nested existence
+//!   predicates, attribute comparisons, and `and`/`or`/`not`;
+//! * [`parse`] — a parser for the textual form (the APPEL→XQuery
+//!   translator emits *text*, exactly as the paper's pipeline does, and
+//!   the XTABLE stage re-parses it);
+//! * [`eval`] — direct evaluation over [`p3p_xmldom`] documents: the
+//!   "native XML store" variation the paper could not benchmark for
+//!   lack of a public-domain XML store (§6.1).
+//!
+//! The XQuery→SQL compilation (the XTABLE role) lives in `p3p-server`,
+//! next to the relational schemas it targets.
+//!
+//! ## Example
+//!
+//! ```
+//! use p3p_xquery::{parse::parse_xquery, eval::eval_xquery};
+//! use p3p_xmldom::parse_element;
+//!
+//! // Figure 18 of the paper, in this crate's concrete syntax.
+//! let q = parse_xquery(r#"
+//!   if (document("applicable-policy")/POLICY[STATEMENT[PURPOSE[
+//!       admin or contact[@required = "always"]]]])
+//!   then <block/>
+//! "#).unwrap();
+//!
+//! let policy = parse_element(
+//!   "<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>").unwrap();
+//! assert_eq!(eval_xquery(&q, &policy), Some("block".to_string()));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parse;
+
+pub use ast::{Pred, Step, XQuery};
+pub use error::XQueryError;
+pub use eval::eval_xquery;
+pub use parse::parse_xquery;

@@ -1,0 +1,343 @@
+//! Parser for the textual XQuery form.
+//!
+//! The APPEL→XQuery translator emits *text* (the paper's pipeline hands
+//! textual XQuery to XTABLE), so a parser is needed to get it back into
+//! AST form for evaluation or SQL compilation.
+
+use crate::ast::{Pred, Step, XQuery};
+use crate::error::XQueryError;
+
+/// Parse a complete query of the form
+/// `if (document("name")/STEP[...]) then <behavior/> [else ()]`.
+pub fn parse_xquery(text: &str) -> Result<XQuery, XQueryError> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    p.keyword("if")?;
+    p.ws();
+    p.token("(")?;
+    p.ws();
+    p.keyword("document")?;
+    p.ws();
+    p.token("(")?;
+    p.ws();
+    let document = p.string()?;
+    p.ws();
+    p.token(")")?;
+    p.ws();
+    p.token("/")?;
+    let root = p.step()?;
+    p.ws();
+    p.token(")")?;
+    p.ws();
+    p.keyword("then")?;
+    p.ws();
+    // `return <b/>` is tolerated (paper Fig. 18 writes `then return`).
+    let _ = p.keyword_opt("return");
+    p.ws();
+    p.token("<")?;
+    let behavior = p.name()?;
+    p.token("/")?;
+    p.token(">")?;
+    p.ws();
+    if p.keyword_opt("else") {
+        p.ws();
+        p.token("(")?;
+        p.ws();
+        p.token(")")?;
+        p.ws();
+    }
+    if p.pos < p.bytes.len() {
+        return Err(p.err("unexpected trailing text"));
+    }
+    Ok(XQuery {
+        document,
+        root,
+        behavior,
+    })
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XQueryError {
+        XQueryError::syntax(self.pos, message)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn token(&mut self, tok: &str) -> Result<(), XQueryError> {
+        if self.text[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`")))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), XQueryError> {
+        if self.keyword_opt(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    /// Consume a keyword only when it is not a prefix of a longer name.
+    fn keyword_opt(&mut self, kw: &str) -> bool {
+        let rest = &self.text[self.pos..];
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.bytes().next();
+            let boundary = !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn string(&mut self) -> Result<String, XQueryError> {
+        self.token("\"")?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = self.text[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn name(&mut self) -> Result<String, XQueryError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    /// `NAME [pred]*` — multiple bracket groups AND together.
+    fn step(&mut self) -> Result<Step, XQueryError> {
+        let name = self.name()?;
+        let mut preds = Vec::new();
+        loop {
+            self.ws();
+            if self.text[self.pos..].starts_with('[') {
+                self.pos += 1;
+                let p = self.pred()?;
+                self.ws();
+                self.token("]")?;
+                preds.push(p);
+            } else {
+                break;
+            }
+        }
+        let mut step = Step::named(name);
+        if !preds.is_empty() {
+            step = step.with_pred(Pred::and(preds));
+        }
+        Ok(step)
+    }
+
+    fn pred(&mut self) -> Result<Pred, XQueryError> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<Pred, XQueryError> {
+        let mut parts = vec![self.and_pred()?];
+        loop {
+            self.ws();
+            if self.keyword_opt("or") {
+                self.ws();
+                parts.push(self.and_pred()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Pred::or(parts))
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, XQueryError> {
+        let mut parts = vec![self.unary_pred()?];
+        loop {
+            self.ws();
+            if self.keyword_opt("and") {
+                self.ws();
+                parts.push(self.unary_pred()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Pred::and(parts))
+    }
+
+    fn unary_pred(&mut self) -> Result<Pred, XQueryError> {
+        self.ws();
+        if self.keyword_opt("not") {
+            self.ws();
+            self.token("(")?;
+            let inner = self.pred()?;
+            self.ws();
+            self.token(")")?;
+            return Ok(Pred::Not(Box::new(inner)));
+        }
+        if self.text[self.pos..].starts_with('(') {
+            self.pos += 1;
+            let inner = self.pred()?;
+            self.ws();
+            self.token(")")?;
+            return Ok(inner);
+        }
+        if self.keyword_opt("only") {
+            self.ws();
+            self.token("(")?;
+            let mut steps = vec![self.step()?];
+            loop {
+                self.ws();
+                if self.text[self.pos..].starts_with(',') {
+                    self.pos += 1;
+                    self.ws();
+                    steps.push(self.step()?);
+                } else {
+                    break;
+                }
+            }
+            self.ws();
+            self.token(")")?;
+            return Ok(Pred::OnlyChildren(steps));
+        }
+        if self.text[self.pos..].starts_with('@') {
+            self.pos += 1;
+            let attr = self.name()?;
+            self.ws();
+            self.token("=")?;
+            self.ws();
+            let value = self.string()?;
+            return Ok(Pred::AttrEq(attr, value));
+        }
+        // A relative existence path: NAME[pred]* (/ NAME[pred]*)*.
+        let mut steps = vec![self.step()?];
+        loop {
+            if self.text[self.pos..].starts_with('/') {
+                self.pos += 1;
+                steps.push(self.step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Pred::Exists(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_18() {
+        let q = parse_xquery(
+            "if (document(\"applicable-policy\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>",
+        )
+        .unwrap();
+        assert_eq!(q.document, "applicable-policy");
+        assert_eq!(q.behavior, "block");
+        assert_eq!(q.root.name, "POLICY");
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let text = "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[admin or contact[@required = \"always\"]]]]) then <block/>";
+        let q = parse_xquery(text).unwrap();
+        assert_eq!(q.to_string(), text);
+        // And the re-parse is identical.
+        assert_eq!(parse_xquery(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn tolerates_then_return_form() {
+        let q = parse_xquery("if (document(\"p\")/POLICY) then return <request/>").unwrap();
+        assert_eq!(q.behavior, "request");
+    }
+
+    #[test]
+    fn tolerates_else_empty() {
+        let q = parse_xquery("if (document(\"p\")/POLICY) then <block/> else ()").unwrap();
+        assert_eq!(q.behavior, "block");
+    }
+
+    #[test]
+    fn parses_not_and_parens() {
+        let q = parse_xquery(
+            "if (document(\"p\")/POLICY[not(STATEMENT[RECIPIENT[unrelated]]) and (STATEMENT[PURPOSE[current]] or STATEMENT[PURPOSE[admin]])]) then <request/>",
+        )
+        .unwrap();
+        let Pred::And(parts) = q.root.predicate.unwrap() else {
+            panic!("expected And at top")
+        };
+        assert!(matches!(parts[0], Pred::Not(_)));
+        assert!(matches!(parts[1], Pred::Or(_)));
+    }
+
+    #[test]
+    fn parses_multi_step_paths() {
+        let q = parse_xquery(
+            "if (document(\"p\")/POLICY[STATEMENT/DATA-GROUP/DATA[@ref = \"#user.name\"]]) then <block/>",
+        )
+        .unwrap();
+        let Pred::Exists(steps) = q.root.predicate.unwrap() else { panic!() };
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[2].name, "DATA");
+    }
+
+    #[test]
+    fn multiple_bracket_groups_and_together() {
+        let q = parse_xquery("if (document(\"p\")/POLICY[STATEMENT][ENTITY]) then <block/>").unwrap();
+        assert!(matches!(q.root.predicate, Some(Pred::And(ref ps)) if ps.len() == 2));
+    }
+
+    #[test]
+    fn keyword_boundary_respected() {
+        // An element named `order` must not be parsed as keyword `or` + `der`.
+        let q = parse_xquery("if (document(\"p\")/POLICY[order]) then <block/>").unwrap();
+        assert!(matches!(
+            q.root.predicate,
+            Some(Pred::Exists(ref s)) if s[0].name == "order"
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "if (document(p)/A) then <b/>",
+            "if (document(\"p\")A) then <b/>",
+            "if (document(\"p\")/A) then b",
+            "if (document(\"p\")/A[]) then <b/>",
+            "if (document(\"p\")/A) then <b/> trailing",
+            "if (document(\"p\")/A[@x]) then <b/>",
+        ] {
+            assert!(parse_xquery(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

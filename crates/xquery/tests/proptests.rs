@@ -1,0 +1,121 @@
+//! Property-based tests for the XQuery subset: display∘parse identity
+//! and evaluation laws.
+
+use p3p_xmldom::ElementBuilder;
+use p3p_xquery::ast::{Pred, Step, XQuery};
+use p3p_xquery::eval::eval_xquery;
+use p3p_xquery::parse::parse_xquery;
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,8}".prop_filter("keywords collide with the grammar", |s| {
+        !["if", "then", "else", "and", "or", "not", "only", "document", "return"]
+            .contains(&s.as_str())
+    })
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        (name_strategy(), "[a-z0-9.#/-]{0,10}")
+            .prop_map(|(n, v)| Pred::AttrEq(n, v)),
+        prop::collection::vec(name_strategy(), 1..3)
+            .prop_map(|ns| Pred::Exists(ns.into_iter().map(Step::named).collect())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::Or),
+            inner.clone().prop_map(|p| Pred::Not(Box::new(p))),
+            prop::collection::vec(name_strategy(), 1..3)
+                .prop_map(|ns| Pred::OnlyChildren(ns.into_iter().map(Step::named).collect())),
+            (name_strategy(), inner).prop_map(|(n, p)| Pred::Exists(vec![Step::named(n)
+                .with_pred(p)])),
+        ]
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = XQuery> {
+    (
+        "[a-z-]{1,12}",
+        name_strategy(),
+        prop::option::of(pred_strategy()),
+        name_strategy(),
+    )
+        .prop_map(|(document, root, pred, behavior)| {
+            let mut step = Step::named(root);
+            if let Some(p) = pred {
+                step = step.with_pred(p);
+            }
+            XQuery {
+                document,
+                root: step,
+                behavior,
+            }
+        })
+}
+
+proptest! {
+    /// display ∘ parse is the identity on queries.
+    #[test]
+    fn display_parse_roundtrip(q in query_strategy()) {
+        let text = q.to_string();
+        let back = parse_xquery(&text).unwrap();
+        prop_assert_eq!(q, back);
+    }
+
+    /// Evaluation is deterministic and name-gated at the root.
+    #[test]
+    fn root_name_gates_evaluation(q in query_strategy()) {
+        let other = ElementBuilder::new("SOMETHING-ELSE-ENTIRELY").build();
+        prop_assert_eq!(eval_xquery(&q, &other), None);
+    }
+
+    /// `not(not(p))` evaluates like `p`.
+    #[test]
+    fn double_negation(pred in pred_strategy()) {
+        let elem = ElementBuilder::new("POLICY")
+            .child(ElementBuilder::new("STATEMENT").child(ElementBuilder::new("PURPOSE")))
+            .build();
+        let plain = XQuery {
+            document: "d".into(),
+            root: Step::named("POLICY").with_pred(pred.clone()),
+            behavior: "b".into(),
+        };
+        let doubled = XQuery {
+            document: "d".into(),
+            root: Step::named("POLICY")
+                .with_pred(Pred::Not(Box::new(Pred::Not(Box::new(pred))))),
+            behavior: "b".into(),
+        };
+        prop_assert_eq!(eval_xquery(&plain, &elem), eval_xquery(&doubled, &elem));
+    }
+
+    /// And is commutative; Or is commutative.
+    #[test]
+    fn boolean_commutativity(a in pred_strategy(), b in pred_strategy()) {
+        let elem = ElementBuilder::new("POLICY")
+            .child(ElementBuilder::new("STATEMENT"))
+            .build();
+        let q = |p: Pred| XQuery {
+            document: "d".into(),
+            root: Step::named("POLICY").with_pred(p),
+            behavior: "x".into(),
+        };
+        prop_assert_eq!(
+            eval_xquery(&q(Pred::And(vec![a.clone(), b.clone()])), &elem),
+            eval_xquery(&q(Pred::And(vec![b.clone(), a.clone()])), &elem)
+        );
+        prop_assert_eq!(
+            eval_xquery(&q(Pred::Or(vec![a.clone(), b.clone()])), &elem),
+            eval_xquery(&q(Pred::Or(vec![b, a])), &elem)
+        );
+    }
+
+    /// Query size is positive and stable under display/parse.
+    #[test]
+    fn size_is_stable(q in query_strategy()) {
+        prop_assert!(q.size() >= 1);
+        let back = parse_xquery(&q.to_string()).unwrap();
+        prop_assert_eq!(q.size(), back.size());
+    }
+}

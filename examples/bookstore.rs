@@ -1,0 +1,171 @@
+//! A multi-policy site with a reference file (paper §2.3, §5.5).
+//!
+//! An online bookstore runs three services with different privacy
+//! practices: the public catalog (anonymous browsing), checkout
+//! (transactional data), and a marketing program (profiling). A P3P
+//! reference file maps URI patterns to the right policy; the server
+//! routes every request through `applicablePolicy()` before matching
+//! the visitor's preference.
+//!
+//! ```sh
+//! cargo run --example bookstore
+//! ```
+
+use p3p_suite::appel::model::Behavior;
+use p3p_suite::policy::model::{
+    DataGroup, DataRef, Entity, Policy, PurposeUse, RecipientUse, Statement,
+};
+use p3p_suite::policy::vocab::{Access, Category, Purpose, Recipient, Retention};
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+use p3p_suite::workload::Sensitivity;
+
+fn catalog_policy() -> Policy {
+    let mut p = Policy::new("catalog");
+    p.entity = Some(Entity::named("Paperback Planet"));
+    p.access = Some(Access::NonIdent);
+    p.statements.push(Statement {
+        consequence: Some("Anonymous clickstream keeps the catalog fast.".to_string()),
+        purposes: vec![
+            PurposeUse::always(Purpose::Current),
+            PurposeUse::always(Purpose::Admin),
+        ],
+        recipients: vec![RecipientUse::always(Recipient::Ours)],
+        retention: vec![Retention::NoRetention],
+        data_groups: vec![DataGroup {
+            base: None,
+            data: vec![DataRef::new("dynamic.clickstream")],
+        }],
+        ..Statement::default()
+    });
+    p
+}
+
+fn checkout_policy() -> Policy {
+    let mut p = Policy::new("checkout");
+    p.entity = Some(Entity::named("Paperback Planet"));
+    p.access = Some(Access::ContactAndOther);
+    p.statements.push(Statement {
+        consequence: Some("We need your address and payment data to ship books.".to_string()),
+        purposes: vec![PurposeUse::always(Purpose::Current)],
+        recipients: vec![
+            RecipientUse::always(Recipient::Ours),
+            RecipientUse::always(Recipient::Delivery),
+        ],
+        retention: vec![Retention::StatedPurpose],
+        data_groups: vec![DataGroup {
+            base: None,
+            data: vec![
+                DataRef::new("user.name"),
+                DataRef::new("user.home-info.postal"),
+                DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]),
+            ],
+        }],
+        ..Statement::default()
+    });
+    p
+}
+
+fn marketing_policy() -> Policy {
+    let mut p = Policy::new("marketing");
+    p.entity = Some(Entity::named("Paperback Planet"));
+    p.access = Some(Access::All);
+    p.statements.push(Statement {
+        consequence: Some("Join the club and we profile your taste in books.".to_string()),
+        purposes: vec![
+            PurposeUse::always(Purpose::IndividualAnalysis),
+            PurposeUse::always(Purpose::Contact),
+            PurposeUse::always(Purpose::Telemarketing),
+        ],
+        recipients: vec![
+            RecipientUse::always(Recipient::Ours),
+            RecipientUse::always(Recipient::OtherRecipient),
+        ],
+        retention: vec![Retention::Indefinitely],
+        data_groups: vec![DataGroup {
+            base: None,
+            data: vec![
+                DataRef::new("user.home-info.online.email"),
+                DataRef::new("user.bdate"),
+                DataRef::new("dynamic.miscdata").with_categories([Category::Preference]),
+            ],
+        }],
+        ..Statement::default()
+    });
+    p
+}
+
+const REFERENCE: &str = r#"
+<META>
+  <POLICY-REFERENCES>
+    <POLICY-REF about="/p3p/policies.xml#checkout">
+      <INCLUDE>/checkout/*</INCLUDE>
+      <INCLUDE>/cart/*</INCLUDE>
+    </POLICY-REF>
+    <POLICY-REF about="/p3p/policies.xml#marketing">
+      <INCLUDE>/club/*</INCLUDE>
+      <EXCLUDE>/club/terms*</EXCLUDE>
+    </POLICY-REF>
+    <POLICY-REF about="/p3p/policies.xml#catalog">
+      <INCLUDE>/*</INCLUDE>
+    </POLICY-REF>
+  </POLICY-REFERENCES>
+</META>"#;
+
+fn main() {
+    let mut server = PolicyServer::new();
+    for policy in [catalog_policy(), checkout_policy(), marketing_policy()] {
+        server.install_policy(&policy).expect("installs");
+    }
+    server
+        .install_reference_xml(REFERENCE)
+        .expect("reference installs");
+
+    let visitors = [
+        ("cautious Carol", Sensitivity::High.ruleset()),
+        ("moderate Mel", Sensitivity::Medium.ruleset()),
+        ("breezy Bob", Sensitivity::VeryLow.ruleset()),
+    ];
+    let pages = [
+        "/books/fiction/dune",
+        "/cart/add?id=42",
+        "/checkout/payment",
+        "/club/join",
+        "/club/terms.html",
+    ];
+
+    println!("Routing requests through the reference file (paper §2.3):\n");
+    for page in pages {
+        let policy_id = server.resolve(Target::Uri(page)).expect("a policy covers it");
+        println!("{page}");
+        println!("  covered by policy id {policy_id}");
+        for (who, prefs) in &visitors {
+            let outcome = server
+                .match_preference(prefs, Target::Uri(page), EngineKind::Sql)
+                .expect("match runs");
+            let gloss = match outcome.verdict.behavior {
+                Behavior::Request => "proceeds",
+                Behavior::Block => "BLOCKED",
+                Behavior::Limited => "limited",
+                Behavior::Custom(_) => "custom",
+            };
+            println!(
+                "  {who:<15} → {:<8} ({gloss}, {:?})",
+                outcome.verdict.behavior.to_string(),
+                outcome.convert + outcome.query
+            );
+        }
+    }
+
+    // Sanity: the marketing pages trip the cautious preference, the
+    // catalog does not.
+    let carol = Sensitivity::High.ruleset();
+    let catalog = server
+        .match_preference(&carol, Target::Uri("/books/index"), EngineKind::Sql)
+        .unwrap();
+    assert_eq!(catalog.verdict.behavior, Behavior::Request);
+    let club = server
+        .match_preference(&carol, Target::Uri("/club/join"), EngineKind::Sql)
+        .unwrap();
+    assert_eq!(club.verdict.behavior, Behavior::Block);
+    println!("\nCautious visitors browse the catalog but never reach the club pages.");
+}

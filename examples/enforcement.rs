@@ -1,0 +1,77 @@
+//! Enforcement: making the site keep its own promises (paper §7).
+//!
+//! The paper closes with the future-work direction of "database
+//! mechanisms for ensuring that the privacy policies are indeed being
+//! followed" — the Privacy Constraint Validator of the companion
+//! Hippocratic-databases work. Because the server-centric architecture
+//! already shredded the policy into tables, the validator is a SQL
+//! check away: every internal data access is matched against the
+//! statements, consent is honored, and everything lands in an audit
+//! log.
+//!
+//! ```sh
+//! cargo run --example enforcement
+//! ```
+
+use p3p_suite::policy::model::volga_policy;
+use p3p_suite::policy::vocab::{Purpose, Recipient};
+use p3p_suite::server::enforce::{
+    check_access, compliance_report, denied_accesses, install, record_opt_in, AccessRequest,
+};
+use p3p_suite::server::PolicyServer;
+
+fn main() {
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).expect("installs");
+    install(&mut server).expect("enforcement tables install");
+
+    let access = |data: &str, purpose: Purpose, recipient: Recipient| AccessRequest {
+        policy: "volga".to_string(),
+        user: "jane".to_string(),
+        data_ref: data.to_string(),
+        purpose,
+        recipient,
+    };
+
+    println!("Internal data accesses validated against Volga's published policy:\n");
+    let attempts = [
+        // The shipping department completes Jane's order: fine.
+        ("shipping", access("user.home-info.postal", Purpose::Current, Recipient::Ours)),
+        // Fulfilment reads a single name leaf declared via the set ref.
+        ("fulfilment", access("user.name.given", Purpose::Current, Recipient::Ours)),
+        // Marketing wants to email recommendations — opt-in required.
+        ("marketing", access("user.home-info.online.email", Purpose::Contact, Recipient::Ours)),
+        // A partner asks for purchase history: never declared.
+        ("partner-api", access("dynamic.miscdata", Purpose::IndividualAnalysis, Recipient::Unrelated)),
+        // Telemarketing was never in the policy at all.
+        ("call-center", access("user.home-info.postal", Purpose::Telemarketing, Recipient::Ours)),
+    ];
+    for (who, request) in &attempts {
+        let decision = check_access(&mut server, request).expect("check runs");
+        println!(
+            "  {who:<12} {} for {:<20} → {:?}",
+            request.data_ref, request.purpose, decision
+        );
+    }
+
+    // Jane opts in to recommendations; marketing retries.
+    println!("\nJane opts in to `contact`; marketing retries:");
+    record_opt_in(&mut server, "volga", "jane", Purpose::Contact).expect("consent records");
+    let retry = check_access(
+        &mut server,
+        &access("user.home-info.online.email", Purpose::Contact, Recipient::Ours),
+    )
+    .expect("check runs");
+    println!("  marketing    → {retry:?}");
+    assert!(retry.is_allowed());
+
+    // The compliance officer's view.
+    println!("\nCompliance report (aggregated from the access log by SQL):");
+    for (decision, count) in compliance_report(&server).expect("report runs") {
+        println!("  {decision:<22} {count}");
+    }
+    println!("\nDenied accesses needing review:");
+    for (user, data, decision) in denied_accesses(&server).expect("report runs") {
+        println!("  user {user}: {data} ({decision})");
+    }
+}

@@ -1,0 +1,84 @@
+//! The architectural decision matrix, live (paper §4, Figure 7).
+//!
+//! Runs the same preference against the same policy through every
+//! engine the suite implements — the native APPEL engine
+//! (client-centric baseline), SQL over the optimized and generic
+//! schemas, XQuery via the XTABLE stand-in, and XQuery on the native
+//! XML store — showing identical verdicts and the timing differences
+//! that motivate the server-centric proposal.
+//!
+//! ```sh
+//! cargo run --release --example engine_compare
+//! ```
+
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+use p3p_suite::workload::{corpus, Sensitivity};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut server = PolicyServer::new();
+    let policies = corpus(42);
+    for p in &policies {
+        server.install_policy(p).expect("installs");
+    }
+    let names = server.policy_names();
+
+    for level in [Sensitivity::High, Sensitivity::Low] {
+        let ruleset = level.ruleset();
+        println!(
+            "Preference: {} ({} rules) vs {} policies",
+            level.label(),
+            ruleset.rule_count(),
+            names.len()
+        );
+        println!(
+            "{:<22} {:>12} {:>12} {:>10} {:>8}",
+            "Engine", "convert", "query", "total", "verdicts"
+        );
+        let mut reference: Option<Vec<String>> = None;
+        for engine in EngineKind::ALL {
+            let mut convert = Duration::ZERO;
+            let mut query = Duration::ZERO;
+            let mut verdicts = Vec::new();
+            let mut failed = 0usize;
+            let t0 = Instant::now();
+            for name in &names {
+                match server.match_preference(&ruleset, Target::Policy(name), *engine) {
+                    Ok(outcome) => {
+                        convert += outcome.convert;
+                        query += outcome.query;
+                        verdicts.push(outcome.verdict.behavior.to_string());
+                    }
+                    Err(_) => {
+                        failed += 1;
+                        verdicts.push("?".to_string());
+                    }
+                }
+            }
+            let total = t0.elapsed();
+            let summary = if failed > 0 {
+                format!("{failed} failed")
+            } else {
+                let blocks = verdicts.iter().filter(|v| *v == "block").count();
+                format!("{blocks} block")
+            };
+            println!(
+                "{:<22} {:>12} {:>12} {:>10} {:>8}",
+                engine.label(),
+                format!("{convert:?}"),
+                format!("{query:?}"),
+                format!("{total:?}"),
+                summary
+            );
+            // Every engine that completes must agree.
+            if failed == 0 {
+                match &reference {
+                    None => reference = Some(verdicts),
+                    Some(r) => assert_eq!(r, &verdicts, "{engine:?} disagreed"),
+                }
+            }
+        }
+        println!();
+    }
+    println!("All engines that completed produced identical verdicts.");
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the client-centric surfaces the paper surveys
+//! in §3: compact policies (IE6's cookie filtering) and the native
+//! APPEL engine used standalone, plus their consistency with the
+//! server-side machinery.
+
+use p3p_suite::appel::engine::AppelEngine;
+use p3p_suite::appel::model::Behavior;
+use p3p_suite::policy::compact::{evaluate_cookie, CompactPolicy, CookiePreference, CookieVerdict};
+use p3p_suite::policy::model::volga_policy;
+use p3p_suite::workload::{corpus, Sensitivity};
+
+#[test]
+fn compact_policies_derive_for_the_whole_corpus() {
+    for p in corpus(42) {
+        let cp = CompactPolicy::from_policy(&p);
+        assert!(!cp.tokens.is_empty(), "{} has an empty compact policy", p.name);
+        // Header round-trip.
+        let header = cp.to_header();
+        assert_eq!(CompactPolicy::parse_header(&header), cp, "{}", p.name);
+        // Every policy collects something for the current transaction.
+        assert!(
+            cp.tokens.iter().any(|t| t.as_str() == "CUR"),
+            "{} lacks CUR: {header}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn ie6_low_never_blocks_and_blockall_blocks_identified_collection() {
+    for p in corpus(42) {
+        let cp = CompactPolicy::from_policy(&p);
+        assert_eq!(
+            evaluate_cookie(&cp, CookiePreference::Low),
+            CookieVerdict::Accept,
+            "{}",
+            p.name
+        );
+    }
+    // Every corpus policy collects user.name (physical) in its first
+    // statement, so the paranoid setting blocks them all.
+    for p in corpus(42) {
+        let cp = CompactPolicy::from_policy(&p);
+        assert_eq!(
+            evaluate_cookie(&cp, CookiePreference::BlockAll),
+            CookieVerdict::Block,
+            "{}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn ie6_medium_tracks_undisclosed_sharing() {
+    // The compact-policy verdict at Medium must agree with whether the
+    // full policy names unrelated/public recipients unconditionally.
+    for p in corpus(42) {
+        let cp = CompactPolicy::from_policy(&p);
+        let shares = p.statements.iter().any(|s| {
+            s.recipients.iter().any(|r| {
+                matches!(
+                    r.recipient,
+                    p3p_suite::policy::Recipient::Unrelated | p3p_suite::policy::Recipient::Public
+                ) && r.required == p3p_suite::policy::Required::Always
+            })
+        });
+        let verdict = evaluate_cookie(&cp, CookiePreference::Medium);
+        assert_eq!(
+            verdict == CookieVerdict::Block,
+            shares,
+            "{}: verdict {verdict:?}, shares {shares}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn native_engine_is_usable_standalone_as_a_client_would() {
+    // The client-centric deployment: no server, just policy text and
+    // the engine.
+    let engine = AppelEngine::default();
+    let ruleset = Sensitivity::High.ruleset();
+    let xml = volga_policy().to_xml();
+    let verdict = engine.evaluate_policy_xml(&ruleset, &xml).unwrap();
+    assert_eq!(verdict.behavior, Behavior::Request);
+}
+
+#[test]
+fn engine_options_expose_the_ablation_knobs() {
+    use p3p_suite::appel::engine::EngineOptions;
+    let defaults = EngineOptions::default();
+    assert!(defaults.augment_categories);
+    assert!(defaults.rebuild_schema_per_match);
+    let engine = AppelEngine::with_options(EngineOptions {
+        augment_categories: false,
+        rebuild_schema_per_match: false,
+    });
+    assert!(!engine.options().augment_categories);
+}
+
+#[test]
+fn schema_document_is_stable_and_parseable() {
+    let text = p3p_suite::appel::engine::schema_document_text();
+    let doc = p3p_suite::xmldom::parse_element(text).unwrap();
+    assert_eq!(doc.name.local, "DATASCHEMA");
+    assert_eq!(
+        doc.child_elements().count(),
+        p3p_suite::policy::base_schema::leaf_count()
+    );
+}

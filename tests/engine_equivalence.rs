@@ -1,0 +1,274 @@
+//! The suite's central property: every matching engine implements the
+//! same preference-matching semantics.
+//!
+//! Random P3P policies and random APPEL rules are generated; the
+//! verdicts of the native APPEL engine, the SQL path over both schemas,
+//! and the XQuery-on-XML-store path must coincide — and the
+//! XQuery→XTABLE→SQL path must coincide whenever it can translate the
+//! preference (exact connectives defeat it, as in the paper).
+
+use p3p_suite::appel::model::{Behavior, Connective, Expr, Rule, Ruleset};
+use p3p_suite::policy::model::{DataGroup, DataRef, Policy, PurposeUse, RecipientUse, Statement};
+use p3p_suite::policy::vocab::{Category, Purpose, Recipient, Required, Retention};
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+use proptest::prelude::*;
+
+// --- policy generator ----------------------------------------------------
+
+fn required_strategy() -> impl Strategy<Value = Required> {
+    prop::sample::select(vec![Required::Always, Required::OptIn, Required::OptOut])
+}
+
+fn purpose_use_strategy() -> impl Strategy<Value = PurposeUse> {
+    (
+        prop::sample::select(Purpose::ALL.to_vec()),
+        required_strategy(),
+    )
+        .prop_map(|(purpose, required)| PurposeUse { purpose, required })
+}
+
+fn recipient_use_strategy() -> impl Strategy<Value = RecipientUse> {
+    (
+        prop::sample::select(Recipient::ALL.to_vec()),
+        required_strategy(),
+    )
+        .prop_map(|(recipient, required)| RecipientUse { recipient, required })
+}
+
+fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
+    let refs = vec![
+        "user.name",
+        "user.name.given",
+        "user.bdate",
+        "user.home-info.postal",
+        "user.home-info.online.email",
+        "dynamic.clickstream",
+        "dynamic.cookies",
+        "dynamic.miscdata",
+    ];
+    (
+        prop::sample::select(refs),
+        prop::bool::ANY,
+        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..2),
+    )
+        .prop_map(|(reference, optional, categories)| {
+            let mut d = DataRef::new(reference);
+            d.optional = optional;
+            let mut cats = categories;
+            cats.dedup();
+            d.categories = cats;
+            d
+        })
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(purpose_use_strategy(), 1..4),
+        prop::collection::vec(recipient_use_strategy(), 1..3),
+        prop::sample::select(Retention::ALL.to_vec()),
+        prop::collection::vec(data_ref_strategy(), 0..3),
+    )
+        .prop_map(|(mut purposes, mut recipients, retention, data)| {
+            // P3P allows each purpose/recipient at most once per
+            // statement.
+            purposes.sort_by_key(|p| p.purpose);
+            purposes.dedup_by_key(|p| p.purpose);
+            recipients.sort_by_key(|r| r.recipient);
+            recipients.dedup_by_key(|r| r.recipient);
+            Statement {
+                consequence: None,
+                non_identifiable: false,
+                purposes,
+                recipients,
+                retention: vec![retention],
+                data_groups: if data.is_empty() {
+                    vec![]
+                } else {
+                    vec![DataGroup { base: None, data }]
+                },
+            }
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop::collection::vec(statement_strategy(), 1..4).prop_map(|statements| {
+        let mut p = Policy::new("generated");
+        p.statements = statements;
+        p
+    })
+}
+
+// --- rule generator ------------------------------------------------------
+
+fn connective_strategy() -> impl Strategy<Value = Connective> {
+    prop::sample::select(Connective::ALL.to_vec())
+}
+
+/// A vocabulary container expression (PURPOSE/RECIPIENT/RETENTION) with
+/// a random connective and random value children.
+fn vocab_expr_strategy() -> impl Strategy<Value = Expr> {
+    let purpose = (
+        connective_strategy(),
+        prop::collection::vec(
+            (
+                prop::sample::select(Purpose::ALL.to_vec()),
+                prop::option::of(required_strategy()),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(connective, values)| {
+            let mut e = Expr::named("PURPOSE").with_connective(connective);
+            for (p, r) in values {
+                let mut child = Expr::named(p.as_str());
+                if let Some(r) = r {
+                    child = child.with_attr("required", r.as_str());
+                }
+                e = e.with_child(child);
+            }
+            e
+        });
+    let recipient = (
+        connective_strategy(),
+        prop::collection::vec(prop::sample::select(Recipient::ALL.to_vec()), 1..3),
+    )
+        .prop_map(|(connective, values)| {
+            let mut e = Expr::named("RECIPIENT").with_connective(connective);
+            for r in values {
+                e = e.with_child(Expr::named(r.as_str()));
+            }
+            e
+        });
+    let retention = (
+        connective_strategy(),
+        prop::collection::vec(prop::sample::select(Retention::ALL.to_vec()), 1..3),
+    )
+        .prop_map(|(connective, values)| {
+            let mut e = Expr::named("RETENTION").with_connective(connective);
+            for r in values {
+                e = e.with_child(Expr::named(r.as_str()));
+            }
+            e
+        });
+    let data = (
+        connective_strategy(),
+        prop::sample::select(vec![
+            "#user.name",
+            "#user.name.given",
+            "#user.bdate",
+            "#dynamic.cookies",
+            "#dynamic.miscdata",
+        ]),
+        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..3),
+    )
+        .prop_map(|(connective, reference, categories)| {
+            let mut d = Expr::named("DATA").with_attr("ref", reference);
+            if !categories.is_empty() {
+                let mut cats = Expr::named("CATEGORIES").with_connective(connective);
+                for c in categories {
+                    cats = cats.with_child(Expr::named(c.as_str()));
+                }
+                d = d.with_child(cats);
+            }
+            Expr::named("DATA-GROUP").with_child(d)
+        });
+    prop_oneof![purpose, recipient, retention, data]
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(vocab_expr_strategy(), 1..3),
+        connective_strategy().prop_filter("rule-level exact unsupported", |c| !c.is_exact()),
+        prop::sample::select(vec![Behavior::Block, Behavior::Limited]),
+    )
+        .prop_map(|(inners, stmt_connective, behavior)| {
+            let mut stmt = Expr::named("STATEMENT").with_connective(stmt_connective);
+            for inner in inners {
+                stmt = stmt.with_child(inner);
+            }
+            Rule::with_pattern(behavior, Expr::named("POLICY").with_child(stmt))
+        })
+}
+
+fn ruleset_strategy() -> impl Strategy<Value = Ruleset> {
+    prop::collection::vec(rule_strategy(), 1..4).prop_map(|mut rules| {
+        let mut fallback = Rule::unconditional(Behavior::Request);
+        fallback.otherwise = true;
+        rules.push(fallback);
+        Ruleset::new(rules)
+    })
+}
+
+fn uses_exact(ruleset: &Ruleset) -> bool {
+    fn expr_exact(e: &Expr) -> bool {
+        e.connective.is_exact() || e.children.iter().any(expr_exact)
+    }
+    ruleset.rules.iter().flat_map(|r| r.pattern.iter()).any(expr_exact)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: all engines agree on the verdict.
+    #[test]
+    fn all_engines_agree(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+        let mut server = PolicyServer::new();
+        server.install_policy(&policy).unwrap();
+        let reference = server
+            .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Native)
+            .unwrap();
+        for engine in [EngineKind::Sql, EngineKind::SqlGeneric, EngineKind::XQueryNative] {
+            let got = server
+                .match_preference(&ruleset, Target::Policy("generated"), engine)
+                .unwrap();
+            prop_assert_eq!(
+                &got.verdict,
+                &reference.verdict,
+                "{:?} disagreed with native on policy:\n{}\npreference:\n{}",
+                engine,
+                policy.to_xml(),
+                ruleset.to_xml()
+            );
+        }
+        match server.match_preference(&ruleset, Target::Policy("generated"), EngineKind::XQueryXTable) {
+            Ok(got) => prop_assert_eq!(
+                &got.verdict,
+                &reference.verdict,
+                "XTABLE disagreed on policy:\n{}\npreference:\n{}",
+                policy.to_xml(),
+                ruleset.to_xml()
+            ),
+            Err(_) => prop_assert!(
+                uses_exact(&ruleset),
+                "XTABLE failed on a preference without exact connectives:\n{}",
+                ruleset.to_xml()
+            ),
+        }
+    }
+
+    /// Matching is insensitive to whether the policy was installed from
+    /// the model or from its XML serialization.
+    #[test]
+    fn xml_install_equals_model_install(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+        let mut a = PolicyServer::new();
+        a.install_policy(&policy).unwrap();
+        let mut b = PolicyServer::new();
+        b.install_policy_xml(&policy.to_xml()).unwrap();
+        let va = a.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
+        let vb = b.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
+        prop_assert_eq!(va.verdict, vb.verdict);
+    }
+
+    /// Index use never changes SQL verdicts (only their cost).
+    #[test]
+    fn indexes_do_not_change_verdicts(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+        let mut fast = PolicyServer::new();
+        fast.install_policy(&policy).unwrap();
+        let mut slow = PolicyServer::new();
+        slow.install_policy(&policy).unwrap();
+        slow.database_mut().set_use_indexes(false);
+        let vf = fast.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
+        let vs = slow.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
+        prop_assert_eq!(vf.verdict, vs.verdict);
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration coverage for the suite's extension modules through the
+//! umbrella crate's public API: enforcement, versioning, hybrid
+//! clients, concurrency, subset analysis, custom schemas, and EXPLAIN.
+
+use p3p_suite::appel::model::Behavior;
+use p3p_suite::policy::model::volga_policy;
+use p3p_suite::policy::vocab::{Purpose, Recipient};
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+use p3p_suite::workload::Sensitivity;
+
+#[test]
+fn enforcement_flow_end_to_end() {
+    use p3p_suite::server::enforce::{check_access, install, record_opt_in, AccessRequest};
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    install(&mut server).unwrap();
+    let request = AccessRequest {
+        policy: "volga".to_string(),
+        user: "jane".to_string(),
+        data_ref: "user.home-info.online.email".to_string(),
+        purpose: Purpose::Contact,
+        recipient: Recipient::Ours,
+    };
+    assert!(!check_access(&mut server, &request).unwrap().is_allowed());
+    record_opt_in(&mut server, "volga", "jane", Purpose::Contact).unwrap();
+    assert!(check_access(&mut server, &request).unwrap().is_allowed());
+}
+
+#[test]
+fn versioning_flow_end_to_end() {
+    use p3p_suite::server::versioning::{diff_versions, history, rollback, upgrade_policy};
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    let mut v2 = volga_policy();
+    v2.statements[0]
+        .recipients
+        .push(p3p_suite::policy::model::RecipientUse::always(Recipient::Unrelated));
+    assert_eq!(upgrade_policy(&mut server, &v2, "share with partners").unwrap(), 2);
+    let d = diff_versions(&server, "volga", 1, 2).unwrap();
+    assert_eq!(d.recipients_added, vec!["unrelated (always)"]);
+    // The upgrade flips the Low preference's verdict; rollback restores.
+    let low = Sensitivity::Low.ruleset();
+    let blocked = server
+        .match_preference(&low, Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    assert_eq!(blocked.verdict.behavior, Behavior::Block);
+    rollback(&mut server, "volga", 1).unwrap();
+    let ok = server
+        .match_preference(&low, Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    assert_eq!(ok.verdict.behavior, Behavior::Request);
+    assert_eq!(history(&server, "volga").unwrap().len(), 3);
+}
+
+#[test]
+fn hybrid_client_caches_and_agrees() {
+    use p3p_suite::policy::reference::{PolicyRef, ReferenceFile};
+    use p3p_suite::server::hybrid::HybridClient;
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    let mut file = ReferenceFile::default();
+    let mut r = PolicyRef::new("#volga");
+    r.includes.push("/*".to_string());
+    file.policy_refs.push(r);
+    let mut client = HybridClient::new(file);
+    let jane = p3p_suite::appel::model::jane_preference();
+    for page in ["/a", "/b", "/c"] {
+        let v = client
+            .check_request(&mut server, &jane, page, EngineKind::Sql)
+            .unwrap();
+        assert_eq!(v.behavior, Behavior::Request);
+    }
+    assert_eq!(client.stats().server_matches, 1);
+    assert_eq!(client.stats().cache_hits, 2);
+}
+
+#[test]
+fn concurrent_pool_matches_in_parallel() {
+    use p3p_suite::server::concurrent::{MatchPool, SharedServer};
+    let shared = SharedServer::new(PolicyServer::new());
+    shared.install_policy(&volga_policy()).unwrap();
+    let pool = MatchPool::new(&shared);
+    let jane = p3p_suite::appel::model::jane_preference();
+    let verdicts: Vec<Behavior> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let pool = &pool;
+                let jane = &jane;
+                scope.spawn(move || {
+                    pool.match_preference(jane, Target::Policy("volga"), EngineKind::Sql)
+                        .unwrap()
+                        .verdict
+                        .behavior
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(verdicts.iter().all(|b| *b == Behavior::Request));
+}
+
+#[test]
+fn subset_analysis_over_the_jrc_suite() {
+    use p3p_suite::server::subset::{sql_subset, xquery_subset};
+    let prefs: Vec<_> = Sensitivity::ALL.iter().map(|s| s.ruleset()).collect();
+    let sql = sql_subset(&prefs, false).unwrap();
+    assert!(sql.exists > 0);
+    assert_eq!(sql.likes + sql.in_lists + sql.aggregates, 0);
+    let xq = xquery_subset(&prefs).unwrap();
+    assert_eq!(xq.exactness, 1);
+}
+
+#[test]
+fn custom_schema_flow_end_to_end() {
+    use p3p_suite::policy::model::{DataRef, Statement};
+    use p3p_suite::policy::vocab::Retention;
+    use p3p_suite::policy::DataSchema;
+    let schema = DataSchema::parse(
+        r##"<DATASCHEMA>
+              <DATA-DEF ref="#loyalty.card.number"><CATEGORIES><uniqueid/></CATEGORIES></DATA-DEF>
+              <DATA-DEF ref="#loyalty.tier"><CATEGORIES><preference/></CATEGORIES></DATA-DEF>
+            </DATASCHEMA>"##,
+    )
+    .unwrap();
+    let mut policy = p3p_suite::policy::model::Policy::new("store");
+    policy.statements.push(Statement::simple(
+        [Purpose::Current],
+        [Recipient::Ours],
+        Retention::StatedPurpose,
+        [DataRef::new("loyalty")],
+    ));
+    let mut server = PolicyServer::new();
+    server.install_policy_with_schemas(&policy, &[schema]).unwrap();
+    // A category rule over the custom schema's category fires everywhere.
+    let pref = p3p_suite::appel::Ruleset::parse(
+        r##"<appel:RULESET><appel:RULE behavior="block">
+              <POLICY><STATEMENT><DATA-GROUP><DATA>
+                <CATEGORIES appel:connective="or"><preference/></CATEGORIES>
+              </DATA></DATA-GROUP></STATEMENT></POLICY>
+            </appel:RULE></appel:RULESET>"##,
+    )
+    .unwrap();
+    for engine in [EngineKind::Native, EngineKind::Sql, EngineKind::SqlGeneric] {
+        let out = server
+            .match_preference(&pref, Target::Policy("store"), engine)
+            .unwrap();
+        assert_eq!(out.verdict.behavior, Behavior::Block, "{engine:?}");
+    }
+}
+
+#[test]
+fn explain_shows_probes_on_the_shredded_schema() {
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    let plan = p3p_suite::minidb::explain(
+        server.database(),
+        "SELECT name FROM policy p WHERE p.policy_id = 1 AND EXISTS (\
+           SELECT * FROM statement s WHERE s.policy_id = p.policy_id AND EXISTS (\
+             SELECT * FROM purpose pu WHERE pu.policy_id = s.policy_id AND pu.statement_id = s.statement_id))",
+    )
+    .unwrap();
+    assert!(plan.contains("IndexProbe policy AS p on (policy_id)"), "{plan}");
+    assert!(plan.contains("IndexProbe statement AS s"), "{plan}");
+    assert!(plan.contains("IndexProbe purpose AS pu"), "{plan}");
+}

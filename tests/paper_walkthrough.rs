@@ -1,0 +1,107 @@
+//! Integration test: the paper's §2 walk-through, executed through the
+//! public API of the umbrella crate, across every engine.
+
+use p3p_suite::appel::model::{jane_preference, Behavior};
+use p3p_suite::appel::Ruleset;
+use p3p_suite::policy::model::volga_policy;
+use p3p_suite::policy::Required;
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+
+#[test]
+fn volga_conforms_to_jane_on_every_engine() {
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    for engine in EngineKind::ALL {
+        let outcome = server
+            .match_preference(&jane_preference(), Target::Policy("volga"), *engine)
+            .unwrap();
+        assert_eq!(outcome.verdict.behavior, Behavior::Request, "{engine:?}");
+        assert_eq!(outcome.verdict.fired_rule, Some(2), "{engine:?}");
+    }
+}
+
+#[test]
+fn the_papers_counterfactuals_hold_on_every_engine() {
+    // §2.2: "if individual-decision was not specified as opt-in ...
+    // the first rule in Jane's preferences would have fired".
+    let mut no_optin = volga_policy();
+    no_optin.name = "no-optin".to_string();
+    no_optin.statements[1].purposes[0].required = Required::Always;
+
+    // And adding an unrelated recipient fires the second rule.
+    let mut leaky = volga_policy();
+    leaky.name = "leaky".to_string();
+    leaky.statements[0]
+        .recipients
+        .push(p3p_suite::policy::model::RecipientUse::always(
+            p3p_suite::policy::Recipient::Unrelated,
+        ));
+
+    let mut server = PolicyServer::new();
+    server.install_policy(&no_optin).unwrap();
+    server.install_policy(&leaky).unwrap();
+
+    for engine in EngineKind::ALL {
+        let first = server
+            .match_preference(&jane_preference(), Target::Policy("no-optin"), *engine)
+            .unwrap();
+        assert_eq!(first.verdict.behavior, Behavior::Block, "{engine:?}");
+        assert_eq!(first.verdict.fired_rule, Some(0), "{engine:?}");
+
+        let second = server
+            .match_preference(&jane_preference(), Target::Policy("leaky"), *engine)
+            .unwrap();
+        assert_eq!(second.verdict.behavior, Behavior::Block, "{engine:?}");
+        assert_eq!(second.verdict.fired_rule, Some(1), "{engine:?}");
+    }
+}
+
+#[test]
+fn jane_preference_roundtrips_as_xml_and_still_matches() {
+    // Parse Jane's preference from its own serialization and rerun.
+    let xml = jane_preference().to_xml();
+    let reparsed = Ruleset::parse(&xml).unwrap();
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    let outcome = server
+        .match_preference(&reparsed, Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    assert_eq!(outcome.verdict.behavior, Behavior::Request);
+}
+
+#[test]
+fn policy_roundtrips_as_xml_and_still_matches() {
+    let xml = volga_policy().to_xml();
+    let mut server = PolicyServer::new();
+    server.install_policy_xml(&xml).unwrap();
+    let outcome = server
+        .match_preference(&jane_preference(), Target::Policy("volga"), EngineKind::Native)
+        .unwrap();
+    assert_eq!(outcome.verdict.behavior, Behavior::Request);
+}
+
+#[test]
+fn figure_12_simplified_rule_behaves_as_figure_13_predicts() {
+    // The simplified first rule (paper Fig. 12) must not fire against
+    // Volga (no admin purpose; contact only opt-in).
+    let rule = r#"<appel:RULESET>
+        <appel:RULE behavior="block">
+          <POLICY><STATEMENT>
+            <PURPOSE appel:connective="or">
+              <admin/>
+              <contact required="always"/>
+            </PURPOSE>
+          </STATEMENT></POLICY>
+        </appel:RULE>
+      </appel:RULESET>"#;
+    let ruleset = Ruleset::parse(rule).unwrap();
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    for engine in EngineKind::ALL {
+        let outcome = server
+            .match_preference(&ruleset, Target::Policy("volga"), *engine)
+            .unwrap();
+        // No rule fires → fail-safe block with no fired rule recorded.
+        assert_eq!(outcome.verdict.fired_rule, None, "{engine:?}");
+    }
+}

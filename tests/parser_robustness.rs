@@ -1,0 +1,90 @@
+//! Robustness: no parser in the suite may panic on arbitrary input —
+//! they must return errors. (A policy server parses attacker-supplied
+//! preferences; a client parses site-supplied policies.)
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The XML parser never panics.
+    #[test]
+    fn xml_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::xmldom::parse_document(&input);
+        let _ = p3p_suite::xmldom::parse_element(&input);
+    }
+
+    /// XML-ish input with markup characters.
+    #[test]
+    fn xml_parser_total_markupish(input in "[<>/a-zA-Z\"'= &;!?\\[\\]-]{0,120}") {
+        let _ = p3p_suite::xmldom::parse_document(&input);
+    }
+
+    /// The SQL parser never panics.
+    #[test]
+    fn sql_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::minidb::sql::parse_statement(&input);
+    }
+
+    /// SQL-ish input with keywords and punctuation.
+    #[test]
+    fn sql_parser_total_sqlish(
+        input in "(SELECT|FROM|WHERE|EXISTS|AND|OR|NOT|INSERT|VALUES|'|\\(|\\)|,|\\*|=|[a-z0-9_ .]){0,60}"
+    ) {
+        let _ = p3p_suite::minidb::sql::parse_statement(&input);
+    }
+
+    /// The XQuery parser never panics.
+    #[test]
+    fn xquery_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::xquery::parse_xquery(&input);
+    }
+
+    /// XQuery-ish input.
+    #[test]
+    fn xquery_parser_total_queryish(
+        input in "(if|then|document|not|only|and|or|\\(|\\)|\\[|\\]|/|@|=|\"|<|>|[A-Za-z -]){0,80}"
+    ) {
+        let _ = p3p_suite::xquery::parse_xquery(&input);
+    }
+
+    /// Policy parsing never panics, even on well-formed XML that is not
+    /// P3P.
+    #[test]
+    fn policy_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::policy::model::Policy::parse(&input);
+    }
+
+    /// APPEL parsing never panics.
+    #[test]
+    fn appel_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::appel::Ruleset::parse(&input);
+    }
+
+    /// Reference-file parsing never panics.
+    #[test]
+    fn reference_parser_total(input in "\\PC{0,200}") {
+        let _ = p3p_suite::policy::reference::ReferenceFile::parse(&input);
+    }
+
+    /// Compact-policy header parsing is total (it has no failure mode).
+    #[test]
+    fn compact_header_total(input in "\\PC{0,100}") {
+        let _ = p3p_suite::policy::compact::CompactPolicy::parse_header(&input);
+    }
+
+    /// Executing arbitrary SQL strings against a live database returns
+    /// errors, never panics, and never corrupts later queries.
+    #[test]
+    fn database_execute_total(
+        input in "(SELECT|CREATE TABLE|DROP|INSERT INTO|DELETE FROM|UPDATE|t|x|y|INT|VARCHAR|'v'|1|\\(|\\)|,|=| ){0,40}"
+    ) {
+        let mut db = p3p_suite::minidb::Database::new();
+        db.execute("CREATE TABLE t (x INT, y VARCHAR)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'v')").unwrap();
+        let _ = db.execute(&input);
+        // The database still answers correctly afterwards.
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert!(r.scalar().is_some());
+    }
+}
