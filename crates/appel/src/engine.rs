@@ -95,8 +95,13 @@ impl AppelEngine {
         ruleset: &Ruleset,
         policy_xml: &str,
     ) -> Result<Verdict, AppelError> {
+        let _span = p3p_telemetry::span!("appel_evaluate", rules = ruleset.rules.len());
+        let start = std::time::Instant::now();
         let root = parse_element(policy_xml)?;
-        Ok(self.evaluate_element(ruleset, &root))
+        let verdict = self.evaluate_element(ruleset, &root);
+        p3p_telemetry::metrics::histogram("p3p_appel_evaluate_us")
+            .observe_duration(start.elapsed());
+        Ok(verdict)
     }
 
     /// Evaluate against an already-parsed policy element.
@@ -181,7 +186,9 @@ fn augment_data_group(group: &mut Element, schema: Option<&Element>) {
         if data.name.local != "DATA" {
             continue;
         }
-        let Some(reference) = data.attr_local("ref").map(|r| r.trim_start_matches('#').to_string())
+        let Some(reference) = data
+            .attr_local("ref")
+            .map(|r| r.trim_start_matches('#').to_string())
         else {
             continue;
         };
@@ -342,16 +349,16 @@ pub fn expr_matches(expr: &Expr, elem: &Element) -> bool {
 /// default value of always would have been presumed"), and omitted
 /// `optional` as `optional="no"`.
 fn attrs_match(expr: &Expr, elem: &Element) -> bool {
-    expr.attributes.iter().all(|(name, want)| {
-        match elem.attr_local(name) {
+    expr.attributes
+        .iter()
+        .all(|(name, want)| match elem.attr_local(name) {
             Some(have) => have == want,
             None => match name.as_str() {
                 "required" => want == "always",
                 "optional" => want == "no",
                 _ => false,
             },
-        }
-    })
+        })
 }
 
 /// Evaluate the expression's connective over its subexpressions against
@@ -470,7 +477,8 @@ mod tests {
         )
         .unwrap();
         let explicit = "<POLICY name=\"p\"><STATEMENT><PURPOSE><contact required=\"always\"/></PURPOSE></STATEMENT></POLICY>";
-        let implicit = "<POLICY name=\"p\"><STATEMENT><PURPOSE><contact/></PURPOSE></STATEMENT></POLICY>";
+        let implicit =
+            "<POLICY name=\"p\"><STATEMENT><PURPOSE><contact/></PURPOSE></STATEMENT></POLICY>";
         for xml in [explicit, implicit] {
             let v = engine().evaluate_policy_xml(&rule, xml).unwrap();
             assert_eq!(v.behavior, Behavior::Block, "failed for {xml}");
@@ -487,14 +495,21 @@ mod tests {
             "<appel:RULESET><appel:RULE behavior=\"block\"><POLICY><STATEMENT><PURPOSE appel:connective=\"or\"><admin/><develop/></PURPOSE></STATEMENT></POLICY></appel:RULE></appel:RULESET>",
         )
         .unwrap();
-        let with_admin = "<POLICY><STATEMENT><PURPOSE><admin/><current/></PURPOSE></STATEMENT></POLICY>";
+        let with_admin =
+            "<POLICY><STATEMENT><PURPOSE><admin/><current/></PURPOSE></STATEMENT></POLICY>";
         let without = "<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
         assert_eq!(
-            engine().evaluate_policy_xml(&rs, with_admin).unwrap().fired_rule,
+            engine()
+                .evaluate_policy_xml(&rs, with_admin)
+                .unwrap()
+                .fired_rule,
             Some(0)
         );
         assert_eq!(
-            engine().evaluate_policy_xml(&rs, without).unwrap().fired_rule,
+            engine()
+                .evaluate_policy_xml(&rs, without)
+                .unwrap()
+                .fired_rule,
             None
         );
     }
@@ -507,8 +522,14 @@ mod tests {
         .unwrap();
         let both = "<POLICY><STATEMENT><PURPOSE><admin/><develop/></PURPOSE></STATEMENT></POLICY>";
         let one = "<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>";
-        assert_eq!(engine().evaluate_policy_xml(&rs, both).unwrap().fired_rule, Some(0));
-        assert_eq!(engine().evaluate_policy_xml(&rs, one).unwrap().fired_rule, None);
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, both).unwrap().fired_rule,
+            Some(0)
+        );
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, one).unwrap().fired_rule,
+            None
+        );
     }
 
     #[test]
@@ -518,9 +539,16 @@ mod tests {
         )
         .unwrap();
         let clean = "<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
-        let dirty = "<POLICY><STATEMENT><PURPOSE><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>";
-        assert_eq!(engine().evaluate_policy_xml(&rs, clean).unwrap().fired_rule, Some(0));
-        assert_eq!(engine().evaluate_policy_xml(&rs, dirty).unwrap().fired_rule, None);
+        let dirty =
+            "<POLICY><STATEMENT><PURPOSE><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>";
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, clean).unwrap().fired_rule,
+            Some(0)
+        );
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, dirty).unwrap().fired_rule,
+            None
+        );
     }
 
     #[test]
@@ -531,8 +559,14 @@ mod tests {
         .unwrap();
         let all = "<POLICY><STATEMENT><PURPOSE><admin/><develop/></PURPOSE></STATEMENT></POLICY>";
         let some = "<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>";
-        assert_eq!(engine().evaluate_policy_xml(&rs, all).unwrap().fired_rule, None);
-        assert_eq!(engine().evaluate_policy_xml(&rs, some).unwrap().fired_rule, Some(0));
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, all).unwrap().fired_rule,
+            None
+        );
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, some).unwrap().fired_rule,
+            Some(0)
+        );
     }
 
     #[test]
@@ -544,10 +578,16 @@ mod tests {
         let only_current = "<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
         let more = "<POLICY><STATEMENT><PURPOSE><current/><admin/></PURPOSE></STATEMENT></POLICY>";
         assert_eq!(
-            engine().evaluate_policy_xml(&rs, only_current).unwrap().fired_rule,
+            engine()
+                .evaluate_policy_xml(&rs, only_current)
+                .unwrap()
+                .fired_rule,
             Some(0)
         );
-        assert_eq!(engine().evaluate_policy_xml(&rs, more).unwrap().fired_rule, None);
+        assert_eq!(
+            engine().evaluate_policy_xml(&rs, more).unwrap().fired_rule,
+            None
+        );
     }
 
     #[test]
@@ -557,9 +597,22 @@ mod tests {
         )
         .unwrap();
         let subset = "<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
-        let superset = "<POLICY><STATEMENT><PURPOSE><current/><develop/></PURPOSE></STATEMENT></POLICY>";
-        assert_eq!(engine().evaluate_policy_xml(&rs, subset).unwrap().fired_rule, Some(0));
-        assert_eq!(engine().evaluate_policy_xml(&rs, superset).unwrap().fired_rule, None);
+        let superset =
+            "<POLICY><STATEMENT><PURPOSE><current/><develop/></PURPOSE></STATEMENT></POLICY>";
+        assert_eq!(
+            engine()
+                .evaluate_policy_xml(&rs, subset)
+                .unwrap()
+                .fired_rule,
+            Some(0)
+        );
+        assert_eq!(
+            engine()
+                .evaluate_policy_xml(&rs, superset)
+                .unwrap()
+                .fired_rule,
+            None
+        );
     }
 
     #[test]
@@ -623,7 +676,13 @@ mod tests {
         )
         .unwrap();
         let policy = "<p3p:POLICY><p3p:STATEMENT><p3p:PURPOSE><p3p:admin/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY>";
-        assert_eq!(engine().evaluate_policy_xml(&rs, policy).unwrap().fired_rule, Some(0));
+        assert_eq!(
+            engine()
+                .evaluate_policy_xml(&rs, policy)
+                .unwrap()
+                .fired_rule,
+            Some(0)
+        );
     }
 
     #[test]

@@ -8,10 +8,7 @@ pub enum AppelError {
     /// The underlying XML was not well-formed.
     Xml(p3p_xmldom::ParseError),
     /// The XML was well-formed but not valid APPEL.
-    Invalid {
-        context: String,
-        message: String,
-    },
+    Invalid { context: String, message: String },
 }
 
 impl AppelError {

@@ -89,7 +89,10 @@ impl Connective {
 
     /// Parse the `appel:connective` attribute value.
     pub fn from_token(token: &str) -> Option<Connective> {
-        Connective::ALL.iter().copied().find(|c| c.as_str() == token)
+        Connective::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str() == token)
     }
 
     /// Is this one of the `*-exact` connectives?
@@ -99,7 +102,10 @@ impl Connective {
 
     /// Is the underlying combination disjunctive (`or`-like)?
     pub const fn is_disjunctive(self) -> bool {
-        matches!(self, Connective::Or | Connective::NonOr | Connective::OrExact)
+        matches!(
+            self,
+            Connective::Or | Connective::NonOr | Connective::OrExact
+        )
     }
 
     /// Is the result negated (`non-*`)?

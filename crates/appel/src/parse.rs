@@ -80,10 +80,7 @@ fn parse_connective(elem: &Element) -> Result<Connective, AppelError> {
     match elem.attr_local("connective") {
         None => Ok(Connective::And),
         Some(v) => Connective::from_token(v).ok_or_else(|| {
-            AppelError::invalid(
-                elem.name.local.clone(),
-                format!("unknown connective `{v}`"),
-            )
+            AppelError::invalid(elem.name.local.clone(), format!("unknown connective `{v}`"))
         }),
     }
 }
@@ -216,8 +213,7 @@ mod tests {
 
     #[test]
     fn missing_behavior_is_rejected() {
-        let err =
-            parse_ruleset_str("<appel:RULESET><appel:RULE/></appel:RULESET>").unwrap_err();
+        let err = parse_ruleset_str("<appel:RULESET><appel:RULE/></appel:RULESET>").unwrap_err();
         assert!(err.to_string().contains("behavior"));
     }
 
@@ -237,10 +233,8 @@ mod tests {
 
     #[test]
     fn ruleset_metadata_parses() {
-        let rs = parse_ruleset_str(
-            "<appel:RULESET crtdby=\"jrc-editor\" crtdon=\"2002-04-16\"/>",
-        )
-        .unwrap();
+        let rs = parse_ruleset_str("<appel:RULESET crtdby=\"jrc-editor\" crtdon=\"2002-04-16\"/>")
+            .unwrap();
         assert_eq!(rs.created_by.as_deref(), Some("jrc-editor"));
         assert_eq!(rs.created_on.as_deref(), Some("2002-04-16"));
     }

@@ -8,8 +8,8 @@ use p3p_xmldom::{Element, ElementBuilder};
 /// OTHERWISE-origin rules are re-wrapped in `<appel:OTHERWISE>`, so
 /// parse∘serialize is the identity on the model.
 pub fn ruleset_to_element(ruleset: &Ruleset) -> Element {
-    let mut b = ElementBuilder::new("appel:RULESET")
-        .attr("xmlns:appel", "http://www.w3.org/2002/01/P3Pv1");
+    let mut b =
+        ElementBuilder::new("appel:RULESET").attr("xmlns:appel", "http://www.w3.org/2002/01/P3Pv1");
     if let Some(by) = &ruleset.created_by {
         b = b.attr("crtdby", by.clone());
     }

@@ -1,20 +1,38 @@
-//! Criterion bench for the §6.3.2 profiling claim: the native APPEL
-//! engine's cost is dominated by per-match category augmentation, and
-//! the server-side index structures matter for the SQL path.
+//! Bench for the §6.3.2 profiling claim: the native APPEL engine's cost
+//! is dominated by per-match category augmentation, and the server-side
+//! index structures matter for the SQL path.
+//!
+//! The container has no crates.io access, so this is a plain timing
+//! harness (`harness = false`) instead of a criterion bench.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use p3p_appel::engine::{AppelEngine, EngineOptions};
-use p3p_bench::setup_server;
+use p3p_bench::{fmt_duration, setup_server, Sample};
 use p3p_server::{EngineKind, Target};
 use p3p_workload::{corpus, Sensitivity};
+use std::time::Instant;
 
-fn bench_native_ablation(c: &mut Criterion) {
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut sample = Sample::default();
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        sample.push(t.elapsed());
+    }
+    println!(
+        "{label:<35} avg {:>12} min {:>12} max {:>12} ({iters} iters)",
+        fmt_duration(sample.avg()),
+        fmt_duration(sample.min),
+        fmt_duration(sample.max)
+    );
+}
+
+fn main() {
     let policies = corpus(p3p_bench::DEFAULT_SEED);
     let xml = policies[0].to_xml();
     let ruleset = Sensitivity::High.ruleset();
 
-    let mut group = c.benchmark_group("native_engine_ablation");
-    group.sample_size(30);
+    println!("native_engine_ablation");
     let configs = [
         (
             "full_augment_and_schema_parse",
@@ -40,43 +58,29 @@ fn bench_native_ablation(c: &mut Criterion) {
     ];
     for (label, options) in configs {
         let engine = AppelEngine::with_options(options);
-        group.bench_function(label, |b| {
-            b.iter(|| engine.evaluate_policy_xml(&ruleset, &xml).unwrap())
+        bench(label, 30, || {
+            engine.evaluate_policy_xml(&ruleset, &xml).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_index_ablation(c: &mut Criterion) {
-    let ruleset = Sensitivity::High.ruleset();
-    let mut group = c.benchmark_group("sql_index_ablation");
-    group.sample_size(20);
-
+    println!("sql_index_ablation");
     let mut with_indexes = setup_server(p3p_bench::DEFAULT_SEED);
     let names = with_indexes.policy_names();
-    group.bench_function("hash_indexes_on", |b| {
-        b.iter(|| {
-            for name in names.iter().take(5) {
-                with_indexes
-                    .match_preference(&ruleset, Target::Policy(name), EngineKind::Sql)
-                    .unwrap();
-            }
-        })
+    bench("hash_indexes_on", 20, || {
+        for name in names.iter().take(5) {
+            with_indexes
+                .match_preference(&ruleset, Target::Policy(name), EngineKind::Sql)
+                .unwrap();
+        }
     });
 
     let mut without_indexes = setup_server(p3p_bench::DEFAULT_SEED);
     without_indexes.database_mut().set_use_indexes(false);
-    group.bench_function("pure_nested_loop", |b| {
-        b.iter(|| {
-            for name in names.iter().take(5) {
-                without_indexes
-                    .match_preference(&ruleset, Target::Policy(name), EngineKind::Sql)
-                    .unwrap();
-            }
-        })
+    bench("pure_nested_loop", 20, || {
+        for name in names.iter().take(5) {
+            without_indexes
+                .match_preference(&ruleset, Target::Policy(name), EngineKind::Sql)
+                .unwrap();
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_native_ablation, bench_index_ablation);
-criterion_main!(benches);

@@ -1,69 +1,68 @@
-//! Criterion bench for Figures 20 and 21: matching a preference
-//! against a policy with the native APPEL engine, the SQL path, and
-//! the XQuery path.
+//! Bench for Figures 20 and 21: matching a preference against a policy
+//! with the native APPEL engine, the SQL path, and the XQuery path.
+//!
+//! The container has no crates.io access, so this is a plain timing
+//! harness (`harness = false`) instead of a criterion bench: each case
+//! is warmed once, then timed over a fixed iteration count and reported
+//! as avg/min/max.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use p3p_bench::setup_server;
+use p3p_bench::{fmt_duration, setup_server, Sample};
 use p3p_server::{EngineKind, Target};
 use p3p_workload::Sensitivity;
+use std::time::Instant;
 
-fn bench_matching(c: &mut Criterion) {
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut sample = Sample::default();
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        sample.push(t.elapsed());
+    }
+    println!(
+        "{label:<45} avg {:>12} min {:>12} max {:>12} ({iters} iters)",
+        fmt_duration(sample.avg()),
+        fmt_duration(sample.min),
+        fmt_duration(sample.max)
+    );
+}
+
+fn main() {
     let mut server = setup_server(p3p_bench::DEFAULT_SEED);
     let names = server.policy_names();
     let suite: Vec<_> = Sensitivity::ALL.iter().map(|s| (*s, s.ruleset())).collect();
 
     // Figure 20: one representative pairing, every engine.
-    let mut fig20 = c.benchmark_group("figure20_match_high_vs_policy0");
-    fig20.sample_size(30);
-    for engine in [
-        EngineKind::Native,
-        EngineKind::Sql,
-        EngineKind::SqlGeneric,
-        EngineKind::XQueryXTable,
-        EngineKind::XQueryNative,
-    ] {
-        fig20.bench_function(engine.label(), |b| {
-            b.iter(|| {
-                server
-                    .match_preference(&suite[1].1, Target::Policy(&names[0]), engine)
-                    .unwrap()
-            })
+    println!("figure20_match_high_vs_policy0");
+    for engine in EngineKind::ALL {
+        bench(engine.label(), 30, || {
+            server
+                .match_preference(&suite[1].1, Target::Policy(&names[0]), *engine)
+                .unwrap();
         });
     }
-    fig20.finish();
 
     // Figure 21: per preference level, the SQL path over the corpus.
-    let mut fig21 = c.benchmark_group("figure21_sql_per_level");
-    fig21.sample_size(10);
+    println!("figure21_sql_per_level");
     for (level, ruleset) in &suite {
-        fig21.bench_function(level.label(), |b| {
-            b.iter(|| {
-                for name in &names {
-                    server
-                        .match_preference(ruleset, Target::Policy(name), EngineKind::Sql)
-                        .unwrap();
-                }
-            })
+        bench(level.label(), 10, || {
+            for name in &names {
+                server
+                    .match_preference(ruleset, Target::Policy(name), EngineKind::Sql)
+                    .unwrap();
+            }
         });
     }
-    fig21.finish();
 
     // Figure 21, native engine column.
-    let mut native = c.benchmark_group("figure21_native_per_level");
-    native.sample_size(10);
+    println!("figure21_native_per_level");
     for (level, ruleset) in &suite {
-        native.bench_function(level.label(), |b| {
-            b.iter(|| {
-                for name in &names {
-                    server
-                        .match_preference(ruleset, Target::Policy(name), EngineKind::Native)
-                        .unwrap();
-                }
-            })
+        bench(level.label(), 10, || {
+            for name in &names {
+                server
+                    .match_preference(ruleset, Target::Policy(name), EngineKind::Native)
+                    .unwrap();
+            }
         });
     }
-    native.finish();
 }
-
-criterion_group!(benches, bench_matching);
-criterion_main!(benches);

@@ -1,56 +1,62 @@
-//! Criterion bench for the §5.4 design choice: the optimized
-//! (Figure 14) schema's fewer tables mean fewer joins per translated
-//! query than the generic (Figure 8) schema — and shred-time
-//! augmentation beats match-time augmentation.
+//! Bench for the §5.4 design choice: the optimized (Figure 14) schema's
+//! fewer tables mean fewer joins per translated query than the generic
+//! (Figure 8) schema — and shred-time augmentation beats match-time
+//! augmentation.
+//!
+//! The container has no crates.io access, so this is a plain timing
+//! harness (`harness = false`) instead of a criterion bench.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use p3p_bench::setup_server;
+use p3p_bench::{fmt_duration, setup_server, Sample};
 use p3p_server::appel2sql::{translate_rule_generic, translate_rule_optimized};
 use p3p_server::generic::GenericSchema;
 use p3p_server::{EngineKind, Target};
 use p3p_workload::Sensitivity;
+use std::time::Instant;
 
-fn bench_schema_compare(c: &mut Criterion) {
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut sample = Sample::default();
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        sample.push(t.elapsed());
+    }
+    println!(
+        "{label:<30} avg {:>12} min {:>12} max {:>12} ({iters} iters)",
+        fmt_duration(sample.avg()),
+        fmt_duration(sample.min),
+        fmt_duration(sample.max)
+    );
+}
+
+fn main() {
     let mut server = setup_server(p3p_bench::DEFAULT_SEED);
     let names = server.policy_names();
     let ruleset = Sensitivity::High.ruleset();
 
     // End-to-end: optimized vs generic schema matching.
-    let mut group = c.benchmark_group("schema_compare_match");
-    group.sample_size(20);
+    println!("schema_compare_match");
     for engine in [EngineKind::Sql, EngineKind::SqlGeneric] {
-        group.bench_function(engine.label(), |b| {
-            b.iter(|| {
-                for name in names.iter().take(5) {
-                    server
-                        .match_preference(&ruleset, Target::Policy(name), engine)
-                        .unwrap();
-                }
-            })
+        bench(engine.label(), 20, || {
+            for name in names.iter().take(5) {
+                server
+                    .match_preference(&ruleset, Target::Policy(name), engine)
+                    .unwrap();
+            }
         });
     }
-    group.finish();
 
     // Translation alone: the convert column of Figure 20.
     let schema = GenericSchema::default();
-    let mut translate = c.benchmark_group("schema_compare_translate");
-    translate.sample_size(50);
-    translate.bench_function("optimized", |b| {
-        b.iter(|| {
-            for rule in &ruleset.rules {
-                translate_rule_optimized(rule).unwrap();
-            }
-        })
+    println!("schema_compare_translate");
+    bench("optimized", 50, || {
+        for rule in &ruleset.rules {
+            translate_rule_optimized(rule).unwrap();
+        }
     });
-    translate.bench_function("generic", |b| {
-        b.iter(|| {
-            for rule in &ruleset.rules {
-                translate_rule_generic(rule, &schema).unwrap();
-            }
-        })
+    bench("generic", 50, || {
+        for rule in &ruleset.rules {
+            translate_rule_generic(rule, &schema).unwrap();
+        }
     });
-    translate.finish();
 }
-
-criterion_group!(benches, bench_schema_compare);
-criterion_main!(benches);

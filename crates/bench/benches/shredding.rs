@@ -1,43 +1,61 @@
-//! Criterion bench for §6.3.1: shredding policies into the relational
-//! schemas.
+//! Bench for §6.3.1: shredding policies into the relational schemas.
+//!
+//! The container has no crates.io access, so this is a plain timing
+//! harness (`harness = false`) instead of a criterion bench. Setup cost
+//! (building a fresh server or database) is excluded from the timed
+//! section, mirroring the old `iter_batched` structure.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use p3p_bench::{fmt_duration, Sample};
 use p3p_server::{optimized, PolicyServer};
 use p3p_workload::corpus;
+use std::time::Instant;
 
-fn bench_shredding(c: &mut Criterion) {
+fn bench_batched<S, F: FnMut() -> S, G: FnMut(S)>(
+    label: &str,
+    iters: u32,
+    mut setup: F,
+    mut run: G,
+) {
+    run(setup()); // warm-up
+    let mut sample = Sample::default();
+    for _ in 0..iters {
+        let state = setup();
+        let t = Instant::now();
+        run(state);
+        sample.push(t.elapsed());
+    }
+    println!(
+        "{label:<30} avg {:>12} min {:>12} max {:>12} ({iters} iters)",
+        fmt_duration(sample.avg()),
+        fmt_duration(sample.min),
+        fmt_duration(sample.max)
+    );
+}
+
+fn main() {
     let policies = corpus(p3p_bench::DEFAULT_SEED);
-    let mut group = c.benchmark_group("shredding");
-    group.sample_size(20);
+    println!("shredding");
 
     // Full install: optimized + generic schemas + XML stores.
-    group.bench_function("install_full_corpus", |b| {
-        b.iter_batched(
-            PolicyServer::new,
-            |mut server| {
-                for p in &policies {
-                    server.install_policy(p).unwrap();
-                }
-                server
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    bench_batched(
+        "install_full_corpus",
+        20,
+        PolicyServer::new,
+        |mut server| {
+            for p in &policies {
+                server.install_policy(p).unwrap();
+            }
+        },
+    );
 
     // Optimized-schema shred only (the paper's §6.3.1 measurement).
-    group.bench_function("shred_one_policy_optimized", |b| {
-        b.iter_batched(
-            || {
-                let mut db = p3p_minidb::Database::new();
-                p3p_server::optimized::install(&mut db).unwrap();
-                db
-            },
-            |mut db| {
-                optimized::shred(&mut db, 1, &policies[0]).unwrap();
-                db
-            },
-            BatchSize::SmallInput,
-        )
+    let fresh_db = || {
+        let mut db = p3p_minidb::Database::new();
+        p3p_server::optimized::install(&mut db).unwrap();
+        db
+    };
+    bench_batched("shred_one_policy_optimized", 20, fresh_db, |mut db| {
+        optimized::shred(&mut db, 1, &policies[0]).unwrap();
     });
 
     // The largest policy (11.9 KB) — the paper's 11.94 s outlier.
@@ -46,23 +64,7 @@ fn bench_shredding(c: &mut Criterion) {
         .max_by_key(|p| p.to_xml().len())
         .unwrap()
         .clone();
-    group.bench_function("shred_largest_policy", |b| {
-        b.iter_batched(
-            || {
-                let mut db = p3p_minidb::Database::new();
-                p3p_server::optimized::install(&mut db).unwrap();
-                db
-            },
-            |mut db| {
-                optimized::shred(&mut db, 1, &largest).unwrap();
-                db
-            },
-            BatchSize::SmallInput,
-        )
+    bench_batched("shred_largest_policy", 20, fresh_db, |mut db| {
+        optimized::shred(&mut db, 1, &largest).unwrap();
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_shredding);
-criterion_main!(benches);

@@ -7,11 +7,18 @@
 //! repro --figure 21     # Figure 21 only
 //! repro --table shredding | warmcold | ablation
 //! repro --seed 7        # different workload seed
+//! repro --metrics-dir target   # where the metrics snapshot lands
 //! ```
+//!
+//! Every run ends with a telemetry snapshot of the metrics the
+//! pipeline recorded while the experiments ran (per-engine match
+//! latency histograms, executor counters, shred timings), printed as
+//! Prometheus text and written as both text and JSON next to the
+//! timing report.
 
 use p3p_bench::{
-    ablation_table, figure19, figure20, figure21, scaling_table, shredding_table,
-    subset_table, warm_cold_table, DEFAULT_SEED,
+    ablation_table, figure19, figure20, figure21, scaling_table, shredding_table, subset_table,
+    telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -19,6 +26,7 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut figures: Vec<String> = Vec::new();
     let mut tables: Vec<String> = Vec::new();
+    let mut metrics_dir = std::path::PathBuf::from("target");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,13 +37,28 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
+            "--metrics-dir" => {
+                i += 1;
+                metrics_dir = args
+                    .get(i)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| usage("--metrics-dir needs a path"));
+            }
             "--figure" => {
                 i += 1;
-                figures.push(args.get(i).cloned().unwrap_or_else(|| usage("--figure needs 19|20|21")));
+                figures.push(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--figure needs 19|20|21")),
+                );
             }
             "--table" => {
                 i += 1;
-                tables.push(args.get(i).cloned().unwrap_or_else(|| usage("--table needs a name")));
+                tables.push(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--table needs a name")),
+                );
             }
             "--help" | "-h" => {
                 usage("");
@@ -72,6 +95,32 @@ fn main() {
     if all || tables.iter().any(|t| t == "subset") {
         println!("{}", subset_table());
     }
+    if all || tables.iter().any(|t| t == "telemetry") {
+        println!("{}", telemetry_table(seed));
+    }
+
+    dump_metrics(&metrics_dir);
+}
+
+/// Print the metrics the run accumulated and write the snapshot (text
+/// and JSON) next to the timing report.
+fn dump_metrics(dir: &std::path::Path) {
+    let text = p3p_telemetry::metrics::render_text();
+    let json = p3p_telemetry::metrics::snapshot_json();
+    println!("metrics snapshot");
+    println!("----------------------------------------------------------------");
+    print!("{text}");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    for (name, body) in [("repro-metrics.prom", &text), ("repro-metrics.json", &json)] {
+        let path = dir.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -79,7 +128,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|ablation|scaling|subset]..."
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -92,10 +92,7 @@ pub fn setup_server(seed: u64) -> PolicyServer {
 
 /// The five preferences with their labels.
 pub fn preference_suite() -> Vec<(Sensitivity, Ruleset)> {
-    Sensitivity::ALL
-        .iter()
-        .map(|&s| (s, s.ruleset()))
-        .collect()
+    Sensitivity::ALL.iter().map(|&s| (s, s.ruleset())).collect()
 }
 
 // ----------------------------------------------------------------------
@@ -236,8 +233,11 @@ pub fn run_matrix(server: &mut PolicyServer, engines: &[EngineKind]) -> Vec<Matc
     out
 }
 
-fn aggregate<'a>(timings: impl Iterator<Item = &'a MatchTiming>) -> (Sample, Sample, Sample, usize) {
-    let (mut convert, mut query, mut total) = (Sample::default(), Sample::default(), Sample::default());
+fn aggregate<'a>(
+    timings: impl Iterator<Item = &'a MatchTiming>,
+) -> (Sample, Sample, Sample, usize) {
+    let (mut convert, mut query, mut total) =
+        (Sample::default(), Sample::default(), Sample::default());
     let mut failures = 0usize;
     for t in timings {
         if t.failed.is_some() {
@@ -255,7 +255,11 @@ fn aggregate<'a>(timings: impl Iterator<Item = &'a MatchTiming>) -> (Sample, Sam
 /// against a policy, per engine.
 pub fn figure20(seed: u64) -> String {
     let mut server = setup_server(seed);
-    let engines = [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable];
+    let engines = [
+        EngineKind::Native,
+        EngineKind::Sql,
+        EngineKind::XQueryXTable,
+    ];
     let timings = run_matrix(&mut server, &engines);
     let mut out = String::new();
     out.push_str("Figure 20: execution time for matching a preference against a policy\n");
@@ -265,12 +269,12 @@ pub fn figure20(seed: u64) -> String {
     ));
     let native = aggregate(timings.iter().filter(|t| t.engine == EngineKind::Native));
     let sql = aggregate(timings.iter().filter(|t| t.engine == EngineKind::Sql));
-    let xq = aggregate(timings.iter().filter(|t| t.engine == EngineKind::XQueryXTable));
-    for (label, pick) in [
-        ("Average", 0usize),
-        ("Max", 1),
-        ("Min", 2),
-    ] {
+    let xq = aggregate(
+        timings
+            .iter()
+            .filter(|t| t.engine == EngineKind::XQueryXTable),
+    );
+    for (label, pick) in [("Average", 0usize), ("Max", 1), ("Min", 2)] {
         let sel = |s: &(Sample, Sample, Sample, usize), which: usize, part: usize| {
             let sample = match part {
                 0 => &s.0,
@@ -319,7 +323,11 @@ fn ratio(a: Duration, b: Duration) -> f64 {
 /// Regenerate Figure 21: per-preference-level execution times.
 pub fn figure21(seed: u64) -> String {
     let mut server = setup_server(seed);
-    let engines = [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable];
+    let engines = [
+        EngineKind::Native,
+        EngineKind::Sql,
+        EngineKind::XQueryXTable,
+    ];
     let timings = run_matrix(&mut server, &engines);
     let mut out = String::new();
     out.push_str("Figure 21: per-preference-type execution times (averages)\n");
@@ -370,11 +378,12 @@ pub fn warm_cold_table(seed: u64) -> String {
     let (_, ruleset) = &suite[1]; // High: representative, works everywhere
     let mut out = String::new();
     out.push_str("Warm vs cold matching (policy 0, High preference)\n");
-    out.push_str(&format!(
-        "{:<22} {:>14} {:>14}\n",
-        "Engine", "Cold", "Warm"
-    ));
-    for engine in [EngineKind::Native, EngineKind::Sql, EngineKind::XQueryXTable] {
+    out.push_str(&format!("{:<22} {:>14} {:>14}\n", "Engine", "Cold", "Warm"));
+    for engine in [
+        EngineKind::Native,
+        EngineKind::Sql,
+        EngineKind::XQueryXTable,
+    ] {
         let mut server = PolicyServer::new();
         server.install_policy(&policies[0]).unwrap();
         let target = Target::Policy(&policies[0].name);
@@ -524,8 +533,10 @@ pub fn scaling_rows(seed: u64, sizes: &[usize]) -> Vec<(usize, Duration, Duratio
 pub fn scaling_table(seed: u64) -> String {
     let rows = scaling_rows(seed, &[29, 100, 250]);
     let mut out = String::new();
-    out.push_str("Scaling (extension): matching latency vs installed policies
-");
+    out.push_str(
+        "Scaling (extension): matching latency vs installed policies
+",
+    );
     out.push_str(&format!(
         "{:>10} {:>14} {:>14} {:>14}
 ",
@@ -540,8 +551,46 @@ pub fn scaling_table(seed: u64) -> String {
             fmt_duration(routing)
         ));
     }
-    out.push_str("(SQL matching is corpus-size independent: applicablePolicy() isolates one policy)
-");
+    out.push_str(
+        "(SQL matching is corpus-size independent: applicablePolicy() isolates one policy)
+",
+    );
+    out
+}
+
+/// Match a handful of policies with *every* engine — including the two
+/// the paper's figures skip (generic-schema SQL and XQuery on the XML
+/// store) — so the telemetry snapshot carries a populated
+/// `p3p_match_latency_us` histogram per [`EngineKind`], then render the
+/// per-engine quantiles from the registry. XTABLE failures on exact
+/// connectives are expected and tolerated.
+pub fn telemetry_table(seed: u64) -> String {
+    let mut server = setup_server(seed);
+    let names = server.policy_names();
+    let ruleset = Sensitivity::High.ruleset();
+    let mut out = String::new();
+    out.push_str("Telemetry: per-engine match latency (5 policies, High preference)\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10}\n",
+        "engine", "matches", "p50 µs", "p90 µs", "p99 µs"
+    ));
+    for engine in EngineKind::ALL {
+        for name in names.iter().take(5) {
+            let _ = server.match_preference(&ruleset, Target::Policy(name), *engine);
+        }
+        let h = p3p_telemetry::metrics::histogram_with(
+            "p3p_match_latency_us",
+            &[("engine", engine.metric_label())],
+        );
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10}\n",
+            engine.metric_label(),
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ));
+    }
     out
 }
 
@@ -580,7 +629,9 @@ mod tests {
     fn setup_installs_whole_corpus_with_reference() {
         let server = setup_server(DEFAULT_SEED);
         assert_eq!(server.policy_names().len(), 29);
-        assert!(server.resolve(Target::Uri("/site/acme-books/checkout")).is_ok());
+        assert!(server
+            .resolve(Target::Uri("/site/acme-books/checkout"))
+            .is_ok());
     }
 
     #[test]
@@ -611,7 +662,11 @@ mod tests {
                 let reference = server
                     .match_preference(ruleset, Target::Policy(name), EngineKind::Native)
                     .unwrap();
-                for engine in [EngineKind::Sql, EngineKind::SqlGeneric, EngineKind::XQueryNative] {
+                for engine in [
+                    EngineKind::Sql,
+                    EngineKind::SqlGeneric,
+                    EngineKind::XQueryNative,
+                ] {
                     let got = server
                         .match_preference(ruleset, Target::Policy(name), engine)
                         .unwrap();
@@ -620,8 +675,11 @@ mod tests {
                         "{engine:?} vs native on {name} at {level:?}"
                     );
                 }
-                match server.match_preference(ruleset, Target::Policy(name), EngineKind::XQueryXTable)
-                {
+                match server.match_preference(
+                    ruleset,
+                    Target::Policy(name),
+                    EngineKind::XQueryXTable,
+                ) {
                     Ok(got) => assert_eq!(got.verdict, reference.verdict, "xtable on {name}"),
                     Err(e) => assert!(
                         *level == Sensitivity::Medium,
@@ -655,7 +713,11 @@ mod tests {
         assert!(f20.contains("SQL speedup"), "{f20}");
         let f21 = figure21(DEFAULT_SEED);
         assert!(f21.contains("Medium"), "{f21}");
-        assert!(f21.lines().any(|l| l.starts_with("Medium") && l.trim_end().ends_with('-')), "{f21}");
+        assert!(
+            f21.lines()
+                .any(|l| l.starts_with("Medium") && l.trim_end().ends_with('-')),
+            "{f21}"
+        );
     }
 
     #[test]

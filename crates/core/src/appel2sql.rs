@@ -154,7 +154,12 @@ fn generic_expr(
     if !expr.children.is_empty() {
         let mut child_conds = Vec::new();
         for child in &expr.children {
-            child_conds.push(generic_expr(child, Some((&alias, def.name)), schema, aliases)?);
+            child_conds.push(generic_expr(
+                child,
+                Some((&alias, def.name)),
+                schema,
+                aliases,
+            )?);
         }
         where_parts.push(combine(expr.connective, &child_conds));
         if expr.connective.is_exact() {
@@ -170,7 +175,10 @@ fn generic_expr(
 /// Containers whose children form a closed vocabulary (one table per
 /// value element in the generic schema).
 fn is_vocab_container(name: &str) -> bool {
-    matches!(name, "PURPOSE" | "RECIPIENT" | "RETENTION" | "CATEGORIES" | "ACCESS")
+    matches!(
+        name,
+        "PURPOSE" | "RECIPIENT" | "RETENTION" | "CATEGORIES" | "ACCESS"
+    )
 }
 
 /// Exactness in the generic schema: "the policy contains only elements
@@ -277,9 +285,7 @@ fn policy_expr(expr: &Expr, aliases: &mut Aliases) -> Result<String, ServerError
         ));
     }
     let alias = aliases.fresh();
-    let mut parts = vec![format!(
-        "{alias}.policy_id = applicable_policy.policy_id"
-    )];
+    let mut parts = vec![format!("{alias}.policy_id = applicable_policy.policy_id")];
     for (attr, value) in &expr.attributes {
         match attr.as_str() {
             "name" | "discuri" | "opturi" => {
@@ -301,7 +307,11 @@ fn policy_expr(expr: &Expr, aliases: &mut Aliases) -> Result<String, ServerError
     ))
 }
 
-fn policy_child(expr: &Expr, policy_alias: &str, aliases: &mut Aliases) -> Result<String, ServerError> {
+fn policy_child(
+    expr: &Expr,
+    policy_alias: &str,
+    aliases: &mut Aliases,
+) -> Result<String, ServerError> {
     match expr.name.local.as_str() {
         "STATEMENT" => statement_expr(expr, policy_alias, aliases),
         "ACCESS" => column_vocab_expr(expr, &format!("{policy_alias}.access")),
@@ -410,7 +420,11 @@ fn vocab_table_expr(
     // One merged subquery for disjunctive forms (Figure 15)...
     let merged = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        let conds: Vec<String> = expr.children.iter().map(|c| value_cond(c, &alias)).collect();
+        let conds: Vec<String> = expr
+            .children
+            .iter()
+            .map(|c| value_cond(c, &alias))
+            .collect();
         format!(
             "EXISTS (SELECT * FROM {table} {alias} WHERE {} AND ({}))",
             fk(&alias),
@@ -436,7 +450,11 @@ fn vocab_table_expr(
     // Exactness: no row escapes the listed value conditions.
     let exactness = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        let conds: Vec<String> = expr.children.iter().map(|c| value_cond(c, &alias)).collect();
+        let conds: Vec<String> = expr
+            .children
+            .iter()
+            .map(|c| value_cond(c, &alias))
+            .collect();
         format!(
             "NOT EXISTS (SELECT * FROM {table} {alias} WHERE {} AND NOT ({}))",
             fk(&alias),
@@ -450,7 +468,10 @@ fn vocab_table_expr(
     // guard in front of the NOT.
     let exists_guard = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        format!("EXISTS (SELECT * FROM {table} {alias} WHERE {})", fk(&alias))
+        format!(
+            "EXISTS (SELECT * FROM {table} {alias} WHERE {})",
+            fk(&alias)
+        )
     };
     Ok(match expr.connective {
         Connective::Or => merged(aliases),
@@ -601,7 +622,11 @@ fn vocab_table_categories(
     }
     let merged = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        let conds: Vec<String> = expr.children.iter().map(|c| value_cond(c, &alias)).collect();
+        let conds: Vec<String> = expr
+            .children
+            .iter()
+            .map(|c| value_cond(c, &alias))
+            .collect();
         format!(
             "EXISTS (SELECT * FROM category {alias} WHERE {} AND ({}))",
             fk(&alias),
@@ -625,7 +650,11 @@ fn vocab_table_categories(
     };
     let exactness = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        let conds: Vec<String> = expr.children.iter().map(|c| value_cond(c, &alias)).collect();
+        let conds: Vec<String> = expr
+            .children
+            .iter()
+            .map(|c| value_cond(c, &alias))
+            .collect();
         format!(
             "NOT EXISTS (SELECT * FROM category {alias} WHERE {} AND NOT ({}))",
             fk(&alias),
@@ -634,7 +663,10 @@ fn vocab_table_categories(
     };
     let exists_guard = |aliases: &mut Aliases| {
         let alias = aliases.fresh();
-        format!("EXISTS (SELECT * FROM category {alias} WHERE {})", fk(&alias))
+        format!(
+            "EXISTS (SELECT * FROM category {alias} WHERE {})",
+            fk(&alias)
+        )
     };
     Ok(match expr.connective {
         Connective::Or => merged(aliases),
@@ -758,7 +790,10 @@ mod tests {
                </appel:RULE></appel:RULESET>"#,
         );
         let sql = translate_rule_optimized(&rule).unwrap();
-        assert!(sql.contains("AND NOT EXISTS (SELECT * FROM purpose"), "{sql}");
+        assert!(
+            sql.contains("AND NOT EXISTS (SELECT * FROM purpose"),
+            "{sql}"
+        );
         assert!(sql.contains("AND NOT ("), "{sql}");
     }
 

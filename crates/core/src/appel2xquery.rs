@@ -134,7 +134,10 @@ mod tests {
         .remove(0);
         let q = translate_rule_xquery(&rule, "p").unwrap();
         let text = q.to_string();
-        assert!(text.contains("(current or admin) and only(current, admin)"), "{text}");
+        assert!(
+            text.contains("(current or admin) and only(current, admin)"),
+            "{text}"
+        );
         // And it reparses.
         assert_eq!(parse_xquery(&text).unwrap(), q);
     }
@@ -164,6 +167,9 @@ mod tests {
         .rules
         .remove(0);
         let q = translate_rule_xquery(&rule, "p").unwrap();
-        assert_eq!(q.to_string(), "if (document(\"p\")/POLICY[@name = \"volga\"]) then <block/>");
+        assert_eq!(
+            q.to_string(),
+            "if (document(\"p\")/POLICY[@name = \"volga\"]) then <block/>"
+        );
     }
 }

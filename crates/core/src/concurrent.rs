@@ -16,8 +16,8 @@ use crate::error::ServerError;
 use crate::server::{EngineKind, MatchOutcome, PolicyServer, Target};
 use p3p_appel::model::Ruleset;
 use p3p_policy::model::Policy;
-use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 /// A thread-safe handle around one [`PolicyServer`].
 #[derive(Clone)]
@@ -35,7 +35,7 @@ impl SharedServer {
 
     /// Install a policy (exclusive).
     pub fn install_policy(&self, policy: &Policy) -> Result<i64, ServerError> {
-        self.inner.lock().install_policy(policy)
+        self.inner.lock().unwrap().install_policy(policy)
     }
 
     /// Match a preference (exclusive — the SQL path stages the
@@ -47,17 +47,20 @@ impl SharedServer {
         target: Target<'_>,
         engine: EngineKind,
     ) -> Result<MatchOutcome, ServerError> {
-        self.inner.lock().match_preference(ruleset, target, engine)
+        self.inner
+            .lock()
+            .unwrap()
+            .match_preference(ruleset, target, engine)
     }
 
     /// Run arbitrary exclusive work against the server.
     pub fn with<R>(&self, f: impl FnOnce(&mut PolicyServer) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.inner.lock().unwrap())
     }
 
     /// Snapshot the current state for a [`MatchPool`].
     pub fn snapshot(&self) -> PolicyServer {
-        self.inner.lock().clone_state()
+        self.inner.lock().unwrap().clone_state()
     }
 }
 
@@ -77,7 +80,7 @@ impl MatchPool {
     /// Refresh the snapshot after installs (cheap for readers; the old
     /// snapshot stays alive until its last match finishes).
     pub fn refresh(&self, shared: &SharedServer) {
-        *self.snapshot.write() = Arc::new(shared.snapshot());
+        *self.snapshot.write().unwrap() = Arc::new(shared.snapshot());
     }
 
     /// Match against the snapshot. Each call clones the snapshot handle
@@ -89,7 +92,7 @@ impl MatchPool {
         target: Target<'_>,
         engine: EngineKind,
     ) -> Result<MatchOutcome, ServerError> {
-        let snapshot = self.snapshot.read().clone();
+        let snapshot = self.snapshot.read().unwrap().clone();
         // The match path mutates only the one-row staging table, so a
         // per-call clone of the server keeps workers independent.
         let mut local = snapshot.clone_state();

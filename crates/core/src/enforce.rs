@@ -58,7 +58,10 @@ pub enum AccessDecision {
 impl AccessDecision {
     /// May the access proceed?
     pub fn is_allowed(&self) -> bool {
-        matches!(self, AccessDecision::Permitted | AccessDecision::PermittedByConsent)
+        matches!(
+            self,
+            AccessDecision::Permitted | AccessDecision::PermittedByConsent
+        )
     }
 
     fn as_str(&self) -> &'static str {
@@ -305,7 +308,9 @@ pub fn compliance_report(server: &PolicyServer) -> Result<Vec<ComplianceRow>, Se
 }
 
 /// Denied accesses in the log — what a compliance officer reviews.
-pub fn denied_accesses(server: &PolicyServer) -> Result<Vec<(String, String, String)>, ServerError> {
+pub fn denied_accesses(
+    server: &PolicyServer,
+) -> Result<Vec<(String, String, String)>, ServerError> {
     let result = server.database().query(
         "SELECT user_id, ref, decision FROM access_log \
          WHERE decision IN ('consent-missing', 'opted-out', 'not-covered') ORDER BY seq",
@@ -402,9 +407,15 @@ mod tests {
             Recipient::Ours,
         );
         req.policy = "optout-site".to_string();
-        assert_eq!(check_access(&mut s, &req).unwrap(), AccessDecision::Permitted);
+        assert_eq!(
+            check_access(&mut s, &req).unwrap(),
+            AccessDecision::Permitted
+        );
         record_opt_out(&mut s, "optout-site", "jane", Purpose::Contact).unwrap();
-        assert_eq!(check_access(&mut s, &req).unwrap(), AccessDecision::OptedOut);
+        assert_eq!(
+            check_access(&mut s, &req).unwrap(),
+            AccessDecision::OptedOut
+        );
     }
 
     #[test]
@@ -423,7 +434,11 @@ mod tests {
         assert_eq!(
             check_access(
                 &mut s,
-                &request("user.home-info.online.email", Purpose::Current, Recipient::Ours)
+                &request(
+                    "user.home-info.online.email",
+                    Purpose::Current,
+                    Recipient::Ours
+                )
             )
             .unwrap(),
             AccessDecision::NotCovered
@@ -442,7 +457,11 @@ mod tests {
     #[test]
     fn every_check_is_logged_and_reported() {
         let mut s = setup();
-        check_access(&mut s, &request("user.name", Purpose::Current, Recipient::Ours)).unwrap();
+        check_access(
+            &mut s,
+            &request("user.name", Purpose::Current, Recipient::Ours),
+        )
+        .unwrap();
         check_access(
             &mut s,
             &request("user.name", Purpose::Telemarketing, Recipient::Ours),
@@ -450,7 +469,11 @@ mod tests {
         .unwrap();
         check_access(
             &mut s,
-            &request("user.home-info.online.email", Purpose::Contact, Recipient::Ours),
+            &request(
+                "user.home-info.online.email",
+                Purpose::Contact,
+                Recipient::Ours,
+            ),
         )
         .unwrap();
         let report = compliance_report(&s).unwrap();

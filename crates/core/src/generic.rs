@@ -61,10 +61,7 @@ impl GenericSchema {
 
     fn create_table_sql(&self, def: &ElementDef) -> String {
         let chain = meta_schema::key_chain(def.name);
-        let mut columns: Vec<String> = chain
-            .iter()
-            .map(|c| format!("{c} INT NOT NULL"))
-            .collect();
+        let mut columns: Vec<String> = chain.iter().map(|c| format!("{c} INT NOT NULL")).collect();
         for attr in def.attrs {
             columns.push(format!("{} VARCHAR", meta_schema::sql_name(attr)));
         }
@@ -114,7 +111,13 @@ impl GenericSchema {
         }
         let mut counters: HashMap<String, i64> = HashMap::new();
         let mut inserted = 0usize;
-        self.add(db, policy, &[("policy_id".to_string(), policy_id)], &mut counters, &mut inserted)?;
+        self.add(
+            db,
+            policy,
+            &[("policy_id".to_string(), policy_id)],
+            &mut counters,
+            &mut inserted,
+        )?;
         Ok(inserted)
     }
 
@@ -211,7 +214,14 @@ mod tests {
         // id + foreign key of DATA-GROUP + ref/optional attributes.
         assert_eq!(
             names,
-            vec!["policy_id", "statement_id", "data_group_id", "data_id", "ref", "optional"]
+            vec![
+                "policy_id",
+                "statement_id",
+                "data_group_id",
+                "data_id",
+                "ref",
+                "optional"
+            ]
         );
         assert_eq!(t.schema.primary_key.len(), 4);
     }
@@ -271,7 +281,11 @@ mod tests {
     fn non_policy_root_rejected() {
         let (mut db, schema) = installed();
         let err = schema
-            .shred(&mut db, 1, &p3p_xmldom::parse_element("<RULESET/>").unwrap())
+            .shred(
+                &mut db,
+                1,
+                &p3p_xmldom::parse_element("<RULESET/>").unwrap(),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("POLICY"));
     }

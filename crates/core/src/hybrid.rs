@@ -65,7 +65,9 @@ impl HybridClient {
     /// Resolve a URI locally against the cached reference file.
     pub fn resolve_local(&mut self, uri: &str) -> Option<String> {
         self.stats.local_resolutions += 1;
-        self.reference.lookup(uri).map(|r| r.policy_name().to_string())
+        self.reference
+            .lookup(uri)
+            .map(|r| r.policy_name().to_string())
     }
 
     /// Decide a request: local reference-file processing plus cached
@@ -127,7 +129,9 @@ mod tests {
         let (mut server, mut client) = setup();
         server
             .install_reference_xml(
-                &HybridClient::new(client.reference.clone()).reference.to_xml(),
+                &HybridClient::new(client.reference.clone())
+                    .reference
+                    .to_xml(),
             )
             .unwrap();
         for uri in ["/promo/sale", "/books/1", "/checkout"] {
@@ -142,7 +146,12 @@ mod tests {
         let (mut server, mut client) = setup();
         let jane = jane_preference();
         let pages = [
-            "/books/1", "/books/2", "/books/3", "/cart", "/promo/sale", "/promo/clearance",
+            "/books/1",
+            "/books/2",
+            "/books/3",
+            "/cart",
+            "/promo/sale",
+            "/promo/clearance",
             "/books/4",
         ];
         for page in pages {

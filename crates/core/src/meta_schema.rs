@@ -25,17 +25,72 @@ pub struct ElementDef {
 
 /// The structural (non-value) elements.
 const STRUCTURAL: &[ElementDef] = &[
-    ElementDef { name: "POLICY", parent: None, attrs: &["name", "discuri", "opturi"], has_text: false },
-    ElementDef { name: "STATEMENT", parent: Some("POLICY"), attrs: &[], has_text: false },
-    ElementDef { name: "CONSEQUENCE", parent: Some("STATEMENT"), attrs: &[], has_text: true },
-    ElementDef { name: "NON-IDENTIFIABLE", parent: Some("STATEMENT"), attrs: &[], has_text: false },
-    ElementDef { name: "PURPOSE", parent: Some("STATEMENT"), attrs: &[], has_text: false },
-    ElementDef { name: "RECIPIENT", parent: Some("STATEMENT"), attrs: &[], has_text: false },
-    ElementDef { name: "RETENTION", parent: Some("STATEMENT"), attrs: &[], has_text: false },
-    ElementDef { name: "DATA-GROUP", parent: Some("STATEMENT"), attrs: &["base"], has_text: false },
-    ElementDef { name: "DATA", parent: Some("DATA-GROUP"), attrs: &["ref", "optional"], has_text: false },
-    ElementDef { name: "CATEGORIES", parent: Some("DATA"), attrs: &[], has_text: false },
-    ElementDef { name: "ACCESS", parent: Some("POLICY"), attrs: &[], has_text: false },
+    ElementDef {
+        name: "POLICY",
+        parent: None,
+        attrs: &["name", "discuri", "opturi"],
+        has_text: false,
+    },
+    ElementDef {
+        name: "STATEMENT",
+        parent: Some("POLICY"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "CONSEQUENCE",
+        parent: Some("STATEMENT"),
+        attrs: &[],
+        has_text: true,
+    },
+    ElementDef {
+        name: "NON-IDENTIFIABLE",
+        parent: Some("STATEMENT"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "PURPOSE",
+        parent: Some("STATEMENT"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "RECIPIENT",
+        parent: Some("STATEMENT"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "RETENTION",
+        parent: Some("STATEMENT"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "DATA-GROUP",
+        parent: Some("STATEMENT"),
+        attrs: &["base"],
+        has_text: false,
+    },
+    ElementDef {
+        name: "DATA",
+        parent: Some("DATA-GROUP"),
+        attrs: &["ref", "optional"],
+        has_text: false,
+    },
+    ElementDef {
+        name: "CATEGORIES",
+        parent: Some("DATA"),
+        attrs: &[],
+        has_text: false,
+    },
+    ElementDef {
+        name: "ACCESS",
+        parent: Some("POLICY"),
+        attrs: &[],
+        has_text: false,
+    },
 ];
 
 /// Attributes of vocabulary value elements under PURPOSE/RECIPIENT.

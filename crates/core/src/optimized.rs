@@ -178,10 +178,19 @@ pub fn shred(db: &mut Database, policy_id: i64, policy: &Policy) -> Result<usize
 /// Remove a policy's rows from every optimized table.
 pub fn unshred(db: &mut Database, policy_id: i64) -> Result<(), ServerError> {
     for table in [
-        "category", "data", "purpose", "recipient", "statement", "remedy", "disputes",
-        "entity_data", "policy",
+        "category",
+        "data",
+        "purpose",
+        "recipient",
+        "statement",
+        "remedy",
+        "disputes",
+        "entity_data",
+        "policy",
     ] {
-        db.execute(&format!("DELETE FROM {table} WHERE policy_id = {policy_id}"))?;
+        db.execute(&format!(
+            "DELETE FROM {table} WHERE policy_id = {policy_id}"
+        ))?;
     }
     Ok(())
 }
@@ -209,7 +218,14 @@ mod tests {
     fn figure_14_tables_exist() {
         let mut db = Database::new();
         install(&mut db).unwrap();
-        for t in ["policy", "statement", "purpose", "recipient", "data", "category"] {
+        for t in [
+            "policy",
+            "statement",
+            "purpose",
+            "recipient",
+            "data",
+            "category",
+        ] {
             assert!(db.table(t).is_some(), "missing {t}");
         }
     }
@@ -293,9 +309,13 @@ mod tests {
         shred(&mut db, 2, &volga_policy()).unwrap();
         unshred(&mut db, 1).unwrap();
         assert_eq!(db.table("policy").unwrap().len(), 1);
-        let r = db.query("SELECT COUNT(*) FROM purpose WHERE policy_id = 1").unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM purpose WHERE policy_id = 1")
+            .unwrap();
         assert_eq!(r.scalar().unwrap().as_int(), Some(0));
-        let r2 = db.query("SELECT COUNT(*) FROM purpose WHERE policy_id = 2").unwrap();
+        let r2 = db
+            .query("SELECT COUNT(*) FROM purpose WHERE policy_id = 2")
+            .unwrap();
         assert_eq!(r2.scalar().unwrap().as_int(), Some(3));
     }
 

@@ -125,7 +125,9 @@ pub fn applicable_cookie_policy(db: &Database, cookie: &str) -> Result<Option<i6
 /// `applicable_policy` table the translated queries select from.
 pub fn stage_applicable(db: &mut Database, policy_id: i64) -> Result<(), ServerError> {
     db.execute("DELETE FROM applicable_policy")?;
-    db.execute(&format!("INSERT INTO applicable_policy VALUES ({policy_id})"))?;
+    db.execute(&format!(
+        "INSERT INTO applicable_policy VALUES ({policy_id})"
+    ))?;
     Ok(())
 }
 

@@ -32,6 +32,8 @@ use p3p_minidb::Database;
 use p3p_policy::augment::augment_policy;
 use p3p_policy::model::Policy;
 use p3p_policy::reference::ReferenceFile;
+use p3p_telemetry::slowlog::QueryContextGuard;
+use p3p_telemetry::{metrics, span};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -70,6 +72,18 @@ impl EngineKind {
             EngineKind::XQueryNative => "XQuery (XML store)",
         }
     }
+
+    /// Stable machine-oriented label used as the `engine` value in
+    /// metric label sets and span attributes.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            EngineKind::Native => "native",
+            EngineKind::Sql => "sql",
+            EngineKind::SqlGeneric => "sql_generic",
+            EngineKind::XQueryXTable => "xquery_xtable",
+            EngineKind::XQueryNative => "xquery_native",
+        }
+    }
 }
 
 /// What to match against.
@@ -93,6 +107,9 @@ pub struct MatchOutcome {
     pub convert: Duration,
     /// Time executing the queries (or the native match).
     pub query: Duration,
+    /// Executor statistics for this match alone (the stats window is
+    /// reset when the match starts, so nothing bleeds across engines).
+    pub db_stats: p3p_minidb::exec::ExecStats,
 }
 
 /// The server: database + document stores + catalogs.
@@ -195,14 +212,29 @@ impl PolicyServer {
                 policy.name
             )));
         }
+        let _span = span!("install_policy", policy = policy.name);
+        let start = Instant::now();
         self.next_policy_id += 1;
         let id = self.next_policy_id;
-        optimized::shred(&mut self.db, id, policy)?;
+        let shred_us = |schema| metrics::histogram_with("p3p_shred_us", &[("schema", schema)]);
+        let t0 = Instant::now();
+        {
+            let _span = span!("shred", schema = "optimized");
+            optimized::shred(&mut self.db, id, policy)?;
+        }
+        shred_us("optimized").observe_duration(t0.elapsed());
         let augmented = augment_policy(policy);
         let explicit = view::policy_xml_explicit(&augmented);
-        self.generic.shred(&mut self.db, id, &explicit)?;
+        let t1 = Instant::now();
+        {
+            let _span = span!("shred", schema = "generic");
+            self.generic.shred(&mut self.db, id, &explicit)?;
+        }
+        shred_us("generic").observe_duration(t1.elapsed());
         self.raw_xml.insert(policy.name.clone(), (id, xml));
         self.explicit_xml.insert(id, explicit);
+        metrics::histogram("p3p_install_policy_us").observe_duration(start.elapsed());
+        metrics::counter("p3p_policies_installed_total").inc();
         Ok(id)
     }
 
@@ -258,20 +290,57 @@ impl PolicyServer {
     }
 
     /// Match a preference against a target with the chosen engine.
+    ///
+    /// Every match runs inside a `match` span (with `translate` /
+    /// `execute` children on the SQL paths), observes the
+    /// `p3p_match_latency_us` and `p3p_match_phase_us` histograms, and
+    /// starts from a zeroed executor-stats window so one engine's scans
+    /// and probes never bleed into the next engine's accounting.
     pub fn match_preference(
         &mut self,
         ruleset: &Ruleset,
         target: Target<'_>,
         engine: EngineKind,
     ) -> Result<MatchOutcome, ServerError> {
-        let policy_id = self.resolve(target)?;
-        match engine {
-            EngineKind::Native => self.match_native(ruleset, policy_id),
-            EngineKind::Sql => self.match_sql(ruleset, policy_id, false),
-            EngineKind::SqlGeneric => self.match_sql(ruleset, policy_id, true),
-            EngineKind::XQueryXTable => self.match_xtable(ruleset, policy_id),
-            EngineKind::XQueryNative => self.match_xquery_native(ruleset, policy_id),
+        p3p_minidb::exec::reset_stats();
+        let label = engine.metric_label();
+        let _span = span!("match", engine = label);
+        let start = Instant::now();
+        let mut result = (|| {
+            let policy_id = self.resolve(target)?;
+            match engine {
+                EngineKind::Native => self.match_native(ruleset, policy_id),
+                EngineKind::Sql => self.match_sql(ruleset, policy_id, false),
+                EngineKind::SqlGeneric => self.match_sql(ruleset, policy_id, true),
+                EngineKind::XQueryXTable => self.match_xtable(ruleset, policy_id),
+                EngineKind::XQueryNative => self.match_xquery_native(ruleset, policy_id),
+            }
+        })();
+        let wall = start.elapsed();
+        let by_engine = [("engine", label)];
+        metrics::histogram_with("p3p_match_latency_us", &by_engine).observe_duration(wall);
+        match &mut result {
+            Ok(outcome) => {
+                outcome.db_stats = p3p_minidb::exec::stats_snapshot();
+                metrics::counter_with("p3p_matches_total", &by_engine).inc();
+                let phase = |name| {
+                    metrics::histogram_with(
+                        "p3p_match_phase_us",
+                        &[("engine", label), ("phase", name)],
+                    )
+                };
+                phase("translate").observe_duration(outcome.convert);
+                phase("execute").observe_duration(outcome.query);
+                // Everything outside translate/execute: target
+                // resolution, staging, and verdict assembly.
+                phase("verdict")
+                    .observe_duration(wall.saturating_sub(outcome.convert + outcome.query));
+            }
+            Err(_) => {
+                metrics::counter_with("p3p_match_errors_total", &by_engine).inc();
+            }
         }
+        result
     }
 
     fn raw_xml_of(&self, policy_id: i64) -> Result<&str, ServerError> {
@@ -285,11 +354,15 @@ impl PolicyServer {
     fn match_native(&self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
         let xml = self.raw_xml_of(policy_id)?;
         let start = Instant::now();
-        let verdict = self.native.evaluate_policy_xml(ruleset, xml)?;
+        let verdict = {
+            let _span = span!("execute");
+            self.native.evaluate_policy_xml(ruleset, xml)?
+        };
         Ok(MatchOutcome {
             verdict,
             convert: Duration::ZERO,
             query: start.elapsed(),
+            db_stats: Default::default(),
         })
     }
 
@@ -303,6 +376,7 @@ impl PolicyServer {
         // Convert phase: "We translate each rule into a SQL query ...
         // and submit the queries to the database in order" (§5.3) — the
         // whole preference is translated before the first query runs.
+        let translate_span = span!("translate");
         let t0 = Instant::now();
         let mut queries = Vec::with_capacity(ruleset.rules.len());
         for rule in &ruleset.rules {
@@ -313,9 +387,14 @@ impl PolicyServer {
             });
         }
         let convert = t0.elapsed();
+        drop(translate_span);
         // Query phase: run in order; the first non-empty result fires.
+        // Each statement is tagged with the rule it was translated
+        // from, so the slow-query log can attribute it.
+        let _execute_span = span!("execute");
         let t1 = Instant::now();
         for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+            let _ctx = QueryContextGuard::rule(index as u64);
             let result = self.db.query(sql)?;
             if !result.is_empty() {
                 return Ok(MatchOutcome {
@@ -325,6 +404,7 @@ impl PolicyServer {
                     },
                     convert,
                     query: t1.elapsed(),
+                    db_stats: Default::default(),
                 });
             }
         }
@@ -332,16 +412,22 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query: t1.elapsed(),
+            db_stats: Default::default(),
         })
     }
 
-    fn match_xtable(&mut self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
+    fn match_xtable(
+        &mut self,
+        ruleset: &Ruleset,
+        policy_id: i64,
+    ) -> Result<MatchOutcome, ServerError> {
         refschema::stage_applicable(&mut self.db, policy_id)?;
         // Convert phase: APPEL → XQuery text → (reparse) → XTABLE → SQL
         // for the whole preference. A rule beyond the compiler's
         // capability fails the preference, as it did for the Medium
         // level in the paper (§6.3.2). Unconditional (OTHERWISE) rules
         // carry no query.
+        let translate_span = span!("translate");
         let t0 = Instant::now();
         let mut queries: Vec<Option<String>> = Vec::with_capacity(ruleset.rules.len());
         for rule in &ruleset.rules {
@@ -355,8 +441,11 @@ impl PolicyServer {
             queries.push(Some(self.xtable.compile(&reparsed)?));
         }
         let convert = t0.elapsed();
+        drop(translate_span);
+        let _execute_span = span!("execute");
         let t1 = Instant::now();
         for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+            let _ctx = QueryContextGuard::rule(index as u64);
             let fired = match sql {
                 Some(sql) => !self.db.query(sql)?.is_empty(),
                 None => true,
@@ -369,6 +458,7 @@ impl PolicyServer {
                     },
                     convert,
                     query: t1.elapsed(),
+                    db_stats: Default::default(),
                 });
             }
         }
@@ -376,6 +466,7 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query: t1.elapsed(),
+            db_stats: Default::default(),
         })
     }
 
@@ -399,13 +490,20 @@ impl PolicyServer {
                     },
                     convert,
                     query,
+                    db_stats: Default::default(),
                 });
             }
             let t0 = Instant::now();
-            let xq = translate_rule_xquery(rule, "applicable-policy")?;
+            let xq = {
+                let _span = span!("translate", rule = index);
+                translate_rule_xquery(rule, "applicable-policy")?
+            };
             convert += t0.elapsed();
             let t1 = Instant::now();
-            let fired = p3p_xquery::eval_xquery(&xq, doc).is_some();
+            let fired = {
+                let _span = span!("execute", rule = index);
+                p3p_xquery::eval_xquery(&xq, doc).is_some()
+            };
             query += t1.elapsed();
             if fired {
                 return Ok(MatchOutcome {
@@ -415,6 +513,7 @@ impl PolicyServer {
                     },
                     convert,
                     query,
+                    db_stats: Default::default(),
                 });
             }
         }
@@ -422,6 +521,7 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query,
+            db_stats: Default::default(),
         })
     }
 }

@@ -77,10 +77,7 @@ impl SqlFeatures {
 
 /// Tally the SQL features used by translating every rule of every
 /// preference against the chosen schema.
-pub fn sql_subset(
-    preferences: &[Ruleset],
-    generic: bool,
-) -> Result<SqlFeatures, ServerError> {
+pub fn sql_subset(preferences: &[Ruleset], generic: bool) -> Result<SqlFeatures, ServerError> {
     let schema = GenericSchema::default();
     let mut features = SqlFeatures::default();
     for ruleset in preferences {

@@ -108,7 +108,10 @@ pub fn version_xml(
         "SELECT xml FROM policy_version WHERE name = {} AND version = {version}",
         sql_quote(name)
     ))?;
-    Ok(r.rows.first().and_then(|row| row[0].as_str()).map(str::to_string))
+    Ok(r.rows
+        .first()
+        .and_then(|row| row[0].as_str())
+        .map(str::to_string))
 }
 
 /// The full history of a policy: `(version, note)` rows in order.

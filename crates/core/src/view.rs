@@ -53,9 +53,10 @@ pub fn reconstruct_policy(db: &Database, policy_id: i64) -> Result<Policy, Serve
             fields: Vec::new(),
         };
         for r in &entity_rows.rows {
-            entity
-                .fields
-                .push((text(&r[0]).unwrap_or_default(), text(&r[1]).unwrap_or_default()));
+            entity.fields.push((
+                text(&r[0]).unwrap_or_default(),
+                text(&r[1]).unwrap_or_default(),
+            ));
         }
         policy.entity = Some(entity);
     }
@@ -178,8 +179,7 @@ pub fn policy_xml_explicit(policy: &Policy) -> Element {
             let mut p = ElementBuilder::new("PURPOSE");
             for pu in &stmt.purposes {
                 p = p.child(
-                    ElementBuilder::new(pu.purpose.as_str())
-                        .attr("required", pu.required.as_str()),
+                    ElementBuilder::new(pu.purpose.as_str()).attr("required", pu.required.as_str()),
                 );
             }
             s = s.child(p);
@@ -196,8 +196,7 @@ pub fn policy_xml_explicit(policy: &Policy) -> Element {
         }
         if !stmt.retention.is_empty() {
             s = s.child(
-                ElementBuilder::new("RETENTION")
-                    .leaves(stmt.retention.iter().map(|r| r.as_str())),
+                ElementBuilder::new("RETENTION").leaves(stmt.retention.iter().map(|r| r.as_str())),
             );
         }
         for group in &stmt.data_groups {
@@ -265,7 +264,10 @@ mod tests {
             remedies: vec![Remedy::Correct, Remedy::Money],
         });
         let rebuilt = roundtrip(&p);
-        assert_eq!(rebuilt.entity.as_ref().unwrap().business_name, p.entity.as_ref().unwrap().business_name);
+        assert_eq!(
+            rebuilt.entity.as_ref().unwrap().business_name,
+            p.entity.as_ref().unwrap().business_name
+        );
         assert_eq!(rebuilt.disputes, p.disputes);
     }
 
@@ -293,6 +295,9 @@ mod tests {
         let reparsed = Policy::parse(&xml).unwrap();
         // The explicit form denotes the same policy: required="always"
         // is the default, optional="no" is the default.
-        assert_eq!(reparsed.statements[0].purposes, volga_policy().statements[0].purposes);
+        assert_eq!(
+            reparsed.statements[0].purposes,
+            volga_policy().statements[0].purposes
+        );
     }
 }

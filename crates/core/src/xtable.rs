@@ -307,10 +307,16 @@ mod tests {
         let mut db = p3p_minidb::Database::new();
         let schema = GenericSchema::default();
         schema.install(&mut db).unwrap();
-        db.execute("CREATE TABLE applicable_policy (policy_id INT NOT NULL)").unwrap();
-        db.execute("INSERT INTO applicable_policy VALUES (1)").unwrap();
+        db.execute("CREATE TABLE applicable_policy (policy_id INT NOT NULL)")
+            .unwrap();
+        db.execute("INSERT INTO applicable_policy VALUES (1)")
+            .unwrap();
         schema
-            .shred(&mut db, 1, &policy_to_element(&augment_policy(&volga_policy())))
+            .shred(
+                &mut db,
+                1,
+                &policy_to_element(&augment_policy(&volga_policy())),
+            )
             .unwrap();
 
         // Volga: no admin, contact only opt-in → empty result.
@@ -321,10 +327,9 @@ mod tests {
         assert!(db.query(&sql).unwrap().is_empty());
 
         // current is present → the request query returns one row.
-        let sql2 = compile(
-            "if (document(\"p\")/POLICY[STATEMENT[PURPOSE[current]]]) then <request/>",
-        )
-        .unwrap();
+        let sql2 =
+            compile("if (document(\"p\")/POLICY[STATEMENT[PURPOSE[current]]]) then <request/>")
+                .unwrap();
         let r = db.query(&sql2).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].as_str(), Some("request"));

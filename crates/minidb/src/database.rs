@@ -7,7 +7,61 @@ use crate::sql::ast::Statement;
 use crate::sql::parse_statement;
 use crate::table::Table;
 use crate::value::Value;
+use p3p_telemetry::metrics::{self, Counter, Histogram};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Cached handles into the global metrics registry for the executor's
+/// per-statement accounting (one registry lookup per process, one
+/// atomic op per update afterwards).
+struct DbMetrics {
+    latency_us: Arc<Histogram>,
+    statements: Arc<Counter>,
+    rows_scanned: Arc<Counter>,
+    index_probes: Arc<Counter>,
+    seq_scans: Arc<Counter>,
+    rows_output: Arc<Counter>,
+}
+
+fn db_metrics() -> &'static DbMetrics {
+    static METRICS: OnceLock<DbMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| DbMetrics {
+        latency_us: metrics::histogram("p3p_db_statement_latency_us"),
+        statements: metrics::counter("p3p_db_statements_total"),
+        rows_scanned: metrics::counter("p3p_db_rows_scanned_total"),
+        index_probes: metrics::counter("p3p_db_index_probes_total"),
+        seq_scans: metrics::counter("p3p_db_seq_scans_total"),
+        rows_output: metrics::counter("p3p_db_rows_output_total"),
+    })
+}
+
+/// Report one executed statement to the metrics registry and the
+/// slow-query log. Per-statement work is attributed by diffing the
+/// thread's cumulative [`exec::ExecStats`] against the snapshot taken
+/// before execution, so nested SELECTs run by DELETE/UPDATE fold into
+/// their parent statement rather than double-counting.
+fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
+    let delta = exec::stats_snapshot().since(before);
+    let m = db_metrics();
+    m.latency_us.observe_duration(wall);
+    m.statements.inc();
+    m.rows_scanned.add(delta.rows_scanned);
+    m.index_probes.add(delta.index_probes);
+    m.seq_scans.add(delta.seq_scans);
+    m.rows_output.add(delta.rows_output);
+    p3p_telemetry::slowlog::record(
+        sql,
+        p3p_telemetry::QueryStats {
+            rows_scanned: delta.rows_scanned,
+            index_probes: delta.index_probes,
+            seq_scans: delta.seq_scans,
+            subqueries: delta.subqueries,
+            rows_output: delta.rows_output,
+        },
+        wall,
+    );
+}
 
 /// The result of a SELECT.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,7 +158,11 @@ impl Database {
     /// Execute any SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, DbError> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(stmt)
+        let before = exec::stats_snapshot();
+        let start = Instant::now();
+        let outcome = self.execute_statement(stmt);
+        report_statement(sql, &before, start.elapsed());
+        outcome
     }
 
     /// Execute a pre-parsed statement.
@@ -153,11 +211,15 @@ impl Database {
                 self.tables.insert(key, Table::new(schema));
                 Ok(ExecOutcome::Ddl)
             }
-            Statement::CreateIndex { table, columns, .. } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 let t = self
                     .table_mut(&table)
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                t.create_index(&columns)?;
+                t.create_index_named(Some(&name), &columns)?;
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable { name, if_exists } => {
@@ -267,7 +329,13 @@ impl Database {
     pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::Select(sel) => exec::run_select(self, &sel),
+            Statement::Select(sel) => {
+                let before = exec::stats_snapshot();
+                let start = Instant::now();
+                let result = exec::run_select(self, &sel);
+                report_statement(sql, &before, start.elapsed());
+                result
+            }
             _ => Err(DbError::Execution(
                 "query() accepts SELECT statements only".to_string(),
             )),
@@ -356,7 +424,7 @@ impl Database {
                 None => parent
                     .rows()
                     .iter()
-                    .any(|r| ref_idx.iter().zip(&key) .all(|(&i, k)| &r[i] == k)),
+                    .any(|r| ref_idx.iter().zip(&key).all(|(&i, k)| &r[i] == k)),
             };
             if !found {
                 return Err(DbError::Constraint(format!(
@@ -390,7 +458,8 @@ mod tests {
              FOREIGN KEY (policy_id, statement_id) REFERENCES statement (policy_id, statement_id))",
         )
         .unwrap();
-        db.execute("INSERT INTO policy VALUES (1, 'volga')").unwrap();
+        db.execute("INSERT INTO policy VALUES (1, 'volga')")
+            .unwrap();
         db.execute("INSERT INTO statement VALUES (1, 1, 'purchase'), (1, 2, 'recommendations')")
             .unwrap();
         db.execute(
@@ -403,7 +472,9 @@ mod tests {
     #[test]
     fn create_insert_select() {
         let db = policy_db();
-        let r = db.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        let r = db
+            .query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
         assert_eq!(r.scalar().unwrap().as_str(), Some("volga"));
     }
 
@@ -439,7 +510,9 @@ mod tests {
     #[test]
     fn primary_key_enforced_via_sql() {
         let mut db = policy_db();
-        let err = db.execute("INSERT INTO policy VALUES (1, 'dup')").unwrap_err();
+        let err = db
+            .execute("INSERT INTO policy VALUES (1, 'dup')")
+            .unwrap_err();
         assert!(err.to_string().contains("duplicate primary key"));
     }
 
@@ -451,7 +524,8 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("foreign key violation"));
         db.set_check_foreign_keys(false);
-        db.execute("INSERT INTO statement VALUES (99, 1, NULL)").unwrap();
+        db.execute("INSERT INTO statement VALUES (99, 1, NULL)")
+            .unwrap();
     }
 
     #[test]
@@ -499,8 +573,10 @@ mod tests {
         assert!(r.is_empty());
         // Flip contact to `always` and the rule fires.
         let mut db2 = policy_db();
-        db2.execute("DELETE FROM purpose WHERE purpose = 'contact'").unwrap();
-        db2.execute("INSERT INTO purpose VALUES (1, 2, 'contact', 'always')").unwrap();
+        db2.execute("DELETE FROM purpose WHERE purpose = 'contact'")
+            .unwrap();
+        db2.execute("INSERT INTO purpose VALUES (1, 2, 'contact', 'always')")
+            .unwrap();
         let r2 = db2.query(sql).unwrap();
         assert_eq!(r2.rows.len(), 1);
         assert_eq!(r2.rows[0][0].as_str(), Some("block"));
@@ -526,10 +602,13 @@ mod tests {
                 "SELECT statement_id, COUNT(*) AS n FROM purpose GROUP BY statement_id ORDER BY statement_id",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![
-            vec![Value::Int(1), Value::Int(1)],
-            vec![Value::Int(2), Value::Int(2)],
-        ]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ]
+        );
     }
 
     #[test]
@@ -567,7 +646,8 @@ mod tests {
     #[test]
     fn is_null_filters() {
         let mut db = policy_db();
-        db.execute("INSERT INTO statement (policy_id, statement_id) VALUES (1, 3)").unwrap();
+        db.execute("INSERT INTO statement (policy_id, statement_id) VALUES (1, 3)")
+            .unwrap();
         let r = db
             .query("SELECT statement_id FROM statement WHERE consequence IS NULL")
             .unwrap();
@@ -581,7 +661,10 @@ mod tests {
     #[test]
     fn unknown_table_and_column_errors() {
         let db = policy_db();
-        assert!(matches!(db.query("SELECT * FROM nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.query("SELECT * FROM nope"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert!(matches!(
             db.query("SELECT nope FROM policy"),
             Err(DbError::UnknownColumn(_))
@@ -601,14 +684,16 @@ mod tests {
     fn index_use_is_observable() {
         let db = policy_db();
         exec::take_stats();
-        db.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        db.query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
         let with = exec::take_stats();
         assert!(with.index_probes >= 1, "{with:?}");
 
         let mut db2 = policy_db();
         db2.set_use_indexes(false);
         exec::take_stats();
-        db2.query("SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        db2.query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
         let without = exec::take_stats();
         assert_eq!(without.index_probes, 0);
         assert!(without.rows_scanned >= with.rows_scanned);
@@ -662,7 +747,9 @@ mod tests {
     #[test]
     fn update_without_filter_touches_all() {
         let mut db = policy_db();
-        let out = db.execute("UPDATE statement SET consequence = 'redacted'").unwrap();
+        let out = db
+            .execute("UPDATE statement SET consequence = 'redacted'")
+            .unwrap();
         assert_eq!(out, ExecOutcome::Updated(2));
         let r = db
             .query("SELECT DISTINCT consequence FROM statement")
@@ -673,20 +760,21 @@ mod tests {
     #[test]
     fn update_rejects_pk_duplication_and_rolls_back() {
         let mut db = policy_db();
-        db.execute("INSERT INTO policy VALUES (2, 'other')").unwrap();
+        db.execute("INSERT INTO policy VALUES (2, 'other')")
+            .unwrap();
         let err = db.execute("UPDATE policy SET policy_id = 1").unwrap_err();
         assert!(err.to_string().contains("primary key"), "{err}");
         // Nothing changed.
-        let r = db.query("SELECT COUNT(*) FROM policy WHERE policy_id = 2").unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM policy WHERE policy_id = 2")
+            .unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Int(1));
     }
 
     #[test]
     fn update_rejects_type_and_null_violations() {
         let mut db = policy_db();
-        assert!(db
-            .execute("UPDATE purpose SET required = 7")
-            .is_err());
+        assert!(db.execute("UPDATE purpose SET required = 7").is_err());
         assert!(db.execute("UPDATE purpose SET required = NULL").is_err());
         assert!(db.execute("UPDATE purpose SET nope = 'x'").is_err());
     }

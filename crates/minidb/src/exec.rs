@@ -22,6 +22,23 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Subqueries (EXISTS bodies) evaluated.
     pub subqueries: u64,
+    /// Full-table (sequential) scans started because no index applied.
+    pub seq_scans: u64,
+    /// Rows output by completed SELECTs.
+    pub rows_output: u64,
+}
+
+impl ExecStats {
+    /// Statistics accumulated since `earlier` (field-wise difference).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            index_probes: self.index_probes - earlier.index_probes,
+            subqueries: self.subqueries - earlier.subqueries,
+            seq_scans: self.seq_scans - earlier.seq_scans,
+            rows_output: self.rows_output - earlier.rows_output,
+        }
+    }
 }
 
 thread_local! {
@@ -31,6 +48,18 @@ thread_local! {
 /// Read and reset the thread's execution statistics.
 pub fn take_stats() -> ExecStats {
     STATS.with(|s| s.replace(ExecStats::default()))
+}
+
+/// Read the thread's execution statistics without resetting them.
+/// Per-statement attribution diffs two snapshots with
+/// [`ExecStats::since`].
+pub fn stats_snapshot() -> ExecStats {
+    STATS.with(|s| s.get())
+}
+
+/// Reset the thread's execution statistics to zero.
+pub fn reset_stats() {
+    STATS.with(|s| s.set(ExecStats::default()));
 }
 
 fn bump(f: impl FnOnce(&mut ExecStats)) {
@@ -78,11 +107,7 @@ impl<'a> Env<'a> {
                         continue;
                     }
                 }
-                if let Some(i) = b
-                    .columns
-                    .iter()
-                    .position(|c| c.eq_ignore_ascii_case(name))
-                {
+                if let Some(i) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                     found = Some(b.row[i].clone());
                     count += 1;
                 }
@@ -108,10 +133,16 @@ impl<'a> Env<'a> {
 /// Run a SELECT against the database with no outer context.
 pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
     let root = Env::root();
-    select_with_env(db, stmt, &root)
+    let result = select_with_env(db, stmt, &root)?;
+    bump(|s| s.rows_output += result.rows.len() as u64);
+    Ok(result)
 }
 
-fn select_with_env(db: &Database, stmt: &SelectStmt, outer: &Env<'_>) -> Result<QueryResult, DbError> {
+fn select_with_env(
+    db: &Database,
+    stmt: &SelectStmt,
+    outer: &Env<'_>,
+) -> Result<QueryResult, DbError> {
     // Resolve FROM tables up front.
     let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
@@ -140,10 +171,18 @@ fn select_with_env(db: &Database, stmt: &SelectStmt, outer: &Env<'_>) -> Result<
             .any(|i| matches!(i, SelectItem::Count { .. }));
 
     let mut joined: Vec<Vec<Binding>> = Vec::new();
-    join_scan(db, &tables, 0, &mut Vec::new(), stmt.filter.as_ref(), outer, &mut |bindings| {
-        joined.push(bindings.to_vec());
-        Ok(true)
-    })?;
+    join_scan(
+        db,
+        &tables,
+        0,
+        &mut Vec::new(),
+        stmt.filter.as_ref(),
+        outer,
+        &mut |bindings| {
+            joined.push(bindings.to_vec());
+            Ok(true)
+        },
+    )?;
 
     let columns = output_columns(stmt, &tables);
 
@@ -247,6 +286,7 @@ fn join_scan(
             }
         }
         None => {
+            bump(|s| s.seq_scans += 1);
             for row in table.rows() {
                 bump(|s| s.rows_scanned += 1);
                 if !visit(row)? {
@@ -268,7 +308,9 @@ fn probe_rows(
     bound: &[Binding],
     outer: &Env<'_>,
 ) -> Result<Option<Vec<usize>>, DbError> {
-    let Some(filter) = filter else { return Ok(None) };
+    let Some(filter) = filter else {
+        return Ok(None);
+    };
     let mut conjuncts = Vec::new();
     collect_conjuncts(filter, &mut conjuncts);
     // Equality pairs (column index in this table, evaluable value).
@@ -512,7 +554,11 @@ fn order_rows(
     for (i, row) in rows.iter().enumerate() {
         let mut keys = Vec::with_capacity(stmt.order_by.len());
         for (expr, _) in &stmt.order_by {
-            let key = if let Expr::Column { qualifier: None, name } = expr {
+            let key = if let Expr::Column {
+                qualifier: None,
+                name,
+            } = expr
+            {
                 columns
                     .iter()
                     .position(|c| c.eq_ignore_ascii_case(name))
@@ -531,8 +577,7 @@ fn order_rows(
                 }
                 None => {
                     return Err(DbError::Execution(
-                        "ORDER BY key must name an output column in aggregate queries"
-                            .to_string(),
+                        "ORDER BY key must name an output column in aggregate queries".to_string(),
                     ))
                 }
             };
@@ -564,7 +609,11 @@ fn order_output_rows(
 ) -> Result<(), DbError> {
     let mut key_indexes = Vec::with_capacity(stmt.order_by.len());
     for (expr, desc) in &stmt.order_by {
-        let Expr::Column { qualifier: None, name } = expr else {
+        let Expr::Column {
+            qualifier: None,
+            name,
+        } = expr
+        else {
             return Err(DbError::Execution(
                 "ORDER BY after DISTINCT must name an output column".to_string(),
             ));
@@ -646,7 +695,11 @@ fn eval_pred(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Option<bool>, 
             bump(|s| s.subqueries += 1);
             Ok(Some(exists(db, sub, env)?))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_value(db, expr, env)?;
             let mut saw_null = false;
             let mut found = false;
@@ -670,7 +723,11 @@ fn eval_pred(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Option<bool>, 
             };
             Ok(if *negated { base.map(|b| !b) } else { base })
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_value(db, expr, env)?;
             let p = eval_value(db, pattern, env)?;
             match (v, p) {
@@ -705,10 +762,18 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
         tables.push((tref, table));
     }
     let mut found = false;
-    join_scan(db, &tables, 0, &mut Vec::new(), stmt.filter.as_ref(), env, &mut |_| {
-        found = true;
-        Ok(false) // stop at first row
-    })?;
+    join_scan(
+        db,
+        &tables,
+        0,
+        &mut Vec::new(),
+        stmt.filter.as_ref(),
+        env,
+        &mut |_| {
+            found = true;
+            Ok(false) // stop at first row
+        },
+    )?;
     Ok(found)
 }
 

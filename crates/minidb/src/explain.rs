@@ -56,7 +56,12 @@ fn explain_select(
             .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
         // Equality conjuncts on this table whose other side references
         // only earlier bindings or outer names.
-        let eq_cols = equality_columns(select.filter.as_ref(), tref.binding_name(), &visible, i == 0);
+        let eq_cols = equality_columns(
+            select.filter.as_ref(),
+            tref.binding_name(),
+            &visible,
+            i == 0,
+        );
         let access = if db.use_indexes() {
             best_index(table, &eq_cols)
         } else {
@@ -64,12 +69,18 @@ fn explain_select(
         };
         indent(out, depth + 1);
         match access {
-            Some(cols) => out.push_str(&format!(
-                "IndexProbe {} AS {} on ({})\n",
-                tref.table,
-                tref.binding_name(),
-                cols.join(", ")
-            )),
+            Some((index_name, cols)) => {
+                out.push_str(&format!(
+                    "IndexProbe {} AS {} on ({})",
+                    tref.table,
+                    tref.binding_name(),
+                    cols.join(", ")
+                ));
+                if let Some(name) = index_name {
+                    out.push_str(&format!(" via {name}"));
+                }
+                out.push('\n');
+            }
             None => out.push_str(&format!(
                 "SeqScan {} AS {} ({} rows)\n",
                 tref.table,
@@ -161,31 +172,42 @@ fn side_is_independent(expr: &Expr, binding: &str, visible: &[String]) -> bool {
         Expr::Column {
             qualifier: Some(q), ..
         } => !q.eq_ignore_ascii_case(binding) && visible.iter().any(|v| v.eq_ignore_ascii_case(q)),
-        Expr::Column { qualifier: None, .. } => false,
+        Expr::Column {
+            qualifier: None, ..
+        } => false,
         _ => false,
     }
 }
 
-/// Largest index fully covered by the constrained columns.
-fn best_index(table: &crate::table::Table, eq_cols: &[String]) -> Option<Vec<String>> {
+/// Largest index fully covered by the constrained columns, as its name
+/// (when it has one) plus covered column names.
+fn best_index(
+    table: &crate::table::Table,
+    eq_cols: &[String],
+) -> Option<(Option<String>, Vec<String>)> {
     let schema = &table.schema;
     let eq_idx: Vec<usize> = eq_cols
         .iter()
         .filter_map(|c| schema.column_index(c))
         .collect();
-    let mut best: Option<Vec<usize>> = None;
+    let mut best: Option<&crate::table::Index> = None;
     for index in table.indexes() {
         if index.columns.iter().all(|c| eq_idx.contains(c)) {
-            let better = best.as_ref().is_none_or(|b| index.columns.len() > b.len());
+            let better = best.is_none_or(|b| index.columns.len() > b.columns.len());
             if better {
-                best = Some(index.columns.clone());
+                best = Some(index);
             }
         }
     }
-    best.map(|cols| {
-        cols.iter()
-            .map(|&i| schema.columns[i].name.clone())
-            .collect()
+    best.map(|index| {
+        (
+            index.name().map(str::to_string),
+            index
+                .columns
+                .iter()
+                .map(|&i| schema.columns[i].name.clone())
+                .collect(),
+        )
     })
 }
 
@@ -205,23 +227,31 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE policy (policy_id INT NOT NULL, name VARCHAR, PRIMARY KEY (policy_id))")
-            .unwrap();
+        db.execute(
+            "CREATE TABLE policy (policy_id INT NOT NULL, name VARCHAR, PRIMARY KEY (policy_id))",
+        )
+        .unwrap();
         db.execute(
             "CREATE TABLE statement (policy_id INT NOT NULL, statement_id INT NOT NULL, \
              PRIMARY KEY (policy_id, statement_id))",
         )
         .unwrap();
-        db.execute("CREATE INDEX idx_statement_fk ON statement (policy_id)").unwrap();
-        db.execute("INSERT INTO policy VALUES (1, 'volga')").unwrap();
-        db.execute("INSERT INTO statement VALUES (1, 1), (1, 2)").unwrap();
+        db.execute("CREATE INDEX idx_statement_fk ON statement (policy_id)")
+            .unwrap();
+        db.execute("INSERT INTO policy VALUES (1, 'volga')")
+            .unwrap();
+        db.execute("INSERT INTO statement VALUES (1, 1), (1, 2)")
+            .unwrap();
         db
     }
 
     #[test]
     fn literal_probe_is_detected() {
         let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
-        assert!(plan.contains("IndexProbe policy AS policy on (policy_id)"), "{plan}");
+        assert!(
+            plan.contains("IndexProbe policy AS policy on (policy_id)"),
+            "{plan}"
+        );
     }
 
     #[test]
@@ -238,7 +268,28 @@ mod tests {
         )
         .unwrap();
         assert!(plan.contains("Exists"), "{plan}");
-        assert!(plan.contains("IndexProbe statement AS s on (policy_id)"), "{plan}");
+        assert!(
+            plan.contains("IndexProbe statement AS s on (policy_id)"),
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn plan_names_the_probed_index() {
+        let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        assert!(
+            plan.contains("IndexProbe policy AS policy on (policy_id) via pk_policy"),
+            "{plan}"
+        );
+        let plan = explain(
+            &db(),
+            "SELECT name FROM policy p WHERE EXISTS (SELECT * FROM statement s WHERE s.policy_id = p.policy_id)",
+        )
+        .unwrap();
+        assert!(
+            plan.contains("IndexProbe statement AS s on (policy_id) via idx_statement_fk"),
+            "{plan}"
+        );
     }
 
     #[test]
@@ -281,9 +332,6 @@ mod tests {
         )
         .unwrap();
         // The PK index on (policy_id, statement_id) beats the FK index.
-        assert!(
-            plan.contains("on (policy_id, statement_id)"),
-            "{plan}"
-        );
+        assert!(plan.contains("on (policy_id, statement_id)"), "{plan}");
     }
 }

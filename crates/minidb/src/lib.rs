@@ -41,8 +41,8 @@
 
 pub mod database;
 pub mod error;
-pub mod explain;
 pub mod exec;
+pub mod explain;
 pub mod schema;
 pub mod sql;
 pub mod table;

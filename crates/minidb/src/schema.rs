@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn row_checks() {
         let s = schema();
-        assert!(s.check_row(&[Value::Int(1), Value::Text("current".into())]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Text("current".into())])
+            .is_ok());
         assert!(s.check_row(&[Value::Int(1), Value::Null]).is_ok());
         // arity
         assert!(s.check_row(&[Value::Int(1)]).is_err());

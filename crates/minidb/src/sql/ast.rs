@@ -63,7 +63,10 @@ pub enum SelectItem {
     /// `expr [AS name]`
     Expr { expr: Expr, alias: Option<String> },
     /// `COUNT(*)` / `COUNT(expr)` with optional alias.
-    Count { expr: Option<Expr>, alias: Option<String> },
+    Count {
+        expr: Option<Expr>,
+        alias: Option<String>,
+    },
 }
 
 /// A FROM-clause table with optional alias.
@@ -158,8 +161,14 @@ mod tests {
 
     #[test]
     fn binding_name_prefers_alias() {
-        let plain = TableRef { table: "policy".into(), alias: None };
-        let aliased = TableRef { table: "policy".into(), alias: Some("p".into()) };
+        let plain = TableRef {
+            table: "policy".into(),
+            alias: None,
+        };
+        let aliased = TableRef {
+            table: "policy".into(),
+            alias: Some("p".into()),
+        };
         assert_eq!(plain.binding_name(), "policy");
         assert_eq!(aliased.binding_name(), "p");
     }
@@ -176,7 +185,11 @@ mod tests {
     fn helpers_build_expected_shapes() {
         let e = Expr::eq(Expr::col("p", "policy_id"), Expr::Literal(Value::Int(3)));
         match e {
-            Expr::Compare { op: CompareOp::Eq, left, .. } => match *left {
+            Expr::Compare {
+                op: CompareOp::Eq,
+                left,
+                ..
+            } => match *left {
                 Expr::Column { qualifier, name } => {
                     assert_eq!(qualifier.as_deref(), Some("p"));
                     assert_eq!(name, "policy_id");

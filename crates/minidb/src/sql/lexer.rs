@@ -49,31 +49,52 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             b'<' => {
@@ -94,7 +115,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
                 i += len;
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Neq,
+                    offset: i,
+                });
                 i += 2;
             }
             b'\'' => {
@@ -161,7 +185,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => return Err(DbError::syntax(start, "unterminated quoted identifier")),
+                        None => {
+                            return Err(DbError::syntax(start, "unterminated quoted identifier"))
+                        }
                         Some(b'"') => {
                             i += 1;
                             break;
@@ -180,9 +206,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -278,15 +302,15 @@ mod tests {
 
     #[test]
     fn negative_integers_and_comments() {
-        assert_eq!(
-            kinds("-- header\n-7 -- trailing"),
-            vec![TokenKind::Int(-7)]
-        );
+        assert_eq!(kinds("-- header\n-7 -- trailing"), vec![TokenKind::Int(-7)]);
     }
 
     #[test]
     fn quoted_identifiers() {
-        assert_eq!(kinds("\"weird name\""), vec![TokenKind::Word("weird name".into())]);
+        assert_eq!(
+            kinds("\"weird name\""),
+            vec![TokenKind::Word("weird name".into())]
+        );
     }
 
     #[test]

@@ -223,7 +223,11 @@ impl Parser {
         self.expect_kw("ON")?;
         let table = self.identifier()?;
         let columns = self.paren_name_list()?;
-        Ok(Statement::CreateIndex { name, table, columns })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, DbError> {
@@ -253,7 +257,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, values })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
     }
 
     fn paren_name_list(&mut self) -> Result<Vec<String>, DbError> {
@@ -595,7 +603,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 assert_eq!(table, "purpose");
                 assert_eq!(columns, vec!["policy_id", "purpose"]);
                 assert_eq!(values.len(), 2);
@@ -607,7 +619,9 @@ mod tests {
     #[test]
     fn parses_delete() {
         let stmt = parse_statement("DELETE FROM policy WHERE policy_id = 3").unwrap();
-        assert!(matches!(stmt, Statement::Delete { ref table, filter: Some(_) } if table == "policy"));
+        assert!(
+            matches!(stmt, Statement::Delete { ref table, filter: Some(_) } if table == "policy")
+        );
         let all = parse_statement("DELETE FROM policy").unwrap();
         assert!(matches!(all, Statement::Delete { filter: None, .. }));
     }
@@ -616,21 +630,28 @@ mod tests {
     fn parses_drop_table() {
         assert!(matches!(
             parse_statement("DROP TABLE policy").unwrap(),
-            Statement::DropTable { if_exists: false, .. }
+            Statement::DropTable {
+                if_exists: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS policy").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_select_with_alias_and_where() {
-        let stmt = parse_statement(
-            "SELECT p.name FROM policy p WHERE p.policy_id = 1 AND p.name <> 'x'",
-        )
-        .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let stmt =
+            parse_statement("SELECT p.name FROM policy p WHERE p.policy_id = 1 AND p.name <> 'x'")
+                .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.from[0].binding_name(), "p");
         assert!(matches!(sel.filter, Some(Expr::And(_, _))));
     }
@@ -646,16 +667,24 @@ mod tests {
                      purpose.purpose = 'admin' OR purpose.purpose = 'contact' AND purpose.required = 'always'))))",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
-        let Some(Expr::Exists(level1)) = sel.filter else { panic!() };
-        let Some(Expr::And(_, rhs)) = level1.filter else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let Some(Expr::Exists(level1)) = sel.filter else {
+            panic!()
+        };
+        let Some(Expr::And(_, rhs)) = level1.filter else {
+            panic!()
+        };
         assert!(matches!(*rhs, Expr::Exists(_)));
     }
 
     #[test]
     fn and_binds_tighter_than_or() {
         let stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         match sel.filter.unwrap() {
             Expr::Or(_, right) => assert!(matches!(*right, Expr::And(_, _))),
             other => panic!("unexpected {other:?}"),
@@ -676,7 +705,9 @@ mod tests {
             "SELECT * FROM purpose p WHERE NOT EXISTS (SELECT * FROM purpose q WHERE q.purpose = p.purpose)",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(matches!(sel.filter, Some(Expr::Not(_))));
     }
 
@@ -686,9 +717,13 @@ mod tests {
             "SELECT purpose, COUNT(*) AS n FROM purpose GROUP BY purpose ORDER BY n DESC, purpose ASC LIMIT 5",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.items.len(), 2);
-        assert!(matches!(sel.items[1], SelectItem::Count { expr: None, ref alias } if alias.as_deref() == Some("n")));
+        assert!(
+            matches!(sel.items[1], SelectItem::Count { expr: None, ref alias } if alias.as_deref() == Some("n"))
+        );
         assert_eq!(sel.group_by.len(), 1);
         assert_eq!(sel.order_by.len(), 2);
         assert!(sel.order_by[0].1);
@@ -697,9 +732,14 @@ mod tests {
 
     #[test]
     fn parses_create_index() {
-        let stmt = parse_statement("CREATE INDEX idx_purpose ON purpose (policy_id, statement_id)").unwrap();
+        let stmt = parse_statement("CREATE INDEX idx_purpose ON purpose (policy_id, statement_id)")
+            .unwrap();
         match stmt {
-            Statement::CreateIndex { name, table, columns } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 assert_eq!(name, "idx_purpose");
                 assert_eq!(table, "purpose");
                 assert_eq!(columns.len(), 2);
@@ -711,7 +751,9 @@ mod tests {
     #[test]
     fn select_constant_projection() {
         let stmt = parse_statement("SELECT 'block' FROM policy").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(
             matches!(&sel.items[0], SelectItem::Expr { expr: Expr::Literal(Value::Text(s)), .. } if s == "block")
         );
@@ -734,7 +776,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::Update { table, assignments, filter } => {
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
                 assert_eq!(table, "policy");
                 assert_eq!(assignments.len(), 2);
                 assert_eq!(assignments[0].0, "name");
@@ -753,10 +799,14 @@ mod tests {
     #[test]
     fn parses_select_distinct() {
         let stmt = parse_statement("SELECT DISTINCT purpose FROM purpose").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(sel.distinct);
         let plain = parse_statement("SELECT purpose FROM purpose").unwrap();
-        let Statement::Select(sel2) = plain else { panic!() };
+        let Statement::Select(sel2) = plain else {
+            panic!()
+        };
         assert!(!sel2.distinct);
     }
 
@@ -768,7 +818,9 @@ mod tests {
     #[test]
     fn plain_not_negates() {
         let stmt = parse_statement("SELECT * FROM t WHERE NOT a = 1").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(matches!(sel.filter, Some(Expr::Not(_))));
     }
 }

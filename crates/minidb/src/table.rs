@@ -8,6 +8,10 @@ use std::collections::HashMap;
 /// A hash index over one or more columns.
 #[derive(Debug, Clone)]
 pub struct Index {
+    /// Name from CREATE INDEX (the automatic primary-key index is
+    /// `pk_<table>`; indexes created through the typed API may be
+    /// anonymous).
+    name: Option<String>,
     /// Indexes into the table's column list.
     pub columns: Vec<usize>,
     /// Key values → row numbers.
@@ -15,11 +19,17 @@ pub struct Index {
 }
 
 impl Index {
-    fn new(columns: Vec<usize>) -> Index {
+    fn new(name: Option<String>, columns: Vec<usize>) -> Index {
         Index {
+            name,
             columns,
             map: HashMap::new(),
         }
+    }
+
+    /// The index's name, when it has one (EXPLAIN reports it).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
     }
 
     fn key_of(&self, row: &[Value]) -> Vec<Value> {
@@ -54,7 +64,9 @@ impl Table {
             schema,
         };
         if !t.schema.primary_key.is_empty() {
-            t.indexes.push(Index::new(t.schema.primary_key.clone()));
+            let name = format!("pk_{}", t.schema.name.to_ascii_lowercase());
+            t.indexes
+                .push(Index::new(Some(name), t.schema.primary_key.clone()));
         }
         t
     }
@@ -100,8 +112,20 @@ impl Table {
         Ok(())
     }
 
-    /// Add a hash index over the named columns; backfills existing rows.
+    /// Add an anonymous hash index over the named columns; backfills
+    /// existing rows.
     pub fn create_index(&mut self, column_names: &[String]) -> Result<(), DbError> {
+        self.create_index_named(None, column_names)
+    }
+
+    /// Add a hash index carrying its CREATE INDEX name; backfills
+    /// existing rows. Creating an index over an already-indexed column
+    /// set is a no-op (the existing index and its name win).
+    pub fn create_index_named(
+        &mut self,
+        index_name: Option<&str>,
+        column_names: &[String],
+    ) -> Result<(), DbError> {
         let mut columns = Vec::with_capacity(column_names.len());
         for name in column_names {
             columns.push(
@@ -113,7 +137,7 @@ impl Table {
         if self.indexes.iter().any(|i| i.columns == columns) {
             return Ok(()); // idempotent
         }
-        let mut index = Index::new(columns);
+        let mut index = Index::new(index_name.map(str::to_string), columns);
         for (row_id, row) in self.rows.iter().enumerate() {
             index.insert(row, row_id);
         }
@@ -142,8 +166,7 @@ impl Table {
         for &id in row_ids.iter().rev() {
             self.rows.remove(id);
         }
-        let columns: Vec<Vec<usize>> = self.indexes.iter().map(|i| i.columns.clone()).collect();
-        self.indexes = columns.into_iter().map(Index::new).collect();
+        self.rebuild_indexes_empty();
         for (row_id, row) in self.rows.iter().enumerate() {
             for index in &mut self.indexes {
                 index.insert(row, row_id);
@@ -206,8 +229,7 @@ impl Table {
             }
         }
         self.rows = updated;
-        let columns: Vec<Vec<usize>> = self.indexes.iter().map(|i| i.columns.clone()).collect();
-        self.indexes = columns.into_iter().map(Index::new).collect();
+        self.rebuild_indexes_empty();
         for (row_id, row) in self.rows.iter().enumerate() {
             for index in &mut self.indexes {
                 index.insert(row, row_id);
@@ -220,7 +242,15 @@ impl Table {
     pub fn truncate(&mut self) {
         self.rows.clear();
         for index in &mut self.indexes {
-            *index = Index::new(index.columns.clone());
+            *index = Index::new(index.name.clone(), index.columns.clone());
+        }
+    }
+
+    /// Replace every index with an empty copy of itself (same name and
+    /// columns), used before re-inserting all rows after bulk mutation.
+    fn rebuild_indexes_empty(&mut self) {
+        for index in &mut self.indexes {
+            *index = Index::new(index.name.clone(), index.columns.clone());
         }
     }
 }
@@ -253,7 +283,8 @@ mod tests {
     #[test]
     fn insert_and_read_back() {
         let mut t = table();
-        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
         t.insert(vec![Value::Int(2), Value::Null]).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[1][0], Value::Int(2));
@@ -286,7 +317,8 @@ mod tests {
     fn pk_index_probe() {
         let mut t = table();
         for i in 0..100 {
-            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))])
+                .unwrap();
         }
         let idx = t.find_index(&[0]).unwrap();
         assert_eq!(idx.probe(&[Value::Int(42)]), &[42]);
@@ -296,8 +328,10 @@ mod tests {
     #[test]
     fn secondary_index_backfills() {
         let mut t = table();
-        t.insert(vec![Value::Int(1), Value::Text("x".into())]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Text("x".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("x".into())])
+            .unwrap();
         t.create_index(&["name".to_string()]).unwrap();
         let idx = t.find_index(&[1]).unwrap();
         assert_eq!(idx.probe(&[Value::Text("x".into())]).len(), 2);
@@ -332,6 +366,31 @@ mod tests {
         // row id must point at the right row after compaction
         let id = idx.probe(&[Value::Int(4)])[0];
         assert_eq!(t.rows()[id][0], Value::Int(4));
+    }
+
+    #[test]
+    fn index_names_survive_rebuilds() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("y".into())])
+            .unwrap();
+        t.create_index_named(Some("idx_name"), &["name".to_string()])
+            .unwrap();
+        let names = |t: &Table| -> Vec<Option<String>> {
+            t.indexes()
+                .iter()
+                .map(|i| i.name().map(str::to_string))
+                .collect()
+        };
+        let expected = vec![Some("pk_t".to_string()), Some("idx_name".to_string())];
+        assert_eq!(names(&t), expected);
+        t.delete_rows(vec![0]);
+        assert_eq!(names(&t), expected, "after delete");
+        t.update_rows(&[], &[], &[]).unwrap();
+        assert_eq!(names(&t), expected, "after update");
+        t.truncate();
+        assert_eq!(names(&t), expected, "after truncate");
     }
 
     #[test]

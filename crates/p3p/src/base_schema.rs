@@ -58,7 +58,10 @@ pub const BASE_SCHEMA: &[(&str, &[Category])] = &[
     ("user.home-info.postal.stateprov", &[Physical, Demographic]),
     ("user.home-info.postal.postalcode", &[Physical, Demographic]),
     ("user.home-info.postal.country", &[Physical, Demographic]),
-    ("user.home-info.postal.organization", &[Physical, Demographic]),
+    (
+        "user.home-info.postal.organization",
+        &[Physical, Demographic],
+    ),
     ("user.home-info.telecom.telephone", &[Physical]),
     ("user.home-info.telecom.fax", &[Physical]),
     ("user.home-info.telecom.mobile", &[Physical]),
@@ -69,10 +72,22 @@ pub const BASE_SCHEMA: &[(&str, &[Category])] = &[
     ("user.business-info.postal.name", &[Physical, Demographic]),
     ("user.business-info.postal.street", &[Physical, Demographic]),
     ("user.business-info.postal.city", &[Physical, Demographic]),
-    ("user.business-info.postal.stateprov", &[Physical, Demographic]),
-    ("user.business-info.postal.postalcode", &[Physical, Demographic]),
-    ("user.business-info.postal.country", &[Physical, Demographic]),
-    ("user.business-info.postal.organization", &[Physical, Demographic]),
+    (
+        "user.business-info.postal.stateprov",
+        &[Physical, Demographic],
+    ),
+    (
+        "user.business-info.postal.postalcode",
+        &[Physical, Demographic],
+    ),
+    (
+        "user.business-info.postal.country",
+        &[Physical, Demographic],
+    ),
+    (
+        "user.business-info.postal.organization",
+        &[Physical, Demographic],
+    ),
     ("user.business-info.telecom.telephone", &[Physical]),
     ("user.business-info.telecom.fax", &[Physical]),
     ("user.business-info.telecom.mobile", &[Physical]),
@@ -96,25 +111,61 @@ pub const BASE_SCHEMA: &[(&str, &[Category])] = &[
     ("thirdparty.department", &[Demographic]),
     ("thirdparty.jobtitle", &[Demographic]),
     ("thirdparty.home-info.postal.name", &[Physical, Demographic]),
-    ("thirdparty.home-info.postal.street", &[Physical, Demographic]),
+    (
+        "thirdparty.home-info.postal.street",
+        &[Physical, Demographic],
+    ),
     ("thirdparty.home-info.postal.city", &[Physical, Demographic]),
-    ("thirdparty.home-info.postal.stateprov", &[Physical, Demographic]),
-    ("thirdparty.home-info.postal.postalcode", &[Physical, Demographic]),
-    ("thirdparty.home-info.postal.country", &[Physical, Demographic]),
-    ("thirdparty.home-info.postal.organization", &[Physical, Demographic]),
+    (
+        "thirdparty.home-info.postal.stateprov",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.home-info.postal.postalcode",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.home-info.postal.country",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.home-info.postal.organization",
+        &[Physical, Demographic],
+    ),
     ("thirdparty.home-info.telecom.telephone", &[Physical]),
     ("thirdparty.home-info.telecom.fax", &[Physical]),
     ("thirdparty.home-info.telecom.mobile", &[Physical]),
     ("thirdparty.home-info.telecom.pager", &[Physical]),
     ("thirdparty.home-info.online.email", &[Online]),
     ("thirdparty.home-info.online.uri", &[Online]),
-    ("thirdparty.business-info.postal.name", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.street", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.city", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.stateprov", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.postalcode", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.country", &[Physical, Demographic]),
-    ("thirdparty.business-info.postal.organization", &[Physical, Demographic]),
+    (
+        "thirdparty.business-info.postal.name",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.street",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.city",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.stateprov",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.postalcode",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.country",
+        &[Physical, Demographic],
+    ),
+    (
+        "thirdparty.business-info.postal.organization",
+        &[Physical, Demographic],
+    ),
     ("thirdparty.business-info.telecom.telephone", &[Physical]),
     ("thirdparty.business-info.telecom.fax", &[Physical]),
     ("thirdparty.business-info.telecom.mobile", &[Physical]),
@@ -124,11 +175,26 @@ pub const BASE_SCHEMA: &[(&str, &[Category])] = &[
     // --- business (entity description data) ---
     ("business.name", &[Demographic]),
     ("business.department", &[Demographic]),
-    ("business.contact-info.postal.street", &[Physical, Demographic]),
-    ("business.contact-info.postal.city", &[Physical, Demographic]),
-    ("business.contact-info.postal.stateprov", &[Physical, Demographic]),
-    ("business.contact-info.postal.postalcode", &[Physical, Demographic]),
-    ("business.contact-info.postal.country", &[Physical, Demographic]),
+    (
+        "business.contact-info.postal.street",
+        &[Physical, Demographic],
+    ),
+    (
+        "business.contact-info.postal.city",
+        &[Physical, Demographic],
+    ),
+    (
+        "business.contact-info.postal.stateprov",
+        &[Physical, Demographic],
+    ),
+    (
+        "business.contact-info.postal.postalcode",
+        &[Physical, Demographic],
+    ),
+    (
+        "business.contact-info.postal.country",
+        &[Physical, Demographic],
+    ),
     ("business.contact-info.telecom.telephone", &[Physical]),
     ("business.contact-info.online.email", &[Online]),
     ("business.contact-info.online.uri", &[Online]),

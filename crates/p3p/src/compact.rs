@@ -260,7 +260,10 @@ mod tests {
         let tokens: Vec<&str> = cp.tokens.iter().map(|t| t.as_str()).collect();
         assert!(tokens.contains(&"CAO"), "{tokens:?}");
         assert!(tokens.contains(&"CUR"));
-        assert!(tokens.contains(&"IVDa"), "opt-in suffix expected: {tokens:?}");
+        assert!(
+            tokens.contains(&"IVDa"),
+            "opt-in suffix expected: {tokens:?}"
+        );
         assert!(tokens.contains(&"CONa"));
         assert!(tokens.contains(&"OUR"));
         assert!(tokens.contains(&"SAM"));
@@ -291,7 +294,10 @@ mod tests {
     #[test]
     fn low_accepts_everything() {
         let cp = CompactPolicy::parse_header("UNR PUB IVD TEL PHY");
-        assert_eq!(evaluate_cookie(&cp, CookiePreference::Low), CookieVerdict::Accept);
+        assert_eq!(
+            evaluate_cookie(&cp, CookiePreference::Low),
+            CookieVerdict::Accept
+        );
     }
 
     #[test]

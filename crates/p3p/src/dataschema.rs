@@ -75,9 +75,7 @@ impl DataSchema {
             schema.defs.push(DataDef {
                 path,
                 categories,
-                short_description: def
-                    .attr_local("short-description")
-                    .map(str::to_string),
+                short_description: def.attr_local("short-description").map(str::to_string),
             });
         }
         Ok(schema)
@@ -189,7 +187,8 @@ impl DataSchema {
                         }
                     }
                     let leaves = self.leaves_of(&d.reference);
-                    let is_set = leaves.len() > 1 || (leaves.len() == 1 && leaves[0] != d.reference);
+                    let is_set =
+                        leaves.len() > 1 || (leaves.len() == 1 && leaves[0] != d.reference);
                     if is_set {
                         for leaf in leaves {
                             if !present.iter().any(|p| p == leaf) {

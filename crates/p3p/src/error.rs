@@ -69,7 +69,10 @@ mod tests {
     #[test]
     fn display_variants() {
         let inv = PolicyError::invalid("STATEMENT", "missing PURPOSE");
-        assert_eq!(inv.to_string(), "invalid P3P in <STATEMENT>: missing PURPOSE");
+        assert_eq!(
+            inv.to_string(),
+            "invalid P3P in <STATEMENT>: missing PURPOSE"
+        );
         let unk = PolicyError::UnknownToken {
             vocabulary: "PURPOSE",
             token: "frobnicate".into(),

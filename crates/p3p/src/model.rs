@@ -7,7 +7,9 @@
 //! groups collected under those terms.
 
 use crate::error::PolicyError;
-use crate::vocab::{Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention};
+use crate::vocab::{
+    Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention,
+};
 
 /// A complete P3P policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -279,9 +281,7 @@ pub fn volga_policy() -> Policy {
     policy.discuri = Some("http://volga.example.com/privacy.html".to_string());
 
     let statement1 = Statement {
-        consequence: Some(
-            "We use this information to complete your current purchase.".to_string(),
-        ),
+        consequence: Some("We use this information to complete your current purchase.".to_string()),
         non_identifiable: false,
         purposes: vec![PurposeUse::always(Purpose::Current)],
         recipients: vec![
@@ -338,10 +338,7 @@ mod tests {
         assert_eq!(s1.data_groups[0].data.len(), 3);
 
         let s2 = &p.statements[1];
-        assert!(s2
-            .purposes
-            .iter()
-            .all(|pu| pu.required == Required::OptIn));
+        assert!(s2.purposes.iter().all(|pu| pu.required == Required::OptIn));
         assert_eq!(s2.retention, vec![Retention::BusinessPractices]);
     }
 
@@ -388,7 +385,13 @@ mod tests {
 
     #[test]
     fn purpose_use_constructors() {
-        assert_eq!(PurposeUse::opt_out(Purpose::Contact).required, Required::OptOut);
-        assert_eq!(PurposeUse::opt_in(Purpose::Contact).required, Required::OptIn);
+        assert_eq!(
+            PurposeUse::opt_out(Purpose::Contact).required,
+            Required::OptOut
+        );
+        assert_eq!(
+            PurposeUse::opt_in(Purpose::Contact).required,
+            Required::OptIn
+        );
     }
 }

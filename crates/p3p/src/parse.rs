@@ -8,7 +8,9 @@ use crate::error::PolicyError;
 use crate::model::{
     DataGroup, DataRef, Dispute, Entity, Policy, PurposeUse, RecipientUse, Statement,
 };
-use crate::vocab::{Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention};
+use crate::vocab::{
+    Access, Category, Purpose, Recipient, Remedy, Required, ResolutionType, Retention,
+};
 use p3p_xmldom::{parse_element, Element};
 
 /// Parse one `<POLICY>` document from text.
@@ -247,7 +249,10 @@ mod tests {
         assert_eq!(s1.purposes, vec![PurposeUse::always(Purpose::Current)]);
         assert_eq!(s1.recipients.len(), 2);
         assert_eq!(s1.retention, vec![Retention::StatedPurpose]);
-        assert_eq!(s1.data_groups[0].data[2].categories, vec![Category::Purchase]);
+        assert_eq!(
+            s1.data_groups[0].data[2].categories,
+            vec![Category::Purchase]
+        );
 
         let s2 = &p.statements[1];
         assert_eq!(s2.purposes[0].required, Required::OptIn);
@@ -283,10 +288,9 @@ mod tests {
 
     #[test]
     fn policies_wrapper_parses_multiple() {
-        let ps = parse_policies_str(
-            "<POLICIES><POLICY name=\"a\"/><POLICY name=\"b\"/></POLICIES>",
-        )
-        .unwrap();
+        let ps =
+            parse_policies_str("<POLICIES><POLICY name=\"a\"/><POLICY name=\"b\"/></POLICIES>")
+                .unwrap();
         assert_eq!(ps.len(), 2);
         assert_eq!(ps[1].name, "b");
     }
@@ -297,15 +301,19 @@ mod tests {
             "<POLICY name=\"p\"><STATEMENT><PURPOSE><zap/></PURPOSE></STATEMENT></POLICY>",
         )
         .unwrap_err();
-        assert!(matches!(err, PolicyError::UnknownToken { vocabulary: "PURPOSE", .. }));
+        assert!(matches!(
+            err,
+            PolicyError::UnknownToken {
+                vocabulary: "PURPOSE",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn unexpected_statement_child_is_rejected() {
-        let err = parse_policy_str(
-            "<POLICY name=\"p\"><STATEMENT><WEIRD/></STATEMENT></POLICY>",
-        )
-        .unwrap_err();
+        let err = parse_policy_str("<POLICY name=\"p\"><STATEMENT><WEIRD/></STATEMENT></POLICY>")
+            .unwrap_err();
         assert!(err.to_string().contains("WEIRD"));
     }
 

@@ -66,8 +66,13 @@ impl PolicyRef {
 
     /// Does this reference cover the cookie `name=value`?
     pub fn covers_cookie(&self, cookie: &str) -> bool {
-        self.cookie_includes.iter().any(|p| wildcard_match(p, cookie))
-            && !self.cookie_excludes.iter().any(|p| wildcard_match(p, cookie))
+        self.cookie_includes
+            .iter()
+            .any(|p| wildcard_match(p, cookie))
+            && !self
+                .cookie_excludes
+                .iter()
+                .any(|p| wildcard_match(p, cookie))
     }
 }
 
@@ -81,9 +86,9 @@ impl ReferenceFile {
     /// Parse from a `<META>` (or bare `<POLICY-REFERENCES>`) element.
     pub fn from_element(root: &Element) -> Result<ReferenceFile, PolicyError> {
         let refs_parent = match root.name.local.as_str() {
-            "META" => root.find_child("POLICY-REFERENCES").ok_or_else(|| {
-                PolicyError::invalid("META", "missing POLICY-REFERENCES element")
-            })?,
+            "META" => root
+                .find_child("POLICY-REFERENCES")
+                .ok_or_else(|| PolicyError::invalid("META", "missing POLICY-REFERENCES element"))?,
             "POLICY-REFERENCES" => root,
             other => {
                 return Err(PolicyError::invalid(
@@ -233,7 +238,10 @@ mod tests {
         assert_eq!(f.lookup("/checkout/pay").unwrap().policy_name(), "checkout");
         assert_eq!(f.lookup("/cart/view").unwrap().policy_name(), "checkout");
         // excluded from checkout, falls through to general
-        assert_eq!(f.lookup("/checkout/help/faq").unwrap().policy_name(), "general");
+        assert_eq!(
+            f.lookup("/checkout/help/faq").unwrap().policy_name(),
+            "general"
+        );
         assert_eq!(f.lookup("/index.html").unwrap().policy_name(), "general");
     }
 

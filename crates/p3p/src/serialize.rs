@@ -67,9 +67,7 @@ fn dispute_to_element(d: &Dispute) -> Element {
         b = b.child(ElementBuilder::new("LONG-DESCRIPTION").text(desc.clone()));
     }
     if !d.remedies.is_empty() {
-        b = b.child(
-            ElementBuilder::new("REMEDIES").leaves(d.remedies.iter().map(|r| r.as_str())),
-        );
+        b = b.child(ElementBuilder::new("REMEDIES").leaves(d.remedies.iter().map(|r| r.as_str())));
     }
     b.build()
 }
@@ -177,7 +175,11 @@ mod tests {
         let d = DataRef::new("dynamic.miscdata").with_categories([Category::Purchase]);
         let e = data_to_element(&d);
         assert_eq!(e.attr("ref"), Some("#dynamic.miscdata"));
-        assert!(e.find_child("CATEGORIES").unwrap().find_child("purchase").is_some());
+        assert!(e
+            .find_child("CATEGORIES")
+            .unwrap()
+            .find_child("purchase")
+            .is_some());
     }
 
     #[test]
@@ -193,7 +195,13 @@ mod tests {
         let names: Vec<_> = e.child_elements().map(|c| c.name.local.clone()).collect();
         assert_eq!(
             names,
-            ["CONSEQUENCE", "PURPOSE", "RECIPIENT", "RETENTION", "DATA-GROUP"]
+            [
+                "CONSEQUENCE",
+                "PURPOSE",
+                "RECIPIENT",
+                "RETENTION",
+                "DATA-GROUP"
+            ]
         );
     }
 

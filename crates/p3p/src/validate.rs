@@ -85,7 +85,10 @@ fn validate_statement(stmt: &Statement) -> Vec<Violation> {
         }
     }
     for (i, a) in stmt.recipients.iter().enumerate() {
-        if stmt.recipients[..i].iter().any(|b| b.recipient == a.recipient) {
+        if stmt.recipients[..i]
+            .iter()
+            .any(|b| b.recipient == a.recipient)
+        {
             push(format!("duplicate recipient `{}`", a.recipient));
         }
     }
@@ -94,7 +97,9 @@ fn validate_statement(stmt: &Statement) -> Vec<Violation> {
             let in_base = !group.base.as_deref().is_none_or(str::is_empty);
             // Only references into the base schema (base attribute absent)
             // can be checked against it.
-            if group.base.is_none() && !base_schema::is_known(&d.reference) && d.categories.is_empty()
+            if group.base.is_none()
+                && !base_schema::is_known(&d.reference)
+                && d.categories.is_empty()
             {
                 push(format!(
                     "data element `{}` is not in the base data schema and declares no categories",
@@ -135,7 +140,9 @@ mod tests {
     fn empty_policy_is_flagged() {
         let p = Policy::new("p");
         let v = validate(&p);
-        assert!(v.iter().any(|v| v.message.contains("at least one STATEMENT")));
+        assert!(v
+            .iter()
+            .any(|v| v.message.contains("at least one STATEMENT")));
     }
 
     #[test]
@@ -174,8 +181,12 @@ mod tests {
     #[test]
     fn duplicate_purpose_flagged() {
         let mut p = volga_policy();
-        p.statements[0].purposes.push(PurposeUse::always(Purpose::Current));
-        assert!(validate(&p).iter().any(|v| v.message.contains("duplicate purpose")));
+        p.statements[0]
+            .purposes
+            .push(PurposeUse::always(Purpose::Current));
+        assert!(validate(&p)
+            .iter()
+            .any(|v| v.message.contains("duplicate purpose")));
     }
 
     #[test]

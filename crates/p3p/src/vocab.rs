@@ -340,7 +340,10 @@ mod tests {
             Retention::from_token("business-practices").unwrap(),
             Retention::BusinessPractices
         );
-        assert_eq!(Category::from_token("purchase").unwrap(), Category::Purchase);
+        assert_eq!(
+            Category::from_token("purchase").unwrap(),
+            Category::Purchase
+        );
         assert_eq!(Required::from_token("opt-in").unwrap(), Required::OptIn);
     }
 

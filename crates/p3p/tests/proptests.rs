@@ -1,21 +1,44 @@
-//! Property-based tests for the P3P policy model: XML round-trips,
+//! Randomised tests for the P3P policy model: XML round-trips,
 //! augmentation laws, compact-policy stability, and reference-file
 //! matcher laws.
+//!
+//! Formerly `proptest` properties; the build environment has no
+//! crates.io access, so each property now runs over a deterministic
+//! stream of pseudo-random policies from an inline SplitMix64 generator.
 
 use p3p_policy::augment::{augment_policy, is_augmented};
 use p3p_policy::compact::CompactPolicy;
 use p3p_policy::model::{DataGroup, DataRef, Policy, PurposeUse, RecipientUse, Statement};
 use p3p_policy::reference::wildcard_match;
 use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
-use proptest::prelude::*;
 
-fn required_strategy() -> impl Strategy<Value = Required> {
-    prop::sample::select(Required::ALL.to_vec())
-}
+struct TestRng(u64);
 
-fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
-    (
-        prop::sample::select(vec![
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.index(options.len())]
+    }
+
+    fn chars(&mut self, alphabet: &[u8], max_len: usize) -> String {
+        (0..self.index(max_len + 1))
+            .map(|_| alphabet[self.index(alphabet.len())] as char)
+            .collect()
+    }
+
+    fn data_ref(&mut self) -> DataRef {
+        const REFS: &[&str] = &[
             "user.name",
             "user.name.given",
             "user.bdate",
@@ -25,93 +48,95 @@ fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
             "dynamic.cookies",
             "dynamic.miscdata",
             "custom.survey.q1",
-        ]),
-        prop::bool::ANY,
-        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..3),
-    )
-        .prop_map(|(r, optional, mut cats)| {
-            cats.sort_unstable();
-            cats.dedup();
-            DataRef {
-                reference: r.to_string(),
-                optional,
-                categories: cats,
-            }
-        })
-}
-
-fn statement_strategy() -> impl Strategy<Value = Statement> {
-    (
-        prop::collection::vec(
-            (prop::sample::select(Purpose::ALL.to_vec()), required_strategy()),
-            1..4,
-        ),
-        prop::collection::vec(
-            (prop::sample::select(Recipient::ALL.to_vec()), required_strategy()),
-            1..3,
-        ),
-        prop::sample::select(Retention::ALL.to_vec()),
-        prop::collection::vec(data_ref_strategy(), 0..4),
-        prop::option::of("[a-zA-Z0-9 .,]{0,40}"),
-    )
-        .prop_map(|(purposes, recipients, retention, data, consequence)| {
-            let mut purposes: Vec<PurposeUse> = purposes
-                .into_iter()
-                .map(|(purpose, required)| PurposeUse { purpose, required })
-                .collect();
-            purposes.sort_by_key(|p| p.purpose);
-            purposes.dedup_by_key(|p| p.purpose);
-            let mut recipients: Vec<RecipientUse> = recipients
-                .into_iter()
-                .map(|(recipient, required)| RecipientUse { recipient, required })
-                .collect();
-            recipients.sort_by_key(|r| r.recipient);
-            recipients.dedup_by_key(|r| r.recipient);
-            Statement {
-                consequence: consequence.map(|c| c.trim().to_string()).filter(|c| !c.is_empty()),
-                non_identifiable: false,
-                purposes,
-                recipients,
-                retention: vec![retention],
-                data_groups: if data.is_empty() {
-                    vec![]
-                } else {
-                    vec![DataGroup { base: None, data }]
-                },
-            }
-        })
-}
-
-fn policy_strategy() -> impl Strategy<Value = Policy> {
-    (
-        "[a-z][a-z0-9-]{0,12}",
-        prop::option::of(prop::sample::select(Access::ALL.to_vec())),
-        prop::collection::vec(statement_strategy(), 1..4),
-    )
-        .prop_map(|(name, access, statements)| {
-            let mut p = Policy::new(name);
-            p.access = access;
-            p.statements = statements;
-            p
-        })
-}
-
-proptest! {
-    /// serialize ∘ parse is the identity on policies.
-    #[test]
-    fn policy_xml_roundtrip(policy in policy_strategy()) {
-        let xml = policy.to_xml();
-        let back = Policy::parse(&xml).unwrap();
-        prop_assert_eq!(policy, back);
+        ];
+        let mut cats: Vec<Category> = (0..self.index(3))
+            .map(|_| *self.pick(Category::ALL))
+            .collect();
+        cats.sort_unstable();
+        cats.dedup();
+        DataRef {
+            reference: self.pick(REFS).to_string(),
+            optional: self.index(2) == 1,
+            categories: cats,
+        }
     }
 
-    /// Augmentation is idempotent and monotone (never removes data or
-    /// categories).
-    #[test]
-    fn augmentation_laws(policy in policy_strategy()) {
+    fn statement(&mut self) -> Statement {
+        let mut purposes: Vec<PurposeUse> = (0..1 + self.index(3))
+            .map(|_| PurposeUse {
+                purpose: *self.pick(Purpose::ALL),
+                required: *self.pick(Required::ALL),
+            })
+            .collect();
+        purposes.sort_by_key(|p| p.purpose);
+        purposes.dedup_by_key(|p| p.purpose);
+        let mut recipients: Vec<RecipientUse> = (0..1 + self.index(2))
+            .map(|_| RecipientUse {
+                recipient: *self.pick(Recipient::ALL),
+                required: *self.pick(Required::ALL),
+            })
+            .collect();
+        recipients.sort_by_key(|r| r.recipient);
+        recipients.dedup_by_key(|r| r.recipient);
+        let data: Vec<DataRef> = (0..self.index(4)).map(|_| self.data_ref()).collect();
+        let consequence = if self.index(2) == 1 {
+            Some(self.chars(b"abcXYZ019 .,", 40))
+        } else {
+            None
+        };
+        Statement {
+            consequence: consequence
+                .map(|c| c.trim().to_string())
+                .filter(|c| !c.is_empty()),
+            non_identifiable: false,
+            purposes,
+            recipients,
+            retention: vec![*self.pick(Retention::ALL)],
+            data_groups: if data.is_empty() {
+                vec![]
+            } else {
+                vec![DataGroup { base: None, data }]
+            },
+        }
+    }
+
+    fn policy(&mut self) -> Policy {
+        let mut name = String::new();
+        name.push((b'a' + self.index(26) as u8) as char);
+        name.push_str(&self.chars(b"abcz019-", 12));
+        let mut p = Policy::new(name);
+        p.access = if self.index(2) == 1 {
+            Some(*self.pick(Access::ALL))
+        } else {
+            None
+        };
+        p.statements = (0..1 + self.index(3)).map(|_| self.statement()).collect();
+        p
+    }
+}
+
+/// serialize ∘ parse is the identity on policies.
+#[test]
+fn policy_xml_roundtrip() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
+        let xml = policy.to_xml();
+        let back = Policy::parse(&xml).unwrap();
+        assert_eq!(policy, back, "seed {seed}");
+    }
+}
+
+/// Augmentation is idempotent and monotone (never removes data or
+/// categories).
+#[test]
+fn augmentation_laws() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
         let once = augment_policy(&policy);
-        prop_assert!(is_augmented(&once));
-        prop_assert_eq!(&augment_policy(&once), &once);
+        assert!(is_augmented(&once), "seed {seed}");
+        assert_eq!(&augment_policy(&once), &once, "seed {seed}");
         for (orig, aug) in policy.statements.iter().zip(&once.statements) {
             let orig_refs: Vec<&str> = orig
                 .data_groups
@@ -126,23 +151,31 @@ proptest! {
                 .map(|d| d.reference.as_str())
                 .collect();
             for r in orig_refs {
-                prop_assert!(aug_refs.contains(&r), "lost {r}");
+                assert!(aug_refs.contains(&r), "seed {seed}: lost {r}");
             }
         }
     }
+}
 
-    /// Augmentation commutes with XML round-tripping.
-    #[test]
-    fn augmentation_commutes_with_xml(policy in policy_strategy()) {
+/// Augmentation commutes with XML round-tripping.
+#[test]
+fn augmentation_commutes_with_xml() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
         let a = augment_policy(&Policy::parse(&policy.to_xml()).unwrap());
         let b = Policy::parse(&augment_policy(&policy).to_xml()).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// The compact policy of a policy equals the compact policy of its
-    /// augmented form (augmentation is already folded in).
-    #[test]
-    fn compact_policy_is_augmentation_stable(policy in policy_strategy()) {
+/// The compact policy of a policy equals the compact policy of its
+/// augmented form (augmentation is already folded in).
+#[test]
+fn compact_policy_is_augmentation_stable() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
         let direct = CompactPolicy::from_policy(&policy);
         let via_augmented = CompactPolicy::from_policy(&augment_policy(&policy));
         let tokens = |cp: &CompactPolicy| {
@@ -150,38 +183,59 @@ proptest! {
             t.sort();
             t
         };
-        prop_assert_eq!(tokens(&direct), tokens(&via_augmented));
+        assert_eq!(tokens(&direct), tokens(&via_augmented), "seed {seed}");
     }
+}
 
-    /// Compact headers round-trip.
-    #[test]
-    fn compact_header_roundtrip(policy in policy_strategy()) {
+/// Compact headers round-trip.
+#[test]
+fn compact_header_roundtrip() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
         let cp = CompactPolicy::from_policy(&policy);
-        prop_assert_eq!(CompactPolicy::parse_header(&cp.to_header()), cp);
+        assert_eq!(
+            CompactPolicy::parse_header(&cp.to_header()),
+            cp,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Wildcard matcher laws: exact strings match themselves; `*`
-    /// matches everything; a pattern matches what it generates.
-    #[test]
-    fn wildcard_laws(text in "[a-z/.]{0,20}", prefix in "[a-z/]{0,8}", suffix in "[a-z.]{0,8}") {
-        prop_assert!(wildcard_match(&text, &text));
-        prop_assert!(wildcard_match("*", &text));
+/// Wildcard matcher laws: exact strings match themselves; `*` matches
+/// everything; a pattern matches what it generates.
+#[test]
+fn wildcard_laws() {
+    for seed in 0..256 {
+        let mut rng = TestRng(seed);
+        let text = rng.chars(b"abcz/.", 20);
+        let prefix = rng.chars(b"abcz/", 8);
+        let suffix = rng.chars(b"abcz.", 8);
+        assert!(wildcard_match(&text, &text), "seed {seed}");
+        assert!(wildcard_match("*", &text), "seed {seed}");
         let pattern = format!("{prefix}*{suffix}");
         let generated = format!("{prefix}{text}{suffix}");
-        prop_assert!(wildcard_match(&pattern, &generated), "{pattern} vs {generated}");
+        assert!(
+            wildcard_match(&pattern, &generated),
+            "seed {seed}: {pattern} vs {generated}"
+        );
     }
+}
 
-    /// Validation accepts everything the generator produces whose
-    /// unknown data refs carry explicit categories.
-    #[test]
-    fn generated_policies_validate_conditionally(policy in policy_strategy()) {
+/// Validation accepts everything the generator produces whose unknown
+/// data refs carry explicit categories.
+#[test]
+fn generated_policies_validate_conditionally() {
+    for seed in 0..96 {
+        let mut rng = TestRng(seed);
+        let policy = rng.policy();
         let violations = p3p_policy::validate::validate(&policy);
         for v in &violations {
             // The only acceptable finding is an unknown data element
             // without categories (the generator may produce those).
-            prop_assert!(
+            assert!(
                 v.message.contains("not in the base data schema"),
-                "unexpected violation: {v}"
+                "seed {seed}: unexpected violation: {v}"
             );
         }
     }

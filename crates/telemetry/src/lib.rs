@@ -1,0 +1,55 @@
+//! # p3p-telemetry — observability for the matching pipeline
+//!
+//! The paper's contribution is a performance claim (§5: ~15x end-to-end,
+//! ~30x on query time for APPEL→SQL over the native APPEL engine). This
+//! crate gives the suite first-class instruments for proving such claims
+//! per engine, per phase, and per query:
+//!
+//! * [`span!`] — lightweight structured tracing with parent/child
+//!   nesting, monotonic timing, and a bounded in-memory trace buffer;
+//! * [`metrics`] — a global registry of counters, gauges, and
+//!   fixed-bucket latency histograms (p50/p90/p99), rendered as a
+//!   Prometheus-style text page or a JSON snapshot;
+//! * [`slowlog`] — a slow-query log capturing SQL text, the APPEL rule
+//!   it was translated from, executor statistics, and wall time for
+//!   every statement slower than a configurable threshold.
+//!
+//! The crate is dependency-free: the build environment has no access to
+//! a crates.io mirror, so `parking_lot` is substituted with
+//! `std::sync::Mutex` (uncontended lock cost is irrelevant next to the
+//! query times being measured).
+//!
+//! ```
+//! use p3p_telemetry::{metrics, span};
+//!
+//! let _guard = span!("match", engine = "sql");
+//! metrics::counter("doc_example_matches_total").inc();
+//! metrics::histogram("doc_example_latency_us").observe(42);
+//! let text = metrics::render_text();
+//! assert!(text.contains("doc_example_matches_total"));
+//! ```
+
+pub mod metrics;
+pub mod slowlog;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use slowlog::{QueryStats, SlowQueryRecord};
+pub use span::{SpanGuard, SpanRecord};
+
+/// Escape a string for inclusion in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,552 @@
+//! Global metrics registry: counters, gauges, and fixed-bucket latency
+//! histograms.
+//!
+//! Metrics are identified by a base name plus an optional ordered label
+//! set (`counter_with("p3p_matches_total", &[("engine", "sql")])`).
+//! Handles are `Arc`s into the registry, so hot paths pay one atomic
+//! op per update with no lock. The registry renders either as a
+//! Prometheus-style text page ([`render_text`]) or a JSON snapshot
+//! ([`snapshot_json`]); histograms expose p50/p90/p99 computed from
+//! cumulative bucket counts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in the unit the caller observes
+/// (latency call sites use microseconds). A 1–2–5 ladder from 1 to
+/// 5·10⁶, plus an implicit +Inf overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 21] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram with cumulative-count percentile estimates.
+///
+/// An observation lands in the first bucket whose upper bound is ≥ the
+/// value, so a quantile estimate is exact whenever the observations sit
+/// on bucket boundaries and otherwise rounds up to the enclosing
+/// bucket's bound.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len()],
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        match BUCKET_BOUNDS.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`). Returns 0 with no observations and
+    /// `f64::INFINITY` when the quantile falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return BUCKET_BOUNDS[i] as f64;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative counts per bucket, Prometheus-style: entry `i` is the
+    /// number of observations ≤ `BUCKET_BOUNDS[i]`, and a final entry
+    /// holds the total (the `+Inf` bucket).
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(BUCKET_BOUNDS.len() + 1);
+        let mut cumulative = 0;
+        for bucket in &self.buckets {
+            cumulative += bucket.load(Ordering::Relaxed);
+            out.push(cumulative);
+        }
+        out.push(cumulative + self.overflow.load(Ordering::Relaxed));
+        out
+    }
+}
+
+/// Base name plus rendered label set for one registered metric.
+#[derive(Debug, Clone)]
+struct Meta {
+    name: String,
+    /// `engine="sql",phase="translate"` — empty when unlabelled.
+    labels: String,
+}
+
+impl Meta {
+    fn key(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+
+    /// Rendered with `extra` appended to the label set.
+    fn key_with(&self, extra: &str) -> String {
+        if self.labels.is_empty() {
+            format!("{}{{{}}}", self.name, extra)
+        } else {
+            format!("{}{{{},{}}}", self.name, self.labels, extra)
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, (Meta, Arc<Counter>)>>,
+    gauges: Mutex<BTreeMap<String, (Meta, Arc<Gauge>)>>,
+    histograms: Mutex<BTreeMap<String, (Meta, Arc<Histogram>)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn meta(name: &str, labels: &[(&str, &str)]) -> Meta {
+    let labels = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    Meta {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+/// Counter handle for `name` with no labels.
+pub fn counter(name: &str) -> Arc<Counter> {
+    counter_with(name, &[])
+}
+
+/// Counter handle for `name` with the given label set.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    let meta = meta(name, labels);
+    let mut map = registry().counters.lock().unwrap();
+    map.entry(meta.key())
+        .or_insert_with(|| (meta, Arc::new(Counter::default())))
+        .1
+        .clone()
+}
+
+/// Gauge handle for `name` with no labels.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    gauge_with(name, &[])
+}
+
+/// Gauge handle for `name` with the given label set.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    let meta = meta(name, labels);
+    let mut map = registry().gauges.lock().unwrap();
+    map.entry(meta.key())
+        .or_insert_with(|| (meta, Arc::new(Gauge::default())))
+        .1
+        .clone()
+}
+
+/// Histogram handle for `name` with no labels.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    histogram_with(name, &[])
+}
+
+/// Histogram handle for `name` with the given label set.
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    let meta = meta(name, labels);
+    let mut map = registry().histograms.lock().unwrap();
+    map.entry(meta.key())
+        .or_insert_with(|| (meta, Arc::new(Histogram::default())))
+        .1
+        .clone()
+}
+
+/// Drop every registered metric. Handles already held keep working but
+/// are no longer rendered. Intended for tests and fresh snapshots.
+pub fn reset() {
+    registry().counters.lock().unwrap().clear();
+    registry().gauges.lock().unwrap().clear();
+    registry().histograms.lock().unwrap().clear();
+}
+
+fn fmt_bound(i: usize) -> String {
+    if i < BUCKET_BOUNDS.len() {
+        BUCKET_BOUNDS[i].to_string()
+    } else {
+        "+Inf".to_string()
+    }
+}
+
+/// Render the registry as a Prometheus-style text exposition page.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for (meta, c) in registry().counters.lock().unwrap().values() {
+        type_line(&mut out, &meta.name, "counter");
+        out.push_str(&format!("{} {}\n", meta.key(), c.get()));
+    }
+    for (meta, g) in registry().gauges.lock().unwrap().values() {
+        type_line(&mut out, &meta.name, "gauge");
+        out.push_str(&format!("{} {}\n", meta.key(), g.get()));
+    }
+    for (meta, h) in registry().histograms.lock().unwrap().values() {
+        type_line(&mut out, &meta.name, "histogram");
+        for (i, cumulative) in h.cumulative_buckets().iter().enumerate() {
+            let le = format!("le=\"{}\"", fmt_bound(i));
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                meta.name,
+                if meta.labels.is_empty() {
+                    format!("{{{le}}}")
+                } else {
+                    format!("{{{},{le}}}", meta.labels)
+                },
+                cumulative
+            ));
+        }
+        out.push_str(&format!("{} {}\n", meta.key_with("stat=\"sum\""), h.sum()));
+        out.push_str(&format!(
+            "{} {}\n",
+            meta.key_with("stat=\"count\""),
+            h.count()
+        ));
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the registry as a JSON snapshot:
+/// `{"counters": {..}, "gauges": {..}, "histograms": {..}}` where each
+/// histogram carries count, sum, p50/p90/p99 and cumulative buckets.
+pub fn snapshot_json() -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters = registry().counters.lock().unwrap();
+    let mut first = true;
+    for (key, (_, c)) in counters.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            crate::json_escape(key),
+            c.get()
+        ));
+    }
+    drop(counters);
+    out.push_str("\n  },\n  \"gauges\": {");
+    let gauges = registry().gauges.lock().unwrap();
+    let mut first = true;
+    for (key, (_, g)) in gauges.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            crate::json_escape(key),
+            g.get()
+        ));
+    }
+    drop(gauges);
+    out.push_str("\n  },\n  \"histograms\": {");
+    let histograms = registry().histograms.lock().unwrap();
+    let mut first = true;
+    for (key, (_, h)) in histograms.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let buckets = h
+            .cumulative_buckets()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{{\"le\": \"{}\", \"count\": {c}}}", fmt_bound(i)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+            crate::json_escape(key),
+            h.count(),
+            h.sum(),
+            json_f64(h.p50()),
+            json_f64(h.p90()),
+            json_f64(h.p99()),
+            buckets
+        ));
+    }
+    drop(histograms);
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is global and tests run in parallel, so each test
+    // uses metric names unique to it.
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter("test_counter_acc");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter("test_counter_acc").get(), 5, "same handle");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = gauge("test_gauge_moves");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn labelled_metrics_are_distinct() {
+        let a = counter_with("test_labelled", &[("engine", "sql")]);
+        let b = counter_with("test_labelled", &[("engine", "native")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_at_bucket_boundaries() {
+        let h = Histogram::default();
+        // 100 observations: exactly one per value 1..=100. Bucket
+        // bounds at 1, 2, 5, 10, 20, 50, 100 cover them.
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        // rank(0.50) = 50 -> cumulative hits 50 exactly at le=50.
+        assert_eq!(h.p50(), 50.0);
+        // rank(0.90) = 90 -> first bucket with cumulative >= 90 is
+        // le=100 (cumulative 100).
+        assert_eq!(h.p90(), 100.0);
+        assert_eq!(h.p99(), 100.0);
+    }
+
+    #[test]
+    fn histogram_boundary_observation_lands_in_exact_bucket() {
+        let h = Histogram::default();
+        h.observe(5); // on the le=5 boundary: must count as <= 5
+        assert_eq!(h.quantile(1.0), 5.0);
+        let cumulative = h.cumulative_buckets();
+        let le5 = BUCKET_BOUNDS.iter().position(|&b| b == 5).unwrap();
+        assert_eq!(cumulative[le5], 1);
+        assert_eq!(cumulative[le5 - 1], 0);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_infinity() {
+        let h = Histogram::default();
+        h.observe(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] + 1);
+        assert!(h.p50().is_infinite());
+        assert_eq!(*h.cumulative_buckets().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_multiple_threads() {
+        let c = counter("test_concurrent_counter");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations() {
+        let h = histogram("test_concurrent_histogram");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for v in 1..=100 {
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 400);
+        assert_eq!(h.sum(), 4 * 5050);
+        assert_eq!(h.p50(), 50.0);
+    }
+
+    #[test]
+    fn text_rendering_contains_type_lines_and_buckets() {
+        let c = counter_with("test_render_total", &[("engine", "sql")]);
+        c.add(3);
+        let h = histogram_with("test_render_latency_us", &[("engine", "sql")]);
+        h.observe(7);
+        let text = render_text();
+        assert!(text.contains("# TYPE test_render_total counter"));
+        assert!(text.contains("test_render_total{engine=\"sql\"} 3"));
+        assert!(text.contains("# TYPE test_render_latency_us histogram"));
+        assert!(text.contains("test_render_latency_us_bucket{engine=\"sql\",le=\"10\"} 1"));
+        assert!(text.contains("test_render_latency_us_bucket{engine=\"sql\",le=\"+Inf\"} 1"));
+        assert!(text.contains("test_render_latency_us{engine=\"sql\",stat=\"count\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_enough() {
+        let c = counter("test_json_counter");
+        c.inc();
+        let h = histogram("test_json_latency_us");
+        h.observe(10);
+        let json = snapshot_json();
+        assert!(json.contains("\"test_json_counter\": 1"));
+        assert!(json.contains("\"test_json_latency_us\": {\"count\": 1"));
+        assert!(json.contains("\"p50\": 10"));
+        // Balanced braces is a cheap sanity check for hand-rolled JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in: {json}"
+        );
+    }
+}

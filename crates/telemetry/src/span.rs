@@ -1,0 +1,257 @@
+//! Structured spans with nesting, monotonic timing, and a bounded
+//! in-memory trace buffer.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed
+//! when its guard drops. Nesting is tracked per thread: a span opened
+//! while another is active records that span as its parent. Completed
+//! spans land in a global ring buffer (completion order, so children
+//! precede their parents) that [`recent`] drains copies of.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the global trace buffer.
+const DEFAULT_CAPACITY: usize = 4096;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static BUFFER: Mutex<VecDeque<SpanRecord>> = Mutex::new(VecDeque::new());
+
+thread_local! {
+    /// Stack of (span id, depth) for the spans currently open on this
+    /// thread; the top is the parent of the next span opened.
+    static ACTIVE: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A completed span, as stored in the trace buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id, monotonically increasing in open order.
+    pub id: u64,
+    /// Id of the span that was active on the same thread when this one
+    /// opened, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth at open time (0 = root).
+    pub depth: usize,
+    /// Static span name, e.g. `"match"`.
+    pub name: &'static str,
+    /// Attributes attached at open time, e.g. `[("engine", "sql")]`.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Monotonic wall time between open and close.
+    pub duration: Duration,
+}
+
+/// RAII guard returned by [`span!`](crate::span!); records the span on
+/// drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    parent: Option<u64>,
+    depth: usize,
+    name: &'static str,
+    attrs: Vec<(&'static str, String)>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str, attrs: Vec<(&'static str, String)>) -> SpanGuard {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(id);
+            (parent, depth)
+        });
+        SpanGuard {
+            id,
+            parent,
+            depth,
+            name,
+            attrs,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed();
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are guards, so drops are LIFO per thread; pop by
+            // value anyway in case a guard was moved across a scope.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            depth: self.depth,
+            name: self.name,
+            attrs: std::mem::take(&mut self.attrs),
+            duration,
+        };
+        let mut buffer = BUFFER.lock().unwrap();
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        while buffer.len() >= cap {
+            buffer.pop_front();
+        }
+        buffer.push_back(record);
+    }
+}
+
+/// Open a span that closes (and is recorded) when the returned guard
+/// drops.
+///
+/// ```
+/// use p3p_telemetry::span;
+/// let _outer = span!("match", engine = "sql");
+/// {
+///     let _inner = span!("translate");
+/// } // inner recorded here, with `match` as its parent
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span::SpanGuard::enter(
+            $name,
+            vec![$((stringify!($key), $value.to_string())),+],
+        )
+    };
+}
+
+/// Copy of the trace buffer, oldest completed span first.
+pub fn recent() -> Vec<SpanRecord> {
+    BUFFER.lock().unwrap().iter().cloned().collect()
+}
+
+/// Discard all recorded spans.
+pub fn clear() {
+    BUFFER.lock().unwrap().clear();
+}
+
+/// Bound the trace buffer to `capacity` completed spans (oldest are
+/// evicted first). Applies on the next span completion.
+pub fn set_capacity(capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The buffer is global and tests run in parallel, so every test
+    // filters by names unique to it instead of clearing the buffer.
+    fn spans_named(names: &[&str]) -> Vec<SpanRecord> {
+        recent()
+            .into_iter()
+            .filter(|s| names.contains(&s.name))
+            .collect()
+    }
+
+    #[test]
+    fn nested_spans_record_parent_and_depth() {
+        let outer = crate::span!("test_outer_a", engine = "sql");
+        let outer_id = outer.id();
+        let inner_id;
+        {
+            let inner = crate::span!("test_inner_a");
+            inner_id = inner.id();
+        }
+        drop(outer);
+
+        let spans = spans_named(&["test_outer_a", "test_inner_a"]);
+        let inner = spans.iter().find(|s| s.id == inner_id).unwrap();
+        let outer = spans.iter().find(|s| s.id == outer_id).unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.attrs, vec![("engine", "sql".to_string())]);
+    }
+
+    #[test]
+    fn children_complete_before_parents() {
+        let outer = crate::span!("test_outer_b");
+        let outer_id = outer.id();
+        let inner_id = {
+            let inner = crate::span!("test_inner_b");
+            inner.id()
+        };
+        drop(outer);
+
+        let spans = spans_named(&["test_outer_b", "test_inner_b"]);
+        let inner_pos = spans.iter().position(|s| s.id == inner_id).unwrap();
+        let outer_pos = spans.iter().position(|s| s.id == outer_id).unwrap();
+        assert!(inner_pos < outer_pos, "child must be recorded first");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let outer = crate::span!("test_outer_c");
+        let outer_id = outer.id();
+        let first_id = {
+            let s = crate::span!("test_sib_c");
+            s.id()
+        };
+        let second_id = {
+            let s = crate::span!("test_sib_c");
+            s.id()
+        };
+        drop(outer);
+
+        let spans = spans_named(&["test_sib_c"]);
+        for id in [first_id, second_id] {
+            let s = spans.iter().find(|s| s.id == id).unwrap();
+            assert_eq!(s.parent, Some(outer_id));
+            assert_eq!(s.depth, 1);
+        }
+    }
+
+    #[test]
+    fn durations_are_monotonic_and_nested() {
+        let outer = crate::span!("test_outer_d");
+        let outer_id = outer.id();
+        let inner_id = {
+            let inner = crate::span!("test_inner_d");
+            std::thread::sleep(Duration::from_millis(2));
+            inner.id()
+        };
+        drop(outer);
+
+        let spans = spans_named(&["test_outer_d", "test_inner_d"]);
+        let inner = spans.iter().find(|s| s.id == inner_id).unwrap();
+        let outer = spans.iter().find(|s| s.id == outer_id).unwrap();
+        assert!(inner.duration >= Duration::from_millis(2));
+        assert!(outer.duration >= inner.duration);
+    }
+
+    #[test]
+    fn spans_on_other_threads_are_roots() {
+        let _outer = crate::span!("test_outer_e");
+        let id = std::thread::spawn(|| {
+            let s = crate::span!("test_thread_e");
+            s.id()
+        })
+        .join()
+        .unwrap();
+        let spans = spans_named(&["test_thread_e"]);
+        let s = spans.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(s.parent, None);
+        assert_eq!(s.depth, 0);
+    }
+}

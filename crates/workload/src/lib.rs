@@ -26,6 +26,7 @@
 
 pub mod policies;
 pub mod preferences;
+pub mod rng;
 pub mod stats;
 
 pub use policies::{corpus, corpus_n};

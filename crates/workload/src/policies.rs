@@ -11,11 +11,9 @@
 //! target size, so corpus statistics are stable across runs and
 //! platforms.
 
+use crate::rng::SmallRng;
 use p3p_policy::model::{DataGroup, DataRef, Entity, Policy, PurposeUse, RecipientUse, Statement};
 use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Number of policies in the corpus (paper §6.2).
 pub const CORPUS_SIZE: usize = 29;
@@ -26,8 +24,8 @@ pub const TOTAL_STATEMENTS: usize = 54;
 /// Per-policy target sizes in bytes. Chosen to match the published
 /// spread: min 1.6 KB, max 11.9 KB, mean ≈4.4 KB.
 const TARGET_SIZES: [usize; CORPUS_SIZE] = [
-    1600, 1900, 2100, 2300, 2500, 2700, 2900, 3100, 3300, 3500, 3700, 3900, 4100, 4300, 4500,
-    4700, 4900, 5100, 5300, 5500, 5700, 5900, 6100, 4000, 4200, 3200, 5000, 9000, 11900,
+    1600, 1900, 2100, 2300, 2500, 2700, 2900, 3100, 3300, 3500, 3700, 3900, 4100, 4300, 4500, 4700,
+    4900, 5100, 5300, 5500, 5700, 5900, 6100, 4000, 4200, 3200, 5000, 9000, 11900,
 ];
 
 /// Per-policy statement counts, summing to [`TOTAL_STATEMENTS`].
@@ -37,18 +35,51 @@ const STATEMENT_COUNTS: [usize; CORPUS_SIZE] = [
 
 /// Company names for the synthetic sites (Fortune-1000 flavored).
 const COMPANIES: [&str; CORPUS_SIZE] = [
-    "acme-books", "borealis-air", "cascade-bank", "dynamo-retail", "everest-insurance",
-    "fairway-hotels", "granite-telecom", "horizon-media", "ironwood-energy", "junction-freight",
-    "keystone-health", "lumen-software", "meridian-foods", "northgate-auto", "orchard-pharma",
-    "pinnacle-travel", "quarry-mining", "redwood-realty", "summit-sports", "tidewater-shipping",
-    "umbra-security", "vertex-chemicals", "willow-apparel", "xenia-electronics", "yonder-games",
-    "zephyr-airlines", "atlas-grocers", "beacon-press", "citadel-finance",
+    "acme-books",
+    "borealis-air",
+    "cascade-bank",
+    "dynamo-retail",
+    "everest-insurance",
+    "fairway-hotels",
+    "granite-telecom",
+    "horizon-media",
+    "ironwood-energy",
+    "junction-freight",
+    "keystone-health",
+    "lumen-software",
+    "meridian-foods",
+    "northgate-auto",
+    "orchard-pharma",
+    "pinnacle-travel",
+    "quarry-mining",
+    "redwood-realty",
+    "summit-sports",
+    "tidewater-shipping",
+    "umbra-security",
+    "vertex-chemicals",
+    "willow-apparel",
+    "xenia-electronics",
+    "yonder-games",
+    "zephyr-airlines",
+    "atlas-grocers",
+    "beacon-press",
+    "citadel-finance",
 ];
 
 /// Words used to pad CONSEQUENCE texts to the target size.
 const FILLER: [&str; 12] = [
-    "service", "quality", "improve", "customer", "experience", "orders", "support", "secure",
-    "deliver", "account", "request", "records",
+    "service",
+    "quality",
+    "improve",
+    "customer",
+    "experience",
+    "orders",
+    "support",
+    "secure",
+    "deliver",
+    "account",
+    "request",
+    "records",
 ];
 
 /// Build the full corpus with a seed. Identical seeds produce
@@ -78,7 +109,7 @@ pub fn corpus_n(seed: u64, n: usize) -> Vec<Policy> {
 /// Build the `index`-th policy of the corpus.
 pub fn build_policy(seed: u64, index: usize) -> Policy {
     assert!(index < CORPUS_SIZE, "corpus has {CORPUS_SIZE} policies");
-    let mut rng = StdRng::seed_from_u64(seed ^ ((index as u64 + 1) * 0x9e37_79b9));
+    let mut rng = SmallRng::seed_from_u64(seed ^ ((index as u64 + 1) * 0x9e37_79b9));
     let company = COMPANIES[index];
     let mut policy = Policy::new(company);
     policy.entity = Some(Entity::named(title_case(company)));
@@ -93,7 +124,7 @@ pub fn build_policy(seed: u64, index: usize) -> Policy {
     policy
 }
 
-fn build_statement(rng: &mut StdRng, index: usize) -> Statement {
+fn build_statement(rng: &mut SmallRng, index: usize) -> Statement {
     // The first statement is always the transactional one (like Volga's);
     // later statements carry marketing/analytics practices.
     let mut stmt = Statement::default();
@@ -133,9 +164,9 @@ fn build_statement(rng: &mut StdRng, index: usize) -> Statement {
             Purpose::Historical,
             Purpose::OtherPurpose,
         ];
-        let count = rng.gen_range(1..=3);
+        let count = rng.gen_range_inclusive(1, 3);
         let mut chosen = marketing.to_vec();
-        chosen.shuffle(rng);
+        rng.shuffle(&mut chosen);
         for p in chosen.into_iter().take(count) {
             let required = *pick(
                 rng,
@@ -182,7 +213,7 @@ fn build_statement(rng: &mut StdRng, index: usize) -> Statement {
     stmt
 }
 
-fn transactional_data(rng: &mut StdRng) -> Vec<DataRef> {
+fn transactional_data(rng: &mut SmallRng) -> Vec<DataRef> {
     let mut data = vec![DataRef::new("user.name")];
     if rng.gen_bool(0.8) {
         data.push(DataRef::new("user.home-info.postal"));
@@ -195,7 +226,7 @@ fn transactional_data(rng: &mut StdRng) -> Vec<DataRef> {
     data
 }
 
-fn analytics_data(rng: &mut StdRng) -> Vec<DataRef> {
+fn analytics_data(rng: &mut SmallRng) -> Vec<DataRef> {
     let mut data = vec![DataRef::new("dynamic.clickstream")];
     if rng.gen_bool(0.5) {
         data.push(DataRef::new("dynamic.cookies").with_categories([Category::State]));
@@ -242,8 +273,8 @@ fn pad_to_size(policy: &mut Policy, target: usize) {
     }
 }
 
-fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
-    &options[rng.gen_range(0..options.len())]
+fn pick<'a, T>(rng: &mut SmallRng, options: &'a [T]) -> &'a T {
+    rng.pick(options)
 }
 
 fn title_case(slug: &str) -> String {
@@ -324,21 +355,23 @@ mod tests {
     fn corpus_exercises_optins_and_third_parties() {
         // The corpus must contain policy features preferences react to.
         let c = corpus(42);
-        let any_optin = c.iter().any(|p| {
-            p.all_purposes()
-                .any(|pu| pu.required == Required::OptIn)
-        });
+        let any_optin = c
+            .iter()
+            .any(|p| p.all_purposes().any(|pu| pu.required == Required::OptIn));
         let any_always_marketing = c.iter().any(|p| {
             p.all_purposes().any(|pu| {
                 pu.required == Required::Always
-                    && matches!(pu.purpose, Purpose::Telemarketing | Purpose::Contact | Purpose::IndividualDecision)
+                    && matches!(
+                        pu.purpose,
+                        Purpose::Telemarketing | Purpose::Contact | Purpose::IndividualDecision
+                    )
             })
         });
         let any_third_party = c.iter().any(|p| {
             p.statements.iter().any(|s| {
-                s.recipients.iter().any(|r| {
-                    matches!(r.recipient, Recipient::Unrelated | Recipient::Public)
-                })
+                s.recipients
+                    .iter()
+                    .any(|r| matches!(r.recipient, Recipient::Unrelated | Recipient::Public))
             })
         });
         assert!(any_optin);

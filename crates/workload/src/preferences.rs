@@ -183,7 +183,9 @@ fn very_high() -> Ruleset {
             ..Rule::with_pattern(
                 Behavior::Block,
                 Expr::named("POLICY").with_child(
-                    Expr::named("ACCESS").with_connective(Connective::Or).with_leaves(["none", "nonident"]),
+                    Expr::named("ACCESS")
+                        .with_connective(Connective::Or)
+                        .with_leaves(["none", "nonident"]),
                 ),
             )
         },
@@ -285,7 +287,13 @@ fn medium() -> Ruleset {
             "fast-path: purely operational statements",
             Expr::named("PURPOSE")
                 .with_connective(Connective::OrExact)
-                .with_leaves(["current", "admin", "develop", "tailoring", "pseudo-analysis"]),
+                .with_leaves([
+                    "current",
+                    "admin",
+                    "develop",
+                    "tailoring",
+                    "pseudo-analysis",
+                ]),
         ),
         otherwise_request(),
     ])

@@ -1,0 +1,122 @@
+//! A tiny deterministic PRNG for corpus generation.
+//!
+//! The container this suite builds in has no access to crates.io, so
+//! the `rand` crate is replaced by this SplitMix64 generator. SplitMix64
+//! (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) passes BigCrush for this use: driving
+//! bounded choices in a synthetic-policy generator. Identical seeds
+//! produce identical streams on every platform — the property the
+//! corpus statistics tests rely on.
+
+/// A seedable SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator. Distinct seeds give uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (`n` must be positive). Uses Lemire's
+    /// widening-multiply reduction; the bias is < 2^-64 per draw.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "gen_index needs a non-empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.gen_index(hi - lo + 1)
+    }
+
+    /// True with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.gen_index(options.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_index_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in 1..20 {
+            for _ in 0..200 {
+                assert!(rng.gen_index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range_inclusive(1, 3)] = true;
+        }
+        assert!(!seen[0] && seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_600..=3_400).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -111,7 +111,9 @@ mod tests {
 
     #[test]
     fn leaves_adds_empty_children_in_order() {
-        let e = ElementBuilder::new("RECIPIENT").leaves(["ours", "same"]).build();
+        let e = ElementBuilder::new("RECIPIENT")
+            .leaves(["ours", "same"])
+            .build();
         let names: Vec<_> = e.child_elements().map(|c| c.name.local.clone()).collect();
         assert_eq!(names, ["ours", "same"]);
     }
@@ -130,7 +132,9 @@ mod tests {
 
     #[test]
     fn text_builder_roundtrips() {
-        let e = ElementBuilder::new("CONSEQUENCE").text("we ship books").build();
+        let e = ElementBuilder::new("CONSEQUENCE")
+            .text("we ship books")
+            .build();
         assert_eq!(e.text(), "we ship books");
     }
 }

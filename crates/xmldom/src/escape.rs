@@ -77,10 +77,7 @@ pub fn unescape(s: &str, pos: Position) -> Result<Cow<'_, str>, ParseError> {
                 out.push(char_for(code, pos, entity)?);
             }
             _ => {
-                return Err(ParseError::new(
-                    pos,
-                    format!("unknown entity `&{entity};`"),
-                ));
+                return Err(ParseError::new(pos, format!("unknown entity `&{entity};`")));
             }
         }
         rest = &tail[semi + 1..];
@@ -90,8 +87,12 @@ pub fn unescape(s: &str, pos: Position) -> Result<Cow<'_, str>, ParseError> {
 }
 
 fn char_for(code: u32, pos: Position, entity: &str) -> Result<char, ParseError> {
-    char::from_u32(code)
-        .ok_or_else(|| ParseError::new(pos, format!("character reference `&{entity};` out of range")))
+    char::from_u32(code).ok_or_else(|| {
+        ParseError::new(
+            pos,
+            format!("character reference `&{entity};` out of range"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +102,10 @@ mod tests {
     #[test]
     fn plain_text_is_borrowed() {
         assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
-        assert!(matches!(unescape("hello", Position::START).unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(
+            unescape("hello", Position::START).unwrap(),
+            Cow::Borrowed(_)
+        ));
     }
 
     #[test]
@@ -121,13 +125,20 @@ mod tests {
 
     #[test]
     fn unescape_predefined_entities() {
-        let got = unescape("&lt;x&gt; &amp; &apos;y&apos; &quot;z&quot;", Position::START).unwrap();
+        let got = unescape(
+            "&lt;x&gt; &amp; &apos;y&apos; &quot;z&quot;",
+            Position::START,
+        )
+        .unwrap();
         assert_eq!(got, "<x> & 'y' \"z\"");
     }
 
     #[test]
     fn unescape_character_references() {
-        assert_eq!(unescape("&#65;&#x42;&#x63;", Position::START).unwrap(), "ABc");
+        assert_eq!(
+            unescape("&#65;&#x42;&#x63;", Position::START).unwrap(),
+            "ABc"
+        );
     }
 
     #[test]

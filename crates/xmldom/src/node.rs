@@ -210,7 +210,8 @@ impl Element {
 
     /// Serialize this element (and subtree) to compact XML text.
     pub fn to_xml(&self) -> String {
-        crate::writer::XmlWriter::new(crate::writer::WriteOptions::compact()).element_to_string(self)
+        crate::writer::XmlWriter::new(crate::writer::WriteOptions::compact())
+            .element_to_string(self)
     }
 
     /// Serialize with two-space indentation.

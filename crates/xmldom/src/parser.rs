@@ -109,7 +109,10 @@ impl<'a> Parser<'a> {
     fn skip_declaration(&mut self) -> Result<bool, ParseError> {
         self.skip_ws();
         if self.rest().starts_with("<?xml") {
-            let close = self.rest().find("?>").ok_or_else(|| self.err("unterminated XML declaration"))?;
+            let close = self
+                .rest()
+                .find("?>")
+                .ok_or_else(|| self.err("unterminated XML declaration"))?;
             self.pos += close + 2;
             Ok(true)
         } else {
@@ -124,7 +127,10 @@ impl<'a> Parser<'a> {
             if self.rest().starts_with("<!--") {
                 self.skip_comment()?;
             } else if self.rest().starts_with("<?") {
-                let close = self.rest().find("?>").ok_or_else(|| self.err("unterminated processing instruction"))?;
+                let close = self
+                    .rest()
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
                 self.pos += close + 2;
             } else if self.rest().starts_with("<!DOCTYPE") {
                 self.skip_doctype()?;
@@ -165,7 +171,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<QName, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -270,7 +277,10 @@ impl<'a> Parser<'a> {
                 self.pos += close + 3;
                 push_text(elem, text);
             } else if self.rest().starts_with("<?") {
-                let close = self.rest().find("?>").ok_or_else(|| self.err("unterminated processing instruction"))?;
+                let close = self
+                    .rest()
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
                 self.pos += close + 2;
             } else if self.peek() == Some(b'<') {
                 let child = self.parse_element()?;
@@ -324,10 +334,9 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let e = parse_element(
-            "<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>",
-        )
-        .unwrap();
+        let e =
+            parse_element("<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>")
+                .unwrap();
         assert_eq!(
             e.find_child("STATEMENT")
                 .and_then(|s| s.find_child("PURPOSE"))
@@ -397,7 +406,15 @@ mod tests {
 
     #[test]
     fn rejects_unterminated_inputs() {
-        for bad in ["<A", "<A>", "<A href=", "<A href=\"x", "<A><B/>", "<!-- x", "<A>&bad;</A>"] {
+        for bad in [
+            "<A",
+            "<A>",
+            "<A href=",
+            "<A href=\"x",
+            "<A><B/>",
+            "<!-- x",
+            "<A>&bad;</A>",
+        ] {
             assert!(parse_element(bad).is_err(), "should reject {bad:?}");
         }
     }

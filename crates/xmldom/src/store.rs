@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn insert_and_fetch() {
         let mut store = DocumentStore::new();
-        store.insert_xml("volga", "<POLICY name=\"volga\"/>").unwrap();
+        store
+            .insert_xml("volga", "<POLICY name=\"volga\"/>")
+            .unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.root("volga").unwrap().attr("name"), Some("volga"));
         assert!(store.get("missing").is_none());

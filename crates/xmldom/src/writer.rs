@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn compact_roundtrip() {
-        let src = "<POLICY name=\"p1\"><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
+        let src =
+            "<POLICY name=\"p1\"><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>";
         let e = parse_element(src).unwrap();
         assert_eq!(e.to_xml(), src);
     }
@@ -170,7 +171,8 @@ mod tests {
 
     #[test]
     fn prefixed_names_serialize_with_prefix() {
-        let e = parse_element("<appel:RULESET><appel:RULE behavior=\"block\"/></appel:RULESET>").unwrap();
+        let e = parse_element("<appel:RULESET><appel:RULE behavior=\"block\"/></appel:RULESET>")
+            .unwrap();
         assert_eq!(
             e.to_xml(),
             "<appel:RULESET><appel:RULE behavior=\"block\"/></appel:RULESET>"

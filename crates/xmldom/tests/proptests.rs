@@ -1,115 +1,158 @@
-//! Property-based tests for the XML substrate: serialize∘parse identity,
+//! Randomised tests for the XML substrate: serialize∘parse identity,
 //! escaping round-trips, and structural invariants.
+//!
+//! Formerly `proptest` properties; the build environment has no
+//! crates.io access, so each property now runs over a deterministic
+//! stream of pseudo-random trees from an inline SplitMix64 generator.
 
 use p3p_xmldom::{parse_element, Element, ElementBuilder};
-use proptest::prelude::*;
 
-/// A strategy for XML names (restricted alphabet, like P3P vocabulary).
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_.-]{0,11}".prop_map(|s| s)
-}
+struct TestRng(u64);
 
-/// Attribute values: arbitrary printable text including XML specials.
-fn value_strategy() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~]{0,24}").unwrap()
-}
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 
-/// Recursive element strategy, bounded in depth and breadth.
-fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..3))
-        .prop_map(|(name, attrs)| {
-            let mut b = ElementBuilder::new(name.as_str());
-            let mut seen = std::collections::HashSet::new();
-            for (an, av) in attrs {
-                if seen.insert(an.clone()) {
-                    b = b.attr(an.as_str(), av);
-                }
-            }
-            b.build()
-        });
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (
-            name_strategy(),
-            proptest::collection::vec((name_strategy(), value_strategy()), 0..3),
-            proptest::collection::vec(inner, 0..4),
-            proptest::option::of(value_strategy()),
-        )
-            .prop_map(|(name, attrs, children, text)| {
-                let mut b = ElementBuilder::new(name.as_str());
-                let mut seen = std::collections::HashSet::new();
-                for (an, av) in attrs {
-                    if seen.insert(an.clone()) {
-                        b = b.attr(an.as_str(), av);
-                    }
-                }
-                for c in children {
-                    b = b.child_element(c);
-                }
-                // A single trailing text node (trimmed-nonempty so the
-                // parser will not drop it), placed after the elements so
-                // text-merge on reparse cannot restructure children.
-                if let Some(t) = text {
-                    let t = t.trim().to_string();
-                    if !t.is_empty() {
-                        b = b.text(t);
-                    }
-                }
-                b.build()
+    fn index(&mut self, n: usize) -> usize {
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// XML name from a restricted alphabet, like the P3P vocabulary.
+    fn name(&mut self) -> String {
+        const FIRST: &[u8] = b"ABCXYZabcxyz";
+        const REST: &[u8] = b"ABCXYZabcxyz019_.-";
+        let mut s = String::new();
+        s.push(FIRST[self.index(FIRST.len())] as char);
+        for _ in 0..self.index(12) {
+            s.push(REST[self.index(REST.len())] as char);
+        }
+        s
+    }
+
+    /// Printable ASCII including XML specials.
+    fn printable(&mut self, max_len: usize) -> String {
+        (0..self.index(max_len + 1))
+            .map(|_| (b' ' + self.index(95) as u8) as char)
+            .collect()
+    }
+
+    /// Printable ASCII plus tab and newline.
+    fn printable_ws(&mut self, max_len: usize) -> String {
+        (0..self.index(max_len + 1))
+            .map(|_| match self.index(97) {
+                95 => '\t',
+                96 => '\n',
+                i => (b' ' + i as u8) as char,
             })
-    })
+            .collect()
+    }
+
+    /// Random element tree, bounded in depth and breadth.
+    fn element(&mut self, depth: usize) -> Element {
+        let mut b = ElementBuilder::new(self.name().as_str());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..self.index(3) {
+            let an = self.name();
+            let av = self.printable(24);
+            if seen.insert(an.clone()) {
+                b = b.attr(an.as_str(), av);
+            }
+        }
+        if depth > 0 {
+            for _ in 0..self.index(4) {
+                b = b.child_element(self.element(depth - 1));
+            }
+        }
+        // A single trailing text node (trimmed-nonempty so the parser
+        // will not drop it), placed after the elements so text-merge on
+        // reparse cannot restructure children.
+        if self.index(2) == 1 {
+            let t = self.printable(24).trim().to_string();
+            if !t.is_empty() {
+                b = b.text(t);
+            }
+        }
+        b.build()
+    }
 }
 
-proptest! {
-    /// Compact serialization followed by parsing is the identity.
-    #[test]
-    fn serialize_then_parse_is_identity(elem in element_strategy()) {
+/// Compact serialization followed by parsing is the identity.
+#[test]
+fn serialize_then_parse_is_identity() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let elem = rng.element(3);
         let xml = elem.to_xml();
         let reparsed = parse_element(&xml).unwrap();
-        prop_assert_eq!(elem, reparsed);
+        assert_eq!(elem, reparsed, "seed {seed}");
     }
+}
 
-    /// Pretty serialization preserves the element structure (text nodes
-    /// may gain/lose insignificant whitespace, so compare via compact
-    /// re-serialization of the reparsed tree for element-only trees).
-    #[test]
-    fn pretty_roundtrip_preserves_structure(elem in element_strategy()) {
+/// Pretty serialization preserves the element structure (text nodes may
+/// gain/lose insignificant whitespace, so compare sizes and names).
+#[test]
+fn pretty_roundtrip_preserves_structure() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let elem = rng.element(3);
         let pretty = elem.to_pretty_xml();
         let reparsed = parse_element(&pretty).unwrap();
-        prop_assert_eq!(elem.subtree_size(), reparsed.subtree_size());
-        prop_assert_eq!(&elem.name, &reparsed.name);
+        assert_eq!(elem.subtree_size(), reparsed.subtree_size(), "seed {seed}");
+        assert_eq!(&elem.name, &reparsed.name, "seed {seed}");
     }
+}
 
-    /// Escape/unescape text round-trips for arbitrary printable strings.
-    #[test]
-    fn text_escape_roundtrip(s in "[ -~]{0,64}") {
+/// Escape/unescape text round-trips for arbitrary printable strings.
+#[test]
+fn text_escape_roundtrip() {
+    for seed in 0..256 {
+        let mut rng = TestRng(seed);
+        let s = rng.printable(64);
         let escaped = p3p_xmldom::escape::escape_text(&s);
         let back = p3p_xmldom::escape::unescape(&escaped, p3p_xmldom::Position::START).unwrap();
-        prop_assert_eq!(back.as_ref(), s.as_str());
+        assert_eq!(back.as_ref(), s.as_str(), "seed {seed}");
     }
+}
 
-    /// Escape/unescape attribute values round-trips (including quotes,
-    /// tabs, and newlines which must survive via character references).
-    #[test]
-    fn attr_escape_roundtrip(s in "[ -~\t\n]{0,64}") {
+/// Escape/unescape attribute values round-trips (including quotes,
+/// tabs, and newlines which must survive via character references).
+#[test]
+fn attr_escape_roundtrip() {
+    for seed in 0..256 {
+        let mut rng = TestRng(seed);
+        let s = rng.printable_ws(64);
         let escaped = p3p_xmldom::escape::escape_attr(&s);
         let back = p3p_xmldom::escape::unescape(&escaped, p3p_xmldom::Position::START).unwrap();
-        prop_assert_eq!(back.as_ref(), s.as_str());
+        assert_eq!(back.as_ref(), s.as_str(), "seed {seed}");
     }
+}
 
-    /// Attribute values survive a full element round-trip.
-    #[test]
-    fn attribute_value_roundtrip(v in "[ -~]{0,40}") {
+/// Attribute values survive a full element round-trip.
+#[test]
+fn attribute_value_roundtrip() {
+    for seed in 0..256 {
+        let mut rng = TestRng(seed);
+        let v = rng.printable(40);
         let mut e = Element::new("X");
         e.set_attr("v", v.clone());
         let reparsed = parse_element(&e.to_xml()).unwrap();
-        prop_assert_eq!(reparsed.attr("v"), Some(v.as_str()));
+        assert_eq!(reparsed.attr("v"), Some(v.as_str()), "seed {seed}");
     }
+}
 
-    /// subtree_size is consistent with a manual walk.
-    #[test]
-    fn subtree_size_matches_walk(elem in element_strategy()) {
+/// subtree_size is consistent with a manual walk.
+#[test]
+fn subtree_size_matches_walk() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let elem = rng.element(3);
         let mut n = 0usize;
         elem.walk(&mut |_| n += 1);
-        prop_assert_eq!(n, elem.subtree_size());
+        assert_eq!(n, elem.subtree_size(), "seed {seed}");
     }
 }

@@ -185,10 +185,10 @@ mod tests {
         ]);
         XQuery {
             document: "applicable-policy".into(),
-            root: Step::named("POLICY").with_pred(Pred::Exists(vec![Step::named("STATEMENT")
-                .with_pred(Pred::Exists(vec![
-                    Step::named("PURPOSE").with_pred(purpose_pred)
-                ]))])),
+            root: Step::named("POLICY")
+                .with_pred(Pred::Exists(vec![Step::named("STATEMENT").with_pred(
+                    Pred::Exists(vec![Step::named("PURPOSE").with_pred(purpose_pred)]),
+                )])),
             behavior: "block".into(),
         }
     }

@@ -56,10 +56,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(XQueryError::syntax(3, "expected `if`").to_string().contains("offset 3"));
-        assert!(XQueryError::TooComplex { size: 40, limit: 32 }
+        assert!(XQueryError::syntax(3, "expected `if`")
             .to_string()
-            .contains("exceeds limit 32"));
+            .contains("offset 3"));
+        assert!(XQueryError::TooComplex {
+            size: 40,
+            limit: 32
+        }
+        .to_string()
+        .contains("exceeds limit 32"));
         assert!(XQueryError::Unsupported("exact connective".into())
             .to_string()
             .contains("exact connective"));

@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn root_name_must_match() {
         let policy = volga_like();
-        assert_eq!(run("if (document(\"p\")/RULESET) then <block/>", &policy), None);
+        assert_eq!(
+            run("if (document(\"p\")/RULESET) then <block/>", &policy),
+            None
+        );
         assert_eq!(
             run("if (document(\"p\")/POLICY) then <request/>", &policy),
             Some("request".to_string())

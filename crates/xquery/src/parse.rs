@@ -99,7 +99,8 @@ impl<'a> Parser<'a> {
         let rest = &self.text[self.pos..];
         if let Some(tail) = rest.strip_prefix(kw) {
             let after = tail.bytes().next();
-            let boundary = !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+            let boundary =
+                !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
             if boundary {
                 self.pos += kw.len();
                 return true;
@@ -305,14 +306,17 @@ mod tests {
             "if (document(\"p\")/POLICY[STATEMENT/DATA-GROUP/DATA[@ref = \"#user.name\"]]) then <block/>",
         )
         .unwrap();
-        let Pred::Exists(steps) = q.root.predicate.unwrap() else { panic!() };
+        let Pred::Exists(steps) = q.root.predicate.unwrap() else {
+            panic!()
+        };
         assert_eq!(steps.len(), 3);
         assert_eq!(steps[2].name, "DATA");
     }
 
     #[test]
     fn multiple_bracket_groups_and_together() {
-        let q = parse_xquery("if (document(\"p\")/POLICY[STATEMENT][ENTITY]) then <block/>").unwrap();
+        let q =
+            parse_xquery("if (document(\"p\")/POLICY[STATEMENT][ENTITY]) then <block/>").unwrap();
         assert!(matches!(q.root.predicate, Some(Pred::And(ref ps)) if ps.len() == 2));
     }
 

@@ -1,78 +1,140 @@
-//! Property-based tests for the XQuery subset: display∘parse identity
-//! and evaluation laws.
+//! Randomised tests for the XQuery subset: display∘parse identity and
+//! evaluation laws.
+//!
+//! Formerly `proptest` properties; the build environment has no
+//! crates.io access, so each property now runs over a deterministic
+//! stream of pseudo-random queries from an inline SplitMix64 generator.
 
 use p3p_xmldom::ElementBuilder;
 use p3p_xquery::ast::{Pred, Step, XQuery};
 use p3p_xquery::eval::eval_xquery;
 use p3p_xquery::parse::parse_xquery;
-use proptest::prelude::*;
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,8}".prop_filter("keywords collide with the grammar", |s| {
-        !["if", "then", "else", "and", "or", "not", "only", "document", "return"]
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Name that cannot collide with the grammar's keywords.
+    fn name(&mut self) -> String {
+        const FIRST: &[u8] = b"ABCXYZabcxyz";
+        const REST: &[u8] = b"ABCXYZabcxyz019-";
+        loop {
+            let mut s = String::new();
+            s.push(FIRST[self.index(FIRST.len())] as char);
+            for _ in 0..self.index(9) {
+                s.push(REST[self.index(REST.len())] as char);
+            }
+            if ![
+                "if", "then", "else", "and", "or", "not", "only", "document", "return",
+            ]
             .contains(&s.as_str())
-    })
-}
-
-fn pred_strategy() -> impl Strategy<Value = Pred> {
-    let leaf = prop_oneof![
-        (name_strategy(), "[a-z0-9.#/-]{0,10}")
-            .prop_map(|(n, v)| Pred::AttrEq(n, v)),
-        prop::collection::vec(name_strategy(), 1..3)
-            .prop_map(|ns| Pred::Exists(ns.into_iter().map(Step::named).collect())),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::And),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::Or),
-            inner.clone().prop_map(|p| Pred::Not(Box::new(p))),
-            prop::collection::vec(name_strategy(), 1..3)
-                .prop_map(|ns| Pred::OnlyChildren(ns.into_iter().map(Step::named).collect())),
-            (name_strategy(), inner).prop_map(|(n, p)| Pred::Exists(vec![Step::named(n)
-                .with_pred(p)])),
-        ]
-    })
-}
-
-fn query_strategy() -> impl Strategy<Value = XQuery> {
-    (
-        "[a-z-]{1,12}",
-        name_strategy(),
-        prop::option::of(pred_strategy()),
-        name_strategy(),
-    )
-        .prop_map(|(document, root, pred, behavior)| {
-            let mut step = Step::named(root);
-            if let Some(p) = pred {
-                step = step.with_pred(p);
+            {
+                return s;
             }
-            XQuery {
-                document,
-                root: step,
-                behavior,
+        }
+    }
+
+    fn attr_value(&mut self) -> String {
+        const CHARS: &[u8] = b"abcz019.#/-";
+        (0..self.index(11))
+            .map(|_| CHARS[self.index(CHARS.len())] as char)
+            .collect()
+    }
+
+    fn leaf_pred(&mut self) -> Pred {
+        if self.index(2) == 0 {
+            Pred::AttrEq(self.name(), self.attr_value())
+        } else {
+            let n = 1 + self.index(2);
+            Pred::Exists((0..n).map(|_| Step::named(self.name())).collect())
+        }
+    }
+
+    fn pred(&mut self, depth: usize) -> Pred {
+        if depth == 0 {
+            return self.leaf_pred();
+        }
+        match self.index(5) {
+            0 => Pred::And(
+                (0..2 + self.index(2))
+                    .map(|_| self.pred(depth - 1))
+                    .collect(),
+            ),
+            1 => Pred::Or(
+                (0..2 + self.index(2))
+                    .map(|_| self.pred(depth - 1))
+                    .collect(),
+            ),
+            2 => Pred::Not(Box::new(self.pred(depth - 1))),
+            3 => {
+                let n = 1 + self.index(2);
+                Pred::OnlyChildren((0..n).map(|_| Step::named(self.name())).collect())
             }
-        })
+            _ => {
+                let inner = self.pred(depth - 1);
+                Pred::Exists(vec![Step::named(self.name()).with_pred(inner)])
+            }
+        }
+    }
+
+    fn query(&mut self) -> XQuery {
+        const DOC_CHARS: &[u8] = b"abcz-";
+        let document: String = (0..1 + self.index(12))
+            .map(|_| DOC_CHARS[self.index(DOC_CHARS.len())] as char)
+            .collect();
+        let mut step = Step::named(self.name());
+        if self.index(2) == 1 {
+            let p = self.pred(2);
+            step = step.with_pred(p);
+        }
+        XQuery {
+            document,
+            root: step,
+            behavior: self.name(),
+        }
+    }
 }
 
-proptest! {
-    /// display ∘ parse is the identity on queries.
-    #[test]
-    fn display_parse_roundtrip(q in query_strategy()) {
+/// display ∘ parse is the identity on queries.
+#[test]
+fn display_parse_roundtrip() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let q = rng.query();
         let text = q.to_string();
         let back = parse_xquery(&text).unwrap();
-        prop_assert_eq!(q, back);
+        assert_eq!(q, back, "seed {seed}");
     }
+}
 
-    /// Evaluation is deterministic and name-gated at the root.
-    #[test]
-    fn root_name_gates_evaluation(q in query_strategy()) {
+/// Evaluation is deterministic and name-gated at the root.
+#[test]
+fn root_name_gates_evaluation() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let q = rng.query();
         let other = ElementBuilder::new("SOMETHING-ELSE-ENTIRELY").build();
-        prop_assert_eq!(eval_xquery(&q, &other), None);
+        assert_eq!(eval_xquery(&q, &other), None, "seed {seed}");
     }
+}
 
-    /// `not(not(p))` evaluates like `p`.
-    #[test]
-    fn double_negation(pred in pred_strategy()) {
+/// `not(not(p))` evaluates like `p`.
+#[test]
+fn double_negation() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let pred = rng.pred(2);
         let elem = ElementBuilder::new("POLICY")
             .child(ElementBuilder::new("STATEMENT").child(ElementBuilder::new("PURPOSE")))
             .build();
@@ -83,16 +145,24 @@ proptest! {
         };
         let doubled = XQuery {
             document: "d".into(),
-            root: Step::named("POLICY")
-                .with_pred(Pred::Not(Box::new(Pred::Not(Box::new(pred))))),
+            root: Step::named("POLICY").with_pred(Pred::Not(Box::new(Pred::Not(Box::new(pred))))),
             behavior: "b".into(),
         };
-        prop_assert_eq!(eval_xquery(&plain, &elem), eval_xquery(&doubled, &elem));
+        assert_eq!(
+            eval_xquery(&plain, &elem),
+            eval_xquery(&doubled, &elem),
+            "seed {seed}"
+        );
     }
+}
 
-    /// And is commutative; Or is commutative.
-    #[test]
-    fn boolean_commutativity(a in pred_strategy(), b in pred_strategy()) {
+/// And is commutative; Or is commutative.
+#[test]
+fn boolean_commutativity() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let a = rng.pred(2);
+        let b = rng.pred(2);
         let elem = ElementBuilder::new("POLICY")
             .child(ElementBuilder::new("STATEMENT"))
             .build();
@@ -101,21 +171,27 @@ proptest! {
             root: Step::named("POLICY").with_pred(p),
             behavior: "x".into(),
         };
-        prop_assert_eq!(
+        assert_eq!(
             eval_xquery(&q(Pred::And(vec![a.clone(), b.clone()])), &elem),
-            eval_xquery(&q(Pred::And(vec![b.clone(), a.clone()])), &elem)
+            eval_xquery(&q(Pred::And(vec![b.clone(), a.clone()])), &elem),
+            "seed {seed}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             eval_xquery(&q(Pred::Or(vec![a.clone(), b.clone()])), &elem),
-            eval_xquery(&q(Pred::Or(vec![b, a])), &elem)
+            eval_xquery(&q(Pred::Or(vec![b, a])), &elem),
+            "seed {seed}"
         );
     }
+}
 
-    /// Query size is positive and stable under display/parse.
-    #[test]
-    fn size_is_stable(q in query_strategy()) {
-        prop_assert!(q.size() >= 1);
+/// Query size is positive and stable under display/parse.
+#[test]
+fn size_is_stable() {
+    for seed in 0..128 {
+        let mut rng = TestRng(seed);
+        let q = rng.query();
+        assert!(q.size() >= 1, "seed {seed}");
         let back = parse_xquery(&q.to_string()).unwrap();
-        prop_assert_eq!(q.size(), back.size());
+        assert_eq!(q.size(), back.size(), "seed {seed}");
     }
 }

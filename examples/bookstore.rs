@@ -135,7 +135,9 @@ fn main() {
 
     println!("Routing requests through the reference file (paper §2.3):\n");
     for page in pages {
-        let policy_id = server.resolve(Target::Uri(page)).expect("a policy covers it");
+        let policy_id = server
+            .resolve(Target::Uri(page))
+            .expect("a policy covers it");
         println!("{page}");
         println!("  covered by policy id {policy_id}");
         for (who, prefs) in &visitors {

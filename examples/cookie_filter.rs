@@ -13,9 +13,7 @@
 //! ```
 
 use p3p_suite::appel::model::Behavior;
-use p3p_suite::policy::compact::{
-    evaluate_cookie, CompactPolicy, CookiePreference, CookieVerdict,
-};
+use p3p_suite::policy::compact::{evaluate_cookie, CompactPolicy, CookiePreference, CookieVerdict};
 use p3p_suite::server::{EngineKind, PolicyServer, Target};
 use p3p_suite::workload::{corpus, Sensitivity};
 
@@ -32,7 +30,9 @@ fn main() {
         r.cookie_includes.push(format!("{}_session=*", p.name));
         reference.policy_refs.push(r);
     }
-    server.install_reference(&reference).expect("reference installs");
+    server
+        .install_reference(&reference)
+        .expect("reference installs");
 
     // --- client side: IE6 compact policies ---------------------------
     println!("IE6-style compact policy filtering (paper §3.2):\n");
@@ -70,10 +70,9 @@ fn main() {
             .match_preference(&prefs, Target::Cookie(&cookie), EngineKind::Sql)
             .expect("cookie resolves");
         let full_blocks = outcome.verdict.behavior == Behavior::Block;
-        let compact_blocks = evaluate_cookie(
-            &CompactPolicy::from_policy(p),
-            CookiePreference::High,
-        ) == CookieVerdict::Block;
+        let compact_blocks =
+            evaluate_cookie(&CompactPolicy::from_policy(p), CookiePreference::High)
+                == CookieVerdict::Block;
         total += 1;
         if full_blocks == compact_blocks {
             agreements += 1;

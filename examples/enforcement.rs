@@ -36,15 +36,42 @@ fn main() {
     println!("Internal data accesses validated against Volga's published policy:\n");
     let attempts = [
         // The shipping department completes Jane's order: fine.
-        ("shipping", access("user.home-info.postal", Purpose::Current, Recipient::Ours)),
+        (
+            "shipping",
+            access("user.home-info.postal", Purpose::Current, Recipient::Ours),
+        ),
         // Fulfilment reads a single name leaf declared via the set ref.
-        ("fulfilment", access("user.name.given", Purpose::Current, Recipient::Ours)),
+        (
+            "fulfilment",
+            access("user.name.given", Purpose::Current, Recipient::Ours),
+        ),
         // Marketing wants to email recommendations — opt-in required.
-        ("marketing", access("user.home-info.online.email", Purpose::Contact, Recipient::Ours)),
+        (
+            "marketing",
+            access(
+                "user.home-info.online.email",
+                Purpose::Contact,
+                Recipient::Ours,
+            ),
+        ),
         // A partner asks for purchase history: never declared.
-        ("partner-api", access("dynamic.miscdata", Purpose::IndividualAnalysis, Recipient::Unrelated)),
+        (
+            "partner-api",
+            access(
+                "dynamic.miscdata",
+                Purpose::IndividualAnalysis,
+                Recipient::Unrelated,
+            ),
+        ),
         // Telemarketing was never in the policy at all.
-        ("call-center", access("user.home-info.postal", Purpose::Telemarketing, Recipient::Ours)),
+        (
+            "call-center",
+            access(
+                "user.home-info.postal",
+                Purpose::Telemarketing,
+                Recipient::Ours,
+            ),
+        ),
     ];
     for (who, request) in &attempts {
         let decision = check_access(&mut server, request).expect("check runs");
@@ -59,7 +86,11 @@ fn main() {
     record_opt_in(&mut server, "volga", "jane", Purpose::Contact).expect("consent records");
     let retry = check_access(
         &mut server,
-        &access("user.home-info.online.email", Purpose::Contact, Recipient::Ours),
+        &access(
+            "user.home-info.online.email",
+            Purpose::Contact,
+            Recipient::Ours,
+        ),
     )
     .expect("check runs");
     println!("  marketing    → {retry:?}");

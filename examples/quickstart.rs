@@ -18,7 +18,10 @@ use p3p_suite::server::{EngineKind, PolicyServer, Target};
 fn main() {
     // --- the site side: install the policy --------------------------
     let policy = volga_policy();
-    println!("Volga's P3P policy (paper Figure 1):\n{}\n", policy.to_xml());
+    println!(
+        "Volga's P3P policy (paper Figure 1):\n{}\n",
+        policy.to_xml()
+    );
 
     let mut server = PolicyServer::new();
     server.install_policy(&policy).expect("policy installs");
@@ -31,11 +34,17 @@ fn main() {
 
     // --- the user side: the preference ------------------------------
     let jane = jane_preference();
-    println!("Jane's APPEL preference (paper Figure 2):\n{}\n", jane.to_xml());
+    println!(
+        "Jane's APPEL preference (paper Figure 2):\n{}\n",
+        jane.to_xml()
+    );
 
     // Show the translation the server runs (paper Figure 15 shape).
     println!("SQL translation of Jane's first rule:");
-    println!("{}\n", translate_rule_optimized(&jane.rules[0]).expect("translates"));
+    println!(
+        "{}\n",
+        translate_rule_optimized(&jane.rules[0]).expect("translates")
+    );
 
     // --- the match ---------------------------------------------------
     let outcome = server

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-submit gate: formatting, lints, release build, full test suite.
+# Run from anywhere inside the repo: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

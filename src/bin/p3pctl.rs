@@ -111,7 +111,14 @@ fn cmd_shred(args: &[String]) -> Result<(), String> {
     let mut server = PolicyServer::new();
     server.install_policy(&policy).map_err(|e| e.to_string())?;
     println!("policy `{}` shredded:", policy.name);
-    for table in ["policy", "statement", "purpose", "recipient", "data", "category"] {
+    for table in [
+        "policy",
+        "statement",
+        "purpose",
+        "recipient",
+        "data",
+        "category",
+    ] {
         let n = server.database().table(table).map_or(0, |t| t.len());
         println!("  {table:<10} {n:>4} rows");
         if table == "purpose" || table == "recipient" {

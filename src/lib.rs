@@ -16,6 +16,8 @@
 //!   APPEL→XQuery, and the policy server.
 //! * [`workload`] — the synthetic Fortune-1000 corpus and JRC-style
 //!   preference suite of §6.2.
+//! * [`telemetry`] — structured spans, the metrics registry, and the
+//!   slow-query log threaded through the matching pipeline.
 //!
 //! ## Thirty-second tour
 //!
@@ -39,6 +41,7 @@ pub use p3p_appel as appel;
 pub use p3p_minidb as minidb;
 pub use p3p_policy as policy;
 pub use p3p_server as server;
+pub use p3p_telemetry as telemetry;
 pub use p3p_workload as workload;
 pub use p3p_xmldom as xmldom;
 pub use p3p_xquery as xquery;

@@ -13,7 +13,11 @@ use p3p_suite::workload::{corpus, Sensitivity};
 fn compact_policies_derive_for_the_whole_corpus() {
     for p in corpus(42) {
         let cp = CompactPolicy::from_policy(&p);
-        assert!(!cp.tokens.is_empty(), "{} has an empty compact policy", p.name);
+        assert!(
+            !cp.tokens.is_empty(),
+            "{} has an empty compact policy",
+            p.name
+        );
         // Header round-trip.
         let header = cp.to_header();
         assert_eq!(CompactPolicy::parse_header(&header), cp, "{}", p.name);

@@ -27,7 +27,11 @@ fn corpus_installs_and_engines_agree_everywhere() {
             let native = server
                 .match_preference(&ruleset, Target::Policy(name), EngineKind::Native)
                 .unwrap();
-            for engine in [EngineKind::Sql, EngineKind::SqlGeneric, EngineKind::XQueryNative] {
+            for engine in [
+                EngineKind::Sql,
+                EngineKind::SqlGeneric,
+                EngineKind::XQueryNative,
+            ] {
                 let got = server
                     .match_preference(&ruleset, Target::Policy(name), engine)
                     .unwrap();
@@ -36,7 +40,8 @@ fn corpus_installs_and_engines_agree_everywhere() {
                     "{engine:?} vs native on {name} at {level:?}"
                 );
             }
-            match server.match_preference(&ruleset, Target::Policy(name), EngineKind::XQueryXTable) {
+            match server.match_preference(&ruleset, Target::Policy(name), EngineKind::XQueryXTable)
+            {
                 Ok(got) => assert_eq!(got.verdict, native.verdict, "xtable on {name} at {level:?}"),
                 Err(_) => assert_eq!(
                     level,

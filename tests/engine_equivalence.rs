@@ -6,37 +6,44 @@
 //! and the XQuery-on-XML-store path must coincide — and the
 //! XQuery→XTABLE→SQL path must coincide whenever it can translate the
 //! preference (exact connectives defeat it, as in the paper).
+//!
+//! Formerly `proptest` properties; the build environment has no
+//! crates.io access, so each property now runs over a deterministic
+//! stream of pseudo-random cases from an inline SplitMix64 generator.
 
 use p3p_suite::appel::model::{Behavior, Connective, Expr, Rule, Ruleset};
 use p3p_suite::policy::model::{DataGroup, DataRef, Policy, PurposeUse, RecipientUse, Statement};
 use p3p_suite::policy::vocab::{Category, Purpose, Recipient, Required, Retention};
 use p3p_suite::server::{EngineKind, PolicyServer, Target};
-use proptest::prelude::*;
+
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.index(options.len())]
+    }
+}
 
 // --- policy generator ----------------------------------------------------
 
-fn required_strategy() -> impl Strategy<Value = Required> {
-    prop::sample::select(vec![Required::Always, Required::OptIn, Required::OptOut])
+fn random_required(rng: &mut TestRng) -> Required {
+    *rng.pick(&[Required::Always, Required::OptIn, Required::OptOut])
 }
 
-fn purpose_use_strategy() -> impl Strategy<Value = PurposeUse> {
-    (
-        prop::sample::select(Purpose::ALL.to_vec()),
-        required_strategy(),
-    )
-        .prop_map(|(purpose, required)| PurposeUse { purpose, required })
-}
-
-fn recipient_use_strategy() -> impl Strategy<Value = RecipientUse> {
-    (
-        prop::sample::select(Recipient::ALL.to_vec()),
-        required_strategy(),
-    )
-        .prop_map(|(recipient, required)| RecipientUse { recipient, required })
-}
-
-fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
-    let refs = vec![
+fn random_data_ref(rng: &mut TestRng) -> DataRef {
+    const REFS: &[&str] = &[
         "user.name",
         "user.name.given",
         "user.bdate",
@@ -46,123 +53,107 @@ fn data_ref_strategy() -> impl Strategy<Value = DataRef> {
         "dynamic.cookies",
         "dynamic.miscdata",
     ];
-    (
-        prop::sample::select(refs),
-        prop::bool::ANY,
-        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..2),
-    )
-        .prop_map(|(reference, optional, categories)| {
-            let mut d = DataRef::new(reference);
-            d.optional = optional;
-            let mut cats = categories;
-            cats.dedup();
-            d.categories = cats;
-            d
-        })
+    let mut d = DataRef::new(*rng.pick(REFS));
+    d.optional = rng.index(2) == 1;
+    let mut cats: Vec<Category> = (0..rng.index(2))
+        .map(|_| *rng.pick(Category::ALL))
+        .collect();
+    cats.dedup();
+    d.categories = cats;
+    d
 }
 
-fn statement_strategy() -> impl Strategy<Value = Statement> {
-    (
-        prop::collection::vec(purpose_use_strategy(), 1..4),
-        prop::collection::vec(recipient_use_strategy(), 1..3),
-        prop::sample::select(Retention::ALL.to_vec()),
-        prop::collection::vec(data_ref_strategy(), 0..3),
-    )
-        .prop_map(|(mut purposes, mut recipients, retention, data)| {
-            // P3P allows each purpose/recipient at most once per
-            // statement.
-            purposes.sort_by_key(|p| p.purpose);
-            purposes.dedup_by_key(|p| p.purpose);
-            recipients.sort_by_key(|r| r.recipient);
-            recipients.dedup_by_key(|r| r.recipient);
-            Statement {
-                consequence: None,
-                non_identifiable: false,
-                purposes,
-                recipients,
-                retention: vec![retention],
-                data_groups: if data.is_empty() {
-                    vec![]
-                } else {
-                    vec![DataGroup { base: None, data }]
-                },
-            }
+fn random_statement(rng: &mut TestRng) -> Statement {
+    let mut purposes: Vec<PurposeUse> = (0..1 + rng.index(3))
+        .map(|_| PurposeUse {
+            purpose: *rng.pick(Purpose::ALL),
+            required: random_required(rng),
         })
+        .collect();
+    let mut recipients: Vec<RecipientUse> = (0..1 + rng.index(2))
+        .map(|_| RecipientUse {
+            recipient: *rng.pick(Recipient::ALL),
+            required: random_required(rng),
+        })
+        .collect();
+    let retention = *rng.pick(Retention::ALL);
+    let data: Vec<DataRef> = (0..rng.index(3)).map(|_| random_data_ref(rng)).collect();
+    // P3P allows each purpose/recipient at most once per statement.
+    purposes.sort_by_key(|p| p.purpose);
+    purposes.dedup_by_key(|p| p.purpose);
+    recipients.sort_by_key(|r| r.recipient);
+    recipients.dedup_by_key(|r| r.recipient);
+    Statement {
+        consequence: None,
+        non_identifiable: false,
+        purposes,
+        recipients,
+        retention: vec![retention],
+        data_groups: if data.is_empty() {
+            vec![]
+        } else {
+            vec![DataGroup { base: None, data }]
+        },
+    }
 }
 
-fn policy_strategy() -> impl Strategy<Value = Policy> {
-    prop::collection::vec(statement_strategy(), 1..4).prop_map(|statements| {
-        let mut p = Policy::new("generated");
-        p.statements = statements;
-        p
-    })
+fn random_policy(rng: &mut TestRng) -> Policy {
+    let mut p = Policy::new("generated");
+    p.statements = (0..1 + rng.index(3))
+        .map(|_| random_statement(rng))
+        .collect();
+    p
 }
 
 // --- rule generator ------------------------------------------------------
 
-fn connective_strategy() -> impl Strategy<Value = Connective> {
-    prop::sample::select(Connective::ALL.to_vec())
+fn random_connective(rng: &mut TestRng) -> Connective {
+    *rng.pick(Connective::ALL)
 }
 
 /// A vocabulary container expression (PURPOSE/RECIPIENT/RETENTION) with
 /// a random connective and random value children.
-fn vocab_expr_strategy() -> impl Strategy<Value = Expr> {
-    let purpose = (
-        connective_strategy(),
-        prop::collection::vec(
-            (
-                prop::sample::select(Purpose::ALL.to_vec()),
-                prop::option::of(required_strategy()),
-            ),
-            1..4,
-        ),
-    )
-        .prop_map(|(connective, values)| {
-            let mut e = Expr::named("PURPOSE").with_connective(connective);
-            for (p, r) in values {
+fn random_vocab_expr(rng: &mut TestRng) -> Expr {
+    match rng.index(4) {
+        0 => {
+            let mut e = Expr::named("PURPOSE").with_connective(random_connective(rng));
+            for _ in 0..1 + rng.index(3) {
+                let p = *rng.pick(Purpose::ALL);
                 let mut child = Expr::named(p.as_str());
-                if let Some(r) = r {
-                    child = child.with_attr("required", r.as_str());
+                if rng.index(2) == 1 {
+                    child = child.with_attr("required", random_required(rng).as_str());
                 }
                 e = e.with_child(child);
             }
             e
-        });
-    let recipient = (
-        connective_strategy(),
-        prop::collection::vec(prop::sample::select(Recipient::ALL.to_vec()), 1..3),
-    )
-        .prop_map(|(connective, values)| {
-            let mut e = Expr::named("RECIPIENT").with_connective(connective);
-            for r in values {
-                e = e.with_child(Expr::named(r.as_str()));
+        }
+        1 => {
+            let mut e = Expr::named("RECIPIENT").with_connective(random_connective(rng));
+            for _ in 0..1 + rng.index(2) {
+                e = e.with_child(Expr::named(rng.pick(Recipient::ALL).as_str()));
             }
             e
-        });
-    let retention = (
-        connective_strategy(),
-        prop::collection::vec(prop::sample::select(Retention::ALL.to_vec()), 1..3),
-    )
-        .prop_map(|(connective, values)| {
-            let mut e = Expr::named("RETENTION").with_connective(connective);
-            for r in values {
-                e = e.with_child(Expr::named(r.as_str()));
+        }
+        2 => {
+            let mut e = Expr::named("RETENTION").with_connective(random_connective(rng));
+            for _ in 0..1 + rng.index(2) {
+                e = e.with_child(Expr::named(rng.pick(Retention::ALL).as_str()));
             }
             e
-        });
-    let data = (
-        connective_strategy(),
-        prop::sample::select(vec![
-            "#user.name",
-            "#user.name.given",
-            "#user.bdate",
-            "#dynamic.cookies",
-            "#dynamic.miscdata",
-        ]),
-        prop::collection::vec(prop::sample::select(Category::ALL.to_vec()), 0..3),
-    )
-        .prop_map(|(connective, reference, categories)| {
-            let mut d = Expr::named("DATA").with_attr("ref", reference);
+        }
+        _ => {
+            const REFS: &[&str] = &[
+                "#user.name",
+                "#user.name.given",
+                "#user.bdate",
+                "#dynamic.cookies",
+                "#dynamic.miscdata",
+            ];
+            let connective = random_connective(rng);
+            let mut d = Expr::named("DATA").with_attr("ref", *rng.pick(REFS));
+            let categories: Vec<Category> = (0..rng.index(3))
+                .map(|_| *rng.pick(Category::ALL))
+                .collect();
             if !categories.is_empty() {
                 let mut cats = Expr::named("CATEGORIES").with_connective(connective);
                 for c in categories {
@@ -171,104 +162,134 @@ fn vocab_expr_strategy() -> impl Strategy<Value = Expr> {
                 d = d.with_child(cats);
             }
             Expr::named("DATA-GROUP").with_child(d)
-        });
-    prop_oneof![purpose, recipient, retention, data]
+        }
+    }
 }
 
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (
-        prop::collection::vec(vocab_expr_strategy(), 1..3),
-        connective_strategy().prop_filter("rule-level exact unsupported", |c| !c.is_exact()),
-        prop::sample::select(vec![Behavior::Block, Behavior::Limited]),
-    )
-        .prop_map(|(inners, stmt_connective, behavior)| {
-            let mut stmt = Expr::named("STATEMENT").with_connective(stmt_connective);
-            for inner in inners {
-                stmt = stmt.with_child(inner);
-            }
-            Rule::with_pattern(behavior, Expr::named("POLICY").with_child(stmt))
-        })
+fn random_rule(rng: &mut TestRng) -> Rule {
+    let stmt_connective = loop {
+        let c = random_connective(rng);
+        if !c.is_exact() {
+            break c; // rule-level exact unsupported
+        }
+    };
+    let behavior = rng.pick(&[Behavior::Block, Behavior::Limited]).clone();
+    let mut stmt = Expr::named("STATEMENT").with_connective(stmt_connective);
+    for _ in 0..1 + rng.index(2) {
+        stmt = stmt.with_child(random_vocab_expr(rng));
+    }
+    Rule::with_pattern(behavior, Expr::named("POLICY").with_child(stmt))
 }
 
-fn ruleset_strategy() -> impl Strategy<Value = Ruleset> {
-    prop::collection::vec(rule_strategy(), 1..4).prop_map(|mut rules| {
-        let mut fallback = Rule::unconditional(Behavior::Request);
-        fallback.otherwise = true;
-        rules.push(fallback);
-        Ruleset::new(rules)
-    })
+fn random_ruleset(rng: &mut TestRng) -> Ruleset {
+    let mut rules: Vec<Rule> = (0..1 + rng.index(3)).map(|_| random_rule(rng)).collect();
+    let mut fallback = Rule::unconditional(Behavior::Request);
+    fallback.otherwise = true;
+    rules.push(fallback);
+    Ruleset::new(rules)
 }
 
 fn uses_exact(ruleset: &Ruleset) -> bool {
     fn expr_exact(e: &Expr) -> bool {
         e.connective.is_exact() || e.children.iter().any(expr_exact)
     }
-    ruleset.rules.iter().flat_map(|r| r.pattern.iter()).any(expr_exact)
+    ruleset
+        .rules
+        .iter()
+        .flat_map(|r| r.pattern.iter())
+        .any(expr_exact)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The headline property: all engines agree on the verdict.
-    #[test]
-    fn all_engines_agree(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+/// The headline property: all engines agree on the verdict.
+#[test]
+fn all_engines_agree() {
+    for seed in 0..64 {
+        let mut rng = TestRng(seed);
+        let policy = random_policy(&mut rng);
+        let ruleset = random_ruleset(&mut rng);
         let mut server = PolicyServer::new();
         server.install_policy(&policy).unwrap();
         let reference = server
             .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Native)
             .unwrap();
-        for engine in [EngineKind::Sql, EngineKind::SqlGeneric, EngineKind::XQueryNative] {
+        for engine in [
+            EngineKind::Sql,
+            EngineKind::SqlGeneric,
+            EngineKind::XQueryNative,
+        ] {
             let got = server
                 .match_preference(&ruleset, Target::Policy("generated"), engine)
                 .unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 &got.verdict,
                 &reference.verdict,
-                "{:?} disagreed with native on policy:\n{}\npreference:\n{}",
+                "seed {seed}: {:?} disagreed with native on policy:\n{}\npreference:\n{}",
                 engine,
                 policy.to_xml(),
                 ruleset.to_xml()
             );
         }
-        match server.match_preference(&ruleset, Target::Policy("generated"), EngineKind::XQueryXTable) {
-            Ok(got) => prop_assert_eq!(
+        match server.match_preference(
+            &ruleset,
+            Target::Policy("generated"),
+            EngineKind::XQueryXTable,
+        ) {
+            Ok(got) => assert_eq!(
                 &got.verdict,
                 &reference.verdict,
-                "XTABLE disagreed on policy:\n{}\npreference:\n{}",
+                "seed {seed}: XTABLE disagreed on policy:\n{}\npreference:\n{}",
                 policy.to_xml(),
                 ruleset.to_xml()
             ),
-            Err(_) => prop_assert!(
+            Err(_) => assert!(
                 uses_exact(&ruleset),
-                "XTABLE failed on a preference without exact connectives:\n{}",
+                "seed {seed}: XTABLE failed on a preference without exact connectives:\n{}",
                 ruleset.to_xml()
             ),
         }
     }
+}
 
-    /// Matching is insensitive to whether the policy was installed from
-    /// the model or from its XML serialization.
-    #[test]
-    fn xml_install_equals_model_install(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+/// Matching is insensitive to whether the policy was installed from the
+/// model or from its XML serialization.
+#[test]
+fn xml_install_equals_model_install() {
+    for seed in 0..64 {
+        let mut rng = TestRng(seed);
+        let policy = random_policy(&mut rng);
+        let ruleset = random_ruleset(&mut rng);
         let mut a = PolicyServer::new();
         a.install_policy(&policy).unwrap();
         let mut b = PolicyServer::new();
         b.install_policy_xml(&policy.to_xml()).unwrap();
-        let va = a.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
-        let vb = b.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
-        prop_assert_eq!(va.verdict, vb.verdict);
+        let va = a
+            .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql)
+            .unwrap();
+        let vb = b
+            .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(va.verdict, vb.verdict, "seed {seed}");
     }
+}
 
-    /// Index use never changes SQL verdicts (only their cost).
-    #[test]
-    fn indexes_do_not_change_verdicts(policy in policy_strategy(), ruleset in ruleset_strategy()) {
+/// Index use never changes SQL verdicts (only their cost).
+#[test]
+fn indexes_do_not_change_verdicts() {
+    for seed in 0..64 {
+        let mut rng = TestRng(seed);
+        let policy = random_policy(&mut rng);
+        let ruleset = random_ruleset(&mut rng);
         let mut fast = PolicyServer::new();
         fast.install_policy(&policy).unwrap();
         let mut slow = PolicyServer::new();
         slow.install_policy(&policy).unwrap();
         slow.database_mut().set_use_indexes(false);
-        let vf = fast.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
-        let vs = slow.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql).unwrap();
-        prop_assert_eq!(vf.verdict, vs.verdict);
+        let vf = fast
+            .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql)
+            .unwrap();
+        let vs = slow
+            .match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(vf.verdict, vs.verdict, "seed {seed}");
     }
 }

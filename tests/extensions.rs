@@ -34,8 +34,13 @@ fn versioning_flow_end_to_end() {
     let mut v2 = volga_policy();
     v2.statements[0]
         .recipients
-        .push(p3p_suite::policy::model::RecipientUse::always(Recipient::Unrelated));
-    assert_eq!(upgrade_policy(&mut server, &v2, "share with partners").unwrap(), 2);
+        .push(p3p_suite::policy::model::RecipientUse::always(
+            Recipient::Unrelated,
+        ));
+    assert_eq!(
+        upgrade_policy(&mut server, &v2, "share with partners").unwrap(),
+        2
+    );
     let d = diff_versions(&server, "volga", 1, 2).unwrap();
     assert_eq!(d.recipients_added, vec!["unrelated (always)"]);
     // The upgrade flips the Low preference's verdict; rollback restores.
@@ -132,7 +137,9 @@ fn custom_schema_flow_end_to_end() {
         [DataRef::new("loyalty")],
     ));
     let mut server = PolicyServer::new();
-    server.install_policy_with_schemas(&policy, &[schema]).unwrap();
+    server
+        .install_policy_with_schemas(&policy, &[schema])
+        .unwrap();
     // A category rule over the custom schema's category fires everywhere.
     let pref = p3p_suite::appel::Ruleset::parse(
         r##"<appel:RULESET><appel:RULE behavior="block">
@@ -161,7 +168,10 @@ fn explain_shows_probes_on_the_shredded_schema() {
              SELECT * FROM purpose pu WHERE pu.policy_id = s.policy_id AND pu.statement_id = s.statement_id))",
     )
     .unwrap();
-    assert!(plan.contains("IndexProbe policy AS p on (policy_id)"), "{plan}");
+    assert!(
+        plan.contains("IndexProbe policy AS p on (policy_id)"),
+        "{plan}"
+    );
     assert!(plan.contains("IndexProbe statement AS s"), "{plan}");
     assert!(plan.contains("IndexProbe purpose AS pu"), "{plan}");
 }

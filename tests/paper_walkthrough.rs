@@ -75,7 +75,11 @@ fn policy_roundtrips_as_xml_and_still_matches() {
     let mut server = PolicyServer::new();
     server.install_policy_xml(&xml).unwrap();
     let outcome = server
-        .match_preference(&jane_preference(), Target::Policy("volga"), EngineKind::Native)
+        .match_preference(
+            &jane_preference(),
+            Target::Policy("volga"),
+            EngineKind::Native,
+        )
         .unwrap();
     assert_eq!(outcome.verdict.behavior, Behavior::Request);
 }

@@ -1,0 +1,52 @@
+//! Integration test for the slow-query log: with a zero threshold the
+//! log captures every SQL statement the match pipeline executes, and
+//! every statement run inside the per-rule loop is attributed to the
+//! APPEL rule it was translated from.
+//!
+//! The log, its threshold, and the rule context are process-global, so
+//! this file holds the single test that drives them end to end (other
+//! integration-test binaries are separate processes and cannot
+//! interfere).
+
+use p3p_suite::appel::model::jane_preference;
+use p3p_suite::policy::model::volga_policy;
+use p3p_suite::server::{EngineKind, PolicyServer, Target};
+use p3p_suite::telemetry::slowlog;
+use std::time::Duration;
+
+#[test]
+fn threshold_zero_captures_every_statement_with_rule_attribution() {
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+
+    slowlog::set_threshold(Duration::ZERO);
+    slowlog::clear();
+    let outcome = server
+        .match_preference(&jane_preference(), Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    slowlog::disable();
+    assert_eq!(outcome.verdict.fired_rule, Some(2));
+
+    let entries = slowlog::entries();
+    // Jane's preference fires its third rule, so the loop executed the
+    // translated query of rules 0, 1, and 2 — in order.
+    let attributed: Vec<_> = entries.iter().filter(|r| r.rule_id.is_some()).collect();
+    assert_eq!(attributed.len(), 3, "{entries:#?}");
+    for (index, record) in attributed.iter().enumerate() {
+        assert_eq!(record.rule_id, Some(index as u64), "{record:#?}");
+        assert!(
+            record.sql.trim_start().to_uppercase().starts_with("SELECT"),
+            "rule queries are SELECTs: {}",
+            record.sql
+        );
+        assert!(
+            record.stats.rows_scanned + record.stats.index_probes > 0,
+            "each translated query did observable work: {record:#?}"
+        );
+    }
+    // The fired rule's query produced the verdict row.
+    assert_eq!(attributed[2].stats.rows_output, 1, "{:#?}", attributed[2]);
+    // Statements outside the per-rule loop (the applicable-policy
+    // staging) are captured too, without rule attribution.
+    assert!(entries.iter().any(|r| r.rule_id.is_none()), "{entries:#?}");
+}
