@@ -123,7 +123,7 @@ impl fmt::Display for Connective {
 /// A pattern expression: matches one policy element by name, attributes,
 /// and recursively its children (paper §2.2: "the format of a pattern
 /// follows the format used in specifying privacy policies").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Expr {
     /// Element name to match (prefix ignored during matching).
     pub name: QName,
@@ -189,7 +189,7 @@ impl Expr {
 }
 
 /// One APPEL rule: a behavior plus a pattern (paper §2.2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Rule {
     pub behavior: Behavior,
     /// Human-readable description, if any.
@@ -238,7 +238,7 @@ impl Rule {
 }
 
 /// A complete APPEL preference: an ordered list of rules.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Ruleset {
     pub rules: Vec<Rule>,
     /// The `crtdby` attribute (creator tool).

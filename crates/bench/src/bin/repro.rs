@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | ablation
+//! repro --table shredding | warmcold | caching | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! ```
@@ -17,8 +17,9 @@
 //! timing report.
 
 use p3p_bench::{
-    ablation_table, figure19, figure20, figure21, scaling_table, shredding_table, subset_table,
-    telemetry_table, warm_cold_table, DEFAULT_SEED,
+    ablation_table, bench_matching_json, caching_report, caching_table, figure19, figure20,
+    figure21, scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table,
+    DEFAULT_SEED,
 };
 
 fn main() {
@@ -86,6 +87,24 @@ fn main() {
     if all || tables.iter().any(|t| t == "warmcold") {
         println!("{}", warm_cold_table(seed));
     }
+    let mut caching_ok = true;
+    if all || tables.iter().any(|t| t == "caching") {
+        let report = caching_report(seed);
+        println!("{}", caching_table(&report));
+        let json = bench_matching_json(seed, &report);
+        let path = std::path::Path::new("BENCH_matching.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        let speedup = report.optimized_sql_convert_speedup();
+        if speedup < 5.0 {
+            eprintln!(
+                "error: optimized-SQL warm convert speedup {speedup:.1}x is below the 5x floor"
+            );
+            caching_ok = false;
+        }
+    }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
     }
@@ -100,6 +119,9 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
+    if !caching_ok {
+        std::process::exit(1);
+    }
 }
 
 /// Print the metrics the run accumulated and write the snapshot (text
@@ -128,7 +150,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

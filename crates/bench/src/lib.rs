@@ -10,6 +10,8 @@
 //! * [`figure21`] — the per-preference-level breakdown, with the
 //!   XQuery column empty for Medium (XTABLE failure);
 //! * [`warm_cold_table`] — the §6.3.2 warm-vs-cold discussion;
+//! * [`caching_table`] — cold vs warm translation with the prepared-plan
+//!   and translation caches (plus per-cache hit rates);
 //! * [`ablation_table`] — the §6.3.2 profiling claim: category
 //!   augmentation dominates the native engine's cost.
 //!
@@ -56,6 +58,20 @@ impl Sample {
             Duration::ZERO
         } else {
             self.total / self.count
+        }
+    }
+
+    /// Combine two samples.
+    pub fn merge(&self, other: &Sample) -> Sample {
+        match (self.count, other.count) {
+            (0, _) => *other,
+            (_, 0) => *self,
+            _ => Sample {
+                total: self.total + other.total,
+                max: self.max.max(other.max),
+                min: self.min.min(other.min),
+                count: self.count + other.count,
+            },
         }
     }
 }
@@ -408,6 +424,214 @@ pub fn warm_cold_table(seed: u64) -> String {
 }
 
 // ----------------------------------------------------------------------
+// Caching (cold vs warm translation, plan & translation cache rates)
+// ----------------------------------------------------------------------
+
+/// Cold/warm split for one engine across the full preference × policy
+/// sweep. A match is *cold* when its translation missed the per-ruleset
+/// cache (the first match per preference) and *warm* when the prepared
+/// plans came straight from the cache. Engines without a translation
+/// cache (native, XQuery-on-XML) report every match as cold.
+#[derive(Debug, Clone)]
+pub struct EngineCaching {
+    pub engine: EngineKind,
+    pub cold_convert: Sample,
+    pub warm_convert: Sample,
+    pub cold_total: Sample,
+    pub warm_total: Sample,
+    pub failures: usize,
+}
+
+impl EngineCaching {
+    /// All successful matches, cold and warm together.
+    pub fn all_total(&self) -> Sample {
+        self.cold_total.merge(&self.warm_total)
+    }
+
+    /// Cold-over-warm convert-time ratio (`None` when nothing was
+    /// cached, e.g. for the native engine).
+    pub fn convert_speedup(&self) -> Option<f64> {
+        if self.warm_convert.count == 0 || self.cold_convert.count == 0 {
+            return None;
+        }
+        Some(ratio(self.cold_convert.avg(), self.warm_convert.avg()))
+    }
+}
+
+/// The full caching sweep plus end-of-run cache counters.
+#[derive(Debug, Clone)]
+pub struct CachingReport {
+    pub rows: Vec<EngineCaching>,
+    pub translation: p3p_server::translation::TranslationCacheStats,
+    pub plans: p3p_minidb::PlanCacheStats,
+}
+
+impl CachingReport {
+    /// The acceptance metric: how much faster the optimized-SQL convert
+    /// phase is once the translation cache is warm.
+    pub fn optimized_sql_convert_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.engine == EngineKind::Sql)
+            .and_then(EngineCaching::convert_speedup)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run the full preference × policy sweep for every engine on one
+/// server, splitting cold (translation-cache miss) from warm matches.
+pub fn caching_report(seed: u64) -> CachingReport {
+    let server = setup_server(seed);
+    let suite = preference_suite();
+    let names = server.policy_names();
+    let mut rows = Vec::new();
+    for &engine in EngineKind::ALL {
+        let mut row = EngineCaching {
+            engine,
+            cold_convert: Sample::default(),
+            warm_convert: Sample::default(),
+            cold_total: Sample::default(),
+            warm_total: Sample::default(),
+            failures: 0,
+        };
+        for (_, ruleset) in &suite {
+            for name in &names {
+                match server.match_preference_snapshot(ruleset, Target::Policy(name), engine) {
+                    Ok(o) => {
+                        let total = o.convert + o.query;
+                        if o.cached {
+                            row.warm_convert.push(o.convert);
+                            row.warm_total.push(total);
+                        } else {
+                            row.cold_convert.push(o.convert);
+                            row.cold_total.push(total);
+                        }
+                    }
+                    Err(_) => row.failures += 1,
+                }
+            }
+        }
+        rows.push(row);
+    }
+    CachingReport {
+        rows,
+        translation: server.translation_cache_stats(),
+        plans: server.database().plan_cache_stats(),
+    }
+}
+
+fn opt_fmt(s: &Sample) -> String {
+    if s.count == 0 {
+        "-".to_string()
+    } else {
+        fmt_duration(s.avg())
+    }
+}
+
+/// Render the cold-vs-warm caching table.
+pub fn caching_table(report: &CachingReport) -> String {
+    let mut out = String::new();
+    out.push_str("Caching: cold vs warm matching (full suite x corpus)\n");
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>9} {:>12} {:>12}\n",
+        "Engine", "Cold conv", "Warm conv", "Speedup", "Cold total", "Warm total"
+    ));
+    for row in &report.rows {
+        let speedup = match row.convert_speedup() {
+            Some(s) => format!("{s:.1}x"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>12} {:>9} {:>12} {:>12}\n",
+            row.engine.label(),
+            opt_fmt(&row.cold_convert),
+            opt_fmt(&row.warm_convert),
+            speedup,
+            opt_fmt(&row.cold_total),
+            opt_fmt(&row.warm_total),
+        ));
+    }
+    let t = &report.translation;
+    let p = &report.plans;
+    out.push_str(&format!(
+        "translation cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)\n",
+        t.hits,
+        t.misses,
+        t.evictions,
+        hit_rate(t.hits, t.misses) * 100.0
+    ));
+    out.push_str(&format!(
+        "plan cache: {} hits / {} misses / {} evictions / {} invalidations ({:.0}% hit rate)\n",
+        p.hits,
+        p.misses,
+        p.evictions,
+        p.invalidations,
+        hit_rate(p.hits, p.misses) * 100.0
+    ));
+    out.push_str(
+        "(cold = first match of a preference: translate + prepare; warm = cached plans)\n",
+    );
+    out
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Machine-readable summary of the caching sweep: per-engine avg/max/min
+/// microseconds plus cache hit rates (`BENCH_matching.json`).
+pub fn bench_matching_json(seed: u64, report: &CachingReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"engines\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let all = row.all_total();
+        let speedup = match row.convert_speedup() {
+            Some(s) => format!("{s:.2}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"matches\": {}, \"failures\": {}, \
+             \"avg_us\": {:.2}, \"max_us\": {:.2}, \"min_us\": {:.2}, \
+             \"cold_convert_avg_us\": {:.2}, \"warm_convert_avg_us\": {:.2}, \
+             \"convert_speedup\": {}}}{}\n",
+            row.engine.metric_label(),
+            all.count,
+            row.failures,
+            us(all.avg()),
+            us(all.max),
+            us(all.min),
+            us(row.cold_convert.avg()),
+            us(row.warm_convert.avg()),
+            speedup,
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let t = &report.translation;
+    out.push_str(&format!(
+        "  \"translation_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n",
+        t.hits, t.misses, t.evictions, hit_rate(t.hits, t.misses)
+    ));
+    let p = &report.plans;
+    out.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"invalidations\": {}, \"hit_rate\": {:.4}}}\n",
+        p.hits, p.misses, p.evictions, p.invalidations, hit_rate(p.hits, p.misses)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+// ----------------------------------------------------------------------
 // Ablation (§6.3.2 profiling claim)
 // ----------------------------------------------------------------------
 
@@ -745,6 +969,48 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, 29);
         assert_eq!(rows[1].0, 60);
+    }
+
+    #[test]
+    fn caching_report_shows_warm_hits_for_translated_engines() {
+        let report = caching_report(DEFAULT_SEED);
+        assert_eq!(report.rows.len(), EngineKind::ALL.len());
+        for row in &report.rows {
+            match row.engine {
+                EngineKind::Sql | EngineKind::SqlGeneric => {
+                    // 5 preferences × 29 policies: one cold match per
+                    // preference, the rest warm.
+                    assert_eq!(row.cold_convert.count, 5, "{:?}", row.engine);
+                    assert_eq!(row.warm_convert.count, 5 * 29 - 5, "{:?}", row.engine);
+                }
+                EngineKind::XQueryXTable => {
+                    // Medium fails to translate; the other four levels
+                    // split cold/warm as above.
+                    assert_eq!(row.cold_convert.count, 4, "{:?}", row.engine);
+                    assert_eq!(row.warm_convert.count, 4 * 29 - 4, "{:?}", row.engine);
+                    assert_eq!(row.failures, 29, "{:?}", row.engine);
+                }
+                EngineKind::Native | EngineKind::XQueryNative => {
+                    assert_eq!(row.warm_convert.count, 0, "{:?}", row.engine);
+                }
+            }
+        }
+        assert!(report.translation.hits > 0);
+        let json = bench_matching_json(DEFAULT_SEED, &report);
+        assert!(json.contains("\"translation_cache\""), "{json}");
+        assert!(json.contains("\"engine\": \"sql\""), "{json}");
+        let table = caching_table(&report);
+        assert!(table.contains("plan cache:"), "{table}");
+    }
+
+    #[test]
+    fn warm_convert_is_at_least_5x_faster_for_optimized_sql() {
+        let report = caching_report(DEFAULT_SEED);
+        let speedup = report.optimized_sql_convert_speedup();
+        assert!(
+            speedup >= 5.0,
+            "optimized-SQL warm convert must be ≥5x faster than cold, got {speedup:.1}x"
+        );
     }
 
     #[test]

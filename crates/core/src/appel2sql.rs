@@ -76,11 +76,40 @@ const FALSE_COND: &str = "1 = 0";
 /// query selects the rule's behavior from `applicable_policy` when the
 /// pattern matches the staged policy.
 pub fn translate_rule_generic(rule: &Rule, schema: &GenericSchema) -> Result<String, ServerError> {
+    translate_generic(rule, schema, false)
+}
+
+/// Like [`translate_rule_generic`], but parameterized: instead of
+/// reading a staged `applicable_policy` table, the query scans the
+/// generic policy table under the alias `applicable_policy` and pins
+/// the policy under test with a `?` bind parameter. The inner
+/// correlation text is byte-identical to the staged form, and the
+/// DELETE+INSERT staging round-trip disappears.
+pub fn translate_rule_generic_bound(
+    rule: &Rule,
+    schema: &GenericSchema,
+) -> Result<String, ServerError> {
+    translate_generic(rule, schema, true)
+}
+
+fn translate_generic(
+    rule: &Rule,
+    schema: &GenericSchema,
+    bound: bool,
+) -> Result<String, ServerError> {
     let mut aliases = Aliases::new();
-    let mut sql = format!(
-        "SELECT {} FROM applicable_policy",
-        sql_quote(rule.behavior.as_str())
-    );
+    let mut sql = if bound {
+        format!(
+            "SELECT {} FROM {} applicable_policy WHERE applicable_policy.policy_id = ?",
+            sql_quote(rule.behavior.as_str()),
+            schema.table_for("POLICY")
+        )
+    } else {
+        format!(
+            "SELECT {} FROM applicable_policy",
+            sql_quote(rule.behavior.as_str())
+        )
+    };
     if rule.pattern.is_empty() {
         return Ok(sql);
     }
@@ -93,8 +122,15 @@ pub fn translate_rule_generic(rule: &Rule, schema: &GenericSchema) -> Result<Str
     for expr in &rule.pattern {
         conds.push(generic_expr(expr, None, schema, &mut aliases)?);
     }
-    sql.push_str(" WHERE ");
-    sql.push_str(&combine(rule.connective, &conds));
+    let combined = combine(rule.connective, &conds);
+    if bound {
+        sql.push_str(" AND (");
+        sql.push_str(&combined);
+        sql.push(')');
+    } else {
+        sql.push_str(" WHERE ");
+        sql.push_str(&combined);
+    }
     Ok(sql)
 }
 
@@ -252,11 +288,32 @@ fn generic_exactness(
 
 /// Translate one APPEL rule into SQL against the optimized schema.
 pub fn translate_rule_optimized(rule: &Rule) -> Result<String, ServerError> {
+    translate_optimized(rule, false)
+}
+
+/// Like [`translate_rule_optimized`], but parameterized: instead of
+/// reading a staged `applicable_policy` table, the query scans the
+/// `policy` table under the alias `applicable_policy` and pins the
+/// policy under test with a `?` bind parameter. The inner correlation
+/// text is byte-identical to the staged form, and the DELETE+INSERT
+/// staging round-trip disappears.
+pub fn translate_rule_optimized_bound(rule: &Rule) -> Result<String, ServerError> {
+    translate_optimized(rule, true)
+}
+
+fn translate_optimized(rule: &Rule, bound: bool) -> Result<String, ServerError> {
     let mut aliases = Aliases::new();
-    let mut sql = format!(
-        "SELECT {} FROM applicable_policy",
-        sql_quote(rule.behavior.as_str())
-    );
+    let mut sql = if bound {
+        format!(
+            "SELECT {} FROM policy applicable_policy WHERE applicable_policy.policy_id = ?",
+            sql_quote(rule.behavior.as_str())
+        )
+    } else {
+        format!(
+            "SELECT {} FROM applicable_policy",
+            sql_quote(rule.behavior.as_str())
+        )
+    };
     if rule.pattern.is_empty() {
         return Ok(sql);
     }
@@ -269,8 +326,15 @@ pub fn translate_rule_optimized(rule: &Rule) -> Result<String, ServerError> {
     for expr in &rule.pattern {
         conds.push(policy_expr(expr, &mut aliases)?);
     }
-    sql.push_str(" WHERE ");
-    sql.push_str(&combine(rule.connective, &conds));
+    let combined = combine(rule.connective, &conds);
+    if bound {
+        sql.push_str(" AND (");
+        sql.push_str(&combined);
+        sql.push(')');
+    } else {
+        sql.push_str(" WHERE ");
+        sql.push_str(&combined);
+    }
     Ok(sql)
 }
 
@@ -885,6 +949,59 @@ mod tests {
         rule.pattern.clear();
         let sql = translate_rule_optimized(&rule).unwrap();
         assert!(sql.contains("'it''s'"));
+    }
+
+    #[test]
+    fn bound_translation_aliases_policy_as_applicable_policy() {
+        let sql = translate_rule_optimized_bound(&figure_12_rule()).unwrap();
+        assert!(
+            sql.starts_with(
+                "SELECT 'block' FROM policy applicable_policy \
+                 WHERE applicable_policy.policy_id = ? AND ("
+            ),
+            "{sql}"
+        );
+        // The inner conditions are byte-identical to the staged form.
+        let staged = translate_rule_optimized(&figure_12_rule()).unwrap();
+        let staged_conds = staged.split_once(" WHERE ").unwrap().1;
+        assert!(sql.ends_with(&format!("({staged_conds})")), "{sql}");
+    }
+
+    #[test]
+    fn bound_unconditional_rule_checks_policy_existence() {
+        let rule = Rule::unconditional(Behavior::Request);
+        assert_eq!(
+            translate_rule_optimized_bound(&rule).unwrap(),
+            "SELECT 'request' FROM policy applicable_policy \
+             WHERE applicable_policy.policy_id = ?"
+        );
+    }
+
+    #[test]
+    fn bound_generic_translation_uses_generic_policy_table() {
+        let schema = GenericSchema::default();
+        let sql = translate_rule_generic_bound(&figure_12_rule(), &schema).unwrap();
+        assert!(
+            sql.starts_with(
+                "SELECT 'block' FROM g_policy applicable_policy \
+                 WHERE applicable_policy.policy_id = ? AND ("
+            ),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn bound_sql_parses_with_one_parameter() {
+        let schema = GenericSchema::default();
+        for rule in &jane_preference().rules {
+            for sql in [
+                translate_rule_optimized_bound(rule).unwrap(),
+                translate_rule_generic_bound(rule, &schema).unwrap(),
+            ] {
+                let (_, params) = p3p_minidb::sql::parse_statement_params(&sql).unwrap();
+                assert_eq!(params.len(), 1, "{sql}");
+            }
+        }
     }
 
     #[test]

@@ -38,9 +38,8 @@ impl SharedServer {
         self.inner.lock().unwrap().install_policy(policy)
     }
 
-    /// Match a preference (exclusive — the SQL path stages the
-    /// applicable policy in the shared database; use [`MatchPool`] for
-    /// parallel matching).
+    /// Match a preference (exclusive — use [`MatchPool`] to match many
+    /// visitors in parallel without serializing on the lock).
     pub fn match_preference(
         &self,
         ruleset: &Ruleset,
@@ -84,8 +83,10 @@ impl MatchPool {
     }
 
     /// Match against the snapshot. Each call clones the snapshot handle
-    /// (an `Arc` bump) and runs on a private copy of the tiny staging
-    /// state, so any number of threads can match simultaneously.
+    /// (an `Arc` bump) and matches zero-copy: the SQL engines bind the
+    /// policy id as a parameter and the XTable engine stages into a
+    /// copy-on-write fork, so no per-call deep copy of server state is
+    /// made and any number of threads can match simultaneously.
     pub fn match_preference(
         &self,
         ruleset: &Ruleset,
@@ -93,10 +94,7 @@ impl MatchPool {
         engine: EngineKind,
     ) -> Result<MatchOutcome, ServerError> {
         let snapshot = self.snapshot.read().unwrap().clone();
-        // The match path mutates only the one-row staging table, so a
-        // per-call clone of the server keeps workers independent.
-        let mut local = snapshot.clone_state();
-        local.match_preference(ruleset, target, engine)
+        snapshot.match_preference_snapshot(ruleset, target, engine)
     }
 }
 

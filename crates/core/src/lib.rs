@@ -65,6 +65,7 @@ pub mod optimized;
 pub mod refschema;
 pub mod server;
 pub mod subset;
+pub mod translation;
 pub mod versioning;
 pub mod view;
 pub mod xtable;

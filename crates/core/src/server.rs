@@ -18,23 +18,25 @@
 //! * [`EngineKind::Native`] — the client-centric baseline: the native
 //!   APPEL engine re-parsing and re-augmenting the policy per match.
 
-use crate::appel2sql::{translate_rule_generic, translate_rule_optimized};
+use crate::appel2sql::{translate_rule_generic_bound, translate_rule_optimized_bound};
 use crate::appel2xquery::translate_rule_xquery;
 use crate::error::ServerError;
 use crate::generic::GenericSchema;
 use crate::optimized;
 use crate::refschema;
+use crate::translation::{TranslationCache, TranslationVariant};
 use crate::view;
 use crate::xtable::XTable;
 use p3p_appel::engine::{AppelEngine, Verdict};
 use p3p_appel::model::Ruleset;
-use p3p_minidb::Database;
+use p3p_minidb::{Database, Value};
 use p3p_policy::augment::augment_policy;
 use p3p_policy::model::Policy;
 use p3p_policy::reference::ReferenceFile;
 use p3p_telemetry::slowlog::QueryContextGuard;
 use p3p_telemetry::{metrics, span};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which matching engine to use.
@@ -107,9 +109,26 @@ pub struct MatchOutcome {
     pub convert: Duration,
     /// Time executing the queries (or the native match).
     pub query: Duration,
+    /// True when the translation came from the per-ruleset cache, so
+    /// `convert` covers only the cache lookup.
+    pub cached: bool,
     /// Executor statistics for this match alone (the stats window is
     /// reset when the match starts, so nothing bleeds across engines).
     pub db_stats: p3p_minidb::exec::ExecStats,
+}
+
+/// The installed-policy catalog: everything keyed by policy name/id
+/// outside the relational store. Kept behind an `Arc` so snapshotting a
+/// server shares it instead of deep-copying every policy's XML.
+#[derive(Debug, Clone, Default)]
+struct PolicyCatalog {
+    /// name → (policy id, original XML text) — what a client would be
+    /// served, fed to the native engine.
+    raw_xml: BTreeMap<String, (i64, String)>,
+    /// id → name, for O(1) reverse lookup.
+    names_by_id: HashMap<i64, String>,
+    /// id → explicit-form XML for the XQuery-on-XML engine.
+    explicit_xml: BTreeMap<i64, p3p_xmldom::Element>,
 }
 
 /// The server: database + document stores + catalogs.
@@ -118,11 +137,10 @@ pub struct PolicyServer {
     db: Database,
     generic: GenericSchema,
     xtable: XTable,
-    /// name → (policy id, original XML text) — what a client would be
-    /// served, fed to the native engine.
-    raw_xml: BTreeMap<String, (i64, String)>,
-    /// id → explicit-form XML for the XQuery-on-XML engine.
-    explicit_xml: BTreeMap<i64, p3p_xmldom::Element>,
+    catalog: Arc<PolicyCatalog>,
+    /// Ruleset-fingerprint → prepared plans. Shared across clones so
+    /// concurrent snapshots warm the cache for each other.
+    translations: TranslationCache,
     next_policy_id: i64,
     next_meta_id: i64,
     native: AppelEngine,
@@ -140,17 +158,19 @@ impl PolicyServer {
             db,
             xtable: XTable::new(generic.clone()),
             generic,
-            raw_xml: BTreeMap::new(),
-            explicit_xml: BTreeMap::new(),
+            catalog: Arc::new(PolicyCatalog::default()),
+            translations: TranslationCache::default(),
             next_policy_id: 0,
             next_meta_id: 0,
             native: AppelEngine::default(),
         }
     }
 
-    /// A deep copy of the full server state (database, stores,
-    /// catalogs) — the snapshot primitive behind
-    /// [`crate::concurrent::MatchPool`].
+    /// A snapshot of the full server state — the primitive behind
+    /// [`crate::concurrent::MatchPool`]. Cheap: table contents, the
+    /// policy catalog, and both caches are shared (copy-on-write where
+    /// mutation is possible), so this is a handful of `Arc` bumps
+    /// rather than a deep copy.
     pub fn clone_state(&self) -> PolicyServer {
         self.clone()
     }
@@ -167,12 +187,17 @@ impl PolicyServer {
 
     /// Names of installed policies.
     pub fn policy_names(&self) -> Vec<String> {
-        self.raw_xml.keys().cloned().collect()
+        self.catalog.raw_xml.keys().cloned().collect()
     }
 
     /// The id of an installed policy.
     pub fn policy_id(&self, name: &str) -> Option<i64> {
-        self.raw_xml.get(name).map(|(id, _)| *id)
+        self.catalog.raw_xml.get(name).map(|(id, _)| *id)
+    }
+
+    /// Hit/miss/eviction counters of the per-ruleset translation cache.
+    pub fn translation_cache_stats(&self) -> crate::translation::TranslationCacheStats {
+        self.translations.stats()
     }
 
     /// Install a policy from its model. Returns the assigned id.
@@ -206,7 +231,7 @@ impl PolicyServer {
     }
 
     fn install_with_xml(&mut self, policy: &Policy, xml: String) -> Result<i64, ServerError> {
-        if self.raw_xml.contains_key(&policy.name) {
+        if self.catalog.raw_xml.contains_key(&policy.name) {
             return Err(ServerError::Install(format!(
                 "policy `{}` is already installed",
                 policy.name
@@ -231,8 +256,10 @@ impl PolicyServer {
             self.generic.shred(&mut self.db, id, &explicit)?;
         }
         shred_us("generic").observe_duration(t1.elapsed());
-        self.raw_xml.insert(policy.name.clone(), (id, xml));
-        self.explicit_xml.insert(id, explicit);
+        let catalog = Arc::make_mut(&mut self.catalog);
+        catalog.raw_xml.insert(policy.name.clone(), (id, xml));
+        catalog.names_by_id.insert(id, policy.name.clone());
+        catalog.explicit_xml.insert(id, explicit);
         metrics::histogram("p3p_install_policy_us").observe_duration(start.elapsed());
         metrics::counter("p3p_policies_installed_total").inc();
         Ok(id)
@@ -240,11 +267,13 @@ impl PolicyServer {
 
     /// Remove a policy everywhere.
     pub fn remove_policy(&mut self, name: &str) -> Result<(), ServerError> {
-        let Some((id, _)) = self.raw_xml.remove(name) else {
+        let catalog = Arc::make_mut(&mut self.catalog);
+        let Some((id, _)) = catalog.raw_xml.remove(name) else {
             return Err(ServerError::UnknownPolicy(name.to_string()));
         };
+        catalog.names_by_id.remove(&id);
+        catalog.explicit_xml.remove(&id);
         optimized::unshred(&mut self.db, id)?;
-        self.explicit_xml.remove(&id);
         // Generic tables: sweep by policy_id.
         let tables: Vec<String> = self
             .db
@@ -263,9 +292,9 @@ impl PolicyServer {
     /// installed policies.
     pub fn install_reference(&mut self, file: &ReferenceFile) -> Result<(), ServerError> {
         self.next_meta_id += 1;
-        let names = self.raw_xml.clone();
+        let catalog = Arc::clone(&self.catalog);
         refschema::shred_reference(&mut self.db, self.next_meta_id, file, |name| {
-            names.get(name).map(|(id, _)| *id)
+            catalog.raw_xml.get(name).map(|(id, _)| *id)
         })
     }
 
@@ -302,6 +331,21 @@ impl PolicyServer {
         target: Target<'_>,
         engine: EngineKind,
     ) -> Result<MatchOutcome, ServerError> {
+        self.match_preference_snapshot(ruleset, target, engine)
+    }
+
+    /// [`Self::match_preference`] without the mutable borrow: matching
+    /// never mutates server state. The SQL engines run bound prepared
+    /// plans with the policy id as a parameter; the XTable engine
+    /// stages into a copy-on-write fork of the database. This is what
+    /// lets [`crate::concurrent::MatchPool`] match straight off a
+    /// shared snapshot with no per-match deep copy.
+    pub fn match_preference_snapshot(
+        &self,
+        ruleset: &Ruleset,
+        target: Target<'_>,
+        engine: EngineKind,
+    ) -> Result<MatchOutcome, ServerError> {
         p3p_minidb::exec::reset_stats();
         let label = engine.metric_label();
         let _span = span!("match", engine = label);
@@ -329,7 +373,15 @@ impl PolicyServer {
                         &[("engine", label), ("phase", name)],
                     )
                 };
-                phase("translate").observe_duration(outcome.convert);
+                // A cache hit spends the convert window on a fingerprint
+                // lookup, not translation — label it separately so warm
+                // and cold distributions don't mix.
+                phase(if outcome.cached {
+                    "cached"
+                } else {
+                    "translate"
+                })
+                .observe_duration(outcome.convert);
                 phase("execute").observe_duration(outcome.query);
                 // Everything outside translate/execute: target
                 // resolution, staging, and verdict assembly.
@@ -344,9 +396,10 @@ impl PolicyServer {
     }
 
     fn raw_xml_of(&self, policy_id: i64) -> Result<&str, ServerError> {
-        self.raw_xml
-            .values()
-            .find(|(id, _)| *id == policy_id)
+        self.catalog
+            .names_by_id
+            .get(&policy_id)
+            .and_then(|name| self.catalog.raw_xml.get(name))
             .map(|(_, xml)| xml.as_str())
             .ok_or_else(|| ServerError::UnknownPolicy(format!("id {policy_id}")))
     }
@@ -362,30 +415,42 @@ impl PolicyServer {
             verdict,
             convert: Duration::ZERO,
             query: start.elapsed(),
+            cached: false,
             db_stats: Default::default(),
         })
     }
 
     fn match_sql(
-        &mut self,
+        &self,
         ruleset: &Ruleset,
         policy_id: i64,
         generic: bool,
     ) -> Result<MatchOutcome, ServerError> {
-        refschema::stage_applicable(&mut self.db, policy_id)?;
         // Convert phase: "We translate each rule into a SQL query ...
         // and submit the queries to the database in order" (§5.3) — the
-        // whole preference is translated before the first query runs.
+        // whole preference is translated before the first query runs,
+        // and the prepared plans are cached per ruleset. The policy id
+        // is a bound parameter, so the same plans serve every policy
+        // with no staging round-trip.
+        let variant = if generic {
+            TranslationVariant::Generic
+        } else {
+            TranslationVariant::Optimized
+        };
         let translate_span = span!("translate");
         let t0 = Instant::now();
-        let mut queries = Vec::with_capacity(ruleset.rules.len());
-        for rule in &ruleset.rules {
-            queries.push(if generic {
-                translate_rule_generic(rule, &self.generic)?
-            } else {
-                translate_rule_optimized(rule)?
-            });
-        }
+        let (plans, cached) = self.translations.get_or_try_insert(ruleset, variant, || {
+            let mut plans = Vec::with_capacity(ruleset.rules.len());
+            for rule in &ruleset.rules {
+                let sql = if generic {
+                    translate_rule_generic_bound(rule, &self.generic)?
+                } else {
+                    translate_rule_optimized_bound(rule)?
+                };
+                plans.push(Some(self.db.prepare(&sql)?));
+            }
+            Ok::<_, ServerError>(plans)
+        })?;
         let convert = t0.elapsed();
         drop(translate_span);
         // Query phase: run in order; the first non-empty result fires.
@@ -393,9 +458,13 @@ impl PolicyServer {
         // from, so the slow-query log can attribute it.
         let _execute_span = span!("execute");
         let t1 = Instant::now();
-        for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+        let params = [Value::Int(policy_id)];
+        for (index, (rule, plan)) in ruleset.rules.iter().zip(plans.iter()).enumerate() {
             let _ctx = QueryContextGuard::rule(index as u64);
-            let result = self.db.query(sql)?;
+            let plan = plan
+                .as_ref()
+                .expect("SQL translation yields a plan per rule");
+            let result = self.db.query_prepared(plan, &params)?;
             if !result.is_empty() {
                 return Ok(MatchOutcome {
                     verdict: Verdict {
@@ -404,6 +473,7 @@ impl PolicyServer {
                     },
                     convert,
                     query: t1.elapsed(),
+                    cached,
                     db_stats: Default::default(),
                 });
             }
@@ -412,42 +482,50 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query: t1.elapsed(),
+            cached,
             db_stats: Default::default(),
         })
     }
 
-    fn match_xtable(
-        &mut self,
-        ruleset: &Ruleset,
-        policy_id: i64,
-    ) -> Result<MatchOutcome, ServerError> {
-        refschema::stage_applicable(&mut self.db, policy_id)?;
+    fn match_xtable(&self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
+        // The XTABLE compiler has no bound form — its queries read the
+        // staged `applicable_policy` row. Stage into a copy-on-write
+        // fork: cloning the database is a few `Arc` bumps, and the two
+        // staging statements rewrite only the one-row staging table.
+        let mut db = self.db.clone();
+        refschema::stage_applicable(&mut db, policy_id)?;
         // Convert phase: APPEL → XQuery text → (reparse) → XTABLE → SQL
-        // for the whole preference. A rule beyond the compiler's
-        // capability fails the preference, as it did for the Medium
-        // level in the paper (§6.3.2). Unconditional (OTHERWISE) rules
-        // carry no query.
+        // for the whole preference, cached per ruleset. A rule beyond
+        // the compiler's capability fails the preference, as it did for
+        // the Medium level in the paper (§6.3.2). Unconditional
+        // (OTHERWISE) rules carry no query.
         let translate_span = span!("translate");
         let t0 = Instant::now();
-        let mut queries: Vec<Option<String>> = Vec::with_capacity(ruleset.rules.len());
-        for rule in &ruleset.rules {
-            if rule.pattern.is_empty() {
-                queries.push(None);
-                continue;
-            }
-            let xq = translate_rule_xquery(rule, "applicable-policy")?;
-            let text = xq.to_string();
-            let reparsed = p3p_xquery::parse_xquery(&text)?;
-            queries.push(Some(self.xtable.compile(&reparsed)?));
-        }
+        let (plans, cached) =
+            self.translations
+                .get_or_try_insert(ruleset, TranslationVariant::XTable, || {
+                    let mut plans = Vec::with_capacity(ruleset.rules.len());
+                    for rule in &ruleset.rules {
+                        if rule.pattern.is_empty() {
+                            plans.push(None);
+                            continue;
+                        }
+                        let xq = translate_rule_xquery(rule, "applicable-policy")?;
+                        let text = xq.to_string();
+                        let reparsed = p3p_xquery::parse_xquery(&text)?;
+                        let sql = self.xtable.compile(&reparsed)?;
+                        plans.push(Some(self.db.prepare(&sql)?));
+                    }
+                    Ok::<_, ServerError>(plans)
+                })?;
         let convert = t0.elapsed();
         drop(translate_span);
         let _execute_span = span!("execute");
         let t1 = Instant::now();
-        for (index, (rule, sql)) in ruleset.rules.iter().zip(&queries).enumerate() {
+        for (index, (rule, plan)) in ruleset.rules.iter().zip(plans.iter()).enumerate() {
             let _ctx = QueryContextGuard::rule(index as u64);
-            let fired = match sql {
-                Some(sql) => !self.db.query(sql)?.is_empty(),
+            let fired = match plan {
+                Some(plan) => !db.query_prepared(plan, &[])?.is_empty(),
                 None => true,
             };
             if fired {
@@ -458,6 +536,7 @@ impl PolicyServer {
                     },
                     convert,
                     query: t1.elapsed(),
+                    cached,
                     db_stats: Default::default(),
                 });
             }
@@ -466,6 +545,7 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query: t1.elapsed(),
+            cached,
             db_stats: Default::default(),
         })
     }
@@ -476,6 +556,7 @@ impl PolicyServer {
         policy_id: i64,
     ) -> Result<MatchOutcome, ServerError> {
         let doc = self
+            .catalog
             .explicit_xml
             .get(&policy_id)
             .ok_or_else(|| ServerError::UnknownPolicy(format!("id {policy_id}")))?;
@@ -490,6 +571,7 @@ impl PolicyServer {
                     },
                     convert,
                     query,
+                    cached: false,
                     db_stats: Default::default(),
                 });
             }
@@ -513,6 +595,7 @@ impl PolicyServer {
                     },
                     convert,
                     query,
+                    cached: false,
                     db_stats: Default::default(),
                 });
             }
@@ -521,6 +604,7 @@ impl PolicyServer {
             verdict: Verdict::default_block(),
             convert,
             query,
+            cached: false,
             db_stats: Default::default(),
         })
     }

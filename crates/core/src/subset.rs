@@ -162,7 +162,7 @@ fn tally_expr(expr: &Expr, depth: usize, f: &mut SqlFeatures) {
             f.is_nulls += 1;
             tally_expr(expr, depth, f);
         }
-        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Parameter { .. } => {}
     }
 }
 

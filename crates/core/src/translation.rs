@@ -1,0 +1,315 @@
+//! Per-ruleset translation cache.
+//!
+//! Translating an APPEL ruleset to SQL (or XQuery compiled down to SQL)
+//! is pure: the output depends only on the ruleset and the target
+//! dialect, never on which policy is being matched. The server
+//! therefore fingerprints each ruleset and caches the translated,
+//! *prepared* plans, so a preference that is matched against the whole
+//! policy corpus pays the translate + parse + validate cost exactly
+//! once. Policy identity enters the queries as a bound parameter (see
+//! [`crate::appel2sql::translate_rule_optimized_bound`]), which is what
+//! makes the plans reusable across policies in the first place.
+//!
+//! The cache is keyed by `(fingerprint, variant)` where the fingerprint
+//! is a 64-bit hash of the ruleset structure and the variant selects
+//! the translation dialect. Values are shared slices of prepared plans
+//! (`None` marks an unconditional rule in the XTable dialect, which
+//! produces no query at all). Capacity is bounded with LRU eviction.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use p3p_appel::Ruleset;
+use p3p_minidb::Prepared;
+use p3p_telemetry::metrics::{self, Counter};
+
+/// Which translation dialect a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TranslationVariant {
+    /// Optimized relational schema (paper Fig. 14).
+    Optimized,
+    /// Generic edge/attribute schema (paper Fig. 8).
+    Generic,
+    /// XQuery translated and compiled against the XTable encoding.
+    XTable,
+}
+
+/// A cached translation: one slot per rule, in ruleset order. `None`
+/// marks a rule that needs no query (unconditional XTable rule).
+pub type TranslatedPlans = Arc<[Option<Prepared>]>;
+
+/// Counters for cache effectiveness, surfaced by benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+const DEFAULT_TRANSLATION_CACHE_CAPACITY: usize = 128;
+
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: metrics::counter("p3p_translation_cache_hits_total"),
+        misses: metrics::counter("p3p_translation_cache_misses_total"),
+        evictions: metrics::counter("p3p_translation_cache_evictions_total"),
+    })
+}
+
+#[derive(Debug)]
+struct Entry {
+    plans: TranslatedPlans,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: HashMap<(u64, TranslationVariant), Entry>,
+    tick: u64,
+    capacity: usize,
+    stats: TranslationCacheStats,
+}
+
+/// Bounded LRU cache from ruleset fingerprints to prepared plans.
+///
+/// Cloning shares the underlying cache: every snapshot of a
+/// [`crate::PolicyServer`] keeps warming the same cache, so concurrent
+/// matchers benefit from each other's translations.
+#[derive(Debug, Clone)]
+pub struct TranslationCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for TranslationCache {
+    fn default() -> Self {
+        TranslationCache {
+            inner: Arc::new(Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                capacity: DEFAULT_TRANSLATION_CACHE_CAPACITY,
+                stats: TranslationCacheStats::default(),
+            })),
+        }
+    }
+}
+
+impl TranslationCache {
+    /// Structural fingerprint of a ruleset. Two rulesets with the same
+    /// rules in the same order collide on purpose; unrelated rulesets
+    /// colliding requires a 64-bit hash collision.
+    pub fn fingerprint(ruleset: &Ruleset) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        ruleset.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Look up the translation for `ruleset` in `variant`, building it
+    /// with `build` on a miss. Returns the plans plus whether they came
+    /// from the cache. Failed translations are not cached.
+    pub fn get_or_try_insert<E>(
+        &self,
+        ruleset: &Ruleset,
+        variant: TranslationVariant,
+        build: impl FnOnce() -> Result<Vec<Option<Prepared>>, E>,
+    ) -> Result<(TranslatedPlans, bool), E> {
+        let key = (Self::fingerprint(ruleset), variant);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let plans = Arc::clone(&entry.plans);
+                inner.stats.hits += 1;
+                cache_metrics().hits.inc();
+                return Ok((plans, true));
+            }
+            inner.stats.misses += 1;
+            cache_metrics().misses.inc();
+        }
+        // Translate outside the lock: it is the expensive part, and a
+        // rare duplicate build under contention is harmless.
+        let plans: TranslatedPlans = build()?.into();
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.capacity == 0 {
+            return Ok((plans, false));
+        }
+        if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&oldest);
+                inner.stats.evictions += 1;
+                cache_metrics().evictions.inc();
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                plans: Arc::clone(&plans),
+                last_used: tick,
+            },
+        );
+        Ok((plans, false))
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> TranslationCacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adjust capacity (0 disables caching). Does not shrink eagerly;
+    /// oversized contents drain through normal LRU eviction.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.inner.lock().unwrap().capacity = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_appel::{Behavior, Expr, Rule};
+
+    fn ruleset(behavior: Behavior) -> Ruleset {
+        Ruleset::new(vec![Rule::with_pattern(
+            behavior,
+            Expr::named("p3p:POLICY"),
+        )])
+    }
+
+    fn plans() -> Vec<Option<Prepared>> {
+        vec![None]
+    }
+
+    #[test]
+    fn identical_rulesets_share_fingerprints() {
+        let a = ruleset(Behavior::Request);
+        let b = ruleset(Behavior::Request);
+        assert_eq!(
+            TranslationCache::fingerprint(&a),
+            TranslationCache::fingerprint(&b)
+        );
+        assert_ne!(
+            TranslationCache::fingerprint(&a),
+            TranslationCache::fingerprint(&ruleset(Behavior::Block))
+        );
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = TranslationCache::default();
+        let rs = ruleset(Behavior::Request);
+        let (_, cached) = cache
+            .get_or_try_insert::<()>(&rs, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert!(!cached);
+        let (_, cached) = cache
+            .get_or_try_insert::<()>(&rs, TranslationVariant::Optimized, || {
+                panic!("must not rebuild on a hit")
+            })
+            .unwrap();
+        assert!(cached);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn variants_are_cached_independently() {
+        let cache = TranslationCache::default();
+        let rs = ruleset(Behavior::Request);
+        for variant in [
+            TranslationVariant::Optimized,
+            TranslationVariant::Generic,
+            TranslationVariant::XTable,
+        ] {
+            let (_, cached) = cache
+                .get_or_try_insert::<()>(&rs, variant, || Ok(plans()))
+                .unwrap();
+            assert!(!cached, "{variant:?} should miss on first use");
+        }
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn failed_translations_are_not_cached() {
+        let cache = TranslationCache::default();
+        let rs = ruleset(Behavior::Request);
+        let err: Result<_, &str> =
+            cache.get_or_try_insert(&rs, TranslationVariant::Optimized, || Err("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        let (_, cached) = cache
+            .get_or_try_insert::<()>(&rs, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert!(!cached);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = TranslationCache::default();
+        cache.set_capacity(2);
+        let a = ruleset(Behavior::Request);
+        let b = ruleset(Behavior::Block);
+        let c = ruleset(Behavior::Limited);
+        for rs in [&a, &b] {
+            cache
+                .get_or_try_insert::<()>(rs, TranslationVariant::Optimized, || Ok(plans()))
+                .unwrap();
+        }
+        // Touch `a` so `b` is the eviction candidate.
+        cache
+            .get_or_try_insert::<()>(&a, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        cache
+            .get_or_try_insert::<()>(&c, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, a_cached) = cache
+            .get_or_try_insert::<()>(&a, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert!(a_cached, "recently used entry must survive eviction");
+        let (_, b_cached) = cache
+            .get_or_try_insert::<()>(&b, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert!(!b_cached, "least recently used entry must be evicted");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cache = TranslationCache::default();
+        let clone = cache.clone();
+        let rs = ruleset(Behavior::Request);
+        cache
+            .get_or_try_insert::<()>(&rs, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        let (_, cached) = clone
+            .get_or_try_insert::<()>(&rs, TranslationVariant::Optimized, || Ok(plans()))
+            .unwrap();
+        assert!(cached, "clones must see each other's translations");
+    }
+}

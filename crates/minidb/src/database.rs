@@ -2,9 +2,10 @@
 
 use crate::error::DbError;
 use crate::exec;
+use crate::plan::{self, PlanCache, PlanCacheStats, Prepared};
 use crate::schema::{ColumnDef, ForeignKey, TableSchema};
 use crate::sql::ast::Statement;
-use crate::sql::parse_statement;
+use crate::sql::parse_statement_params;
 use crate::table::Table;
 use crate::value::Value;
 use p3p_telemetry::metrics::{self, Counter, Histogram};
@@ -108,6 +109,10 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
     use_indexes: bool,
     check_foreign_keys: bool,
+    /// Plan cache shared across clones of this database (the `Arc`
+    /// inside `PlanCache`): snapshots made for concurrent matching keep
+    /// the warm cache.
+    plans: PlanCache,
 }
 
 impl Database {
@@ -117,6 +122,7 @@ impl Database {
             tables: BTreeMap::new(),
             use_indexes: true,
             check_foreign_keys: true,
+            plans: PlanCache::default(),
         }
     }
 
@@ -155,18 +161,95 @@ impl Database {
         self.tables.values().map(Table::len).sum()
     }
 
+    /// Parse and semantically check a statement, returning a reusable
+    /// plan. Plans for non-DDL statements are cached by statement text,
+    /// so repeated `prepare` (and therefore `execute`/`query`) calls
+    /// skip the parser. Any successful DDL invalidates the cache.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
+        if let Some(plan) = self.plans.get(sql) {
+            return Ok(plan);
+        }
+        let (stmt, params) = parse_statement_params(sql)?;
+        plan::validate(self, &stmt)?;
+        let cacheable = !matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::DropTable { .. }
+        );
+        let prepared = Prepared::new(sql, stmt, params);
+        if cacheable {
+            self.plans.insert(prepared.clone());
+        }
+        Ok(prepared)
+    }
+
+    /// Cumulative statistics for this database's plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Change the plan-cache capacity (0 disables caching), evicting
+    /// down to the new bound.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plans.set_capacity(capacity);
+    }
+
     /// Execute any SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, DbError> {
-        let stmt = parse_statement(sql)?;
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(&prepared, &[])
+    }
+
+    /// Execute a prepared statement with bound parameter values.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
         let before = exec::stats_snapshot();
         let start = Instant::now();
-        let outcome = self.execute_statement(stmt);
-        report_statement(sql, &before, start.elapsed());
+        let outcome = self.execute_stmt_ref(prepared.statement(), params);
+        report_statement(prepared.sql(), &before, start.elapsed());
         outcome
     }
 
     /// Execute a pre-parsed statement.
     pub fn execute_statement(&mut self, stmt: Statement) -> Result<ExecOutcome, DbError> {
+        self.execute_stmt_ref(&stmt, &[])
+    }
+
+    fn execute_stmt_ref(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let outcome = self.run_statement(stmt, params);
+        // Any successful DDL changes the catalog; cached plans were
+        // validated against the old one, so drop them.
+        if outcome.is_ok()
+            && matches!(
+                stmt,
+                Statement::CreateTable { .. }
+                    | Statement::CreateIndex { .. }
+                    | Statement::DropTable { .. }
+            )
+        {
+            self.plans.invalidate_all();
+        }
+        outcome
+    }
+
+    fn run_statement(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -176,10 +259,11 @@ impl Database {
             } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
-                    return Err(DbError::DuplicateTable(name));
+                    return Err(DbError::DuplicateTable(name.clone()));
                 }
                 let column_defs: Vec<ColumnDef> = columns
-                    .into_iter()
+                    .iter()
+                    .cloned()
                     .map(|(name, data_type, not_null)| ColumnDef {
                         name,
                         data_type,
@@ -187,7 +271,7 @@ impl Database {
                     })
                     .collect();
                 let mut pk_indexes = Vec::new();
-                for pk in &primary_key {
+                for pk in primary_key {
                     let idx = column_defs
                         .iter()
                         .position(|c| c.name.eq_ignore_ascii_case(pk))
@@ -195,7 +279,8 @@ impl Database {
                     pk_indexes.push(idx);
                 }
                 let fks = foreign_keys
-                    .into_iter()
+                    .iter()
+                    .cloned()
                     .map(|(cols, rtable, rcols)| ForeignKey {
                         columns: cols,
                         references_table: rtable,
@@ -217,15 +302,15 @@ impl Database {
                 columns,
             } => {
                 let t = self
-                    .table_mut(&table)
+                    .table_mut(table)
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                t.create_index_named(Some(&name), &columns)?;
+                t.create_index_named(Some(name), columns)?;
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable { name, if_exists } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.remove(&key).is_none() && !if_exists {
-                    return Err(DbError::UnknownTable(name));
+                    return Err(DbError::UnknownTable(name.clone()));
                 }
                 Ok(ExecOutcome::Ddl)
             }
@@ -236,12 +321,12 @@ impl Database {
             } => {
                 let mut inserted = 0usize;
                 for tuple in values {
-                    let row = self.build_row(&table, &columns, tuple)?;
+                    let row = self.build_row(table, columns, tuple, params)?;
                     if self.check_foreign_keys {
-                        self.check_fks(&table, &row)?;
+                        self.check_fks(table, &row)?;
                     }
                     let t = self
-                        .table_mut(&table)
+                        .table_mut(table)
                         .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                     t.insert(row)?;
                     inserted += 1;
@@ -257,14 +342,14 @@ impl Database {
                         table: table.clone(),
                         alias: None,
                     }],
-                    filter,
+                    filter: filter.clone(),
                     group_by: vec![],
                     order_by: vec![],
                     limit: None,
                 };
-                let matching = exec::run_select(self, &select)?;
+                let matching = exec::run_select_bound(self, &select, params)?;
                 let t = self
-                    .table_mut(&table)
+                    .table_mut(table)
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                 // Identify row ids by value equality against the scan
                 // output (rows are whole-row projections in order).
@@ -287,17 +372,17 @@ impl Database {
                 // Resolve target column indexes and constant values.
                 let (col_indexes, values) = {
                     let t = self
-                        .table(&table)
+                        .table(table)
                         .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                     let mut idx = Vec::with_capacity(assignments.len());
                     let mut vals = Vec::with_capacity(assignments.len());
-                    for (col, e) in &assignments {
+                    for (col, e) in assignments {
                         idx.push(
                             t.schema
                                 .column_index(col)
                                 .ok_or_else(|| DbError::UnknownColumn(col.clone()))?,
                         );
-                        vals.push(exec::eval_const(self, e)?);
+                        vals.push(exec::eval_const_bound(self, e, params)?);
                     }
                     (idx, vals)
                 };
@@ -309,31 +394,43 @@ impl Database {
                         table: table.clone(),
                         alias: None,
                     }],
-                    filter,
+                    filter: filter.clone(),
                     group_by: vec![],
                     order_by: vec![],
                     limit: None,
                 };
-                let matching = exec::run_select(self, &select)?;
+                let matching = exec::run_select_bound(self, &select, params)?;
                 let t = self
-                    .table_mut(&table)
+                    .table_mut(table)
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
                 let n = t.update_rows(&matching.rows, &col_indexes, &values)?;
                 Ok(ExecOutcome::Updated(n))
             }
-            Statement::Select(sel) => Ok(ExecOutcome::Rows(exec::run_select(self, &sel)?)),
+            Statement::Select(sel) => Ok(ExecOutcome::Rows(exec::run_select_bound(
+                self, sel, params,
+            )?)),
         }
     }
 
     /// Run a SELECT and return its rows (errors on non-SELECT).
     pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
-        let stmt = parse_statement(sql)?;
-        match stmt {
+        let prepared = self.prepare(sql)?;
+        self.query_prepared(&prepared, &[])
+    }
+
+    /// Run a prepared SELECT with bound parameter values (errors on
+    /// non-SELECT plans).
+    pub fn query_prepared(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<QueryResult, DbError> {
+        match prepared.statement() {
             Statement::Select(sel) => {
                 let before = exec::stats_snapshot();
                 let start = Instant::now();
-                let result = exec::run_select(self, &sel);
-                report_statement(sql, &before, start.elapsed());
+                let result = exec::run_select_bound(self, sel, params);
+                report_statement(prepared.sql(), &before, start.elapsed());
                 result
             }
             _ => Err(DbError::Execution(
@@ -348,7 +445,8 @@ impl Database {
         &self,
         table: &str,
         columns: &[String],
-        tuple: Vec<crate::sql::ast::Expr>,
+        tuple: &[crate::sql::ast::Expr],
+        params: &[Value],
     ) -> Result<Vec<Value>, DbError> {
         let t = self
             .table(table)
@@ -356,7 +454,7 @@ impl Database {
         let schema = &t.schema;
         let mut values = Vec::with_capacity(tuple.len());
         for e in tuple {
-            values.push(exec::eval_const(self, &e)?);
+            values.push(exec::eval_const_bound(self, e, params)?);
         }
         if columns.is_empty() {
             return Ok(values);
@@ -805,5 +903,184 @@ mod tests {
         assert!(db
             .execute("INSERT INTO policy (policy_id) VALUES (2, 'x')")
             .is_err());
+    }
+
+    #[test]
+    fn prepared_query_with_positional_parameters() {
+        let db = policy_db();
+        let plan = db
+            .prepare("SELECT name FROM policy WHERE policy_id = ?")
+            .unwrap();
+        assert_eq!(plan.param_count(), 1);
+        let r = db.query_prepared(&plan, &[Value::Int(1)]).unwrap();
+        assert_eq!(r.scalar().unwrap().as_str(), Some("volga"));
+        let none = db.query_prepared(&plan, &[Value::Int(99)]).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn prepared_parameters_reach_index_probes() {
+        let db = policy_db();
+        let plan = db
+            .prepare("SELECT name FROM policy WHERE policy_id = ?")
+            .unwrap();
+        exec::take_stats();
+        db.query_prepared(&plan, &[Value::Int(1)]).unwrap();
+        let stats = exec::take_stats();
+        assert!(stats.index_probes >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn prepared_named_parameters_share_slots() {
+        let db = policy_db();
+        let plan = db
+            .prepare(
+                "SELECT purpose FROM purpose WHERE policy_id = :pid AND statement_id = :sid \
+                 ORDER BY purpose",
+            )
+            .unwrap();
+        assert_eq!(plan.param_count(), 2);
+        let params = plan
+            .bind_named(&[("sid", Value::Int(2)), ("pid", Value::Int(1))])
+            .unwrap();
+        let r = db.query_prepared(&plan, &params).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!(plan.bind_named(&[("pid", Value::Int(1))]).is_err());
+    }
+
+    #[test]
+    fn prepared_parameters_in_correlated_exists() {
+        let db = policy_db();
+        let plan = db
+            .prepare(
+                "SELECT name FROM policy p WHERE EXISTS (\
+                   SELECT * FROM purpose WHERE purpose.policy_id = p.policy_id \
+                     AND purpose.purpose = ?)",
+            )
+            .unwrap();
+        let hit = db
+            .query_prepared(&plan, &[Value::Text("current".into())])
+            .unwrap();
+        assert_eq!(hit.rows.len(), 1);
+        let miss = db
+            .query_prepared(&plan, &[Value::Text("telemarketing".into())])
+            .unwrap();
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn prepared_execute_with_parameters() {
+        let mut db = policy_db();
+        let insert = db
+            .prepare("INSERT INTO policy (policy_id, name) VALUES (?, ?)")
+            .unwrap();
+        let out = db
+            .execute_prepared(&insert, &[Value::Int(7), Value::Text("ob".into())])
+            .unwrap();
+        assert_eq!(out, ExecOutcome::Inserted(1));
+        let delete = db
+            .prepare("DELETE FROM policy WHERE policy_id = ?")
+            .unwrap();
+        let out = db.execute_prepared(&delete, &[Value::Int(7)]).unwrap();
+        assert_eq!(out, ExecOutcome::Deleted(1));
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_execution_error() {
+        let db = policy_db();
+        let plan = db
+            .prepare("SELECT name FROM policy WHERE policy_id = ?")
+            .unwrap();
+        let err = db.query_prepared(&plan, &[]).unwrap_err();
+        assert!(err.to_string().contains("not bound"), "{err}");
+    }
+
+    #[test]
+    fn prepare_rejects_unknown_tables_and_filter_columns() {
+        let db = policy_db();
+        assert!(matches!(
+            db.prepare("SELECT * FROM nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.prepare("SELECT name FROM policy WHERE nope = 1"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.prepare("SELECT name FROM policy WHERE EXISTS (SELECT * FROM missing WHERE x = 1)"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_invalidates_on_ddl() {
+        let db = policy_db();
+        let base = db.plan_cache_stats();
+        let sql = "SELECT name FROM policy WHERE policy_id = 1";
+        db.query(sql).unwrap();
+        db.query(sql).unwrap();
+        let warm = db.plan_cache_stats();
+        assert!(warm.hits > base.hits, "{warm:?}");
+        assert!(db.plan_cache_len() >= 1);
+
+        let mut db = db;
+        db.execute("CREATE TABLE extra (x INT)").unwrap();
+        assert_eq!(db.plan_cache_len(), 0);
+        let after = db.plan_cache_stats();
+        assert!(after.invalidations > warm.invalidations, "{after:?}");
+        // Re-preparing after DDL repopulates the cache.
+        db.query(sql).unwrap();
+        assert!(db.plan_cache_len() >= 1);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_clones() {
+        let db = policy_db();
+        let sql = "SELECT name FROM policy WHERE policy_id = 1";
+        db.query(sql).unwrap();
+        let snapshot = db.clone();
+        let before = snapshot.plan_cache_stats().hits;
+        snapshot.query(sql).unwrap();
+        assert!(snapshot.plan_cache_stats().hits > before);
+        assert_eq!(db.plan_cache_stats(), snapshot.plan_cache_stats());
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let db = policy_db();
+        // Setup's INSERT plans are cached too; shrinking may already
+        // evict, so assert on deltas from here.
+        db.set_plan_cache_capacity(2);
+        let base = db.plan_cache_stats();
+        db.query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
+        db.query("SELECT COUNT(*) FROM purpose").unwrap();
+        // Refresh the first plan, then overflow: the COUNT plan goes.
+        db.query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
+        db.query("SELECT COUNT(*) FROM statement").unwrap();
+        assert_eq!(db.plan_cache_len(), 2);
+        assert!(db.plan_cache_stats().evictions > base.evictions);
+        // The refreshed plan is still a hit; the evicted one re-misses.
+        let before = db.plan_cache_stats();
+        db.query("SELECT name FROM policy WHERE policy_id = 1")
+            .unwrap();
+        assert_eq!(db.plan_cache_stats().hits, before.hits + 1);
+        db.query("SELECT COUNT(*) FROM purpose").unwrap();
+        assert_eq!(db.plan_cache_stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn cached_and_fresh_plans_agree() {
+        let db = policy_db();
+        let sql = "SELECT purpose FROM purpose WHERE required = 'opt-in' ORDER BY purpose";
+        let cold = db.query(sql).unwrap();
+        let warm = db.query(sql).unwrap();
+        assert_eq!(cold, warm);
+        // A capacity-0 cache (caching disabled) agrees too.
+        let db2 = policy_db();
+        db2.set_plan_cache_capacity(0);
+        assert_eq!(db2.query(sql).unwrap(), cold);
+        assert_eq!(db2.plan_cache_len(), 0);
     }
 }

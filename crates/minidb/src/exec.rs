@@ -80,18 +80,35 @@ struct Binding {
 }
 
 /// An evaluation environment: the current query's bindings plus a chain
-/// of outer environments for correlated subqueries.
+/// of outer environments for correlated subqueries, and the statement's
+/// bound parameter values (shared across the whole chain).
 struct Env<'a> {
     bindings: Vec<Binding>,
     outer: Option<&'a Env<'a>>,
+    params: &'a [Value],
 }
 
 impl<'a> Env<'a> {
-    fn root() -> Env<'static> {
+    fn root(params: &[Value]) -> Env<'_> {
         Env {
             bindings: Vec::new(),
             outer: None,
+            params,
         }
+    }
+
+    /// Resolve a bind-parameter slot to its bound value.
+    fn param(&self, index: usize, name: Option<&str>) -> Result<Value, DbError> {
+        self.params.get(index).cloned().ok_or_else(|| {
+            DbError::Execution(match name {
+                Some(n) => format!("parameter `:{n}` is not bound"),
+                None => format!(
+                    "parameter {} is not bound ({} value(s) supplied)",
+                    index + 1,
+                    self.params.len()
+                ),
+            })
+        })
     }
 
     /// Resolve a column reference to its value.
@@ -132,7 +149,16 @@ impl<'a> Env<'a> {
 
 /// Run a SELECT against the database with no outer context.
 pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
-    let root = Env::root();
+    run_select_bound(db, stmt, &[])
+}
+
+/// Run a SELECT with bound parameter values for `?`/`:name` slots.
+pub fn run_select_bound(
+    db: &Database,
+    stmt: &SelectStmt,
+    params: &[Value],
+) -> Result<QueryResult, DbError> {
+    let root = Env::root(params);
     let result = select_with_env(db, stmt, &root)?;
     bump(|s| s.rows_output += result.rows.len() as u64);
     Ok(result)
@@ -194,6 +220,7 @@ fn select_with_env(
             let env = Env {
                 bindings: bindings.clone(),
                 outer: Some(outer),
+                params: outer.params,
             };
             rows.push(project_row(db, &stmt.items, &tables, &env)?);
         }
@@ -243,6 +270,7 @@ fn join_scan(
         let env = Env {
             bindings: bound.clone(),
             outer: Some(outer),
+            params: outer.params,
         };
         let keep = match filter {
             Some(f) => eval_pred(db, f, &env)? == Some(true),
@@ -317,6 +345,7 @@ fn probe_rows(
     let env = Env {
         bindings: bound.to_vec(),
         outer: Some(outer),
+        params: outer.params,
     };
     let mut eq_pairs: Vec<(usize, Value)> = Vec::new();
     for c in conjuncts {
@@ -469,6 +498,7 @@ fn aggregate_rows(
         let env = Env {
             bindings: bindings.clone(),
             outer: Some(outer),
+            params: outer.params,
         };
         let key: Vec<Value> = stmt
             .group_by
@@ -504,6 +534,7 @@ fn aggregate_rows(
                                 let env = Env {
                                     bindings: m.clone(),
                                     outer: Some(outer),
+                                    params: outer.params,
                                 };
                                 if !eval_value(db, e, &env)?.is_null() {
                                     n += 1;
@@ -522,6 +553,7 @@ fn aggregate_rows(
                     let env = Env {
                         bindings: m.clone(),
                         outer: Some(outer),
+                        params: outer.params,
                     };
                     row.push(eval_value(db, expr, &env)?);
                 }
@@ -572,6 +604,7 @@ fn order_rows(
                     let env = Env {
                         bindings: joined[i].clone(),
                         outer: Some(outer),
+                        params: outer.params,
                     };
                     eval_value(db, expr, &env)?
                 }
@@ -643,6 +676,7 @@ fn eval_value(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, DbErro
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column { qualifier, name } => env.lookup(qualifier.as_deref(), name),
+        Expr::Parameter { index, name } => env.param(*index, name.as_deref()),
         other => Ok(match eval_pred(db, other, env)? {
             Some(true) => Value::Int(1),
             Some(false) => Value::Int(0),
@@ -779,6 +813,12 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
 
 /// Evaluate a scalar expression with no table context (INSERT values).
 pub fn eval_const(db: &Database, expr: &Expr) -> Result<Value, DbError> {
-    let root = Env::root();
+    eval_const_bound(db, expr, &[])
+}
+
+/// Evaluate a scalar expression with bound parameter values but no
+/// table context (parameterized INSERT/UPDATE values).
+pub fn eval_const_bound(db: &Database, expr: &Expr, params: &[Value]) -> Result<Value, DbError> {
+    let root = Env::root(params);
     eval_value(db, expr, &root)
 }

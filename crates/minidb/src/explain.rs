@@ -175,6 +175,7 @@ fn side_is_independent(expr: &Expr, binding: &str, visible: &[String]) -> bool {
         Expr::Column {
             qualifier: None, ..
         } => false,
+        Expr::Parameter { .. } => true,
         _ => false,
     }
 }

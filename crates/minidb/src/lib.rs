@@ -43,6 +43,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -51,5 +52,6 @@ pub mod value;
 pub use database::{Database, ExecOutcome, QueryResult};
 pub use error::DbError;
 pub use explain::explain;
+pub use plan::{PlanCacheStats, Prepared};
 pub use schema::{ColumnDef, DataType, ForeignKey, TableSchema};
 pub use value::Value;

@@ -1,0 +1,367 @@
+//! Prepared statements and the shared LRU plan cache.
+//!
+//! `Database::prepare` parses and semantically checks a statement once,
+//! yielding a [`Prepared`] plan that can be re-executed with different
+//! bound parameter values (`?` positional, `:name` named). A
+//! [`PlanCache`] keyed by statement text backs `execute`/`query`
+//! transparently, so repeated statements skip the parser entirely. The
+//! cache is shared across `Database` clones (an `Arc` internally):
+//! snapshot copies made for concurrent matching keep the warm cache.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::sql::ast::{Expr, SelectItem, SelectStmt, Statement};
+use crate::value::Value;
+use p3p_telemetry::metrics::{self, Counter};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default number of cached plans per database.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: metrics::counter("p3p_plan_cache_hits_total"),
+        misses: metrics::counter("p3p_plan_cache_misses_total"),
+        evictions: metrics::counter("p3p_plan_cache_evictions_total"),
+        invalidations: metrics::counter("p3p_plan_cache_invalidations_total"),
+    })
+}
+
+/// A parsed, semantically-checked statement ready for repeated
+/// execution. Cloning is cheap (two `Arc` bumps).
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    sql: Arc<str>,
+    stmt: Arc<Statement>,
+    /// One slot per bind parameter; `Some(name)` for `:name` slots.
+    params: Arc<[Option<String>]>,
+}
+
+impl Prepared {
+    pub(crate) fn new(sql: &str, stmt: Statement, params: Vec<Option<String>>) -> Prepared {
+        Prepared {
+            sql: sql.into(),
+            stmt: Arc::new(stmt),
+            params: params.into(),
+        }
+    }
+
+    /// The statement text this plan was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Number of bind-parameter slots.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Per-slot parameter names (`None` for positional `?` slots).
+    pub fn param_names(&self) -> &[Option<String>] {
+        &self.params
+    }
+
+    /// Resolve named bindings into the positional value vector expected
+    /// by `query_prepared`/`execute_prepared`. Every slot must be named
+    /// and supplied.
+    pub fn bind_named(&self, values: &[(&str, Value)]) -> Result<Vec<Value>, DbError> {
+        let mut out = Vec::with_capacity(self.params.len());
+        for (i, slot) in self.params.iter().enumerate() {
+            let name = slot.as_deref().ok_or_else(|| {
+                DbError::Execution(format!(
+                    "parameter {} is positional; bind_named requires named parameters",
+                    i + 1
+                ))
+            })?;
+            let value = values
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| {
+                    DbError::Execution(format!("no value supplied for parameter `:{name}`"))
+                })?;
+            out.push(value);
+        }
+        Ok(out)
+    }
+}
+
+/// Cumulative plan-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Prepared,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    capacity: usize,
+    stats: PlanCacheStats,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            stats: PlanCacheStats::default(),
+        }
+    }
+}
+
+/// An LRU cache of [`Prepared`] plans keyed by statement text. Interior
+/// mutability keeps `Database::query` usable through `&self`; the
+/// `Arc` makes clones of a `Database` share one warm cache.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl PlanCache {
+    /// Look up a cached plan, refreshing its LRU position.
+    pub fn get(&self, sql: &str) -> Option<Prepared> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(sql) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                inner.stats.hits += 1;
+                cache_metrics().hits.inc();
+                Some(plan)
+            }
+            None => {
+                inner.stats.misses += 1;
+                cache_metrics().misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&self, plan: Prepared) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(plan.sql()) {
+            Self::evict_one(&mut inner);
+        }
+        inner.entries.insert(
+            plan.sql().to_string(),
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn evict_one(inner: &mut Inner) {
+        let victim = inner
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(key) = victim {
+            inner.entries.remove(&key);
+            inner.stats.evictions += 1;
+            cache_metrics().evictions.inc();
+        }
+    }
+
+    /// Drop every cached plan (DDL changed the catalog).
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.entries.is_empty() {
+            inner.entries.clear();
+        }
+        inner.stats.invalidations += 1;
+        cache_metrics().invalidations.inc();
+    }
+
+    /// Cumulative hit/miss/eviction/invalidation counts.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Change the capacity, evicting down to the new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.capacity = capacity;
+        while inner.entries.len() > capacity {
+            Self::evict_one(&mut inner);
+        }
+    }
+}
+
+/// One name-resolution scope: `(binding name, column names)` per table.
+type Scope = Vec<(String, Vec<String>)>;
+
+/// Semantic checks performed at prepare time: every SELECT's FROM
+/// tables must exist (recursively, through EXISTS subqueries) and every
+/// column referenced by a WHERE clause must resolve against some scope,
+/// innermost first — mirroring runtime resolution order. Projection
+/// items and GROUP BY/ORDER BY keys are left to runtime, which applies
+/// aggregate-specific rules.
+pub(crate) fn validate(db: &Database, stmt: &Statement) -> Result<(), DbError> {
+    if let Statement::Select(sel) = stmt {
+        validate_select(db, sel, &mut Vec::new())?;
+    }
+    Ok(())
+}
+
+fn validate_select(
+    db: &Database,
+    stmt: &SelectStmt,
+    scopes: &mut Vec<Scope>,
+) -> Result<(), DbError> {
+    let mut scope = Scope::new();
+    for tref in &stmt.from {
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+        scope.push((tref.binding_name().to_string(), table.schema.column_names()));
+    }
+    scopes.push(scope);
+    let result = validate_select_body(db, stmt, scopes);
+    scopes.pop();
+    result
+}
+
+fn validate_select_body(
+    db: &Database,
+    stmt: &SelectStmt,
+    scopes: &mut Vec<Scope>,
+) -> Result<(), DbError> {
+    if let Some(filter) = &stmt.filter {
+        validate_expr(db, filter, scopes)?;
+    }
+    // Subqueries inside projection items still get table checks.
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. }
+        | SelectItem::Count {
+            expr: Some(expr), ..
+        } = item
+        {
+            validate_subqueries(db, expr, scopes)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(db: &Database, expr: &Expr, scopes: &mut Vec<Scope>) -> Result<(), DbError> {
+    match expr {
+        Expr::Literal(_) | Expr::Parameter { .. } => Ok(()),
+        Expr::Column { qualifier, name } => resolve_column(qualifier.as_deref(), name, scopes),
+        Expr::Compare { left, right, .. } => {
+            validate_expr(db, left, scopes)?;
+            validate_expr(db, right, scopes)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            validate_expr(db, a, scopes)?;
+            validate_expr(db, b, scopes)
+        }
+        Expr::Not(inner) => validate_expr(db, inner, scopes),
+        Expr::Exists(sub) => validate_select(db, sub, scopes),
+        Expr::InList { expr, list, .. } => {
+            validate_expr(db, expr, scopes)?;
+            for item in list {
+                validate_expr(db, item, scopes)?;
+            }
+            Ok(())
+        }
+        Expr::Like { expr, pattern, .. } => {
+            validate_expr(db, expr, scopes)?;
+            validate_expr(db, pattern, scopes)
+        }
+        Expr::IsNull { expr, .. } => validate_expr(db, expr, scopes),
+    }
+}
+
+/// Walk an expression checking only EXISTS bodies (used for projection
+/// items, whose top-level column rules are runtime concerns).
+fn validate_subqueries(db: &Database, expr: &Expr, scopes: &mut Vec<Scope>) -> Result<(), DbError> {
+    match expr {
+        Expr::Exists(sub) => validate_select(db, sub, scopes),
+        Expr::Compare { left, right, .. } => {
+            validate_subqueries(db, left, scopes)?;
+            validate_subqueries(db, right, scopes)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            validate_subqueries(db, a, scopes)?;
+            validate_subqueries(db, b, scopes)
+        }
+        Expr::Not(inner) | Expr::IsNull { expr: inner, .. } => {
+            validate_subqueries(db, inner, scopes)
+        }
+        Expr::InList { expr, list, .. } => {
+            validate_subqueries(db, expr, scopes)?;
+            for item in list {
+                validate_subqueries(db, item, scopes)?;
+            }
+            Ok(())
+        }
+        Expr::Like { expr, pattern, .. } => {
+            validate_subqueries(db, expr, scopes)?;
+            validate_subqueries(db, pattern, scopes)
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Parameter { .. } => Ok(()),
+    }
+}
+
+fn resolve_column(qualifier: Option<&str>, name: &str, scopes: &[Scope]) -> Result<(), DbError> {
+    for scope in scopes.iter().rev() {
+        for (binding, columns) in scope {
+            if let Some(q) = qualifier {
+                if !binding.eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            if columns.iter().any(|c| c.eq_ignore_ascii_case(name)) {
+                return Ok(());
+            }
+        }
+    }
+    Err(DbError::UnknownColumn(match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }))
+}

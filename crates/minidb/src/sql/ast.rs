@@ -92,6 +92,13 @@ pub enum Expr {
         qualifier: Option<String>,
         name: String,
     },
+    /// A bind parameter: `?` (positional) or `:name` (named). `index`
+    /// is the zero-based slot in the parameter list bound at execution;
+    /// every occurrence of the same `:name` shares one slot.
+    Parameter {
+        index: usize,
+        name: Option<String>,
+    },
     Compare {
         op: CompareOp,
         left: Box<Expr>,

@@ -31,6 +31,10 @@ pub enum TokenKind {
     Gt,
     Ge,
     Semicolon,
+    /// Positional bind parameter (`?`).
+    Param,
+    /// Named bind parameter (`:name`).
+    NamedParam(String),
 }
 
 /// Tokenize a SQL string.
@@ -113,6 +117,27 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
                 };
                 tokens.push(Token { kind, offset: i });
                 i += len;
+            }
+            b'?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Param,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b':' if bytes
+                .get(i + 1)
+                .is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_') =>
+            {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::NamedParam(sql[start + 1..i].to_string()),
+                    offset: start,
+                });
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
                 tokens.push(Token {
@@ -318,6 +343,25 @@ mod tests {
         assert!(tokenize("'oops").is_err());
         assert!(tokenize("@").is_err());
         assert!(tokenize("\"oops").is_err());
+        // A bare colon is not a named parameter.
+        assert!(tokenize(":").is_err());
+        assert!(tokenize(": 1").is_err());
+    }
+
+    #[test]
+    fn bind_parameters() {
+        assert_eq!(
+            kinds("policy_id = ? AND name = :policy_name"),
+            vec![
+                TokenKind::Word("policy_id".into()),
+                TokenKind::Eq,
+                TokenKind::Param,
+                TokenKind::Word("AND".into()),
+                TokenKind::Word("name".into()),
+                TokenKind::Eq,
+                TokenKind::NamedParam("policy_name".into()),
+            ]
+        );
     }
 
     #[test]

@@ -6,4 +6,4 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{Expr, SelectItem, SelectStmt, Statement, TableRef};
-pub use parser::parse_statement;
+pub use parser::{parse_statement, parse_statement_params};

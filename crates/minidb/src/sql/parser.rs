@@ -8,19 +8,34 @@ use crate::value::Value;
 
 /// Parse one SQL statement (a trailing semicolon is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement, DbError> {
+    parse_statement_params(sql).map(|(stmt, _)| stmt)
+}
+
+/// Parse one SQL statement together with its bind-parameter slots.
+///
+/// The returned vector has one entry per parameter slot, in binding
+/// order: `None` for a positional `?`, `Some(name)` for a `:name`
+/// (repeated uses of the same name share a single slot).
+pub fn parse_statement_params(sql: &str) -> Result<(Statement, Vec<Option<String>>), DbError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: Vec::new(),
+    };
     let stmt = p.statement()?;
     p.eat_kind(&TokenKind::Semicolon);
     if !p.at_end() {
         return Err(p.err("unexpected trailing tokens"));
     }
-    Ok(stmt)
+    Ok((stmt, p.params))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Parameter slots seen so far (`None` = positional `?`).
+    params: Vec<Option<String>>,
 }
 
 impl Parser {
@@ -530,6 +545,30 @@ impl Parser {
                 self.pos += 1;
                 Ok(Expr::Literal(Value::Null))
             }
+            Some(TokenKind::Param) => {
+                self.pos += 1;
+                let index = self.params.len();
+                self.params.push(None);
+                Ok(Expr::Parameter { index, name: None })
+            }
+            Some(TokenKind::NamedParam(n)) => {
+                self.pos += 1;
+                let index = match self
+                    .params
+                    .iter()
+                    .position(|p| p.as_deref() == Some(n.as_str()))
+                {
+                    Some(i) => i,
+                    None => {
+                        self.params.push(Some(n.clone()));
+                        self.params.len() - 1
+                    }
+                };
+                Ok(Expr::Parameter {
+                    index,
+                    name: Some(n),
+                })
+            }
             Some(TokenKind::Word(w)) => {
                 self.pos += 1;
                 if self.eat_kind(&TokenKind::Dot) {
@@ -813,6 +852,50 @@ mod tests {
     #[test]
     fn semicolon_is_tolerated() {
         assert!(parse_statement("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn parses_positional_parameters_in_order() {
+        let (stmt, params) = parse_statement_params(
+            "SELECT * FROM purpose WHERE policy_id = ? AND statement_id = ?",
+        )
+        .unwrap();
+        assert_eq!(params, vec![None, None]);
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let Some(Expr::And(a, b)) = sel.filter else {
+            panic!()
+        };
+        let index_of = |e: &Expr| match e {
+            Expr::Compare { right, .. } => match right.as_ref() {
+                Expr::Parameter { index, name: None } => *index,
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(index_of(&a), 0);
+        assert_eq!(index_of(&b), 1);
+    }
+
+    #[test]
+    fn named_parameters_share_slots() {
+        let (_, params) =
+            parse_statement_params("SELECT * FROM t WHERE a = :id OR b = :id AND c = :other")
+                .unwrap();
+        assert_eq!(
+            params,
+            vec![Some("id".to_string()), Some("other".to_string())]
+        );
+    }
+
+    #[test]
+    fn parameters_allowed_in_insert_values() {
+        let (stmt, params) =
+            parse_statement_params("INSERT INTO policy (policy_id, name) VALUES (?, :name)")
+                .unwrap();
+        assert!(matches!(stmt, Statement::Insert { .. }));
+        assert_eq!(params.len(), 2);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Row storage with hash indexes.
+//!
+//! Rows and indexes live behind `Arc`s, so cloning a [`Table`] (and
+//! therefore a whole `Database` snapshot) is two reference-count bumps;
+//! the first mutation of a shared table copies it (copy-on-write).
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A hash index over one or more columns.
 #[derive(Debug, Clone)]
@@ -46,29 +51,29 @@ impl Index {
     }
 }
 
-/// A stored table: schema, rows, and indexes.
+/// A stored table: schema, rows, and indexes. Rows and indexes are
+/// shared on clone (copy-on-write).
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    rows: Vec<Vec<Value>>,
-    indexes: Vec<Index>,
+    rows: Arc<Vec<Vec<Value>>>,
+    indexes: Arc<Vec<Index>>,
 }
 
 impl Table {
     /// An empty table. A unique index on the primary key (when present)
     /// is created automatically.
     pub fn new(schema: TableSchema) -> Table {
-        let mut t = Table {
-            indexes: Vec::new(),
-            rows: Vec::new(),
-            schema,
-        };
-        if !t.schema.primary_key.is_empty() {
-            let name = format!("pk_{}", t.schema.name.to_ascii_lowercase());
-            t.indexes
-                .push(Index::new(Some(name), t.schema.primary_key.clone()));
+        let mut indexes = Vec::new();
+        if !schema.primary_key.is_empty() {
+            let name = format!("pk_{}", schema.name.to_ascii_lowercase());
+            indexes.push(Index::new(Some(name), schema.primary_key.clone()));
         }
-        t
+        Table {
+            indexes: Arc::new(indexes),
+            rows: Arc::new(Vec::new()),
+            schema,
+        }
     }
 
     /// All rows in insertion order.
@@ -105,10 +110,10 @@ impl Table {
             }
         }
         let row_id = self.rows.len();
-        for index in &mut self.indexes {
+        for index in Arc::make_mut(&mut self.indexes) {
             index.insert(&row, row_id);
         }
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
@@ -141,7 +146,7 @@ impl Table {
         for (row_id, row) in self.rows.iter().enumerate() {
             index.insert(row, row_id);
         }
-        self.indexes.push(index);
+        Arc::make_mut(&mut self.indexes).push(index);
         Ok(())
     }
 
@@ -163,12 +168,14 @@ impl Table {
     pub fn delete_rows(&mut self, mut row_ids: Vec<usize>) -> usize {
         row_ids.sort_unstable();
         row_ids.dedup();
+        let rows = Arc::make_mut(&mut self.rows);
         for &id in row_ids.iter().rev() {
-            self.rows.remove(id);
+            rows.remove(id);
         }
         self.rebuild_indexes_empty();
+        let indexes = Arc::make_mut(&mut self.indexes);
         for (row_id, row) in self.rows.iter().enumerate() {
-            for index in &mut self.indexes {
+            for index in indexes.iter_mut() {
                 index.insert(row, row_id);
             }
         }
@@ -187,7 +194,7 @@ impl Table {
         values: &[Value],
     ) -> Result<usize, DbError> {
         debug_assert_eq!(col_indexes.len(), values.len());
-        let mut updated = self.rows.clone();
+        let mut updated = self.rows.as_ref().clone();
         let mut remaining: Vec<&Vec<Value>> = matching.iter().collect();
         let mut changed = 0usize;
         for row in &mut updated {
@@ -228,10 +235,11 @@ impl Table {
                 )));
             }
         }
-        self.rows = updated;
+        self.rows = Arc::new(updated);
         self.rebuild_indexes_empty();
+        let indexes = Arc::make_mut(&mut self.indexes);
         for (row_id, row) in self.rows.iter().enumerate() {
-            for index in &mut self.indexes {
+            for index in indexes.iter_mut() {
                 index.insert(row, row_id);
             }
         }
@@ -240,16 +248,14 @@ impl Table {
 
     /// Remove all rows, keeping the schema and (empty) indexes.
     pub fn truncate(&mut self) {
-        self.rows.clear();
-        for index in &mut self.indexes {
-            *index = Index::new(index.name.clone(), index.columns.clone());
-        }
+        Arc::make_mut(&mut self.rows).clear();
+        self.rebuild_indexes_empty();
     }
 
     /// Replace every index with an empty copy of itself (same name and
     /// columns), used before re-inserting all rows after bulk mutation.
     fn rebuild_indexes_empty(&mut self) {
-        for index in &mut self.indexes {
+        for index in Arc::make_mut(&mut self.indexes) {
             *index = Index::new(index.name.clone(), index.columns.clone());
         }
     }
@@ -391,6 +397,25 @@ mod tests {
         assert_eq!(names(&t), expected, "after update");
         t.truncate();
         assert_eq!(names(&t), expected, "after truncate");
+    }
+
+    #[test]
+    fn clone_shares_rows_until_mutation() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        let snapshot = t.clone();
+        // Clone is two Arc bumps: storage is physically shared.
+        assert!(Arc::ptr_eq(&t.rows, &snapshot.rows));
+        assert!(Arc::ptr_eq(&t.indexes, &snapshot.indexes));
+        // Mutation detaches the writer; the snapshot is unchanged.
+        t.insert(vec![Value::Int(10), Value::Null]).unwrap();
+        assert!(!Arc::ptr_eq(&t.rows, &snapshot.rows));
+        assert_eq!(t.len(), 11);
+        assert_eq!(snapshot.len(), 10);
+        let idx = snapshot.find_index(&[0]).unwrap();
+        assert!(idx.probe(&[Value::Int(10)]).is_empty());
     }
 
     #[test]

@@ -16,4 +16,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> bench smoke (caching, single iteration)"
+cargo bench -p p3p-bench --bench caching -- --test
+
+echo "==> repro --table caching (warm-convert speedup floor)"
+cargo run -q --release -p p3p-bench --bin repro -- --table caching > /dev/null
+
 echo "All checks passed."

@@ -272,6 +272,78 @@ fn xml_install_equals_model_install() {
     }
 }
 
+/// Warm caches never change verdicts: the full corpus × every
+/// preference level, matched cold (fresh caches) and then twice more
+/// against the now-warm translation and plan caches, must agree on
+/// every engine.
+#[test]
+fn cached_plans_match_uncached_verdicts() {
+    let mut server = PolicyServer::new();
+    for p in p3p_suite::workload::corpus(42) {
+        server.install_policy(&p).unwrap();
+    }
+    let names = server.policy_names();
+    for sensitivity in p3p_suite::workload::Sensitivity::ALL {
+        let ruleset = sensitivity.ruleset();
+        for engine in EngineKind::ALL {
+            for name in &names {
+                let target = Target::Policy(name);
+                let cold = server.match_preference(&ruleset, target, *engine);
+                for pass in 0..2 {
+                    let warm = server.match_preference(&ruleset, target, *engine);
+                    match (&cold, &warm) {
+                        (Ok(c), Ok(w)) => {
+                            assert_eq!(
+                                c.verdict, w.verdict,
+                                "{engine:?} pass {pass} on {name} at {sensitivity:?}"
+                            );
+                            if matches!(engine, EngineKind::Sql | EngineKind::SqlGeneric) {
+                                assert!(w.cached, "{engine:?} should reuse cached plans");
+                            }
+                        }
+                        (Err(_), Err(_)) => {} // XTABLE on Medium, both passes
+                        _ => panic!("{engine:?} cold/warm success disagreed on {name}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Installing a policy after the caches are warm must not serve stale
+/// results: the cached bound plans see the new policy's rows, and the
+/// new policy resolves through the same prepared plans.
+#[test]
+fn warm_caches_see_later_installs() {
+    for seed in 0..16 {
+        let mut rng = TestRng(seed);
+        let first = random_policy(&mut rng);
+        let mut second = random_policy(&mut rng);
+        second.name = "second".to_string();
+        let ruleset = random_ruleset(&mut rng);
+
+        // Warm path: match `first`, install `second`, match `second`
+        // through the now-warm caches.
+        let mut warm = PolicyServer::new();
+        warm.install_policy(&first).unwrap();
+        warm.match_preference(&ruleset, Target::Policy("generated"), EngineKind::Sql)
+            .unwrap();
+        warm.install_policy(&second).unwrap();
+        let got = warm
+            .match_preference(&ruleset, Target::Policy("second"), EngineKind::Sql)
+            .unwrap();
+        assert!(got.cached, "seed {seed}: second match should hit the cache");
+
+        // Cold reference: a fresh server that only ever saw `second`.
+        let mut cold = PolicyServer::new();
+        cold.install_policy(&second).unwrap();
+        let reference = cold
+            .match_preference(&ruleset, Target::Policy("second"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(got.verdict, reference.verdict, "seed {seed}");
+    }
+}
+
 /// Index use never changes SQL verdicts (only their cost).
 #[test]
 fn indexes_do_not_change_verdicts() {

@@ -46,7 +46,7 @@ fn threshold_zero_captures_every_statement_with_rule_attribution() {
     }
     // The fired rule's query produced the verdict row.
     assert_eq!(attributed[2].stats.rows_output, 1, "{:#?}", attributed[2]);
-    // Statements outside the per-rule loop (the applicable-policy
-    // staging) are captured too, without rule attribution.
-    assert!(entries.iter().any(|r| r.rule_id.is_none()), "{entries:#?}");
+    // The SQL engine binds the policy id as a parameter instead of
+    // staging it, so every captured statement belongs to a rule.
+    assert!(entries.iter().all(|r| r.rule_id.is_some()), "{entries:#?}");
 }
