@@ -1,0 +1,27 @@
+//! Bench for set-at-a-time corpus matching: per-policy loop vs
+//! `match_corpus` vs thread-sharded `MatchPool::match_corpus`.
+//!
+//! Like the other benches this is a plain timing harness
+//! (`harness = false`); pass `--test` for a single-iteration smoke
+//! pass. The authoritative numbers (and the ≥5x gate) come from
+//! `repro --table bulk`, which writes `BENCH_bulk.json`.
+
+use p3p_bench::{bench_bulk_json, bulk_report, bulk_table, DEFAULT_SEED};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (policies, runs) = if smoke { (29, 1) } else { (120, 5) };
+    let report = bulk_report(DEFAULT_SEED, policies, runs);
+    print!("{}", bulk_table(&report));
+    for row in &report.rows {
+        assert!(
+            row.error.is_none(),
+            "{:?} failed the bulk sweep: {:?}",
+            row.engine,
+            row.error
+        );
+    }
+    if !smoke {
+        print!("{}", bench_bulk_json(&report));
+    }
+}

@@ -78,4 +78,24 @@ fn main() {
                 .unwrap();
         }
     });
+
+    // The whole point of the caching stack: setup (parameterized
+    // shredding) and matching (bound-parameter rule queries) run
+    // through a small set of stable statement texts, so the plan cache
+    // must absorb well over half of all prepares.
+    let stats = server.database().plan_cache_stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    println!(
+        "plan cache: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        hit_rate * 100.0
+    );
+    assert!(
+        hit_rate >= 0.5,
+        "plan-cache hit rate {hit_rate:.4} fell below the 0.5 floor \
+         ({} hits / {} misses) — prepared statements are thrashing",
+        stats.hits,
+        stats.misses
+    );
 }

@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | ablation
+//! repro --table shredding | warmcold | caching | bulk | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! ```
@@ -17,9 +17,9 @@
 //! timing report.
 
 use p3p_bench::{
-    ablation_table, bench_matching_json, caching_report, caching_table, figure19, figure20,
-    figure21, scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table,
-    DEFAULT_SEED,
+    ablation_table, bench_bulk_json, bench_matching_json, bulk_report, bulk_table, caching_report,
+    caching_table, figure19, figure20, figure21, scaling_table, shredding_table, subset_table,
+    telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -104,6 +104,56 @@ fn main() {
             );
             caching_ok = false;
         }
+        let p = &report.plans;
+        let hit_rate = if p.hits + p.misses == 0 {
+            0.0
+        } else {
+            p.hits as f64 / (p.hits + p.misses) as f64
+        };
+        if hit_rate < 0.5 {
+            eprintln!("error: plan-cache hit rate {hit_rate:.4} is below the 0.5 floor");
+            caching_ok = false;
+        }
+    }
+    let mut bulk_ok = true;
+    if all || tables.iter().any(|t| t == "bulk") {
+        let report = bulk_report(seed, 120, 5);
+        println!("{}", bulk_table(&report));
+        let json = bench_bulk_json(&report);
+        let path = std::path::Path::new("BENCH_bulk.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        match report
+            .rows
+            .iter()
+            .find(|r| r.engine == p3p_server::EngineKind::Sql)
+        {
+            Some(sql) if sql.error.is_none() => {
+                let speedup = sql.bulk_speedup();
+                if speedup < 5.0 {
+                    eprintln!(
+                        "error: bulk-over-loop speedup {speedup:.1}x for optimized SQL is below \
+                         the 5x floor"
+                    );
+                    bulk_ok = false;
+                }
+                // Allow 10% timing noise: on a single-core box the
+                // sharded pass runs the identical single-threaded path.
+                if sql.sharded_time.as_secs_f64() > sql.bulk_time.as_secs_f64() * 1.10 {
+                    eprintln!(
+                        "error: sharded bulk ({:?}) is slower than single-threaded bulk ({:?})",
+                        sql.sharded_time, sql.bulk_time
+                    );
+                    bulk_ok = false;
+                }
+            }
+            _ => {
+                eprintln!("error: optimized SQL could not run the bulk sweep");
+                bulk_ok = false;
+            }
+        }
     }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
@@ -119,7 +169,7 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
-    if !caching_ok {
+    if !caching_ok || !bulk_ok {
         std::process::exit(1);
     }
 }
@@ -150,7 +200,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

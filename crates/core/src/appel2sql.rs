@@ -68,6 +68,66 @@ fn combine(connective: Connective, conds: &[String]) -> String {
 
 const FALSE_COND: &str = "1 = 0";
 
+/// The outer query shape a rule translates into. The inner condition
+/// text is identical across forms; only the prefix differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryForm {
+    /// `SELECT '<behavior>' FROM applicable_policy …` against a staged
+    /// single-policy table.
+    Staged,
+    /// `SELECT '<behavior>' FROM <policy> applicable_policy WHERE
+    /// applicable_policy.policy_id = ? …` — one policy per execution,
+    /// pinned by a bind parameter.
+    Bound,
+    /// `SELECT DISTINCT applicable_policy.policy_id FROM <policy>
+    /// applicable_policy …` — set-at-a-time: one execution returns the
+    /// id of every installed policy the rule matches.
+    Corpus,
+}
+
+/// Render the outer query for `form` around the combined rule
+/// condition (`None` for an unconditional rule). `policy_table` is the
+/// corpus-wide policy table of the target schema.
+fn render_form(
+    form: QueryForm,
+    behavior: &str,
+    policy_table: &str,
+    combined: Option<&str>,
+) -> String {
+    let mut sql = match form {
+        QueryForm::Staged => format!("SELECT {} FROM applicable_policy", sql_quote(behavior)),
+        QueryForm::Bound => format!(
+            "SELECT {} FROM {policy_table} applicable_policy \
+             WHERE applicable_policy.policy_id = ?",
+            sql_quote(behavior)
+        ),
+        QueryForm::Corpus => format!(
+            "SELECT DISTINCT applicable_policy.policy_id FROM {policy_table} applicable_policy"
+        ),
+    };
+    if let Some(combined) = combined {
+        match form {
+            QueryForm::Staged => {
+                sql.push_str(" WHERE ");
+                sql.push_str(combined);
+            }
+            QueryForm::Bound => {
+                sql.push_str(" AND (");
+                sql.push_str(combined);
+                sql.push(')');
+            }
+            // Parenthesized so callers can append further conjuncts
+            // (e.g. `AND applicable_policy.policy_id IN (…)`).
+            QueryForm::Corpus => {
+                sql.push_str(" WHERE (");
+                sql.push_str(combined);
+                sql.push(')');
+            }
+        }
+    }
+    sql
+}
+
 // =======================================================================
 // Generic translation (Figure 11)
 // =======================================================================
@@ -76,7 +136,7 @@ const FALSE_COND: &str = "1 = 0";
 /// query selects the rule's behavior from `applicable_policy` when the
 /// pattern matches the staged policy.
 pub fn translate_rule_generic(rule: &Rule, schema: &GenericSchema) -> Result<String, ServerError> {
-    translate_generic(rule, schema, false)
+    translate_generic(rule, schema, QueryForm::Staged)
 }
 
 /// Like [`translate_rule_generic`], but parameterized: instead of
@@ -89,29 +149,30 @@ pub fn translate_rule_generic_bound(
     rule: &Rule,
     schema: &GenericSchema,
 ) -> Result<String, ServerError> {
-    translate_generic(rule, schema, true)
+    translate_generic(rule, schema, QueryForm::Bound)
+}
+
+/// Corpus form of the generic translation: one query returning the
+/// `policy_id` of **every** installed policy the rule matches
+/// (set-at-a-time, paper §3). No parameters; the caller folds
+/// first-matching-rule semantics over the returned id sets.
+pub fn translate_rule_generic_corpus(
+    rule: &Rule,
+    schema: &GenericSchema,
+) -> Result<String, ServerError> {
+    translate_generic(rule, schema, QueryForm::Corpus)
 }
 
 fn translate_generic(
     rule: &Rule,
     schema: &GenericSchema,
-    bound: bool,
+    form: QueryForm,
 ) -> Result<String, ServerError> {
     let mut aliases = Aliases::new();
-    let mut sql = if bound {
-        format!(
-            "SELECT {} FROM {} applicable_policy WHERE applicable_policy.policy_id = ?",
-            sql_quote(rule.behavior.as_str()),
-            schema.table_for("POLICY")
-        )
-    } else {
-        format!(
-            "SELECT {} FROM applicable_policy",
-            sql_quote(rule.behavior.as_str())
-        )
-    };
+    let behavior = rule.behavior.as_str();
+    let policy_table = schema.table_for("POLICY");
     if rule.pattern.is_empty() {
-        return Ok(sql);
+        return Ok(render_form(form, behavior, &policy_table, None));
     }
     if rule.connective.is_exact() {
         return Err(ServerError::Unsupported(
@@ -123,15 +184,7 @@ fn translate_generic(
         conds.push(generic_expr(expr, None, schema, &mut aliases)?);
     }
     let combined = combine(rule.connective, &conds);
-    if bound {
-        sql.push_str(" AND (");
-        sql.push_str(&combined);
-        sql.push(')');
-    } else {
-        sql.push_str(" WHERE ");
-        sql.push_str(&combined);
-    }
-    Ok(sql)
+    Ok(render_form(form, behavior, &policy_table, Some(&combined)))
 }
 
 /// The `match()` of Figure 11: render the condition asserting that
@@ -288,7 +341,7 @@ fn generic_exactness(
 
 /// Translate one APPEL rule into SQL against the optimized schema.
 pub fn translate_rule_optimized(rule: &Rule) -> Result<String, ServerError> {
-    translate_optimized(rule, false)
+    translate_optimized(rule, QueryForm::Staged)
 }
 
 /// Like [`translate_rule_optimized`], but parameterized: instead of
@@ -298,24 +351,22 @@ pub fn translate_rule_optimized(rule: &Rule) -> Result<String, ServerError> {
 /// text is byte-identical to the staged form, and the DELETE+INSERT
 /// staging round-trip disappears.
 pub fn translate_rule_optimized_bound(rule: &Rule) -> Result<String, ServerError> {
-    translate_optimized(rule, true)
+    translate_optimized(rule, QueryForm::Bound)
 }
 
-fn translate_optimized(rule: &Rule, bound: bool) -> Result<String, ServerError> {
+/// Corpus form of the optimized translation: one query returning the
+/// `policy_id` of **every** installed policy the rule matches
+/// (set-at-a-time, paper §3). No parameters; the caller folds
+/// first-matching-rule semantics over the returned id sets.
+pub fn translate_rule_optimized_corpus(rule: &Rule) -> Result<String, ServerError> {
+    translate_optimized(rule, QueryForm::Corpus)
+}
+
+fn translate_optimized(rule: &Rule, form: QueryForm) -> Result<String, ServerError> {
     let mut aliases = Aliases::new();
-    let mut sql = if bound {
-        format!(
-            "SELECT {} FROM policy applicable_policy WHERE applicable_policy.policy_id = ?",
-            sql_quote(rule.behavior.as_str())
-        )
-    } else {
-        format!(
-            "SELECT {} FROM applicable_policy",
-            sql_quote(rule.behavior.as_str())
-        )
-    };
+    let behavior = rule.behavior.as_str();
     if rule.pattern.is_empty() {
-        return Ok(sql);
+        return Ok(render_form(form, behavior, "policy", None));
     }
     if rule.connective.is_exact() {
         return Err(ServerError::Unsupported(
@@ -327,15 +378,7 @@ fn translate_optimized(rule: &Rule, bound: bool) -> Result<String, ServerError> 
         conds.push(policy_expr(expr, &mut aliases)?);
     }
     let combined = combine(rule.connective, &conds);
-    if bound {
-        sql.push_str(" AND (");
-        sql.push_str(&combined);
-        sql.push(')');
-    } else {
-        sql.push_str(" WHERE ");
-        sql.push_str(&combined);
-    }
-    Ok(sql)
+    Ok(render_form(form, behavior, "policy", Some(&combined)))
 }
 
 /// A POLICY pattern expression at the root.
@@ -1000,6 +1043,66 @@ mod tests {
             ] {
                 let (_, params) = p3p_minidb::sql::parse_statement_params(&sql).unwrap();
                 assert_eq!(params.len(), 1, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_translation_selects_distinct_policy_ids() {
+        let sql = translate_rule_optimized_corpus(&figure_12_rule()).unwrap();
+        assert!(
+            sql.starts_with(
+                "SELECT DISTINCT applicable_policy.policy_id \
+                 FROM policy applicable_policy WHERE ("
+            ),
+            "{sql}"
+        );
+        assert!(sql.ends_with(')'), "{sql}");
+        // The inner conditions are byte-identical to the staged form.
+        let staged = translate_rule_optimized(&figure_12_rule()).unwrap();
+        let staged_conds = staged.split_once(" WHERE ").unwrap().1;
+        assert!(sql.contains(staged_conds), "{sql}");
+        // No bind parameters: one execution covers the whole corpus.
+        let (_, params) = p3p_minidb::sql::parse_statement_params(&sql).unwrap();
+        assert!(params.is_empty(), "{sql}");
+    }
+
+    #[test]
+    fn corpus_unconditional_rule_scans_the_policy_table() {
+        let rule = Rule::unconditional(Behavior::Request);
+        assert_eq!(
+            translate_rule_optimized_corpus(&rule).unwrap(),
+            "SELECT DISTINCT applicable_policy.policy_id FROM policy applicable_policy"
+        );
+        let schema = GenericSchema::default();
+        assert_eq!(
+            translate_rule_generic_corpus(&rule, &schema).unwrap(),
+            "SELECT DISTINCT applicable_policy.policy_id FROM g_policy applicable_policy"
+        );
+    }
+
+    #[test]
+    fn corpus_generic_translation_uses_generic_policy_table() {
+        let schema = GenericSchema::default();
+        let sql = translate_rule_generic_corpus(&figure_12_rule(), &schema).unwrap();
+        assert!(
+            sql.starts_with(
+                "SELECT DISTINCT applicable_policy.policy_id \
+                 FROM g_policy applicable_policy WHERE ("
+            ),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn corpus_sql_parses_for_jane_rules() {
+        let schema = GenericSchema::default();
+        for rule in &jane_preference().rules {
+            for sql in [
+                translate_rule_optimized_corpus(rule).unwrap(),
+                translate_rule_generic_corpus(rule, &schema).unwrap(),
+            ] {
+                p3p_minidb::sql::parse_statement(&sql).unwrap();
             }
         }
     }

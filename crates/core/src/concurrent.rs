@@ -14,6 +14,7 @@
 
 use crate::error::ServerError;
 use crate::server::{EngineKind, MatchOutcome, PolicyServer, Target};
+use p3p_appel::engine::Verdict;
 use p3p_appel::model::Ruleset;
 use p3p_policy::model::Policy;
 use std::sync::Arc;
@@ -96,6 +97,50 @@ impl MatchPool {
         let snapshot = self.snapshot.read().unwrap().clone();
         snapshot.match_preference_snapshot(ruleset, target, engine)
     }
+
+    /// Set-at-a-time corpus matching sharded across threads: the
+    /// installed-policy roster (already in name order) is split into
+    /// `shards` contiguous chunks and each chunk runs
+    /// [`PolicyServer::match_corpus_subset`] on its own thread against
+    /// the shared snapshot. Chunks of a sorted roster concatenate back
+    /// into name order, so the result is identical to a single-threaded
+    /// [`PolicyServer::match_corpus`] call.
+    pub fn match_corpus(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        shards: usize,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        let snapshot = self.snapshot.read().unwrap().clone();
+        let names = snapshot.policy_names();
+        let shards = shards.clamp(1, names.len().max(1));
+        if shards <= 1 {
+            return snapshot.match_corpus(ruleset, engine);
+        }
+        let chunk = names.len().div_ceil(shards);
+        let results: Vec<Result<Vec<(String, Verdict)>, ServerError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = names
+                    .chunks(chunk)
+                    .map(|part| {
+                        let snapshot = &snapshot;
+                        let ruleset = &ruleset;
+                        scope.spawn(move || {
+                            snapshot.match_corpus_subset(ruleset, engine, Some(part))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("corpus shard thread panicked"))
+                    .collect()
+            });
+        let mut out = Vec::with_capacity(names.len());
+        for shard in results {
+            out.extend(shard?);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +200,26 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_corpus_matching_agrees_with_single_threaded() {
+        let shared = SharedServer::new(PolicyServer::new());
+        for p in p3p_workload::corpus(42) {
+            shared.install_policy(&p).unwrap();
+        }
+        let pool = MatchPool::new(&shared);
+        let ruleset = Sensitivity::High.ruleset();
+        let single = pool.match_corpus(&ruleset, EngineKind::Sql, 1).unwrap();
+        assert!(!single.is_empty());
+        // Shard counts beyond the corpus size clamp instead of spawning
+        // empty shards.
+        for shards in [2, 4, 7, 1000] {
+            let sharded = pool
+                .match_corpus(&ruleset, EngineKind::Sql, shards)
+                .unwrap();
+            assert_eq!(single, sharded, "{shards} shards");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::error::ServerError;
 use crate::meta_schema::{self, ElementDef};
-use p3p_minidb::Database;
+use p3p_minidb::{Database, Value};
 use p3p_xmldom::Element;
 use std::collections::HashMap;
 
@@ -136,23 +136,26 @@ impl GenericSchema {
             return Ok(()); // unmatchable subtree, skipped
         };
         let mut columns: Vec<String> = key.iter().map(|(c, _)| c.clone()).collect();
-        let mut values: Vec<String> = key.iter().map(|(_, v)| v.to_string()).collect();
+        let mut params: Vec<Value> = key.iter().map(|(_, v)| Value::Int(*v)).collect();
         for attr in def.attrs {
             if let Some(v) = elem.attr_local(attr) {
                 columns.push(meta_schema::sql_name(attr));
-                values.push(sql_quote(v));
+                params.push(Value::Text(v.to_string()));
             }
         }
         if def.has_text {
             columns.push("text".to_string());
-            values.push(sql_quote(&elem.text()));
+            params.push(Value::Text(elem.text()));
         }
-        db.execute(&format!(
+        // Parameterized with a stable text per (table, column set):
+        // the whole corpus shreds through a small cached plan set.
+        let plan = db.prepare(&format!(
             "INSERT INTO {} ({}) VALUES ({})",
             self.table_for(def.name),
             columns.join(", "),
-            values.join(", ")
+            vec!["?"; params.len()].join(", ")
         ))?;
+        db.execute_prepared(&plan, &params)?;
         *inserted += 1;
         for child in elem.child_elements() {
             let Some(child_def) = meta_schema::find(&child.name.local) else {

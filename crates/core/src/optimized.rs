@@ -16,8 +16,7 @@
 //! here (paper §6.3.2), so no augmentation cost is paid at match time.
 
 use crate::error::ServerError;
-use crate::generic::sql_quote;
-use p3p_minidb::Database;
+use p3p_minidb::{Database, Value};
 use p3p_policy::augment::augment_policy;
 use p3p_policy::model::Policy;
 use p3p_policy::vocab::Required;
@@ -86,87 +85,138 @@ pub fn install(db: &mut Database) -> Result<(), ServerError> {
 /// Shred one policy into the optimized tables under `policy_id`,
 /// augmenting categories and expanding set references first (the
 /// shred-time augmentation of §6.3.2). Returns rows inserted.
+///
+/// Every INSERT is a parameterized prepared statement with a fixed
+/// text, so a whole corpus shreds through a handful of cached plans
+/// instead of flooding the plan cache with one-shot literals.
 pub fn shred(db: &mut Database, policy_id: i64, policy: &Policy) -> Result<usize, ServerError> {
     let policy = augment_policy(policy);
     let mut inserted = 0usize;
-    let mut exec = |sql: String| -> Result<(), ServerError> {
-        db.execute(&sql)?;
+    let mut exec = |db: &mut Database, sql: &str, params: &[Value]| -> Result<(), ServerError> {
+        let plan = db.prepare(sql)?;
+        db.execute_prepared(&plan, params)?;
         inserted += 1;
         Ok(())
     };
 
-    exec(format!(
-        "INSERT INTO policy VALUES ({policy_id}, {name}, {entity}, {access}, {discuri}, {opturi}, {lang})",
-        name = sql_quote(&policy.name),
-        entity = opt_quote(policy.entity.as_ref().and_then(|e| e.business_name.as_deref())),
-        access = opt_quote(policy.access.map(|a| a.as_str())),
-        discuri = opt_quote(policy.discuri.as_deref()),
-        opturi = opt_quote(policy.opturi.as_deref()),
-        lang = opt_quote(policy.lang.as_deref()),
-    ))?;
+    exec(
+        db,
+        "INSERT INTO policy VALUES (?, ?, ?, ?, ?, ?, ?)",
+        &[
+            Value::Int(policy_id),
+            text(&policy.name),
+            opt_text(
+                policy
+                    .entity
+                    .as_ref()
+                    .and_then(|e| e.business_name.as_deref()),
+            ),
+            opt_text(policy.access.map(|a| a.as_str())),
+            opt_text(policy.discuri.as_deref()),
+            opt_text(policy.opturi.as_deref()),
+            opt_text(policy.lang.as_deref()),
+        ],
+    )?;
 
     if let Some(entity) = &policy.entity {
         for (reference, value) in &entity.fields {
-            exec(format!(
-                "INSERT INTO entity_data VALUES ({policy_id}, {}, {})",
-                sql_quote(reference),
-                sql_quote(value)
-            ))?;
+            exec(
+                db,
+                "INSERT INTO entity_data VALUES (?, ?, ?)",
+                &[Value::Int(policy_id), text(reference), text(value)],
+            )?;
         }
     }
 
     for (di, dispute) in policy.disputes.iter().enumerate() {
         let dispute_id = di as i64 + 1;
-        exec(format!(
-            "INSERT INTO disputes VALUES ({policy_id}, {dispute_id}, {}, {}, {})",
-            sql_quote(dispute.resolution_type.as_str()),
-            opt_quote(dispute.service.as_deref()),
-            opt_quote(dispute.description.as_deref()),
-        ))?;
+        exec(
+            db,
+            "INSERT INTO disputes VALUES (?, ?, ?, ?, ?)",
+            &[
+                Value::Int(policy_id),
+                Value::Int(dispute_id),
+                text(dispute.resolution_type.as_str()),
+                opt_text(dispute.service.as_deref()),
+                opt_text(dispute.description.as_deref()),
+            ],
+        )?;
         for remedy in &dispute.remedies {
-            exec(format!(
-                "INSERT INTO remedy VALUES ({policy_id}, {dispute_id}, {})",
-                sql_quote(remedy.as_str())
-            ))?;
+            exec(
+                db,
+                "INSERT INTO remedy VALUES (?, ?, ?)",
+                &[
+                    Value::Int(policy_id),
+                    Value::Int(dispute_id),
+                    text(remedy.as_str()),
+                ],
+            )?;
         }
     }
 
     for (si, stmt) in policy.statements.iter().enumerate() {
         let statement_id = si as i64 + 1;
-        exec(format!(
-            "INSERT INTO statement VALUES ({policy_id}, {statement_id}, {consequence}, {retention}, {non_id})",
-            consequence = opt_quote(stmt.consequence.as_deref()),
-            retention = opt_quote(stmt.retention.first().map(|r| r.as_str())),
-            non_id = sql_quote(if stmt.non_identifiable { "yes" } else { "no" }),
-        ))?;
+        exec(
+            db,
+            "INSERT INTO statement VALUES (?, ?, ?, ?, ?)",
+            &[
+                Value::Int(policy_id),
+                Value::Int(statement_id),
+                opt_text(stmt.consequence.as_deref()),
+                opt_text(stmt.retention.first().map(|r| r.as_str())),
+                text(if stmt.non_identifiable { "yes" } else { "no" }),
+            ],
+        )?;
         for pu in &stmt.purposes {
-            exec(format!(
-                "INSERT INTO purpose VALUES ({policy_id}, {statement_id}, {}, {})",
-                sql_quote(pu.purpose.as_str()),
-                sql_quote(pu.required.as_str())
-            ))?;
+            exec(
+                db,
+                "INSERT INTO purpose VALUES (?, ?, ?, ?)",
+                &[
+                    Value::Int(policy_id),
+                    Value::Int(statement_id),
+                    text(pu.purpose.as_str()),
+                    text(pu.required.as_str()),
+                ],
+            )?;
         }
         for ru in &stmt.recipients {
-            exec(format!(
-                "INSERT INTO recipient VALUES ({policy_id}, {statement_id}, {}, {})",
-                sql_quote(ru.recipient.as_str()),
-                sql_quote(ru.required.as_str())
-            ))?;
+            exec(
+                db,
+                "INSERT INTO recipient VALUES (?, ?, ?, ?)",
+                &[
+                    Value::Int(policy_id),
+                    Value::Int(statement_id),
+                    text(ru.recipient.as_str()),
+                    text(ru.required.as_str()),
+                ],
+            )?;
         }
         let mut data_id = 0i64;
         for group in &stmt.data_groups {
             for d in &group.data {
                 data_id += 1;
-                exec(format!(
-                    "INSERT INTO data VALUES ({policy_id}, {statement_id}, {data_id}, {}, {})",
-                    sql_quote(&d.reference),
-                    sql_quote(if d.optional { "yes" } else { "no" })
-                ))?;
+                exec(
+                    db,
+                    "INSERT INTO data VALUES (?, ?, ?, ?, ?)",
+                    &[
+                        Value::Int(policy_id),
+                        Value::Int(statement_id),
+                        Value::Int(data_id),
+                        text(&d.reference),
+                        text(if d.optional { "yes" } else { "no" }),
+                    ],
+                )?;
                 for c in &d.categories {
-                    exec(format!(
-                        "INSERT INTO category VALUES ({policy_id}, {statement_id}, {data_id}, {})",
-                        sql_quote(c.as_str())
-                    ))?;
+                    exec(
+                        db,
+                        "INSERT INTO category VALUES (?, ?, ?, ?)",
+                        &[
+                            Value::Int(policy_id),
+                            Value::Int(statement_id),
+                            Value::Int(data_id),
+                            text(c.as_str()),
+                        ],
+                    )?;
                 }
             }
         }
@@ -188,17 +238,20 @@ pub fn unshred(db: &mut Database, policy_id: i64) -> Result<(), ServerError> {
         "entity_data",
         "policy",
     ] {
-        db.execute(&format!(
-            "DELETE FROM {table} WHERE policy_id = {policy_id}"
-        ))?;
+        let plan = db.prepare(&format!("DELETE FROM {table} WHERE policy_id = ?"))?;
+        db.execute_prepared(&plan, &[Value::Int(policy_id)])?;
     }
     Ok(())
 }
 
-fn opt_quote(v: Option<&str>) -> String {
+fn text(s: &str) -> Value {
+    Value::Text(s.to_string())
+}
+
+fn opt_text(v: Option<&str>) -> Value {
     match v {
-        Some(s) => sql_quote(s),
-        None => "NULL".to_string(),
+        Some(s) => Value::Text(s.to_string()),
+        None => Value::Null,
     }
 }
 

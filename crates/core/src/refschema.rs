@@ -10,8 +10,7 @@
 //! temporary table ApplicablePolicy" — §5.3.1).
 
 use crate::error::ServerError;
-use crate::generic::sql_quote;
-use p3p_minidb::Database;
+use p3p_minidb::{Database, Value};
 use p3p_policy::reference::ReferenceFile;
 
 /// DDL for the reference-file tables (Figure 16) plus the
@@ -53,24 +52,37 @@ pub fn wildcard_to_like(pattern: &str) -> String {
 
 /// Shred a reference file under `meta_id`. `resolve` maps a POLICY-REF
 /// `about` value to the installed policy's id (returning `None` leaves
-/// the column NULL — a dangling reference).
+/// the column NULL — a dangling reference). All INSERTs are
+/// parameterized with fixed texts, so repeated installs reuse a small
+/// set of cached plans.
 pub fn shred_reference(
     db: &mut Database,
     meta_id: i64,
     file: &ReferenceFile,
     mut resolve: impl FnMut(&str) -> Option<i64>,
 ) -> Result<(), ServerError> {
-    db.execute(&format!("INSERT INTO meta VALUES ({meta_id})"))?;
+    let exec = |db: &mut Database, sql: &str, params: &[Value]| -> Result<(), ServerError> {
+        let plan = db.prepare(sql)?;
+        db.execute_prepared(&plan, params)?;
+        Ok(())
+    };
+    exec(db, "INSERT INTO meta VALUES (?)", &[Value::Int(meta_id)])?;
     for (i, pref) in file.policy_refs.iter().enumerate() {
         let policyref_id = i as i64 + 1;
         let policy_id = match resolve(pref.policy_name()) {
-            Some(id) => id.to_string(),
-            None => "NULL".to_string(),
+            Some(id) => Value::Int(id),
+            None => Value::Null,
         };
-        db.execute(&format!(
-            "INSERT INTO policyref VALUES ({meta_id}, {policyref_id}, {}, {policy_id})",
-            sql_quote(&pref.about)
-        ))?;
+        exec(
+            db,
+            "INSERT INTO policyref VALUES (?, ?, ?, ?)",
+            &[
+                Value::Int(meta_id),
+                Value::Int(policyref_id),
+                Value::Text(pref.about.clone()),
+                policy_id,
+            ],
+        )?;
         let batches = [
             ("include", &pref.includes),
             ("exclude", &pref.excludes),
@@ -79,10 +91,15 @@ pub fn shred_reference(
         ];
         for (table, patterns) in batches {
             for pattern in patterns {
-                db.execute(&format!(
-                    "INSERT INTO {table} VALUES ({meta_id}, {policyref_id}, {})",
-                    sql_quote(&wildcard_to_like(pattern))
-                ))?;
+                exec(
+                    db,
+                    &format!("INSERT INTO {table} VALUES (?, ?, ?)"),
+                    &[
+                        Value::Int(meta_id),
+                        Value::Int(policyref_id),
+                        Value::Text(wildcard_to_like(pattern)),
+                    ],
+                )?;
             }
         }
     }
@@ -93,31 +110,33 @@ pub fn shred_reference(
 /// query over the reference tables — first POLICY-REF (document order)
 /// with a matching INCLUDE and no matching EXCLUDE.
 pub fn applicable_policy(db: &Database, uri: &str) -> Result<Option<i64>, ServerError> {
-    let quoted = sql_quote(uri);
-    let sql = format!(
+    // The URI enters as a bound parameter: one cached plan serves every
+    // lookup instead of one single-use plan per distinct URI.
+    let plan = db.prepare(
         "SELECT pr.policy_id FROM policyref pr \
          WHERE EXISTS (SELECT * FROM include i WHERE i.meta_id = pr.meta_id \
-             AND i.policyref_id = pr.policyref_id AND {quoted} LIKE i.pattern) \
+             AND i.policyref_id = pr.policyref_id AND :uri LIKE i.pattern) \
          AND NOT EXISTS (SELECT * FROM exclude e WHERE e.meta_id = pr.meta_id \
-             AND e.policyref_id = pr.policyref_id AND {quoted} LIKE e.pattern) \
-         ORDER BY pr.meta_id, pr.policyref_id LIMIT 1"
-    );
-    let result = db.query(&sql)?;
+             AND e.policyref_id = pr.policyref_id AND :uri LIKE e.pattern) \
+         ORDER BY pr.meta_id, pr.policyref_id LIMIT 1",
+    )?;
+    let params = plan.bind_named(&[("uri", Value::Text(uri.to_string()))])?;
+    let result = db.query_prepared(&plan, &params)?;
     Ok(result.rows.first().and_then(|r| r[0].as_int()))
 }
 
 /// The cookie variant of [`applicable_policy`].
 pub fn applicable_cookie_policy(db: &Database, cookie: &str) -> Result<Option<i64>, ServerError> {
-    let quoted = sql_quote(cookie);
-    let sql = format!(
+    let plan = db.prepare(
         "SELECT pr.policy_id FROM policyref pr \
          WHERE EXISTS (SELECT * FROM cookie_include i WHERE i.meta_id = pr.meta_id \
-             AND i.policyref_id = pr.policyref_id AND {quoted} LIKE i.pattern) \
+             AND i.policyref_id = pr.policyref_id AND :cookie LIKE i.pattern) \
          AND NOT EXISTS (SELECT * FROM cookie_exclude e WHERE e.meta_id = pr.meta_id \
-             AND e.policyref_id = pr.policyref_id AND {quoted} LIKE e.pattern) \
-         ORDER BY pr.meta_id, pr.policyref_id LIMIT 1"
-    );
-    let result = db.query(&sql)?;
+             AND e.policyref_id = pr.policyref_id AND :cookie LIKE e.pattern) \
+         ORDER BY pr.meta_id, pr.policyref_id LIMIT 1",
+    )?;
+    let params = plan.bind_named(&[("cookie", Value::Text(cookie.to_string()))])?;
+    let result = db.query_prepared(&plan, &params)?;
     Ok(result.rows.first().and_then(|r| r[0].as_int()))
 }
 
@@ -125,9 +144,8 @@ pub fn applicable_cookie_policy(db: &Database, cookie: &str) -> Result<Option<i6
 /// `applicable_policy` table the translated queries select from.
 pub fn stage_applicable(db: &mut Database, policy_id: i64) -> Result<(), ServerError> {
     db.execute("DELETE FROM applicable_policy")?;
-    db.execute(&format!(
-        "INSERT INTO applicable_policy VALUES ({policy_id})"
-    ))?;
+    let plan = db.prepare("INSERT INTO applicable_policy VALUES (?)")?;
+    db.execute_prepared(&plan, &[Value::Int(policy_id)])?;
     Ok(())
 }
 

@@ -18,7 +18,10 @@
 //! * [`EngineKind::Native`] — the client-centric baseline: the native
 //!   APPEL engine re-parsing and re-augmenting the policy per match.
 
-use crate::appel2sql::{translate_rule_generic_bound, translate_rule_optimized_bound};
+use crate::appel2sql::{
+    translate_rule_generic_bound, translate_rule_generic_corpus, translate_rule_optimized_bound,
+    translate_rule_optimized_corpus,
+};
 use crate::appel2xquery::translate_rule_xquery;
 use crate::error::ServerError;
 use crate::generic::GenericSchema;
@@ -35,7 +38,7 @@ use p3p_policy::model::Policy;
 use p3p_policy::reference::ReferenceFile;
 use p3p_telemetry::slowlog::QueryContextGuard;
 use p3p_telemetry::{metrics, span};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -282,8 +285,10 @@ impl PolicyServer {
             .filter(|t| t.starts_with("g_"))
             .collect();
         for t in tables {
-            self.db
-                .execute(&format!("DELETE FROM {t} WHERE policy_id = {id}"))?;
+            let plan = self
+                .db
+                .prepare(&format!("DELETE FROM {t} WHERE policy_id = ?"))?;
+            self.db.execute_prepared(&plan, &[Value::Int(id)])?;
         }
         Ok(())
     }
@@ -501,7 +506,7 @@ impl PolicyServer {
         // (OTHERWISE) rules carry no query.
         let translate_span = span!("translate");
         let t0 = Instant::now();
-        let (plans, cached) =
+        let built =
             self.translations
                 .get_or_try_insert(ruleset, TranslationVariant::XTable, || {
                     let mut plans = Vec::with_capacity(ruleset.rules.len());
@@ -517,7 +522,19 @@ impl PolicyServer {
                         plans.push(Some(self.db.prepare(&sql)?));
                     }
                     Ok::<_, ServerError>(plans)
-                })?;
+                });
+        // A preference beyond the XTABLE compiler's size limit is a
+        // known capability hole (the paper's Medium level, §6.3.2), not
+        // an engine failure: report it as typed `Unsupported` so
+        // callers can classify it.
+        let (plans, cached) = match built {
+            Err(ServerError::XQuery(p3p_xquery::XQueryError::TooComplex { size, limit })) => {
+                return Err(ServerError::Unsupported(format!(
+                    "XTABLE cannot compile this preference: query size {size} exceeds limit {limit}"
+                )))
+            }
+            other => other?,
+        };
         let convert = t0.elapsed();
         drop(translate_span);
         let _execute_span = span!("execute");
@@ -607,6 +624,208 @@ impl PolicyServer {
             cached: false,
             db_stats: Default::default(),
         })
+    }
+
+    /// Match a preference against **every** installed policy
+    /// set-at-a-time (paper §3's core argument): the SQL engines run
+    /// one corpus query per rule — O(rules) query executions instead of
+    /// O(policies × rules) — and fold first-matching-rule semantics
+    /// client-side over the returned policy-id sets. The native APPEL
+    /// and XQuery engines answer the same API through a per-policy
+    /// loop, so every engine is comparable.
+    ///
+    /// Results are `(policy name, verdict)` pairs in name order;
+    /// policies no rule matches get the APPEL default-block verdict,
+    /// exactly as the per-policy loop would produce.
+    pub fn match_corpus(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        self.match_corpus_subset(ruleset, engine, None)
+    }
+
+    /// [`Self::match_corpus`] restricted to a subset of policy names —
+    /// the shard primitive behind
+    /// [`crate::concurrent::MatchPool::match_corpus`]. `None` means the
+    /// whole corpus.
+    pub fn match_corpus_subset(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        subset: Option<&[String]>,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        p3p_minidb::exec::reset_stats();
+        let label = engine.metric_label();
+        let _span = span!("bulk_match", engine = label);
+        let start = Instant::now();
+        let result = match engine {
+            EngineKind::Sql => self.bulk_sql(ruleset, subset, false),
+            EngineKind::SqlGeneric => self.bulk_sql(ruleset, subset, true),
+            _ => self.bulk_fallback(ruleset, engine, subset),
+        };
+        let by_engine = [("engine", label)];
+        metrics::histogram_with("p3p_bulk_match_latency_us", &by_engine)
+            .observe_duration(start.elapsed());
+        match &result {
+            Ok(verdicts) => {
+                metrics::counter_with("p3p_bulk_matches_total", &by_engine)
+                    .add(verdicts.len() as u64);
+            }
+            Err(_) => {
+                metrics::counter_with("p3p_bulk_match_errors_total", &by_engine).inc();
+            }
+        }
+        result
+    }
+
+    /// The `(id, name)` pairs to decide, in name order. A subset keeps
+    /// the caller's order (shards of a sorted roster concatenate back
+    /// into name order).
+    fn roster(&self, subset: Option<&[String]>) -> Result<Vec<(i64, String)>, ServerError> {
+        match subset {
+            None => Ok(self
+                .catalog
+                .raw_xml
+                .iter()
+                .map(|(name, (id, _))| (*id, name.clone()))
+                .collect()),
+            Some(names) => names
+                .iter()
+                .map(|name| {
+                    self.policy_id(name)
+                        .map(|id| (id, name.clone()))
+                        .ok_or_else(|| ServerError::UnknownPolicy(name.clone()))
+                })
+                .collect(),
+        }
+    }
+
+    /// Set-at-a-time SQL path: one corpus query per rule. Later rules
+    /// only need to decide policies no earlier rule matched, so once
+    /// the undecided set shrinks below the full corpus the cached plan
+    /// is narrowed with a `policy_id IN (…)` conjunct, which the
+    /// executor answers with per-value index probes instead of a scan.
+    fn bulk_sql(
+        &self,
+        ruleset: &Ruleset,
+        subset: Option<&[String]>,
+        generic: bool,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        let roster = self.roster(subset)?;
+        let total_installed = self.catalog.raw_xml.len();
+        let variant = if generic {
+            TranslationVariant::GenericCorpus
+        } else {
+            TranslationVariant::OptimizedCorpus
+        };
+        let translate_span = span!("translate");
+        let (plans, _cached) = self.translations.get_or_try_insert(ruleset, variant, || {
+            let mut plans = Vec::with_capacity(ruleset.rules.len());
+            for rule in &ruleset.rules {
+                let sql = if generic {
+                    translate_rule_generic_corpus(rule, &self.generic)?
+                } else {
+                    translate_rule_optimized_corpus(rule)?
+                };
+                plans.push(Some(self.db.prepare(&sql)?));
+            }
+            Ok::<_, ServerError>(plans)
+        })?;
+        drop(translate_span);
+        let _execute_span = span!("execute");
+        let queries = metrics::counter_with(
+            "p3p_bulk_queries_total",
+            &[("engine", if generic { "sql_generic" } else { "sql" })],
+        );
+        let mut undecided: Vec<i64> = roster.iter().map(|(id, _)| *id).collect();
+        let mut verdicts: HashMap<i64, Verdict> = HashMap::new();
+        for (index, (rule, plan)) in ruleset.rules.iter().zip(plans.iter()).enumerate() {
+            if undecided.is_empty() {
+                break;
+            }
+            let _ctx = QueryContextGuard::rule(index as u64);
+            let plan = plan
+                .as_ref()
+                .expect("corpus translation yields a plan per rule");
+            queries.inc();
+            let result = if undecided.len() == total_installed {
+                self.db.query_prepared(plan, &[])?
+            } else {
+                // Narrowed one-shot statement: its id list is unique to
+                // this undecided set, so it bypasses the plan cache.
+                let sql = restrict_to_ids(plan.sql(), &undecided);
+                let restricted = self.db.prepare_uncached(&sql)?;
+                self.db.query_prepared(&restricted, &[])?
+            };
+            let matched: HashSet<i64> = result
+                .rows
+                .iter()
+                .filter_map(|row| row.first().and_then(Value::as_int))
+                .collect();
+            undecided.retain(|id| {
+                if matched.contains(id) {
+                    verdicts.insert(
+                        *id,
+                        Verdict {
+                            behavior: rule.behavior.clone(),
+                            fired_rule: Some(index),
+                        },
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Ok(roster
+            .into_iter()
+            .map(|(id, name)| {
+                let verdict = verdicts.remove(&id).unwrap_or_else(Verdict::default_block);
+                (name, verdict)
+            })
+            .collect())
+    }
+
+    /// Engines without a set-at-a-time form answer the corpus API with
+    /// a per-policy loop, so benches and callers can compare them
+    /// against the bulk SQL path on equal terms.
+    fn bulk_fallback(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        subset: Option<&[String]>,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        let roster = self.roster(subset)?;
+        let mut out = Vec::with_capacity(roster.len());
+        for (id, name) in roster {
+            let outcome = match engine {
+                EngineKind::Native => self.match_native(ruleset, id)?,
+                EngineKind::XQueryXTable => self.match_xtable(ruleset, id)?,
+                EngineKind::XQueryNative => self.match_xquery_native(ruleset, id)?,
+                EngineKind::Sql | EngineKind::SqlGeneric => {
+                    unreachable!("SQL engines use the set-at-a-time path")
+                }
+            };
+            out.push((name, outcome.verdict));
+        }
+        Ok(out)
+    }
+}
+
+/// Append `applicable_policy.policy_id IN (…)` to a corpus query so it
+/// only decides the still-undecided ids. The corpus translators always
+/// parenthesize their WHERE condition, so a plain `AND` is safe.
+fn restrict_to_ids(sql: &str, ids: &[i64]) -> String {
+    let list = ids
+        .iter()
+        .map(|id| id.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    if sql.contains(" WHERE ") {
+        format!("{sql} AND applicable_policy.policy_id IN ({list})")
+    } else {
+        format!("{sql} WHERE applicable_policy.policy_id IN ({list})")
     }
 }
 
@@ -778,13 +997,18 @@ mod tests {
         // Volga's first statement has exactly {current} ⊆ {current,admin}
         // so the exact rule fires.
         assert_eq!(sql.verdict.behavior, Behavior::Block);
+        // The capability hole surfaces as a typed Unsupported error
+        // (not an opaque engine failure), naming the size limit.
         let err = s
             .match_preference(&pref, Target::Policy("volga"), EngineKind::XQueryXTable)
             .unwrap_err();
-        assert!(matches!(
-            err,
-            ServerError::XQuery(p3p_xquery::XQueryError::TooComplex { .. })
-        ));
+        match err {
+            ServerError::Unsupported(msg) => {
+                assert!(msg.contains("XTABLE"), "{msg}");
+                assert!(msg.contains("exceeds limit"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
         // The native engine and the XML-store engine both handle it.
         let native = s
             .match_preference(&pref, Target::Policy("volga"), EngineKind::Native)
@@ -842,6 +1066,86 @@ mod tests {
         let xml = volga_policy().to_xml();
         s.install_policy_xml(&xml).unwrap();
         assert_eq!(s.raw_xml_of(1).unwrap(), xml);
+    }
+
+    #[test]
+    fn match_corpus_agrees_with_per_policy_loop() {
+        let mut s = PolicyServer::new();
+        // Three policies with different outcomes under Jane: volga
+        // (request, rule 2), the always-variant (block, rule 0), and a
+        // stripped policy nothing matches (default block).
+        s.install_policy(&volga_policy()).unwrap();
+        let mut always = volga_policy();
+        always.name = "always".to_string();
+        always.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&always).unwrap();
+        let mut bare = p3p_policy::model::Policy::new("bare");
+        bare.access = None;
+        s.install_policy(&bare).unwrap();
+        let jane = jane_preference();
+        for engine in EngineKind::ALL {
+            let bulk = s.match_corpus(&jane, *engine).unwrap();
+            assert_eq!(bulk.len(), 3, "{engine:?}");
+            for (name, verdict) in &bulk {
+                let loop_verdict = s
+                    .match_preference_snapshot(&jane, Target::Policy(name), *engine)
+                    .unwrap()
+                    .verdict;
+                assert_eq!(*verdict, loop_verdict, "{engine:?} / {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn match_corpus_subset_decides_only_the_shard() {
+        let mut s = server_with_volga();
+        let mut second = volga_policy();
+        second.name = "always".to_string();
+        second.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&second).unwrap();
+        let jane = jane_preference();
+        let shard = ["always".to_string()];
+        let out = s
+            .match_corpus_subset(&jane, EngineKind::Sql, Some(&shard))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, "always");
+        assert_eq!(out[0].1.behavior, Behavior::Block);
+        let unknown = ["nope".to_string()];
+        assert!(matches!(
+            s.match_corpus_subset(&jane, EngineKind::Sql, Some(&unknown)),
+            Err(ServerError::UnknownPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn match_corpus_on_empty_corpus_is_empty() {
+        let s = PolicyServer::new();
+        let jane = jane_preference();
+        for engine in EngineKind::ALL {
+            assert!(s.match_corpus(&jane, *engine).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn restrict_to_ids_appends_conjunct() {
+        assert_eq!(
+            restrict_to_ids(
+                "SELECT DISTINCT applicable_policy.policy_id FROM policy applicable_policy",
+                &[1, 3]
+            ),
+            "SELECT DISTINCT applicable_policy.policy_id FROM policy applicable_policy \
+             WHERE applicable_policy.policy_id IN (1, 3)"
+        );
+        assert_eq!(
+            restrict_to_ids(
+                "SELECT DISTINCT applicable_policy.policy_id FROM policy applicable_policy \
+                 WHERE (1 = 0)",
+                &[2]
+            ),
+            "SELECT DISTINCT applicable_policy.policy_id FROM policy applicable_policy \
+             WHERE (1 = 0) AND applicable_policy.policy_id IN (2)"
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum TranslationVariant {
     Generic,
     /// XQuery translated and compiled against the XTable encoding.
     XTable,
+    /// Set-at-a-time corpus queries against the optimized schema:
+    /// each rule returns every matching `policy_id` in one execution.
+    OptimizedCorpus,
+    /// Set-at-a-time corpus queries against the generic schema.
+    GenericCorpus,
 }
 
 /// A cached translation: one slot per rule, in ruleset order. `None`
@@ -245,13 +250,15 @@ mod tests {
             TranslationVariant::Optimized,
             TranslationVariant::Generic,
             TranslationVariant::XTable,
+            TranslationVariant::OptimizedCorpus,
+            TranslationVariant::GenericCorpus,
         ] {
             let (_, cached) = cache
                 .get_or_try_insert::<()>(&rs, variant, || Ok(plans()))
                 .unwrap();
             assert!(!cached, "{variant:?} should miss on first use");
         }
-        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.len(), 5);
     }
 
     #[test]

@@ -162,26 +162,42 @@ impl Database {
     }
 
     /// Parse and semantically check a statement, returning a reusable
-    /// plan. Plans for non-DDL statements are cached by statement text,
-    /// so repeated `prepare` (and therefore `execute`/`query`) calls
-    /// skip the parser. Any successful DDL invalidates the cache.
+    /// plan. Plans for SELECTs and parameterized statements are cached
+    /// by statement text, so repeated `prepare` (and therefore
+    /// `execute`/`query`) calls skip the parser. One-shot literal DML
+    /// (INSERT/DELETE/UPDATE without bind parameters — each unique by
+    /// construction) and DDL bypass the cache entirely so they cannot
+    /// thrash the LRU; misses are only counted for cacheable
+    /// statements. Any successful DDL invalidates the cache.
     pub fn prepare(&self, sql: &str) -> Result<Prepared, DbError> {
         if let Some(plan) = self.plans.get(sql) {
             return Ok(plan);
         }
         let (stmt, params) = parse_statement_params(sql)?;
         plan::validate(self, &stmt)?;
-        let cacheable = !matches!(
-            stmt,
+        let cacheable = match stmt {
             Statement::CreateTable { .. }
-                | Statement::CreateIndex { .. }
-                | Statement::DropTable { .. }
-        );
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. } => false,
+            Statement::Select(_) => true,
+            _ => !params.is_empty(),
+        };
         let prepared = Prepared::new(sql, stmt, params);
         if cacheable {
+            self.plans.note_miss();
             self.plans.insert(prepared.clone());
         }
         Ok(prepared)
+    }
+
+    /// Parse and semantically check a statement without consulting or
+    /// populating the plan cache. For deliberately one-shot queries
+    /// (e.g. a corpus query restricted to an ad-hoc id set) whose text
+    /// will never recur.
+    pub fn prepare_uncached(&self, sql: &str) -> Result<Prepared, DbError> {
+        let (stmt, params) = parse_statement_params(sql)?;
+        plan::validate(self, &stmt)?;
+        Ok(Prepared::new(sql, stmt, params))
     }
 
     /// Cumulative statistics for this database's plan cache.
@@ -931,6 +947,45 @@ mod tests {
     }
 
     #[test]
+    fn in_list_uses_index_probe() {
+        let mut db = policy_db();
+        db.execute("INSERT INTO policy VALUES (2, 'dnepr'), (3, 'ob')")
+            .unwrap();
+        exec::take_stats();
+        let r = db
+            .query("SELECT name FROM policy WHERE policy_id IN (1, 3, 99) ORDER BY name")
+            .unwrap();
+        let stats = exec::take_stats();
+        let got: Vec<&str> = r.rows.iter().map(|row| row[0].as_str().unwrap()).collect();
+        assert_eq!(got, ["ob", "volga"]);
+        assert!(stats.index_probes >= 1, "{stats:?}");
+        assert_eq!(stats.seq_scans, 0, "{stats:?}");
+        // Probing visits only the listed ids that exist, not the table.
+        assert_eq!(stats.rows_scanned, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn in_list_probe_agrees_with_scan() {
+        let mut db = policy_db();
+        db.execute("INSERT INTO policy VALUES (2, 'dnepr'), (3, 'ob')")
+            .unwrap();
+        let mut db_noidx = policy_db();
+        db_noidx
+            .execute("INSERT INTO policy VALUES (2, 'dnepr'), (3, 'ob')")
+            .unwrap();
+        db_noidx.set_use_indexes(false);
+        for sql in [
+            "SELECT name FROM policy WHERE policy_id IN (3, 1) ORDER BY policy_id",
+            "SELECT name FROM policy WHERE policy_id IN (2, 2) ORDER BY policy_id",
+            "SELECT name FROM policy WHERE policy_id IN (NULL, 2) ORDER BY policy_id",
+            "SELECT name FROM policy WHERE policy_id NOT IN (1, 2) ORDER BY policy_id",
+            "SELECT purpose FROM purpose WHERE policy_id = 1 AND statement_id IN (1, 2) ORDER BY purpose",
+        ] {
+            assert_eq!(db.query(sql).unwrap(), db_noidx.query(sql).unwrap(), "{sql}");
+        }
+    }
+
+    #[test]
     fn prepared_named_parameters_share_slots() {
         let db = policy_db();
         let plan = db
@@ -1082,5 +1137,150 @@ mod tests {
         db2.set_plan_cache_capacity(0);
         assert_eq!(db2.query(sql).unwrap(), cold);
         assert_eq!(db2.plan_cache_len(), 0);
+    }
+
+    /// `policy_db` grown to `n` policies: every policy gets one
+    /// statement, even-numbered ones a `current` purpose.
+    fn corpus_db(n: i64) -> Database {
+        let mut db = policy_db();
+        for i in 2..=n {
+            db.execute(&format!("INSERT INTO policy VALUES ({i}, 'p{i}')"))
+                .unwrap();
+            db.execute(&format!("INSERT INTO statement VALUES ({i}, 1, NULL)"))
+                .unwrap();
+            if i % 2 == 0 {
+                db.execute(&format!(
+                    "INSERT INTO purpose VALUES ({i}, 1, 'current', 'always')"
+                ))
+                .unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn exists_decorrelates_past_threshold() {
+        let db = corpus_db(30);
+        exec::take_stats();
+        let r = db
+            .query(
+                "SELECT p.policy_id FROM policy p WHERE EXISTS (\
+                   SELECT * FROM purpose pu WHERE pu.policy_id = p.policy_id \
+                     AND pu.purpose = 'current') ORDER BY p.policy_id",
+            )
+            .unwrap();
+        let stats = exec::take_stats();
+        assert_eq!(stats.exists_builds, 1, "{stats:?}");
+        assert!(stats.exists_probes >= 30 - 9, "{stats:?}");
+        // The equivalent semi-join names the same policies.
+        let join = db
+            .query(
+                "SELECT DISTINCT pu.policy_id FROM purpose pu \
+                 WHERE pu.purpose = 'current' ORDER BY policy_id",
+            )
+            .unwrap();
+        assert_eq!(r.rows, join.rows);
+    }
+
+    #[test]
+    fn exists_stays_correlated_below_threshold() {
+        let db = policy_db();
+        exec::take_stats();
+        db.query(
+            "SELECT name FROM policy p WHERE EXISTS (\
+               SELECT * FROM statement s WHERE s.policy_id = p.policy_id)",
+        )
+        .unwrap();
+        let stats = exec::take_stats();
+        assert_eq!(stats.exists_builds, 0, "{stats:?}");
+        assert_eq!(stats.exists_probes, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn unqualified_columns_bypass_decorrelation() {
+        let db = corpus_db(30);
+        exec::take_stats();
+        // `purpose` is unqualified, so scope analysis rejects the
+        // rewrite; the correlated path still answers correctly.
+        let r = db
+            .query(
+                "SELECT p.policy_id FROM policy p WHERE EXISTS (\
+                   SELECT * FROM purpose pu WHERE pu.policy_id = p.policy_id \
+                     AND purpose = 'current') ORDER BY p.policy_id",
+            )
+            .unwrap();
+        let stats = exec::take_stats();
+        assert_eq!(stats.exists_builds, 0, "{stats:?}");
+        assert_eq!(stats.exists_probes, 0, "{stats:?}");
+        // policy 1 plus every even policy carries `current`.
+        assert_eq!(r.rows.len(), 16);
+    }
+
+    #[test]
+    fn decorrelated_exists_handles_null_keys() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (id INT NOT NULL, tag VARCHAR, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute("CREATE TABLE b (tag VARCHAR)").unwrap();
+        for i in 1..=20 {
+            let tag = if i % 3 == 0 {
+                "NULL".to_string()
+            } else {
+                format!("'t{}'", i % 4)
+            };
+            db.execute(&format!("INSERT INTO a VALUES ({i}, {tag})"))
+                .unwrap();
+        }
+        db.execute("INSERT INTO b VALUES ('t1'), ('t2'), (NULL)")
+            .unwrap();
+        exec::take_stats();
+        let r = db
+            .query(
+                "SELECT a.id FROM a WHERE EXISTS (\
+                   SELECT * FROM b WHERE b.tag = a.tag) ORDER BY a.id",
+            )
+            .unwrap();
+        let stats = exec::take_stats();
+        assert_eq!(stats.exists_builds, 1, "{stats:?}");
+        // NULL never equals anything — on either side of the removed
+        // conjunct — exactly as the correlated semi-join behaves.
+        let join = db
+            .query("SELECT DISTINCT a.id FROM a, b WHERE b.tag = a.tag ORDER BY id")
+            .unwrap();
+        assert_eq!(r.rows, join.rows);
+    }
+
+    #[test]
+    fn decorrelated_nested_exists_agrees_with_per_policy_loop() {
+        let db = corpus_db(30);
+        exec::take_stats();
+        let bulk = db
+            .query(
+                "SELECT p.policy_id FROM policy p WHERE EXISTS (\
+                   SELECT * FROM statement s WHERE s.policy_id = p.policy_id AND EXISTS (\
+                     SELECT * FROM purpose pu WHERE pu.policy_id = s.policy_id \
+                       AND pu.statement_id = s.statement_id AND pu.purpose = 'current')) \
+                 ORDER BY p.policy_id",
+            )
+            .unwrap();
+        let stats = exec::take_stats();
+        // Both EXISTS levels cross the threshold: the outer during the
+        // corpus scan, the inner during the outer node's build scan.
+        assert!(stats.exists_builds >= 2, "{stats:?}");
+        // Per-policy point queries stay correlated (a fresh memo per
+        // execution) and must agree row for row.
+        let plan = db
+            .prepare(
+                "SELECT p.policy_id FROM policy p WHERE p.policy_id = ? AND EXISTS (\
+                   SELECT * FROM statement s WHERE s.policy_id = p.policy_id AND EXISTS (\
+                     SELECT * FROM purpose pu WHERE pu.policy_id = s.policy_id \
+                       AND pu.statement_id = s.statement_id AND pu.purpose = 'current'))",
+            )
+            .unwrap();
+        let mut looped = Vec::new();
+        for i in 1..=30 {
+            looped.extend(db.query_prepared(&plan, &[Value::Int(i)]).unwrap().rows);
+        }
+        assert_eq!(bulk.rows, looped);
     }
 }

@@ -6,9 +6,11 @@ use crate::error::DbError;
 use crate::sql::ast::{CompareOp, Expr, SelectItem, SelectStmt, TableRef};
 use crate::table::Table;
 use crate::value::{like_match, Value};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// Execution statistics, accumulated across queries until reset.
 ///
@@ -26,6 +28,10 @@ pub struct ExecStats {
     pub seq_scans: u64,
     /// Rows output by completed SELECTs.
     pub rows_output: u64,
+    /// Correlated EXISTS subqueries decorrelated into hash sets.
+    pub exists_builds: u64,
+    /// EXISTS predicates answered by probing a decorrelated hash set.
+    pub exists_probes: u64,
 }
 
 impl ExecStats {
@@ -37,6 +43,8 @@ impl ExecStats {
             subqueries: self.subqueries - earlier.subqueries,
             seq_scans: self.seq_scans - earlier.seq_scans,
             rows_output: self.rows_output - earlier.rows_output,
+            exists_builds: self.exists_builds - earlier.exists_builds,
+            exists_probes: self.exists_probes - earlier.exists_probes,
         }
     }
 }
@@ -79,21 +87,66 @@ struct Binding {
     row: Vec<Value>,
 }
 
+/// How many times one correlated EXISTS node is evaluated the slow way
+/// (nested loop per outer row) before the executor decorrelates it into
+/// a hash semi-join. Single-row point queries stay far below this;
+/// set-at-a-time corpus queries cross it on their first scan.
+const DECORRELATE_AFTER: u32 = 8;
+
+/// Adaptive decorrelation state, one per statement execution.
+///
+/// A correlated EXISTS costs a full subquery setup per candidate outer
+/// row. When the same subquery node has been evaluated
+/// [`DECORRELATE_AFTER`] times within one execution — the signature of
+/// a query scanning many outer rows — the executor rewrites it on the
+/// fly into a hash semi-join: the subquery runs once with its
+/// correlation conjuncts removed, the correlation-key values of every
+/// surviving row land in a hash set, and each later outer row answers
+/// EXISTS with a single hash probe.
+#[derive(Default)]
+struct ExistsMemo {
+    /// Keyed by the subquery node's address, stable for one execution.
+    states: RefCell<HashMap<usize, MemoState>>,
+}
+
+enum MemoState {
+    /// Still running correlated; counts evaluations toward the switch.
+    Counting(u32),
+    /// Analysis found the node non-decorrelatable; stay correlated.
+    Bypass,
+    /// Decorrelated: probe the hash set instead of re-running.
+    Set(Rc<DecorrelatedSet>),
+}
+
+/// The result of decorrelating one EXISTS subquery.
+struct DecorrelatedSet {
+    /// Outer sides of the removed correlation conjuncts, evaluated in
+    /// the probing row's environment to form the lookup key.
+    probes: Vec<Expr>,
+    /// Correlation keys of every subquery row surviving the residual
+    /// (outer-free) predicates.
+    keys: HashSet<Vec<Value>>,
+}
+
 /// An evaluation environment: the current query's bindings plus a chain
 /// of outer environments for correlated subqueries, and the statement's
-/// bound parameter values (shared across the whole chain).
+/// bound parameter values and decorrelation memo (shared across the
+/// whole chain). Bindings are borrowed, never cloned: evaluating a
+/// filter over a candidate row costs no allocation.
 struct Env<'a> {
-    bindings: Vec<Binding>,
+    bindings: &'a [Binding],
     outer: Option<&'a Env<'a>>,
     params: &'a [Value],
+    memo: &'a ExistsMemo,
 }
 
 impl<'a> Env<'a> {
-    fn root(params: &[Value]) -> Env<'_> {
+    fn root(params: &'a [Value], memo: &'a ExistsMemo) -> Env<'a> {
         Env {
-            bindings: Vec::new(),
+            bindings: &[],
             outer: None,
             params,
+            memo,
         }
     }
 
@@ -118,7 +171,7 @@ impl<'a> Env<'a> {
         while let Some(env) = scope {
             let mut found: Option<Value> = None;
             let mut count = 0;
-            for b in &env.bindings {
+            for b in env.bindings {
                 if let Some(q) = qualifier {
                     if !b.name.eq_ignore_ascii_case(q) {
                         continue;
@@ -158,7 +211,8 @@ pub fn run_select_bound(
     stmt: &SelectStmt,
     params: &[Value],
 ) -> Result<QueryResult, DbError> {
-    let root = Env::root(params);
+    let memo = ExistsMemo::default();
+    let root = Env::root(params, &memo);
     let result = select_with_env(db, stmt, &root)?;
     bump(|s| s.rows_output += result.rows.len() as u64);
     Ok(result)
@@ -218,26 +272,20 @@ fn select_with_env(
     } else {
         for bindings in &joined {
             let env = Env {
-                bindings: bindings.clone(),
+                bindings,
                 outer: Some(outer),
                 params: outer.params,
+                memo: outer.memo,
             };
             rows.push(project_row(db, &stmt.items, &tables, &env)?);
         }
     }
 
     if stmt.distinct {
-        // Preserve first-occurrence order.
-        let mut seen: Vec<&Vec<Value>> = Vec::new();
-        let mut deduped: Vec<Vec<Value>> = Vec::new();
-        for row in &rows {
-            if !seen.contains(&row) {
-                deduped.push(row.clone());
-                seen.push(row);
-            }
-        }
-        drop(seen);
-        rows = deduped;
+        // Preserve first-occurrence order; hash-based dedup keeps
+        // DISTINCT linear in the row count.
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
+        rows.retain(|row| seen.insert(row.clone()));
     }
 
     // ORDER BY evaluates against output columns first, then bindings.
@@ -267,13 +315,16 @@ fn join_scan(
 ) -> Result<bool, DbError> {
     if depth == tables.len() {
         // All tables bound: evaluate the residual filter.
-        let env = Env {
-            bindings: bound.clone(),
-            outer: Some(outer),
-            params: outer.params,
-        };
         let keep = match filter {
-            Some(f) => eval_pred(db, f, &env)? == Some(true),
+            Some(f) => {
+                let env = Env {
+                    bindings: bound.as_slice(),
+                    outer: Some(outer),
+                    params: outer.params,
+                    memo: outer.memo,
+                };
+                eval_pred(db, f, &env)? == Some(true)
+            }
             None => true,
         };
         if keep {
@@ -282,34 +333,34 @@ fn join_scan(
         return Ok(true);
     }
     let (tref, table) = tables[depth];
-    let columns = table.schema.column_names();
 
     // Try index probe: collect equality conjuncts `this.col = expr`
     // where expr is evaluable from already-bound tables + outer env.
     let candidate_rows: Option<Vec<usize>> = if db.use_indexes() {
-        probe_rows(db, tref, table, filter, bound, outer)?
+        probe_rows(db, tref, table, filter, bound.as_slice(), outer)?
     } else {
         None
     };
 
-    let mut visit = |row: &[Value]| -> Result<bool, DbError> {
-        bound.push(Binding {
-            name: tref.binding_name().to_string(),
-            columns: columns.clone(),
-            row: row.to_vec(),
-        });
-        let cont = join_scan(db, tables, depth + 1, bound, filter, outer, emit)?;
-        bound.pop();
-        Ok(cont)
-    };
-
+    // One binding per join level; only its row slot is rewritten per
+    // visited row, so the scan allocates no per-row name/column lists.
+    bound.push(Binding {
+        name: tref.binding_name().to_string(),
+        columns: table.schema.column_names(),
+        row: Vec::new(),
+    });
+    let mut cont = true;
     match candidate_rows {
         Some(ids) => {
             bump(|s| s.index_probes += 1);
             for id in ids {
                 bump(|s| s.rows_scanned += 1);
-                if !visit(&table.rows()[id])? {
-                    return Ok(false);
+                let slot = bound.last_mut().expect("binding just pushed");
+                slot.row.clear();
+                slot.row.extend_from_slice(&table.rows()[id]);
+                if !join_scan(db, tables, depth + 1, bound, filter, outer, emit)? {
+                    cont = false;
+                    break;
                 }
             }
         }
@@ -317,17 +368,26 @@ fn join_scan(
             bump(|s| s.seq_scans += 1);
             for row in table.rows() {
                 bump(|s| s.rows_scanned += 1);
-                if !visit(row)? {
-                    return Ok(false);
+                let slot = bound.last_mut().expect("binding just pushed");
+                slot.row.clear();
+                slot.row.extend_from_slice(row);
+                if !join_scan(db, tables, depth + 1, bound, filter, outer, emit)? {
+                    cont = false;
+                    break;
                 }
             }
         }
     }
-    Ok(true)
+    bound.pop();
+    Ok(cont)
 }
 
 /// Find an index usable for this table given the filter's top-level
-/// equality conjuncts; returns the candidate row ids when one applies.
+/// equality and IN-list conjuncts; returns the candidate row ids when
+/// one applies. At most one index column may come from an IN list: that
+/// column is probed once per list value and the hits are unioned, which
+/// is what lets bulk corpus queries restrict a scan to a set of
+/// still-undecided policy ids.
 fn probe_rows(
     db: &Database,
     tref: &TableRef,
@@ -341,79 +401,151 @@ fn probe_rows(
     };
     let mut conjuncts = Vec::new();
     collect_conjuncts(filter, &mut conjuncts);
-    // Equality pairs (column index in this table, evaluable value).
     let env = Env {
-        bindings: bound.to_vec(),
+        bindings: bound,
         outer: Some(outer),
         params: outer.params,
+        memo: outer.memo,
     };
-    let mut eq_pairs: Vec<(usize, Value)> = Vec::new();
-    for c in conjuncts {
-        let Expr::Compare {
-            op: CompareOp::Eq,
-            left,
-            right,
-        } = c
-        else {
-            continue;
+    // A column reference belongs to this table when its qualifier names
+    // the binding (or it is unqualified in a single-table scan) and the
+    // column exists in the schema.
+    let own_column = |expr: &Expr| -> Option<usize> {
+        let Expr::Column { qualifier, name } = expr else {
+            return None;
         };
-        for (col_side, val_side) in [(left, right), (right, left)] {
-            let Expr::Column { qualifier, name } = col_side.as_ref() else {
-                continue;
-            };
-            let qualifies = match qualifier {
-                Some(q) => q.eq_ignore_ascii_case(tref.binding_name()),
-                // Unqualified references are only safely attributable in
-                // single-table scans.
-                None => bound.is_empty(),
-            };
-            if !qualifies {
-                continue;
-            }
-            let Some(col_idx) = table.schema.column_index(name) else {
-                continue;
-            };
-            // The other side must be evaluable *without* this table.
-            if let Ok(v) = eval_value(db, val_side, &env) {
-                if !v.is_null() {
-                    eq_pairs.push((col_idx, v));
+        let qualifies = match qualifier {
+            Some(q) => q.eq_ignore_ascii_case(tref.binding_name()),
+            // Unqualified references are only safely attributable in
+            // single-table scans.
+            None => bound.is_empty(),
+        };
+        if !qualifies {
+            return None;
+        }
+        table.schema.column_index(name)
+    };
+    // Equality pairs (column index in this table, evaluable value) and
+    // IN lists (column index, fully-evaluable non-null values).
+    let mut eq_pairs: Vec<(usize, Value)> = Vec::new();
+    let mut in_lists: Vec<(usize, Vec<Value>)> = Vec::new();
+    for c in conjuncts {
+        match c {
+            Expr::Compare {
+                op: CompareOp::Eq,
+                left,
+                right,
+            } => {
+                for (col_side, val_side) in [(left, right), (right, left)] {
+                    let Some(col_idx) = own_column(col_side) else {
+                        continue;
+                    };
+                    // The other side must be evaluable *without* this table.
+                    if let Ok(v) = eval_value(db, val_side, &env) {
+                        if !v.is_null() {
+                            eq_pairs.push((col_idx, v));
+                        }
+                        break;
+                    }
                 }
-                break;
             }
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                let Some(col_idx) = own_column(expr) else {
+                    continue;
+                };
+                let mut values = Vec::with_capacity(list.len());
+                let mut usable = true;
+                for item in list {
+                    match eval_value(db, item, &env) {
+                        // NULL items can never satisfy equality; skip.
+                        Ok(v) if v.is_null() => {}
+                        Ok(v) => values.push(v),
+                        Err(_) => {
+                            usable = false;
+                            break;
+                        }
+                    }
+                }
+                if usable {
+                    in_lists.push((col_idx, values));
+                }
+            }
+            _ => {}
         }
     }
-    if eq_pairs.is_empty() {
+    if eq_pairs.is_empty() && in_lists.is_empty() {
         return Ok(None);
     }
-    // Find the largest index fully covered by the equality pairs.
-    let mut best: Option<(&crate::table::Index, Vec<Value>)> = None;
+    // Find the largest index whose columns are all covered by equality
+    // pairs, allowing at most one column to be covered by an IN list
+    // instead. Exact (all-equality) coverage wins ties.
+    let mut best: Option<(&crate::table::Index, Option<(usize, usize)>)> = None;
     for index in table.indexes() {
-        if index
-            .columns
-            .iter()
-            .all(|c| eq_pairs.iter().any(|(ec, _)| ec == c))
-        {
-            let key: Vec<Value> = index
-                .columns
-                .iter()
-                .map(|c| {
-                    eq_pairs
-                        .iter()
-                        .find(|(ec, _)| ec == c)
-                        .map(|(_, v)| v.clone())
-                        .expect("covered")
-                })
-                .collect();
-            let better = match &best {
-                Some((b, _)) => index.columns.len() > b.columns.len(),
-                None => true,
-            };
-            if better {
-                best = Some((index, key));
+        let mut multi: Option<(usize, usize)> = None; // (pos in index, in_lists slot)
+        let mut covered = true;
+        for (pos, c) in index.columns.iter().enumerate() {
+            if eq_pairs.iter().any(|(ec, _)| ec == c) {
+                continue;
+            }
+            let slot = in_lists.iter().position(|(ic, _)| ic == c);
+            match slot {
+                Some(slot) if multi.is_none() => multi = Some((pos, slot)),
+                _ => {
+                    covered = false;
+                    break;
+                }
             }
         }
+        if !covered {
+            continue;
+        }
+        let better = match &best {
+            Some((b, b_multi)) => {
+                index.columns.len() > b.columns.len()
+                    || (index.columns.len() == b.columns.len()
+                        && multi.is_none()
+                        && b_multi.is_some())
+            }
+            None => true,
+        };
+        if better {
+            best = Some((index, multi));
+        }
     }
-    Ok(best.map(|(index, key)| index.probe(&key).to_vec()))
+    let Some((index, multi)) = best else {
+        return Ok(None);
+    };
+    let mut key: Vec<Value> = index
+        .columns
+        .iter()
+        .map(|c| {
+            eq_pairs
+                .iter()
+                .find(|(ec, _)| ec == c)
+                .map(|(_, v)| v.clone())
+                // Placeholder for the IN-list column, filled per value.
+                .unwrap_or(Value::Null)
+        })
+        .collect();
+    match multi {
+        None => Ok(Some(index.probe(&key).to_vec())),
+        Some((pos, slot)) => {
+            let mut ids = Vec::new();
+            for v in &in_lists[slot].1 {
+                key[pos] = v.clone();
+                ids.extend_from_slice(index.probe(&key));
+            }
+            // Deterministic scan order and no duplicate visits even if
+            // the IN list repeats a value.
+            ids.sort_unstable();
+            ids.dedup();
+            Ok(Some(ids))
+        }
+    }
 }
 
 /// Flatten nested ANDs into conjuncts.
@@ -492,13 +624,14 @@ fn aggregate_rows(
 ) -> Result<Vec<Vec<Value>>, DbError> {
     let _ = tables;
     // Group key → member environments.
-    let mut groups: Vec<(Vec<Value>, Vec<Vec<Binding>>)> = Vec::new();
+    let mut groups: Vec<(Vec<Value>, Vec<&Vec<Binding>>)> = Vec::new();
     let mut index: HashMap<Vec<String>, usize> = HashMap::new();
-    for bindings in joined.iter().cloned() {
+    for bindings in joined {
         let env = Env {
-            bindings: bindings.clone(),
+            bindings,
             outer: Some(outer),
             params: outer.params,
+            memo: outer.memo,
         };
         let key: Vec<Value> = stmt
             .group_by
@@ -532,9 +665,10 @@ fn aggregate_rows(
                             let mut n = 0i64;
                             for m in members {
                                 let env = Env {
-                                    bindings: m.clone(),
+                                    bindings: m.as_slice(),
                                     outer: Some(outer),
                                     params: outer.params,
+                                    memo: outer.memo,
                                 };
                                 if !eval_value(db, e, &env)?.is_null() {
                                     n += 1;
@@ -551,9 +685,10 @@ fn aggregate_rows(
                         continue;
                     };
                     let env = Env {
-                        bindings: m.clone(),
+                        bindings: m.as_slice(),
                         outer: Some(outer),
                         params: outer.params,
+                        memo: outer.memo,
                     };
                     row.push(eval_value(db, expr, &env)?);
                 }
@@ -602,9 +737,10 @@ fn order_rows(
                 Some(k) => k,
                 None if !aggregate => {
                     let env = Env {
-                        bindings: joined[i].clone(),
+                        bindings: &joined[i],
                         outer: Some(outer),
                         params: outer.params,
+                        memo: outer.memo,
                     };
                     eval_value(db, expr, &env)?
                 }
@@ -786,8 +922,63 @@ fn eval_pred(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Option<bool>, 
     }
 }
 
-/// Correlated EXISTS: run the subquery until the first row survives.
+/// EXISTS with adaptive decorrelation: the first [`DECORRELATE_AFTER`]
+/// evaluations of a node run the ordinary correlated nested loop; past
+/// that the node is rewritten into a hash semi-join and every further
+/// outer row answers with one probe.
 fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
+    enum Action {
+        Correlated,
+        Build,
+        Probe(Rc<DecorrelatedSet>),
+    }
+    let node = stmt as *const SelectStmt as usize;
+    // Keep the RefCell borrow short: the correlated path and the build
+    // path both re-enter the memo for nested EXISTS nodes.
+    let action = {
+        let mut states = env.memo.states.borrow_mut();
+        match states.entry(node) {
+            Entry::Vacant(v) => {
+                v.insert(MemoState::Counting(1));
+                Action::Correlated
+            }
+            Entry::Occupied(mut o) => match o.get_mut() {
+                MemoState::Counting(n) => {
+                    *n += 1;
+                    if *n > DECORRELATE_AFTER {
+                        Action::Build
+                    } else {
+                        Action::Correlated
+                    }
+                }
+                MemoState::Bypass => Action::Correlated,
+                MemoState::Set(set) => Action::Probe(Rc::clone(set)),
+            },
+        }
+    };
+    match action {
+        Action::Correlated => exists_correlated(db, stmt, env),
+        Action::Probe(set) => probe_exists_set(db, &set, env),
+        Action::Build => match build_exists_set(db, stmt, env)? {
+            Some(set) => {
+                let set = Rc::new(set);
+                env.memo
+                    .states
+                    .borrow_mut()
+                    .insert(node, MemoState::Set(Rc::clone(&set)));
+                bump(|s| s.exists_builds += 1);
+                probe_exists_set(db, &set, env)
+            }
+            None => {
+                env.memo.states.borrow_mut().insert(node, MemoState::Bypass);
+                exists_correlated(db, stmt, env)
+            }
+        },
+    }
+}
+
+/// Correlated EXISTS: run the subquery until the first row survives.
+fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
     let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
         let table = db
@@ -811,6 +1002,222 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
     Ok(found)
 }
 
+/// Answer a decorrelated EXISTS by evaluating the outer-side key
+/// expressions and probing the hash set. A NULL component can never
+/// satisfy the removed `=` conjunct, so it answers `false` outright —
+/// the same result the correlated loop would reach.
+fn probe_exists_set(db: &Database, set: &DecorrelatedSet, env: &Env<'_>) -> Result<bool, DbError> {
+    bump(|s| s.exists_probes += 1);
+    let mut key = Vec::with_capacity(set.probes.len());
+    for expr in &set.probes {
+        let v = eval_value(db, expr, env)?;
+        if v.is_null() {
+            return Ok(false);
+        }
+        key.push(v);
+    }
+    Ok(set.keys.contains(&key))
+}
+
+/// Run the subquery once with its correlation conjuncts removed and
+/// collect every surviving row's correlation key. Returns `None` when
+/// the node's filter cannot be split into equality correlations plus an
+/// outer-free residual.
+///
+/// Key and residual expressions are evaluated *by reference* into the
+/// original statement, never cloned: the memo keys decorrelation state
+/// by node address, and a cloned subtree dropped mid-execution would
+/// leave a stale entry that a later allocation could land on. Evaluating
+/// the original nodes also lets a nested EXISTS inside the residual keep
+/// (and reuse) its own decorrelation state.
+fn build_exists_set(
+    db: &Database,
+    stmt: &SelectStmt,
+    env: &Env<'_>,
+) -> Result<Option<DecorrelatedSet>, DbError> {
+    let Some((key_exprs, probes, residual)) = decorrelation_plan(stmt) else {
+        return Ok(None);
+    };
+    let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+        tables.push((tref, table));
+    }
+    // The residual is outer-free, so the build scan runs with no outer
+    // chain — only parameters and the shared memo carry over.
+    let root = Env {
+        bindings: &[],
+        outer: None,
+        params: env.params,
+        memo: env.memo,
+    };
+    let mut keys: HashSet<Vec<Value>> = HashSet::new();
+    join_scan(
+        db,
+        &tables,
+        0,
+        &mut Vec::new(),
+        None,
+        &root,
+        &mut |bindings| {
+            let env = Env {
+                bindings,
+                outer: None,
+                params: root.params,
+                memo: root.memo,
+            };
+            for cond in &residual {
+                if eval_pred(db, cond, &env)? != Some(true) {
+                    return Ok(true);
+                }
+            }
+            let mut key = Vec::with_capacity(key_exprs.len());
+            for expr in &key_exprs {
+                let v = eval_value(db, expr, &env)?;
+                if v.is_null() {
+                    // A NULL key never satisfies the removed equality.
+                    return Ok(true);
+                }
+                key.push(v);
+            }
+            keys.insert(key);
+            Ok(true)
+        },
+    )?;
+    Ok(Some(DecorrelatedSet { probes, keys }))
+}
+
+/// Split an EXISTS filter into `(subquery keys, outer probes, residual)`.
+///
+/// Every top-level conjunct must be either outer-free (it joins the
+/// residual and runs during the build scan) or an equality whose sides
+/// separate cleanly into a subquery-local expression and an outer-only
+/// expression (it becomes one component of the hash key). Unqualified
+/// column references make scope membership ambiguous, so any such
+/// reference rejects the plan.
+///
+/// Keys and residual conjuncts borrow from the statement; only the
+/// probe expressions are cloned, because they outlive this call inside
+/// the [`DecorrelatedSet`] (which itself lives until the execution's
+/// memo is dropped, keeping their addresses allocated).
+#[allow(clippy::type_complexity)]
+fn decorrelation_plan(stmt: &SelectStmt) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&Expr>)> {
+    let filter = stmt.filter.as_ref()?;
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    let mut local: Vec<String> = stmt
+        .from
+        .iter()
+        .map(|t| t.binding_name().to_string())
+        .collect();
+    let classify = |expr: &Expr, local: &mut Vec<String>| {
+        let (mut uses_local, mut uses_outer, mut clean) = (false, false, true);
+        classify_columns(expr, local, &mut uses_local, &mut uses_outer, &mut clean);
+        (uses_local, uses_outer, clean)
+    };
+    let mut keys: Vec<&Expr> = Vec::new();
+    let mut probes: Vec<Expr> = Vec::new();
+    let mut residual: Vec<&Expr> = Vec::new();
+    for c in conjuncts {
+        let (_, uses_outer, clean) = classify(c, &mut local);
+        if !clean {
+            return None;
+        }
+        if !uses_outer {
+            residual.push(c);
+            continue;
+        }
+        let Expr::Compare {
+            op: CompareOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            return None;
+        };
+        let (l_local, l_outer, l_clean) = classify(left, &mut local);
+        let (r_local, r_outer, r_clean) = classify(right, &mut local);
+        if !l_clean || !r_clean {
+            return None;
+        }
+        let (sub, outer_side) = if l_local && !l_outer && !r_local {
+            (left, right)
+        } else if r_local && !r_outer && !l_local {
+            (right, left)
+        } else {
+            return None;
+        };
+        keys.push(sub);
+        probes.push((**outer_side).clone());
+    }
+    if keys.is_empty() {
+        return None;
+    }
+    Some((keys, probes, residual))
+}
+
+/// Walk an expression classifying each column reference against the
+/// scope stack: qualified references resolve to the innermost matching
+/// binding (nested EXISTS push their own), unqualified references
+/// poison the analysis. Parameters and literals are scope-free.
+fn classify_columns(
+    expr: &Expr,
+    local: &mut Vec<String>,
+    uses_local: &mut bool,
+    uses_outer: &mut bool,
+    clean: &mut bool,
+) {
+    match expr {
+        Expr::Column { qualifier, .. } => match qualifier {
+            Some(q) => {
+                if local.iter().any(|b| b.eq_ignore_ascii_case(q)) {
+                    *uses_local = true;
+                } else {
+                    *uses_outer = true;
+                }
+            }
+            None => *clean = false,
+        },
+        Expr::Literal(_) | Expr::Parameter { .. } => {}
+        Expr::Compare { left, right, .. } => {
+            classify_columns(left, local, uses_local, uses_outer, clean);
+            classify_columns(right, local, uses_local, uses_outer, clean);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            classify_columns(a, local, uses_local, uses_outer, clean);
+            classify_columns(b, local, uses_local, uses_outer, clean);
+        }
+        Expr::Not(inner) => classify_columns(inner, local, uses_local, uses_outer, clean),
+        Expr::Exists(sub) => {
+            let added = sub.from.len();
+            for tref in &sub.from {
+                local.push(tref.binding_name().to_string());
+            }
+            // The executor's EXISTS path only evaluates the filter, so
+            // only the filter can reference the surrounding scopes.
+            if let Some(f) = &sub.filter {
+                classify_columns(f, local, uses_local, uses_outer, clean);
+            }
+            for _ in 0..added {
+                local.pop();
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            classify_columns(expr, local, uses_local, uses_outer, clean);
+            for item in list {
+                classify_columns(item, local, uses_local, uses_outer, clean);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            classify_columns(expr, local, uses_local, uses_outer, clean);
+            classify_columns(pattern, local, uses_local, uses_outer, clean);
+        }
+        Expr::IsNull { expr, .. } => classify_columns(expr, local, uses_local, uses_outer, clean),
+    }
+}
+
 /// Evaluate a scalar expression with no table context (INSERT values).
 pub fn eval_const(db: &Database, expr: &Expr) -> Result<Value, DbError> {
     eval_const_bound(db, expr, &[])
@@ -819,6 +1226,7 @@ pub fn eval_const(db: &Database, expr: &Expr) -> Result<Value, DbError> {
 /// Evaluate a scalar expression with bound parameter values but no
 /// table context (parameterized INSERT/UPDATE values).
 pub fn eval_const_bound(db: &Database, expr: &Expr, params: &[Value]) -> Result<Value, DbError> {
-    let root = Env::root(params);
+    let memo = ExistsMemo::default();
+    let root = Env::root(params, &memo);
     eval_value(db, expr, &root)
 }

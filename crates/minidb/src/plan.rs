@@ -143,7 +143,11 @@ pub struct PlanCache {
 }
 
 impl PlanCache {
-    /// Look up a cached plan, refreshing its LRU position.
+    /// Look up a cached plan, refreshing its LRU position. A lookup
+    /// that finds nothing is *not* counted as a miss here: the caller
+    /// decides (via [`PlanCache::note_miss`]) whether the statement was
+    /// cacheable at all, so one-shot statements that bypass the cache
+    /// do not drown the hit rate.
     pub fn get(&self, sql: &str) -> Option<Prepared> {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
@@ -156,12 +160,14 @@ impl PlanCache {
                 cache_metrics().hits.inc();
                 Some(plan)
             }
-            None => {
-                inner.stats.misses += 1;
-                cache_metrics().misses.inc();
-                None
-            }
+            None => None,
         }
+    }
+
+    /// Record a miss for a cacheable statement that had to be parsed.
+    pub fn note_miss(&self) {
+        self.inner.lock().unwrap().stats.misses += 1;
+        cache_metrics().misses.inc();
     }
 
     /// Insert a plan, evicting the least-recently-used entry when full.

@@ -22,4 +22,10 @@ cargo bench -p p3p-bench --bench caching -- --test
 echo "==> repro --table caching (warm-convert speedup floor)"
 cargo run -q --release -p p3p-bench --bin repro -- --table caching > /dev/null
 
+echo "==> bench smoke (bulk, single iteration)"
+cargo bench -p p3p-bench --bench bulk -- --test
+
+echo "==> repro --table bulk (bulk-over-loop speedup floor)"
+cargo run -q --release -p p3p-bench --bin repro -- --table bulk > /dev/null
+
 echo "All checks passed."
