@@ -1,0 +1,27 @@
+//! Bench for cost-based join planning: planner-chosen order with hash
+//! equi-joins vs literal FROM-order nested loops over the
+//! generic-schema corpus shred.
+//!
+//! Like the other benches this is a plain timing harness
+//! (`harness = false`); pass `--test` for a single-iteration smoke
+//! pass. The authoritative numbers (and the ≥3x gate) come from
+//! `repro --table join`, which writes `BENCH_join.json`.
+
+use p3p_bench::{bench_join_json, join_report, join_table, DEFAULT_SEED};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (policies, runs) = if smoke { (29, 1) } else { (120, 5) };
+    let report = join_report(DEFAULT_SEED, policies, runs);
+    print!("{}", join_table(&report));
+    for row in &report.rows {
+        assert!(
+            !row.join_order.is_empty(),
+            "{} produced no `Join order:` line in EXPLAIN",
+            row.label
+        );
+    }
+    if !smoke {
+        print!("{}", bench_join_json(&report));
+    }
+}

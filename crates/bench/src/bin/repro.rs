@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | bulk | ablation
+//! repro --table shredding | warmcold | caching | bulk | join | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! ```
@@ -17,9 +17,9 @@
 //! timing report.
 
 use p3p_bench::{
-    ablation_table, bench_bulk_json, bench_matching_json, bulk_report, bulk_table, caching_report,
-    caching_table, figure19, figure20, figure21, scaling_table, shredding_table, subset_table,
-    telemetry_table, warm_cold_table, DEFAULT_SEED,
+    ablation_table, bench_bulk_json, bench_join_json, bench_matching_json, bulk_report, bulk_table,
+    caching_report, caching_table, figure19, figure20, figure21, join_report, join_table,
+    scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -155,6 +155,25 @@ fn main() {
             }
         }
     }
+    let mut join_ok = true;
+    if all || tables.iter().any(|t| t == "join") {
+        let report = join_report(seed, 120, 5);
+        println!("{}", join_table(&report));
+        let json = bench_join_json(&report);
+        let path = std::path::Path::new("BENCH_join.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        let speedup = report.overall_speedup();
+        if speedup < 3.0 {
+            eprintln!(
+                "error: cost-based join planning speedup {speedup:.1}x over FROM-order \
+                 execution is below the 3x floor"
+            );
+            join_ok = false;
+        }
+    }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
     }
@@ -169,7 +188,7 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
-    if !caching_ok || !bulk_ok {
+    if !caching_ok || !bulk_ok || !join_ok {
         std::process::exit(1);
     }
 }
@@ -200,7 +219,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

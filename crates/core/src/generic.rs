@@ -268,6 +268,32 @@ mod tests {
     }
 
     #[test]
+    fn join_results_are_from_order_invariant() {
+        let (mut db, schema) = installed();
+        let elem = policy_to_element(&augment_policy(&volga_policy()));
+        schema.shred(&mut db, 1, &elem).unwrap();
+        schema.shred(&mut db, 2, &elem).unwrap();
+        // The decorrelated-join form of a data lookup in both FROM
+        // orders. `ref` is unindexed on g_data, so under the planner
+        // one order runs as a hash join — the result must not change.
+        let filter = "dg.policy_id = d.policy_id AND dg.statement_id = d.statement_id \
+                      AND dg.data_group_id = d.data_group_id \
+                      AND d.ref = '#user.home-info.postal'";
+        let a = db
+            .query(&format!(
+                "SELECT COUNT(*) FROM g_data d, g_data_group dg WHERE {filter}"
+            ))
+            .unwrap();
+        let b = db
+            .query(&format!(
+                "SELECT COUNT(*) FROM g_data_group dg, g_data d WHERE {filter}"
+            ))
+            .unwrap();
+        assert!(a.scalar().unwrap().as_int().unwrap_or(0) >= 1, "{a:?}");
+        assert_eq!(a.scalar(), b.scalar());
+    }
+
+    #[test]
     fn multiple_policies_coexist() {
         let (mut db, schema) = installed();
         let elem = policy_to_element(&volga_policy());

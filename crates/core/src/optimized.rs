@@ -323,6 +323,29 @@ mod tests {
     }
 
     #[test]
+    fn join_results_are_from_order_invariant() {
+        let db = shredded();
+        // The same category lookup in both FROM orders: the cost-based
+        // planner normalizes the join order, so the sequence the
+        // translator emits carries no semantic weight.
+        let filter = "c.policy_id = d.policy_id AND c.statement_id = d.statement_id \
+                      AND c.data_id = d.data_id AND d.ref = 'user.home-info.postal' \
+                      AND c.category = 'physical'";
+        let a = db
+            .query(&format!(
+                "SELECT COUNT(*) FROM data d, category c WHERE {filter}"
+            ))
+            .unwrap();
+        let b = db
+            .query(&format!(
+                "SELECT COUNT(*) FROM category c, data d WHERE {filter}"
+            ))
+            .unwrap();
+        assert_eq!(a.scalar().unwrap().as_int(), Some(1));
+        assert_eq!(a.scalar(), b.scalar());
+    }
+
+    #[test]
     fn set_references_expand_to_leaves() {
         let db = shredded();
         let r = db

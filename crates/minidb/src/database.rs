@@ -23,6 +23,9 @@ struct DbMetrics {
     index_probes: Arc<Counter>,
     seq_scans: Arc<Counter>,
     rows_output: Arc<Counter>,
+    join_hash_builds: Arc<Counter>,
+    join_hash_probes: Arc<Counter>,
+    planner_reorders: Arc<Counter>,
 }
 
 fn db_metrics() -> &'static DbMetrics {
@@ -34,6 +37,9 @@ fn db_metrics() -> &'static DbMetrics {
         index_probes: metrics::counter("p3p_db_index_probes_total"),
         seq_scans: metrics::counter("p3p_db_seq_scans_total"),
         rows_output: metrics::counter("p3p_db_rows_output_total"),
+        join_hash_builds: metrics::counter("p3p_db_join_hash_builds_total"),
+        join_hash_probes: metrics::counter("p3p_db_join_hash_probes_total"),
+        planner_reorders: metrics::counter("p3p_db_planner_reorders_total"),
     })
 }
 
@@ -51,7 +57,10 @@ fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
     m.index_probes.add(delta.index_probes);
     m.seq_scans.add(delta.seq_scans);
     m.rows_output.add(delta.rows_output);
-    p3p_telemetry::slowlog::record(
+    m.join_hash_builds.add(delta.join_hash_builds);
+    m.join_hash_probes.add(delta.join_hash_probes);
+    m.planner_reorders.add(delta.planner_reorders);
+    p3p_telemetry::slowlog::record_with_strategy(
         sql,
         p3p_telemetry::QueryStats {
             rows_scanned: delta.rows_scanned,
@@ -59,8 +68,11 @@ fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
             seq_scans: delta.seq_scans,
             subqueries: delta.subqueries,
             rows_output: delta.rows_output,
+            join_hash_builds: delta.join_hash_builds,
+            join_hash_probes: delta.join_hash_probes,
         },
         wall,
+        exec::take_last_join_strategy(),
     );
 }
 
@@ -108,6 +120,7 @@ pub enum ExecOutcome {
 pub struct Database {
     tables: BTreeMap<String, Table>,
     use_indexes: bool,
+    use_planner: bool,
     check_foreign_keys: bool,
     /// Plan cache shared across clones of this database (the `Arc`
     /// inside `PlanCache`): snapshots made for concurrent matching keep
@@ -116,11 +129,13 @@ pub struct Database {
 }
 
 impl Database {
-    /// An empty database with indexes and FK checking enabled.
+    /// An empty database with indexes, the join planner, and FK
+    /// checking enabled.
     pub fn new() -> Database {
         Database {
             tables: BTreeMap::new(),
             use_indexes: true,
+            use_planner: true,
             check_foreign_keys: true,
             plans: PlanCache::default(),
         }
@@ -135,6 +150,19 @@ impl Database {
     /// Whether query execution may use hash indexes.
     pub fn use_indexes(&self) -> bool {
         self.use_indexes
+    }
+
+    /// Enable or disable the cost-based join planner. Disabled,
+    /// multi-table SELECTs scan in literal FROM order with the
+    /// index-probed nested loop — the baseline the join bench measures
+    /// against.
+    pub fn set_use_planner(&mut self, enabled: bool) {
+        self.use_planner = enabled;
+    }
+
+    /// Whether multi-table SELECTs go through the cost-based planner.
+    pub fn use_planner(&self) -> bool {
+        self.use_planner
     }
 
     /// Enable or disable foreign-key checking on insert.
@@ -230,7 +258,16 @@ impl Database {
     ) -> Result<ExecOutcome, DbError> {
         let before = exec::stats_snapshot();
         let start = Instant::now();
-        let outcome = self.execute_stmt_ref(prepared.statement(), params);
+        let outcome = match prepared.statement() {
+            // SELECTs keep their join plans on the prepared statement,
+            // replanning when table sizes have drifted since plan time.
+            Statement::Select(sel) => {
+                prepared.join_plans().check_drift(self);
+                exec::run_select_with_plans(self, sel, params, Some(prepared.join_plans()))
+                    .map(ExecOutcome::Rows)
+            }
+            stmt => self.execute_stmt_ref(stmt, params),
+        };
         report_statement(prepared.sql(), &before, start.elapsed());
         outcome
     }
@@ -445,7 +482,11 @@ impl Database {
             Statement::Select(sel) => {
                 let before = exec::stats_snapshot();
                 let start = Instant::now();
-                let result = exec::run_select_bound(self, sel, params);
+                // Replan when table sizes have drifted an order of
+                // magnitude since the cached join plans were costed.
+                prepared.join_plans().check_drift(self);
+                let result =
+                    exec::run_select_with_plans(self, sel, params, Some(prepared.join_plans()));
                 report_statement(prepared.sql(), &before, start.elapsed());
                 result
             }
@@ -1282,5 +1323,149 @@ mod tests {
             looped.extend(db.query_prepared(&plan, &[Value::Int(i)]).unwrap().rows);
         }
         assert_eq!(bulk.rows, looped);
+    }
+
+    /// Two join tables sized so the planner must reorder: `jbig` (60
+    /// rows, join key unindexed) and `jsmall` (2 rows).
+    fn join_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE jbig (k INT NOT NULL, v VARCHAR)")
+            .unwrap();
+        db.execute("CREATE TABLE jsmall (k INT NOT NULL)").unwrap();
+        for i in 0..60 {
+            db.execute(&format!("INSERT INTO jbig VALUES ({}, 'v{i}')", i % 6))
+                .unwrap();
+        }
+        db.execute("INSERT INTO jsmall VALUES (1), (2)").unwrap();
+        db
+    }
+
+    #[test]
+    fn planner_reorder_and_hash_join_are_observable() {
+        let db = join_db();
+        exec::take_stats();
+        let r = db
+            .query("SELECT b.v FROM jbig b, jsmall s WHERE b.k = s.k")
+            .unwrap();
+        let stats = exec::take_stats();
+        assert_eq!(r.rows.len(), 20);
+        assert!(stats.planner_reorders >= 1, "{stats:?}");
+        assert!(stats.join_hash_builds >= 1, "{stats:?}");
+        assert!(stats.join_hash_probes >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn results_agree_with_and_without_planner() {
+        let db = policy_db();
+        let mut db_noplan = policy_db();
+        db_noplan.set_use_planner(false);
+        let sorted = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_by_key(|r| format!("{r:?}"));
+            rows
+        };
+        for sql in [
+            "SELECT p.name, s.statement_id FROM policy p, statement s \
+             WHERE s.policy_id = p.policy_id",
+            "SELECT p.name, pu.purpose FROM purpose pu, statement s, policy p \
+             WHERE pu.policy_id = s.policy_id AND pu.statement_id = s.statement_id \
+             AND s.policy_id = p.policy_id",
+            // `purpose` the column is unindexed, so this self-join runs
+            // as a hash join under the planner.
+            "SELECT a.statement_id, b.statement_id FROM purpose a, purpose b \
+             WHERE a.purpose = b.purpose",
+        ] {
+            assert_eq!(
+                sorted(db.query(sql).unwrap().rows),
+                sorted(db_noplan.query(sql).unwrap().rows),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_statement_reuses_join_plans() {
+        let db = join_db();
+        let prepared = db
+            .prepare("SELECT COUNT(*) FROM jbig b, jsmall s WHERE b.k = s.k")
+            .unwrap();
+        assert!(prepared.join_plans().is_empty());
+        db.query_prepared(&prepared, &[]).unwrap();
+        assert_eq!(prepared.join_plans().len(), 1);
+        db.query_prepared(&prepared, &[]).unwrap();
+        assert_eq!(prepared.join_plans().len(), 1, "plan survives re-execution");
+    }
+
+    #[test]
+    fn prepared_plan_replans_on_stats_drift() {
+        use p3p_telemetry::slowlog;
+        let mut db = Database::new();
+        db.execute("CREATE TABLE drift_a (k INT NOT NULL)").unwrap();
+        db.execute("CREATE TABLE drift_b (k INT NOT NULL)").unwrap();
+        for i in 0..3 {
+            db.execute(&format!("INSERT INTO drift_a VALUES ({i})"))
+                .unwrap();
+        }
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO drift_b VALUES ({})", i % 5))
+                .unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM drift_b y, drift_a x WHERE x.k = y.k";
+        let prepared = db.prepare(sql).unwrap();
+        let replans = p3p_telemetry::metrics::counter("p3p_planner_replans_total");
+        let replans_before = replans.get();
+        slowlog::set_threshold(Duration::ZERO);
+        db.query_prepared(&prepared, &[]).unwrap();
+
+        // A 10k-row shred flips which side is small by two orders of
+        // magnitude; the cheap drift check at execute must replan.
+        let values: Vec<String> = (0..500).map(|i| format!("({})", i % 5)).collect();
+        let batch = format!("INSERT INTO drift_a VALUES {}", values.join(", "));
+        for _ in 0..20 {
+            db.execute(&batch).unwrap();
+        }
+        db.query_prepared(&prepared, &[]).unwrap();
+        slowlog::disable();
+
+        assert!(
+            replans.get() > replans_before,
+            "drift must clear cached join plans"
+        );
+        let strategies: Vec<String> = slowlog::entries()
+            .into_iter()
+            .filter(|r| r.sql == sql)
+            .filter_map(|r| r.join_strategy)
+            .collect();
+        assert!(strategies.len() >= 2, "{strategies:?}");
+        let cold = &strategies[0];
+        let replanned = strategies.last().unwrap();
+        // Cold plan: drift_a (3 rows) drives, drift_b is hash-joined.
+        assert!(cold.starts_with("x: seq scan"), "{cold}");
+        assert!(cold.contains("y: hash join on (k)"), "{cold}");
+        // After the shred, drift_b (50 rows) is the small side.
+        assert!(replanned.starts_with("y: seq scan"), "{replanned}");
+        assert!(replanned.contains("x: hash join on (k)"), "{replanned}");
+        assert_ne!(cold, replanned);
+    }
+
+    #[test]
+    fn hash_join_skips_null_keys() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE na (k INT)").unwrap();
+        db.execute("CREATE TABLE nb (k INT)").unwrap();
+        db.execute("INSERT INTO na VALUES (1), (NULL), (2), (NULL)")
+            .unwrap();
+        db.execute("INSERT INTO nb VALUES (1), (NULL)").unwrap();
+        // NULL = NULL is not true in SQL; only the (1, 1) pair joins —
+        // under both the planner's hash join and the FROM-order loop.
+        let planned = db
+            .query("SELECT na.k, nb.k FROM na, nb WHERE na.k = nb.k")
+            .unwrap();
+        assert_eq!(planned.rows, vec![vec![Value::Int(1), Value::Int(1)]]);
+        let mut db_noplan = db.clone();
+        db_noplan.set_use_planner(false);
+        let unplanned = db_noplan
+            .query("SELECT na.k, nb.k FROM na, nb WHERE na.k = nb.k")
+            .unwrap();
+        assert_eq!(planned.rows, unplanned.rows);
     }
 }

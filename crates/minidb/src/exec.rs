@@ -3,6 +3,7 @@
 
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
+use crate::plan::{JoinOp, JoinPlan, JoinPlanCache};
 use crate::sql::ast::{CompareOp, Expr, SelectItem, SelectStmt, TableRef};
 use crate::table::Table;
 use crate::value::{like_match, Value};
@@ -11,6 +12,7 @@ use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Execution statistics, accumulated across queries until reset.
 ///
@@ -32,6 +34,12 @@ pub struct ExecStats {
     pub exists_builds: u64,
     /// EXISTS predicates answered by probing a decorrelated hash set.
     pub exists_probes: u64,
+    /// Hash tables built for hash-join levels.
+    pub join_hash_builds: u64,
+    /// Probes into hash-join tables.
+    pub join_hash_probes: u64,
+    /// Join plans whose scan order differs from the FROM order.
+    pub planner_reorders: u64,
 }
 
 impl ExecStats {
@@ -45,6 +53,9 @@ impl ExecStats {
             rows_output: self.rows_output - earlier.rows_output,
             exists_builds: self.exists_builds - earlier.exists_builds,
             exists_probes: self.exists_probes - earlier.exists_probes,
+            join_hash_builds: self.join_hash_builds - earlier.join_hash_builds,
+            join_hash_probes: self.join_hash_probes - earlier.join_hash_probes,
+            planner_reorders: self.planner_reorders - earlier.planner_reorders,
         }
     }
 }
@@ -93,7 +104,8 @@ struct Binding {
 /// set-at-a-time corpus queries cross it on their first scan.
 const DECORRELATE_AFTER: u32 = 8;
 
-/// Adaptive decorrelation state, one per statement execution.
+/// Adaptive decorrelation state plus join-planning state, one per
+/// statement execution.
 ///
 /// A correlated EXISTS costs a full subquery setup per candidate outer
 /// row. When the same subquery node has been evaluated
@@ -103,10 +115,28 @@ const DECORRELATE_AFTER: u32 = 8;
 /// correlation conjuncts removed, the correlation-key values of every
 /// surviving row land in a hash set, and each later outer row answers
 /// EXISTS with a single hash probe.
+///
+/// The memo also carries the execution's join plans (computed lazily
+/// per multi-table SELECT node) and the hash tables built for
+/// hash-join levels, both keyed by node address so a correlated
+/// subquery re-entered per outer row reuses its plan and build work.
 #[derive(Default)]
-struct ExistsMemo {
+struct ExistsMemo<'p> {
     /// Keyed by the subquery node's address, stable for one execution.
     states: RefCell<HashMap<usize, MemoState>>,
+    /// Join plans for this execution only (ad-hoc statements).
+    local_plans: RefCell<HashMap<usize, Arc<JoinPlan>>>,
+    /// Join plans shared across executions of a prepared statement,
+    /// whose AST `Arc` keeps node addresses stable.
+    shared_plans: Option<&'p JoinPlanCache>,
+    /// Hash-join build results, keyed by (plan address, level).
+    hash_tables: RefCell<HashMap<(usize, usize), Rc<JoinHashTable>>>,
+}
+
+/// A transient hash table backing one hash-join level: build key values
+/// to row ids of the build-side table.
+struct JoinHashTable {
+    map: HashMap<Vec<Value>, Vec<usize>>,
 }
 
 enum MemoState {
@@ -137,11 +167,11 @@ struct Env<'a> {
     bindings: &'a [Binding],
     outer: Option<&'a Env<'a>>,
     params: &'a [Value],
-    memo: &'a ExistsMemo,
+    memo: &'a ExistsMemo<'a>,
 }
 
 impl<'a> Env<'a> {
-    fn root(params: &'a [Value], memo: &'a ExistsMemo) -> Env<'a> {
+    fn root(params: &'a [Value], memo: &'a ExistsMemo<'a>) -> Env<'a> {
         Env {
             bindings: &[],
             outer: None,
@@ -211,11 +241,71 @@ pub fn run_select_bound(
     stmt: &SelectStmt,
     params: &[Value],
 ) -> Result<QueryResult, DbError> {
-    let memo = ExistsMemo::default();
+    run_select_with_plans(db, stmt, params, None)
+}
+
+/// Run a SELECT, caching join plans in `plans` (a prepared statement's
+/// per-node cache) when supplied; ad-hoc runs plan per execution.
+pub(crate) fn run_select_with_plans(
+    db: &Database,
+    stmt: &SelectStmt,
+    params: &[Value],
+    plans: Option<&JoinPlanCache>,
+) -> Result<QueryResult, DbError> {
+    LAST_STRATEGY.with(|s| *s.borrow_mut() = None);
+    let memo = ExistsMemo {
+        shared_plans: plans,
+        ..ExistsMemo::default()
+    };
     let root = Env::root(params, &memo);
     let result = select_with_env(db, stmt, &root)?;
     bump(|s| s.rows_output += result.rows.len() as u64);
     Ok(result)
+}
+
+thread_local! {
+    /// Strategy summary of the last planned top-level SELECT on this
+    /// thread, consumed by the slow-query log.
+    static LAST_STRATEGY: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Take (and clear) the join-strategy summary recorded by the last
+/// top-level multi-table SELECT executed on this thread.
+pub fn take_last_join_strategy() -> Option<String> {
+    LAST_STRATEGY.with(|s| s.borrow_mut().take())
+}
+
+/// Fetch (or compute and cache) the join plan for one SELECT node.
+/// Single-table selects and planner-off databases skip planning — the
+/// translated EXISTS workload stays on its unchanged fast path.
+fn plan_for(db: &Database, stmt: &SelectStmt, memo: &ExistsMemo<'_>) -> Option<Arc<JoinPlan>> {
+    if stmt.from.len() < 2 || !db.use_planner() {
+        return None;
+    }
+    let node = stmt as *const SelectStmt as usize;
+    if let Some(shared) = memo.shared_plans {
+        if let Some(plan) = shared.get(node) {
+            return Some(plan);
+        }
+        let plan = crate::plan::plan_select(db, stmt)?;
+        if plan.reordered {
+            bump(|s| s.planner_reorders += 1);
+        }
+        shared.insert(node, Arc::clone(&plan));
+        Some(plan)
+    } else {
+        if let Some(plan) = memo.local_plans.borrow().get(&node) {
+            return Some(Arc::clone(plan));
+        }
+        let plan = crate::plan::plan_select(db, stmt)?;
+        if plan.reordered {
+            bump(|s| s.planner_reorders += 1);
+        }
+        memo.local_plans
+            .borrow_mut()
+            .insert(node, Arc::clone(&plan));
+        Some(plan)
+    }
 }
 
 fn select_with_env(
@@ -250,10 +340,26 @@ fn select_with_env(
             .iter()
             .any(|i| matches!(i, SelectItem::Count { .. }));
 
+    // Plan multi-table joins; scan in planned order. Projection and
+    // wildcard expansion below keep using `tables` (FROM order), and
+    // bindings are matched by name, so reordering is output-invariant
+    // up to row order.
+    let plan = plan_for(db, stmt, outer.memo);
+    if let Some(p) = &plan {
+        if outer.bindings.is_empty() && outer.outer.is_none() {
+            LAST_STRATEGY.with(|s| *s.borrow_mut() = Some(p.describe(stmt)));
+        }
+    }
+    let scan_tables: Vec<(&TableRef, &Table)> = match &plan {
+        Some(p) => p.order.iter().map(|&i| tables[i]).collect(),
+        None => tables.clone(),
+    };
+
     let mut joined: Vec<Vec<Binding>> = Vec::new();
     join_scan(
         db,
-        &tables,
+        &scan_tables,
+        plan.as_ref(),
         0,
         &mut Vec::new(),
         stmt.filter.as_ref(),
@@ -302,11 +408,15 @@ fn select_with_env(
     Ok(QueryResult { columns, rows })
 }
 
-/// Recursive nested-loop join over the FROM tables. `emit` returns
-/// `false` to stop early (EXISTS short-circuit).
+/// Recursive nested-loop join over the scan tables (FROM order, or the
+/// plan's order when `plan` is supplied — `tables` must then be the
+/// plan-reordered list, with `plan.ops` aligned by depth). `emit`
+/// returns `false` to stop early (EXISTS short-circuit).
+#[allow(clippy::too_many_arguments)]
 fn join_scan(
     db: &Database,
     tables: &[(&TableRef, &Table)],
+    plan: Option<&Arc<JoinPlan>>,
     depth: usize,
     bound: &mut Vec<Binding>,
     filter: Option<&Expr>,
@@ -334,6 +444,31 @@ fn join_scan(
     }
     let (tref, table) = tables[depth];
 
+    // Planned hash-join levels bypass the dynamic index-probe search.
+    if let Some(plan_arc) = plan {
+        if let JoinOp::HashJoin {
+            build_cols,
+            probes,
+            build_filter,
+            ..
+        } = &plan_arc.ops[depth]
+        {
+            return hash_join_level(
+                db,
+                tables,
+                plan_arc,
+                depth,
+                bound,
+                filter,
+                outer,
+                emit,
+                build_cols,
+                probes,
+                build_filter,
+            );
+        }
+    }
+
     // Try index probe: collect equality conjuncts `this.col = expr`
     // where expr is evaluable from already-bound tables + outer env.
     let candidate_rows: Option<Vec<usize>> = if db.use_indexes() {
@@ -358,7 +493,7 @@ fn join_scan(
                 let slot = bound.last_mut().expect("binding just pushed");
                 slot.row.clear();
                 slot.row.extend_from_slice(&table.rows()[id]);
-                if !join_scan(db, tables, depth + 1, bound, filter, outer, emit)? {
+                if !join_scan(db, tables, plan, depth + 1, bound, filter, outer, emit)? {
                     cont = false;
                     break;
                 }
@@ -371,11 +506,138 @@ fn join_scan(
                 let slot = bound.last_mut().expect("binding just pushed");
                 slot.row.clear();
                 slot.row.extend_from_slice(row);
-                if !join_scan(db, tables, depth + 1, bound, filter, outer, emit)? {
+                if !join_scan(db, tables, plan, depth + 1, bound, filter, outer, emit)? {
                     cont = false;
                     break;
                 }
             }
+        }
+    }
+    bound.pop();
+    Ok(cont)
+}
+
+/// One hash-join level: build a hash table over this table's rows once
+/// per execution (memoized by plan address and level, so a correlated
+/// subquery re-entered per outer row builds once), then probe it with
+/// the outer-side key expressions. NULLs never satisfy the underlying
+/// equality, so NULL-keyed rows are skipped at build and a NULL probe
+/// component matches nothing — and the residual filter still re-checks
+/// every conjunct at the leaf.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_level(
+    db: &Database,
+    tables: &[(&TableRef, &Table)],
+    plan: &Arc<JoinPlan>,
+    depth: usize,
+    bound: &mut Vec<Binding>,
+    filter: Option<&Expr>,
+    outer: &Env<'_>,
+    emit: &mut dyn FnMut(&[Binding]) -> Result<bool, DbError>,
+    build_cols: &[usize],
+    probes: &[Expr],
+    build_filter: &[Expr],
+) -> Result<bool, DbError> {
+    let (tref, table) = tables[depth];
+    let memo_key = (Arc::as_ptr(plan) as usize, depth);
+    let cached = outer.memo.hash_tables.borrow().get(&memo_key).cloned();
+    let hash_table = match cached {
+        Some(ht) => ht,
+        None => {
+            bump(|s| s.join_hash_builds += 1);
+            let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            let mut build_binding = vec![Binding {
+                name: tref.binding_name().to_string(),
+                columns: table.schema.column_names(),
+                row: Vec::new(),
+            }];
+            'rows: for (row_id, row) in table.rows().iter().enumerate() {
+                bump(|s| s.rows_scanned += 1);
+                if !build_filter.is_empty() {
+                    build_binding[0].row.clear();
+                    build_binding[0].row.extend_from_slice(row);
+                    // The pushdown conjuncts are outer-free: evaluating
+                    // them with no outer chain is the same answer every
+                    // probing row would see.
+                    let env = Env {
+                        bindings: &build_binding,
+                        outer: None,
+                        params: outer.params,
+                        memo: outer.memo,
+                    };
+                    for pred in build_filter {
+                        if eval_pred(db, pred, &env)? != Some(true) {
+                            continue 'rows;
+                        }
+                    }
+                }
+                let mut key = Vec::with_capacity(build_cols.len());
+                for &c in build_cols {
+                    if row[c].is_null() {
+                        continue 'rows;
+                    }
+                    key.push(row[c].clone());
+                }
+                map.entry(key).or_default().push(row_id);
+            }
+            let ht = Rc::new(JoinHashTable { map });
+            outer
+                .memo
+                .hash_tables
+                .borrow_mut()
+                .insert(memo_key, Rc::clone(&ht));
+            ht
+        }
+    };
+
+    bump(|s| s.join_hash_probes += 1);
+    let mut key = Vec::with_capacity(probes.len());
+    let mut null_probe = false;
+    {
+        let env = Env {
+            bindings: bound.as_slice(),
+            outer: Some(outer),
+            params: outer.params,
+            memo: outer.memo,
+        };
+        for probe in probes {
+            let v = eval_value(db, probe, &env)?;
+            if v.is_null() {
+                null_probe = true;
+                break;
+            }
+            key.push(v);
+        }
+    }
+    let ids: &[usize] = if null_probe {
+        &[]
+    } else {
+        hash_table.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    };
+
+    bound.push(Binding {
+        name: tref.binding_name().to_string(),
+        columns: table.schema.column_names(),
+        row: Vec::new(),
+    });
+    let mut cont = true;
+    for &id in ids {
+        bump(|s| s.rows_scanned += 1);
+        let slot = bound.last_mut().expect("binding just pushed");
+        slot.row.clear();
+        slot.row.extend_from_slice(&table.rows()[id]);
+        if !join_scan(
+            db,
+            tables,
+            Some(plan),
+            depth + 1,
+            bound,
+            filter,
+            outer,
+            emit,
+        )? {
+            cont = false;
+            break;
         }
     }
     bound.pop();
@@ -549,7 +811,7 @@ fn probe_rows(
 }
 
 /// Flatten nested ANDs into conjuncts.
-fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+pub(crate) fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
     match expr {
         Expr::And(a, b) => {
             collect_conjuncts(a, out);
@@ -978,6 +1240,9 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
 }
 
 /// Correlated EXISTS: run the subquery until the first row survives.
+/// Multi-table bodies scan in planned order; the plan (and any hash
+/// tables it builds) is memoized by node address, so every outer row
+/// reuses it.
 fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
     let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
@@ -986,10 +1251,16 @@ fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<
             .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
         tables.push((tref, table));
     }
+    let plan = plan_for(db, stmt, env.memo);
+    let scan_tables: Vec<(&TableRef, &Table)> = match &plan {
+        Some(p) => p.order.iter().map(|&i| tables[i]).collect(),
+        None => tables,
+    };
     let mut found = false;
     join_scan(
         db,
-        &tables,
+        &scan_tables,
+        plan.as_ref(),
         0,
         &mut Vec::new(),
         stmt.filter.as_ref(),
@@ -1054,9 +1325,13 @@ fn build_exists_set(
         memo: env.memo,
     };
     let mut keys: HashSet<Vec<Value>> = HashSet::new();
+    // The build scan runs with its filter stripped (correlations become
+    // keys, the residual is checked in the callback), so there are no
+    // conjuncts for the join planner to work with: scan in FROM order.
     join_scan(
         db,
         &tables,
+        None,
         0,
         &mut Vec::new(),
         None,

@@ -1,13 +1,18 @@
 //! Textual EXPLAIN plans.
 //!
 //! [`explain`] renders the access path the executor will take for a
-//! SELECT: which tables are scanned sequentially, which are answered by
-//! hash-index probes (and on which columns), and how EXISTS subqueries
-//! nest. Used by the suite's documentation and by the index-ablation
-//! analysis to show *why* the optimized schema's queries stay flat.
+//! SELECT. Multi-table queries go through the cost-based join planner:
+//! the plan shows the chosen join order (`Join order: ...`) and the
+//! operator per level — `hash join on (col)`, `index nested loop via
+//! <name>`, or `seq scan` — exactly as the executor will run them.
+//! Single-table queries and EXISTS subqueries show the same operators
+//! without an order line. Used by the suite's documentation and by the
+//! index-ablation analysis to show *why* the optimized schema's
+//! queries stay flat.
 
 use crate::database::Database;
 use crate::error::DbError;
+use crate::plan::{plan_select, JoinOp};
 use crate::sql::ast::{CompareOp, Expr, SelectStmt, Statement};
 use crate::sql::parse_statement;
 
@@ -50,45 +55,108 @@ fn explain_select(
     out.push('\n');
 
     let mut visible: Vec<String> = outer_names.to_vec();
-    for (i, tref) in select.from.iter().enumerate() {
-        let table = db
-            .table(&tref.table)
-            .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
-        // Equality conjuncts on this table whose other side references
-        // only earlier bindings or outer names.
-        let eq_cols = equality_columns(
-            select.filter.as_ref(),
-            tref.binding_name(),
-            &visible,
-            i == 0,
-        );
-        let access = if db.use_indexes() {
-            best_index(table, &eq_cols)
+    let plan = if select.from.len() >= 2 && db.use_planner() {
+        plan_select(db, select)
+    } else {
+        None
+    };
+    if let Some(plan) = plan {
+        // Cost-based path: render the chosen order, then one operator
+        // per level in scan order.
+        let order_names: Vec<&str> = plan
+            .order
+            .iter()
+            .map(|&i| select.from[i].binding_name())
+            .collect();
+        let mode = if plan.no_stats {
+            "FROM order, no stats"
+        } else if plan.reordered {
+            "cost-based"
         } else {
-            None
+            "cost-based, FROM order"
         };
         indent(out, depth + 1);
-        match access {
-            Some((index_name, cols)) => {
-                out.push_str(&format!(
-                    "IndexProbe {} AS {} on ({})",
+        out.push_str(&format!(
+            "Join order: {} ({mode})\n",
+            order_names.join(", ")
+        ));
+        for (level, &i) in plan.order.iter().enumerate() {
+            let tref = &select.from[i];
+            let table = db
+                .table(&tref.table)
+                .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+            indent(out, depth + 1);
+            match &plan.ops[level] {
+                JoinOp::SeqScan => out.push_str(&format!(
+                    "seq scan {} AS {} ({} rows)\n",
                     tref.table,
                     tref.binding_name(),
-                    cols.join(", ")
-                ));
-                if let Some(name) = index_name {
-                    out.push_str(&format!(" via {name}"));
+                    table.len()
+                )),
+                JoinOp::IndexNestedLoop { index, columns } => {
+                    out.push_str(&format!(
+                        "index nested loop {} AS {} on ({})",
+                        tref.table,
+                        tref.binding_name(),
+                        columns.join(", ")
+                    ));
+                    if let Some(name) = index {
+                        out.push_str(&format!(" via {name}"));
+                    }
+                    out.push('\n');
                 }
-                out.push('\n');
+                JoinOp::HashJoin { columns, .. } => out.push_str(&format!(
+                    "hash join {} AS {} on ({})\n",
+                    tref.table,
+                    tref.binding_name(),
+                    columns.join(", ")
+                )),
             }
-            None => out.push_str(&format!(
-                "SeqScan {} AS {} ({} rows)\n",
-                tref.table,
-                tref.binding_name(),
-                table.len()
-            )),
         }
-        visible.push(tref.binding_name().to_string());
+        for tref in &select.from {
+            visible.push(tref.binding_name().to_string());
+        }
+    } else {
+        for (i, tref) in select.from.iter().enumerate() {
+            let table = db
+                .table(&tref.table)
+                .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+            // Equality conjuncts on this table whose other side
+            // references only earlier bindings or outer names.
+            let eq_cols = equality_columns(
+                select.filter.as_ref(),
+                tref.binding_name(),
+                &visible,
+                i == 0,
+            );
+            let access = if db.use_indexes() {
+                best_index(table, &eq_cols)
+            } else {
+                None
+            };
+            indent(out, depth + 1);
+            match access {
+                Some((index_name, cols)) => {
+                    out.push_str(&format!(
+                        "index nested loop {} AS {} on ({})",
+                        tref.table,
+                        tref.binding_name(),
+                        cols.join(", ")
+                    ));
+                    if let Some(name) = index_name {
+                        out.push_str(&format!(" via {name}"));
+                    }
+                    out.push('\n');
+                }
+                None => out.push_str(&format!(
+                    "seq scan {} AS {} ({} rows)\n",
+                    tref.table,
+                    tref.binding_name(),
+                    table.len()
+                )),
+            }
+            visible.push(tref.binding_name().to_string());
+        }
     }
     if let Some(filter) = &select.filter {
         indent(out, depth + 1);
@@ -246,11 +314,28 @@ mod tests {
         db
     }
 
+    /// Two join tables with no index on the join column: `big` (100
+    /// rows) and `small` (2 rows), joined on `k`.
+    fn join_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE big (k INT NOT NULL, v VARCHAR)")
+            .unwrap();
+        db.execute("CREATE TABLE small (k INT NOT NULL, tag VARCHAR)")
+            .unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO big VALUES ({}, 'v{i}')", i % 10))
+                .unwrap();
+        }
+        db.execute("INSERT INTO small VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        db
+    }
+
     #[test]
     fn literal_probe_is_detected() {
         let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
         assert!(
-            plan.contains("IndexProbe policy AS policy on (policy_id)"),
+            plan.contains("index nested loop policy AS policy on (policy_id)"),
             "{plan}"
         );
     }
@@ -258,7 +343,10 @@ mod tests {
     #[test]
     fn unconstrained_scan_is_sequential() {
         let plan = explain(&db(), "SELECT name FROM policy").unwrap();
-        assert!(plan.contains("SeqScan policy AS policy (1 rows)"), "{plan}");
+        assert!(
+            plan.contains("seq scan policy AS policy (1 rows)"),
+            "{plan}"
+        );
     }
 
     #[test]
@@ -270,7 +358,7 @@ mod tests {
         .unwrap();
         assert!(plan.contains("Exists"), "{plan}");
         assert!(
-            plan.contains("IndexProbe statement AS s on (policy_id)"),
+            plan.contains("index nested loop statement AS s on (policy_id)"),
             "{plan}"
         );
     }
@@ -279,7 +367,7 @@ mod tests {
     fn plan_names_the_probed_index() {
         let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
         assert!(
-            plan.contains("IndexProbe policy AS policy on (policy_id) via pk_policy"),
+            plan.contains("index nested loop policy AS policy on (policy_id) via pk_policy"),
             "{plan}"
         );
         let plan = explain(
@@ -288,7 +376,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            plan.contains("IndexProbe statement AS s on (policy_id) via idx_statement_fk"),
+            plan.contains("index nested loop statement AS s on (policy_id) via idx_statement_fk"),
             "{plan}"
         );
     }
@@ -298,20 +386,25 @@ mod tests {
         let mut d = db();
         d.set_use_indexes(false);
         let plan = explain(&d, "SELECT name FROM policy WHERE policy_id = 1").unwrap();
-        assert!(plan.contains("SeqScan"), "{plan}");
-        assert!(!plan.contains("IndexProbe"), "{plan}");
+        assert!(plan.contains("seq scan"), "{plan}");
+        assert!(!plan.contains("index nested loop"), "{plan}");
     }
 
     #[test]
     fn join_order_gates_index_use() {
-        // The second table can probe using the first table's binding.
+        // The second table can probe using the first table's binding;
+        // the planner keeps this order because policy is smaller.
         let plan = explain(
             &db(),
             "SELECT * FROM policy p, statement s WHERE s.policy_id = p.policy_id",
         )
         .unwrap();
-        assert!(plan.contains("SeqScan policy AS p"), "{plan}");
-        assert!(plan.contains("IndexProbe statement AS s"), "{plan}");
+        assert!(plan.contains("Join order: p, s (cost-based"), "{plan}");
+        assert!(plan.contains("seq scan policy AS p"), "{plan}");
+        assert!(
+            plan.contains("index nested loop statement AS s on (policy_id) via idx_statement_fk"),
+            "{plan}"
+        );
     }
 
     #[test]
@@ -334,5 +427,61 @@ mod tests {
         .unwrap();
         // The PK index on (policy_id, statement_id) beats the FK index.
         assert!(plan.contains("on (policy_id, statement_id)"), "{plan}");
+    }
+
+    #[test]
+    fn hash_join_is_selected_for_unindexed_equi_join() {
+        // Deterministic full-plan snapshot: the planner reorders to
+        // scan the 2-row table first and hash-joins the 100-row side
+        // because no index covers `k`.
+        let plan = explain(&join_db(), "SELECT * FROM big b, small s WHERE b.k = s.k").unwrap();
+        assert_eq!(
+            plan,
+            "Select\n\
+             \x20 Join order: s, b (cost-based)\n\
+             \x20 seq scan small AS s (2 rows)\n\
+             \x20 hash join big AS b on (k)\n\
+             \x20 Filter\n"
+        );
+    }
+
+    #[test]
+    fn no_stats_falls_back_to_from_order() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (k INT NOT NULL)").unwrap();
+        db.execute("CREATE TABLE b (k INT NOT NULL)").unwrap();
+        let plan = explain(&db, "SELECT * FROM a x, b y WHERE x.k = y.k").unwrap();
+        assert!(
+            plan.contains("Join order: x, y (FROM order, no stats)"),
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn planner_disabled_renders_from_order_without_order_line() {
+        let mut d = join_db();
+        d.set_use_planner(false);
+        let plan = explain(&d, "SELECT * FROM big b, small s WHERE b.k = s.k").unwrap();
+        assert!(!plan.contains("Join order:"), "{plan}");
+        assert!(plan.contains("seq scan big AS b (100 rows)"), "{plan}");
+    }
+
+    #[test]
+    fn index_nested_loop_beats_hash_join_when_covered() {
+        // statement has idx_statement_fk on policy_id, so the join is
+        // answered by index probes, not a hash table.
+        let plan = explain(
+            &db(),
+            "SELECT * FROM statement s, policy p WHERE s.policy_id = p.policy_id",
+        )
+        .unwrap();
+        // policy (1 row) is scanned first even though it is second in
+        // the FROM list.
+        assert!(plan.contains("Join order: p, s (cost-based)"), "{plan}");
+        assert!(!plan.contains("hash join"), "{plan}");
+        assert!(
+            plan.contains("index nested loop statement AS s on (policy_id) via idx_statement_fk"),
+            "{plan}"
+        );
     }
 }

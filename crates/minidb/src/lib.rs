@@ -25,6 +25,14 @@
 //! queries) become index probes. [`Database::set_use_indexes`] turns
 //! this off for the suite's index-ablation bench.
 //!
+//! Multi-table SELECTs additionally go through a cost-based join
+//! planner ([`plan`]): per-table statistics (row counts plus exact
+//! distinct-key counts read off the hash indexes) drive a greedy
+//! most-selective-first join-order search, and join levels whose equi-
+//! join columns no index covers run as hash joins instead of nested
+//! loops. [`explain`] renders the chosen order and per-level operator;
+//! [`Database::set_use_planner`] reverts to literal FROM order.
+//!
 //! ## Example
 //!
 //! ```
@@ -52,6 +60,7 @@ pub mod value;
 pub use database::{Database, ExecOutcome, QueryResult};
 pub use error::DbError;
 pub use explain::explain;
-pub use plan::{PlanCacheStats, Prepared};
+pub use plan::{JoinOp, JoinPlan, JoinPlanCache, PlanCacheStats, Prepared, PLAN_DRIFT_FACTOR};
 pub use schema::{ColumnDef, DataType, ForeignKey, TableSchema};
+pub use table::{IndexStats, TableStats};
 pub use value::Value;

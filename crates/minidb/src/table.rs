@@ -49,6 +49,31 @@ impl Index {
     pub fn probe(&self, key: &[Value]) -> &[usize] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Number of distinct keys currently indexed. Maintained
+    /// incrementally by inserts and index rebuilds, so the planner's
+    /// distinct-value estimates are exact and free to read.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Statistics for one index: its column set and distinct-key count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    pub name: Option<String>,
+    /// Indexes into the table's column list.
+    pub columns: Vec<usize>,
+    pub distinct_keys: usize,
+}
+
+/// Per-table statistics consumed by the cost-based join planner.
+/// Derived on demand from state the table already maintains (row
+/// vector length, index map sizes), so they can never go stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub indexes: Vec<IndexStats>,
 }
 
 /// A stored table: schema, rows, and indexes. Rows and indexes are
@@ -162,6 +187,22 @@ impl Table {
     /// All indexes (for planning).
     pub fn indexes(&self) -> &[Index] {
         &self.indexes
+    }
+
+    /// Current statistics: row count plus per-index distinct-key counts.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            row_count: self.rows.len(),
+            indexes: self
+                .indexes
+                .iter()
+                .map(|i| IndexStats {
+                    name: i.name.clone(),
+                    columns: i.columns.clone(),
+                    distinct_keys: i.map.len(),
+                })
+                .collect(),
+        }
     }
 
     /// Delete the rows at the given positions, rebuilding indexes.
@@ -416,6 +457,41 @@ mod tests {
         assert_eq!(snapshot.len(), 10);
         let idx = snapshot.find_index(&[0]).unwrap();
         assert!(idx.probe(&[Value::Int(10)]).is_empty());
+    }
+
+    #[test]
+    fn stats_track_rows_and_distinct_keys() {
+        let mut t = table();
+        t.create_index_named(Some("idx_name"), &["name".to_string()])
+            .unwrap();
+        for i in 0..10 {
+            // Names repeat every 3 inserts: 4 distinct name keys.
+            t.insert(vec![Value::Int(i), Value::Text(format!("n{}", i % 4))])
+                .unwrap();
+        }
+        let stats = t.stats();
+        assert_eq!(stats.row_count, 10);
+        let pk = &stats.indexes[0];
+        assert_eq!(pk.name.as_deref(), Some("pk_t"));
+        assert_eq!(pk.distinct_keys, 10);
+        let by_name = &stats.indexes[1];
+        assert_eq!(by_name.columns, vec![1]);
+        assert_eq!(by_name.distinct_keys, 4);
+    }
+
+    #[test]
+    fn stats_survive_bulk_mutation() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert(vec![Value::Int(i), Value::Text("x".into())])
+                .unwrap();
+        }
+        t.delete_rows(vec![0, 1]);
+        assert_eq!(t.stats().row_count, 4);
+        assert_eq!(t.stats().indexes[0].distinct_keys, 4);
+        t.truncate();
+        assert_eq!(t.stats().row_count, 0);
+        assert_eq!(t.stats().indexes[0].distinct_keys, 0);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct QueryStats {
     pub subqueries: u64,
     /// Rows in the statement's result.
     pub rows_output: u64,
+    /// Hash tables built for hash-join levels.
+    pub join_hash_builds: u64,
+    /// Probes into hash-join tables.
+    pub join_hash_probes: u64,
 }
 
 /// One captured slow query.
@@ -59,6 +63,10 @@ pub struct SlowQueryRecord {
     pub stats: QueryStats,
     /// Wall time of the statement.
     pub wall: Duration,
+    /// Join strategy the planner chose (per-level scan order and
+    /// operators), for multi-table SELECTs that went through the
+    /// cost-based planner.
+    pub join_strategy: Option<String>,
 }
 
 /// RAII guard that tags statements executed on this thread with an
@@ -111,6 +119,17 @@ pub fn set_capacity(capacity: usize) {
 /// statement; the record is kept only if `wall` meets the threshold.
 /// The rule id is read from this thread's [`QueryContextGuard`].
 pub fn record(sql: &str, stats: QueryStats, wall: Duration) {
+    record_with_strategy(sql, stats, wall, None);
+}
+
+/// [`record`] plus the join strategy the planner chose for the
+/// statement, when it planned one.
+pub fn record_with_strategy(
+    sql: &str,
+    stats: QueryStats,
+    wall: Duration,
+    join_strategy: Option<String>,
+) {
     let threshold = THRESHOLD_NANOS.load(Ordering::Relaxed);
     if u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX) < threshold {
         return;
@@ -120,6 +139,7 @@ pub fn record(sql: &str, stats: QueryStats, wall: Duration) {
         rule_id: current_rule(),
         stats,
         wall,
+        join_strategy,
     };
     let mut log = LOG.lock().unwrap();
     let cap = CAPACITY.load(Ordering::Relaxed);
@@ -192,6 +212,30 @@ mod tests {
         assert_eq!(current_rule(), Some(1));
         drop(outer);
         assert_eq!(current_rule(), None);
+    }
+
+    #[test]
+    fn join_strategy_is_recorded_when_supplied() {
+        set_threshold(Duration::ZERO);
+        record_with_strategy(
+            "SELECT slowlog_test_strategy",
+            QueryStats {
+                join_hash_builds: 1,
+                join_hash_probes: 9,
+                ..QueryStats::default()
+            },
+            Duration::from_micros(2),
+            Some("a: seq scan, b: hash join on (k)".to_string()),
+        );
+        let entry = entries()
+            .into_iter()
+            .find(|r| r.sql == "SELECT slowlog_test_strategy")
+            .expect("captured");
+        assert_eq!(
+            entry.join_strategy.as_deref(),
+            Some("a: seq scan, b: hash join on (k)")
+        );
+        assert_eq!(entry.stats.join_hash_probes, 9);
     }
 
     #[test]

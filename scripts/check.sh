@@ -28,4 +28,10 @@ cargo bench -p p3p-bench --bench bulk -- --test
 echo "==> repro --table bulk (bulk-over-loop speedup floor)"
 cargo run -q --release -p p3p-bench --bin repro -- --table bulk > /dev/null
 
+echo "==> bench smoke (join, single iteration)"
+cargo bench -p p3p-bench --bench join -- --test
+
+echo "==> repro --table join (planned-over-FROM-order speedup floor)"
+cargo run -q --release -p p3p-bench --bin repro -- --table join > /dev/null
+
 echo "All checks passed."

@@ -344,6 +344,104 @@ fn warm_caches_see_later_installs() {
     }
 }
 
+/// Every ordering of `n` indices, for the small `n` the FROM-shuffle
+/// tests need.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    match n {
+        2 => vec![vec![0, 1], vec![1, 0]],
+        3 => vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ],
+        _ => panic!("unsupported permutation size {n}"),
+    }
+}
+
+/// Shuffling the FROM-clause order of representative translated join
+/// queries never changes the result set — with the cost-based planner
+/// on (it normalizes the order) and off (literal FROM order).
+#[test]
+fn join_order_permutations_agree() {
+    let mut server = PolicyServer::new();
+    for p in p3p_suite::workload::corpus(42) {
+        server.install_policy(&p).unwrap();
+    }
+    let db = server.database().clone();
+    let mut db_noplan = db.clone();
+    db_noplan.set_use_planner(false);
+    let sorted = |mut rows: Vec<Vec<p3p_suite::minidb::Value>>| {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows
+    };
+    // (projection, FROM entries, WHERE) — the decorrelated-join shapes
+    // of the suite's translated queries.
+    let cases: &[(&str, &[&str], &str)] = &[
+        (
+            "DISTINCT p.policy_id",
+            &["policy p", "statement s"],
+            "s.policy_id = p.policy_id",
+        ),
+        (
+            "DISTINCT p.policy_id",
+            &["policy p", "statement s", "purpose pu"],
+            "s.policy_id = p.policy_id AND pu.policy_id = s.policy_id \
+             AND pu.statement_id = s.statement_id AND pu.purpose = 'current'",
+        ),
+        (
+            "pu.purpose, r.recipient",
+            &["purpose pu", "recipient r"],
+            "r.policy_id = pu.policy_id AND r.statement_id = pu.statement_id \
+             AND pu.required = 'opt-in'",
+        ),
+    ];
+    for (projection, tables, filter) in cases {
+        let mut reference: Option<Vec<Vec<p3p_suite::minidb::Value>>> = None;
+        for perm in permutations(tables.len()) {
+            let from: Vec<&str> = perm.iter().map(|&i| tables[i]).collect();
+            let sql = format!(
+                "SELECT {projection} FROM {} WHERE {filter}",
+                from.join(", ")
+            );
+            let planned = sorted(db.query(&sql).unwrap().rows);
+            let unplanned = sorted(db_noplan.query(&sql).unwrap().rows);
+            assert_eq!(planned, unplanned, "planner on/off disagree: {sql}");
+            match &reference {
+                Some(expected) => assert_eq!(expected, &planned, "order-dependent: {sql}"),
+                None => reference = Some(planned),
+            }
+        }
+    }
+}
+
+/// The cost-based planner never changes SQL verdicts (only their
+/// cost), across both relational schemas.
+#[test]
+fn planner_does_not_change_verdicts() {
+    for seed in 0..64 {
+        let mut rng = TestRng(seed);
+        let policy = random_policy(&mut rng);
+        let ruleset = random_ruleset(&mut rng);
+        let mut planned = PolicyServer::new();
+        planned.install_policy(&policy).unwrap();
+        let mut unplanned = PolicyServer::new();
+        unplanned.install_policy(&policy).unwrap();
+        unplanned.database_mut().set_use_planner(false);
+        for engine in [EngineKind::Sql, EngineKind::SqlGeneric] {
+            let vp = planned
+                .match_preference(&ruleset, Target::Policy("generated"), engine)
+                .unwrap();
+            let vu = unplanned
+                .match_preference(&ruleset, Target::Policy("generated"), engine)
+                .unwrap();
+            assert_eq!(vp.verdict, vu.verdict, "seed {seed} {engine:?}");
+        }
+    }
+}
+
 /// Index use never changes SQL verdicts (only their cost).
 #[test]
 fn indexes_do_not_change_verdicts() {

@@ -169,9 +169,9 @@ fn explain_shows_probes_on_the_shredded_schema() {
     )
     .unwrap();
     assert!(
-        plan.contains("IndexProbe policy AS p on (policy_id)"),
+        plan.contains("index nested loop policy AS p on (policy_id)"),
         "{plan}"
     );
-    assert!(plan.contains("IndexProbe statement AS s"), "{plan}");
-    assert!(plan.contains("IndexProbe purpose AS pu"), "{plan}");
+    assert!(plan.contains("index nested loop statement AS s"), "{plan}");
+    assert!(plan.contains("index nested loop purpose AS pu"), "{plan}");
 }

@@ -49,4 +49,29 @@ fn threshold_zero_captures_every_statement_with_rule_attribution() {
     // The SQL engine binds the policy id as a parameter instead of
     // staging it, so every captured statement belongs to a rule.
     assert!(entries.iter().all(|r| r.rule_id.is_some()), "{entries:#?}");
+
+    // Multi-table SELECTs additionally record the join strategy the
+    // cost-based planner chose (same process-global log, so this stays
+    // inside the single test).
+    slowlog::set_threshold(Duration::ZERO);
+    let join_sql =
+        "SELECT s.statement_id FROM policy p, statement s WHERE s.policy_id = p.policy_id";
+    server.database().query(join_sql).unwrap();
+    slowlog::disable();
+    let entry = slowlog::entries()
+        .into_iter()
+        .rev()
+        .find(|r| r.sql == join_sql)
+        .expect("join statement captured");
+    let strategy = entry
+        .join_strategy
+        .expect("multi-table SELECT records its join strategy");
+    assert!(strategy.contains("p: seq scan"), "{strategy}");
+    assert!(
+        strategy.contains("s: index nested loop on (policy_id) via idx_statement_fk"),
+        "{strategy}"
+    );
+    // Single-table translated statements planned no join, so they
+    // carry no strategy.
+    assert!(entries.iter().all(|r| r.join_strategy.is_none()));
 }
