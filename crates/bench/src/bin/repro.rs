@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | bulk | join | ablation
+//! repro --table shredding | warmcold | caching | bulk | join | fuzz | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! ```
@@ -17,9 +17,10 @@
 //! timing report.
 
 use p3p_bench::{
-    ablation_table, bench_bulk_json, bench_join_json, bench_matching_json, bulk_report, bulk_table,
-    caching_report, caching_table, figure19, figure20, figure21, join_report, join_table,
-    scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table, DEFAULT_SEED,
+    ablation_table, bench_bulk_json, bench_fuzz_json, bench_join_json, bench_matching_json,
+    bulk_report, bulk_table, caching_report, caching_table, figure19, figure20, figure21,
+    fuzz_report, fuzz_table, join_report, join_table, scaling_table, shredding_table, subset_table,
+    telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -174,6 +175,38 @@ fn main() {
             join_ok = false;
         }
     }
+    let mut fuzz_ok = true;
+    if all || tables.iter().any(|t| t == "fuzz") {
+        // A bounded sweep: the standalone p3p-fuzz binary is the place
+        // for long runs; here the point is a reproducible zero row in
+        // the report. P3P_FUZZ_CASES overrides the depth.
+        let cases = std::env::var("P3P_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        let report = fuzz_report(seed, cases);
+        println!("{}", fuzz_table(&report));
+        let json = bench_fuzz_json(&report);
+        let path = std::path::Path::new("BENCH_fuzz.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        if report.stats.divergences > 0 {
+            eprintln!(
+                "error: {} verdict divergences across the engine matrix (must be 0)",
+                report.stats.divergences
+            );
+            fuzz_ok = false;
+        }
+        if report.stats.metamorphic_mismatches > 0 {
+            eprintln!(
+                "error: {} metamorphic row mismatches across minidb knobs (must be 0)",
+                report.stats.metamorphic_mismatches
+            );
+            fuzz_ok = false;
+        }
+    }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
     }
@@ -188,7 +221,7 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
-    if !caching_ok || !bulk_ok || !join_ok {
+    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok {
         std::process::exit(1);
     }
 }
@@ -219,7 +252,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

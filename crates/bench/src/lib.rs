@@ -1236,6 +1236,80 @@ pub fn subset_table() -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Differential fuzzing (the correctness gate behind the numbers)
+// ----------------------------------------------------------------------
+
+/// One differential-fuzz sweep: every generated case matched on every
+/// evaluable engine path and compared against the native reference.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    pub seed: u64,
+    /// Engines in the comparison matrix.
+    pub engines: usize,
+    pub stats: p3p_fuzz::RunStats,
+}
+
+/// Run the differential fuzzer for `cases` seeded cases, with the
+/// minidb metamorphic checks on every fifth case.
+pub fn fuzz_report(seed: u64, cases: usize) -> FuzzReport {
+    let (stats, _failure) = p3p_fuzz::run(seed, cases, 5);
+    FuzzReport {
+        seed,
+        engines: EngineKind::ALL.len(),
+        stats,
+    }
+}
+
+/// Render the differential-fuzzing table.
+pub fn fuzz_table(report: &FuzzReport) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Differential fuzzing (seed {}, {} engines, native loop as reference)\n",
+        report.seed, report.engines
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>10}\n{:<26} {:>10}\n{:<26} {:>10}\n{:<26} {:>10}\n{:<26} {:>10}\n{:<26} {:>10}\n",
+        "Cases",
+        s.cases,
+        "Verdict paths compared",
+        s.paths_compared,
+        "Unsupported (skipped)",
+        s.paths_unsupported,
+        "Verdict divergences",
+        s.divergences,
+        "Metamorphic queries",
+        s.metamorphic_queries,
+        "Row mismatches",
+        s.metamorphic_mismatches,
+    ));
+    out.push_str(
+        "(paths = per-policy verdicts from engine loops, bulk folds, shards, \
+         and execution-knob variants; divergences and mismatches must be 0)\n",
+    );
+    out
+}
+
+/// Machine-readable fuzz summary (`BENCH_fuzz.json`).
+pub fn bench_fuzz_json(report: &FuzzReport) -> String {
+    let s = &report.stats;
+    format!(
+        "{{\n  \"seed\": {},\n  \"cases\": {},\n  \"engines\": {},\n  \
+         \"paths_compared\": {},\n  \"paths_unsupported\": {},\n  \
+         \"divergences\": {},\n  \"metamorphic_queries\": {},\n  \
+         \"metamorphic_mismatches\": {}\n}}\n",
+        report.seed,
+        s.cases,
+        report.engines,
+        s.paths_compared,
+        s.paths_unsupported,
+        s.divergences,
+        s.metamorphic_queries,
+        s.metamorphic_mismatches,
+    )
+}
+
 /// Error type re-exported for bin users.
 pub type Result<T> = std::result::Result<T, ServerError>;
 

@@ -467,7 +467,7 @@ fn statement_child(
         "RETENTION" => column_vocab_expr(expr, &format!("{stmt_alias}.retention")),
         "NON-IDENTIFIABLE" => Ok(format!("{stmt_alias}.non_identifiable = 'yes'")),
         "DATA-GROUP" => data_group_expr(expr, stmt_alias, aliases),
-        "DATA" => data_expr(expr, stmt_alias, aliases),
+        "DATA" => data_expr(expr, stmt_alias, None, aliases),
         _ => Ok(FALSE_COND.to_string()),
     }
 }
@@ -607,7 +607,16 @@ fn column_vocab_expr(expr: &Expr, column: &str) -> Result<String, ServerError> {
         if !child.attributes.is_empty() || !child.children.is_empty() {
             conds.push(FALSE_COND.to_string());
         } else {
-            conds.push(format!("{column} = {}", sql_quote(&child.name.local)));
+            // NULL-safe: when the element is absent the column is NULL
+            // and a bare `col = 'v'` is NULL, which stays NULL under an
+            // enclosing NOT (a negated POLICY/STATEMENT connective)
+            // instead of flipping to TRUE the way the native engine's
+            // "element not found" does. Guarding the equality keeps the
+            // condition two-valued.
+            conds.push(format!(
+                "({column} IS NOT NULL AND {column} = {})",
+                sql_quote(&child.name.local)
+            ));
         }
     }
     let connective = match expr.connective {
@@ -624,8 +633,16 @@ fn column_vocab_expr(expr: &Expr, column: &str) -> Result<String, ServerError> {
     }
 }
 
-/// DATA-GROUP is structural glue in the optimized schema: its DATA
-/// children hang directly off the statement.
+/// DATA-GROUP in the optimized schema: data rows hang off the
+/// statement but carry their group's `data_group_id`, because the
+/// connective is evaluated *per group element* — `non-or` matches a
+/// statement with two groups when any one group lacks the listed DATA,
+/// and `and` needs a single group containing all of them. A witness
+/// row stands in for the group: every group has at least one row
+/// (`<!ELEMENT DATA-GROUP (DATA+)>`, enforced at validation), so
+/// "exists a group where C holds" is "exists a data row whose group
+/// satisfies C", with the child conditions correlated on the witness's
+/// `data_group_id`.
 fn data_group_expr(
     expr: &Expr,
     stmt_alias: &str,
@@ -642,27 +659,27 @@ fn data_group_expr(
             "EXISTS (SELECT * FROM data {alias} WHERE {alias}.policy_id = {stmt_alias}.policy_id AND {alias}.statement_id = {stmt_alias}.statement_id)"
         ));
     }
+    let witness = aliases.fresh();
     let mut conds = Vec::new();
     for child in &expr.children {
         if child.name.local == "DATA" {
-            conds.push(data_expr(child, stmt_alias, aliases)?);
+            conds.push(data_expr(child, stmt_alias, Some(&witness), aliases)?);
         } else {
             conds.push(FALSE_COND.to_string());
         }
     }
     let combined = combine(expr.connective, &conds);
-    if expr.connective.is_negated() {
-        // A DATA-GROUP element must exist for a negated connective.
-        let alias = aliases.fresh();
-        Ok(format!(
-            "EXISTS (SELECT * FROM data {alias} WHERE {alias}.policy_id = {stmt_alias}.policy_id AND {alias}.statement_id = {stmt_alias}.statement_id) AND {combined}"
-        ))
-    } else {
-        Ok(combined)
-    }
+    Ok(format!(
+        "EXISTS (SELECT * FROM data {witness} WHERE {witness}.policy_id = {stmt_alias}.policy_id AND {witness}.statement_id = {stmt_alias}.statement_id AND {combined})"
+    ))
 }
 
-fn data_expr(expr: &Expr, stmt_alias: &str, aliases: &mut Aliases) -> Result<String, ServerError> {
+fn data_expr(
+    expr: &Expr,
+    stmt_alias: &str,
+    group_alias: Option<&str>,
+    aliases: &mut Aliases,
+) -> Result<String, ServerError> {
     if expr.connective.is_exact() {
         return Err(ServerError::Unsupported(
             "exact connective on <DATA>".to_string(),
@@ -672,6 +689,9 @@ fn data_expr(expr: &Expr, stmt_alias: &str, aliases: &mut Aliases) -> Result<Str
     let mut parts = vec![format!(
         "{alias}.policy_id = {stmt_alias}.policy_id AND {alias}.statement_id = {stmt_alias}.statement_id"
     )];
+    if let Some(g) = group_alias {
+        parts.push(format!("{alias}.data_group_id = {g}.data_group_id"));
+    }
     for (attr, value) in &expr.attributes {
         match attr.as_str() {
             "ref" => parts.push(format!(

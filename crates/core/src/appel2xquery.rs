@@ -22,6 +22,16 @@ pub fn translate_rule_xquery(rule: &Rule, document: &str) -> Result<XQuery, Serv
             rule.pattern.len()
         )));
     };
+    // The document the XQuery engines run against is the reconstructed
+    // view, which carries only the matchable POLICY children (ACCESS and
+    // STATEMENTs — no ENTITY/DISPUTES). Exactness over POLICY children
+    // observes the ones that are missing, so it cannot be answered
+    // faithfully here; decline like the SQL translators do.
+    if expr.name.local == "POLICY" && expr.connective.is_exact() {
+        return Err(ServerError::Unsupported(
+            "exact connective on <POLICY> in XQuery translation".to_string(),
+        ));
+    }
     Ok(XQuery {
         document: document.to_string(),
         root: expr_to_step(expr),

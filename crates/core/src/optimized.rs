@@ -42,8 +42,12 @@ pub fn policy_ddl() -> Vec<String> {
          PRIMARY KEY (policy_id, statement_id, recipient), \
          FOREIGN KEY (policy_id, statement_id) REFERENCES statement (policy_id, statement_id))"
             .to_string(),
+        // `data_group_id` keeps the DATA-GROUP boundaries: APPEL's
+        // DATA-GROUP connectives are evaluated per group element, so a
+        // statement with two groups must not flatten into one row set.
         "CREATE TABLE data (policy_id INT NOT NULL, statement_id INT NOT NULL, \
-         data_id INT NOT NULL, ref VARCHAR NOT NULL, optional VARCHAR NOT NULL, \
+         data_group_id INT NOT NULL, data_id INT NOT NULL, \
+         ref VARCHAR NOT NULL, optional VARCHAR NOT NULL, \
          PRIMARY KEY (policy_id, statement_id, data_id), \
          FOREIGN KEY (policy_id, statement_id) REFERENCES statement (policy_id, statement_id))"
             .to_string(),
@@ -192,15 +196,17 @@ pub fn shred(db: &mut Database, policy_id: i64, policy: &Policy) -> Result<usize
             )?;
         }
         let mut data_id = 0i64;
-        for group in &stmt.data_groups {
+        for (gi, group) in stmt.data_groups.iter().enumerate() {
+            let data_group_id = gi as i64 + 1;
             for d in &group.data {
                 data_id += 1;
                 exec(
                     db,
-                    "INSERT INTO data VALUES (?, ?, ?, ?, ?)",
+                    "INSERT INTO data VALUES (?, ?, ?, ?, ?, ?)",
                     &[
                         Value::Int(policy_id),
                         Value::Int(statement_id),
+                        Value::Int(data_group_id),
                         Value::Int(data_id),
                         text(&d.reference),
                         text(if d.optional { "yes" } else { "no" }),

@@ -24,9 +24,8 @@ fn text(v: &Value) -> Option<String> {
 
 /// Rebuild the policy stored under `policy_id` from the optimized
 /// tables. The result is the *augmented* policy (categories expanded,
-/// set references accompanied by their leaves) with one DATA-GROUP per
-/// statement — group boundaries are not represented in the Figure 14
-/// schema.
+/// set references accompanied by their leaves), with the original
+/// DATA-GROUP boundaries restored from the `data_group_id` column.
 pub fn reconstruct_policy(db: &Database, policy_id: i64) -> Result<Policy, ServerError> {
     let head = db.query(&format!(
         "SELECT name, entity, access, discuri, opturi, lang FROM policy WHERE policy_id = {policy_id}"
@@ -124,19 +123,25 @@ pub fn reconstruct_policy(db: &Database, policy_id: i64) -> Result<Policy, Serve
             });
         }
         let data = db.query(&format!(
-            "SELECT data_id, ref, optional FROM data \
-             WHERE policy_id = {policy_id} AND statement_id = {statement_id} ORDER BY data_id"
+            "SELECT data_group_id, data_id, ref, optional FROM data \
+             WHERE policy_id = {policy_id} AND statement_id = {statement_id} \
+             ORDER BY data_group_id, data_id"
         ))?;
-        let mut group = DataGroup::default();
+        let mut current_group_id = None;
         for d in &data.rows {
-            let data_id = d[0].as_int().unwrap_or_default();
+            let group_id = d[0].as_int().unwrap_or_default();
+            let data_id = d[1].as_int().unwrap_or_default();
+            if current_group_id != Some(group_id) {
+                current_group_id = Some(group_id);
+                stmt.data_groups.push(DataGroup::default());
+            }
             let categories = db.query(&format!(
                 "SELECT category FROM category WHERE policy_id = {policy_id} \
                  AND statement_id = {statement_id} AND data_id = {data_id}"
             ))?;
-            group.data.push(DataRef {
-                reference: d[1].as_str().unwrap_or_default().to_string(),
-                optional: d[2].as_str() == Some("yes"),
+            stmt.data_groups.last_mut().unwrap().data.push(DataRef {
+                reference: d[2].as_str().unwrap_or_default().to_string(),
+                optional: d[3].as_str() == Some("yes"),
                 categories: categories
                     .rows
                     .iter()
@@ -144,9 +149,6 @@ pub fn reconstruct_policy(db: &Database, policy_id: i64) -> Result<Policy, Serve
                     .collect::<Result<_, _>>()
                     .map_err(ServerError::Policy)?,
             });
-        }
-        if !group.data.is_empty() {
-            stmt.data_groups.push(group);
         }
         policy.statements.push(stmt);
     }
@@ -247,10 +249,8 @@ mod tests {
             assert_eq!(r.recipients, e.recipients);
             assert_eq!(r.retention, e.retention);
             assert_eq!(r.consequence, e.consequence);
-            // Data is flattened into one group; same refs and categories.
-            let rd: Vec<_> = r.data_groups.iter().flat_map(|g| g.data.iter()).collect();
-            let ed: Vec<_> = e.data_groups.iter().flat_map(|g| g.data.iter()).collect();
-            assert_eq!(rd, ed);
+            // Group boundaries survive the round trip.
+            assert_eq!(r.data_groups, e.data_groups);
         }
     }
 

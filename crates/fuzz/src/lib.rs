@@ -1,0 +1,348 @@
+//! # p3p-fuzz — cross-engine differential fuzzing
+//!
+//! The paper's central claim (§5–6) is that translating APPEL into SQL
+//! preserves APPEL semantics. The suite checks that claim on the fixed
+//! workload corpus; this crate checks it on *arbitrary* inputs: seeded
+//! random policies and rulesets from [`p3p_workload::gen`] are
+//! installed into a [`PolicyServer`] and matched by every engine over
+//! every evaluation path — per-policy loop, set-at-a-time
+//! [`PolicyServer::match_corpus`], sharded
+//! [`MatchPool`](p3p_server::concurrent::MatchPool) — and under every
+//! optimization knob added since PR 2 (planner on/off, forced EXISTS
+//! decorrelation, snapshot clones). The native APPEL engine is the
+//! reference; any verdict disagreement is a [`Divergence`].
+//!
+//! Engines may *decline* a case: exact connectives on structural
+//! elements translate to a typed [`ServerError::Unsupported`], and the
+//! XTABLE stand-in keeps the paper's complexity hole. Declining is
+//! fine — answering differently is not. Any other error is reported as
+//! a divergence.
+//!
+//! On divergence, [`shrink::shrink`] greedily deletes policies,
+//! statements, rules, and pattern nodes while the divergence still
+//! reproduces, and [`shrink::emit_repro`] renders the minimal case as
+//! a ready-to-paste regression test (see `tests/fuzz_regressions.rs`
+//! at the workspace root, which consumes [`assert_no_divergence`] —
+//! the same entry point the emitted test calls).
+
+pub mod metamorphic;
+pub mod shrink;
+
+use p3p_appel::{Ruleset, Verdict};
+use p3p_policy::Policy;
+use p3p_server::concurrent::{MatchPool, SharedServer};
+use p3p_server::{EngineKind, PolicyServer, ServerError, Target};
+use p3p_workload::gen::{self, GenConfig};
+use p3p_workload::rng::SmallRng;
+
+/// One generated input: a policy corpus plus a preference ruleset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    pub policies: Vec<Policy>,
+    pub ruleset: Ruleset,
+}
+
+/// Generate the case for `seed`. The same seed always produces the
+/// same case, on every platform — that is what makes a CI failure
+/// replayable with `cargo run -p p3p-fuzz -- --seed <seed> --cases 1`.
+pub fn gen_case(seed: u64) -> FuzzCase {
+    let cfg = GenConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range_inclusive(1, 4);
+    FuzzCase {
+        policies: gen::gen_corpus(&mut rng, n, &cfg),
+        ruleset: gen::gen_ruleset(&mut rng, &cfg),
+    }
+}
+
+/// One disagreement between an evaluation path and the native
+/// reference (or a non-`Unsupported` engine error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which engine/path/knob produced the wrong answer, e.g.
+    /// `sql/bulk` or `sql_generic/loop planner-off`.
+    pub path: String,
+    /// The policy whose verdict disagreed (empty for whole-path
+    /// errors).
+    pub policy: String,
+    /// The native reference verdict.
+    pub expected: String,
+    /// What the path answered instead.
+    pub actual: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] policy `{}`: expected {}, got {}",
+            self.path, self.policy, self.expected, self.actual
+        )
+    }
+}
+
+/// The outcome of running one case through the oracle.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// Evaluation paths whose verdicts were compared to the reference.
+    pub paths_compared: usize,
+    /// Paths skipped because the engine declined with a typed
+    /// `Unsupported` (exactness holes, XTABLE complexity limit).
+    pub paths_unsupported: usize,
+    /// All disagreements found.
+    pub divergences: Vec<Divergence>,
+}
+
+impl CaseReport {
+    fn verdicts_match(
+        &mut self,
+        path: &str,
+        reference: &[(String, Verdict)],
+        result: Result<Vec<(String, Verdict)>, ServerError>,
+    ) {
+        match result {
+            Ok(actual) => {
+                self.paths_compared += 1;
+                if actual.len() != reference.len() {
+                    self.divergences.push(Divergence {
+                        path: path.to_string(),
+                        policy: String::new(),
+                        expected: format!("{} verdicts", reference.len()),
+                        actual: format!("{} verdicts", actual.len()),
+                    });
+                    return;
+                }
+                for ((name, want), (got_name, got)) in reference.iter().zip(&actual) {
+                    if name != got_name || want != got {
+                        self.divergences.push(Divergence {
+                            path: path.to_string(),
+                            policy: name.clone(),
+                            expected: format!("{want:?}"),
+                            actual: format!("{got_name}: {got:?}"),
+                        });
+                    }
+                }
+            }
+            Err(ServerError::Unsupported(_)) => self.paths_unsupported += 1,
+            Err(e) => self.divergences.push(Divergence {
+                path: path.to_string(),
+                policy: String::new(),
+                expected: "a verdict or a typed Unsupported".to_string(),
+                actual: format!("error: {e}"),
+            }),
+        }
+    }
+}
+
+/// Per-policy loop verdicts in name order — the shape
+/// [`PolicyServer::match_corpus`] returns, so both paths compare
+/// directly.
+fn loop_verdicts(
+    server: &PolicyServer,
+    ruleset: &Ruleset,
+    engine: EngineKind,
+    names: &[String],
+) -> Result<Vec<(String, Verdict)>, ServerError> {
+    names
+        .iter()
+        .map(|n| {
+            server
+                .match_preference_snapshot(ruleset, Target::Policy(n), engine)
+                .map(|o| (n.clone(), o.verdict))
+        })
+        .collect()
+}
+
+/// Run the full oracle on one case: install the policies once, take
+/// the native per-policy loop as the reference, then compare every
+/// engine over the loop, bulk, and sharded paths, plus the
+/// planner-off, forced-decorrelation, and snapshot-clone knob
+/// variants for the SQL engines.
+pub fn check_case(case: &FuzzCase) -> CaseReport {
+    let mut server = PolicyServer::new();
+    for p in &case.policies {
+        server
+            .install_policy(p)
+            .unwrap_or_else(|e| panic!("generated policy `{}` failed to install: {e}", p.name));
+    }
+    let names = server.policy_names();
+    let reference = loop_verdicts(&server, &case.ruleset, EngineKind::Native, &names)
+        .expect("the native engine evaluates every generated case");
+
+    let mut report = CaseReport::default();
+    // The native loop IS the reference; count it as a compared path so
+    // totals reflect the whole matrix.
+    report.paths_compared += 1;
+
+    for &engine in EngineKind::ALL {
+        let label = engine.metric_label();
+        if engine != EngineKind::Native {
+            report.verdicts_match(
+                &format!("{label}/loop"),
+                &reference,
+                loop_verdicts(&server, &case.ruleset, engine, &names),
+            );
+        }
+        report.verdicts_match(
+            &format!("{label}/bulk"),
+            &reference,
+            server.match_corpus(&case.ruleset, engine),
+        );
+    }
+
+    // Sharded corpus sweep off a shared snapshot (three shards so
+    // shard-boundary reassembly is actually exercised).
+    let pool = MatchPool::new(&SharedServer::new(server.clone_state()));
+    for &engine in &[EngineKind::Native, EngineKind::Sql, EngineKind::SqlGeneric] {
+        report.verdicts_match(
+            &format!("{}/sharded", engine.metric_label()),
+            &reference,
+            pool.match_corpus(&case.ruleset, engine, 3),
+        );
+    }
+
+    // Knob: cost-based join planner off. The plan changes; the rows —
+    // and therefore the verdicts — must not.
+    let mut planner_off = server.clone_state();
+    planner_off.database_mut().set_use_planner(false);
+    for &engine in &[EngineKind::Sql, EngineKind::SqlGeneric] {
+        report.verdicts_match(
+            &format!("{}/loop planner-off", engine.metric_label()),
+            &reference,
+            loop_verdicts(&planner_off, &case.ruleset, engine, &names),
+        );
+    }
+
+    // Knob: EXISTS decorrelation forced on (threshold 0) and pinned
+    // off (threshold MAX). Both extremes must answer like the
+    // adaptive default.
+    for (threshold, tag) in [(Some(0), "decorrelate"), (Some(u32::MAX), "nested-loop")] {
+        p3p_minidb::exec::set_decorrelate_after(threshold);
+        for &engine in &[EngineKind::Sql, EngineKind::SqlGeneric] {
+            report.verdicts_match(
+                &format!("{}/bulk {tag}", engine.metric_label()),
+                &reference,
+                server.match_corpus(&case.ruleset, engine),
+            );
+        }
+        p3p_minidb::exec::set_decorrelate_after(None);
+    }
+
+    // Knob: a COW snapshot clone must answer exactly like the server
+    // it was cloned from.
+    let snapshot = server.clone_state();
+    for &engine in &[EngineKind::Native, EngineKind::Sql, EngineKind::SqlGeneric] {
+        report.verdicts_match(
+            &format!("{}/loop snapshot", engine.metric_label()),
+            &reference,
+            loop_verdicts(&snapshot, &case.ruleset, engine, &names),
+        );
+    }
+
+    report
+}
+
+/// Aggregate statistics over a fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub cases: usize,
+    pub paths_compared: usize,
+    pub paths_unsupported: usize,
+    pub divergences: usize,
+    pub metamorphic_queries: usize,
+    pub metamorphic_mismatches: usize,
+}
+
+/// Run `cases` seeded cases starting at `seed` (case *i* uses seed
+/// `seed + i`). Every `metamorphic_every`-th case additionally runs
+/// the minidb row-identity checks (0 disables them). Returns the
+/// aggregate stats and, when a verdict divergence was found, the first
+/// offending case and its report.
+pub fn run(
+    seed: u64,
+    cases: usize,
+    metamorphic_every: usize,
+) -> (RunStats, Option<(FuzzCase, CaseReport)>) {
+    let mut stats = RunStats::default();
+    let mut failure = None;
+    for i in 0..cases {
+        let case = gen_case(seed + i as u64);
+        let report = check_case(&case);
+        stats.cases += 1;
+        stats.paths_compared += report.paths_compared;
+        stats.paths_unsupported += report.paths_unsupported;
+        stats.divergences += report.divergences.len();
+        if !report.divergences.is_empty() && failure.is_none() {
+            failure = Some((case.clone(), report));
+        }
+        if metamorphic_every > 0 && i % metamorphic_every == 0 {
+            let meta = metamorphic::check_minidb(&case);
+            stats.metamorphic_queries += meta.queries;
+            stats.metamorphic_mismatches += meta.mismatches.len();
+        }
+    }
+    (stats, failure)
+}
+
+/// The entry point shrunk repros call (see `tests/fuzz_regressions.rs`
+/// at the workspace root): parse the given policy and ruleset XML,
+/// run the full oracle, and panic with every divergence if any path
+/// disagrees with the native reference.
+pub fn assert_no_divergence(policy_xmls: &[&str], ruleset_xml: &str) {
+    let policies: Vec<Policy> = policy_xmls
+        .iter()
+        .map(|x| Policy::parse(x).expect("repro policy XML must parse"))
+        .collect();
+    let ruleset = Ruleset::parse(ruleset_xml).expect("repro ruleset XML must parse");
+    let case = FuzzCase { policies, ruleset };
+    let report = check_case(&case);
+    assert!(
+        report.divergences.is_empty(),
+        "cross-engine divergence:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_cases_have_no_divergence() {
+        let (stats, failure) = run(42, 25, 5);
+        assert_eq!(stats.cases, 25);
+        assert!(stats.paths_compared > 25, "oracle must compare many paths");
+        if let Some((case, report)) = failure {
+            panic!(
+                "divergences:\n{}\nrepro:\n{}",
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| format!("  {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                shrink::emit_repro(&case, "seed unknown")
+            );
+        }
+        assert_eq!(stats.metamorphic_mismatches, 0);
+    }
+
+    #[test]
+    fn gen_case_is_deterministic() {
+        assert_eq!(gen_case(7), gen_case(7));
+        assert_ne!(gen_case(7), gen_case(8));
+    }
+
+    #[test]
+    fn jane_volga_case_agrees_everywhere() {
+        assert_no_divergence(
+            &[&p3p_policy::model::volga_policy().to_xml()],
+            &p3p_appel::model::jane_preference().to_xml(),
+        );
+    }
+}

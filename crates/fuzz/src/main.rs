@@ -1,0 +1,118 @@
+//! The fuzzing CLI.
+//!
+//! ```text
+//! cargo run --release -p p3p-fuzz -- --seed 42 --cases 1000
+//! ```
+//!
+//! Runs `--cases` seeded differential cases (case *i* uses seed
+//! `--seed + i`): every engine × evaluation-path × knob combination
+//! must agree with the native APPEL reference, and periodic
+//! metamorphic minidb passes must be row-identical under every
+//! execution knob. On divergence the counterexample is shrunk and
+//! printed as a ready-to-paste regression test for
+//! `tests/fuzz_regressions.rs`, and the process exits non-zero.
+//!
+//! The `P3P_FUZZ_CASES` environment variable overrides `--cases` —
+//! that is how `scripts/check.sh` bounds its smoke run.
+
+use p3p_fuzz::{check_case, gen_case, run, shrink};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 42;
+    let mut cases: usize = 200;
+    let mut metamorphic_every: usize = 10;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                seed = value(i).parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            "--cases" => {
+                cases = value(i).parse().expect("--cases takes a count");
+                i += 2;
+            }
+            "--metamorphic-every" => {
+                metamorphic_every = value(i).parse().expect("--metamorphic-every takes a count");
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: p3p-fuzz [--seed N] [--cases N] [--metamorphic-every N]\n\
+                     env: P3P_FUZZ_CASES overrides --cases"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Ok(env_cases) = std::env::var("P3P_FUZZ_CASES") {
+        cases = env_cases
+            .parse()
+            .expect("P3P_FUZZ_CASES must be a case count");
+    }
+
+    println!("fuzzing {cases} cases from seed {seed} ...");
+    let (stats, failure) = run(seed, cases, metamorphic_every);
+    println!(
+        "cases: {}  paths compared: {}  unsupported (skipped): {}  \
+         metamorphic queries: {}",
+        stats.cases, stats.paths_compared, stats.paths_unsupported, stats.metamorphic_queries
+    );
+
+    let mut failed = false;
+    if stats.metamorphic_mismatches > 0 {
+        eprintln!(
+            "FAIL: {} metamorphic row mismatches",
+            stats.metamorphic_mismatches
+        );
+        failed = true;
+    }
+    if let Some((case, report)) = failure {
+        eprintln!(
+            "FAIL: {} verdict divergences, first case:",
+            stats.divergences
+        );
+        for d in &report.divergences {
+            eprintln!("  {d}");
+        }
+        // Locate the case's seed for provenance (it is one of ours).
+        let case_seed = (seed..seed + cases as u64)
+            .find(|s| gen_case(*s) == case)
+            .map(|s| format!("seed {s}"))
+            .unwrap_or_else(|| "seed unknown".to_string());
+        eprintln!("shrinking ...");
+        let shrunk = shrink::shrink(&case, |c| !check_case(c).divergences.is_empty());
+        let path = report
+            .divergences
+            .first()
+            .map(|d| d.path.clone())
+            .unwrap_or_default();
+        eprintln!(
+            "minimal repro ({} policies, {} statements, {} rules) — paste into \
+             tests/fuzz_regressions.rs:\n\n{}",
+            shrunk.policies.len(),
+            shrink::statement_count(&shrunk),
+            shrunk.ruleset.rules.len(),
+            shrink::emit_repro(&shrunk, &format!("{case_seed}, diverging path {path}"))
+        );
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("no divergences.");
+        ExitCode::SUCCESS
+    }
+}

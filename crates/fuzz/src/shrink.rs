@@ -1,0 +1,266 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a failing [`FuzzCase`] and a predicate that tells whether a
+//! candidate still fails, [`shrink`] repeatedly applies the smallest
+//! useful deletions — drop a policy, a statement, a rule, a pattern
+//! subtree, an attribute constraint — keeping a deletion only when the
+//! shrunk case is still structurally valid *and* still reproduces the
+//! failure. The loop restarts after every accepted deletion and stops
+//! at a fixpoint, so the result is 1-minimal with respect to the
+//! deletion operators: removing any single remaining part makes the
+//! failure vanish.
+//!
+//! [`emit_repro`] then renders the minimal case as a ready-to-paste
+//! `#[test]` calling [`crate::assert_no_divergence`], the format
+//! `tests/fuzz_regressions.rs` checks in permanently.
+
+use crate::FuzzCase;
+use p3p_appel::Expr;
+use p3p_policy::validate;
+
+/// Is a candidate still well-formed enough to feed the oracle? The
+/// oracle installs policies, so every policy must stay valid, and an
+/// empty corpus or ruleset compares nothing.
+fn is_viable(case: &FuzzCase) -> bool {
+    !case.policies.is_empty()
+        && !case.ruleset.rules.is_empty()
+        && case.policies.iter().all(|p| validate::check(p).is_ok())
+}
+
+/// Shrink `case` while `reproduces` holds. `reproduces` is typically
+/// `|c| !check_case(c).divergences.is_empty()`, but any predicate
+/// works — which is also how the shrinker itself is tested without a
+/// live engine bug.
+pub fn shrink(case: &FuzzCase, reproduces: impl Fn(&FuzzCase) -> bool) -> FuzzCase {
+    let mut current = case.clone();
+    'restart: loop {
+        for candidate in candidates(&current) {
+            if is_viable(&candidate) && reproduces(&candidate) {
+                current = candidate;
+                continue 'restart;
+            }
+        }
+        return current;
+    }
+}
+
+/// Every case reachable from `case` by one deletion, in the order the
+/// greedy loop tries them: coarse deletions (whole policies, whole
+/// rules) first so the case collapses fast, fine-grained ones after.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    // Drop a whole policy.
+    for i in 0..case.policies.len() {
+        let mut c = case.clone();
+        c.policies.remove(i);
+        out.push(c);
+    }
+    // Drop a whole rule.
+    for i in 0..case.ruleset.rules.len() {
+        let mut c = case.clone();
+        c.ruleset.rules.remove(i);
+        out.push(c);
+    }
+    // Drop a statement.
+    for (pi, p) in case.policies.iter().enumerate() {
+        for si in 0..p.statements.len() {
+            let mut c = case.clone();
+            c.policies[pi].statements.remove(si);
+            out.push(c);
+        }
+    }
+    // Thin a statement: drop one purpose / recipient / data group /
+    // data ref / explicit category.
+    for (pi, p) in case.policies.iter().enumerate() {
+        for (si, s) in p.statements.iter().enumerate() {
+            for f in 0..s.purposes.len() {
+                let mut c = case.clone();
+                c.policies[pi].statements[si].purposes.remove(f);
+                out.push(c);
+            }
+            for f in 0..s.recipients.len() {
+                let mut c = case.clone();
+                c.policies[pi].statements[si].recipients.remove(f);
+                out.push(c);
+            }
+            for (gi, g) in s.data_groups.iter().enumerate() {
+                let mut c = case.clone();
+                c.policies[pi].statements[si].data_groups.remove(gi);
+                out.push(c);
+                for di in 0..g.data.len() {
+                    let mut c = case.clone();
+                    c.policies[pi].statements[si].data_groups[gi]
+                        .data
+                        .remove(di);
+                    out.push(c);
+                    for ci in 0..g.data[di].categories.len() {
+                        let mut c = case.clone();
+                        c.policies[pi].statements[si].data_groups[gi].data[di]
+                            .categories
+                            .remove(ci);
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+    // Thin a rule's pattern: drop one expression node (anywhere in the
+    // tree) or one attribute constraint.
+    for (ri, r) in case.ruleset.rules.iter().enumerate() {
+        for ei in 0..r.pattern.len() {
+            let mut c = case.clone();
+            c.ruleset.rules[ri].pattern.remove(ei);
+            out.push(c);
+            for variant in expr_deletions(&r.pattern[ei]) {
+                let mut c = case.clone();
+                c.ruleset.rules[ri].pattern[ei] = variant;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Every expression reachable from `expr` by deleting one descendant
+/// node or one attribute somewhere in its subtree.
+fn expr_deletions(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for i in 0..expr.children.len() {
+        let mut e = expr.clone();
+        e.children.remove(i);
+        out.push(e);
+        for variant in expr_deletions(&expr.children[i]) {
+            let mut e = expr.clone();
+            e.children[i] = variant;
+            out.push(e);
+        }
+    }
+    for i in 0..expr.attributes.len() {
+        let mut e = expr.clone();
+        e.attributes.remove(i);
+        out.push(e);
+    }
+    out
+}
+
+/// Render a shrunk case as a ready-to-paste regression test.
+/// `provenance` goes into the doc comment (typically the seed and the
+/// diverging path) so the test records where it came from.
+pub fn emit_repro(case: &FuzzCase, provenance: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("/// Shrunk by the fuzzer: {provenance}.\n"));
+    out.push_str("#[test]\nfn shrunk_divergence() {\n");
+    out.push_str("    p3p_fuzz::assert_no_divergence(\n        &[\n");
+    // Double-hash raw strings: the XML is full of `ref="#..."`, whose
+    // `"#` sequence would terminate a plain `r#"..."#` literal.
+    for p in &case.policies {
+        out.push_str(&format!("            r##\"{}\"##,\n", p.to_xml()));
+    }
+    out.push_str("        ],\n");
+    out.push_str(&format!("        r##\"{}\"##,\n", case.ruleset.to_xml()));
+    out.push_str("    );\n}\n");
+    out
+}
+
+/// Total statements across the case — the size the acceptance
+/// criterion bounds.
+pub fn statement_count(case: &FuzzCase) -> usize {
+    case.policies.iter().map(|p| p.statements.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen_case;
+    use p3p_appel::Ruleset;
+    use p3p_policy::vocab::Purpose;
+    use p3p_policy::Policy;
+
+    /// The injected fault: "the engine answers wrongly whenever some
+    /// installed policy declares the `telemarketing` purpose and some
+    /// rule pattern mentions a PURPOSE element". The shrinker knows
+    /// nothing about this structure — it only gets the predicate —
+    /// yet must collapse a many-policy, many-rule case to the minimal
+    /// core: one policy, one statement, one rule.
+    fn injected_fault(case: &FuzzCase) -> bool {
+        fn mentions_purpose(e: &Expr) -> bool {
+            e.name.local == "PURPOSE" || e.children.iter().any(mentions_purpose)
+        }
+        case.policies.iter().any(|p| {
+            p.statements.iter().any(|s| {
+                s.purposes
+                    .iter()
+                    .any(|u| u.purpose == Purpose::Telemarketing)
+            })
+        }) && case
+            .ruleset
+            .rules
+            .iter()
+            .any(|r| r.pattern.iter().any(mentions_purpose))
+    }
+
+    #[test]
+    fn shrinker_reduces_injected_fault_to_minimal_core() {
+        // Scan seeds for a reasonably large case exhibiting the fault,
+        // so the shrinker has real work to do.
+        let case = (0..200)
+            .map(gen_case)
+            .find(|c| injected_fault(c) && (c.policies.len() >= 2 || statement_count(c) >= 3))
+            .expect("some generated case triggers the injected fault");
+        let shrunk = shrink(&case, injected_fault);
+
+        assert!(injected_fault(&shrunk), "shrinking must preserve the fault");
+        assert!(is_viable(&shrunk), "shrunk case must stay valid");
+        // The acceptance bound: at most 3 statements / 3 rules. The
+        // greedy loop actually reaches the 1/1/1 minimum here.
+        assert!(
+            statement_count(&shrunk) <= 3,
+            "{}",
+            statement_count(&shrunk)
+        );
+        assert!(
+            shrunk.ruleset.rules.len() <= 3,
+            "{}",
+            shrunk.ruleset.rules.len()
+        );
+        assert_eq!(shrunk.policies.len(), 1);
+        assert_eq!(statement_count(&shrunk), 1);
+        assert_eq!(shrunk.ruleset.rules.len(), 1);
+    }
+
+    #[test]
+    fn emitted_repro_round_trips_through_the_xml_parsers() {
+        let case = gen_case(3);
+        let text = emit_repro(&case, "seed 3, path sql/bulk");
+        assert!(text.contains("assert_no_divergence"));
+        assert!(text.contains("#[test]"));
+        // The embedded raw strings must not be cut short by the XML's
+        // own `ref="#..."` attributes: every literal the repro opens
+        // with `r##"` must close with `"##`, and the XML itself never
+        // contains that closer.
+        assert_eq!(
+            text.matches("r##\"").count(),
+            case.policies.len() + 1,
+            "{text}"
+        );
+        assert_eq!(text.matches("\"##").count(), case.policies.len() + 1);
+        // The XML embedded in the repro must parse back to the case.
+        for p in &case.policies {
+            assert!(!p.to_xml().contains("\"##"));
+            assert_eq!(Policy::parse(&p.to_xml()).unwrap(), *p);
+        }
+        assert_eq!(
+            Ruleset::parse(&case.ruleset.to_xml()).unwrap(),
+            case.ruleset
+        );
+    }
+
+    #[test]
+    fn shrink_is_identity_when_nothing_smaller_reproduces() {
+        let case = gen_case(11);
+        // A predicate matching only the exact original case.
+        let original = case.clone();
+        let shrunk = shrink(&case, |c| *c == original);
+        assert_eq!(shrunk, case);
+    }
+}

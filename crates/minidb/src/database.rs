@@ -1292,6 +1292,86 @@ mod tests {
     }
 
     #[test]
+    fn forced_threshold_pins_both_exists_strategies() {
+        // The two extremes of the knob: 0 decorrelates on the second
+        // evaluation, MAX never decorrelates. Both must be observable
+        // through the stats, and both must answer identically.
+        let db = corpus_db(30);
+        let sql = "SELECT p.policy_id FROM policy p WHERE EXISTS (\
+                     SELECT * FROM purpose pu WHERE pu.policy_id = p.policy_id \
+                       AND pu.purpose = 'current') ORDER BY p.policy_id";
+        exec::set_decorrelate_after(Some(0));
+        exec::take_stats();
+        let decorrelated = db.query(sql).unwrap();
+        let forced = exec::take_stats();
+        assert_eq!(forced.exists_builds, 1, "{forced:?}");
+        exec::set_decorrelate_after(Some(u32::MAX));
+        let nested = db.query(sql).unwrap();
+        let pinned = exec::take_stats();
+        assert_eq!(pinned.exists_builds, 0, "{pinned:?}");
+        assert_eq!(pinned.exists_probes, 0, "{pinned:?}");
+        exec::set_decorrelate_after(None);
+        assert_eq!(decorrelated, nested);
+    }
+
+    #[test]
+    fn null_correlation_keys_metamorphic_under_forced_threshold() {
+        // Random-ish data with NULLs sprinkled into the correlation
+        // column on both sides: the decorrelated hash probe (NULL keys
+        // skipped at build, NULL probes answer false) and the nested
+        // loop (NULL = NULL is unknown) must answer row-identically.
+        let mut db = Database::new();
+        db.execute("CREATE TABLE outer_t (id INT NOT NULL, k VARCHAR, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute("CREATE TABLE inner_t (k VARCHAR, flag INT)")
+            .unwrap();
+        let mut state = 0x9e37u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 1..=40 {
+            let k = match next() % 4 {
+                0 => "NULL".to_string(),
+                v => format!("'k{v}'"),
+            };
+            db.execute(&format!("INSERT INTO outer_t VALUES ({i}, {k})"))
+                .unwrap();
+        }
+        for _ in 0..25 {
+            let k = match next() % 5 {
+                0 | 1 => "NULL".to_string(),
+                v => format!("'k{}'", v % 4),
+            };
+            let flag = next() % 2;
+            db.execute(&format!("INSERT INTO inner_t VALUES ({k}, {flag})"))
+                .unwrap();
+        }
+        for sql in [
+            // Plain correlated EXISTS over a nullable key.
+            "SELECT o.id FROM outer_t o WHERE EXISTS (\
+               SELECT * FROM inner_t i WHERE i.k = o.k) ORDER BY o.id",
+            // With an outer-free residual predicate, which the
+            // decorrelation splits off into the build-side filter.
+            "SELECT o.id FROM outer_t o WHERE EXISTS (\
+               SELECT * FROM inner_t i WHERE i.k = o.k AND i.flag = 1) ORDER BY o.id",
+        ] {
+            exec::set_decorrelate_after(Some(0));
+            exec::take_stats();
+            let hashed = db.query(sql).unwrap();
+            assert_eq!(exec::take_stats().exists_builds, 1, "{sql}");
+            exec::set_decorrelate_after(Some(u32::MAX));
+            let looped = db.query(sql).unwrap();
+            assert_eq!(exec::take_stats().exists_builds, 0, "{sql}");
+            exec::set_decorrelate_after(None);
+            assert_eq!(hashed, looped, "{sql}");
+            assert!(!hashed.rows.is_empty(), "degenerate data for {sql}");
+        }
+    }
+
+    #[test]
     fn decorrelated_nested_exists_agrees_with_per_policy_loop() {
         let db = corpus_db(30);
         exec::take_stats();

@@ -104,6 +104,27 @@ struct Binding {
 /// set-at-a-time corpus queries cross it on their first scan.
 const DECORRELATE_AFTER: u32 = 8;
 
+thread_local! {
+    static DECORRELATE_OVERRIDE: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// Override the adaptive-decorrelation threshold for this thread.
+/// `Some(0)` decorrelates every eligible EXISTS on its second
+/// evaluation; `Some(u32::MAX)` pins the correlated nested loop;
+/// `None` restores the built-in [`DECORRELATE_AFTER`] default. The
+/// metamorphic differential tests use the two extremes to force both
+/// execution strategies over identical data.
+pub fn set_decorrelate_after(threshold: Option<u32>) {
+    DECORRELATE_OVERRIDE.with(|t| t.set(threshold));
+}
+
+/// The decorrelation threshold in effect on this thread.
+pub fn decorrelate_after() -> u32 {
+    DECORRELATE_OVERRIDE
+        .with(|t| t.get())
+        .unwrap_or(DECORRELATE_AFTER)
+}
+
 /// Adaptive decorrelation state plus join-planning state, one per
 /// statement execution.
 ///
@@ -1207,7 +1228,7 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
             Entry::Occupied(mut o) => match o.get_mut() {
                 MemoState::Counting(n) => {
                     *n += 1;
-                    if *n > DECORRELATE_AFTER {
+                    if *n > decorrelate_after() {
                         Action::Build
                     } else {
                         Action::Correlated

@@ -93,6 +93,12 @@ fn validate_statement(stmt: &Statement) -> Vec<Violation> {
         }
     }
     for group in &stmt.data_groups {
+        // P3P 1.0 DTD: `<!ELEMENT DATA-GROUP (DATA+)>`. An empty group
+        // is also unrepresentable in the optimized schema, where a
+        // DATA-GROUP's existence is witnessed only by its data rows.
+        if group.data.is_empty() {
+            push("DATA-GROUP must contain at least one DATA element".to_string());
+        }
         for d in &group.data {
             let in_base = !group.base.as_deref().is_none_or(str::is_empty);
             // Only references into the base schema (base attribute absent)

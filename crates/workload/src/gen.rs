@@ -1,0 +1,406 @@
+//! Seeded random generators for differential fuzzing.
+//!
+//! The fixed 29-policy corpus of [`crate::policies`] reproduces the
+//! paper's published statistics, but a differential oracle needs inputs
+//! far beyond that corpus: arbitrary statement counts, every vocabulary
+//! member, required-attribute variation, nested DATA-GROUPs with
+//! explicit categories, and APPEL patterns exercising all six
+//! connectives including the `*-exact` constructs. This module grows
+//! such inputs from a [`SmallRng`] stream: the same seed always yields
+//! the same policy/ruleset pair, which is what lets a fuzz failure be
+//! replayed and shrunk.
+//!
+//! Everything generated here is *valid*: policies satisfy
+//! [`p3p_policy::validate::check`], and rulesets stay inside the APPEL
+//! grammar the engines accept. Patterns may still be *untranslatable*
+//! (e.g. an exact connective on a structural element) — that is
+//! deliberate, so the oracle also exercises the typed
+//! `ServerError::Unsupported` path instead of only the happy path.
+
+use crate::rng::SmallRng;
+use p3p_appel::model::{Behavior, Connective, Expr, Rule, Ruleset};
+use p3p_policy::model::{DataGroup, DataRef, Entity, Policy, PurposeUse, RecipientUse, Statement};
+use p3p_policy::vocab::{Access, Category, Purpose, Recipient, Required, Retention};
+
+/// Data references drawn by the generators: a mix of base-schema leaves
+/// and interior set nodes (sets exercise the shred-time leaf expansion),
+/// plus the variable-category elements `dynamic.miscdata` and
+/// `dynamic.cookies` that carry explicit CATEGORIES.
+pub const DATA_REF_POOL: &[&str] = &[
+    "user.name",
+    "user.name.given",
+    "user.name.family",
+    "user.bdate",
+    "user.gender",
+    "user.login.id",
+    "user.home-info.postal",
+    "user.home-info.postal.street",
+    "user.home-info.telecom.telephone",
+    "user.home-info.online.email",
+    "user.home-info.online.uri",
+    "user.business-info.postal.city",
+    "user.business-info.online.email",
+    "thirdparty.name",
+    "thirdparty.home-info.postal.city",
+    "business.name",
+    "dynamic.clickstream",
+    "dynamic.http.referer",
+    "dynamic.cookies",
+    "dynamic.searchtext",
+    "dynamic.miscdata",
+];
+
+/// Knobs bounding the generated shapes. The defaults are sized so a
+/// single case is cheap to evaluate across every engine while still
+/// covering the interesting grammar (multi-statement policies,
+/// multi-rule sets, nested CATEGORIES patterns, exactness).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum STATEMENTs per policy (minimum is 1).
+    pub max_statements: usize,
+    /// Maximum rules per ruleset before the optional OTHERWISE.
+    pub max_rules: usize,
+    /// Probability that a vocabulary container uses an exact connective.
+    pub exact_prob: f64,
+    /// Probability that a structural element (POLICY/STATEMENT/…) or the
+    /// rule itself uses an exact connective — untranslatable on the SQL
+    /// engines, which must fail with a typed `Unsupported`, never with a
+    /// wrong verdict.
+    pub structural_exact_prob: f64,
+    /// Probability that a ruleset ends in an OTHERWISE fallback rule.
+    pub otherwise_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_statements: 4,
+            max_rules: 4,
+            exact_prob: 0.15,
+            structural_exact_prob: 0.04,
+            otherwise_prob: 0.7,
+        }
+    }
+}
+
+// --- policies -----------------------------------------------------------
+
+/// Generate one valid policy named `name`.
+pub fn gen_policy(rng: &mut SmallRng, name: &str, cfg: &GenConfig) -> Policy {
+    let mut policy = Policy::new(name);
+    if rng.gen_bool(0.6) {
+        policy.discuri = Some(format!("http://{name}.example.com/privacy.html"));
+    }
+    if rng.gen_bool(0.5) {
+        policy.access = Some(*rng.pick(Access::ALL));
+    }
+    if rng.gen_bool(0.4) {
+        policy.entity = Some(Entity::named(format!("{name} Inc.")));
+    }
+    let n = rng.gen_range_inclusive(1, cfg.max_statements.max(1));
+    for _ in 0..n {
+        policy.statements.push(gen_statement(rng));
+    }
+    policy
+}
+
+/// Generate `n` policies named `fuzz-p000`, `fuzz-p001`, …
+pub fn gen_corpus(rng: &mut SmallRng, n: usize, cfg: &GenConfig) -> Vec<Policy> {
+    (0..n)
+        .map(|i| gen_policy(rng, &format!("fuzz-p{i:03}"), cfg))
+        .collect()
+}
+
+fn gen_statement(rng: &mut SmallRng) -> Statement {
+    // A small fraction of statements cover non-identifiable data, which
+    // is the one case P3P lets purposes/recipients/retention be absent.
+    let mut stmt = Statement {
+        non_identifiable: rng.gen_bool(0.06),
+        ..Statement::default()
+    };
+    if !stmt.non_identifiable || rng.gen_bool(0.5) {
+        for p in distinct(rng, Purpose::ALL, 1, 4) {
+            stmt.purposes.push(PurposeUse {
+                purpose: p,
+                required: gen_required(rng),
+            });
+        }
+        for r in distinct(rng, Recipient::ALL, 1, 3) {
+            stmt.recipients.push(RecipientUse {
+                recipient: r,
+                required: gen_required(rng),
+            });
+        }
+        stmt.retention.push(*rng.pick(Retention::ALL));
+    }
+    if rng.gen_bool(0.3) {
+        stmt.consequence = Some("Generated statement consequence.".to_string());
+    }
+    for _ in 0..rng.gen_range_inclusive(1, 2) {
+        let mut group = DataGroup::default();
+        for reference in distinct(rng, DATA_REF_POOL, 1, 3) {
+            let mut d = DataRef::new(reference);
+            if rng.gen_bool(0.25) {
+                d = d.optional();
+            }
+            // Variable-category elements usually declare categories;
+            // fixed elements occasionally add an extra one on top of
+            // what the base schema fixes (both are legal P3P).
+            let wants_cats = if reference.starts_with("dynamic.misc")
+                || reference.starts_with("dynamic.cookies")
+            {
+                rng.gen_bool(0.85)
+            } else {
+                rng.gen_bool(0.15)
+            };
+            if wants_cats {
+                d = d.with_categories(distinct(rng, Category::ALL, 1, 3));
+            }
+            group.data.push(d);
+        }
+        stmt.data_groups.push(group);
+    }
+    stmt
+}
+
+fn gen_required(rng: &mut SmallRng) -> Required {
+    if rng.gen_bool(0.65) {
+        Required::Always
+    } else {
+        *rng.pick(&[Required::OptIn, Required::OptOut])
+    }
+}
+
+/// A uniformly chosen subset of `pool` with `lo..=hi` distinct members,
+/// in a shuffled order.
+fn distinct<T: Copy>(rng: &mut SmallRng, pool: &[T], lo: usize, hi: usize) -> Vec<T> {
+    let k = rng.gen_range_inclusive(lo, hi.min(pool.len()));
+    let mut items: Vec<T> = pool.to_vec();
+    rng.shuffle(&mut items);
+    items.truncate(k);
+    items
+}
+
+// --- rulesets -----------------------------------------------------------
+
+/// Generate a ruleset: 1..=`max_rules` pattern rules, optionally closed
+/// by an OTHERWISE fallback. All six connectives, the three standard
+/// behaviors, required/ref/optional attribute constraints, and nested
+/// DATA → CATEGORIES patterns are reachable.
+pub fn gen_ruleset(rng: &mut SmallRng, cfg: &GenConfig) -> Ruleset {
+    let n = rng.gen_range_inclusive(1, cfg.max_rules.max(1));
+    let mut rules: Vec<Rule> = (0..n).map(|_| gen_rule(rng, cfg)).collect();
+    if rng.gen_bool(cfg.otherwise_prob) {
+        let mut fallback =
+            Rule::unconditional(rng.pick(&[Behavior::Request, Behavior::Limited]).clone());
+        fallback.otherwise = true;
+        rules.push(fallback);
+    }
+    Ruleset::new(rules)
+}
+
+fn gen_rule(rng: &mut SmallRng, cfg: &GenConfig) -> Rule {
+    let behavior = rng
+        .pick(&[
+            Behavior::Block,
+            Behavior::Block,
+            Behavior::Request,
+            Behavior::Limited,
+        ])
+        .clone();
+    let mut rule = Rule::with_pattern(behavior, gen_policy_expr(rng, cfg));
+    if rng.gen_bool(cfg.structural_exact_prob) {
+        rule.connective = *rng.pick(&[Connective::OrExact, Connective::AndExact]);
+    }
+    rule
+}
+
+fn structural_connective(rng: &mut SmallRng, cfg: &GenConfig) -> Connective {
+    if rng.gen_bool(cfg.structural_exact_prob) {
+        *rng.pick(&[Connective::OrExact, Connective::AndExact])
+    } else {
+        *rng.pick(&[
+            Connective::And,
+            Connective::And,
+            Connective::Or,
+            Connective::NonOr,
+            Connective::NonAnd,
+        ])
+    }
+}
+
+fn vocab_connective(rng: &mut SmallRng, cfg: &GenConfig) -> Connective {
+    if rng.gen_bool(cfg.exact_prob) {
+        *rng.pick(&[Connective::OrExact, Connective::AndExact])
+    } else {
+        *rng.pick(&[
+            Connective::And,
+            Connective::Or,
+            Connective::Or,
+            Connective::NonOr,
+            Connective::NonAnd,
+        ])
+    }
+}
+
+fn gen_policy_expr(rng: &mut SmallRng, cfg: &GenConfig) -> Expr {
+    let mut e = Expr::named("POLICY").with_connective(structural_connective(rng, cfg));
+    for _ in 0..rng.gen_range_inclusive(1, 2) {
+        if rng.gen_bool(0.85) {
+            e = e.with_child(gen_statement_expr(rng, cfg));
+        } else {
+            e = e.with_child(gen_access_expr(rng, cfg));
+        }
+    }
+    e
+}
+
+fn gen_statement_expr(rng: &mut SmallRng, cfg: &GenConfig) -> Expr {
+    let mut e = Expr::named("STATEMENT").with_connective(structural_connective(rng, cfg));
+    for _ in 0..rng.gen_range_inclusive(1, 3) {
+        let child = match rng.gen_index(10) {
+            0..=2 => gen_vocab_expr(rng, cfg, "PURPOSE", Purpose::ALL.iter().map(|p| p.as_str())),
+            3..=5 => gen_vocab_expr(
+                rng,
+                cfg,
+                "RECIPIENT",
+                Recipient::ALL.iter().map(|r| r.as_str()),
+            ),
+            6..=7 => Expr::named("RETENTION")
+                .with_connective(vocab_connective(rng, cfg))
+                .with_leaves(distinct(
+                    rng,
+                    &Retention::ALL
+                        .iter()
+                        .map(|r| r.as_str())
+                        .collect::<Vec<_>>(),
+                    1,
+                    2,
+                )),
+            8 => gen_data_group_expr(rng, cfg),
+            _ => Expr::named("NON-IDENTIFIABLE"),
+        };
+        e = e.with_child(child);
+    }
+    e
+}
+
+/// A PURPOSE or RECIPIENT container: leaves from the vocabulary, some
+/// carrying an explicit `required` attribute constraint.
+fn gen_vocab_expr<'a>(
+    rng: &mut SmallRng,
+    cfg: &GenConfig,
+    container: &str,
+    vocab: impl Iterator<Item = &'a str>,
+) -> Expr {
+    let pool: Vec<&str> = vocab.collect();
+    let mut e = Expr::named(container).with_connective(vocab_connective(rng, cfg));
+    for name in distinct(rng, &pool, 1, 4) {
+        let mut leaf = Expr::named(name);
+        if rng.gen_bool(0.35) {
+            leaf = leaf.with_attr("required", gen_required(rng).as_str());
+        }
+        e = e.with_child(leaf);
+    }
+    e
+}
+
+fn gen_data_group_expr(rng: &mut SmallRng, cfg: &GenConfig) -> Expr {
+    let mut group = Expr::named("DATA-GROUP").with_connective(structural_connective(rng, cfg));
+    for reference in distinct(rng, DATA_REF_POOL, 1, 2) {
+        let mut data = Expr::named("DATA").with_attr("ref", format!("#{reference}"));
+        if rng.gen_bool(0.2) {
+            data = data.with_attr("optional", if rng.gen_bool(0.5) { "yes" } else { "no" });
+        }
+        if rng.gen_bool(0.45) {
+            data = data.with_child(
+                Expr::named("CATEGORIES")
+                    .with_connective(vocab_connective(rng, cfg))
+                    .with_leaves(distinct(
+                        rng,
+                        &Category::ALL.iter().map(|c| c.as_str()).collect::<Vec<_>>(),
+                        1,
+                        3,
+                    )),
+            );
+        }
+        group = group.with_child(data);
+    }
+    group
+}
+
+fn gen_access_expr(rng: &mut SmallRng, cfg: &GenConfig) -> Expr {
+    Expr::named("ACCESS")
+        .with_connective(vocab_connective(rng, cfg))
+        .with_leaves(distinct(
+            rng,
+            &Access::ALL.iter().map(|a| a.as_str()).collect::<Vec<_>>(),
+            1,
+            2,
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3p_policy::validate;
+
+    #[test]
+    fn generated_policies_are_valid_and_deterministic() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let corpus = gen_corpus(&mut rng, 50, &cfg);
+        assert_eq!(corpus.len(), 50);
+        for p in &corpus {
+            validate::check(p).unwrap_or_else(|v| panic!("{}: {v:?}", p.name));
+        }
+        let mut rng2 = SmallRng::seed_from_u64(1234);
+        assert_eq!(corpus, gen_corpus(&mut rng2, 50, &cfg));
+    }
+
+    #[test]
+    fn generated_policies_roundtrip_through_xml() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(77);
+        for p in gen_corpus(&mut rng, 25, &cfg) {
+            let xml = p.to_xml();
+            let back = Policy::parse(&xml).expect("generated policy must parse");
+            assert_eq!(back, p, "policy `{}` changed across XML round trip", p.name);
+        }
+    }
+
+    #[test]
+    fn generated_rulesets_roundtrip_and_cover_connectives() {
+        let cfg = GenConfig {
+            max_rules: 6,
+            ..GenConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..120 {
+            let rs = gen_ruleset(&mut rng, &cfg);
+            let back = Ruleset::parse(&rs.to_xml()).expect("generated ruleset must parse");
+            assert_eq!(back, rs);
+            fn visit(e: &Expr, seen: &mut std::collections::HashSet<Connective>) {
+                seen.insert(e.connective);
+                e.children.iter().for_each(|c| visit(c, seen));
+            }
+            for r in &rs.rules {
+                r.pattern.iter().for_each(|e| visit(e, &mut seen));
+            }
+        }
+        for c in Connective::ALL {
+            assert!(seen.contains(c), "connective {c} never generated");
+        }
+    }
+
+    #[test]
+    fn data_ref_pool_is_entirely_in_the_base_schema() {
+        for r in DATA_REF_POOL {
+            assert!(
+                p3p_policy::base_schema::is_known(r),
+                "{r} not in base schema"
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! assert_eq!(Sensitivity::VeryHigh.ruleset().rule_count(), 10);
 //! ```
 
+pub mod gen;
 pub mod policies;
 pub mod preferences;
 pub mod rng;

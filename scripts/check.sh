@@ -34,4 +34,10 @@ cargo bench -p p3p-bench --bench join -- --test
 echo "==> repro --table join (planned-over-FROM-order speedup floor)"
 cargo run -q --release -p p3p-bench --bin repro -- --table join > /dev/null
 
+echo "==> fuzz smoke (50 fixed-seed differential cases, all engines)"
+P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-fuzz -- --seed 42
+
+echo "==> repro --table fuzz (zero-divergence gate)"
+P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-bench --bin repro -- --table fuzz > /dev/null
+
 echo "All checks passed."

@@ -1,0 +1,180 @@
+//! Shrunk counterexamples found by the differential fuzzer
+//! (`crates/fuzz`), checked in permanently. Each test is the fuzzer's
+//! own `emit_repro` output (a policy corpus plus a ruleset fed to
+//! [`p3p_fuzz::assert_no_divergence`]), renamed after the bug it
+//! pinned down. If one of these starts failing, an engine or
+//! translator has re-diverged on an input the fuzzer already minimized
+//! once — fix the engine, don't touch the repro.
+
+/// Shrunk by the fuzzer (seed scan, diverging path sql/loop).
+///
+/// The policy declares no ACCESS, and the rule negates ACCESS value
+/// tests under `POLICY non-or`. The native engine treats "element not
+/// found" as a failed match, so the outer negation succeeds; the
+/// optimized SQL schema stores ACCESS as a nullable `policy.access`
+/// column, where a bare `access = 'none'` evaluates to NULL and an
+/// enclosing NOT left it NULL instead of true. Fixed by NULL-safe
+/// `(col IS NOT NULL AND col = ...)` guards in `column_vocab_expr`.
+#[test]
+fn absent_access_column_stays_two_valued_under_negation() {
+    p3p_fuzz::assert_no_divergence(
+        &[r##"<POLICY name="fuzz-p000">
+  <STATEMENT>
+    <PURPOSE>
+      <current/>
+      <individual-decision/>
+      <pseudo-analysis/>
+    </PURPOSE>
+    <RECIPIENT>
+      <delivery required="opt-in"/>
+    </RECIPIENT>
+    <RETENTION>
+      <stated-purpose/>
+    </RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.business-info.postal.city"/>
+      <DATA ref="#user.home-info.online.uri"/>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>"##],
+        r##"<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY appel:connective="non-or">
+      <ACCESS appel:connective="or">
+        <none/>
+      </ACCESS>
+      <ACCESS appel:connective="non-or">
+        <none/>
+        <other-ident/>
+      </ACCESS>
+    </POLICY>
+  </appel:RULE>
+  <appel:OTHERWISE>
+    <appel:RULE behavior="limited"/>
+  </appel:OTHERWISE>
+</appel:RULESET>"##,
+    );
+}
+
+/// Shrunk by the fuzzer (seed scan, diverging path xquery_native/loop).
+///
+/// An `or-exact` connective directly on `<POLICY>` observes which
+/// POLICY children are *absent*, but the document the XQuery engines
+/// evaluate is the reconstructed explicit view, which carries only the
+/// matchable children (ACCESS and STATEMENTs — no ENTITY/DISPUTES).
+/// The exactness predicate passed vacuously there while the native
+/// engine, which sees the full policy with its ENTITY, rejected it.
+/// Fixed by declining POLICY-level exactness in the XQuery translation
+/// with a typed `Unsupported`, like the SQL translators do.
+#[test]
+fn policy_level_exactness_is_declined_by_the_xquery_translation() {
+    p3p_fuzz::assert_no_divergence(
+        &[r##"<POLICY name="fuzz-p000">
+  <ENTITY>
+    <DATA-GROUP>
+      <DATA ref="#business.name">fuzz-p000 Inc.</DATA>
+    </DATA-GROUP>
+  </ENTITY>
+  <STATEMENT>
+    <PURPOSE>
+      <current/>
+    </PURPOSE>
+    <RECIPIENT>
+      <ours/>
+    </RECIPIENT>
+    <RETENTION>
+      <business-practices/>
+    </RETENTION>
+  </STATEMENT>
+</POLICY>"##],
+        r##"<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY appel:connective="or-exact">
+      <STATEMENT/>
+    </POLICY>
+  </appel:RULE>
+</appel:RULESET>"##,
+    );
+}
+
+/// Shrunk by the fuzzer: seed 160, diverging path sql/loop.
+///
+/// The statement spreads its data over two DATA-GROUPs, and the rule's
+/// `DATA-GROUP non-or` must be evaluated per group element: the group
+/// holding only `dynamic.miscdata` contains no
+/// `thirdparty.home-info.postal.city`, so the inner pattern matches it
+/// and the enclosing `STATEMENT non-or` fails — the rule must not
+/// fire. The optimized schema used to flatten all groups of a
+/// statement into one row set, turning the inner `non-or` into a
+/// statement-wide NOT EXISTS that fired the block rule. Fixed by the
+/// `data_group_id` column and per-group witness correlation in
+/// `data_group_expr`.
+#[test]
+fn data_group_boundaries_survive_the_optimized_schema() {
+    p3p_fuzz::assert_no_divergence(
+        &[r##"<POLICY name="fuzz-p001">
+  <ENTITY>
+    <DATA-GROUP>
+      <DATA ref="#business.name">fuzz-p001 Inc.</DATA>
+    </DATA-GROUP>
+  </ENTITY>
+  <STATEMENT>
+    <PURPOSE>
+      <telemarketing/>
+    </PURPOSE>
+    <RECIPIENT>
+      <public/>
+    </RECIPIENT>
+    <RETENTION>
+      <no-retention/>
+    </RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#dynamic.miscdata"/>
+    </DATA-GROUP>
+    <DATA-GROUP>
+      <DATA ref="#thirdparty.home-info.postal.city"/>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>"##],
+        r##"<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT appel:connective="non-or">
+        <DATA-GROUP appel:connective="non-or">
+          <DATA ref="#thirdparty.home-info.postal.city"/>
+        </DATA-GROUP>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+</appel:RULESET>"##,
+    );
+}
+
+/// An earlier shrink of the seed-160 case bottomed out at an *empty*
+/// `<DATA-GROUP/>`, whose match semantics the optimized schema cannot
+/// represent at all (a group's existence is witnessed only by its data
+/// rows). That form is non-conforming P3P — the DTD says
+/// `<!ELEMENT DATA-GROUP (DATA+)>` — so instead of a divergence repro
+/// it is pinned here as a validation rejection, which also keeps the
+/// shrinker from wandering back into the unrepresentable region.
+#[test]
+fn empty_data_group_is_rejected_by_validation() {
+    let policy = p3p_policy::Policy::parse(
+        r##"<POLICY name="p">
+  <STATEMENT>
+    <PURPOSE><current/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><no-retention/></RETENTION>
+    <DATA-GROUP/>
+  </STATEMENT>
+</POLICY>"##,
+    )
+    .unwrap();
+    let violations = p3p_policy::validate::validate(&policy);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("at least one DATA")),
+        "{violations:?}"
+    );
+}

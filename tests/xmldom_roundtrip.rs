@@ -1,0 +1,99 @@
+//! Round-trip property tests for the XML layer, over the same seeded
+//! generators the differential fuzzer uses: for any generated policy
+//! or APPEL ruleset, `parse(serialize(parse(x)))` must be
+//! node-identical to `parse(x)` — same element tree, same namespace
+//! prefixes, same attribute order — in both the compact and the
+//! pretty serialization.
+
+use p3p_appel::Ruleset;
+use p3p_policy::Policy;
+use p3p_workload::gen::{gen_corpus, gen_ruleset, GenConfig};
+use p3p_workload::rng::SmallRng;
+use p3p_xmldom::{parse_element, Element, ElementBuilder};
+
+/// parse → serialize → parse must reach a fixpoint immediately.
+fn assert_roundtrip(xml: &str) {
+    let first = parse_element(xml).expect("generated XML parses");
+    let second = parse_element(&first.to_xml()).expect("serialized XML reparses");
+    assert_eq!(first, second, "compact round trip of {xml}");
+    let pretty = parse_element(&first.to_pretty_xml()).expect("pretty XML reparses");
+    assert_eq!(first, pretty, "pretty round trip of {xml}");
+}
+
+#[test]
+fn generated_policies_roundtrip_node_identical() {
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for policy in gen_corpus(&mut rng, 3, &GenConfig::default()) {
+            assert_roundtrip(&policy.to_xml());
+            // And the model-level round trip agrees with the DOM one.
+            assert_eq!(Policy::parse(&policy.to_xml()).unwrap(), policy);
+        }
+    }
+}
+
+#[test]
+fn generated_rulesets_roundtrip_with_namespace_prefixes() {
+    for seed in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ruleset = gen_ruleset(&mut rng, &GenConfig::default());
+        let xml = ruleset.to_xml();
+        assert_roundtrip(&xml);
+        // The appel: prefix must survive: RULESET/RULE/OTHERWISE and
+        // the connective attributes are namespaced, the P3P pattern
+        // elements are not.
+        let dom = parse_element(&xml).unwrap();
+        assert_eq!(dom.name.prefix.as_deref(), Some("appel"));
+        let reparsed = parse_element(&dom.to_xml()).unwrap();
+        assert_eq!(reparsed.name.prefix.as_deref(), Some("appel"));
+        assert_eq!(Ruleset::parse(&xml).unwrap(), ruleset);
+    }
+}
+
+#[test]
+fn attribute_order_is_preserved_verbatim() {
+    // Equality on Element is order-sensitive for attributes, so the
+    // round trip must keep the author's order, not normalize it.
+    let a = parse_element(r##"<DATA ref="#user.name" optional="yes"/>"##).unwrap();
+    let b = parse_element(r##"<DATA optional="yes" ref="#user.name"/>"##).unwrap();
+    assert_ne!(a, b);
+    assert_roundtrip(r##"<DATA ref="#user.name" optional="yes"/>"##);
+    assert_roundtrip(r##"<DATA optional="yes" ref="#user.name"/>"##);
+    assert!(a.to_xml().starts_with(r##"<DATA ref="#user.name""##));
+    assert!(b.to_xml().starts_with(r##"<DATA optional="yes""##));
+}
+
+#[test]
+fn escaped_content_survives_the_round_trip() {
+    let tricky = ElementBuilder::new("CONSEQUENCE")
+        .attr("note", "ads & \"targeting\" <soon>")
+        .text("we use <your> data & we say so")
+        .build();
+    let xml = tricky.to_xml();
+    let reparsed = parse_element(&xml).unwrap();
+    assert_eq!(reparsed, tricky);
+    assert_eq!(reparsed.attr("note"), Some("ads & \"targeting\" <soon>"));
+    assert_eq!(reparsed.text(), "we use <your> data & we say so");
+}
+
+#[test]
+fn deeply_prefixed_elements_keep_their_prefixes() {
+    let xml = r#"<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY><STATEMENT appel:connective="non-and"><PURPOSE><telemarketing/></PURPOSE></STATEMENT></POLICY>
+  </appel:RULE>
+</appel:RULESET>"#;
+    let dom = parse_element(xml).unwrap();
+    let reparsed = parse_element(&dom.to_xml()).unwrap();
+    assert_eq!(dom, reparsed);
+    // The connective attribute keeps its prefix on the reparsed tree.
+    let mut found = Vec::new();
+    reparsed.walk(&mut |e: &Element| {
+        if e.name.local == "STATEMENT" {
+            found.push(e.attributes.clone());
+        }
+    });
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0][0].name.prefix.as_deref(), Some("appel"));
+    assert_eq!(found[0][0].name.local, "connective");
+}
