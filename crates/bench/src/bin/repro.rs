@@ -5,9 +5,10 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | bulk | join | fuzz | ablation
+//! repro --table shredding | warmcold | caching | bulk | join | fuzz | profile | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
+//! repro --trace-out trace.json # Chrome trace of a sharded corpus sweep
 //! ```
 //!
 //! Every run ends with a telemetry snapshot of the metrics the
@@ -18,9 +19,10 @@
 
 use p3p_bench::{
     ablation_table, bench_bulk_json, bench_fuzz_json, bench_join_json, bench_matching_json,
-    bulk_report, bulk_table, caching_report, caching_table, figure19, figure20, figure21,
-    fuzz_report, fuzz_table, join_report, join_table, scaling_table, shredding_table, subset_table,
-    telemetry_table, warm_cold_table, DEFAULT_SEED,
+    bench_profile_json, bulk_report, bulk_table, caching_report, caching_table, export_trace,
+    figure19, figure20, figure21, fuzz_report, fuzz_table, join_report, join_table, profile_report,
+    profile_table, scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table,
+    DEFAULT_SEED,
 };
 
 fn main() {
@@ -29,9 +31,18 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut tables: Vec<String> = Vec::new();
     let mut metrics_dir = std::path::PathBuf::from("target");
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
             "--seed" => {
                 i += 1;
                 seed = args
@@ -69,7 +80,7 @@ fn main() {
         }
         i += 1;
     }
-    let all = figures.is_empty() && tables.is_empty();
+    let all = figures.is_empty() && tables.is_empty() && trace_out.is_none();
 
     println!("p3p-suite experiment reproduction (seed {seed})");
     println!("================================================================\n");
@@ -207,6 +218,28 @@ fn main() {
             fuzz_ok = false;
         }
     }
+    let mut profile_ok = true;
+    if all || tables.iter().any(|t| t == "profile") {
+        let report = profile_report(seed, 5);
+        println!("{}", profile_table(&report));
+        let json = bench_profile_json(&report);
+        let path = std::path::Path::new("BENCH_profile.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        // The gate is A/A: profiler compiled in but OFF must be within
+        // noise of the baseline. Profiler-on cost is informational.
+        let off = report.off_overhead();
+        if off > 1.10 {
+            eprintln!("error: profiler-off overhead {off:.2}x exceeds the 1.10x gate");
+            profile_ok = false;
+        }
+        if report.ops.is_empty() {
+            eprintln!("error: the profiled sweep observed no operators");
+            profile_ok = false;
+        }
+    }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
     }
@@ -220,8 +253,16 @@ fn main() {
         println!("{}", telemetry_table(seed));
     }
 
+    if let Some(path) = &trace_out {
+        let json = export_trace(seed);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {} (Chrome trace-event JSON)\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+    }
+
     dump_metrics(&metrics_dir);
-    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok {
+    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok || !profile_ok {
         std::process::exit(1);
     }
 }
@@ -252,7 +293,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|ablation|scaling|subset|telemetry]... [--metrics-dir DIR]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|profile|ablation|scaling|subset|telemetry]... [--metrics-dir DIR] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

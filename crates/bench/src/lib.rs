@@ -1310,6 +1310,236 @@ pub fn bench_fuzz_json(report: &FuzzReport) -> String {
     )
 }
 
+// ----------------------------------------------------------------------
+// Execution profiling (EXPLAIN ANALYZE) — breakdown and overhead
+// ----------------------------------------------------------------------
+
+/// Per-operator totals accumulated by the profiled sweep, read off the
+/// `p3p_op_*` histograms as deltas (so earlier experiments in the same
+/// process do not leak into the breakdown).
+#[derive(Debug, Clone)]
+pub struct ProfileOpRow {
+    pub op: &'static str,
+    /// Operator invocations observed (one histogram sample per plan
+    /// node per profiled execution).
+    pub calls: u64,
+    /// Cumulative self time across those invocations.
+    pub total_us: u64,
+    /// Rows produced across those invocations.
+    pub rows: u64,
+}
+
+impl ProfileOpRow {
+    /// Mean self time per observed plan node.
+    pub fn avg_us(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The profiling sweep (`BENCH_profile.json`): a per-operator self-time
+/// breakdown of a profiled corpus match plus the measured cost of the
+/// profiler itself — both the profiler-off A/A control (the CI gate)
+/// and the informational profiler-on slowdown.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    pub seed: u64,
+    pub policies: usize,
+    /// Analyzed plans attached to sampled match outcomes while
+    /// profiling was on.
+    pub analyzed_plans: usize,
+    pub ops: Vec<ProfileOpRow>,
+    /// Best-of-runs corpus sweep with profiling off (the baseline).
+    pub baseline: Duration,
+    /// A second profiler-off pass: the profiler is compiled in but
+    /// disabled, so this must sit within noise of the baseline.
+    pub off_recheck: Duration,
+    /// Best-of-runs with per-operator profiling enabled.
+    pub profiled: Duration,
+}
+
+impl ProfileReport {
+    /// Profiler-off A/A ratio — the overhead the 1.1x CI gate checks.
+    pub fn off_overhead(&self) -> f64 {
+        ratio(self.off_recheck, self.baseline)
+    }
+
+    /// Profiler-on slowdown over the baseline (informational: the
+    /// price of actually collecting a profile).
+    pub fn on_overhead(&self) -> f64 {
+        ratio(self.profiled, self.baseline)
+    }
+}
+
+/// Run the profiling sweep: time the optimized-SQL corpus match with
+/// profiling off (twice — baseline and A/A control), then with
+/// profiling on, and read the per-operator breakdown the profiled
+/// passes fed into the `p3p_op_*` histograms.
+pub fn profile_report(seed: u64, runs: u32) -> ProfileReport {
+    let server = setup_server(seed);
+    let names = server.policy_names();
+    let ruleset = Sensitivity::High.ruleset();
+    // Warm the translation and plan caches so every timed pass is
+    // steady state.
+    server
+        .match_corpus(&ruleset, EngineKind::Sql)
+        .expect("warm-up corpus sweep");
+
+    let sweep = || server.match_corpus(&ruleset, EngineKind::Sql).map(|_| ());
+    let baseline = best_of(runs, sweep).expect("baseline sweep");
+    let off_recheck = best_of(runs, sweep).expect("profiler-off recheck");
+
+    // Snapshot the histograms, then run profiled: the breakdown is the
+    // delta, untouched by whatever ran earlier in this process.
+    let before: Vec<(u64, u64, u64)> = p3p_minidb::OP_KINDS
+        .iter()
+        .map(|&op| {
+            let time = p3p_telemetry::metrics::histogram_with("p3p_op_time_us", &[("op", op)]);
+            let rows = p3p_telemetry::metrics::histogram_with("p3p_op_rows", &[("op", op)]);
+            (time.count(), time.sum(), rows.sum())
+        })
+        .collect();
+
+    p3p_minidb::exec::set_profiling(true);
+    let profiled = best_of(runs, sweep).expect("profiled sweep");
+    // Sample a few per-policy matches so the analyzed plans attached to
+    // match outcomes are exercised too.
+    let mut analyzed_plans = 0;
+    for name in names.iter().take(5) {
+        if let Ok(outcome) =
+            server.match_preference_snapshot(&ruleset, Target::Policy(name), EngineKind::Sql)
+        {
+            analyzed_plans += outcome.analyzed.len();
+        }
+    }
+    p3p_minidb::exec::set_profiling(false);
+
+    let ops = p3p_minidb::OP_KINDS
+        .iter()
+        .zip(&before)
+        .filter_map(|(&op, &(count0, sum0, rows0))| {
+            let time = p3p_telemetry::metrics::histogram_with("p3p_op_time_us", &[("op", op)]);
+            let rows = p3p_telemetry::metrics::histogram_with("p3p_op_rows", &[("op", op)]);
+            let calls = time.count().saturating_sub(count0);
+            (calls > 0).then(|| ProfileOpRow {
+                op,
+                calls,
+                total_us: time.sum().saturating_sub(sum0),
+                rows: rows.sum().saturating_sub(rows0),
+            })
+        })
+        .collect();
+
+    ProfileReport {
+        seed,
+        policies: names.len(),
+        analyzed_plans,
+        ops,
+        baseline,
+        off_recheck,
+        profiled,
+    }
+}
+
+/// Render the profiling table.
+pub fn profile_table(report: &ProfileReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Execution profiling (seed {}, {} policies, High preference, optimized SQL)\n",
+        report.seed, report.policies
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12} {:>10} {:>12}\n",
+        "operator", "calls", "total µs", "avg µs", "rows"
+    ));
+    for row in &report.ops {
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>10.2} {:>12}\n",
+            row.op,
+            row.calls,
+            row.total_us,
+            row.avg_us(),
+            row.rows
+        ));
+    }
+    out.push_str(&format!(
+        "corpus sweep: off {} | off recheck {} ({:.2}x, gate 1.10x) | on {} ({:.2}x)\n",
+        fmt_duration(report.baseline),
+        fmt_duration(report.off_recheck),
+        report.off_overhead(),
+        fmt_duration(report.profiled),
+        report.on_overhead(),
+    ));
+    out.push_str(&format!(
+        "({} analyzed plans attached to sampled match outcomes; profiling is off by default)\n",
+        report.analyzed_plans
+    ));
+    out
+}
+
+/// Machine-readable profiling summary (`BENCH_profile.json`).
+pub fn bench_profile_json(report: &ProfileReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str(&format!("  \"policies\": {},\n", report.policies));
+    out.push_str(&format!(
+        "  \"analyzed_plans\": {},\n",
+        report.analyzed_plans
+    ));
+    out.push_str("  \"ops\": [\n");
+    for (i, row) in report.ops.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"calls\": {}, \"total_us\": {}, \"avg_us\": {:.2}, \
+             \"rows\": {}}}{}\n",
+            row.op,
+            row.calls,
+            row.total_us,
+            row.avg_us(),
+            row.rows,
+            if i + 1 < report.ops.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"baseline_us\": {:.2},\n  \"off_recheck_us\": {:.2},\n  \"profiled_us\": {:.2},\n",
+        us(report.baseline),
+        us(report.off_recheck),
+        us(report.profiled),
+    ));
+    out.push_str(&format!(
+        "  \"off_overhead\": {:.4},\n  \"profiled_overhead\": {:.4}\n",
+        report.off_overhead(),
+        report.on_overhead(),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Record a full sharded `match_corpus` sweep as spans and render the
+/// trace buffer as Chrome trace-event JSON — the payload
+/// `repro --trace-out` writes, loadable in `chrome://tracing` or
+/// Perfetto.
+pub fn export_trace(seed: u64) -> String {
+    p3p_telemetry::span::set_capacity(65_536);
+    p3p_telemetry::span::clear();
+    let shared = SharedServer::new(setup_server(seed));
+    let pool = MatchPool::new(&shared);
+    let ruleset = Sensitivity::High.ruleset();
+    // At least two shards so the export always shows the per-shard
+    // lanes, even on a single-core box.
+    let shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(2);
+    pool.match_corpus(&ruleset, EngineKind::Sql, shards)
+        .expect("trace sweep");
+    p3p_telemetry::chrome_trace_json(&p3p_telemetry::span::recent())
+}
+
 /// Error type re-exported for bin users.
 pub type Result<T> = std::result::Result<T, ServerError>;
 
@@ -1563,6 +1793,33 @@ mod tests {
         assert!(json.contains("\"join_order\""), "{json}");
         let table = join_table(&report);
         assert!(table.contains("Cost-based join planning"), "{table}");
+    }
+
+    #[test]
+    fn profile_report_measures_overhead_and_breakdown() {
+        let report = profile_report(DEFAULT_SEED, 1);
+        assert!(
+            !report.ops.is_empty(),
+            "profiled sweep must observe operators"
+        );
+        assert!(report.ops.iter().any(|r| r.op == "select"), "{report:?}");
+        assert!(report.baseline > Duration::ZERO);
+        assert!(report.profiled > Duration::ZERO);
+        let json = bench_profile_json(&report);
+        assert!(json.contains("\"off_overhead\""), "{json}");
+        assert!(json.contains("\"op\": \"select\""), "{json}");
+        let table = profile_table(&report);
+        assert!(table.contains("Execution profiling"), "{table}");
+        assert!(table.contains("gate 1.10x"), "{table}");
+    }
+
+    #[test]
+    fn trace_export_covers_a_sharded_sweep() {
+        let json = export_trace(DEFAULT_SEED);
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+        assert!(json.contains("\"name\": \"sharded_sweep\""), "{json}");
+        assert!(json.contains("\"name\": \"corpus_shard\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
     }
 
     #[test]

@@ -118,14 +118,21 @@ impl MatchPool {
             return snapshot.match_corpus(ruleset, engine);
         }
         let chunk = names.len().div_ceil(shards);
+        let _sweep = p3p_telemetry::span!("sharded_sweep", engine = engine.metric_label());
         let results: Vec<Result<Vec<(String, Verdict)>, ServerError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = names
                     .chunks(chunk)
-                    .map(|part| {
+                    .enumerate()
+                    .map(|(i, part)| {
                         let snapshot = &snapshot;
                         let ruleset = &ruleset;
                         scope.spawn(move || {
+                            let _shard = p3p_telemetry::span!(
+                                "corpus_shard",
+                                shard = i,
+                                policies = part.len()
+                            );
                             snapshot.match_corpus_subset(ruleset, engine, Some(part))
                         })
                     })

@@ -118,6 +118,11 @@ pub struct MatchOutcome {
     /// Executor statistics for this match alone (the stats window is
     /// reset when the match starts, so nothing bleeds across engines).
     pub db_stats: p3p_minidb::exec::ExecStats,
+    /// Rendered `EXPLAIN ANALYZE` tree of each rule query executed, in
+    /// execution order. Populated by the SQL engines only when the
+    /// thread runs with profiling enabled
+    /// ([`p3p_minidb::exec::set_profiling`]); empty otherwise.
+    pub analyzed: Vec<String>,
 }
 
 /// The installed-policy catalog: everything keyed by policy name/id
@@ -422,6 +427,7 @@ impl PolicyServer {
             query: start.elapsed(),
             cached: false,
             db_stats: Default::default(),
+            analyzed: Vec::new(),
         })
     }
 
@@ -464,12 +470,21 @@ impl PolicyServer {
         let _execute_span = span!("execute");
         let t1 = Instant::now();
         let params = [Value::Int(policy_id)];
+        // With profiling on, per-statement reporting peeks at the
+        // profile and leaves it behind, so each rule query's analyzed
+        // plan can be retained on the outcome here.
+        let mut analyzed: Vec<String> = Vec::new();
         for (index, (rule, plan)) in ruleset.rules.iter().zip(plans.iter()).enumerate() {
             let _ctx = QueryContextGuard::rule(index as u64);
             let plan = plan
                 .as_ref()
                 .expect("SQL translation yields a plan per rule");
             let result = self.db.query_prepared(plan, &params)?;
+            if p3p_minidb::exec::profiling_enabled() {
+                if let Some(profile) = p3p_minidb::exec::take_last_profile() {
+                    analyzed.push(profile.render());
+                }
+            }
             if !result.is_empty() {
                 return Ok(MatchOutcome {
                     verdict: Verdict {
@@ -480,6 +495,7 @@ impl PolicyServer {
                     query: t1.elapsed(),
                     cached,
                     db_stats: Default::default(),
+                    analyzed,
                 });
             }
         }
@@ -489,6 +505,7 @@ impl PolicyServer {
             query: t1.elapsed(),
             cached,
             db_stats: Default::default(),
+            analyzed,
         })
     }
 
@@ -555,6 +572,7 @@ impl PolicyServer {
                     query: t1.elapsed(),
                     cached,
                     db_stats: Default::default(),
+                    analyzed: Vec::new(),
                 });
             }
         }
@@ -564,6 +582,7 @@ impl PolicyServer {
             query: t1.elapsed(),
             cached,
             db_stats: Default::default(),
+            analyzed: Vec::new(),
         })
     }
 
@@ -590,6 +609,7 @@ impl PolicyServer {
                     query,
                     cached: false,
                     db_stats: Default::default(),
+                    analyzed: Vec::new(),
                 });
             }
             let t0 = Instant::now();
@@ -614,6 +634,7 @@ impl PolicyServer {
                     query,
                     cached: false,
                     db_stats: Default::default(),
+                    analyzed: Vec::new(),
                 });
             }
         }
@@ -623,6 +644,7 @@ impl PolicyServer {
             query,
             cached: false,
             db_stats: Default::default(),
+            analyzed: Vec::new(),
         })
     }
 

@@ -9,7 +9,7 @@
 //! [`PolicyServer::match_corpus`], sharded
 //! [`MatchPool`](p3p_server::concurrent::MatchPool) — and under every
 //! optimization knob added since PR 2 (planner on/off, forced EXISTS
-//! decorrelation, snapshot clones). The native APPEL engine is the
+//! decorrelation, snapshot clones, execution profiling on/off). The native APPEL engine is the
 //! reference; any verdict disagreement is a [`Divergence`].
 //!
 //! Engines may *decline* a case: exact connectives on structural
@@ -227,6 +227,24 @@ pub fn check_case(case: &FuzzCase) -> CaseReport {
         }
         p3p_minidb::exec::set_decorrelate_after(None);
     }
+
+    // Knob: execution profiling on. The profiler is observation-only;
+    // every path must answer byte-identically with it enabled.
+    p3p_minidb::exec::set_profiling(true);
+    for &engine in &[EngineKind::Sql, EngineKind::SqlGeneric] {
+        let label = engine.metric_label();
+        report.verdicts_match(
+            &format!("{label}/loop profiled"),
+            &reference,
+            loop_verdicts(&server, &case.ruleset, engine, &names),
+        );
+        report.verdicts_match(
+            &format!("{label}/bulk profiled"),
+            &reference,
+            server.match_corpus(&case.ruleset, engine),
+        );
+    }
+    p3p_minidb::exec::set_profiling(false);
 
     // Knob: a COW snapshot clone must answer exactly like the server
     // it was cloned from.

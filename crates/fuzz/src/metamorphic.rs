@@ -12,7 +12,8 @@
 //! * first execution vs re-execution through the plan cache,
 //! * the original database vs a copy-on-write clone,
 //! * EXISTS decorrelation forced on (threshold 0) vs pinned to the
-//!   correlated nested loop (threshold `u32::MAX`).
+//!   correlated nested loop (threshold `u32::MAX`),
+//! * execution profiling on vs the unprofiled baseline.
 
 use crate::FuzzCase;
 use p3p_minidb::{exec, QueryResult};
@@ -102,6 +103,12 @@ pub fn check_minidb(case: &FuzzCase) -> MetamorphicReport {
         exec::set_decorrelate_after(Some(u32::MAX));
         expect("nested-loop", db.query(sql));
         exec::set_decorrelate_after(None);
+
+        // Execution profiling on: the profiler observes, it must not
+        // change a single row.
+        exec::set_profiling(true);
+        expect("profiled", db.query(sql));
+        exec::set_profiling(false);
     }
     report
 }

@@ -2,7 +2,8 @@
 
 use crate::error::DbError;
 use crate::exec;
-use crate::plan::{self, PlanCache, PlanCacheStats, Prepared};
+use crate::plan::{self, PlanCache, PlanCacheStats, Prepared, PLAN_DRIFT_FACTOR};
+use crate::profile::Profile;
 use crate::schema::{ColumnDef, ForeignKey, TableSchema};
 use crate::sql::ast::Statement;
 use crate::sql::parse_statement_params;
@@ -48,7 +49,7 @@ fn db_metrics() -> &'static DbMetrics {
 /// thread's cumulative [`exec::ExecStats`] against the snapshot taken
 /// before execution, so nested SELECTs run by DELETE/UPDATE fold into
 /// their parent statement rather than double-counting.
-fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
+fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration, profiled_select: bool) {
     let delta = exec::stats_snapshot().since(before);
     let m = db_metrics();
     m.latency_us.observe_duration(wall);
@@ -60,7 +61,15 @@ fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
     m.join_hash_builds.add(delta.join_hash_builds);
     m.join_hash_probes.add(delta.join_hash_probes);
     m.planner_reorders.add(delta.planner_reorders);
-    p3p_telemetry::slowlog::record_with_strategy(
+    // Only a SELECT that just ran may own the thread's last profile;
+    // gating on the statement kind keeps a non-SELECT from picking up
+    // a stale profile left by an earlier profiled query.
+    let analyzed = if profiled_select {
+        observe_profile()
+    } else {
+        None
+    };
+    p3p_telemetry::slowlog::record_analyzed(
         sql,
         p3p_telemetry::QueryStats {
             rows_scanned: delta.rows_scanned,
@@ -73,7 +82,35 @@ fn report_statement(sql: &str, before: &exec::ExecStats, wall: Duration) {
         },
         wall,
         exec::take_last_join_strategy(),
+        analyzed,
     );
+}
+
+/// Feed the last execution's profile (when one was collected) into the
+/// per-operator `p3p_op_*` histograms and the actual-vs-estimated rows
+/// drift signal, returning the rendered analyzed plan for the
+/// slow-query log. Peeks rather than takes, so the `*_profiled` entry
+/// points can still hand the full [`Profile`] to their caller.
+fn observe_profile() -> Option<String> {
+    exec::with_last_profile(|profile| {
+        let p = profile?;
+        p.visit(&mut |node| {
+            // The join-order annotation is not an operator.
+            if node.kind == "plan" {
+                return;
+            }
+            metrics::histogram_with("p3p_op_time_us", &[("op", node.kind)])
+                .observe(node.self_time().as_micros() as u64);
+            metrics::histogram_with("p3p_op_rows", &[("op", node.kind)]).observe(node.rows);
+        });
+        if let Some(factor) = p.max_misestimation() {
+            metrics::histogram("p3p_plan_misestimation_factor").observe(factor.round() as u64);
+            if factor >= PLAN_DRIFT_FACTOR {
+                metrics::counter("p3p_plan_misestimations_total").inc();
+            }
+        }
+        Some(p.render())
+    })
 }
 
 /// The result of a SELECT.
@@ -268,7 +305,12 @@ impl Database {
             }
             stmt => self.execute_stmt_ref(stmt, params),
         };
-        report_statement(prepared.sql(), &before, start.elapsed());
+        report_statement(
+            prepared.sql(),
+            &before,
+            start.elapsed(),
+            matches!(prepared.statement(), Statement::Select(_)),
+        );
         outcome
     }
 
@@ -487,13 +529,39 @@ impl Database {
                 prepared.join_plans().check_drift(self);
                 let result =
                     exec::run_select_with_plans(self, sel, params, Some(prepared.join_plans()));
-                report_statement(prepared.sql(), &before, start.elapsed());
+                report_statement(prepared.sql(), &before, start.elapsed(), true);
                 result
             }
             _ => Err(DbError::Execution(
                 "query() accepts SELECT statements only".to_string(),
             )),
         }
+    }
+
+    /// Run a SELECT with per-operator profiling enabled and return the
+    /// rows together with the execution's [`Profile`] — the
+    /// programmatic face of `EXPLAIN ANALYZE`.
+    pub fn query_profiled(&self, sql: &str) -> Result<(QueryResult, Profile), DbError> {
+        let prepared = self.prepare(sql)?;
+        self.query_prepared_profiled(&prepared, &[])
+    }
+
+    /// [`Database::query_prepared`] with per-operator profiling turned
+    /// on for this statement only; the thread's profiling flag is
+    /// restored afterwards.
+    pub fn query_prepared_profiled(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<(QueryResult, Profile), DbError> {
+        let was_profiling = exec::profiling_enabled();
+        exec::set_profiling(true);
+        let result = self.query_prepared(prepared, params);
+        exec::set_profiling(was_profiling);
+        let rows = result?;
+        let profile = exec::take_last_profile()
+            .ok_or_else(|| DbError::Execution("no profile was collected".to_string()))?;
+        Ok((rows, profile))
     }
 
     /// Build a full row for INSERT, reordering named columns and
@@ -631,6 +699,51 @@ mod tests {
             .query("SELECT name FROM policy WHERE policy_id = 1")
             .unwrap();
         assert_eq!(r.scalar().unwrap().as_str(), Some("volga"));
+    }
+
+    #[test]
+    fn query_profiled_returns_matching_profile() {
+        let db = policy_db();
+        let (result, profile) = db
+            .query_profiled("SELECT * FROM statement WHERE policy_id = 1")
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(profile.root.kind, "select");
+        assert_eq!(profile.root.rows, 2);
+        // The flag is restored: a plain query collects nothing.
+        assert!(!exec::profiling_enabled());
+        db.query("SELECT * FROM statement WHERE policy_id = 1")
+            .unwrap();
+        assert!(exec::take_last_profile().is_none());
+    }
+
+    #[test]
+    fn query_profiled_preserves_results_and_exec_stats() {
+        let db = policy_db();
+        let sql = "SELECT name FROM policy p WHERE EXISTS \
+                   (SELECT * FROM statement s WHERE s.policy_id = p.policy_id)";
+        exec::reset_stats();
+        let plain = db.query(sql).unwrap();
+        let plain_stats = exec::take_stats();
+        let (profiled, profile) = db.query_profiled(sql).unwrap();
+        let profiled_stats = exec::take_stats();
+        assert_eq!(plain, profiled);
+        assert_eq!(
+            plain_stats, profiled_stats,
+            "profiling must be observation-only"
+        );
+        assert_eq!(profile.root.loops, 1);
+    }
+
+    #[test]
+    fn profiled_query_feeds_op_histograms() {
+        let db = policy_db();
+        db.query_profiled("SELECT * FROM statement WHERE policy_id = 1")
+            .unwrap();
+        let text = metrics::render_text();
+        assert!(text.contains("p3p_op_time_us"), "{text}");
+        assert!(text.contains("op=\"select\""), "{text}");
+        assert!(text.contains("p3p_op_rows"), "{text}");
     }
 
     #[test]

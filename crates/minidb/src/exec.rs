@@ -4,6 +4,7 @@
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
 use crate::plan::{JoinOp, JoinPlan, JoinPlanCache};
+use crate::profile::{Collector, ExistsStrategy, Profile};
 use crate::sql::ast::{CompareOp, Expr, SelectItem, SelectStmt, TableRef};
 use crate::table::Table;
 use crate::value::{like_match, Value};
@@ -13,6 +14,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Execution statistics, accumulated across queries until reset.
 ///
@@ -152,6 +154,10 @@ struct ExistsMemo<'p> {
     shared_plans: Option<&'p JoinPlanCache>,
     /// Hash-join build results, keyed by (plan address, level).
     hash_tables: RefCell<HashMap<(usize, usize), Rc<JoinHashTable>>>,
+    /// Per-operator measurement collector, present only when this
+    /// execution runs with profiling enabled — with it absent every
+    /// hook below is a single `Option` check.
+    profiler: Option<Collector>,
 }
 
 /// A transient hash table backing one hash-join level: build key values
@@ -274,13 +280,22 @@ pub(crate) fn run_select_with_plans(
     plans: Option<&JoinPlanCache>,
 ) -> Result<QueryResult, DbError> {
     LAST_STRATEGY.with(|s| *s.borrow_mut() = None);
+    LAST_PROFILE.with(|s| *s.borrow_mut() = None);
     let memo = ExistsMemo {
         shared_plans: plans,
+        profiler: profiling_enabled().then(Collector::new),
         ..ExistsMemo::default()
     };
     let root = Env::root(params, &memo);
     let result = select_with_env(db, stmt, &root)?;
     bump(|s| s.rows_output += result.rows.len() as u64);
+    if let Some(profile) = memo
+        .profiler
+        .as_ref()
+        .and_then(|c| c.finish(stmt as *const SelectStmt as usize))
+    {
+        LAST_PROFILE.with(|s| *s.borrow_mut() = Some(profile));
+    }
     Ok(result)
 }
 
@@ -288,12 +303,43 @@ thread_local! {
     /// Strategy summary of the last planned top-level SELECT on this
     /// thread, consumed by the slow-query log.
     static LAST_STRATEGY: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Whether SELECTs on this thread run with the profiler attached.
+    static PROFILING: Cell<bool> = const { Cell::new(false) };
+    /// Profile of the last profiled SELECT on this thread, consumed by
+    /// `EXPLAIN ANALYZE` and the slow-query log.
+    static LAST_PROFILE: RefCell<Option<Profile>> = const { RefCell::new(None) };
 }
 
 /// Take (and clear) the join-strategy summary recorded by the last
 /// top-level multi-table SELECT executed on this thread.
 pub fn take_last_join_strategy() -> Option<String> {
     LAST_STRATEGY.with(|s| s.borrow_mut().take())
+}
+
+/// Enable or disable per-operator execution profiling for SELECTs on
+/// this thread. Off by default; when on, every execution collects a
+/// [`Profile`] retrievable with [`take_last_profile`]. Profiling is
+/// observation-only: results, execution strategy, and [`ExecStats`]
+/// counters are identical either way.
+pub fn set_profiling(on: bool) {
+    PROFILING.with(|p| p.set(on));
+}
+
+/// Whether profiling is enabled on this thread.
+pub fn profiling_enabled() -> bool {
+    PROFILING.with(|p| p.get())
+}
+
+/// Take (and clear) the execution profile of the last profiled SELECT
+/// on this thread.
+pub fn take_last_profile() -> Option<Profile> {
+    LAST_PROFILE.with(|s| s.borrow_mut().take())
+}
+
+/// Inspect the last profile without consuming it, so per-statement
+/// reporting (slow-query log, histograms) leaves it for the caller.
+pub(crate) fn with_last_profile<R>(f: impl FnOnce(Option<&Profile>) -> R) -> R {
+    LAST_PROFILE.with(|s| f(s.borrow().as_ref()))
 }
 
 /// Fetch (or compute and cache) the join plan for one SELECT node.
@@ -329,11 +375,45 @@ fn plan_for(db: &Database, stmt: &SelectStmt, memo: &ExistsMemo<'_>) -> Option<A
     }
 }
 
+/// Run one SELECT node, timing it as a profile node when profiling is
+/// on. The wrapper keeps the collector's stack balanced on the error
+/// path (an error aborts the execution, but attribution of the partial
+/// work stays well-formed).
+/// The `Join order: ...` annotation attached to a planned node's
+/// profile, matching the EXPLAIN rendering.
+fn order_line(plan: &JoinPlan, stmt: &SelectStmt) -> String {
+    let names: Vec<&str> = plan
+        .order
+        .iter()
+        .map(|&i| stmt.from[i].binding_name())
+        .collect();
+    let mode = if plan.no_stats {
+        "FROM order, no stats"
+    } else if plan.reordered {
+        "cost-based"
+    } else {
+        "cost-based, FROM order"
+    };
+    format!("Join order: {} ({mode})", names.join(", "))
+}
+
 fn select_with_env(
     db: &Database,
     stmt: &SelectStmt,
     outer: &Env<'_>,
 ) -> Result<QueryResult, DbError> {
+    let Some(profiler) = &outer.memo.profiler else {
+        return select_body(db, stmt, outer);
+    };
+    let addr = stmt as *const SelectStmt as usize;
+    let start = profiler.enter(addr, "Select");
+    let result = select_body(db, stmt, outer);
+    let rows = result.as_ref().map_or(0, |r| r.rows.len() as u64);
+    profiler.exit(addr, start, rows);
+    result
+}
+
+fn select_body(db: &Database, stmt: &SelectStmt, outer: &Env<'_>) -> Result<QueryResult, DbError> {
     // Resolve FROM tables up front.
     let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
@@ -369,6 +449,9 @@ fn select_with_env(
     if let Some(p) = &plan {
         if outer.bindings.is_empty() && outer.outer.is_none() {
             LAST_STRATEGY.with(|s| *s.borrow_mut() = Some(p.describe(stmt)));
+        }
+        if let Some(c) = &outer.memo.profiler {
+            c.set_order(order_line(p, stmt));
         }
     }
     let scan_tables: Vec<(&TableRef, &Table)> = match &plan {
@@ -411,8 +494,14 @@ fn select_with_env(
     if stmt.distinct {
         // Preserve first-occurrence order; hash-based dedup keeps
         // DISTINCT linear in the row count.
+        let distinct_start = outer.memo.profiler.as_ref().map(|_| Instant::now());
+        let before = rows.len() as u64;
         let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
         rows.retain(|row| seen.insert(row.clone()));
+        if let Some(c) = &outer.memo.profiler {
+            let elapsed = distinct_start.expect("profiling on").elapsed();
+            c.record_distinct(before, rows.len() as u64, elapsed);
+        }
     }
 
     // ORDER BY evaluates against output columns first, then bindings.
@@ -454,7 +543,15 @@ fn join_scan(
                     params: outer.params,
                     memo: outer.memo,
                 };
-                eval_pred(db, f, &env)? == Some(true)
+                match &outer.memo.profiler {
+                    Some(p) => {
+                        let start = Instant::now();
+                        let keep = eval_pred(db, f, &env)? == Some(true);
+                        p.record_filter(keep, start.elapsed());
+                        keep
+                    }
+                    None => eval_pred(db, f, &env)? == Some(true),
+                }
             }
             None => true,
         };
@@ -492,12 +589,14 @@ fn join_scan(
 
     // Try index probe: collect equality conjuncts `this.col = expr`
     // where expr is evaluable from already-bound tables + outer env.
-    let candidate_rows: Option<Vec<usize>> = if db.use_indexes() {
+    let candidate_rows: Option<(Vec<usize>, ProbeProfile)> = if db.use_indexes() {
         probe_rows(db, tref, table, filter, bound.as_slice(), outer)?
     } else {
         None
     };
 
+    let level_start = outer.memo.profiler.as_ref().map(|_| Instant::now());
+    let mut visited: u64 = 0;
     // One binding per join level; only its row slot is rewritten per
     // visited row, so the scan allocates no per-row name/column lists.
     bound.push(Binding {
@@ -507,10 +606,11 @@ fn join_scan(
     });
     let mut cont = true;
     match candidate_rows {
-        Some(ids) => {
+        Some((ids, probe)) => {
             bump(|s| s.index_probes += 1);
             for id in ids {
                 bump(|s| s.rows_scanned += 1);
+                visited += 1;
                 let slot = bound.last_mut().expect("binding just pushed");
                 slot.row.clear();
                 slot.row.extend_from_slice(&table.rows()[id]);
@@ -519,11 +619,19 @@ fn join_scan(
                     break;
                 }
             }
+            if let Some(p) = &outer.memo.profiler {
+                let planned = plan.and_then(|pl| pl.est_rows.get(depth).copied());
+                let elapsed = level_start.expect("profiling on").elapsed();
+                p.record_level(depth, probe.kind, planned, visited, elapsed, || {
+                    probe.label.unwrap_or_default()
+                });
+            }
         }
         None => {
             bump(|s| s.seq_scans += 1);
             for row in table.rows() {
                 bump(|s| s.rows_scanned += 1);
+                visited += 1;
                 let slot = bound.last_mut().expect("binding just pushed");
                 slot.row.clear();
                 slot.row.extend_from_slice(row);
@@ -531,6 +639,18 @@ fn join_scan(
                     cont = false;
                     break;
                 }
+            }
+            if let Some(p) = &outer.memo.profiler {
+                // An unplanned seq scan's implicit estimate is the full
+                // table; planned levels carry the cost model's estimate.
+                let planned = match plan {
+                    Some(pl) => pl.est_rows.get(depth).copied(),
+                    None => Some(table.rows().len() as u64),
+                };
+                let elapsed = level_start.expect("profiling on").elapsed();
+                p.record_level(depth, "seq_scan", planned, visited, elapsed, || {
+                    format!("seq scan {} AS {}", tref.table, tref.binding_name())
+                });
             }
         }
     }
@@ -560,11 +680,14 @@ fn hash_join_level(
     build_filter: &[Expr],
 ) -> Result<bool, DbError> {
     let (tref, table) = tables[depth];
+    let level_start = outer.memo.profiler.as_ref().map(|_| Instant::now());
+    let mut build_info: Option<(u64, u64, Duration)> = None;
     let memo_key = (Arc::as_ptr(plan) as usize, depth);
     let cached = outer.memo.hash_tables.borrow().get(&memo_key).cloned();
     let hash_table = match cached {
         Some(ht) => ht,
         None => {
+            let build_start = outer.memo.profiler.as_ref().map(|_| Instant::now());
             bump(|s| s.join_hash_builds += 1);
             let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             let mut build_binding = vec![Binding {
@@ -600,6 +723,10 @@ fn hash_join_level(
                     key.push(row[c].clone());
                 }
                 map.entry(key).or_default().push(row_id);
+            }
+            if let Some(start) = build_start {
+                let kept: u64 = map.values().map(|ids| ids.len() as u64).sum();
+                build_info = Some((table.rows().len() as u64, kept, start.elapsed()));
             }
             let ht = Rc::new(JoinHashTable { map });
             outer
@@ -642,8 +769,10 @@ fn hash_join_level(
         row: Vec::new(),
     });
     let mut cont = true;
+    let mut visited: u64 = 0;
     for &id in ids {
         bump(|s| s.rows_scanned += 1);
+        visited += 1;
         let slot = bound.last_mut().expect("binding just pushed");
         slot.row.clear();
         slot.row.extend_from_slice(&table.rows()[id]);
@@ -662,15 +791,46 @@ fn hash_join_level(
         }
     }
     bound.pop();
+    if let Some(p) = &outer.memo.profiler {
+        let planned = plan.est_rows.get(depth).copied();
+        let elapsed = level_start.expect("profiling on").elapsed();
+        p.record_level(
+            depth,
+            "hash_join",
+            planned,
+            visited,
+            elapsed,
+            || match &plan.ops[depth] {
+                JoinOp::HashJoin { columns, .. } => format!(
+                    "hash join {} AS {} on ({})",
+                    tref.table,
+                    tref.binding_name(),
+                    columns.join(", ")
+                ),
+                op => format!("{op} {} AS {}", tref.table, tref.binding_name()),
+            },
+        );
+        if let Some((scanned, kept, build_elapsed)) = build_info {
+            p.record_build(depth, scanned, kept, build_elapsed);
+        }
+    }
     Ok(cont)
 }
 
+/// Access-path description of one index probe, consumed by the
+/// profiler; the operator line is rendered only when profiling is on.
+struct ProbeProfile {
+    kind: &'static str,
+    label: Option<String>,
+}
+
 /// Find an index usable for this table given the filter's top-level
-/// equality and IN-list conjuncts; returns the candidate row ids when
-/// one applies. At most one index column may come from an IN list: that
-/// column is probed once per list value and the hits are unioned, which
-/// is what lets bulk corpus queries restrict a scan to a set of
-/// still-undecided policy ids.
+/// equality and IN-list conjuncts; returns the candidate row ids (and
+/// the access path taken, for the profiler) when one applies. At most
+/// one index column may come from an IN list: that column is probed
+/// once per list value and the hits are unioned, which is what lets
+/// bulk corpus queries restrict a scan to a set of still-undecided
+/// policy ids.
 fn probe_rows(
     db: &Database,
     tref: &TableRef,
@@ -678,7 +838,7 @@ fn probe_rows(
     filter: Option<&Expr>,
     bound: &[Binding],
     outer: &Env<'_>,
-) -> Result<Option<Vec<usize>>, DbError> {
+) -> Result<Option<(Vec<usize>, ProbeProfile)>, DbError> {
     let Some(filter) = filter else {
         return Ok(None);
     };
@@ -802,6 +962,35 @@ fn probe_rows(
     let Some((index, multi)) = best else {
         return Ok(None);
     };
+    let profile = ProbeProfile {
+        kind: if multi.is_some() {
+            "in_list_probe"
+        } else {
+            "index_probe"
+        },
+        label: outer.memo.profiler.as_ref().map(|_| {
+            let cols: Vec<&str> = index
+                .columns
+                .iter()
+                .map(|&c| table.schema.columns[c].name.as_str())
+                .collect();
+            let op = if multi.is_some() {
+                "in-list probe"
+            } else {
+                "index nested loop"
+            };
+            let mut label = format!(
+                "{op} {} AS {} on ({})",
+                tref.table,
+                tref.binding_name(),
+                cols.join(", ")
+            );
+            if let Some(name) = index.name() {
+                label.push_str(&format!(" via {name}"));
+            }
+            label
+        }),
+    };
     let mut key: Vec<Value> = index
         .columns
         .iter()
@@ -815,7 +1004,7 @@ fn probe_rows(
         })
         .collect();
     match multi {
-        None => Ok(Some(index.probe(&key).to_vec())),
+        None => Ok(Some((index.probe(&key).to_vec(), profile))),
         Some((pos, slot)) => {
             let mut ids = Vec::new();
             for v in &in_lists[slot].1 {
@@ -826,7 +1015,7 @@ fn probe_rows(
             // the IN list repeats a value.
             ids.sort_unstable();
             ids.dedup();
-            Ok(Some(ids))
+            Ok(Some((ids, profile)))
         }
     }
 }
@@ -1210,6 +1399,18 @@ fn eval_pred(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Option<bool>, 
 /// that the node is rewritten into a hash semi-join and every further
 /// outer row answers with one probe.
 fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
+    let Some(profiler) = &env.memo.profiler else {
+        return exists_dispatch(db, stmt, env);
+    };
+    let addr = stmt as *const SelectStmt as usize;
+    let start = profiler.enter(addr, "Exists");
+    let result = exists_dispatch(db, stmt, env);
+    let hits = matches!(result, Ok(true)) as u64;
+    profiler.exit(addr, start, hits);
+    result
+}
+
+fn exists_dispatch(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
     enum Action {
         Correlated,
         Build,
@@ -1250,6 +1451,9 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
                     .borrow_mut()
                     .insert(node, MemoState::Set(Rc::clone(&set)));
                 bump(|s| s.exists_builds += 1);
+                if let Some(p) = &env.memo.profiler {
+                    p.note_exists(ExistsStrategy::Build);
+                }
                 probe_exists_set(db, &set, env)
             }
             None => {
@@ -1265,6 +1469,9 @@ fn exists(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbErr
 /// tables it builds) is memoized by node address, so every outer row
 /// reuses it.
 fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<bool, DbError> {
+    if let Some(p) = &env.memo.profiler {
+        p.note_exists(ExistsStrategy::Correlated);
+    }
     let mut tables: Vec<(&TableRef, &Table)> = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
         let table = db
@@ -1273,6 +1480,9 @@ fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<
         tables.push((tref, table));
     }
     let plan = plan_for(db, stmt, env.memo);
+    if let (Some(c), Some(p)) = (&env.memo.profiler, &plan) {
+        c.set_order(order_line(p, stmt));
+    }
     let scan_tables: Vec<(&TableRef, &Table)> = match &plan {
         Some(p) => p.order.iter().map(|&i| tables[i]).collect(),
         None => tables,
@@ -1300,6 +1510,9 @@ fn exists_correlated(db: &Database, stmt: &SelectStmt, env: &Env<'_>) -> Result<
 /// the same result the correlated loop would reach.
 fn probe_exists_set(db: &Database, set: &DecorrelatedSet, env: &Env<'_>) -> Result<bool, DbError> {
     bump(|s| s.exists_probes += 1);
+    if let Some(p) = &env.memo.profiler {
+        p.note_exists(ExistsStrategy::SetProbe);
+    }
     let mut key = Vec::with_capacity(set.probes.len());
     for expr in &set.probes {
         let v = eval_value(db, expr, env)?;

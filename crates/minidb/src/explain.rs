@@ -9,9 +9,15 @@
 //! without an order line. Used by the suite's documentation and by the
 //! index-ablation analysis to show *why* the optimized schema's
 //! queries stay flat.
+//!
+//! [`explain_analyze`] goes one step further: it *executes* the SELECT
+//! with per-operator profiling on and renders the actual operator tree
+//! — planned vs. actual rows side by side, loop counts, and per-node
+//! wall time with its share of the execution.
 
 use crate::database::Database;
 use crate::error::DbError;
+use crate::exec;
 use crate::plan::{plan_select, JoinOp};
 use crate::sql::ast::{CompareOp, Expr, SelectStmt, Statement};
 use crate::sql::parse_statement;
@@ -25,6 +31,27 @@ pub fn explain(db: &Database, sql: &str) -> Result<String, DbError> {
     let mut out = String::new();
     explain_select(db, &select, &[], 0, &mut out)?;
     Ok(out)
+}
+
+/// Execute a SELECT with per-operator profiling enabled and render the
+/// analyzed plan. The profiling flag is restored afterwards, so an
+/// `EXPLAIN ANALYZE` in the middle of an unprofiled workload leaves no
+/// trace beyond the statement it executed.
+pub fn explain_analyze(db: &Database, sql: &str) -> Result<String, DbError> {
+    let stmt = parse_statement(sql)?;
+    let Statement::Select(select) = stmt else {
+        return Err(DbError::Execution(
+            "EXPLAIN ANALYZE requires a SELECT".to_string(),
+        ));
+    };
+    let was_profiling = exec::profiling_enabled();
+    exec::set_profiling(true);
+    let result = exec::run_select_bound(db, &select, &[]);
+    exec::set_profiling(was_profiling);
+    result?;
+    exec::take_last_profile()
+        .map(|p| p.render())
+        .ok_or_else(|| DbError::Execution("no profile was collected".to_string()))
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -464,6 +491,114 @@ mod tests {
         let plan = explain(&d, "SELECT * FROM big b, small s WHERE b.k = s.k").unwrap();
         assert!(!plan.contains("Join order:"), "{plan}");
         assert!(plan.contains("seq scan big AS b (100 rows)"), "{plan}");
+    }
+
+    #[test]
+    fn analyze_hash_join_reports_actual_rows_per_level() {
+        // small (2 rows, k in {1,2}) drives the probe side; big has 10
+        // rows per k value, so the hash join produces 2 * 10 = 20 rows
+        // over 2 probe loops, and the build keys all 100 big rows.
+        let analyzed =
+            explain_analyze(&join_db(), "SELECT * FROM big b, small s WHERE b.k = s.k").unwrap();
+        assert!(analyzed.contains("Select (rows=20 loops=1)"), "{analyzed}");
+        assert!(
+            analyzed.contains("Join order: s, b (cost-based)"),
+            "{analyzed}"
+        );
+        assert!(
+            analyzed.contains("seq scan small AS s (planned=2 rows=2 loops=1)"),
+            "{analyzed}"
+        );
+        assert!(
+            analyzed.contains("hash join big AS b on (k) (planned="),
+            "{analyzed}"
+        );
+        assert!(analyzed.contains("rows=20 loops=2)"), "{analyzed}");
+        assert!(
+            analyzed.contains("hash build (100 rows scanned) (rows=100 loops=1)"),
+            "{analyzed}"
+        );
+        assert!(analyzed.contains("Filter (rows=20 loops=20)"), "{analyzed}");
+        // Every non-annotation line carries a timing tail.
+        assert_eq!(
+            analyzed.matches(" [").count(),
+            analyzed.lines().count() - 1, // all but the Join order line
+            "{analyzed}"
+        );
+    }
+
+    #[test]
+    fn analyze_index_nested_loop_reports_probe_counts() {
+        let analyzed = explain_analyze(
+            &db(),
+            "SELECT * FROM policy p, statement s WHERE s.policy_id = p.policy_id",
+        )
+        .unwrap();
+        assert!(analyzed.contains("Select (rows=2 loops=1)"), "{analyzed}");
+        assert!(
+            analyzed.contains("Join order: p, s (cost-based, FROM order)"),
+            "{analyzed}"
+        );
+        assert!(
+            analyzed.contains("seq scan policy AS p (planned=1 rows=1 loops=1)"),
+            "{analyzed}"
+        );
+        // One probe loop (one policy row) visiting both statement rows.
+        assert!(
+            analyzed.contains(
+                "index nested loop statement AS s on (policy_id) via idx_statement_fk (planned="
+            ),
+            "{analyzed}"
+        );
+        assert!(analyzed.contains("rows=2 loops=1)"), "{analyzed}");
+    }
+
+    #[test]
+    fn analyze_exists_reports_decorrelation_strategy_mix() {
+        // 20 outer rows; the default threshold (8) lets the first 8
+        // EXISTS evaluations run correlated, the 9th builds the hash
+        // set, and the remaining 12 answer by probing it. Matches for
+        // the 10 even ids.
+        let mut db = Database::new();
+        db.execute("CREATE TABLE outer_t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
+        db.execute("CREATE TABLE inner_t (oid INT NOT NULL)")
+            .unwrap();
+        for i in 0..20 {
+            db.execute(&format!("INSERT INTO outer_t VALUES ({i})"))
+                .unwrap();
+        }
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO inner_t VALUES ({})", i * 2))
+                .unwrap();
+        }
+        let analyzed = explain_analyze(
+            &db,
+            "SELECT * FROM outer_t o WHERE EXISTS \
+             (SELECT * FROM inner_t i WHERE i.oid = o.id)",
+        )
+        .unwrap();
+        assert!(analyzed.contains("Select (rows=10 loops=1)"), "{analyzed}");
+        assert!(
+            analyzed.contains("seq scan outer_t AS o (planned=20 rows=20 loops=1)"),
+            "{analyzed}"
+        );
+        assert!(analyzed.contains("Filter (rows=10 loops=20)"), "{analyzed}");
+        assert!(
+            analyzed.contains("Exists (correlated=8 set_probes=12 builds=1) (rows=10 loops=20)"),
+            "{analyzed}"
+        );
+        // The subquery's own scans appear under the EXISTS node.
+        assert!(analyzed.contains("seq scan inner_t AS i"), "{analyzed}");
+    }
+
+    #[test]
+    fn analyze_restores_the_profiling_flag_and_rejects_non_selects() {
+        assert!(!exec::profiling_enabled());
+        explain_analyze(&db(), "SELECT name FROM policy").unwrap();
+        assert!(!exec::profiling_enabled());
+        assert!(exec::take_last_profile().is_none(), "profile consumed");
+        assert!(explain_analyze(&db(), "DELETE FROM policy").is_err());
     }
 
     #[test]

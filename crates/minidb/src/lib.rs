@@ -52,6 +52,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod plan;
+pub mod profile;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -59,8 +60,9 @@ pub mod value;
 
 pub use database::{Database, ExecOutcome, QueryResult};
 pub use error::DbError;
-pub use explain::explain;
+pub use explain::{explain, explain_analyze};
 pub use plan::{JoinOp, JoinPlan, JoinPlanCache, PlanCacheStats, Prepared, PLAN_DRIFT_FACTOR};
+pub use profile::{Profile, ProfileNode, OP_KINDS};
 pub use schema::{ColumnDef, DataType, ForeignKey, TableSchema};
 pub use table::{IndexStats, TableStats};
 pub use value::Value;

@@ -302,6 +302,11 @@ pub struct JoinPlan {
     pub order: Vec<usize>,
     /// Aligned with `order`.
     pub ops: Vec<JoinOp>,
+    /// Estimated rows produced per scan invocation at each level
+    /// (aligned with `order`), from the same stats model that chose the
+    /// order. EXPLAIN ANALYZE compares these against actual rows to
+    /// surface misestimation.
+    pub est_rows: Vec<u64>,
     /// True when `order` differs from the literal FROM order.
     pub reordered: bool,
     /// True when every FROM table was empty at plan time; with no
@@ -614,6 +619,7 @@ pub(crate) fn plan_select(db: &Database, stmt: &SelectStmt) -> Option<Arc<JoinPl
     };
 
     let mut ops = Vec::with_capacity(n);
+    let mut est_rows = Vec::with_capacity(n);
     let mut prefix = 0u64;
     for (level, &i) in order.iter().enumerate() {
         let avail: Vec<&EqPred<'_>> = eqs
@@ -621,6 +627,7 @@ pub(crate) fn plan_select(db: &Database, stmt: &SelectStmt) -> Option<Arc<JoinPl
             .filter(|e| e.table == i && e.needs & !prefix == 0)
             .collect();
         let eq_cols = avail_eq_cols(&eqs, i, prefix);
+        est_rows.push(est(i, &eq_cols).round() as u64);
         let in_cols: Vec<usize> = ins
             .iter()
             .filter(|(t, _, needs)| *t == i && needs & !prefix == 0)
@@ -677,6 +684,7 @@ pub(crate) fn plan_select(db: &Database, stmt: &SelectStmt) -> Option<Arc<JoinPl
     Some(Arc::new(JoinPlan {
         order,
         ops,
+        est_rows,
         reordered,
         no_stats,
         planned_rows,

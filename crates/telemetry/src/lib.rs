@@ -11,8 +11,11 @@
 //!   fixed-bucket latency histograms (p50/p90/p99), rendered as a
 //!   Prometheus-style text page or a JSON snapshot;
 //! * [`slowlog`] — a slow-query log capturing SQL text, the APPEL rule
-//!   it was translated from, executor statistics, and wall time for
-//!   every statement slower than a configurable threshold.
+//!   it was translated from, executor statistics, wall time, and (with
+//!   profiling on) the analyzed plan for every statement slower than a
+//!   configurable threshold;
+//! * [`trace`] — Chrome trace-event JSON export of the span buffer, so
+//!   a sharded corpus sweep opens in `chrome://tracing`/Perfetto.
 //!
 //! The crate is dependency-free: the build environment has no access to
 //! a crates.io mirror, so `parking_lot` is substituted with
@@ -32,10 +35,12 @@
 pub mod metrics;
 pub mod slowlog;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram};
 pub use slowlog::{QueryStats, SlowQueryRecord};
 pub use span::{SpanGuard, SpanRecord};
+pub use trace::chrome_trace_json;
 
 /// Escape a string for inclusion in a JSON document.
 pub(crate) fn json_escape(s: &str) -> String {

@@ -119,14 +119,16 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 < q <= 1.0`). Returns 0 with no observations and
-    /// `f64::INFINITY` when the quantile falls in the overflow bucket.
+    /// Upper bound of the bucket containing the `q`-quantile. Returns 0
+    /// with no observations and `f64::INFINITY` when the quantile falls
+    /// in the overflow bucket. `q` is clamped to `[0, 1]` (a NaN `q`
+    /// behaves like 0), so callers can never read garbage ranks.
     pub fn quantile(&self, q: f64) -> f64 {
         let count = self.count();
         if count == 0 {
             return 0.0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * count as f64).ceil() as u64).max(1);
         let mut cumulative = 0;
         for (i, bucket) in self.buckets.iter().enumerate() {
@@ -207,10 +209,25 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
+/// Escape a label value for the Prometheus text format: backslash,
+/// double quote, and newline must not appear raw inside `k="v"`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn meta(name: &str, labels: &[(&str, &str)]) -> Meta {
     let labels = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect::<Vec<_>>()
         .join(",");
     Meta {
@@ -281,30 +298,34 @@ fn fmt_bound(i: usize) -> String {
 }
 
 /// Render the registry as a Prometheus-style text exposition page.
+///
+/// Samples are grouped by metric family (base name), each family headed
+/// by exactly one `# HELP` and one `# TYPE` line regardless of how many
+/// labelled variants it has — the BTreeMap key order would otherwise
+/// interleave `foo` < `foo_bar` < `foo{...}` and split a family.
 pub fn render_text() -> String {
-    let mut out = String::new();
-    let mut last_type_line = String::new();
-    let mut type_line = |out: &mut String, name: &str, kind: &str| {
-        let line = format!("# TYPE {name} {kind}\n");
-        if line != last_type_line {
-            out.push_str(&line);
-            last_type_line = line;
-        }
-    };
+    // family name -> (kind, sample lines in registry key order)
+    let mut families: BTreeMap<String, (&'static str, Vec<String>)> = BTreeMap::new();
 
     for (meta, c) in registry().counters.lock().unwrap().values() {
-        type_line(&mut out, &meta.name, "counter");
-        out.push_str(&format!("{} {}\n", meta.key(), c.get()));
+        let entry = families
+            .entry(meta.name.clone())
+            .or_insert_with(|| ("counter", Vec::new()));
+        entry.1.push(format!("{} {}\n", meta.key(), c.get()));
     }
     for (meta, g) in registry().gauges.lock().unwrap().values() {
-        type_line(&mut out, &meta.name, "gauge");
-        out.push_str(&format!("{} {}\n", meta.key(), g.get()));
+        let entry = families
+            .entry(meta.name.clone())
+            .or_insert_with(|| ("gauge", Vec::new()));
+        entry.1.push(format!("{} {}\n", meta.key(), g.get()));
     }
     for (meta, h) in registry().histograms.lock().unwrap().values() {
-        type_line(&mut out, &meta.name, "histogram");
+        let entry = families
+            .entry(meta.name.clone())
+            .or_insert_with(|| ("histogram", Vec::new()));
         for (i, cumulative) in h.cumulative_buckets().iter().enumerate() {
             let le = format!("le=\"{}\"", fmt_bound(i));
-            out.push_str(&format!(
+            entry.1.push(format!(
                 "{}_bucket{} {}\n",
                 meta.name,
                 if meta.labels.is_empty() {
@@ -315,12 +336,23 @@ pub fn render_text() -> String {
                 cumulative
             ));
         }
-        out.push_str(&format!("{} {}\n", meta.key_with("stat=\"sum\""), h.sum()));
-        out.push_str(&format!(
+        entry
+            .1
+            .push(format!("{} {}\n", meta.key_with("stat=\"sum\""), h.sum()));
+        entry.1.push(format!(
             "{} {}\n",
             meta.key_with("stat=\"count\""),
             h.count()
         ));
+    }
+
+    let mut out = String::new();
+    for (name, (kind, lines)) in families {
+        out.push_str(&format!("# HELP {name} p3p-suite {kind}\n"));
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for line in lines {
+            out.push_str(&line);
+        }
     }
     out
 }
@@ -530,6 +562,93 @@ mod tests {
         assert!(text.contains("test_render_latency_us_bucket{engine=\"sql\",le=\"10\"} 1"));
         assert!(text.contains("test_render_latency_us_bucket{engine=\"sql\",le=\"+Inf\"} 1"));
         assert!(text.contains("test_render_latency_us{engine=\"sql\",stat=\"count\"} 1"));
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::default();
+        h.observe(7);
+        // A single observation: every quantile is its bucket (le=10).
+        assert_eq!(h.quantile(0.0), 10.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+        // Out-of-range q must clamp instead of producing a rank past
+        // the total count (which used to report a spurious +Inf).
+        assert_eq!(h.quantile(2.5), 10.0);
+        assert_eq!(h.quantile(-1.0), 10.0);
+        assert_eq!(h.quantile(f64::NAN), 10.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_empty_and_overflow() {
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.quantile(7.0), 0.0, "clamped q on empty is still 0");
+        assert!(!empty.quantile(f64::NAN).is_nan());
+
+        let h = Histogram::default();
+        h.observe(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] + 1);
+        assert!(h.quantile(1.0).is_infinite(), "overflow bucket is +Inf");
+        assert!(
+            h.quantile(9.0).is_infinite(),
+            "clamped q resolves to the overflow bucket, not garbage"
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_in_text_rendering() {
+        let c = counter_with(
+            "test_hostile_total",
+            &[("path", "a\\b\"c\nd"), ("engine", "sql")],
+        );
+        c.inc();
+        let text = render_text();
+        assert!(
+            text.contains("test_hostile_total{path=\"a\\\\b\\\"c\\nd\",engine=\"sql\"} 1"),
+            "{text}"
+        );
+        // No raw newline may survive inside a sample line.
+        for line in text.lines().filter(|l| l.contains("test_hostile_total")) {
+            assert!(line.ends_with('1') || line.starts_with('#'), "{line}");
+        }
+        let json = snapshot_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "hostile labels broke the JSON snapshot: {json}"
+        );
+    }
+
+    #[test]
+    fn type_and_help_lines_appear_once_per_family() {
+        // An unlabelled variant, a labelled variant, and an interleaving
+        // family name: BTreeMap orders test_once < test_once_sub_total <
+        // test_once{...}, which used to split the family and duplicate
+        // its TYPE line.
+        counter("test_once_total").inc();
+        counter("test_once_sub_total").inc();
+        counter_with("test_once_total", &[("engine", "sql")]).inc();
+        histogram_with("test_once_lat_us", &[("engine", "a")]).observe(1);
+        histogram_with("test_once_lat_us", &[("engine", "b")]).observe(2);
+        let text = render_text();
+        for (family, kind) in [
+            ("test_once_total", "counter"),
+            ("test_once_sub_total", "counter"),
+            ("test_once_lat_us", "histogram"),
+        ] {
+            assert_eq!(
+                text.matches(&format!("# TYPE {family} {kind}\n")).count(),
+                1,
+                "{family} TYPE not unique:\n{text}"
+            );
+            assert_eq!(
+                text.matches(&format!("# HELP {family} ")).count(),
+                1,
+                "{family} HELP not unique:\n{text}"
+            );
+        }
+        // Both labelled variants render under the single family header.
+        assert!(text.contains("test_once_lat_us_bucket{engine=\"a\",le=\"1\"} 1"));
+        assert!(text.contains("test_once_lat_us_bucket{engine=\"b\",le=\"2\"} 1"));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct SlowQueryRecord {
     /// operators), for multi-table SELECTs that went through the
     /// cost-based planner.
     pub join_strategy: Option<String>,
+    /// Rendered `EXPLAIN ANALYZE` tree of the statement's execution
+    /// (actual rows/loops/time per operator), when the executor ran
+    /// with profiling enabled.
+    pub analyzed_plan: Option<String>,
 }
 
 /// RAII guard that tags statements executed on this thread with an
@@ -130,6 +134,18 @@ pub fn record_with_strategy(
     wall: Duration,
     join_strategy: Option<String>,
 ) {
+    record_analyzed(sql, stats, wall, join_strategy, None);
+}
+
+/// [`record_with_strategy`] plus the statement's analyzed plan (the
+/// rendered `EXPLAIN ANALYZE` tree), when the executor profiled it.
+pub fn record_analyzed(
+    sql: &str,
+    stats: QueryStats,
+    wall: Duration,
+    join_strategy: Option<String>,
+    analyzed_plan: Option<String>,
+) {
     let threshold = THRESHOLD_NANOS.load(Ordering::Relaxed);
     if u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX) < threshold {
         return;
@@ -140,6 +156,7 @@ pub fn record_with_strategy(
         stats,
         wall,
         join_strategy,
+        analyzed_plan,
     };
     let mut log = LOG.lock().unwrap();
     let cap = CAPACITY.load(Ordering::Relaxed);
@@ -236,6 +253,35 @@ mod tests {
             Some("a: seq scan, b: hash join on (k)")
         );
         assert_eq!(entry.stats.join_hash_probes, 9);
+    }
+
+    #[test]
+    fn analyzed_plan_is_recorded_when_supplied() {
+        set_threshold(Duration::ZERO);
+        record_analyzed(
+            "SELECT slowlog_test_analyzed",
+            QueryStats::default(),
+            Duration::from_micros(3),
+            None,
+            Some("Select (rows=1)\n  seq scan t AS t (rows=4 loops=1)".to_string()),
+        );
+        let entry = entries()
+            .into_iter()
+            .find(|r| r.sql == "SELECT slowlog_test_analyzed")
+            .expect("captured");
+        let plan = entry.analyzed_plan.expect("analyzed plan attached");
+        assert!(plan.contains("seq scan t"), "{plan}");
+        // Plain records carry no analyzed plan.
+        record(
+            "SELECT slowlog_test_unanalyzed",
+            QueryStats::default(),
+            Duration::from_micros(3),
+        );
+        let entry = entries()
+            .into_iter()
+            .find(|r| r.sql == "SELECT slowlog_test_unanalyzed")
+            .expect("captured");
+        assert_eq!(entry.analyzed_plan, None);
     }
 
     #[test]

@@ -10,13 +10,14 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Default capacity of the global trace buffer.
 const DEFAULT_CAPACITY: usize = 4096;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
 static BUFFER: Mutex<VecDeque<SpanRecord>> = Mutex::new(VecDeque::new());
 
@@ -24,6 +25,21 @@ thread_local! {
     /// Stack of (span id, depth) for the spans currently open on this
     /// thread; the top is the parent of the next span opened.
     static ACTIVE: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small stable id for this thread (`ThreadId` has no stable
+    /// numeric form), so trace exports can lane spans per thread.
+    static THREAD_TID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The single monotonic instant all span start offsets are measured
+/// from, fixed the first time any span opens.
+fn process_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Stable numeric id of the calling thread, as recorded on spans.
+pub fn current_thread_id() -> u64 {
+    THREAD_TID.with(|t| *t)
 }
 
 /// A completed span, as stored in the trace buffer.
@@ -42,6 +58,12 @@ pub struct SpanRecord {
     pub attrs: Vec<(&'static str, String)>,
     /// Monotonic wall time between open and close.
     pub duration: Duration,
+    /// Open time in microseconds since the process span anchor (the
+    /// first span ever opened), comparable across threads.
+    pub start_us: u64,
+    /// Stable id of the thread the span ran on (see
+    /// [`current_thread_id`]).
+    pub thread: u64,
 }
 
 /// RAII guard returned by [`span!`](crate::span!); records the span on
@@ -54,6 +76,8 @@ pub struct SpanGuard {
     name: &'static str,
     attrs: Vec<(&'static str, String)>,
     start: Instant,
+    start_us: u64,
+    thread: u64,
 }
 
 impl SpanGuard {
@@ -67,13 +91,17 @@ impl SpanGuard {
             stack.push(id);
             (parent, depth)
         });
+        let anchor = process_anchor();
+        let start = Instant::now();
         SpanGuard {
             id,
             parent,
             depth,
             name,
             attrs,
-            start: Instant::now(),
+            start,
+            start_us: start.saturating_duration_since(anchor).as_micros() as u64,
+            thread: current_thread_id(),
         }
     }
 
@@ -101,6 +129,8 @@ impl Drop for SpanGuard {
             name: self.name,
             attrs: std::mem::take(&mut self.attrs),
             duration,
+            start_us: self.start_us,
+            thread: self.thread,
         };
         let mut buffer = BUFFER.lock().unwrap();
         let cap = CAPACITY.load(Ordering::Relaxed);
@@ -238,6 +268,34 @@ mod tests {
         let outer = spans.iter().find(|s| s.id == outer_id).unwrap();
         assert!(inner.duration >= Duration::from_millis(2));
         assert!(outer.duration >= inner.duration);
+    }
+
+    #[test]
+    fn start_offsets_and_thread_ids_support_trace_export() {
+        let outer = crate::span!("test_outer_f");
+        let outer_id = outer.id();
+        let inner_id = {
+            let inner = crate::span!("test_inner_f");
+            inner.id()
+        };
+        let remote_id = std::thread::spawn(|| {
+            let s = crate::span!("test_thread_f");
+            s.id()
+        })
+        .join()
+        .unwrap();
+        drop(outer);
+
+        let spans = spans_named(&["test_outer_f", "test_inner_f", "test_thread_f"]);
+        let outer = spans.iter().find(|s| s.id == outer_id).unwrap();
+        let inner = spans.iter().find(|s| s.id == inner_id).unwrap();
+        let remote = spans.iter().find(|s| s.id == remote_id).unwrap();
+        // A child opens after its parent on the shared anchor clock.
+        assert!(inner.start_us >= outer.start_us);
+        // Same thread shares one lane; the spawned thread gets another.
+        assert_eq!(inner.thread, outer.thread);
+        assert_eq!(outer.thread, current_thread_id());
+        assert_ne!(remote.thread, outer.thread);
     }
 
     #[test]

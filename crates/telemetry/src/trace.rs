@@ -1,0 +1,90 @@
+//! Chrome trace-event export for recorded spans.
+//!
+//! [`chrome_trace_json`] renders a slice of [`SpanRecord`]s as the
+//! JSON Object Format of the Trace Event specification — one complete
+//! (`"ph": "X"`) event per span, timestamped in microseconds on the
+//! process span anchor and laned by the span's thread id — so a full
+//! sharded `match_corpus` sweep opens directly in `chrome://tracing`
+//! or Perfetto. Span attributes, the span id, and the parent id ride
+//! along in `args`.
+
+use crate::json_escape;
+use crate::span::SpanRecord;
+
+/// Render `spans` as Chrome trace-event JSON
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+///
+/// Spans come out of [`crate::span::recent`] in completion order;
+/// ordering does not matter to trace viewers, which sort by `ts`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\": \"{}\", \"cat\": \"p3p\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}",
+            json_escape(s.name),
+            s.start_us,
+            s.duration.as_micros(),
+            s.thread,
+            s.id,
+        ));
+        if let Some(parent) = s.parent {
+            out.push_str(&format!(", \"parent\": {parent}"));
+        }
+        for (k, v) in &s.attrs {
+            out.push_str(&format!(", \"{}\": \"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    // The span buffer is global and tests run in parallel, so this test
+    // renders only the spans it created itself.
+    #[test]
+    fn trace_json_has_loadable_shape() {
+        {
+            let _outer = crate::span!("test_trace_outer", engine = "sql");
+            let _inner = crate::span!("test_trace_inner");
+        }
+        let spans: Vec<_> = span::recent()
+            .into_iter()
+            .filter(|s| s.name.starts_with("test_trace_"))
+            .collect();
+        assert!(spans.len() >= 2);
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"name\": \"test_trace_outer\""), "{json}");
+        assert!(json.contains("\"engine\": \"sql\""), "{json}");
+        assert!(json.contains("\"parent\": "), "{json}");
+        // One event per span, each with a ts/dur/tid triple.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), spans.len());
+        assert_eq!(json.matches("\"ts\": ").count(), spans.len());
+        assert_eq!(json.matches("\"dur\": ").count(), spans.len());
+        assert_eq!(json.matches("\"tid\": ").count(), spans.len());
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in: {json}"
+        );
+    }
+
+    #[test]
+    fn empty_span_set_renders_an_empty_event_array() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(
+            json,
+            "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\"}\n"
+        );
+    }
+}

@@ -40,4 +40,15 @@ P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-fuzz -- --seed 42
 echo "==> repro --table fuzz (zero-divergence gate)"
 P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-bench --bin repro -- --table fuzz > /dev/null
 
+echo "==> repro --table profile (profiler-off overhead gate, 1.10x)"
+cargo run -q --release -p p3p-bench --bin repro -- --table profile > /dev/null
+test -s BENCH_profile.json
+grep -q '"off_overhead"' BENCH_profile.json
+
+echo "==> repro --trace-out (Chrome trace-event schema sanity)"
+cargo run -q --release -p p3p-bench --bin repro -- --trace-out target/trace.json > /dev/null
+grep -q '"traceEvents"' target/trace.json
+grep -q '"ph": "X"' target/trace.json
+grep -q '"name": "corpus_shard"' target/trace.json
+
 echo "All checks passed."
