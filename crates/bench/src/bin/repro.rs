@@ -160,9 +160,37 @@ fn main() {
                     );
                     bulk_ok = false;
                 }
+                match sql.columnar_speedup() {
+                    Some(columnar) if columnar < 3.0 => {
+                        eprintln!(
+                            "error: columnar-over-row speedup {columnar:.1}x on the optimized \
+                             SQL bulk sweep is below the 3x floor"
+                        );
+                        bulk_ok = false;
+                    }
+                    Some(_) => {}
+                    None => {
+                        eprintln!("error: optimized SQL reported no columnar comparison");
+                        bulk_ok = false;
+                    }
+                }
             }
             _ => {
                 eprintln!("error: optimized SQL could not run the bulk sweep");
+                bulk_ok = false;
+            }
+        }
+        // The bulk API must never lose to its own per-policy loop —
+        // for any engine. 10% headroom absorbs timing noise on the
+        // engines whose bulk path *is* the loop.
+        for row in report.rows.iter().filter(|r| r.error.is_none()) {
+            if row.bulk_time.as_secs_f64() > row.loop_time.as_secs_f64() * 1.10 {
+                eprintln!(
+                    "error: bulk sweep for {} ({:?}) is slower than the per-policy loop ({:?})",
+                    row.engine.label(),
+                    row.bulk_time,
+                    row.loop_time
+                );
                 bulk_ok = false;
             }
         }

@@ -663,6 +663,10 @@ pub struct BulkRow {
     pub loop_time: Duration,
     pub bulk_time: Duration,
     pub sharded_time: Duration,
+    /// The single-threaded bulk sweep re-timed with the columnar batch
+    /// executor forced off, for engines whose matching runs minidb SQL
+    /// (`None` for the tree-walking engines, where the knob is inert).
+    pub row_exec_bulk_time: Option<Duration>,
     /// Set when the engine cannot decide the corpus at all (timings are
     /// zero in that case).
     pub error: Option<String>,
@@ -677,6 +681,13 @@ impl BulkRow {
     /// Loop-over-sharded speedup.
     pub fn sharded_speedup(&self) -> f64 {
         ratio(self.loop_time, self.sharded_time)
+    }
+
+    /// How much faster the columnar batch executor runs the bulk sweep
+    /// than the row-at-a-time interpreter.
+    pub fn columnar_speedup(&self) -> Option<f64> {
+        self.row_exec_bulk_time
+            .map(|row| ratio(row, self.bulk_time))
     }
 }
 
@@ -719,8 +730,17 @@ pub fn bulk_report(seed: u64, n: usize, runs: u32) -> BulkReport {
         .map(|p| p.get())
         .unwrap_or(1);
     let mut rows = Vec::new();
+    // The columnar knob only changes behavior where matching executes
+    // minidb SQL; the tree-walking engines would time the same code
+    // twice.
+    let sql_backed = |engine: EngineKind| {
+        matches!(
+            engine,
+            EngineKind::Sql | EngineKind::SqlGeneric | EngineKind::XQueryXTable
+        )
+    };
     for &engine in EngineKind::ALL {
-        let timed = (|| -> Result<(Duration, Duration, Duration)> {
+        let timed = (|| -> Result<(Duration, Duration, Duration, Option<Duration>)> {
             // Warm-up: populate translation and plan caches so every
             // timed pass measures steady state.
             snapshot.match_corpus(&ruleset, engine)?;
@@ -734,14 +754,23 @@ pub fn bulk_report(seed: u64, n: usize, runs: u32) -> BulkReport {
             let sharded_time = best_of(runs, || {
                 pool.match_corpus(&ruleset, engine, shards).map(|_| ())
             })?;
-            Ok((loop_time, bulk_time, sharded_time))
+            let row_exec_bulk_time = if sql_backed(engine) {
+                p3p_minidb::exec::set_columnar(false);
+                let timed = best_of(runs, || snapshot.match_corpus(&ruleset, engine).map(|_| ()));
+                p3p_minidb::exec::set_columnar(true);
+                Some(timed?)
+            } else {
+                None
+            };
+            Ok((loop_time, bulk_time, sharded_time, row_exec_bulk_time))
         })();
         rows.push(match timed {
-            Ok((loop_time, bulk_time, sharded_time)) => BulkRow {
+            Ok((loop_time, bulk_time, sharded_time, row_exec_bulk_time)) => BulkRow {
                 engine,
                 loop_time,
                 bulk_time,
                 sharded_time,
+                row_exec_bulk_time,
                 error: None,
             },
             Err(e) => BulkRow {
@@ -749,6 +778,7 @@ pub fn bulk_report(seed: u64, n: usize, runs: u32) -> BulkReport {
                 loop_time: Duration::ZERO,
                 bulk_time: Duration::ZERO,
                 sharded_time: Duration::ZERO,
+                row_exec_bulk_time: None,
                 error: Some(e.to_string()),
             },
         });
@@ -771,16 +801,20 @@ pub fn bulk_table(report: &BulkReport) -> String {
         if report.shards == 1 { "" } else { "s" }
     ));
     out.push_str(&format!(
-        "{:<22} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
-        "Engine", "Loop", "Bulk", "Sharded", "Bulk x", "Shard x"
+        "{:<22} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}\n",
+        "Engine", "Loop", "Bulk", "Sharded", "Bulk x", "Shard x", "Col x"
     ));
     for row in &report.rows {
         if let Some(e) = &row.error {
             out.push_str(&format!("{:<22} error: {e}\n", row.engine.label()));
             continue;
         }
+        let columnar = match row.columnar_speedup() {
+            Some(x) => format!("{x:>8.1}x"),
+            None => format!("{:>9}", "-"),
+        };
         out.push_str(&format!(
-            "{:<22} {:>12} {:>12} {:>12} {:>8.1}x {:>8.1}x\n",
+            "{:<22} {:>12} {:>12} {:>12} {:>8.1}x {:>8.1}x {columnar}\n",
             row.engine.label(),
             fmt_duration(row.loop_time),
             fmt_duration(row.bulk_time),
@@ -791,7 +825,8 @@ pub fn bulk_table(report: &BulkReport) -> String {
     }
     out.push_str(
         "(loop = one match_preference per policy; bulk = O(rules) corpus queries; \
-         sharded = bulk split across threads)\n",
+         sharded = bulk split across threads; Col x = bulk with the columnar \
+         batch executor over bulk with the row-at-a-time interpreter)\n",
     );
     out
 }
@@ -809,7 +844,7 @@ pub fn bench_bulk_json(report: &BulkReport) -> String {
         let body = if let Some(e) = &row.error {
             format!("\"error\": {:?}", e)
         } else {
-            format!(
+            let mut body = format!(
                 "\"loop_us\": {:.2}, \"bulk_us\": {:.2}, \"sharded_us\": {:.2}, \
                  \"bulk_speedup\": {:.2}, \"sharded_speedup\": {:.2}",
                 us(row.loop_time),
@@ -817,7 +852,16 @@ pub fn bench_bulk_json(report: &BulkReport) -> String {
                 us(row.sharded_time),
                 row.bulk_speedup(),
                 row.sharded_speedup(),
-            )
+            );
+            if let (Some(row_us), Some(speedup)) = (row.row_exec_bulk_time, row.columnar_speedup())
+            {
+                body.push_str(&format!(
+                    ", \"row_exec_bulk_us\": {:.2}, \"columnar_speedup\": {:.2}",
+                    us(row_us),
+                    speedup,
+                ));
+            }
+            body
         };
         out.push_str(&format!(
             "    {{\"engine\": \"{}\", {body}}}{}\n",

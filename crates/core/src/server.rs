@@ -27,7 +27,7 @@ use crate::error::ServerError;
 use crate::generic::GenericSchema;
 use crate::optimized;
 use crate::refschema;
-use crate::translation::{TranslationCache, TranslationVariant};
+use crate::translation::{TranslatedPlans, TranslationCache, TranslationVariant};
 use crate::view;
 use crate::xtable::XTable;
 use p3p_appel::engine::{AppelEngine, Verdict};
@@ -509,20 +509,14 @@ impl PolicyServer {
         })
     }
 
-    fn match_xtable(&self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
-        // The XTABLE compiler has no bound form — its queries read the
-        // staged `applicable_policy` row. Stage into a copy-on-write
-        // fork: cloning the database is a few `Arc` bumps, and the two
-        // staging statements rewrite only the one-row staging table.
-        let mut db = self.db.clone();
-        refschema::stage_applicable(&mut db, policy_id)?;
-        // Convert phase: APPEL → XQuery text → (reparse) → XTABLE → SQL
-        // for the whole preference, cached per ruleset. A rule beyond
-        // the compiler's capability fails the preference, as it did for
-        // the Medium level in the paper (§6.3.2). Unconditional
-        // (OTHERWISE) rules carry no query.
-        let translate_span = span!("translate");
-        let t0 = Instant::now();
+    /// Convert phase of the XTABLE engine: APPEL → XQuery text →
+    /// (reparse) → XTABLE → SQL for the whole preference, cached per
+    /// ruleset. A rule beyond the compiler's capability fails the
+    /// preference, as it did for the Medium level in the paper
+    /// (§6.3.2) — that size limit maps to a typed `Unsupported` so
+    /// callers can classify it rather than treat it as an engine
+    /// failure. Unconditional (OTHERWISE) rules carry no query.
+    fn xtable_plans(&self, ruleset: &Ruleset) -> Result<(TranslatedPlans, bool), ServerError> {
         let built =
             self.translations
                 .get_or_try_insert(ruleset, TranslationVariant::XTable, || {
@@ -540,18 +534,26 @@ impl PolicyServer {
                     }
                     Ok::<_, ServerError>(plans)
                 });
-        // A preference beyond the XTABLE compiler's size limit is a
-        // known capability hole (the paper's Medium level, §6.3.2), not
-        // an engine failure: report it as typed `Unsupported` so
-        // callers can classify it.
-        let (plans, cached) = match built {
+        match built {
             Err(ServerError::XQuery(p3p_xquery::XQueryError::TooComplex { size, limit })) => {
-                return Err(ServerError::Unsupported(format!(
+                Err(ServerError::Unsupported(format!(
                     "XTABLE cannot compile this preference: query size {size} exceeds limit {limit}"
                 )))
             }
-            other => other?,
-        };
+            other => other,
+        }
+    }
+
+    fn match_xtable(&self, ruleset: &Ruleset, policy_id: i64) -> Result<MatchOutcome, ServerError> {
+        // The XTABLE compiler has no bound form — its queries read the
+        // staged `applicable_policy` row. Stage into a copy-on-write
+        // fork: cloning the database is a few `Arc` bumps, and the two
+        // staging statements rewrite only the one-row staging table.
+        let mut db = self.db.clone();
+        refschema::stage_applicable(&mut db, policy_id)?;
+        let translate_span = span!("translate");
+        let t0 = Instant::now();
+        let (plans, cached) = self.xtable_plans(ruleset)?;
         let convert = t0.elapsed();
         drop(translate_span);
         let _execute_span = span!("execute");
@@ -684,6 +686,7 @@ impl PolicyServer {
         let result = match engine {
             EngineKind::Sql => self.bulk_sql(ruleset, subset, false),
             EngineKind::SqlGeneric => self.bulk_sql(ruleset, subset, true),
+            EngineKind::XQueryXTable => self.bulk_xtable(ruleset, subset),
             _ => self.bulk_fallback(ruleset, engine, subset),
         };
         let by_engine = [("engine", label)];
@@ -809,6 +812,51 @@ impl PolicyServer {
             .collect())
     }
 
+    /// Corpus sweep for the XTABLE engine. Each policy does the same
+    /// work as [`Self::match_xtable`], but the sweep-invariant costs are
+    /// hoisted out of the loop: the preference is translated and
+    /// prepared once (one translation-cache lookup instead of one per
+    /// policy) and a single copy-on-write fork holds the staging row,
+    /// restaged per policy instead of re-cloning the database each
+    /// time. That hoisting is what keeps the bulk path at least as fast
+    /// as the per-policy loop for this engine.
+    fn bulk_xtable(
+        &self,
+        ruleset: &Ruleset,
+        subset: Option<&[String]>,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        let roster = self.roster(subset)?;
+        if roster.is_empty() {
+            return Ok(Vec::new());
+        }
+        let translate_span = span!("translate");
+        let (plans, _cached) = self.xtable_plans(ruleset)?;
+        drop(translate_span);
+        let _execute_span = span!("execute");
+        let mut db = self.db.clone();
+        let mut out = Vec::with_capacity(roster.len());
+        for (id, name) in roster {
+            refschema::stage_applicable(&mut db, id)?;
+            let mut verdict = Verdict::default_block();
+            for (index, (rule, plan)) in ruleset.rules.iter().zip(plans.iter()).enumerate() {
+                let _ctx = QueryContextGuard::rule(index as u64);
+                let fired = match plan {
+                    Some(plan) => !db.query_prepared(plan, &[])?.is_empty(),
+                    None => true,
+                };
+                if fired {
+                    verdict = Verdict {
+                        behavior: rule.behavior.clone(),
+                        fired_rule: Some(index),
+                    };
+                    break;
+                }
+            }
+            out.push((name, verdict));
+        }
+        Ok(out)
+    }
+
     /// Engines without a set-at-a-time form answer the corpus API with
     /// a per-policy loop, so benches and callers can compare them
     /// against the bulk SQL path on equal terms.
@@ -823,10 +871,9 @@ impl PolicyServer {
         for (id, name) in roster {
             let outcome = match engine {
                 EngineKind::Native => self.match_native(ruleset, id)?,
-                EngineKind::XQueryXTable => self.match_xtable(ruleset, id)?,
                 EngineKind::XQueryNative => self.match_xquery_native(ruleset, id)?,
-                EngineKind::Sql | EngineKind::SqlGeneric => {
-                    unreachable!("SQL engines use the set-at-a-time path")
+                EngineKind::Sql | EngineKind::SqlGeneric | EngineKind::XQueryXTable => {
+                    unreachable!("these engines use dedicated set-at-a-time paths")
                 }
             };
             out.push((name, outcome.verdict));

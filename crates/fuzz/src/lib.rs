@@ -9,8 +9,10 @@
 //! [`PolicyServer::match_corpus`], sharded
 //! [`MatchPool`](p3p_server::concurrent::MatchPool) — and under every
 //! optimization knob added since PR 2 (planner on/off, forced EXISTS
-//! decorrelation, snapshot clones, execution profiling on/off). The native APPEL engine is the
-//! reference; any verdict disagreement is a [`Divergence`].
+//! decorrelation, snapshot clones, execution profiling on/off, and the
+//! columnar batch executor vs the row-at-a-time interpreter). The
+//! native APPEL engine is the reference; any verdict disagreement is a
+//! [`Divergence`].
 //!
 //! Engines may *decline* a case: exact connectives on structural
 //! elements translate to a typed [`ServerError::Unsupported`], and the
@@ -245,6 +247,26 @@ pub fn check_case(case: &FuzzCase) -> CaseReport {
         );
     }
     p3p_minidb::exec::set_profiling(false);
+
+    // Knob: columnar batch executor off. Every path above ran with the
+    // columnar engine engaging wherever eligible (it is on by default);
+    // pinning it off forces the row-at-a-time interpreter everywhere,
+    // and the two executors must answer identically.
+    p3p_minidb::exec::set_columnar(false);
+    for &engine in &[EngineKind::Sql, EngineKind::SqlGeneric] {
+        let label = engine.metric_label();
+        report.verdicts_match(
+            &format!("{label}/loop row-executor"),
+            &reference,
+            loop_verdicts(&server, &case.ruleset, engine, &names),
+        );
+        report.verdicts_match(
+            &format!("{label}/bulk row-executor"),
+            &reference,
+            server.match_corpus(&case.ruleset, engine),
+        );
+    }
+    p3p_minidb::exec::set_columnar(true);
 
     // Knob: a COW snapshot clone must answer exactly like the server
     // it was cloned from.

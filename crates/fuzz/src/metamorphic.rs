@@ -13,7 +13,8 @@
 //! * the original database vs a copy-on-write clone,
 //! * EXISTS decorrelation forced on (threshold 0) vs pinned to the
 //!   correlated nested loop (threshold `u32::MAX`),
-//! * execution profiling on vs the unprofiled baseline.
+//! * execution profiling on vs the unprofiled baseline,
+//! * columnar batch executor on vs the row-at-a-time interpreter.
 
 use crate::FuzzCase;
 use p3p_minidb::{exec, QueryResult};
@@ -109,6 +110,13 @@ pub fn check_minidb(case: &FuzzCase) -> MetamorphicReport {
         exec::set_profiling(true);
         expect("profiled", db.query(sql));
         exec::set_profiling(false);
+
+        // Columnar batch executor off: the row-at-a-time interpreter
+        // must produce the identical row set (the baseline above ran
+        // with columnar kernels engaging wherever eligible).
+        exec::set_columnar(false);
+        expect("row-executor", db.query(sql));
+        exec::set_columnar(true);
     }
     report
 }

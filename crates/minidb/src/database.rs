@@ -450,8 +450,10 @@ impl Database {
                 // output (rows are whole-row projections in order).
                 let mut ids = Vec::new();
                 let mut remaining: Vec<&Vec<Value>> = matching.rows.iter().collect();
-                for (id, row) in t.rows().iter().enumerate() {
-                    if let Some(pos) = remaining.iter().position(|m| *m == row) {
+                let mut row = Vec::new();
+                for id in 0..t.len() {
+                    t.read_row_into(id, &mut row);
+                    if let Some(pos) = remaining.iter().position(|m| **m == row) {
                         remaining.remove(pos);
                         ids.push(id);
                     }
@@ -644,10 +646,12 @@ impl Database {
                         .collect();
                     !index.probe(&ordered).is_empty()
                 }
-                None => parent
-                    .rows()
-                    .iter()
-                    .any(|r| ref_idx.iter().zip(&key).all(|(&i, k)| &r[i] == k)),
+                None => (0..parent.len()).any(|r| {
+                    ref_idx
+                        .iter()
+                        .zip(&key)
+                        .all(|(&i, k)| &parent.value(r, i) == k)
+                }),
             };
             if !found {
                 return Err(DbError::Constraint(format!(

@@ -83,7 +83,7 @@ pub fn reset_stats() {
     STATS.with(|s| s.set(ExecStats::default()));
 }
 
-fn bump(f: impl FnOnce(&mut ExecStats)) {
+pub(crate) fn bump(f: impl FnOnce(&mut ExecStats)) {
     STATS.with(|s| {
         let mut v = s.get();
         f(&mut v);
@@ -125,6 +125,25 @@ pub fn decorrelate_after() -> u32 {
     DECORRELATE_OVERRIDE
         .with(|t| t.get())
         .unwrap_or(DECORRELATE_AFTER)
+}
+
+thread_local! {
+    /// Whether eligible single-table SELECTs run on the columnar
+    /// batch executor (on by default). The row-at-a-time engine is the
+    /// fallback for every shape the batch compiler rejects, and the
+    /// differential fuzzer flips this knob to run both executors over
+    /// identical inputs.
+    static COLUMNAR: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enable or disable the columnar batch executor on this thread.
+pub fn set_columnar(on: bool) {
+    COLUMNAR.with(|c| c.set(on));
+}
+
+/// Whether the columnar batch executor is enabled on this thread.
+pub fn columnar_enabled() -> bool {
+    COLUMNAR.with(|c| c.get())
 }
 
 /// Adaptive decorrelation state plus join-planning state, one per
@@ -281,6 +300,15 @@ pub(crate) fn run_select_with_plans(
 ) -> Result<QueryResult, DbError> {
     LAST_STRATEGY.with(|s| *s.borrow_mut() = None);
     LAST_PROFILE.with(|s| *s.borrow_mut() = None);
+    // Batch-eligible single-table statements run on the columnar
+    // executor; everything it declines falls through to the row engine
+    // below with no work lost.
+    if columnar_enabled() {
+        if let Some(result) = crate::columnar::try_select(db, stmt, params)? {
+            bump(|s| s.rows_output += result.rows.len() as u64);
+            return Ok(result);
+        }
+    }
     let memo = ExistsMemo {
         shared_plans: plans,
         profiler: profiling_enabled().then(Collector::new),
@@ -340,6 +368,12 @@ pub fn take_last_profile() -> Option<Profile> {
 /// reporting (slow-query log, histograms) leaves it for the caller.
 pub(crate) fn with_last_profile<R>(f: impl FnOnce(Option<&Profile>) -> R) -> R {
     LAST_PROFILE.with(|s| f(s.borrow().as_ref()))
+}
+
+/// Record the profile of a completed columnar execution (the columnar
+/// module owns its collector; the thread-local hand-off stays here).
+pub(crate) fn set_last_profile(profile: Profile) {
+    LAST_PROFILE.with(|s| *s.borrow_mut() = Some(profile));
 }
 
 /// Fetch (or compute and cache) the join plan for one SELECT node.
@@ -612,8 +646,7 @@ fn join_scan(
                 bump(|s| s.rows_scanned += 1);
                 visited += 1;
                 let slot = bound.last_mut().expect("binding just pushed");
-                slot.row.clear();
-                slot.row.extend_from_slice(&table.rows()[id]);
+                table.read_row_into(id, &mut slot.row);
                 if !join_scan(db, tables, plan, depth + 1, bound, filter, outer, emit)? {
                     cont = false;
                     break;
@@ -629,12 +662,11 @@ fn join_scan(
         }
         None => {
             bump(|s| s.seq_scans += 1);
-            for row in table.rows() {
+            for id in 0..table.len() {
                 bump(|s| s.rows_scanned += 1);
                 visited += 1;
                 let slot = bound.last_mut().expect("binding just pushed");
-                slot.row.clear();
-                slot.row.extend_from_slice(row);
+                table.read_row_into(id, &mut slot.row);
                 if !join_scan(db, tables, plan, depth + 1, bound, filter, outer, emit)? {
                     cont = false;
                     break;
@@ -645,7 +677,7 @@ fn join_scan(
                 // table; planned levels carry the cost model's estimate.
                 let planned = match plan {
                     Some(pl) => pl.est_rows.get(depth).copied(),
-                    None => Some(table.rows().len() as u64),
+                    None => Some(table.len() as u64),
                 };
                 let elapsed = level_start.expect("profiling on").elapsed();
                 p.record_level(depth, "seq_scan", planned, visited, elapsed, || {
@@ -695,11 +727,10 @@ fn hash_join_level(
                 columns: table.schema.column_names(),
                 row: Vec::new(),
             }];
-            'rows: for (row_id, row) in table.rows().iter().enumerate() {
+            'rows: for row_id in 0..table.len() {
                 bump(|s| s.rows_scanned += 1);
                 if !build_filter.is_empty() {
-                    build_binding[0].row.clear();
-                    build_binding[0].row.extend_from_slice(row);
+                    table.read_row_into(row_id, &mut build_binding[0].row);
                     // The pushdown conjuncts are outer-free: evaluating
                     // them with no outer chain is the same answer every
                     // probing row would see.
@@ -717,16 +748,17 @@ fn hash_join_level(
                 }
                 let mut key = Vec::with_capacity(build_cols.len());
                 for &c in build_cols {
-                    if row[c].is_null() {
+                    let v = table.value(row_id, c);
+                    if v.is_null() {
                         continue 'rows;
                     }
-                    key.push(row[c].clone());
+                    key.push(v);
                 }
                 map.entry(key).or_default().push(row_id);
             }
             if let Some(start) = build_start {
                 let kept: u64 = map.values().map(|ids| ids.len() as u64).sum();
-                build_info = Some((table.rows().len() as u64, kept, start.elapsed()));
+                build_info = Some((table.len() as u64, kept, start.elapsed()));
             }
             let ht = Rc::new(JoinHashTable { map });
             outer
@@ -774,8 +806,7 @@ fn hash_join_level(
         bump(|s| s.rows_scanned += 1);
         visited += 1;
         let slot = bound.last_mut().expect("binding just pushed");
-        slot.row.clear();
-        slot.row.extend_from_slice(&table.rows()[id]);
+        table.read_row_into(id, &mut slot.row);
         if !join_scan(
             db,
             tables,
@@ -1020,6 +1051,40 @@ fn probe_rows(
     }
 }
 
+/// Candidate-row selection for the columnar executor: the same index /
+/// IN-list probe search the row engine runs, against an empty scope (a
+/// top-level single-table scan has no bound tables and no outer env).
+/// `None` means "scan the whole table". Statistics are *not* bumped
+/// here — the caller commits them only once it decides to engage.
+pub(crate) struct CandidateProbe {
+    pub ids: Vec<usize>,
+    pub label: Option<String>,
+}
+
+pub(crate) fn probe_candidates(
+    db: &Database,
+    tref: &TableRef,
+    table: &Table,
+    filter: Option<&Expr>,
+    params: &[Value],
+    want_label: bool,
+) -> Result<Option<CandidateProbe>, DbError> {
+    if !db.use_indexes() {
+        return Ok(None);
+    }
+    let memo = ExistsMemo {
+        profiler: want_label.then(Collector::new),
+        ..ExistsMemo::default()
+    };
+    let root = Env::root(params, &memo);
+    Ok(
+        probe_rows(db, tref, table, filter, &[], &root)?.map(|(ids, p)| CandidateProbe {
+            ids,
+            label: p.label,
+        }),
+    )
+}
+
 /// Flatten nested ANDs into conjuncts.
 pub(crate) fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
     match expr {
@@ -1032,7 +1097,7 @@ pub(crate) fn collect_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
 }
 
 /// Output column names for a SELECT.
-fn output_columns(stmt: &SelectStmt, tables: &[(&TableRef, &Table)]) -> Vec<String> {
+pub(crate) fn output_columns(stmt: &SelectStmt, tables: &[(&TableRef, &Table)]) -> Vec<String> {
     let mut out = Vec::new();
     for item in &stmt.items {
         match item {
@@ -1612,7 +1677,29 @@ fn build_exists_set(
 /// the [`DecorrelatedSet`] (which itself lives until the execution's
 /// memo is dropped, keeping their addresses allocated).
 #[allow(clippy::type_complexity)]
-fn decorrelation_plan(stmt: &SelectStmt) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&Expr>)> {
+pub(crate) fn decorrelation_plan(stmt: &SelectStmt) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&Expr>)> {
+    decorrelation_plan_with(stmt, false)
+}
+
+/// [`decorrelation_plan`] with an extra admission: an outer-referencing
+/// `EXISTS` (or `NOT EXISTS`) conjunct may join the residual instead of
+/// rejecting the plan. The row engine cannot use this form — its build
+/// scan evaluates residuals with only the subquery binding in scope —
+/// but the columnar compiler can, because its rebind map substitutes
+/// skipped-over outer references with provably-equal local columns (and
+/// rejects the statement itself if any reference is not rebindable).
+#[allow(clippy::type_complexity)]
+pub(crate) fn decorrelation_plan_relaxed(
+    stmt: &SelectStmt,
+) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&Expr>)> {
+    decorrelation_plan_with(stmt, true)
+}
+
+#[allow(clippy::type_complexity)]
+fn decorrelation_plan_with(
+    stmt: &SelectStmt,
+    outer_exists_residual: bool,
+) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&Expr>)> {
     let filter = stmt.filter.as_ref()?;
     let mut conjuncts = Vec::new();
     collect_conjuncts(filter, &mut conjuncts);
@@ -1635,6 +1722,10 @@ fn decorrelation_plan(stmt: &SelectStmt) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&
             return None;
         }
         if !uses_outer {
+            residual.push(c);
+            continue;
+        }
+        if outer_exists_residual && is_exists_conjunct(c) {
             residual.push(c);
             continue;
         }
@@ -1665,6 +1756,16 @@ fn decorrelation_plan(stmt: &SelectStmt) -> Option<(Vec<&Expr>, Vec<Expr>, Vec<&
         return None;
     }
     Some((keys, probes, residual))
+}
+
+/// `EXISTS(...)` under any number of `NOT`s — the conjunct shapes the
+/// columnar rebind machinery can compile with outer references intact.
+fn is_exists_conjunct(expr: &Expr) -> bool {
+    match expr {
+        Expr::Exists(_) => true,
+        Expr::Not(inner) => is_exists_conjunct(inner),
+        _ => false,
+    }
 }
 
 /// Walk an expression classifying each column reference against the

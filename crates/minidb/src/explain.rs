@@ -185,6 +185,10 @@ fn explain_select(
             visible.push(tref.binding_name().to_string());
         }
     }
+    if select.from.len() == 1 && crate::columnar::shape_eligible(db, select) {
+        indent(out, depth + 1);
+        out.push_str("columnar batch execution\n");
+    }
     if let Some(filter) = &select.filter {
         indent(out, depth + 1);
         out.push_str("Filter\n");
@@ -438,6 +442,22 @@ mod tests {
     fn distinct_and_limit_are_annotated() {
         let plan = explain(&db(), "SELECT DISTINCT name FROM policy LIMIT 3").unwrap();
         assert!(plan.contains("Select DISTINCT LIMIT 3"), "{plan}");
+    }
+
+    #[test]
+    fn columnar_eligibility_is_annotated() {
+        // Single-table SELECTs with plain projections run on the
+        // columnar batch engine; joins and wildcards stay row-at-a-time.
+        let plan = explain(&db(), "SELECT name FROM policy WHERE policy_id = 1").unwrap();
+        assert!(plan.contains("columnar batch execution"), "{plan}");
+        let plan = explain(&db(), "SELECT * FROM policy").unwrap();
+        assert!(!plan.contains("columnar batch execution"), "{plan}");
+        let plan = explain(
+            &db(),
+            "SELECT * FROM policy p, statement s WHERE s.policy_id = p.policy_id",
+        )
+        .unwrap();
+        assert!(!plan.contains("columnar batch execution"), "{plan}");
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //! queries) become index probes. [`Database::set_use_indexes`] turns
 //! this off for the suite's index-ablation bench.
 //!
+//! Tables are stored as typed column vectors with validity bitmaps
+//! ([`table`]), and eligible single-table SELECTs run through a
+//! columnar batch-at-a-time executor ([`columnar`]): predicates
+//! compile to kernels evaluated over batches of 1024 row ids with
+//! packed three-valued selection vectors, falling back to the
+//! row-at-a-time interpreter (rows are cheap views onto the columns)
+//! for anything the kernels cannot reproduce exactly.
+//! [`exec::set_columnar`] pins the interpreter for differential
+//! testing.
+//!
 //! Multi-table SELECTs additionally go through a cost-based join
 //! planner ([`plan`]): per-table statistics (row counts plus exact
 //! distinct-key counts read off the hash indexes) drive a greedy
@@ -47,6 +57,7 @@
 //! assert_eq!(result.rows[0][0].as_str(), Some("contact"));
 //! ```
 
+pub mod columnar;
 pub mod database;
 pub mod error;
 pub mod exec;

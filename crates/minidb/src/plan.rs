@@ -572,18 +572,22 @@ pub(crate) fn plan_select(db: &Database, stmt: &SelectStmt) -> Option<Arc<JoinPl
     }
 
     // Estimated cardinality of table `t` under the given equality cols.
+    // Reads the per-version cached [`crate::table::TableStats`] instead
+    // of walking the live hash indexes, so repeated planning over an
+    // unchanged table costs an `Arc` bump per table.
+    let stats: Vec<Arc<crate::table::TableStats>> = tables.iter().map(|t| t.stats()).collect();
     let est = |t: usize, eq_cols: &[usize]| -> f64 {
-        let table = tables[t];
-        let rows = table.len() as f64;
+        let stats = &stats[t];
+        let rows = stats.row_count as f64;
         let mut est = rows;
         if !eq_cols.is_empty() {
             let mut distinct: Option<usize> = None;
             let mut widest = 0;
-            for index in table.indexes() {
+            for index in &stats.indexes {
                 if index.columns.len() > widest && index.columns.iter().all(|c| eq_cols.contains(c))
                 {
                     widest = index.columns.len();
-                    distinct = Some(index.distinct_keys());
+                    distinct = Some(index.distinct_keys);
                 }
             }
             est = match distinct {

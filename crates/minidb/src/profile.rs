@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 pub const OP_KINDS: &[&str] = &[
     "select",
     "seq_scan",
+    "columnar_scan",
     "index_probe",
     "in_list_probe",
     "hash_join",
@@ -314,6 +315,19 @@ impl Collector {
             node.filter.loops += 1;
             node.filter.rows_in += 1;
             node.filter.rows_out += passed as u64;
+            node.filter.time += elapsed;
+        });
+    }
+
+    /// Record one batched residual-filter evaluation (the columnar
+    /// engine's equivalent of `rows_in` [`Collector::record_filter`]
+    /// calls): loops count rows, not batches, so the Filter node's
+    /// per-row accounting matches the row engine's.
+    pub(crate) fn record_filter_batch(&self, rows_in: u64, rows_out: u64, elapsed: Duration) {
+        self.with_top(|node| {
+            node.filter.loops += rows_in;
+            node.filter.rows_in += rows_in;
+            node.filter.rows_out += rows_out;
             node.filter.time += elapsed;
         });
     }

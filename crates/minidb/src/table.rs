@@ -1,14 +1,24 @@
-//! Row storage with hash indexes.
+//! Columnar storage with hash indexes.
 //!
-//! Rows and indexes live behind `Arc`s, so cloning a [`Table`] (and
-//! therefore a whole `Database` snapshot) is two reference-count bumps;
-//! the first mutation of a shared table copies it (copy-on-write).
+//! Tables store one typed vector per column ([`ColumnVec`]: `i64` or
+//! `String` payloads) plus a validity bitmap marking non-NULL slots —
+//! the layout batch kernels scan directly. The row-oriented view the
+//! rest of the engine was written against survives as a cheap seam
+//! ([`Table::row`], [`Table::read_row_into`], [`Table::value`]) that
+//! materialises `Value`s on demand.
+//!
+//! Columns and indexes live behind `Arc`s, so cloning a [`Table`] (and
+//! therefore a whole `Database` snapshot) is a few reference-count
+//! bumps; the first mutation of a shared table copies it
+//! (copy-on-write). Planner statistics are cached per table version in
+//! an `Arc<OnceLock<..>>` that every mutation replaces, so snapshots
+//! keep the stats of the version they captured.
 
 use crate::error::DbError;
-use crate::schema::TableSchema;
+use crate::schema::{DataType, TableSchema};
 use crate::value::Value;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A hash index over one or more columns.
 #[derive(Debug, Clone)]
@@ -68,21 +78,143 @@ pub struct IndexStats {
 }
 
 /// Per-table statistics consumed by the cost-based join planner.
-/// Derived on demand from state the table already maintains (row
-/// vector length, index map sizes), so they can never go stale.
+/// Computed once per table version and cached (see [`Table::stats`]);
+/// every mutation installs a fresh cache cell, so a stale read is
+/// impossible and repeated planning is free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableStats {
     pub row_count: usize,
     pub indexes: Vec<IndexStats>,
 }
 
-/// A stored table: schema, rows, and indexes. Rows and indexes are
-/// shared on clone (copy-on-write).
+/// Typed payload of one column: all values in one contiguous vector.
+/// NULL slots hold a placeholder (`0` / `""`) and are masked out by the
+/// owning [`Column`]'s validity bitmap.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    Int(Vec<i64>),
+    Text(Vec<String>),
+}
+
+/// One column: typed payload plus a validity bitmap (bit set ⇒ the
+/// slot holds a real value, clear ⇒ NULL).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnVec,
+    validity: Vec<u64>,
+}
+
+impl Column {
+    fn new(data_type: DataType) -> Column {
+        Column {
+            data: match data_type {
+                DataType::Int => ColumnVec::Int(Vec::new()),
+                DataType::Text => ColumnVec::Text(Vec::new()),
+            },
+            validity: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Text(v) => v.len(),
+        }
+    }
+
+    /// Append one value. The caller (always behind
+    /// `TableSchema::check_row`) guarantees the value's type matches
+    /// the column's.
+    fn push(&mut self, value: &Value) {
+        let slot = self.len();
+        if slot.is_multiple_of(64) {
+            self.validity.push(0);
+        }
+        match (&mut self.data, value) {
+            (ColumnVec::Int(v), Value::Int(x)) => {
+                v.push(*x);
+                self.validity[slot / 64] |= 1 << (slot % 64);
+            }
+            (ColumnVec::Text(v), Value::Text(s)) => {
+                v.push(s.clone());
+                self.validity[slot / 64] |= 1 << (slot % 64);
+            }
+            (ColumnVec::Int(v), _) => {
+                debug_assert!(value.is_null(), "type mismatch past check_row");
+                v.push(0);
+            }
+            (ColumnVec::Text(v), _) => {
+                debug_assert!(value.is_null(), "type mismatch past check_row");
+                v.push(String::new());
+            }
+        }
+    }
+
+    /// True when slot `i` holds a real (non-NULL) value.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Materialise slot `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Text(v) => Value::Text(v[i].clone()),
+        }
+    }
+
+    /// The raw integer payload, when this is an Int column. NULL slots
+    /// hold `0`; consult [`Column::is_valid`].
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnVec::Int(v) => Some(v),
+            ColumnVec::Text(_) => None,
+        }
+    }
+
+    /// The raw text payload, when this is a Text column. NULL slots
+    /// hold `""`; consult [`Column::is_valid`].
+    pub fn texts(&self) -> Option<&[String]> {
+        match &self.data {
+            ColumnVec::Text(v) => Some(v),
+            ColumnVec::Int(_) => None,
+        }
+    }
+
+    /// Keep only the slots where `keep` is true, compacting in order.
+    fn retain_by_mask(&mut self, keep: &[bool]) {
+        let mut kept = Column {
+            data: match &self.data {
+                ColumnVec::Int(_) => ColumnVec::Int(Vec::new()),
+                ColumnVec::Text(_) => ColumnVec::Text(Vec::new()),
+            },
+            validity: Vec::new(),
+        };
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                kept.push(&self.value(i));
+            }
+        }
+        *self = kept;
+    }
+}
+
+/// A stored table: schema, typed column vectors, and indexes. Columns
+/// and indexes are shared on clone (copy-on-write).
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    rows: Arc<Vec<Vec<Value>>>,
+    cols: Arc<Vec<Column>>,
+    row_count: usize,
     indexes: Arc<Vec<Index>>,
+    /// Cached planner statistics for this table version. Mutations
+    /// swap in a fresh cell rather than clearing this one, so
+    /// snapshots sharing the old cell keep their (still correct)
+    /// cached value.
+    stats: Arc<OnceLock<Arc<TableStats>>>,
 }
 
 impl Table {
@@ -96,24 +228,59 @@ impl Table {
         }
         Table {
             indexes: Arc::new(indexes),
-            rows: Arc::new(Vec::new()),
+            cols: Arc::new(Self::empty_columns(&schema)),
+            row_count: 0,
+            stats: Arc::new(OnceLock::new()),
             schema,
         }
     }
 
-    /// All rows in insertion order.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    fn empty_columns(schema: &TableSchema) -> Vec<Column> {
+        schema
+            .columns
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect()
+    }
+
+    /// Any mutation makes the cached statistics stale for *this*
+    /// table; snapshots keep the cell (and value) they already share.
+    fn invalidate_stats(&mut self) {
+        self.stats = Arc::new(OnceLock::new());
+    }
+
+    /// The typed column vectors (for batch kernels).
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Materialise row `id` as an owned `Vec<Value>`.
+    pub fn row(&self, id: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value(id)).collect()
+    }
+
+    /// Materialise row `id` into `buf` (cleared first), reusing its
+    /// allocation.
+    pub fn read_row_into(&self, id: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        for c in self.cols.iter() {
+            buf.push(c.value(id));
+        }
+    }
+
+    /// Materialise the single cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].value(row)
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.row_count
     }
 
     /// True when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.row_count == 0
     }
 
     /// Insert a validated row (primary-key uniqueness enforced).
@@ -134,11 +301,16 @@ impl Table {
                 )));
             }
         }
-        let row_id = self.rows.len();
+        let row_id = self.row_count;
         for index in Arc::make_mut(&mut self.indexes) {
             index.insert(&row, row_id);
         }
-        Arc::make_mut(&mut self.rows).push(row);
+        let cols = Arc::make_mut(&mut self.cols);
+        for (col, value) in cols.iter_mut().zip(&row) {
+            col.push(value);
+        }
+        self.row_count += 1;
+        self.invalidate_stats();
         Ok(())
     }
 
@@ -168,10 +340,13 @@ impl Table {
             return Ok(()); // idempotent
         }
         let mut index = Index::new(index_name.map(str::to_string), columns);
-        for (row_id, row) in self.rows.iter().enumerate() {
-            index.insert(row, row_id);
+        let mut row = Vec::with_capacity(self.cols.len());
+        for row_id in 0..self.row_count {
+            self.read_row_into(row_id, &mut row);
+            index.insert(&row, row_id);
         }
         Arc::make_mut(&mut self.indexes).push(index);
+        self.invalidate_stats();
         Ok(())
     }
 
@@ -189,37 +364,45 @@ impl Table {
         &self.indexes
     }
 
-    /// Current statistics: row count plus per-index distinct-key counts.
-    pub fn stats(&self) -> TableStats {
-        TableStats {
-            row_count: self.rows.len(),
-            indexes: self
-                .indexes
-                .iter()
-                .map(|i| IndexStats {
-                    name: i.name.clone(),
-                    columns: i.columns.clone(),
-                    distinct_keys: i.map.len(),
+    /// Statistics for this table version: row count plus per-index
+    /// distinct-key counts. Computed on first use and cached until the
+    /// next mutation; clones of the returned `Arc` stay valid (and
+    /// correct for the version they describe) even across later
+    /// mutations.
+    pub fn stats(&self) -> Arc<TableStats> {
+        self.stats
+            .get_or_init(|| {
+                Arc::new(TableStats {
+                    row_count: self.row_count,
+                    indexes: self
+                        .indexes
+                        .iter()
+                        .map(|i| IndexStats {
+                            name: i.name.clone(),
+                            columns: i.columns.clone(),
+                            distinct_keys: i.map.len(),
+                        })
+                        .collect(),
                 })
-                .collect(),
-        }
+            })
+            .clone()
     }
 
     /// Delete the rows at the given positions, rebuilding indexes.
     pub fn delete_rows(&mut self, mut row_ids: Vec<usize>) -> usize {
         row_ids.sort_unstable();
         row_ids.dedup();
-        let rows = Arc::make_mut(&mut self.rows);
-        for &id in row_ids.iter().rev() {
-            rows.remove(id);
+        let mut keep = vec![true; self.row_count];
+        for &id in &row_ids {
+            keep[id] = false;
         }
-        self.rebuild_indexes_empty();
-        let indexes = Arc::make_mut(&mut self.indexes);
-        for (row_id, row) in self.rows.iter().enumerate() {
-            for index in indexes.iter_mut() {
-                index.insert(row, row_id);
-            }
+        let cols = Arc::make_mut(&mut self.cols);
+        for col in cols.iter_mut() {
+            col.retain_by_mask(&keep);
         }
+        self.row_count -= row_ids.len();
+        self.reindex_all();
+        self.invalidate_stats();
         row_ids.len()
     }
 
@@ -235,7 +418,7 @@ impl Table {
         values: &[Value],
     ) -> Result<usize, DbError> {
         debug_assert_eq!(col_indexes.len(), values.len());
-        let mut updated = self.rows.as_ref().clone();
+        let mut updated: Vec<Vec<Value>> = (0..self.row_count).map(|i| self.row(i)).collect();
         let mut remaining: Vec<&Vec<Value>> = matching.iter().collect();
         let mut changed = 0usize;
         for row in &mut updated {
@@ -276,21 +459,24 @@ impl Table {
                 )));
             }
         }
-        self.rows = Arc::new(updated);
-        self.rebuild_indexes_empty();
-        let indexes = Arc::make_mut(&mut self.indexes);
-        for (row_id, row) in self.rows.iter().enumerate() {
-            for index in indexes.iter_mut() {
-                index.insert(row, row_id);
+        let mut cols = Self::empty_columns(&self.schema);
+        for row in &updated {
+            for (col, value) in cols.iter_mut().zip(row) {
+                col.push(value);
             }
         }
+        self.cols = Arc::new(cols);
+        self.reindex_all();
+        self.invalidate_stats();
         Ok(changed)
     }
 
     /// Remove all rows, keeping the schema and (empty) indexes.
     pub fn truncate(&mut self) {
-        Arc::make_mut(&mut self.rows).clear();
+        self.cols = Arc::new(Self::empty_columns(&self.schema));
+        self.row_count = 0;
         self.rebuild_indexes_empty();
+        self.invalidate_stats();
     }
 
     /// Replace every index with an empty copy of itself (same name and
@@ -298,6 +484,23 @@ impl Table {
     fn rebuild_indexes_empty(&mut self) {
         for index in Arc::make_mut(&mut self.indexes) {
             *index = Index::new(index.name.clone(), index.columns.clone());
+        }
+    }
+
+    /// Rebuild every index from current storage.
+    fn reindex_all(&mut self) {
+        self.rebuild_indexes_empty();
+        let cols = Arc::clone(&self.cols);
+        let indexes = Arc::make_mut(&mut self.indexes);
+        let mut row = Vec::with_capacity(cols.len());
+        for row_id in 0..self.row_count {
+            row.clear();
+            for c in cols.iter() {
+                row.push(c.value(row_id));
+            }
+            for index in indexes.iter_mut() {
+                index.insert(&row, row_id);
+            }
         }
     }
 }
@@ -334,7 +537,9 @@ mod tests {
             .unwrap();
         t.insert(vec![Value::Int(2), Value::Null]).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.rows()[1][0], Value::Int(2));
+        assert_eq!(t.row(1)[0], Value::Int(2));
+        assert_eq!(t.value(1, 1), Value::Null);
+        assert_eq!(t.value(0, 1), Value::Text("a".into()));
     }
 
     #[test]
@@ -412,7 +617,7 @@ mod tests {
         assert_eq!(idx.probe(&[Value::Int(4)]).len(), 1);
         // row id must point at the right row after compaction
         let id = idx.probe(&[Value::Int(4)])[0];
-        assert_eq!(t.rows()[id][0], Value::Int(4));
+        assert_eq!(t.row(id)[0], Value::Int(4));
     }
 
     #[test]
@@ -447,12 +652,12 @@ mod tests {
             t.insert(vec![Value::Int(i), Value::Null]).unwrap();
         }
         let snapshot = t.clone();
-        // Clone is two Arc bumps: storage is physically shared.
-        assert!(Arc::ptr_eq(&t.rows, &snapshot.rows));
+        // Clone is a few Arc bumps: storage is physically shared.
+        assert!(Arc::ptr_eq(&t.cols, &snapshot.cols));
         assert!(Arc::ptr_eq(&t.indexes, &snapshot.indexes));
         // Mutation detaches the writer; the snapshot is unchanged.
         t.insert(vec![Value::Int(10), Value::Null]).unwrap();
-        assert!(!Arc::ptr_eq(&t.rows, &snapshot.rows));
+        assert!(!Arc::ptr_eq(&t.cols, &snapshot.cols));
         assert_eq!(t.len(), 11);
         assert_eq!(snapshot.len(), 10);
         let idx = snapshot.find_index(&[0]).unwrap();
@@ -495,12 +700,120 @@ mod tests {
     }
 
     #[test]
-    fn truncate_empties_but_keeps_schema() {
+    fn stats_are_cached_per_version_and_stale_free_across_cow_forks() {
         let mut t = table();
-        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
-        t.truncate();
-        assert!(t.is_empty());
-        // reinsert with same pk works
-        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        for i in 0..4 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        // Warm the cache; repeated reads hand back the same Arc.
+        let warm = t.stats();
+        assert!(Arc::ptr_eq(&warm, &t.stats()));
+        // COW fork: the snapshot shares the warm cache cell.
+        let snapshot = t.clone();
+        assert!(Arc::ptr_eq(&warm, &snapshot.stats()));
+        // Mutating the writer must not leave it reading stale stats —
+        // and must not disturb the snapshot's view of the old version.
+        t.insert(vec![Value::Int(99), Value::Null]).unwrap();
+        let fresh = t.stats();
+        assert_eq!(fresh.row_count, 5);
+        assert_eq!(fresh.indexes[0].distinct_keys, 5);
+        assert!(!Arc::ptr_eq(&warm, &fresh));
+        assert_eq!(snapshot.stats().row_count, 4);
+        assert!(Arc::ptr_eq(&warm, &snapshot.stats()));
+        // Deletes and updates invalidate too.
+        t.delete_rows(vec![0]);
+        assert_eq!(t.stats().row_count, 4);
+        t.update_rows(&[], &[], &[]).unwrap();
+        assert_eq!(t.stats().row_count, 4);
+    }
+
+    #[test]
+    fn row_view_roundtrips_column_vectors() {
+        // Deterministic LCG-driven property check: whatever mix of
+        // Int/Text/NULL goes in through the row API must come back
+        // identical through row(), value(), and the typed accessors.
+        let mut t = Table::new(TableSchema {
+            name: "rt".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                    not_null: true,
+                },
+                ColumnDef {
+                    name: "num".into(),
+                    data_type: DataType::Int,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "label".into(),
+                    data_type: DataType::Text,
+                    not_null: false,
+                },
+            ],
+            primary_key: vec![0],
+            foreign_keys: vec![],
+        });
+        let mut state = 0x243F_6A88_85A3_08D3_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut expected = Vec::new();
+        for i in 0..300 {
+            let num = match next() % 3 {
+                0 => Value::Null,
+                _ => Value::Int(next() as i64 - (1 << 30)),
+            };
+            let label = match next() % 3 {
+                0 => Value::Null,
+                _ => Value::Text(format!("s{}", next() % 17)),
+            };
+            let row = vec![Value::Int(i), num, label];
+            t.insert(row.clone()).unwrap();
+            expected.push(row);
+        }
+        for (id, row) in expected.iter().enumerate() {
+            assert_eq!(&t.row(id), row, "row {id}");
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(&t.value(id, c), v, "cell {id},{c}");
+                assert_eq!(t.columns()[c].is_valid(id), !v.is_null());
+            }
+        }
+        let mut buf = Vec::new();
+        t.read_row_into(7, &mut buf);
+        assert_eq!(buf, expected[7]);
+        // Typed accessors expose the payloads directly.
+        assert!(t.columns()[0].ints().is_some());
+        assert!(t.columns()[2].texts().is_some());
+        assert!(t.columns()[2].ints().is_none());
+    }
+
+    #[test]
+    fn validity_bitmap_tracks_nulls_across_word_boundaries() {
+        let mut t = table();
+        // 130 rows straddle three 64-bit validity words; NULL every
+        // third name.
+        for i in 0..130 {
+            let name = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Text(format!("n{i}"))
+            };
+            t.insert(vec![Value::Int(i), name]).unwrap();
+        }
+        for i in 0..130usize {
+            assert_eq!(t.columns()[1].is_valid(i), i % 3 != 0, "slot {i}");
+        }
+        // Compaction keeps validity aligned with the surviving rows.
+        t.delete_rows((0..65).collect());
+        assert_eq!(t.len(), 65);
+        for i in 0..65usize {
+            let orig = i as i64 + 65;
+            assert_eq!(t.value(i, 0), Value::Int(orig));
+            assert_eq!(t.columns()[1].is_valid(i), orig % 3 != 0, "slot {i}");
+        }
     }
 }

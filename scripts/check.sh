@@ -25,8 +25,12 @@ cargo run -q --release -p p3p-bench --bin repro -- --table caching > /dev/null
 echo "==> bench smoke (bulk, single iteration)"
 cargo bench -p p3p-bench --bench bulk -- --test
 
-echo "==> repro --table bulk (bulk-over-loop speedup floor)"
+echo "==> bench smoke (columnar, single iteration)"
+cargo bench -p p3p-bench --bench columnar -- --test
+
+echo "==> repro --table bulk (bulk-over-loop + columnar-over-row speedup floors)"
 cargo run -q --release -p p3p-bench --bin repro -- --table bulk > /dev/null
+grep -q '"columnar_speedup"' BENCH_bulk.json
 
 echo "==> bench smoke (join, single iteration)"
 cargo bench -p p3p-bench --bench join -- --test
