@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | bulk | join | fuzz | profile | ablation
+//! repro --table shredding | warmcold | caching | bulk | join | fuzz | churn | profile | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! repro --trace-out trace.json # Chrome trace of a sharded corpus sweep
@@ -18,11 +18,11 @@
 //! timing report.
 
 use p3p_bench::{
-    ablation_table, bench_bulk_json, bench_fuzz_json, bench_join_json, bench_matching_json,
-    bench_profile_json, bulk_report, bulk_table, caching_report, caching_table, export_trace,
-    figure19, figure20, figure21, fuzz_report, fuzz_table, join_report, join_table, profile_report,
-    profile_table, scaling_table, shredding_table, subset_table, telemetry_table, warm_cold_table,
-    DEFAULT_SEED,
+    ablation_table, bench_bulk_json, bench_churn_json, bench_fuzz_json, bench_join_json,
+    bench_matching_json, bench_profile_json, bulk_report, bulk_table, caching_report,
+    caching_table, churn_report, churn_table, export_trace, figure19, figure20, figure21,
+    fuzz_report, fuzz_table, join_report, join_table, profile_report, profile_table, scaling_table,
+    shredding_table, subset_table, telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -246,6 +246,38 @@ fn main() {
             fuzz_ok = false;
         }
     }
+    let mut churn_ok = true;
+    if all || tables.iter().any(|t| t == "churn") {
+        // Live policy churn: 1% update probability, verdict cache on.
+        // P3P_CHURN_OPS overrides the stream length.
+        let ops = std::env::var("P3P_CHURN_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5000);
+        let report = churn_report(seed, ops, 0.01);
+        println!("{}", churn_table(&report));
+        let json = bench_churn_json(&report);
+        let path = std::path::Path::new("BENCH_churn.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        let hit_rate = report.hit_rate();
+        if hit_rate < 0.8 {
+            eprintln!(
+                "error: verdict-cache hit rate {hit_rate:.4} at 1% churn is below the 0.8 floor"
+            );
+            churn_ok = false;
+        }
+        let speedup = report.speedup();
+        if speedup < 10.0 {
+            eprintln!(
+                "error: cached-hit speedup {speedup:.1}x over the uncached match p50 is below \
+                 the 10x floor"
+            );
+            churn_ok = false;
+        }
+    }
     let mut profile_ok = true;
     if all || tables.iter().any(|t| t == "profile") {
         let report = profile_report(seed, 5);
@@ -290,7 +322,7 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
-    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok || !profile_ok {
+    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok || !churn_ok || !profile_ok {
         std::process::exit(1);
     }
 }
@@ -321,7 +353,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|profile|ablation|scaling|subset|telemetry]... [--metrics-dir DIR] [--trace-out PATH]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|churn|profile|ablation|scaling|subset|telemetry]... [--metrics-dir DIR] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

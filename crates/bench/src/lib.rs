@@ -1328,9 +1328,19 @@ pub fn fuzz_table(report: &FuzzReport) -> String {
         "Row mismatches",
         s.metamorphic_mismatches,
     ));
+    out.push_str(&format!(
+        "{:<26} {:>10}\n{:<26} {:>10}\n{:<26} {:>10}\n",
+        "Churn checks",
+        s.churn_checks,
+        "Churn matches",
+        s.churn_matches,
+        "Churn divergences",
+        s.churn_divergences,
+    ));
     out.push_str(
         "(paths = per-policy verdicts from engine loops, bulk folds, shards, \
-         and execution-knob variants; divergences and mismatches must be 0)\n",
+         and execution-knob variants; churn = update-interleaved snapshot-isolation \
+         checks; divergences and mismatches must be 0)\n",
     );
     out
 }
@@ -1342,7 +1352,8 @@ pub fn bench_fuzz_json(report: &FuzzReport) -> String {
         "{{\n  \"seed\": {},\n  \"cases\": {},\n  \"engines\": {},\n  \
          \"paths_compared\": {},\n  \"paths_unsupported\": {},\n  \
          \"divergences\": {},\n  \"metamorphic_queries\": {},\n  \
-         \"metamorphic_mismatches\": {}\n}}\n",
+         \"metamorphic_mismatches\": {},\n  \"churn_checks\": {},\n  \
+         \"churn_matches\": {},\n  \"churn_divergences\": {}\n}}\n",
         report.seed,
         s.cases,
         report.engines,
@@ -1351,6 +1362,231 @@ pub fn bench_fuzz_json(report: &FuzzReport) -> String {
         s.divergences,
         s.metamorphic_queries,
         s.metamorphic_mismatches,
+        s.churn_checks,
+        s.churn_matches,
+        s.churn_divergences,
+    )
+}
+
+// ----------------------------------------------------------------------
+// Live policy churn — the memoized verdict cache under update traffic
+// ----------------------------------------------------------------------
+
+/// The churn sweep (`BENCH_churn.json`): a seeded install/replace/
+/// retract stream interleaved with matching, driven against the
+/// optimized-SQL engine with the memoized verdict cache enabled. The
+/// report splits match latency into cache hits and engine-computed
+/// misses — the paper's "policies will not stay static forever" (§4.2)
+/// traffic shape, where between two updates every repeated
+/// (preference, policy) pair is pure lookup.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    pub seed: u64,
+    pub initial_policies: usize,
+    pub ops: usize,
+    pub churn_rate: f64,
+    /// Catalog updates applied (installs + replaces + retracts).
+    pub updates: usize,
+    /// Match operations evaluated.
+    pub matches: usize,
+    /// Matches answered straight from the verdict cache.
+    pub hits: usize,
+    /// Matches that reached the engine.
+    pub misses: usize,
+    /// Median convert+query latency of a cache hit.
+    pub cached_p50: Duration,
+    /// Median convert+query latency of an engine-computed match.
+    pub uncached_p50: Duration,
+    /// Catalog epoch after the stream (== installs + removals).
+    pub final_epoch: u64,
+    /// Cache counters at the end of the stream.
+    pub cache: p3p_server::verdict_cache::VerdictCacheStats,
+}
+
+impl ChurnReport {
+    /// Hits over all match operations.
+    pub fn hit_rate(&self) -> f64 {
+        if self.matches == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.matches as f64
+        }
+    }
+
+    /// How many times faster the median cache hit answers than the
+    /// median engine-computed match.
+    pub fn speedup(&self) -> f64 {
+        let cached = self.cached_p50.as_secs_f64();
+        if cached == 0.0 {
+            f64::INFINITY
+        } else {
+            self.uncached_p50.as_secs_f64() / cached
+        }
+    }
+}
+
+fn p50(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Run the churn sweep: `ops` operations at `churn_rate` update
+/// probability over a 40-policy corpus and five preference rulesets,
+/// with an 8192-entry verdict cache.
+pub fn churn_report(seed: u64, ops: usize, churn_rate: f64) -> ChurnReport {
+    use p3p_workload::gen::{gen_churn_stream, ChurnConfig, ChurnOp, GenConfig};
+    use p3p_workload::rng::SmallRng;
+    let cfg = ChurnConfig {
+        initial_policies: 40,
+        ops,
+        churn_rate,
+        rulesets: 5,
+        gen: GenConfig {
+            // Keep every generated preference translatable on the SQL
+            // engine: structural/vocab exactness would make matches
+            // decline with `Unsupported` instead of measuring latency.
+            exact_prob: 0.0,
+            structural_exact_prob: 0.0,
+            ..GenConfig::default()
+        },
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let stream = gen_churn_stream(&mut rng, &cfg);
+    let mut server = PolicyServer::new();
+    server.set_verdict_cache_capacity(8192);
+    for p in &stream.initial {
+        server.install_policy(p).expect("churn corpus installs");
+    }
+    let mut cached: Vec<Duration> = Vec::new();
+    let mut uncached: Vec<Duration> = Vec::new();
+    let mut updates = 0usize;
+    for op in &stream.ops {
+        match op {
+            ChurnOp::Install(p) => {
+                server.install_policy(p).expect("churn install");
+                updates += 1;
+            }
+            ChurnOp::Replace(p) => {
+                server.remove_policy(&p.name).expect("churn replace-remove");
+                server.install_policy(p).expect("churn replace-install");
+                updates += 1;
+            }
+            ChurnOp::Retract(name) => {
+                server.remove_policy(name).expect("churn retract");
+                updates += 1;
+            }
+            ChurnOp::Match { policy, ruleset } => {
+                let o = server
+                    .match_preference_snapshot(
+                        &stream.rulesets[*ruleset],
+                        Target::Policy(policy),
+                        EngineKind::Sql,
+                    )
+                    .expect("churn preferences translate on the SQL engine");
+                // Phase times, not wall clock: convert+query is the
+                // engine-visible cost, excluding metrics bookkeeping —
+                // the same accounting the caching table uses.
+                let latency = o.convert + o.query;
+                if o.verdict_cached {
+                    cached.push(latency);
+                } else {
+                    uncached.push(latency);
+                }
+            }
+        }
+    }
+    ChurnReport {
+        seed,
+        initial_policies: stream.initial.len(),
+        ops: stream.ops.len(),
+        churn_rate,
+        updates,
+        matches: cached.len() + uncached.len(),
+        hits: cached.len(),
+        misses: uncached.len(),
+        cached_p50: p50(&mut cached),
+        uncached_p50: p50(&mut uncached),
+        final_epoch: server.catalog_epoch(),
+        cache: server.verdict_cache_stats(),
+    }
+}
+
+/// Render the churn table.
+pub fn churn_table(report: &ChurnReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Live policy churn (seed {}, {} initial policies, {} ops at {:.1}% churn, SQL engine)\n",
+        report.seed,
+        report.initial_policies,
+        report.ops,
+        report.churn_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>12.4}\n",
+        "Catalog updates",
+        report.updates,
+        "Matches",
+        report.matches,
+        "Verdict-cache hits",
+        report.hits,
+        "Engine-computed",
+        report.misses,
+        "Hit rate",
+        report.hit_rate(),
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>11.1}x\n",
+        "Cached p50",
+        fmt_duration(report.cached_p50),
+        "Uncached p50",
+        fmt_duration(report.uncached_p50),
+        "Cached-hit speedup",
+        report.speedup(),
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12}\n{:<28} {:>12}\n{:<28} {:>12}\n",
+        "Final catalog epoch",
+        report.final_epoch,
+        "Cache entries",
+        report.cache.entries,
+        "Precise invalidations",
+        report.cache.invalidations,
+    ));
+    out.push_str(
+        "(hits answer without touching minidb; re-shredding a policy evicts only \
+         that policy's entries, so the hit rate survives live updates)\n",
+    );
+    out
+}
+
+/// Machine-readable churn summary (`BENCH_churn.json`).
+pub fn bench_churn_json(report: &ChurnReport) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"initial_policies\": {},\n  \"ops\": {},\n  \
+         \"churn_rate\": {},\n  \"updates\": {},\n  \"matches\": {},\n  \
+         \"hits\": {},\n  \"misses\": {},\n  \"hit_rate\": {:.4},\n  \
+         \"cached_p50_us\": {:.3},\n  \"uncached_p50_us\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"final_epoch\": {},\n  \"cache_entries\": {},\n  \
+         \"cache_evictions\": {},\n  \"cache_invalidations\": {}\n}}\n",
+        report.seed,
+        report.initial_policies,
+        report.ops,
+        report.churn_rate,
+        report.updates,
+        report.matches,
+        report.hits,
+        report.misses,
+        report.hit_rate(),
+        report.cached_p50.as_nanos() as f64 / 1e3,
+        report.uncached_p50.as_nanos() as f64 / 1e3,
+        report.speedup(),
+        report.final_epoch,
+        report.cache.entries,
+        report.cache.evictions,
+        report.cache.invalidations,
     )
 }
 

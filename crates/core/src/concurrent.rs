@@ -58,6 +58,12 @@ impl SharedServer {
         f(&mut self.inner.lock().unwrap())
     }
 
+    /// The primary's current catalog epoch (bumped by every install,
+    /// removal, and version upgrade).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.inner.lock().unwrap().catalog_epoch()
+    }
+
     /// Snapshot the current state for a [`MatchPool`].
     pub fn snapshot(&self) -> PolicyServer {
         self.inner.lock().unwrap().clone_state()
@@ -81,6 +87,15 @@ impl MatchPool {
     /// snapshot stays alive until its last match finishes).
     pub fn refresh(&self, shared: &SharedServer) {
         *self.snapshot.write().unwrap() = Arc::new(shared.snapshot());
+    }
+
+    /// The catalog epoch the pool's current snapshot is pinned to.
+    /// Matches answered by this pool report exactly this epoch in
+    /// [`MatchOutcome::epoch`] until the next [`MatchPool::refresh`] —
+    /// the MVCC-style guarantee that concurrent installs on the primary
+    /// never tear a reader's view.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot.read().unwrap().catalog_epoch()
     }
 
     /// Match against the snapshot. Each call clones the snapshot handle
@@ -111,11 +126,26 @@ impl MatchPool {
         engine: EngineKind,
         shards: usize,
     ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        self.match_corpus_pinned(ruleset, engine, shards)
+            .map(|(_, verdicts)| verdicts)
+    }
+
+    /// [`MatchPool::match_corpus`] that also reports the catalog epoch
+    /// the whole sweep was pinned to: every shard matches against the
+    /// same snapshot `Arc`, so one epoch explains every verdict even
+    /// while the primary installs and removes policies concurrently.
+    pub fn match_corpus_pinned(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        shards: usize,
+    ) -> Result<(u64, Vec<(String, Verdict)>), ServerError> {
         let snapshot = self.snapshot.read().unwrap().clone();
+        let epoch = snapshot.catalog_epoch();
         let names = snapshot.policy_names();
         let shards = shards.clamp(1, names.len().max(1));
         if shards <= 1 {
-            return snapshot.match_corpus(ruleset, engine);
+            return Ok((epoch, snapshot.match_corpus(ruleset, engine)?));
         }
         let chunk = names.len().div_ceil(shards);
         let _sweep = p3p_telemetry::span!("sharded_sweep", engine = engine.metric_label());
@@ -146,7 +176,7 @@ impl MatchPool {
         for shard in results {
             out.extend(shard?);
         }
-        Ok(out)
+        Ok((epoch, out))
     }
 }
 
@@ -251,5 +281,54 @@ mod tests {
         assert!(pool
             .match_preference(&jane, Target::Policy("second"), EngineKind::Sql)
             .is_ok());
+    }
+
+    #[test]
+    fn snapshot_pins_one_epoch_across_concurrent_installs() {
+        let shared = SharedServer::new(PolicyServer::new());
+        shared.install_policy(&volga_policy()).unwrap();
+        let pool = MatchPool::new(&shared);
+        let pinned = pool.snapshot_epoch();
+        assert_eq!(pinned, 1);
+        let jane = jane_preference();
+
+        // The primary churns underneath the pool...
+        let mut second = volga_policy();
+        second.name = "second".to_string();
+        shared.install_policy(&second).unwrap();
+        shared.with(|s| s.remove_policy("second")).unwrap();
+        assert_eq!(shared.catalog_epoch(), 3);
+
+        // ...but every match the pool answers still reports the pinned
+        // epoch, and the sweep is explained by that single epoch too.
+        let out = pool
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(out.epoch, pinned);
+        let (epoch, verdicts) = pool.match_corpus_pinned(&jane, EngineKind::Sql, 4).unwrap();
+        assert_eq!(epoch, pinned);
+        assert_eq!(verdicts.len(), 1);
+
+        // Refresh advances the pin to the primary's epoch.
+        pool.refresh(&shared);
+        assert_eq!(pool.snapshot_epoch(), 3);
+    }
+
+    #[test]
+    fn pool_snapshots_share_warm_verdicts_with_the_primary() {
+        let shared = SharedServer::new(PolicyServer::new());
+        shared.install_policy(&volga_policy()).unwrap();
+        shared.with(|s| s.set_verdict_cache_capacity(64));
+        let pool = MatchPool::new(&shared);
+        let jane = jane_preference();
+        // The pool's first match memoizes; the primary's next identical
+        // match hits the shared cache (no catalog mutation intervened,
+        // so the caches are still attached).
+        pool.match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        let warm = shared
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(warm.verdict_cached);
     }
 }

@@ -35,6 +35,10 @@
 //! * [`versioning`] — policy version history over the database (§4.2:
 //!   "Versions of policies can be better managed using a database
 //!   system").
+//! * [`verdict_cache`] — memoized verdicts under live policy churn:
+//!   a sharded LRU keyed by (preference fingerprint × policy id ×
+//!   policy version × engine × knobs), invalidated precisely when a
+//!   policy is re-shredded or removed.
 //!
 //! ## Quick example
 //!
@@ -66,6 +70,7 @@ pub mod refschema;
 pub mod server;
 pub mod subset;
 pub mod translation;
+pub mod verdict_cache;
 pub mod versioning;
 pub mod view;
 pub mod xtable;

@@ -28,6 +28,7 @@ use crate::generic::GenericSchema;
 use crate::optimized;
 use crate::refschema;
 use crate::translation::{TranslatedPlans, TranslationCache, TranslationVariant};
+use crate::verdict_cache::{self, VerdictCache, VerdictKey};
 use crate::view;
 use crate::xtable::XTable;
 use p3p_appel::engine::{AppelEngine, Verdict};
@@ -123,6 +124,14 @@ pub struct MatchOutcome {
     /// thread runs with profiling enabled
     /// ([`p3p_minidb::exec::set_profiling`]); empty otherwise.
     pub analyzed: Vec<String>,
+    /// True when the verdict itself came from the memoized verdict
+    /// cache — no engine ran and no minidb query executed; `convert`
+    /// covers only the cache lookup. Distinct from `cached`, which
+    /// reports a translation-cache hit on a match that still executed.
+    pub verdict_cached: bool,
+    /// The catalog epoch this verdict was computed under. Two outcomes
+    /// with the same epoch saw the identical installed-policy catalog.
+    pub epoch: u64,
 }
 
 /// The installed-policy catalog: everything keyed by policy name/id
@@ -137,6 +146,11 @@ struct PolicyCatalog {
     names_by_id: HashMap<i64, String>,
     /// id → explicit-form XML for the XQuery-on-XML engine.
     explicit_xml: BTreeMap<i64, p3p_xmldom::Element>,
+    /// name → version counter, bumped on every install *and* remove of
+    /// that name and kept after removal, so a name that is retired and
+    /// later re-installed can never resurrect a stale cached verdict
+    /// (the classic ABA hazard).
+    versions: BTreeMap<String, u64>,
 }
 
 /// The server: database + document stores + catalogs.
@@ -149,6 +163,15 @@ pub struct PolicyServer {
     /// Ruleset-fingerprint → prepared plans. Shared across clones so
     /// concurrent snapshots warm the cache for each other.
     translations: TranslationCache,
+    /// (fingerprint × policy id × version × engine × knobs) → verdict.
+    /// Shared across clones like the translation cache, but detached
+    /// before any catalog mutation so forks never see each other's
+    /// entries. Disabled (capacity 0) by default.
+    verdicts: VerdictCache,
+    /// Monotonic catalog epoch: bumped on every install/remove (and
+    /// therefore on `versioning` upgrades/rollbacks). Two matches
+    /// stamped with the same epoch saw the identical catalog.
+    catalog_epoch: u64,
     next_policy_id: i64,
     next_meta_id: i64,
     native: AppelEngine,
@@ -168,6 +191,8 @@ impl PolicyServer {
             generic,
             catalog: Arc::new(PolicyCatalog::default()),
             translations: TranslationCache::default(),
+            verdicts: VerdictCache::default(),
+            catalog_epoch: 0,
             next_policy_id: 0,
             next_meta_id: 0,
             native: AppelEngine::default(),
@@ -206,6 +231,87 @@ impl PolicyServer {
     /// Hit/miss/eviction counters of the per-ruleset translation cache.
     pub fn translation_cache_stats(&self) -> crate::translation::TranslationCacheStats {
         self.translations.stats()
+    }
+
+    /// The current catalog epoch (see the field docs).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
+    }
+
+    /// Version counter of a named policy: how many installs and
+    /// removals that name has seen. 0 means the name was never
+    /// installed; the counter survives removal.
+    pub fn policy_version(&self, name: &str) -> u64 {
+        self.catalog.versions.get(name).copied().unwrap_or(0)
+    }
+
+    fn policy_version_by_id(&self, policy_id: i64) -> u64 {
+        self.catalog
+            .names_by_id
+            .get(&policy_id)
+            .map(|name| self.policy_version(name))
+            .unwrap_or(0)
+    }
+
+    /// Hit/miss/eviction/invalidation counters of the verdict cache.
+    pub fn verdict_cache_stats(&self) -> crate::verdict_cache::VerdictCacheStats {
+        self.verdicts.stats()
+    }
+
+    /// Resize (and thereby enable or disable) the memoized verdict
+    /// cache. The cache ships disabled (capacity 0); update-heavy
+    /// deployments opt in. Detaches from any shared clones first, so
+    /// resizing a fork never resizes its parent.
+    pub fn set_verdict_cache_capacity(&mut self, capacity: usize) {
+        self.verdicts.detach_for_update();
+        self.verdicts.set_capacity(capacity);
+    }
+
+    /// Drop every memoized verdict (schema/dialect-change hammer; the
+    /// precise per-policy eviction happens automatically on catalog
+    /// mutations). Detaches from shared clones first.
+    pub fn flush_verdict_cache(&mut self) -> usize {
+        self.verdicts.detach_for_update();
+        self.verdicts.flush()
+    }
+
+    /// Advance the catalog epoch after a mutation and mirror it to the
+    /// `p3p_catalog_epoch` gauge.
+    fn bump_epoch(&mut self) {
+        self.catalog_epoch += 1;
+        verdict_cache::epoch_gauge().set(self.catalog_epoch as i64);
+    }
+
+    /// The executor-knob word baked into every verdict-cache key, so a
+    /// knob A/B comparison can never be answered from the other arm's
+    /// memoized verdict.
+    fn knob_word(&self) -> u64 {
+        let planner = self.db.use_planner() as u64;
+        let columnar = p3p_minidb::exec::columnar_enabled() as u64;
+        let decorrelate = p3p_minidb::exec::decorrelate_after() as u64;
+        planner | (columnar << 1) | (decorrelate << 2)
+    }
+
+    /// The verdict-cache key for one (preference, policy, engine)
+    /// combination — or `None` when the cache must stay out of the way:
+    /// it is disabled, or the thread profiles execution (a cache hit
+    /// cannot produce the `analyzed` plans profiling promises).
+    fn verdict_key(
+        &self,
+        ruleset: &Ruleset,
+        policy_id: i64,
+        engine: EngineKind,
+    ) -> Option<VerdictKey> {
+        if !self.verdicts.is_enabled() || p3p_minidb::exec::profiling_enabled() {
+            return None;
+        }
+        Some(VerdictKey {
+            fingerprint: TranslationCache::fingerprint(ruleset),
+            policy_id,
+            policy_version: self.policy_version_by_id(policy_id),
+            engine,
+            knobs: self.knob_word(),
+        })
     }
 
     /// Install a policy from its model. Returns the assigned id.
@@ -247,6 +353,9 @@ impl PolicyServer {
         }
         let _span = span!("install_policy", policy = policy.name);
         let start = Instant::now();
+        // Catalog mutation: split off a private verdict cache first so
+        // clones sharing ours never observe this lineage's ids.
+        self.verdicts.detach_for_update();
         self.next_policy_id += 1;
         let id = self.next_policy_id;
         let shred_us = |schema| metrics::histogram_with("p3p_shred_us", &[("schema", schema)]);
@@ -268,19 +377,29 @@ impl PolicyServer {
         catalog.raw_xml.insert(policy.name.clone(), (id, xml));
         catalog.names_by_id.insert(id, policy.name.clone());
         catalog.explicit_xml.insert(id, explicit);
+        *catalog.versions.entry(policy.name.clone()).or_insert(0) += 1;
+        self.bump_epoch();
         metrics::histogram("p3p_install_policy_us").observe_duration(start.elapsed());
         metrics::counter("p3p_policies_installed_total").inc();
         Ok(id)
     }
 
-    /// Remove a policy everywhere.
+    /// Remove a policy everywhere. Bumps the name's version, evicts
+    /// the policy's verdict-cache entries (and only those), and
+    /// advances the catalog epoch.
     pub fn remove_policy(&mut self, name: &str) -> Result<(), ServerError> {
+        if !self.catalog.raw_xml.contains_key(name) {
+            return Err(ServerError::UnknownPolicy(name.to_string()));
+        }
+        self.verdicts.detach_for_update();
         let catalog = Arc::make_mut(&mut self.catalog);
         let Some((id, _)) = catalog.raw_xml.remove(name) else {
-            return Err(ServerError::UnknownPolicy(name.to_string()));
+            unreachable!("existence checked above");
         };
         catalog.names_by_id.remove(&id);
         catalog.explicit_xml.remove(&id);
+        *catalog.versions.entry(name.to_string()).or_insert(0) += 1;
+        self.verdicts.invalidate_policy(id);
         optimized::unshred(&mut self.db, id)?;
         // Generic tables: sweep by policy_id.
         let tables: Vec<String> = self
@@ -295,6 +414,7 @@ impl PolicyServer {
                 .prepare(&format!("DELETE FROM {t} WHERE policy_id = ?"))?;
             self.db.execute_prepared(&plan, &[Value::Int(id)])?;
         }
+        self.bump_epoch();
         Ok(())
     }
 
@@ -362,19 +482,42 @@ impl PolicyServer {
         let start = Instant::now();
         let mut result = (|| {
             let policy_id = self.resolve(target)?;
-            match engine {
+            // Memoized-verdict fast path: a hit answers without
+            // translating or touching minidb at all.
+            let key = self.verdict_key(ruleset, policy_id, engine);
+            if let Some(key) = &key {
+                let t0 = Instant::now();
+                if let Some(verdict) = self.verdicts.get(key) {
+                    return Ok(MatchOutcome {
+                        verdict,
+                        convert: t0.elapsed(),
+                        query: Duration::ZERO,
+                        cached: false,
+                        db_stats: Default::default(),
+                        analyzed: Vec::new(),
+                        verdict_cached: true,
+                        epoch: 0,
+                    });
+                }
+            }
+            let outcome = match engine {
                 EngineKind::Native => self.match_native(ruleset, policy_id),
                 EngineKind::Sql => self.match_sql(ruleset, policy_id, false),
                 EngineKind::SqlGeneric => self.match_sql(ruleset, policy_id, true),
                 EngineKind::XQueryXTable => self.match_xtable(ruleset, policy_id),
                 EngineKind::XQueryNative => self.match_xquery_native(ruleset, policy_id),
+            }?;
+            if let Some(key) = key {
+                self.verdicts.insert(key, outcome.verdict.clone());
             }
+            Ok(outcome)
         })();
         let wall = start.elapsed();
         let by_engine = [("engine", label)];
         metrics::histogram_with("p3p_match_latency_us", &by_engine).observe_duration(wall);
         match &mut result {
             Ok(outcome) => {
+                outcome.epoch = self.catalog_epoch;
                 outcome.db_stats = p3p_minidb::exec::stats_snapshot();
                 metrics::counter_with("p3p_matches_total", &by_engine).inc();
                 let phase = |name| {
@@ -385,8 +528,11 @@ impl PolicyServer {
                 };
                 // A cache hit spends the convert window on a fingerprint
                 // lookup, not translation — label it separately so warm
-                // and cold distributions don't mix.
-                phase(if outcome.cached {
+                // and cold distributions don't mix. A verdict-cache hit
+                // didn't translate at all.
+                phase(if outcome.verdict_cached {
+                    "verdict_cache"
+                } else if outcome.cached {
                     "cached"
                 } else {
                     "translate"
@@ -428,6 +574,8 @@ impl PolicyServer {
             cached: false,
             db_stats: Default::default(),
             analyzed: Vec::new(),
+            verdict_cached: false,
+            epoch: 0,
         })
     }
 
@@ -496,6 +644,8 @@ impl PolicyServer {
                     cached,
                     db_stats: Default::default(),
                     analyzed,
+                    verdict_cached: false,
+                    epoch: 0,
                 });
             }
         }
@@ -506,6 +656,8 @@ impl PolicyServer {
             cached,
             db_stats: Default::default(),
             analyzed,
+            verdict_cached: false,
+            epoch: 0,
         })
     }
 
@@ -575,6 +727,8 @@ impl PolicyServer {
                     cached,
                     db_stats: Default::default(),
                     analyzed: Vec::new(),
+                    verdict_cached: false,
+                    epoch: 0,
                 });
             }
         }
@@ -585,6 +739,8 @@ impl PolicyServer {
             cached,
             db_stats: Default::default(),
             analyzed: Vec::new(),
+            verdict_cached: false,
+            epoch: 0,
         })
     }
 
@@ -612,6 +768,8 @@ impl PolicyServer {
                     cached: false,
                     db_stats: Default::default(),
                     analyzed: Vec::new(),
+                    verdict_cached: false,
+                    epoch: 0,
                 });
             }
             let t0 = Instant::now();
@@ -637,6 +795,8 @@ impl PolicyServer {
                     cached: false,
                     db_stats: Default::default(),
                     analyzed: Vec::new(),
+                    verdict_cached: false,
+                    epoch: 0,
                 });
             }
         }
@@ -647,6 +807,8 @@ impl PolicyServer {
             cached: false,
             db_stats: Default::default(),
             analyzed: Vec::new(),
+            verdict_cached: false,
+            epoch: 0,
         })
     }
 
@@ -683,12 +845,7 @@ impl PolicyServer {
         let label = engine.metric_label();
         let _span = span!("bulk_match", engine = label);
         let start = Instant::now();
-        let result = match engine {
-            EngineKind::Sql => self.bulk_sql(ruleset, subset, false),
-            EngineKind::SqlGeneric => self.bulk_sql(ruleset, subset, true),
-            EngineKind::XQueryXTable => self.bulk_xtable(ruleset, subset),
-            _ => self.bulk_fallback(ruleset, engine, subset),
-        };
+        let result = self.bulk_cached(ruleset, engine, subset);
         let by_engine = [("engine", label)];
         metrics::histogram_with("p3p_bulk_match_latency_us", &by_engine)
             .observe_duration(start.elapsed());
@@ -702,6 +859,77 @@ impl PolicyServer {
             }
         }
         result
+    }
+
+    /// Corpus dispatch behind the verdict cache: roster entries whose
+    /// keys hit are answered straight from memoized verdicts; only the
+    /// missed remainder reaches the engine (as a subset sweep), and its
+    /// verdicts are memoized on the way out. Results merge back in
+    /// roster order, so callers can't tell the difference.
+    fn bulk_cached(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        subset: Option<&[String]>,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        if !self.verdicts.is_enabled() || p3p_minidb::exec::profiling_enabled() {
+            return self.bulk_dispatch(ruleset, engine, subset);
+        }
+        let roster = self.roster(subset)?;
+        let fingerprint = TranslationCache::fingerprint(ruleset);
+        let knobs = self.knob_word();
+        let key_of = |id: i64| VerdictKey {
+            fingerprint,
+            policy_id: id,
+            policy_version: self.policy_version_by_id(id),
+            engine,
+            knobs,
+        };
+        let mut hits: HashMap<String, Verdict> = HashMap::new();
+        let mut missed: Vec<String> = Vec::new();
+        for (id, name) in &roster {
+            match self.verdicts.get(&key_of(*id)) {
+                Some(verdict) => {
+                    hits.insert(name.clone(), verdict);
+                }
+                None => missed.push(name.clone()),
+            }
+        }
+        let mut computed: HashMap<String, Verdict> = HashMap::new();
+        if !missed.is_empty() {
+            for (name, verdict) in self.bulk_dispatch(ruleset, engine, Some(&missed))? {
+                if let Some(id) = self.policy_id(&name) {
+                    self.verdicts.insert(key_of(id), verdict.clone());
+                }
+                computed.insert(name, verdict);
+            }
+        }
+        Ok(roster
+            .into_iter()
+            .map(|(_, name)| {
+                let verdict = hits
+                    .get(&name)
+                    .or_else(|| computed.get(&name))
+                    .cloned()
+                    .expect("every roster entry is either a hit or was computed");
+                (name, verdict)
+            })
+            .collect())
+    }
+
+    /// Raw per-engine corpus dispatch (no verdict-cache involvement).
+    fn bulk_dispatch(
+        &self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        subset: Option<&[String]>,
+    ) -> Result<Vec<(String, Verdict)>, ServerError> {
+        match engine {
+            EngineKind::Sql => self.bulk_sql(ruleset, subset, false),
+            EngineKind::SqlGeneric => self.bulk_sql(ruleset, subset, true),
+            EngineKind::XQueryXTable => self.bulk_xtable(ruleset, subset),
+            _ => self.bulk_fallback(ruleset, engine, subset),
+        }
     }
 
     /// The `(id, name)` pairs to decide, in name order. A subset keeps
@@ -1222,5 +1450,191 @@ mod tests {
         let labels: std::collections::BTreeSet<&str> =
             EngineKind::ALL.iter().map(|e| e.label()).collect();
         assert_eq!(labels.len(), EngineKind::ALL.len());
+    }
+
+    #[test]
+    fn verdict_cache_hit_answers_without_the_database() {
+        let mut s = server_with_volga();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        let cold = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(!cold.verdict_cached);
+        let warm = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(warm.verdict_cached, "second identical match must hit");
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.query, Duration::ZERO, "no execution on a hit");
+        assert_eq!(warm.db_stats, Default::default(), "no minidb work on a hit");
+        let stats = s.verdict_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn verdict_cache_disabled_by_default() {
+        let mut s = server_with_volga();
+        let jane = jane_preference();
+        for _ in 0..2 {
+            let out = s
+                .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+                .unwrap();
+            assert!(!out.verdict_cached);
+        }
+        assert_eq!(s.verdict_cache_stats(), Default::default());
+    }
+
+    #[test]
+    fn install_and_remove_advance_epoch_and_version() {
+        let mut s = PolicyServer::new();
+        assert_eq!(s.catalog_epoch(), 0);
+        assert_eq!(s.policy_version("volga"), 0);
+        s.install_policy(&volga_policy()).unwrap();
+        assert_eq!(s.catalog_epoch(), 1);
+        assert_eq!(s.policy_version("volga"), 1);
+        s.remove_policy("volga").unwrap();
+        assert_eq!(s.catalog_epoch(), 2);
+        assert_eq!(s.policy_version("volga"), 2, "version survives removal");
+        s.install_policy(&volga_policy()).unwrap();
+        assert_eq!(s.catalog_epoch(), 3);
+        assert_eq!(s.policy_version("volga"), 3, "no ABA on re-install");
+        // Outcomes are stamped with the epoch they ran under.
+        let out = s
+            .match_preference(&jane_preference(), Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(out.epoch, 3);
+    }
+
+    #[test]
+    fn reshredding_a_policy_never_serves_its_stale_verdict() {
+        let mut s = server_with_volga();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        let before = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert_eq!(before.verdict.behavior, Behavior::Request);
+        // Replace volga with the always-variant under the same name:
+        // Jane's block rule now fires.
+        s.remove_policy("volga").unwrap();
+        let mut always = volga_policy();
+        always.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&always).unwrap();
+        let after = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(!after.verdict_cached, "stale verdict must not be served");
+        assert_eq!(after.verdict.behavior, Behavior::Block);
+    }
+
+    #[test]
+    fn invalidation_on_remove_is_per_policy() {
+        let mut s = server_with_volga();
+        let mut second = volga_policy();
+        second.name = "second".to_string();
+        s.install_policy(&second).unwrap();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        for name in ["volga", "second"] {
+            s.match_preference(&jane, Target::Policy(name), EngineKind::Sql)
+                .unwrap();
+        }
+        s.remove_policy("volga").unwrap();
+        assert_eq!(
+            s.verdict_cache_stats().invalidations,
+            1,
+            "only volga's entry is evicted"
+        );
+        let out = s
+            .match_preference(&jane, Target::Policy("second"), EngineKind::Sql)
+            .unwrap();
+        assert!(out.verdict_cached, "the untouched policy still hits");
+    }
+
+    #[test]
+    fn cow_fork_does_not_share_cache_mutations_with_parent() {
+        let mut parent = server_with_volga();
+        parent.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        parent
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        let mut fork = parent.clone_state();
+        // The fork's removal detaches its cache before invalidating, so
+        // the parent's warm entry survives.
+        fork.remove_policy("volga").unwrap();
+        let warm = parent
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(warm.verdict_cached, "parent cache untouched by the fork");
+        // And the fork really dropped its copy.
+        assert_eq!(fork.verdict_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn bulk_sweep_fills_and_uses_the_verdict_cache() {
+        let mut s = server_with_volga();
+        let mut second = volga_policy();
+        second.name = "second".to_string();
+        second.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&second).unwrap();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        let cold = s.match_corpus(&jane, EngineKind::Sql).unwrap();
+        let stats = s.verdict_cache_stats();
+        assert_eq!(stats.entries, 2, "sweep memoizes every decided policy");
+        let warm = s.match_corpus(&jane, EngineKind::Sql).unwrap();
+        assert_eq!(warm, cold);
+        let stats = s.verdict_cache_stats();
+        assert_eq!(stats.hits, 2, "second sweep is pure lookups");
+        // Single-policy matches share the same key space.
+        let single = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(single.verdict_cached);
+        assert_eq!(single.verdict, cold[1].1, "cold[1] is volga in name order");
+    }
+
+    #[test]
+    fn partial_bulk_hits_merge_with_computed_remainder() {
+        let mut s = server_with_volga();
+        let mut second = volga_policy();
+        second.name = "second".to_string();
+        second.statements[1].purposes[0].required = p3p_policy::Required::Always;
+        s.install_policy(&second).unwrap();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        // Warm only one of the two policies, then sweep: one hit, one
+        // engine-computed, merged back in name order.
+        s.match_preference(&jane, Target::Policy("second"), EngineKind::Sql)
+            .unwrap();
+        let sweep = s.match_corpus(&jane, EngineKind::Sql).unwrap();
+        assert_eq!(sweep[0].0, "second");
+        assert_eq!(sweep[0].1.behavior, Behavior::Block);
+        assert_eq!(sweep[1].0, "volga");
+        assert_eq!(sweep[1].1.behavior, Behavior::Request);
+        let stats = s.verdict_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn knob_changes_miss_instead_of_aliasing() {
+        let mut s = server_with_volga();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        s.match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        p3p_minidb::exec::set_columnar(false);
+        let toggled = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        p3p_minidb::exec::set_columnar(true);
+        assert!(
+            !toggled.verdict_cached,
+            "columnar off must not reuse the columnar-on verdict"
+        );
+        assert_eq!(s.verdict_cache_stats().entries, 2);
     }
 }

@@ -30,6 +30,14 @@ pub fn install(server: &mut PolicyServer) -> Result<(), ServerError> {
 /// `new_policy` (which must carry the same name). Returns the new
 /// version number (the first upgrade of a policy produces version 2;
 /// the initial install is retroactively archived as version 1).
+///
+/// The replacement goes through [`PolicyServer::remove_policy`] and
+/// [`PolicyServer::install_policy`], so it bumps the name's catalog
+/// version counter twice, advances the catalog epoch, and evicts the
+/// policy's memoized verdicts — a verdict cached against the old form
+/// can never be served after the upgrade (the translation cache needs
+/// no eviction: its plans are keyed by preference only and take the
+/// policy id as a bind parameter, so they are policy-independent).
 pub fn upgrade_policy(
     server: &mut PolicyServer,
     new_policy: &Policy,
@@ -343,5 +351,60 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ok.verdict.behavior, Behavior::Request);
+    }
+
+    #[test]
+    fn upgrade_never_serves_a_stale_cached_verdict() {
+        use crate::server::{EngineKind, Target};
+        use p3p_appel::model::{jane_preference, Behavior};
+        let mut s = setup();
+        s.set_verdict_cache_capacity(256);
+        let jane = jane_preference();
+        // Warm both caches against v1: the second match is answered
+        // straight from the verdict cache.
+        s.match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        let warm = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(warm.verdict_cached);
+        assert_eq!(warm.verdict.behavior, Behavior::Request);
+
+        // Upgrade to v2 (telemarketing): the cached Request verdict is
+        // stale and must not be served.
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        let after = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(!after.verdict_cached, "stale verdict served after upgrade");
+        assert_eq!(after.verdict.behavior, Behavior::Block);
+
+        // Rollback likewise: the v2 Block verdict just memoized must
+        // not survive the rollback to v1.
+        s.match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        rollback(&mut s, "volga", 1).unwrap();
+        let rolled = s
+            .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+            .unwrap();
+        assert!(
+            !rolled.verdict_cached,
+            "stale verdict served after rollback"
+        );
+        assert_eq!(rolled.verdict.behavior, Behavior::Request);
+    }
+
+    #[test]
+    fn upgrade_bumps_catalog_version_and_epoch() {
+        let mut s = setup();
+        assert_eq!(s.policy_version("volga"), 1);
+        let epoch = s.catalog_epoch();
+        upgrade_policy(&mut s, &v2(), "v2").unwrap();
+        // Remove + install: two version bumps, two epoch bumps.
+        assert_eq!(s.policy_version("volga"), 3);
+        assert_eq!(s.catalog_epoch(), epoch + 2);
+        rollback(&mut s, "volga", 1).unwrap();
+        assert_eq!(s.policy_version("volga"), 5);
+        assert_eq!(s.catalog_epoch(), epoch + 4);
     }
 }

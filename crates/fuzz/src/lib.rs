@@ -30,12 +30,14 @@
 pub mod metamorphic;
 pub mod shrink;
 
+use p3p_appel::engine::AppelEngine;
 use p3p_appel::{Ruleset, Verdict};
 use p3p_policy::Policy;
 use p3p_server::concurrent::{MatchPool, SharedServer};
 use p3p_server::{EngineKind, PolicyServer, ServerError, Target};
-use p3p_workload::gen::{self, GenConfig};
+use p3p_workload::gen::{self, ChurnConfig, ChurnOp, GenConfig};
 use p3p_workload::rng::SmallRng;
+use std::collections::HashMap;
 
 /// One generated input: a policy corpus plus a preference ruleset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -282,6 +284,164 @@ pub fn check_case(case: &FuzzCase) -> CaseReport {
     report
 }
 
+/// The outcome of one update-interleaved churn check.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnCheck {
+    /// Operations replayed (installs + replaces + retracts + matches).
+    pub ops: usize,
+    /// Individual match evaluations compared (per engine, per twin).
+    pub matches: usize,
+    /// Verdict-cache hits observed on the cache-enabled twin.
+    pub cache_hits: u64,
+    /// Evaluations skipped because an engine declined with a typed
+    /// `Unsupported` on both twins.
+    pub paths_unsupported: usize,
+    /// Snapshot-isolation or agreement violations.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Replay a seeded install/replace/retract stream interleaved with
+/// matching against two twin servers — one with the memoized verdict
+/// cache enabled, one cold — and assert snapshot isolation throughout:
+///
+/// * every verdict is stamped with exactly the catalog epoch the
+///   serialized stream had reached (no verdict is explainable by a
+///   past or future catalog);
+/// * the cached twin and the cold twin agree on every verdict, so a
+///   cache hit can never resurrect a pre-update verdict;
+/// * both agree with an independent native APPEL evaluation of the
+///   tracked live policy XML (the catalog-free reference).
+pub fn check_churn(seed: u64) -> ChurnCheck {
+    let cfg = ChurnConfig {
+        initial_policies: 6,
+        ops: 60,
+        churn_rate: 0.12,
+        rulesets: 3,
+        gen: GenConfig::default(),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let stream = gen::gen_churn_stream(&mut rng, &cfg);
+
+    let mut cached = PolicyServer::new();
+    cached.set_verdict_cache_capacity(4096);
+    let mut cold = PolicyServer::new();
+    let reference = AppelEngine::default();
+    // name → live policy XML, maintained outside any server: the
+    // independent source of truth for what each match should see.
+    let mut live: HashMap<String, String> = HashMap::new();
+    let mut epoch = 0u64;
+
+    let mut check = ChurnCheck::default();
+    let install = |cached: &mut PolicyServer,
+                   cold: &mut PolicyServer,
+                   live: &mut HashMap<String, String>,
+                   epoch: &mut u64,
+                   p: &Policy| {
+        cached.install_policy(p).expect("install on cached twin");
+        cold.install_policy(p).expect("install on cold twin");
+        live.insert(p.name.clone(), p.to_xml());
+        *epoch += 1;
+    };
+    for p in &stream.initial {
+        install(&mut cached, &mut cold, &mut live, &mut epoch, p);
+    }
+
+    for op in &stream.ops {
+        check.ops += 1;
+        match op {
+            ChurnOp::Install(p) => {
+                install(&mut cached, &mut cold, &mut live, &mut epoch, p);
+            }
+            ChurnOp::Replace(p) => {
+                cached.remove_policy(&p.name).expect("replace-remove");
+                cold.remove_policy(&p.name).expect("replace-remove");
+                epoch += 1;
+                install(&mut cached, &mut cold, &mut live, &mut epoch, p);
+            }
+            ChurnOp::Retract(name) => {
+                cached.remove_policy(name).expect("retract");
+                cold.remove_policy(name).expect("retract");
+                live.remove(name);
+                epoch += 1;
+            }
+            ChurnOp::Match { policy, ruleset } => {
+                let ruleset = &stream.rulesets[*ruleset];
+                let expected = reference
+                    .evaluate_policy_xml(ruleset, &live[policy])
+                    .expect("native reference evaluates every generated case");
+                for &engine in &[EngineKind::Native, EngineKind::Sql, EngineKind::SqlGeneric] {
+                    let warm =
+                        cached.match_preference_snapshot(ruleset, Target::Policy(policy), engine);
+                    let chill =
+                        cold.match_preference_snapshot(ruleset, Target::Policy(policy), engine);
+                    let path = format!("{}/churn", engine.metric_label());
+                    match (warm, chill) {
+                        (Ok(warm), Ok(chill)) => {
+                            check.matches += 2;
+                            if warm.verdict_cached {
+                                check.cache_hits += 1;
+                            }
+                            for (tag, out) in [("cached", &warm), ("cold", &chill)] {
+                                if out.epoch != epoch {
+                                    check.divergences.push(Divergence {
+                                        path: format!("{path} {tag}"),
+                                        policy: policy.clone(),
+                                        expected: format!("epoch {epoch}"),
+                                        actual: format!("epoch {}", out.epoch),
+                                    });
+                                }
+                            }
+                            if warm.verdict != chill.verdict {
+                                check.divergences.push(Divergence {
+                                    path: format!("{path} cached-vs-cold"),
+                                    policy: policy.clone(),
+                                    expected: format!("{:?}", chill.verdict),
+                                    actual: format!("{:?}", warm.verdict),
+                                });
+                            }
+                            if warm.verdict != expected {
+                                check.divergences.push(Divergence {
+                                    path,
+                                    policy: policy.clone(),
+                                    expected: format!("{expected:?}"),
+                                    actual: format!("{:?}", warm.verdict),
+                                });
+                            }
+                        }
+                        (Err(ServerError::Unsupported(_)), Err(ServerError::Unsupported(_))) => {
+                            check.paths_unsupported += 1
+                        }
+                        (warm, chill) => {
+                            check.divergences.push(Divergence {
+                                path,
+                                policy: policy.clone(),
+                                expected: "both twins agreeing".to_string(),
+                                actual: format!(
+                                    "cached: {:?}, cold: {:?}",
+                                    warm.map(|o| o.verdict),
+                                    chill.map(|o| o.verdict)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Between ops, both catalogs sit at the serialized epoch.
+        for (tag, s) in [("cached", &cached), ("cold", &cold)] {
+            if s.catalog_epoch() != epoch {
+                check.divergences.push(Divergence {
+                    path: format!("catalog/{tag}"),
+                    policy: String::new(),
+                    expected: format!("epoch {epoch}"),
+                    actual: format!("epoch {}", s.catalog_epoch()),
+                });
+            }
+        }
+    }
+    check
+}
+
 /// Aggregate statistics over a fuzzing run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -291,6 +451,14 @@ pub struct RunStats {
     pub divergences: usize,
     pub metamorphic_queries: usize,
     pub metamorphic_mismatches: usize,
+    /// Update-interleaved churn checks run (on the metamorphic cadence).
+    pub churn_checks: usize,
+    /// Match evaluations compared inside those churn checks.
+    pub churn_matches: usize,
+    /// Verdict-cache hits the cache-enabled churn twin served.
+    pub churn_cache_hits: u64,
+    /// Snapshot-isolation or cached-vs-cold violations (must be 0).
+    pub churn_divergences: usize,
 }
 
 /// Run `cases` seeded cases starting at `seed` (case *i* uses seed
@@ -319,6 +487,25 @@ pub fn run(
             let meta = metamorphic::check_minidb(&case);
             stats.metamorphic_queries += meta.queries;
             stats.metamorphic_mismatches += meta.mismatches.len();
+            // Same cadence for the update-interleaved knob: churn the
+            // catalog between matches and require snapshot isolation.
+            let churn = check_churn(seed + i as u64);
+            stats.churn_checks += 1;
+            stats.churn_matches += churn.matches;
+            stats.churn_cache_hits += churn.cache_hits;
+            stats.churn_divergences += churn.divergences.len();
+            if !churn.divergences.is_empty() {
+                eprintln!(
+                    "churn divergences at seed {}:\n{}",
+                    seed + i as u64,
+                    churn
+                        .divergences
+                        .iter()
+                        .map(|d| format!("  {d}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
         }
     }
     (stats, failure)
@@ -370,6 +557,31 @@ mod tests {
             );
         }
         assert_eq!(stats.metamorphic_mismatches, 0);
+        assert!(stats.churn_checks > 0, "churn knob must run on the cadence");
+        assert_eq!(stats.churn_divergences, 0);
+    }
+
+    #[test]
+    fn churn_streams_preserve_snapshot_isolation() {
+        for seed in [1u64, 99, 4242] {
+            let check = check_churn(seed);
+            assert!(check.ops > 0);
+            assert!(check.matches > 0, "seed {seed} compared no matches");
+            assert!(
+                check.divergences.is_empty(),
+                "seed {seed}:\n{}",
+                check
+                    .divergences
+                    .iter()
+                    .map(|d| format!("  {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            assert!(
+                check.cache_hits > 0,
+                "seed {seed}: the cached twin never hit — the knob is inert"
+            );
+        }
     }
 
     #[test]

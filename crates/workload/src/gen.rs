@@ -340,6 +340,115 @@ fn gen_access_expr(rng: &mut SmallRng, cfg: &GenConfig) -> Expr {
         ))
 }
 
+// --- churn streams ------------------------------------------------------
+
+/// One step of a live-update churn stream: the interleaved
+/// install/replace/retract/match traffic a deployed policy server sees
+/// when "policies of a website will not stay static forever" (paper
+/// §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnOp {
+    /// Install a brand-new policy under a fresh name.
+    Install(Policy),
+    /// Replace a live policy: remove + re-install (a re-shred) under
+    /// the same name with freshly generated contents.
+    Replace(Policy),
+    /// Retract a live policy by name.
+    Retract(String),
+    /// Match preference `ruleset` (an index into the stream's ruleset
+    /// rotation) against the named live policy.
+    Match { policy: String, ruleset: usize },
+}
+
+/// Knobs for [`gen_churn_stream`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Policies installed before the stream starts.
+    pub initial_policies: usize,
+    /// Total operations in the stream.
+    pub ops: usize,
+    /// Probability that an operation is a catalog update
+    /// (install/replace/retract) rather than a match. 0.01 is the 1%
+    /// churn rate the bench floors are calibrated at.
+    pub churn_rate: f64,
+    /// Number of distinct preference rulesets rotated by match ops.
+    pub rulesets: usize,
+    /// Shape bounds for the generated policies and rulesets.
+    pub gen: GenConfig,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            initial_policies: 40,
+            ops: 5000,
+            churn_rate: 0.01,
+            rulesets: 5,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// A generated churn workload: the policies to install up front, the
+/// preference rotation match ops index into, and the operation stream
+/// itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnStream {
+    pub initial: Vec<Policy>,
+    pub rulesets: Vec<Ruleset>,
+    pub ops: Vec<ChurnOp>,
+}
+
+/// Generate a seeded install/replace/retract stream interleaved with
+/// matching. Every referenced policy name is live at that point of the
+/// stream (installs use fresh names, replaces and retracts pick live
+/// ones, and the corpus never shrinks below one policy), so a driver
+/// can apply the ops in order without bookkeeping.
+pub fn gen_churn_stream(rng: &mut SmallRng, cfg: &ChurnConfig) -> ChurnStream {
+    let initial: Vec<Policy> = (0..cfg.initial_policies.max(1))
+        .map(|i| gen_policy(rng, &format!("churn-p{i:03}"), &cfg.gen))
+        .collect();
+    let rulesets: Vec<Ruleset> = (0..cfg.rulesets.max(1))
+        .map(|_| gen_ruleset(rng, &cfg.gen))
+        .collect();
+    let mut live: Vec<String> = initial.iter().map(|p| p.name.clone()).collect();
+    let mut next_fresh = initial.len();
+    let mut ops = Vec::with_capacity(cfg.ops);
+    for _ in 0..cfg.ops {
+        if rng.gen_bool(cfg.churn_rate) {
+            // An update: replace half the time, otherwise grow or
+            // shrink the corpus (never below one policy).
+            let op = match rng.gen_index(4) {
+                0 => {
+                    let name = format!("churn-p{next_fresh:03}");
+                    next_fresh += 1;
+                    live.push(name.clone());
+                    ChurnOp::Install(gen_policy(rng, &name, &cfg.gen))
+                }
+                1 if live.len() > 1 => {
+                    let name = live.swap_remove(rng.gen_index(live.len()));
+                    ChurnOp::Retract(name)
+                }
+                _ => {
+                    let name = rng.pick(&live).clone();
+                    ChurnOp::Replace(gen_policy(rng, &name, &cfg.gen))
+                }
+            };
+            ops.push(op);
+        } else {
+            ops.push(ChurnOp::Match {
+                policy: rng.pick(&live).clone(),
+                ruleset: rng.gen_index(rulesets.len()),
+            });
+        }
+    }
+    ChurnStream {
+        initial,
+        rulesets,
+        ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +501,73 @@ mod tests {
         for c in Connective::ALL {
             assert!(seen.contains(c), "connective {c} never generated");
         }
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_and_well_formed() {
+        let cfg = ChurnConfig {
+            initial_policies: 10,
+            ops: 800,
+            churn_rate: 0.05,
+            rulesets: 3,
+            gen: GenConfig::default(),
+        };
+        let mut rng = SmallRng::seed_from_u64(4242);
+        let stream = gen_churn_stream(&mut rng, &cfg);
+        let mut rng2 = SmallRng::seed_from_u64(4242);
+        assert_eq!(stream, gen_churn_stream(&mut rng2, &cfg));
+        assert_eq!(stream.initial.len(), 10);
+        assert_eq!(stream.rulesets.len(), 3);
+        assert_eq!(stream.ops.len(), 800);
+
+        // Replay the stream: every op must reference a live name, the
+        // corpus never empties, and installs never collide.
+        let mut live: std::collections::BTreeSet<String> =
+            stream.initial.iter().map(|p| p.name.clone()).collect();
+        let mut updates = 0usize;
+        for op in &stream.ops {
+            match op {
+                ChurnOp::Install(p) => {
+                    validate::check(p).unwrap();
+                    assert!(live.insert(p.name.clone()), "fresh name reused: {}", p.name);
+                    updates += 1;
+                }
+                ChurnOp::Replace(p) => {
+                    validate::check(p).unwrap();
+                    assert!(live.contains(&p.name), "replace of dead {}", p.name);
+                    updates += 1;
+                }
+                ChurnOp::Retract(name) => {
+                    assert!(live.remove(name), "retract of dead {name}");
+                    assert!(!live.is_empty(), "corpus emptied");
+                    updates += 1;
+                }
+                ChurnOp::Match { policy, ruleset } => {
+                    assert!(live.contains(policy), "match against dead {policy}");
+                    assert!(*ruleset < stream.rulesets.len());
+                }
+            }
+        }
+        // 5% churn over 800 ops: the update count is binomial around
+        // 40; a generous band keeps the test seed-stable.
+        assert!((10..=90).contains(&updates), "updates = {updates}");
+    }
+
+    #[test]
+    fn churn_stream_at_zero_rate_is_all_matches() {
+        let cfg = ChurnConfig {
+            initial_policies: 4,
+            ops: 100,
+            churn_rate: 0.0,
+            rulesets: 2,
+            gen: GenConfig::default(),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let stream = gen_churn_stream(&mut rng, &cfg);
+        assert!(stream
+            .ops
+            .iter()
+            .all(|op| matches!(op, ChurnOp::Match { .. })));
     }
 
     #[test]

@@ -44,6 +44,15 @@ P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-fuzz -- --seed 42
 echo "==> repro --table fuzz (zero-divergence gate)"
 P3P_FUZZ_CASES=50 cargo run -q --release -p p3p-bench --bin repro -- --table fuzz > /dev/null
 
+echo "==> bench smoke (churn, single iteration)"
+cargo bench -p p3p-bench --bench churn -- --test
+
+echo "==> repro --table churn (verdict-cache hit-rate + cached-speedup floors)"
+cargo run -q --release -p p3p-bench --bin repro -- --table churn > /dev/null
+grep -q '"hit_rate"' BENCH_churn.json
+grep -q '"speedup"' BENCH_churn.json
+grep -q '"cache_invalidations"' BENCH_churn.json
+
 echo "==> repro --table profile (profiler-off overhead gate, 1.10x)"
 cargo run -q --release -p p3p-bench --bin repro -- --table profile > /dev/null
 test -s BENCH_profile.json

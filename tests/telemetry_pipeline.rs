@@ -150,6 +150,53 @@ fn install_records_shred_metrics() {
     }
 }
 
+/// The verdict cache exports hit/miss/eviction/invalidation counters
+/// and the catalog epoch is a gauge, all visible in both renderings.
+#[test]
+fn verdict_cache_counters_and_epoch_gauge_are_exported() {
+    let mut server = PolicyServer::new();
+    server.set_verdict_cache_capacity(64);
+    server.install_policy(&volga_policy()).unwrap();
+    let jane = jane_preference();
+    // Miss, then hit, then a removal-driven invalidation: every
+    // counter family observes at least one event.
+    let cold = server
+        .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    assert!(!cold.verdict_cached);
+    let warm = server
+        .match_preference(&jane, Target::Policy("volga"), EngineKind::Sql)
+        .unwrap();
+    assert!(warm.verdict_cached);
+    server.remove_policy("volga").unwrap();
+
+    assert!(metrics::counter("p3p_verdict_cache_hits_total").get() >= 1);
+    assert!(metrics::counter("p3p_verdict_cache_misses_total").get() >= 1);
+    assert!(metrics::counter("p3p_verdict_cache_invalidations_total").get() >= 1);
+    // The gauge is process-global and other tests install policies in
+    // parallel, so assert it tracks *some* live epoch rather than this
+    // server's exact value.
+    assert!(metrics::gauge("p3p_catalog_epoch").get() >= 1);
+    assert_eq!(server.catalog_epoch(), 2);
+
+    let text = metrics::render_text();
+    let json = metrics::snapshot_json();
+    for name in [
+        "p3p_verdict_cache_hits_total",
+        "p3p_verdict_cache_misses_total",
+        "p3p_verdict_cache_evictions_total",
+        "p3p_verdict_cache_invalidations_total",
+        "p3p_catalog_epoch",
+    ] {
+        assert!(text.contains(name), "{name} missing from Prometheus text");
+        assert!(json.contains(name), "{name} missing from JSON snapshot");
+    }
+    assert!(
+        text.contains("# TYPE p3p_catalog_epoch gauge"),
+        "epoch must render as a gauge"
+    );
+}
+
 /// EXPLAIN on the optimized-schema translation of a category rule
 /// names the indexes the executor would probe (satellite of the
 /// paper's §5.4 index discussion).
