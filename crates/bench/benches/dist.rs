@@ -1,0 +1,37 @@
+//! Bench for distributed corpus matching: fleet scaling plus the
+//! kill-one-worker drill.
+//!
+//! Like the other benches this is a plain timing harness
+//! (`harness = false`); pass `--test` for a single-iteration smoke
+//! pass over a small corpus. The authoritative numbers (and the
+//! conditional 4-worker scaling gate) come from `repro --table dist`,
+//! which writes `BENCH_dist.json`.
+
+use p3p_bench::{bench_dist_json, dist_report, dist_table, DEFAULT_SEED};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (policies, fleets, runs): (usize, &[usize], u32) = if smoke {
+        (200, &[1, 2], 1)
+    } else {
+        (2000, &[1, 2, 4], 3)
+    };
+    let report = dist_report(DEFAULT_SEED, policies, 64, fleets, runs);
+    print!("{}", dist_table(&report));
+    assert!(
+        report
+            .rows
+            .iter()
+            .all(|r| r.sweep > std::time::Duration::ZERO),
+        "every fleet must complete a timed sweep"
+    );
+    if let Some(kill) = &report.kill {
+        assert!(
+            kill.matches_single_process,
+            "the kill drill fold diverged from the single-process sweep"
+        );
+    }
+    if !smoke {
+        print!("{}", bench_dist_json(&report));
+    }
+}

@@ -28,6 +28,9 @@ use p3p_server::{EngineKind, PolicyServer, ServerError, Target};
 use p3p_workload::{corpus, corpus_n, preference_stats, Sensitivity};
 use std::time::{Duration, Instant};
 
+pub mod dist;
+pub use dist::{bench_dist_json, dist_report, dist_table, DistReport};
+
 /// The default workload seed; every report names it.
 pub const DEFAULT_SEED: u64 = 42;
 
@@ -667,6 +670,11 @@ pub struct BulkRow {
     /// executor forced off, for engines whose matching runs minidb SQL
     /// (`None` for the tree-walking engines, where the knob is inert).
     pub row_exec_bulk_time: Option<Duration>,
+    /// The columnar-on sweep timed in the same interleaved pass as
+    /// [`Self::row_exec_bulk_time`], so the two sides of the
+    /// columnar-over-row ratio see the same machine conditions instead
+    /// of measurements taken far apart in the run.
+    pub columnar_bulk_time: Option<Duration>,
     /// Set when the engine cannot decide the corpus at all (timings are
     /// zero in that case).
     pub error: Option<String>,
@@ -684,10 +692,13 @@ impl BulkRow {
     }
 
     /// How much faster the columnar batch executor runs the bulk sweep
-    /// than the row-at-a-time interpreter.
+    /// than the row-at-a-time interpreter (both sides from the same
+    /// interleaved measurement pass).
     pub fn columnar_speedup(&self) -> Option<f64> {
-        self.row_exec_bulk_time
-            .map(|row| ratio(row, self.bulk_time))
+        match (self.row_exec_bulk_time, self.columnar_bulk_time) {
+            (Some(row), Some(col)) => Some(ratio(row, col)),
+            _ => None,
+        }
     }
 }
 
@@ -740,7 +751,14 @@ pub fn bulk_report(seed: u64, n: usize, runs: u32) -> BulkReport {
         )
     };
     for &engine in EngineKind::ALL {
-        let timed = (|| -> Result<(Duration, Duration, Duration, Option<Duration>)> {
+        type BulkTimings = (
+            Duration,
+            Duration,
+            Duration,
+            Option<Duration>,
+            Option<Duration>,
+        );
+        let timed = (|| -> Result<BulkTimings> {
             // Warm-up: populate translation and plan caches so every
             // timed pass measures steady state.
             snapshot.match_corpus(&ruleset, engine)?;
@@ -754,31 +772,54 @@ pub fn bulk_report(seed: u64, n: usize, runs: u32) -> BulkReport {
             let sharded_time = best_of(runs, || {
                 pool.match_corpus(&ruleset, engine, shards).map(|_| ())
             })?;
-            let row_exec_bulk_time = if sql_backed(engine) {
-                p3p_minidb::exec::set_columnar(false);
-                let timed = best_of(runs, || snapshot.match_corpus(&ruleset, engine).map(|_| ()));
-                p3p_minidb::exec::set_columnar(true);
-                Some(timed?)
+            let (columnar_bulk_time, row_exec_bulk_time) = if sql_backed(engine) {
+                // Interleave the two executors run-for-run (each side
+                // keeps its own best-of) so drift on a noisy box can't
+                // masquerade as a columnar speedup or regression.
+                let mut best_col = Duration::MAX;
+                let mut best_row = Duration::MAX;
+                for _ in 0..runs.max(1) {
+                    let t = Instant::now();
+                    snapshot.match_corpus(&ruleset, engine)?;
+                    best_col = best_col.min(t.elapsed());
+                    p3p_minidb::exec::set_columnar(false);
+                    let t = Instant::now();
+                    let swept = snapshot.match_corpus(&ruleset, engine);
+                    p3p_minidb::exec::set_columnar(true);
+                    swept?;
+                    best_row = best_row.min(t.elapsed());
+                }
+                (Some(best_col), Some(best_row))
             } else {
-                None
+                (None, None)
             };
-            Ok((loop_time, bulk_time, sharded_time, row_exec_bulk_time))
-        })();
-        rows.push(match timed {
-            Ok((loop_time, bulk_time, sharded_time, row_exec_bulk_time)) => BulkRow {
-                engine,
+            Ok((
                 loop_time,
                 bulk_time,
                 sharded_time,
+                columnar_bulk_time,
                 row_exec_bulk_time,
-                error: None,
-            },
+            ))
+        })();
+        rows.push(match timed {
+            Ok((loop_time, bulk_time, sharded_time, columnar_bulk_time, row_exec_bulk_time)) => {
+                BulkRow {
+                    engine,
+                    loop_time,
+                    bulk_time,
+                    sharded_time,
+                    row_exec_bulk_time,
+                    columnar_bulk_time,
+                    error: None,
+                }
+            }
             Err(e) => BulkRow {
                 engine,
                 loop_time: Duration::ZERO,
                 bulk_time: Duration::ZERO,
                 sharded_time: Duration::ZERO,
                 row_exec_bulk_time: None,
+                columnar_bulk_time: None,
                 error: Some(e.to_string()),
             },
         });
@@ -853,11 +894,16 @@ pub fn bench_bulk_json(report: &BulkReport) -> String {
                 row.bulk_speedup(),
                 row.sharded_speedup(),
             );
-            if let (Some(row_us), Some(speedup)) = (row.row_exec_bulk_time, row.columnar_speedup())
-            {
+            if let (Some(row_us), Some(col_us), Some(speedup)) = (
+                row.row_exec_bulk_time,
+                row.columnar_bulk_time,
+                row.columnar_speedup(),
+            ) {
                 body.push_str(&format!(
-                    ", \"row_exec_bulk_us\": {:.2}, \"columnar_speedup\": {:.2}",
+                    ", \"row_exec_bulk_us\": {:.2}, \"columnar_bulk_us\": {:.2}, \
+                     \"columnar_speedup\": {:.2}",
                     us(row_us),
+                    us(col_us),
                     speedup,
                 ));
             }

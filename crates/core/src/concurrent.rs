@@ -98,6 +98,14 @@ impl MatchPool {
         self.snapshot.read().unwrap().catalog_epoch()
     }
 
+    /// Pin the current snapshot: an `Arc` bump that callers hold when a
+    /// whole unit of work must see one catalog view across many calls —
+    /// e.g. a distributed worker running every shard of a sweep against
+    /// the same epoch even if the pool is refreshed mid-sweep.
+    pub fn pin(&self) -> Arc<PolicyServer> {
+        self.snapshot.read().unwrap().clone()
+    }
+
     /// Match against the snapshot. Each call clones the snapshot handle
     /// (an `Arc` bump) and matches zero-copy: the SQL engines bind the
     /// policy id as a parameter and the XTable engine stages into a

@@ -1,0 +1,183 @@
+//! Shard scheduler: load the deterministic workload corpus, spawn (or
+//! await) a worker fleet, run one distributed sweep, print the fold.
+//!
+//! ```text
+//! p3p-scheduler [--workers 4] [--policies 2000] [--seed 42]
+//!               [--engine sql] [--shard-size 64] [--sensitivity high]
+//!               [--listen 127.0.0.1:0] [--no-spawn]
+//! ```
+//!
+//! By default the scheduler spawns its own fleet of `p3p-worker`
+//! processes (found next to the scheduler binary); `--no-spawn` makes
+//! it wait for externally started workers instead.
+
+use p3p_dist::{corpus_server, SchedConfig, Scheduler};
+use p3p_server::EngineKind;
+use p3p_workload::Sensitivity;
+use std::process::{Child, Command};
+
+fn main() {
+    let mut workers = 4usize;
+    let mut policies = 2000usize;
+    let mut seed = 42u64;
+    let mut engine = EngineKind::Sql;
+    let mut shard_size = 64usize;
+    let mut sensitivity = Sensitivity::High;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut spawn = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => workers = parse(&mut args, "--workers"),
+            "--policies" => policies = parse(&mut args, "--policies"),
+            "--seed" => seed = parse(&mut args, "--seed"),
+            "--shard-size" => shard_size = parse(&mut args, "--shard-size"),
+            "--listen" => listen = expect_value(&mut args, "--listen"),
+            "--no-spawn" => spawn = false,
+            "--engine" => {
+                let v = expect_value(&mut args, "--engine");
+                engine = *EngineKind::ALL
+                    .iter()
+                    .find(|e| e.metric_label() == v)
+                    .unwrap_or_else(|| usage(&format!("unknown engine {v}")));
+            }
+            "--sensitivity" => {
+                sensitivity = match expect_value(&mut args, "--sensitivity").as_str() {
+                    "very-low" => Sensitivity::VeryLow,
+                    "low" => Sensitivity::Low,
+                    "medium" => Sensitivity::Medium,
+                    "high" => Sensitivity::High,
+                    "very-high" => Sensitivity::VeryHigh,
+                    other => usage(&format!("unknown sensitivity {other}")),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let server = match corpus_server(seed, policies) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("p3p-scheduler: corpus install failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut sched = match Scheduler::bind(&listen, server, SchedConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("p3p-scheduler: bind {listen} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = sched.local_addr();
+    eprintln!("p3p-scheduler: listening on {addr}, waiting for {workers} workers");
+
+    let mut children: Vec<Child> = Vec::new();
+    if spawn {
+        let bin = worker_binary();
+        for i in 0..workers {
+            match Command::new(&bin)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--name")
+                .arg(format!("w{i}"))
+                .spawn()
+            {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    eprintln!("p3p-scheduler: failed to spawn {}: {e}", bin.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    if let Err(e) = sched.accept_workers(workers) {
+        eprintln!("p3p-scheduler: fleet bootstrap failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "p3p-scheduler: fleet ready at catalog epoch {}",
+        sched.catalog_epoch()
+    );
+
+    let ruleset = sensitivity.ruleset();
+    let start = std::time::Instant::now();
+    let report = match sched.sweep(&ruleset, engine, shard_size) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("p3p-scheduler: sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let blocked = report
+        .verdicts
+        .iter()
+        .filter(|(_, v)| v.fired_rule.is_none() || v.behavior.as_str() == "block")
+        .count();
+    println!(
+        "swept {} policies with {} in {:.1} ms (epoch {})",
+        report.verdicts.len(),
+        engine.metric_label(),
+        elapsed.as_secs_f64() * 1e3,
+        report.epoch
+    );
+    println!(
+        "  jobs: {} dispatched, {} remote, {} local, {} requeued",
+        report.stats.dispatched,
+        report.stats.completed_remote,
+        report.stats.completed_local,
+        report.stats.requeued
+    );
+    println!(
+        "  verdicts: {blocked} blocked / {} total",
+        report.verdicts.len()
+    );
+    for (shard, worker, us) in &report.stats.shard_timings {
+        eprintln!("  shard {shard}: worker {worker}, {us} us");
+    }
+
+    sched.shutdown();
+    for mut child in children {
+        let _ = child.wait();
+    }
+}
+
+/// The worker binary ships next to the scheduler binary.
+fn worker_binary() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("binary has a parent directory");
+    let name = if cfg!(windows) {
+        "p3p-worker.exe"
+    } else {
+        "p3p-worker"
+    };
+    dir.join(name)
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    expect_value(args, flag)
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} takes a number")))
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: p3p-scheduler [--workers N] [--policies N] [--seed N] [--engine LABEL] \
+         [--shard-size N] [--sensitivity very-low|low|medium|high|very-high] \
+         [--listen ADDR] [--no-spawn]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,56 @@
+//! Match worker: connect to a scheduler, rebuild the shipped corpus,
+//! answer shard jobs until drained.
+//!
+//! ```text
+//! p3p-worker --connect 127.0.0.1:7033 [--name w0] [--delay-ms 0]
+//! ```
+
+use p3p_dist::worker;
+use p3p_dist::WorkerConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = String::new();
+    let mut config = WorkerConfig {
+        name: format!("worker-{}", std::process::id()),
+        delay_ms: 0,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = expect_value(&mut args, "--connect"),
+            "--name" => config.name = expect_value(&mut args, "--name"),
+            "--delay-ms" => {
+                config.delay_ms = expect_value(&mut args, "--delay-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--delay-ms takes an integer"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if addr.is_empty() {
+        usage("--connect is required");
+    }
+    match worker::run(&addr, &config) {
+        Ok(jobs) => {
+            eprintln!("p3p-worker {}: drained after {jobs} jobs", config.name);
+        }
+        Err(e) => {
+            eprintln!("p3p-worker {}: {e}", config.name);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: p3p-worker --connect HOST:PORT [--name NAME] [--delay-ms N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,88 @@
+//! Distributed corpus matching: a shard scheduler and a worker fleet
+//! speaking a length-prefixed binary wire protocol over TCP.
+//!
+//! The paper's server-centric architecture (§3.3) puts matching next
+//! to the database; this crate stretches that across processes. The
+//! scheduler owns the corpus roster and partitions it into contiguous
+//! shards — the same shard primitive as the in-process
+//! [`MatchPool`](p3p_server::concurrent::MatchPool) — and a fleet of
+//! worker processes each rebuilds the catalog from a serialized
+//! bootstrap payload, pins one catalog epoch per sweep, and answers
+//! shard jobs. Because the roster is sorted and shards are contiguous,
+//! folding the shard results back together reproduces, byte for byte,
+//! what a single-process `match_corpus` call would return.
+//!
+//! Robustness: workers heartbeat on a dedicated thread; a reaper
+//! re-queues shards from dead or straggling workers (retry-once, then
+//! the scheduler matches the shard locally), so a sweep completes as
+//! long as the scheduler itself survives.
+//!
+//! Telemetry: `p3p_dist_jobs_dispatched_total`,
+//! `p3p_dist_jobs_completed_total`, `p3p_dist_jobs_requeued_total`,
+//! `p3p_dist_heartbeat_misses_total` (counters) and
+//! `p3p_dist_workers_active` (gauge) flow through the shared
+//! `p3p-telemetry` registry.
+
+pub mod proto;
+pub mod sched;
+pub mod worker;
+
+pub use proto::{Frame, WireError};
+pub use sched::{SchedConfig, Scheduler, SweepReport, SweepStats};
+pub use worker::WorkerConfig;
+
+use p3p_server::PolicyServer;
+
+/// Anything that can go wrong on either side of the wire.
+#[derive(Debug)]
+pub enum DistError {
+    /// Frame-level failure (truncation, bad magic, socket error, …).
+    Wire(WireError),
+    /// A structurally valid frame that violates the session protocol
+    /// (wrong frame at the wrong time, unknown sweep, bad ruleset).
+    Protocol(String),
+    /// Policy-server failure while installing or matching.
+    Server(p3p_server::ServerError),
+    /// The fleet did not converge on one catalog epoch.
+    EpochMismatch { want: u64, got: u64 },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Wire(e) => write!(f, "wire: {e}"),
+            DistError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            DistError::Server(e) => write!(f, "server: {e}"),
+            DistError::EpochMismatch { want, got } => {
+                write!(
+                    f,
+                    "catalog epoch mismatch: fleet pinned {want}, worker reported {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> DistError {
+        DistError::Wire(e)
+    }
+}
+
+impl From<p3p_server::ServerError> for DistError {
+    fn from(e: p3p_server::ServerError) -> DistError {
+        DistError::Server(e)
+    }
+}
+
+/// A server loaded with the deterministic workload corpus — the shared
+/// starting point for scheduler binaries, benches, and tests.
+pub fn corpus_server(seed: u64, n: usize) -> Result<PolicyServer, DistError> {
+    let mut server = PolicyServer::new();
+    for policy in p3p_workload::corpus_n(seed, n) {
+        server.install_policy(&policy)?;
+    }
+    Ok(server)
+}

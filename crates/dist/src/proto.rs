@@ -1,0 +1,537 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame starts with a fixed 8-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic   0x5033 ("P3", little-endian)
+//! 2       1     version protocol version (currently 1)
+//! 3       1     kind    frame discriminant (see [`Frame::kind`])
+//! 4       4     len     payload length in bytes (little-endian)
+//! ```
+//!
+//! followed by `len` payload bytes. Integers are little-endian;
+//! strings are a `u32` byte length followed by UTF-8 bytes; lists are
+//! a `u32` element count followed by the elements. A payload longer
+//! than [`MAX_PAYLOAD`] is rejected before any allocation happens, so
+//! a hostile or corrupt length prefix cannot balloon memory.
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`WireError`], and [`Frame::decode`] distinguishes "incomplete,
+//! feed me more bytes" ([`WireError::Truncated`]) from "corrupt,
+//! close the connection" (everything else).
+
+use p3p_appel::engine::Verdict;
+use p3p_appel::model::Behavior;
+use p3p_server::EngineKind;
+use std::io::{Read, Write};
+
+/// `"P3"` little-endian.
+pub const MAGIC: u16 = 0x5033;
+/// Current protocol version. A frame with any other version is
+/// answered with [`WireError::BadVersion`], never silently accepted.
+pub const VERSION: u8 = 1;
+/// Fixed header size (magic + version + kind + payload length).
+pub const HEADER_LEN: usize = 8;
+/// Hard payload ceiling: large enough for a serialized multi-thousand
+/// policy corpus, small enough that a corrupt length prefix cannot
+/// exhaust memory.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Typed decode/IO failures. Every path through the decoder returns
+/// one of these — nothing panics on hostile bytes.
+#[derive(Debug)]
+pub enum WireError {
+    /// The buffer ends before the frame does; read more and retry.
+    Truncated { have: usize, need: usize },
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic(u16),
+    /// Version byte mismatch.
+    BadVersion { got: u8, want: u8 },
+    /// Unknown frame discriminant.
+    UnknownFrame(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized { len: u32, max: u32 },
+    /// Structurally invalid payload (bad UTF-8, trailing bytes,
+    /// unknown engine, …).
+    Malformed(String),
+    /// Socket-level failure while reading or writing a frame.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x} (want {MAGIC:#06x})"),
+            WireError::BadVersion { got, want } => {
+                write!(f, "protocol version {got} not supported (want {want})")
+            }
+            WireError::UnknownFrame(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte ceiling")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// One protocol frame. The scheduler→worker direction carries
+/// `Welcome`/`LoadCorpus`/`BeginSweep`/`Job`/`Shutdown`; the
+/// worker→scheduler direction carries
+/// `Hello`/`CorpusReady`/`JobResult`/`Heartbeat`; `Error` flows both
+/// ways.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// First frame on a fresh connection: the worker introduces itself.
+    Hello { worker: String },
+    /// Scheduler's reply: the assigned worker id and the heartbeat
+    /// cadence the reaper will hold the worker to.
+    Welcome { worker_id: u64, heartbeat_ms: u64 },
+    /// Bootstrap: the serialized policy corpus, `(name, raw XML)` in
+    /// name order. The worker installs every policy and answers with
+    /// `CorpusReady`.
+    LoadCorpus { policies: Vec<(String, String)> },
+    /// The worker finished installing the corpus; `epoch` is the
+    /// catalog epoch its server landed on (identical corpora installed
+    /// in identical order land on identical epochs).
+    CorpusReady {
+        worker_id: u64,
+        epoch: u64,
+        policies: u64,
+    },
+    /// Announce a sweep: the preference to match and the engine to
+    /// match it with. Workers pin one catalog snapshot for the whole
+    /// sweep on receipt.
+    BeginSweep {
+        sweep_id: u64,
+        engine: EngineKind,
+        ruleset_xml: String,
+    },
+    /// One shard of the corpus to decide: a contiguous run of policy
+    /// names from the scheduler's sorted roster.
+    Job {
+        sweep_id: u64,
+        job_id: u64,
+        names: Vec<String>,
+    },
+    /// A decided shard: per-policy verdicts in roster order, the epoch
+    /// the worker's pinned snapshot reported, and the shard's
+    /// wall-clock matching time.
+    JobResult {
+        job_id: u64,
+        epoch: u64,
+        elapsed_us: u64,
+        verdicts: Vec<(String, Verdict)>,
+    },
+    /// Liveness beacon, sent on its own thread so a worker busy
+    /// matching still beats.
+    Heartbeat { worker_id: u64, seq: u64 },
+    /// Graceful drain: finish the current job, then close.
+    Shutdown,
+    /// Typed failure report (either direction).
+    Error { code: u16, message: String },
+}
+
+impl Frame {
+    /// The frame discriminant byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::Welcome { .. } => 0x02,
+            Frame::LoadCorpus { .. } => 0x03,
+            Frame::CorpusReady { .. } => 0x04,
+            Frame::BeginSweep { .. } => 0x05,
+            Frame::Job { .. } => 0x06,
+            Frame::JobResult { .. } => 0x07,
+            Frame::Heartbeat { .. } => 0x08,
+            Frame::Shutdown => 0x09,
+            Frame::Error { .. } => 0x0a,
+        }
+    }
+
+    /// Human label for logs and errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Welcome { .. } => "welcome",
+            Frame::LoadCorpus { .. } => "load_corpus",
+            Frame::CorpusReady { .. } => "corpus_ready",
+            Frame::BeginSweep { .. } => "begin_sweep",
+            Frame::Job { .. } => "job",
+            Frame::JobResult { .. } => "job_result",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::Shutdown => "shutdown",
+            Frame::Error { .. } => "error",
+        }
+    }
+
+    /// Serialize header + payload into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Frame::Hello { worker } => put_str(&mut payload, worker),
+            Frame::Welcome {
+                worker_id,
+                heartbeat_ms,
+            } => {
+                put_u64(&mut payload, *worker_id);
+                put_u64(&mut payload, *heartbeat_ms);
+            }
+            Frame::LoadCorpus { policies } => {
+                put_u32(&mut payload, policies.len() as u32);
+                for (name, xml) in policies {
+                    put_str(&mut payload, name);
+                    put_str(&mut payload, xml);
+                }
+            }
+            Frame::CorpusReady {
+                worker_id,
+                epoch,
+                policies,
+            } => {
+                put_u64(&mut payload, *worker_id);
+                put_u64(&mut payload, *epoch);
+                put_u64(&mut payload, *policies);
+            }
+            Frame::BeginSweep {
+                sweep_id,
+                engine,
+                ruleset_xml,
+            } => {
+                put_u64(&mut payload, *sweep_id);
+                payload.push(engine_to_wire(*engine));
+                put_str(&mut payload, ruleset_xml);
+            }
+            Frame::Job {
+                sweep_id,
+                job_id,
+                names,
+            } => {
+                put_u64(&mut payload, *sweep_id);
+                put_u64(&mut payload, *job_id);
+                put_u32(&mut payload, names.len() as u32);
+                for name in names {
+                    put_str(&mut payload, name);
+                }
+            }
+            Frame::JobResult {
+                job_id,
+                epoch,
+                elapsed_us,
+                verdicts,
+            } => {
+                put_u64(&mut payload, *job_id);
+                put_u64(&mut payload, *epoch);
+                put_u64(&mut payload, *elapsed_us);
+                put_u32(&mut payload, verdicts.len() as u32);
+                for (name, verdict) in verdicts {
+                    put_str(&mut payload, name);
+                    put_str(&mut payload, verdict.behavior.as_str());
+                    // fired_rule: -1 encodes "no rule fired".
+                    put_u64(
+                        &mut payload,
+                        verdict.fired_rule.map_or(u64::MAX, |r| r as u64),
+                    );
+                }
+            }
+            Frame::Heartbeat { worker_id, seq } => {
+                put_u64(&mut payload, *worker_id);
+                put_u64(&mut payload, *seq);
+            }
+            Frame::Shutdown => {}
+            Frame::Error { code, message } => {
+                put_u16(&mut payload, *code);
+                put_str(&mut payload, message);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        put_u16(&mut out, MAGIC);
+        out.push(VERSION);
+        out.push(self.kind());
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode one frame from the front of `buf`. Returns the frame and
+    /// the number of bytes consumed; [`WireError::Truncated`] means the
+    /// buffer holds only a prefix of the frame (read more and retry).
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion {
+                got: buf[2],
+                want: VERSION,
+            });
+        }
+        let kind = buf[3];
+        let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: total,
+            });
+        }
+        let frame = decode_payload(kind, &buf[HEADER_LEN..total])?;
+        Ok((frame, total))
+    }
+
+    /// Read exactly one frame from a stream (header first, then the
+    /// validated payload — an oversized length is rejected before any
+    /// allocation).
+    pub fn read_from(r: &mut impl Read) -> Result<Frame, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        let magic = u16::from_le_bytes([header[0], header[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if header[2] != VERSION {
+            return Err(WireError::BadVersion {
+                got: header[2],
+                want: VERSION,
+            });
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        decode_payload(header[3], &payload)
+    }
+
+    /// Write the frame and flush.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        w.write_all(&self.encode())?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// `EngineKind` ↔ wire byte. The numbering is part of the protocol;
+/// extend, never reorder.
+pub fn engine_to_wire(engine: EngineKind) -> u8 {
+    match engine {
+        EngineKind::Native => 0,
+        EngineKind::Sql => 1,
+        EngineKind::SqlGeneric => 2,
+        EngineKind::XQueryXTable => 3,
+        EngineKind::XQueryNative => 4,
+    }
+}
+
+/// Inverse of [`engine_to_wire`].
+pub fn engine_from_wire(byte: u8) -> Option<EngineKind> {
+    match byte {
+        0 => Some(EngineKind::Native),
+        1 => Some(EngineKind::Sql),
+        2 => Some(EngineKind::SqlGeneric),
+        3 => Some(EngineKind::XQueryXTable),
+        4 => Some(EngineKind::XQueryNative),
+        _ => None,
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match kind {
+        0x01 => Frame::Hello { worker: c.str_()? },
+        0x02 => Frame::Welcome {
+            worker_id: c.u64_()?,
+            heartbeat_ms: c.u64_()?,
+        },
+        0x03 => {
+            let n = c.u32_()? as usize;
+            let mut policies = Vec::new();
+            for _ in 0..n {
+                let name = c.str_()?;
+                let xml = c.str_()?;
+                policies.push((name, xml));
+            }
+            Frame::LoadCorpus { policies }
+        }
+        0x04 => Frame::CorpusReady {
+            worker_id: c.u64_()?,
+            epoch: c.u64_()?,
+            policies: c.u64_()?,
+        },
+        0x05 => {
+            let sweep_id = c.u64_()?;
+            let engine_byte = c.u8_()?;
+            let engine = engine_from_wire(engine_byte)
+                .ok_or_else(|| WireError::Malformed(format!("unknown engine {engine_byte}")))?;
+            Frame::BeginSweep {
+                sweep_id,
+                engine,
+                ruleset_xml: c.str_()?,
+            }
+        }
+        0x06 => {
+            let sweep_id = c.u64_()?;
+            let job_id = c.u64_()?;
+            let n = c.u32_()? as usize;
+            let mut names = Vec::new();
+            for _ in 0..n {
+                names.push(c.str_()?);
+            }
+            Frame::Job {
+                sweep_id,
+                job_id,
+                names,
+            }
+        }
+        0x07 => {
+            let job_id = c.u64_()?;
+            let epoch = c.u64_()?;
+            let elapsed_us = c.u64_()?;
+            let n = c.u32_()? as usize;
+            let mut verdicts = Vec::new();
+            for _ in 0..n {
+                let name = c.str_()?;
+                let behavior = Behavior::from_token(&c.str_()?);
+                let fired = c.u64_()?;
+                verdicts.push((
+                    name,
+                    Verdict {
+                        behavior,
+                        fired_rule: if fired == u64::MAX {
+                            None
+                        } else {
+                            Some(fired as usize)
+                        },
+                    },
+                ));
+            }
+            Frame::JobResult {
+                job_id,
+                epoch,
+                elapsed_us,
+                verdicts,
+            }
+        }
+        0x08 => Frame::Heartbeat {
+            worker_id: c.u64_()?,
+            seq: c.u64_()?,
+        },
+        0x09 => Frame::Shutdown,
+        0x0a => Frame::Error {
+            code: c.u16_()?,
+            message: c.str_()?,
+        },
+        other => return Err(WireError::UnknownFrame(other)),
+    };
+    if c.pos != payload.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after a {} frame",
+            payload.len() - c.pos,
+            frame.kind_name()
+        )));
+    }
+    Ok(frame)
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked payload reader: every shortage is a typed
+/// [`WireError::Truncated`], never a slice panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated {
+            have: self.buf.len(),
+            need: usize::MAX,
+        })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated {
+                have: self.buf.len(),
+                need: end,
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8_(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str_(&mut self) -> Result<String, WireError> {
+        let len = self.u32_()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Malformed(format!("invalid UTF-8 in string: {e}")))
+    }
+}

@@ -1,0 +1,814 @@
+//! The shard scheduler: owns the corpus roster, partitions it into
+//! contiguous shards, dispatches them to connected workers, and folds
+//! the shard results back into the exact name-ordered verdict list a
+//! single-process [`PolicyServer::match_corpus`] call would produce.
+//!
+//! Threading model (three owners, one lock):
+//!
+//! * the **sweep thread** (the caller of [`Scheduler::sweep`]) owns all
+//!   socket *writes* and the local-fallback engine;
+//! * one **reader thread per worker** owns that socket's *reads* and
+//!   marks the worker dead on EOF — the fast death signal when a
+//!   process is killed;
+//! * the **reaper thread** owns heartbeat-miss detection (the slow
+//!   death signal for silently hung workers) and straggler requeue.
+//!
+//! All three share one `Mutex<SweepState>` + `Condvar`. A shard that
+//! dies with its worker is re-queued (retry-once on another worker);
+//! a shard that fails twice is matched locally on the scheduler's own
+//! server, so a sweep always completes as long as the scheduler lives.
+
+use crate::proto::Frame;
+use crate::DistError;
+use p3p_appel::engine::Verdict;
+use p3p_appel::model::Ruleset;
+use p3p_server::{EngineKind, PolicyServer};
+use p3p_telemetry::metrics;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one scheduler instance.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Heartbeat cadence workers are held to (also sent in `Welcome`).
+    pub heartbeat_ms: u64,
+    /// Consecutive missed heartbeats before a worker is declared dead.
+    pub miss_threshold: u32,
+    /// A shard in flight longer than this is re-queued even if its
+    /// worker still heartbeats (straggler defence). Generous by
+    /// default: the box may be oversubscribed and slow ≠ dead.
+    pub straggler_ms: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            heartbeat_ms: 250,
+            miss_threshold: 8,
+            straggler_ms: 120_000,
+        }
+    }
+}
+
+/// What happened during one sweep, beyond the verdicts themselves.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Jobs sent to workers (requeues dispatch again, so this can
+    /// exceed the shard count).
+    pub dispatched: u64,
+    /// Shards answered by a worker.
+    pub completed_remote: u64,
+    /// Shards matched by the scheduler's local fallback engine.
+    pub completed_local: u64,
+    /// Shards re-queued off dead or straggling workers.
+    pub requeued: u64,
+    /// Per-shard timing as reported by the worker that decided it:
+    /// `(shard index, worker id, elapsed µs)`.
+    pub shard_timings: Vec<(u64, u64, u64)>,
+}
+
+/// A finished sweep: the catalog epoch the whole fleet was pinned to,
+/// the folded name-ordered verdicts, and the bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub epoch: u64,
+    pub verdicts: Vec<(String, Verdict)>,
+    pub stats: SweepStats,
+}
+
+/// Fired by the sweep loop once per accepted shard result, *after* the
+/// next job (if any) has been dispatched to the completing worker —
+/// the hook fault-injection tests use to kill a worker at a
+/// deterministic point with a known job in flight.
+pub type SweepObserver<'a> = dyn FnMut(u64, u64) + 'a;
+
+struct WorkerConn {
+    /// Write half (reads happen on the reader thread's clone).
+    stream: TcpStream,
+    name: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ShardStatus {
+    Pending,
+    InFlight,
+    Done,
+}
+
+struct ShardState {
+    status: ShardStatus,
+    /// Dispatch count; a shard re-queued after 2 attempts falls back
+    /// to the scheduler's local engine.
+    attempts: u32,
+    verdicts: Option<Vec<(String, Verdict)>>,
+}
+
+struct WorkerState {
+    alive: bool,
+    last_beat: Instant,
+    misses: u32,
+    /// Shard index this worker is computing, with dispatch time.
+    busy: Option<(usize, Instant)>,
+}
+
+struct SweepState {
+    workers: HashMap<u64, WorkerState>,
+    shards: Vec<ShardState>,
+    queue: Vec<usize>,
+    /// Completions not yet seen by the sweep loop: (shard, worker, µs).
+    finished: Vec<(usize, u64, u64)>,
+    /// Epoch mismatches and other per-worker faults for the sweep loop
+    /// to surface.
+    faults: Vec<String>,
+    /// Epoch every `JobResult` of the current sweep must report.
+    expected_epoch: u64,
+    /// Requeues charged during the current sweep.
+    requeued: u64,
+    sweeping: bool,
+}
+
+struct Shared {
+    state: Mutex<SweepState>,
+    cv: Condvar,
+}
+
+/// The scheduler: listener, handshaked worker fleet, local fallback
+/// server, and the shared sweep state the reader/reaper threads feed.
+pub struct Scheduler {
+    listener: TcpListener,
+    config: SchedConfig,
+    /// The scheduler's own copy of the corpus — local fallback engine
+    /// and the source of the `LoadCorpus` bootstrap payload.
+    server: PolicyServer,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, WorkerConn>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    reaper: Option<std::thread::JoinHandle<()>>,
+    reaper_stop: Arc<AtomicBool>,
+    /// Epoch every `CorpusReady` must agree on.
+    fleet_epoch: Option<u64>,
+    next_worker_id: u64,
+    next_sweep_id: u64,
+}
+
+impl Scheduler {
+    /// Bind to `addr` (use port 0 for an ephemeral port) with the
+    /// corpus already installed on `server`.
+    pub fn bind(
+        addr: &str,
+        server: PolicyServer,
+        config: SchedConfig,
+    ) -> Result<Scheduler, DistError> {
+        let listener = TcpListener::bind(addr).map_err(crate::proto::WireError::Io)?;
+        // Register and describe the whole metric surface up front: a
+        // scrape taken before the first fault still sees the zeroed
+        // families, each with a real HELP line.
+        for (name, help) in [
+            (
+                "p3p_dist_jobs_dispatched_total",
+                "Shard jobs sent to workers (requeues dispatch again)",
+            ),
+            (
+                "p3p_dist_jobs_completed_total",
+                "Shards folded into a sweep result, remote or local",
+            ),
+            (
+                "p3p_dist_jobs_requeued_total",
+                "Shards re-queued off dead or straggling workers",
+            ),
+            (
+                "p3p_dist_heartbeat_misses_total",
+                "Heartbeat deadlines a worker missed before being reaped",
+            ),
+        ] {
+            metrics::describe(name, help);
+            metrics::counter(name);
+        }
+        metrics::describe(
+            "p3p_dist_workers_active",
+            "Workers currently bootstrapped and alive",
+        );
+        metrics::gauge("p3p_dist_workers_active");
+        Ok(Scheduler {
+            listener,
+            config,
+            server,
+            shared: Arc::new(Shared {
+                state: Mutex::new(SweepState {
+                    workers: HashMap::new(),
+                    shards: Vec::new(),
+                    queue: Vec::new(),
+                    finished: Vec::new(),
+                    faults: Vec::new(),
+                    expected_epoch: 0,
+                    requeued: 0,
+                    sweeping: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            conns: HashMap::new(),
+            readers: Vec::new(),
+            reaper: None,
+            reaper_stop: Arc::new(AtomicBool::new(false)),
+            fleet_epoch: None,
+            next_worker_id: 0,
+            next_sweep_id: 0,
+        })
+    }
+
+    /// The bound address (workers connect here).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// The scheduler's local catalog epoch (what the fleet must match).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.server.catalog_epoch()
+    }
+
+    /// Accept and bootstrap `n` workers: handshake, ship the corpus,
+    /// wait for every `CorpusReady`, and verify the whole fleet landed
+    /// on one catalog epoch. Bootstraps run in parallel — corpus
+    /// installation is the expensive part and the workers do it
+    /// concurrently.
+    pub fn accept_workers(&mut self, n: usize) -> Result<(), DistError> {
+        let corpus = self.server.policies_with_xml();
+        let heartbeat_ms = self.config.heartbeat_ms;
+        let mut pending = Vec::new();
+        for _ in 0..n {
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(crate::proto::WireError::Io)?;
+            stream
+                .set_nodelay(true)
+                .map_err(crate::proto::WireError::Io)?;
+            let worker_id = self.next_worker_id;
+            self.next_worker_id += 1;
+            let mut write_half = stream.try_clone().map_err(crate::proto::WireError::Io)?;
+            let corpus = corpus.clone();
+            // Handshake thread: Hello → Welcome → LoadCorpus →
+            // CorpusReady, then hand the read half back.
+            let handle = std::thread::spawn(
+                move || -> Result<(TcpStream, TcpStream, String, u64, u64), DistError> {
+                    let mut read_half = stream.try_clone().map_err(crate::proto::WireError::Io)?;
+                    let name = match Frame::read_from(&mut read_half)? {
+                        Frame::Hello { worker } => worker,
+                        other => {
+                            return Err(DistError::Protocol(format!(
+                                "expected hello, got {}",
+                                other.kind_name()
+                            )))
+                        }
+                    };
+                    Frame::Welcome {
+                        worker_id,
+                        heartbeat_ms,
+                    }
+                    .write_to(&mut write_half)?;
+                    Frame::LoadCorpus { policies: corpus }.write_to(&mut write_half)?;
+                    // The worker heartbeats while installing; skip beats
+                    // until the ready frame arrives.
+                    loop {
+                        match Frame::read_from(&mut read_half)? {
+                            Frame::Heartbeat { .. } => continue,
+                            Frame::CorpusReady {
+                                epoch, policies, ..
+                            } => return Ok((read_half, write_half, name, epoch, policies)),
+                            Frame::Error { code, message } => {
+                                return Err(DistError::Protocol(format!(
+                                    "worker bootstrap failed (code {code}): {message}"
+                                )))
+                            }
+                            other => {
+                                return Err(DistError::Protocol(format!(
+                                    "expected corpus_ready, got {}",
+                                    other.kind_name()
+                                )))
+                            }
+                        }
+                    }
+                },
+            );
+            pending.push((worker_id, handle));
+        }
+        let expected_policies = self.server.policy_names().len() as u64;
+        for (worker_id, handle) in pending {
+            let (read_half, write_half, name, epoch, policies) = handle
+                .join()
+                .map_err(|_| DistError::Protocol("bootstrap thread panicked".into()))??;
+            if policies != expected_policies {
+                return Err(DistError::Protocol(format!(
+                    "worker {name} installed {policies} policies, expected {expected_policies}"
+                )));
+            }
+            match self.fleet_epoch {
+                None => self.fleet_epoch = Some(epoch),
+                Some(want) if want != epoch => {
+                    return Err(DistError::EpochMismatch { want, got: epoch })
+                }
+                Some(_) => {}
+            }
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                st.workers.insert(
+                    worker_id,
+                    WorkerState {
+                        alive: true,
+                        last_beat: Instant::now(),
+                        misses: 0,
+                        busy: None,
+                    },
+                );
+            }
+            metrics::gauge("p3p_dist_workers_active").add(1);
+            self.conns.insert(
+                worker_id,
+                WorkerConn {
+                    stream: write_half,
+                    name,
+                },
+            );
+            let shared = self.shared.clone();
+            self.readers.push(std::thread::spawn(move || {
+                reader_loop(worker_id, read_half, &shared);
+            }));
+        }
+        self.start_reaper();
+        Ok(())
+    }
+
+    fn start_reaper(&mut self) {
+        if self.reaper.is_some() {
+            return;
+        }
+        let shared = self.shared.clone();
+        let stop = self.reaper_stop.clone();
+        let heartbeat = Duration::from_millis(self.config.heartbeat_ms);
+        let miss_threshold = self.config.miss_threshold;
+        let straggler = Duration::from_millis(self.config.straggler_ms);
+        self.reaper = Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(heartbeat);
+                let mut st = shared.state.lock().unwrap();
+                let mut changed = false;
+                let mut to_requeue: Vec<usize> = Vec::new();
+                for (_, w) in st.workers.iter_mut() {
+                    if !w.alive {
+                        continue;
+                    }
+                    // Grace of 1.5 beats before a miss is charged: one
+                    // delayed beat is scheduling noise, not death.
+                    if w.last_beat.elapsed() > heartbeat + heartbeat / 2 {
+                        w.misses += 1;
+                        w.last_beat = Instant::now();
+                        metrics::counter("p3p_dist_heartbeat_misses_total").inc();
+                        if w.misses >= miss_threshold {
+                            w.alive = false;
+                            metrics::gauge("p3p_dist_workers_active").add(-1);
+                            if let Some((shard, _)) = w.busy.take() {
+                                to_requeue.push(shard);
+                            }
+                            changed = true;
+                        }
+                    } else if let Some((shard, since)) = w.busy {
+                        if since.elapsed() > straggler {
+                            // Alive but slow: put the shard back up for
+                            // grabs; first-writer-wins dedup makes the
+                            // eventual duplicate result harmless.
+                            w.busy = None;
+                            to_requeue.push(shard);
+                            changed = true;
+                        }
+                    }
+                }
+                for shard in to_requeue {
+                    requeue_locked(&mut st, shard);
+                }
+                if changed {
+                    shared.cv.notify_all();
+                }
+            }
+        }));
+    }
+
+    /// Run one distributed sweep and fold the shards. See
+    /// [`Scheduler::sweep_observed`] for the observer variant.
+    pub fn sweep(
+        &mut self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        shard_size: usize,
+    ) -> Result<SweepReport, DistError> {
+        self.sweep_observed(ruleset, engine, shard_size, &mut |_, _| {})
+    }
+
+    /// Run one sweep, invoking `observer(shard, worker)` after each
+    /// accepted shard result (and after the completing worker has been
+    /// handed its next job, so a kill fired from the observer always
+    /// strands exactly one in-flight shard).
+    pub fn sweep_observed(
+        &mut self,
+        ruleset: &Ruleset,
+        engine: EngineKind,
+        shard_size: usize,
+        observer: &mut SweepObserver<'_>,
+    ) -> Result<SweepReport, DistError> {
+        let names = self.server.policy_names();
+        let expected_epoch = self
+            .fleet_epoch
+            .unwrap_or_else(|| self.server.catalog_epoch());
+        let shard_size = shard_size.max(1);
+        let shard_names: Vec<Vec<String>> = names.chunks(shard_size).map(|c| c.to_vec()).collect();
+        let sweep_id = self.next_sweep_id;
+        self.next_sweep_id += 1;
+
+        // Arm the sweep state.
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shards = shard_names
+                .iter()
+                .map(|_| ShardState {
+                    status: ShardStatus::Pending,
+                    attempts: 0,
+                    verdicts: None,
+                })
+                .collect();
+            st.queue = (0..shard_names.len()).collect();
+            st.finished.clear();
+            st.faults.clear();
+            st.expected_epoch = expected_epoch;
+            st.requeued = 0;
+            st.sweeping = true;
+            for w in st.workers.values_mut() {
+                w.busy = None;
+            }
+        }
+
+        // Announce the sweep to every live worker; a worker that dies
+        // on the announce is marked dead like any other write failure.
+        let ruleset_xml = ruleset.to_xml();
+        let live: Vec<u64> = {
+            let st = self.shared.state.lock().unwrap();
+            st.workers
+                .iter()
+                .filter(|(_, w)| w.alive)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for id in live {
+            let frame = Frame::BeginSweep {
+                sweep_id,
+                engine,
+                ruleset_xml: ruleset_xml.clone(),
+            };
+            self.send_or_kill(id, &frame);
+        }
+
+        let mut stats = SweepStats::default();
+        loop {
+            // Dispatch every pending shard to every idle live worker,
+            // process completions, and fall back locally when remote
+            // capacity is exhausted — all decided under one lock, with
+            // socket writes and local matching done outside it.
+            enum Action {
+                Dispatch(u64, usize, Vec<String>),
+                Finished(usize, u64, u64),
+                Local(usize, Vec<String>),
+                Fault(String),
+                Done,
+                Wait,
+            }
+            let action = {
+                let mut st = self.shared.state.lock().unwrap();
+                if let Some(fault) = st.faults.pop() {
+                    Action::Fault(fault)
+                } else if let Some((shard, worker, us)) = st.finished.pop() {
+                    Action::Finished(shard, worker, us)
+                } else if st.shards.iter().all(|s| s.status == ShardStatus::Done) {
+                    Action::Done
+                } else if let Some(&shard) = st.queue.last() {
+                    // Retry-once: a shard whose second remote attempt
+                    // also died is matched locally, as is everything
+                    // once no live worker remains.
+                    let idle = st
+                        .workers
+                        .iter()
+                        .filter(|(_, w)| w.alive && w.busy.is_none())
+                        .map(|(id, _)| *id)
+                        .next();
+                    let any_alive = st.workers.values().any(|w| w.alive);
+                    let attempts = st.shards[shard].attempts;
+                    if attempts >= 2 || !any_alive {
+                        st.queue.pop();
+                        st.shards[shard].status = ShardStatus::InFlight;
+                        Action::Local(shard, shard_names[shard].clone())
+                    } else if let Some(worker) = idle {
+                        st.queue.pop();
+                        st.shards[shard].status = ShardStatus::InFlight;
+                        st.shards[shard].attempts += 1;
+                        st.workers.get_mut(&worker).unwrap().busy = Some((shard, Instant::now()));
+                        Action::Dispatch(worker, shard, shard_names[shard].clone())
+                    } else {
+                        Action::Wait
+                    }
+                } else {
+                    Action::Wait
+                }
+            };
+            match action {
+                Action::Dispatch(worker, shard, names) => {
+                    let frame = Frame::Job {
+                        sweep_id,
+                        job_id: shard as u64,
+                        names,
+                    };
+                    stats.dispatched += 1;
+                    metrics::counter("p3p_dist_jobs_dispatched_total").inc();
+                    self.send_or_kill(worker, &frame);
+                }
+                Action::Finished(shard, worker, us) => {
+                    stats.completed_remote += 1;
+                    stats.shard_timings.push((shard as u64, worker, us));
+                    metrics::counter("p3p_dist_jobs_completed_total").inc();
+                    // Next job first, then the observer — see the
+                    // SweepObserver contract.
+                    self.dispatch_next_to(sweep_id, worker, &shard_names, &mut stats);
+                    observer(shard as u64, worker);
+                }
+                Action::Local(shard, names) => {
+                    let verdicts =
+                        self.server
+                            .match_corpus_subset(ruleset, engine, Some(&names))?;
+                    stats.completed_local += 1;
+                    metrics::counter("p3p_dist_jobs_completed_total").inc();
+                    let mut st = self.shared.state.lock().unwrap();
+                    if st.shards[shard].status != ShardStatus::Done {
+                        st.shards[shard].status = ShardStatus::Done;
+                        st.shards[shard].verdicts = Some(verdicts);
+                    }
+                }
+                Action::Fault(fault) => {
+                    // Worker faults (epoch mismatch, malformed result)
+                    // killed the worker and re-queued its shard; they
+                    // are logged, not fatal — the sweep still folds.
+                    eprintln!("p3p-scheduler: {fault}");
+                }
+                Action::Done => break,
+                Action::Wait => {
+                    let st = self.shared.state.lock().unwrap();
+                    let _unused = self
+                        .shared
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(20))
+                        .unwrap();
+                }
+            }
+        }
+
+        // Fold: contiguous shards of a sorted roster concatenate back
+        // into name order — identical to a single match_corpus call.
+        let mut verdicts = Vec::with_capacity(names.len());
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.sweeping = false;
+            stats.requeued = st.requeued;
+            for shard in st.shards.iter_mut() {
+                verdicts.extend(shard.verdicts.take().expect("done shard has verdicts"));
+            }
+        }
+        Ok(SweepReport {
+            epoch: expected_epoch,
+            verdicts,
+            stats,
+        })
+    }
+
+    /// Hand the completing worker its next shard, if any is pending.
+    fn dispatch_next_to(
+        &mut self,
+        sweep_id: u64,
+        worker: u64,
+        shard_names: &[Vec<String>],
+        stats: &mut SweepStats,
+    ) {
+        let next = {
+            let mut st = self.shared.state.lock().unwrap();
+            let alive_idle = st
+                .workers
+                .get(&worker)
+                .is_some_and(|w| w.alive && w.busy.is_none());
+            if !alive_idle {
+                None
+            } else {
+                // Skip shards already bound for local fallback.
+                let pos = st.queue.iter().rposition(|&s| st.shards[s].attempts < 2);
+                pos.map(|p| {
+                    let shard = st.queue.remove(p);
+                    st.shards[shard].status = ShardStatus::InFlight;
+                    st.shards[shard].attempts += 1;
+                    st.workers.get_mut(&worker).unwrap().busy = Some((shard, Instant::now()));
+                    shard
+                })
+            }
+        };
+        if let Some(shard) = next {
+            let frame = Frame::Job {
+                sweep_id,
+                job_id: shard as u64,
+                names: shard_names[shard].clone(),
+            };
+            stats.dispatched += 1;
+            metrics::counter("p3p_dist_jobs_dispatched_total").inc();
+            self.send_or_kill(worker, &frame);
+        }
+    }
+
+    /// Write a frame to a worker; a failed write means the worker is
+    /// gone, so mark it dead and re-queue whatever it was computing.
+    fn send_or_kill(&mut self, worker: u64, frame: &Frame) {
+        let ok = match self.conns.get_mut(&worker) {
+            Some(conn) => frame.write_to(&mut conn.stream).is_ok(),
+            None => false,
+        };
+        if !ok {
+            let mut st = self.shared.state.lock().unwrap();
+            kill_locked(&mut st, worker);
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Graceful drain: ask every live worker to finish and exit, stop
+    /// the reaper, and join the reader threads.
+    pub fn shutdown(&mut self) {
+        let live: Vec<u64> = {
+            let st = self.shared.state.lock().unwrap();
+            st.workers
+                .iter()
+                .filter(|(_, w)| w.alive)
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for id in live {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                let _ = Frame::Shutdown.write_to(&mut conn.stream);
+            }
+        }
+        self.reaper_stop.store(true, Ordering::Relaxed);
+        if let Some(r) = self.reaper.take() {
+            let _ = r.join();
+        }
+        // Close every connection before joining the readers: a reader
+        // parked on a worker that is dead but still holds its socket
+        // open would otherwise block the join forever. The Shutdown
+        // frames above are already flushed, so live workers still
+        // drain cleanly off their queued bytes.
+        for conn in self.conns.values() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for r in self.readers.drain(..) {
+            let _ = r.join();
+        }
+        self.conns.clear();
+        let mut st = self.shared.state.lock().unwrap();
+        for (_, w) in st.workers.iter_mut() {
+            if w.alive {
+                w.alive = false;
+                metrics::gauge("p3p_dist_workers_active").add(-1);
+            }
+        }
+    }
+
+    /// Worker names by id (for reports and logs).
+    pub fn worker_names(&self) -> Vec<(u64, String)> {
+        let mut v: Vec<(u64, String)> = self
+            .conns
+            .iter()
+            .map(|(id, c)| (*id, c.name.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Mark a worker dead and re-queue its in-flight shard. Caller holds
+/// the state lock.
+fn kill_locked(st: &mut SweepState, worker: u64) {
+    if let Some(w) = st.workers.get_mut(&worker) {
+        if w.alive {
+            w.alive = false;
+            metrics::gauge("p3p_dist_workers_active").add(-1);
+        }
+        if let Some((shard, _)) = w.busy.take() {
+            requeue_locked(st, shard);
+        }
+    }
+}
+
+/// Put a shard back in the queue unless it already finished (a late
+/// duplicate result may have beaten the requeue).
+fn requeue_locked(st: &mut SweepState, shard: usize) {
+    if st
+        .shards
+        .get(shard)
+        .is_some_and(|s| s.status != ShardStatus::Done)
+    {
+        st.shards[shard].status = ShardStatus::Pending;
+        st.queue.push(shard);
+        st.requeued += 1;
+        metrics::counter("p3p_dist_jobs_requeued_total").inc();
+    }
+}
+
+/// Per-worker read loop: results, heartbeats, faults. EOF or a read
+/// error marks the worker dead — the fast path when a worker process
+/// is killed and the OS resets its socket.
+fn reader_loop(worker_id: u64, read_half: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Frame::Heartbeat { .. }) => {
+                let mut st = shared.state.lock().unwrap();
+                if let Some(w) = st.workers.get_mut(&worker_id) {
+                    w.last_beat = Instant::now();
+                    w.misses = 0;
+                }
+            }
+            Ok(Frame::JobResult {
+                job_id,
+                epoch,
+                elapsed_us,
+                verdicts,
+            }) => {
+                let mut st = shared.state.lock().unwrap();
+                let expected = st.shards.len() as u64;
+                if job_id >= expected {
+                    st.faults
+                        .push(format!("worker {worker_id} answered unknown job {job_id}"));
+                    kill_locked(&mut st, worker_id);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                let shard = job_id as usize;
+                if let Some(w) = st.workers.get_mut(&worker_id) {
+                    w.last_beat = Instant::now();
+                    w.misses = 0;
+                    // Clear busy only if this worker was computing this
+                    // shard (a straggler may have been unassigned).
+                    if w.busy.is_some_and(|(s, _)| s == shard) {
+                        w.busy = None;
+                    }
+                }
+                // An epoch mismatch means the worker's catalog view
+                // diverged from the fleet's — its verdicts cannot be
+                // trusted. Kill it and re-queue the shard.
+                if epoch != st.expected_epoch {
+                    let pinned = st.expected_epoch;
+                    st.faults.push(format!(
+                        "worker {worker_id} answered job {job_id} at epoch {epoch}, fleet pinned {pinned}"
+                    ));
+                    kill_locked(&mut st, worker_id);
+                    requeue_locked(&mut st, shard);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                // First-writer-wins: a duplicate result for a shard
+                // another worker already answered is dropped.
+                if st.shards[shard].status != ShardStatus::Done {
+                    st.shards[shard].status = ShardStatus::Done;
+                    st.shards[shard].verdicts = Some(verdicts);
+                    st.finished.push((shard, worker_id, elapsed_us));
+                }
+                shared.cv.notify_all();
+            }
+            Ok(Frame::Error { code, message }) => {
+                let mut st = shared.state.lock().unwrap();
+                st.faults.push(format!(
+                    "worker {worker_id} reported error {code}: {message}"
+                ));
+                kill_locked(&mut st, worker_id);
+                shared.cv.notify_all();
+                break;
+            }
+            Ok(_) => {
+                // Frames a worker should never send; ignore.
+            }
+            Err(_) => {
+                let mut st = shared.state.lock().unwrap();
+                kill_locked(&mut st, worker_id);
+                shared.cv.notify_all();
+                break;
+            }
+        }
+    }
+}

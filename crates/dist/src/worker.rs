@@ -1,0 +1,183 @@
+//! The match worker: connects to a scheduler, rebuilds the policy
+//! catalog from the `LoadCorpus` bootstrap payload, and answers shard
+//! jobs until told to drain.
+//!
+//! Liveness and work are separated: a dedicated heartbeat thread beats
+//! every `heartbeat_ms` (the cadence the scheduler's `Welcome` frame
+//! dictates) over a mutex-shared write half, so a worker deep in a
+//! multi-second corpus install or a large shard still proves it is
+//! alive. Each `BeginSweep` pins one catalog snapshot via
+//! [`MatchPool::pin`], and every job of that sweep is matched against
+//! the pinned `Arc` — the same one-epoch-per-sweep guarantee the
+//! in-process pool gives, stretched across processes.
+
+use crate::proto::{Frame, WireError};
+use crate::DistError;
+use p3p_appel::model::Ruleset;
+use p3p_server::concurrent::{MatchPool, SharedServer};
+use p3p_server::{EngineKind, PolicyServer};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Worker knobs (mostly for tests and fault drills).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Display name sent in `Hello`.
+    pub name: String,
+    /// Artificial delay added before each `JobResult` is sent — fault
+    /// drills use it to guarantee a job is still in flight when the
+    /// worker is killed.
+    pub delay_ms: u64,
+}
+
+/// Connect to `addr` and serve until the scheduler sends `Shutdown` or
+/// the connection closes. Returns the number of jobs answered.
+pub fn run(addr: &str, config: &WorkerConfig) -> Result<u64, DistError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    stream.set_nodelay(true).map_err(WireError::Io)?;
+    let writer = Arc::new(Mutex::new(stream.try_clone().map_err(WireError::Io)?));
+    let mut reader = BufReader::new(stream);
+
+    Frame::Hello {
+        worker: config.name.clone(),
+    }
+    .write_to(&mut *writer.lock().unwrap())?;
+    let (worker_id, heartbeat_ms) = match Frame::read_from(&mut reader)? {
+        Frame::Welcome {
+            worker_id,
+            heartbeat_ms,
+        } => (worker_id, heartbeat_ms),
+        other => {
+            return Err(DistError::Protocol(format!(
+                "expected welcome, got {}",
+                other.kind_name()
+            )))
+        }
+    };
+
+    // Beat from the moment we are welcomed: the corpus install below
+    // can take seconds and must not read as death.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_handle = {
+        let writer = writer.clone();
+        let stop = stop.clone();
+        let cadence = Duration::from_millis(heartbeat_ms.max(1));
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(cadence);
+                let beat = Frame::Heartbeat { worker_id, seq };
+                if beat.write_to(&mut *writer.lock().unwrap()).is_err() {
+                    break;
+                }
+                seq += 1;
+            }
+        })
+    };
+
+    let served = serve(&mut reader, &writer, worker_id, config);
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat_handle.join();
+    served
+}
+
+fn serve(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    worker_id: u64,
+    config: &WorkerConfig,
+) -> Result<u64, DistError> {
+    // Bootstrap: install the corpus in the order shipped (name order),
+    // so every worker lands on the same catalog epoch.
+    let policies = match Frame::read_from(reader)? {
+        Frame::LoadCorpus { policies } => policies,
+        other => {
+            return Err(DistError::Protocol(format!(
+                "expected load_corpus, got {}",
+                other.kind_name()
+            )))
+        }
+    };
+    let mut server = PolicyServer::new();
+    let count = policies.len() as u64;
+    for (_, xml) in &policies {
+        server.install_policy_xml(xml)?;
+    }
+    let shared = SharedServer::new(server);
+    let pool = MatchPool::new(&shared);
+    Frame::CorpusReady {
+        worker_id,
+        epoch: pool.snapshot_epoch(),
+        policies: count,
+    }
+    .write_to(&mut *writer.lock().unwrap())?;
+
+    // One pinned snapshot + parsed ruleset per sweep.
+    let mut sweep: Option<(u64, EngineKind, Ruleset, Arc<PolicyServer>)> = None;
+    let mut served = 0u64;
+    loop {
+        match Frame::read_from(reader) {
+            Ok(Frame::BeginSweep {
+                sweep_id,
+                engine,
+                ruleset_xml,
+            }) => {
+                let ruleset = Ruleset::parse(&ruleset_xml)
+                    .map_err(|e| DistError::Protocol(format!("bad ruleset: {e}")))?;
+                sweep = Some((sweep_id, engine, ruleset, pool.pin()));
+            }
+            Ok(Frame::Job {
+                sweep_id,
+                job_id,
+                names,
+            }) => {
+                let Some((armed_id, engine, ruleset, pinned)) = sweep.as_ref() else {
+                    Frame::Error {
+                        code: 1,
+                        message: format!("job {job_id} before any begin_sweep"),
+                    }
+                    .write_to(&mut *writer.lock().unwrap())?;
+                    continue;
+                };
+                if *armed_id != sweep_id {
+                    Frame::Error {
+                        code: 2,
+                        message: format!("job {job_id} for unknown sweep {sweep_id}"),
+                    }
+                    .write_to(&mut *writer.lock().unwrap())?;
+                    continue;
+                }
+                let start = Instant::now();
+                let verdicts = pinned.match_corpus_subset(ruleset, *engine, Some(&names))?;
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                if config.delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(config.delay_ms));
+                }
+                Frame::JobResult {
+                    job_id,
+                    epoch: pinned.catalog_epoch(),
+                    elapsed_us,
+                    verdicts,
+                }
+                .write_to(&mut *writer.lock().unwrap())?;
+                served += 1;
+            }
+            Ok(Frame::Shutdown) => break,
+            Ok(Frame::Error { code, message }) => {
+                return Err(DistError::Protocol(format!(
+                    "scheduler error {code}: {message}"
+                )))
+            }
+            Ok(_) => {
+                // Frames a scheduler should never send mid-session.
+            }
+            // EOF: the scheduler went away; drain quietly.
+            Err(WireError::Io(_)) => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(served)
+}

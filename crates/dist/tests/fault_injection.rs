@@ -1,0 +1,211 @@
+//! Multi-process fault drills: a worker killed mid-sweep must not
+//! change the fold. The scheduler spawns real `p3p-worker` processes
+//! (via `CARGO_BIN_EXE_p3p-worker`), SIGKILLs one while it has a job
+//! in flight, and the folded verdict map must still be identical to a
+//! single-process `match_corpus` — with the stranded shard visibly
+//! re-queued.
+
+use p3p_dist::proto::Frame;
+use p3p_dist::{corpus_server, SchedConfig, Scheduler};
+use p3p_server::EngineKind;
+use p3p_telemetry::metrics;
+use p3p_workload::Sensitivity;
+use std::process::{Child, Command, Stdio};
+
+const SEED: u64 = 42;
+const POLICIES: usize = 300;
+
+fn spawn_worker(addr: &str, name: &str, delay_ms: u64) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_p3p-worker"))
+        .arg("--connect")
+        .arg(addr)
+        .arg("--name")
+        .arg(name)
+        .arg("--delay-ms")
+        .arg(delay_ms.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn p3p-worker")
+}
+
+#[test]
+fn killed_worker_does_not_change_the_fold() {
+    let engine = EngineKind::Sql;
+    let ruleset = Sensitivity::High.ruleset();
+
+    // The ground truth: one process, one server, one bulk sweep.
+    let local = corpus_server(SEED, POLICIES).expect("local corpus");
+    let expected = local.match_corpus(&ruleset, engine).expect("local sweep");
+
+    let server = corpus_server(SEED, POLICIES).expect("sched corpus");
+    let mut sched = Scheduler::bind("127.0.0.1:0", server, SchedConfig::default()).expect("bind");
+    let addr = sched.local_addr().to_string();
+
+    // Four real worker processes. The per-job delay keeps each job in
+    // flight long enough that the kill below always strands one.
+    let mut children: Vec<Child> = (0..4)
+        .map(|i| spawn_worker(&addr, &format!("w{i}"), 150))
+        .collect();
+    sched.accept_workers(4).expect("fleet bootstrap");
+
+    // Map worker ids back to the children we spawned (accept order is
+    // arbitrary, names are not).
+    let names = sched.worker_names();
+    let child_of = |worker_id: u64| -> usize {
+        let name = &names.iter().find(|(id, _)| *id == worker_id).unwrap().1;
+        name.strip_prefix('w').unwrap().parse::<usize>().unwrap()
+    };
+
+    let before_requeues = metrics::counter("p3p_dist_jobs_requeued_total").get();
+
+    // Kill the first worker to complete a shard — the observer fires
+    // after its next job was dispatched, so the SIGKILL is guaranteed
+    // to strand an in-flight shard.
+    let mut killed: Option<u64> = None;
+    let report = {
+        let children = &mut children;
+        sched
+            .sweep_observed(&ruleset, engine, 8, &mut |_shard, worker| {
+                if killed.is_none() {
+                    children[child_of(worker)].kill().expect("sigkill worker");
+                    killed = Some(worker);
+                }
+            })
+            .expect("distributed sweep")
+    };
+    let killed = killed.expect("a worker completed at least one shard");
+
+    // The fold is exactly the single-process answer: same names, same
+    // behaviors, same fired-rule indices, same order.
+    assert_eq!(report.verdicts, expected);
+
+    // The kill was observed: the stranded shard was re-queued, both in
+    // the sweep stats and the process-wide metric.
+    assert!(
+        report.stats.requeued > 0,
+        "killing worker {killed} mid-sweep must requeue its in-flight shard"
+    );
+    let after_requeues = metrics::counter("p3p_dist_jobs_requeued_total").get();
+    assert!(
+        after_requeues > before_requeues,
+        "p3p_dist_jobs_requeued_total must count the stranded shard"
+    );
+
+    // Every shard was answered despite the dead worker.
+    assert_eq!(
+        report.stats.completed_remote + report.stats.completed_local,
+        (POLICIES as u64).div_ceil(8)
+    );
+
+    sched.shutdown();
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+#[test]
+fn full_fleet_fold_matches_single_process_sweep() {
+    let engine = EngineKind::SqlGeneric;
+    let ruleset = Sensitivity::Medium.ruleset();
+
+    let local = corpus_server(SEED, 120).expect("local corpus");
+    let expected = local.match_corpus(&ruleset, engine).expect("local sweep");
+
+    let server = corpus_server(SEED, 120).expect("sched corpus");
+    let mut sched = Scheduler::bind("127.0.0.1:0", server, SchedConfig::default()).expect("bind");
+    let addr = sched.local_addr().to_string();
+    let children: Vec<Child> = (0..2)
+        .map(|i| spawn_worker(&addr, &format!("f{i}"), 0))
+        .collect();
+    sched.accept_workers(2).expect("fleet bootstrap");
+
+    let report = sched.sweep(&ruleset, engine, 16).expect("sweep");
+    assert_eq!(report.verdicts, expected);
+    assert_eq!(
+        report.stats.completed_local, 0,
+        "healthy fleet needs no fallback"
+    );
+    assert_eq!(report.stats.requeued, 0);
+    assert_eq!(report.epoch, sched.catalog_epoch());
+
+    sched.shutdown();
+    for mut child in children {
+        let _ = child.wait();
+    }
+}
+
+/// A worker that handshakes correctly and then goes silent — no
+/// heartbeats, no results — exercises the reaper's slow death path:
+/// heartbeat misses accumulate, the worker is declared dead, and its
+/// shard falls back to the scheduler's local engine.
+#[test]
+fn silent_worker_is_reaped_and_sweep_completes_locally() {
+    let engine = EngineKind::Native;
+    let ruleset = Sensitivity::Low.ruleset();
+
+    let local = corpus_server(SEED, 60).expect("local corpus");
+    let expected = local.match_corpus(&ruleset, engine).expect("local sweep");
+
+    let server = corpus_server(SEED, 60).expect("sched corpus");
+    let config = SchedConfig {
+        heartbeat_ms: 50,
+        miss_threshold: 3,
+        ..SchedConfig::default()
+    };
+    let mut sched = Scheduler::bind("127.0.0.1:0", server, config).expect("bind");
+    let addr = sched.local_addr();
+
+    let before_misses = metrics::counter("p3p_dist_heartbeat_misses_total").get();
+
+    // Hand-rolled zombie: speaks the bootstrap protocol, then hangs.
+    let zombie = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        Frame::Hello {
+            worker: "zombie".into(),
+        }
+        .write_to(&mut stream)
+        .expect("hello");
+        let Frame::Welcome { worker_id, .. } = Frame::read_from(&mut stream).expect("welcome")
+        else {
+            panic!("expected welcome");
+        };
+        let Frame::LoadCorpus { policies } = Frame::read_from(&mut stream).expect("corpus") else {
+            panic!("expected load_corpus");
+        };
+        // Claim readiness at the epoch a real install would reach
+        // (one bump per install), then never answer anything again.
+        Frame::CorpusReady {
+            worker_id,
+            epoch: policies.len() as u64,
+            policies: policies.len() as u64,
+        }
+        .write_to(&mut stream)
+        .expect("ready");
+        // Hold the socket open (no EOF) until the scheduler is done.
+        loop {
+            match Frame::read_from(&mut stream) {
+                Ok(Frame::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+    });
+
+    sched.accept_workers(1).expect("bootstrap");
+    let report = sched.sweep(&ruleset, engine, 30).expect("sweep");
+
+    // The zombie took jobs it never answered; the reaper declared it
+    // dead on missed heartbeats and the local fallback finished.
+    assert_eq!(report.verdicts, expected);
+    assert!(report.stats.completed_local > 0);
+    assert!(report.stats.requeued > 0);
+    let after_misses = metrics::counter("p3p_dist_heartbeat_misses_total").get();
+    assert!(
+        after_misses - before_misses >= 3,
+        "reaping a silent worker must charge at least miss_threshold misses"
+    );
+
+    sched.shutdown();
+    let _ = zombie.join();
+}

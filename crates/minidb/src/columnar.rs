@@ -228,7 +228,6 @@ struct Compiled<'a> {
     columns: Vec<String>,
     kernel: Option<Spec<'a>>,
     order: Vec<(OrderKey, bool)>,
-    has_exists: bool,
 }
 
 /// Run `stmt` on the columnar engine if its shape is eligible.
@@ -241,19 +240,31 @@ pub(crate) fn try_select(
     stmt: &SelectStmt,
     params: &[Value],
 ) -> Result<Option<QueryResult>, DbError> {
-    let Some(mut c) = compile(db, stmt, params) else {
+    // Cheap pre-flight before any kernel compilation: resolve the one
+    // table and count candidate rows. Below the adaptive threshold the
+    // row engine's correlated loop beats building hash sets, so an
+    // EXISTS statement over few candidates declines *here* — compiling
+    // kernels first and then declining charged every XTABLE staging
+    // query (a one-row outer table) the full compile cost for nothing,
+    // which made columnar a net slowdown on that bulk path.
+    if stmt.from.len() != 1 || !stmt.group_by.is_empty() {
+        return Ok(None);
+    }
+    let tref = &stmt.from[0];
+    let Some(table) = db.table(&tref.table) else {
         return Ok(None);
     };
     let profiling = exec::profiling_enabled();
-    let probe =
-        exec::probe_candidates(db, c.tref, c.table, stmt.filter.as_ref(), params, profiling)?;
-    let candidates = probe.as_ref().map_or(c.table.len(), |p| p.ids.len());
-    // Below the adaptive threshold the row engine's correlated loop is
-    // cheaper than building hash sets; stay out of its way so the
-    // decorrelation heuristics (and their stats) behave identically.
-    if c.has_exists && (candidates as u64) <= u64::from(exec::decorrelate_after()) {
+    let probe = exec::probe_candidates(db, tref, table, stmt.filter.as_ref(), params, profiling)?;
+    let candidates = probe.as_ref().map_or(table.len(), |p| p.ids.len());
+    if stmt.filter.as_ref().is_some_and(filter_has_exists)
+        && (candidates as u64) <= u64::from(exec::decorrelate_after())
+    {
         return Ok(None);
     }
+    let Some(mut c) = compile(db, stmt, params) else {
+        return Ok(None);
+    };
 
     // Committed: from here on, stats and the profile are ours.
     let profiler = if profiling {
@@ -532,7 +543,6 @@ fn compile<'a>(db: &'a Database, stmt: &'a SelectStmt, params: &[Value]) -> Opti
         Some(f) => Some(compile_pred(db, f, binding, table, params, &Rebind::new())?),
         None => None,
     };
-    let has_exists = kernel.as_ref().is_some_and(contains_exists);
 
     let mut order = Vec::with_capacity(stmt.order_by.len());
     for (expr, desc) in &stmt.order_by {
@@ -563,7 +573,6 @@ fn compile<'a>(db: &'a Database, stmt: &'a SelectStmt, params: &[Value]) -> Opti
         columns,
         kernel,
         order,
-        has_exists,
     })
 }
 
@@ -574,11 +583,17 @@ fn resolve_col(table: &Table, binding: &str, qualifier: Option<&str>, name: &str
     }
 }
 
-fn contains_exists(spec: &Spec<'_>) -> bool {
-    match spec {
-        Spec::Exists(_) => true,
-        Spec::Not(a) => contains_exists(a),
-        Spec::And(a, b) | Spec::Or(a, b) => contains_exists(a) || contains_exists(b),
+/// Does a filter expression contain an EXISTS subquery anywhere? A
+/// cheap AST walk used by [`try_select`]'s pre-flight: whenever an
+/// EXISTS appears in the filter, a committed kernel would contain an
+/// [`Spec::Exists`] too (compilation either keeps every node or
+/// declines the whole statement), so walking the AST decides the
+/// decorrelation-threshold decline without compiling anything.
+fn filter_has_exists(expr: &Expr) -> bool {
+    match expr {
+        Expr::Exists(_) => true,
+        Expr::Not(a) => filter_has_exists(a),
+        Expr::And(a, b) | Expr::Or(a, b) => filter_has_exists(a) || filter_has_exists(b),
         _ => false,
     }
 }

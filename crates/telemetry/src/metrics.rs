@@ -202,6 +202,8 @@ struct Registry {
     counters: Mutex<BTreeMap<String, (Meta, Arc<Counter>)>>,
     gauges: Mutex<BTreeMap<String, (Meta, Arc<Gauge>)>>,
     histograms: Mutex<BTreeMap<String, (Meta, Arc<Histogram>)>>,
+    /// Family name → help text for the `# HELP` line.
+    descriptions: Mutex<BTreeMap<String, String>>,
 }
 
 fn registry() -> &'static Registry {
@@ -281,12 +283,25 @@ pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         .clone()
 }
 
+/// Attach help text to a metric family: the Prometheus `# HELP` line
+/// renders it instead of the generic `p3p-suite <kind>` placeholder.
+/// Describing a family does not register it — pair with a handle call
+/// (`counter(name)`) when the family should render before first use.
+pub fn describe(name: &str, help: &str) {
+    registry()
+        .descriptions
+        .lock()
+        .unwrap()
+        .insert(name.to_string(), help.to_string());
+}
+
 /// Drop every registered metric. Handles already held keep working but
 /// are no longer rendered. Intended for tests and fresh snapshots.
 pub fn reset() {
     registry().counters.lock().unwrap().clear();
     registry().gauges.lock().unwrap().clear();
     registry().histograms.lock().unwrap().clear();
+    registry().descriptions.lock().unwrap().clear();
 }
 
 fn fmt_bound(i: usize) -> String {
@@ -346,9 +361,13 @@ pub fn render_text() -> String {
         ));
     }
 
+    let descriptions = registry().descriptions.lock().unwrap();
     let mut out = String::new();
     for (name, (kind, lines)) in families {
-        out.push_str(&format!("# HELP {name} p3p-suite {kind}\n"));
+        match descriptions.get(&name) {
+            Some(help) => out.push_str(&format!("# HELP {name} {help}\n")),
+            None => out.push_str(&format!("# HELP {name} p3p-suite {kind}\n")),
+        }
         out.push_str(&format!("# TYPE {name} {kind}\n"));
         for line in lines {
             out.push_str(&line);
@@ -649,6 +668,27 @@ mod tests {
         // Both labelled variants render under the single family header.
         assert!(text.contains("test_once_lat_us_bucket{engine=\"a\",le=\"1\"} 1"));
         assert!(text.contains("test_once_lat_us_bucket{engine=\"b\",le=\"2\"} 1"));
+    }
+
+    #[test]
+    fn described_families_render_custom_help_text() {
+        describe("test_described_total", "Shards sent over the wire");
+        counter("test_described_total").inc();
+        counter("test_undescribed_total").inc();
+        let text = render_text();
+        assert!(
+            text.contains("# HELP test_described_total Shards sent over the wire\n"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# HELP test_described_total ").count(),
+            1,
+            "describe must not duplicate the HELP line:\n{text}"
+        );
+        assert!(
+            text.contains("# HELP test_undescribed_total p3p-suite counter\n"),
+            "undescribed families keep the generic placeholder:\n{text}"
+        );
     }
 
     #[test]

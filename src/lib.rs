@@ -16,6 +16,8 @@
 //!   APPEL→XQuery, and the policy server.
 //! * [`workload`] — the synthetic Fortune-1000 corpus and JRC-style
 //!   preference suite of §6.2.
+//! * [`dist`] — distributed corpus matching: the shard scheduler and
+//!   worker fleet over a length-prefixed wire protocol.
 //! * [`telemetry`] — structured spans, the metrics registry, and the
 //!   slow-query log threaded through the matching pipeline.
 //!
@@ -38,6 +40,7 @@
 //! ```
 
 pub use p3p_appel as appel;
+pub use p3p_dist as dist;
 pub use p3p_minidb as minidb;
 pub use p3p_policy as policy;
 pub use p3p_server as server;
