@@ -1,0 +1,34 @@
+//! Bench for the policy-server daemon: closed- and open-loop load
+//! plus the graceful-drain drill.
+//!
+//! Like the other benches this is a plain timing harness
+//! (`harness = false`); pass `--test` for a single-short-phase smoke
+//! pass over a small corpus. The authoritative numbers (and the
+//! sustained-QPS and zero-dropped-drain gates) come from
+//! `repro --table serve`, which writes `BENCH_serve.json`.
+
+use p3p_bench::{bench_serve_json, serve_report, serve_table, DEFAULT_SEED};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (policies, secs) = if smoke { (100, 1) } else { (2000, 5) };
+    let report = serve_report(DEFAULT_SEED, policies, secs);
+    print!("{}", serve_table(&report));
+    assert!(
+        report.closed.completed > 0,
+        "the closed-loop phase completed no requests"
+    );
+    assert_eq!(
+        report.closed.errors + report.open.errors,
+        0,
+        "load must never see transport errors — overload answers 429"
+    );
+    assert_eq!(report.drain.lost, 0, "drain dropped an accepted request");
+    assert!(
+        report.drain.drained_in_flight > 0,
+        "the drain drill never had a request in flight"
+    );
+    if !smoke {
+        print!("{}", bench_serve_json(&report));
+    }
+}

@@ -5,7 +5,7 @@
 //! repro --figure 19     # Figure 19 only
 //! repro --figure 20     # Figure 20 only
 //! repro --figure 21     # Figure 21 only
-//! repro --table shredding | warmcold | caching | bulk | join | fuzz | churn | profile | dist | ablation
+//! repro --table shredding | warmcold | caching | bulk | join | fuzz | churn | profile | dist | serve | ablation
 //! repro --seed 7        # different workload seed
 //! repro --metrics-dir target   # where the metrics snapshot lands
 //! repro --trace-out trace.json # Chrome trace of a sharded corpus sweep
@@ -17,13 +17,14 @@
 //! Prometheus text and written as both text and JSON next to the
 //! timing report.
 
+use p3p_bench::bench_serve_json;
 use p3p_bench::{
     ablation_table, bench_bulk_json, bench_churn_json, bench_dist_json, bench_fuzz_json,
     bench_join_json, bench_matching_json, bench_profile_json, bulk_report, bulk_table,
     caching_report, caching_table, churn_report, churn_table, dist_report, dist_table,
     export_trace, figure19, figure20, figure21, fuzz_report, fuzz_table, join_report, join_table,
-    profile_report, profile_table, scaling_table, shredding_table, subset_table, telemetry_table,
-    warm_cold_table, DEFAULT_SEED,
+    profile_report, profile_table, scaling_table, serve_report, serve_table, shredding_table,
+    subset_table, telemetry_table, warm_cold_table, DEFAULT_SEED,
 };
 
 fn main() {
@@ -370,6 +371,53 @@ fn main() {
             }
         }
     }
+    let mut serve_ok = true;
+    if all || tables.iter().any(|t| t == "serve") {
+        // The daemon under load. The full acceptance run uses a
+        // 100k-policy corpus (P3P_SERVE_POLICIES=100000); the default
+        // keeps CI runs under a minute. P3P_SERVE_SECS stretches the
+        // load phases.
+        let policies = std::env::var("P3P_SERVE_POLICIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000);
+        let secs = std::env::var("P3P_SERVE_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        let report = serve_report(seed, policies, secs);
+        println!("{}", serve_table(&report));
+        let json = bench_serve_json(&report);
+        let path = std::path::Path::new("BENCH_serve.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}\n", path.display()),
+        }
+        if !report.qps_floor_met() {
+            eprintln!(
+                "error: closed-loop sustained throughput {:.0} qps is below the {:.0} floor",
+                report.closed.qps(),
+                report.qps_floor()
+            );
+            serve_ok = false;
+        }
+        if report.closed.errors > 0 || report.open.errors > 0 {
+            eprintln!(
+                "error: load phases saw transport errors (closed {}, open {}) — overload must \
+                 answer 429, never break the connection",
+                report.closed.errors, report.open.errors
+            );
+            serve_ok = false;
+        }
+        if !report.drain_clean() {
+            eprintln!(
+                "error: drain drill not clean ({} in-flight completed, {} lost, listener down: \
+                 {})",
+                report.drain.drained_in_flight, report.drain.lost, report.drain.listener_down
+            );
+            serve_ok = false;
+        }
+    }
     if all || tables.iter().any(|t| t == "ablation") {
         println!("{}", ablation_table(seed));
     }
@@ -392,7 +440,15 @@ fn main() {
     }
 
     dump_metrics(&metrics_dir);
-    if !caching_ok || !bulk_ok || !join_ok || !fuzz_ok || !churn_ok || !profile_ok || !dist_ok {
+    if !caching_ok
+        || !bulk_ok
+        || !join_ok
+        || !fuzz_ok
+        || !churn_ok
+        || !profile_ok
+        || !dist_ok
+        || !serve_ok
+    {
         std::process::exit(1);
     }
 }
@@ -423,7 +479,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|churn|profile|dist|ablation|scaling|subset|telemetry]... [--metrics-dir DIR] [--trace-out PATH]"
+        "usage: repro [--seed N] [--figure 19|20|21]... [--table shredding|warmcold|caching|bulk|join|fuzz|churn|profile|dist|serve|ablation|scaling|subset|telemetry]... [--metrics-dir DIR] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -31,6 +31,9 @@ use std::time::{Duration, Instant};
 pub mod dist;
 pub use dist::{bench_dist_json, dist_report, dist_table, DistReport};
 
+pub mod serve;
+pub use serve::{bench_serve_json, serve_report, serve_table, ServeReport};
+
 /// The default workload seed; every report names it.
 pub const DEFAULT_SEED: u64 = 42;
 

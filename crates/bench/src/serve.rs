@@ -1,0 +1,502 @@
+//! Policy-server daemon under load: closed- and open-loop generators
+//! against an in-process [`Daemon`] with a large installed corpus,
+//! plus a graceful-drain drill (`BENCH_serve.json`).
+//!
+//! Closed loop: N keep-alive clients each issue the next `/match` the
+//! moment the previous answer lands — measures sustained throughput
+//! with coordinated back-to-back demand. Open loop: requests fire on a
+//! fixed schedule regardless of completions (latency is measured from
+//! the *scheduled* send time, so queueing delay is charged to the
+//! server, not hidden by a slow client — the coordinated-omission
+//! correction). The drain drill delivers `begin_drain` while requests
+//! are mid-handler and checks that every accepted request completes.
+
+use crate::fmt_duration;
+use p3p_serve::client::Client;
+use p3p_serve::daemon::{Daemon, ServeConfig};
+use p3p_server::PolicyServer;
+use p3p_workload::Sensitivity;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency distribution of one load phase.
+#[derive(Debug, Clone, Default)]
+pub struct LoadRow {
+    /// 200-responses measured.
+    pub completed: u64,
+    /// 429 backpressure answers (not failures).
+    pub rejected: u64,
+    /// Transport-level errors (must stay 0 in a healthy run).
+    pub errors: u64,
+    /// Wall time of the phase.
+    pub elapsed: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl LoadRow {
+    /// Completed requests per second over the phase.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+/// The drain drill's outcome.
+#[derive(Debug, Clone)]
+pub struct DrainRow {
+    /// Requests that were accepted and completed 200 after the drain
+    /// began (the daemon's own `drained_in_flight` counter).
+    pub drained_in_flight: u64,
+    /// Requests a client saw fail after acceptance. The zero-loss gate.
+    pub lost: u64,
+    /// begin_drain → join wall time.
+    pub drain_time: Duration,
+    /// The listener refuses new connections once drained.
+    pub listener_down: bool,
+}
+
+/// The full serve sweep.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub seed: u64,
+    pub policies: usize,
+    pub workers: usize,
+    pub parallelism: usize,
+    /// Corpus install wall time (the daemon's cold-start cost).
+    pub install: Duration,
+    /// Catalog epoch every response carried (== policies installed).
+    pub epoch: u64,
+    pub closed_clients: usize,
+    pub closed: LoadRow,
+    /// Offered rate of the open-loop phase, requests/second.
+    pub open_target_rps: f64,
+    pub open: LoadRow,
+    pub drain: DrainRow,
+}
+
+impl ServeReport {
+    /// The sustained-QPS gate: closed-loop throughput must clear the
+    /// floor, scaled down when the box has fewer cores than workers
+    /// (a 1-core runner time-slices the whole fleet).
+    pub fn qps_floor(&self) -> f64 {
+        let base = 150.0;
+        if self.parallelism >= self.workers {
+            base
+        } else {
+            base * self.parallelism as f64 / self.workers as f64
+        }
+    }
+
+    pub fn qps_floor_met(&self) -> bool {
+        self.closed.qps() >= self.qps_floor()
+    }
+
+    /// The drain gate: nothing accepted was dropped, and the drill
+    /// actually exercised in-flight completion.
+    pub fn drain_clean(&self) -> bool {
+        self.drain.lost == 0 && self.drain.drained_in_flight > 0 && self.drain.listener_down
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn load_row(
+    mut latencies: Vec<Duration>,
+    rejected: u64,
+    errors: u64,
+    elapsed: Duration,
+) -> LoadRow {
+    latencies.sort_unstable();
+    LoadRow {
+        completed: latencies.len() as u64,
+        rejected,
+        errors,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or_default(),
+    }
+}
+
+/// Closed loop: `clients` keep-alive connections hammering `/match`
+/// back-to-back for `duration`.
+fn closed_loop(
+    addr: SocketAddr,
+    path: &str,
+    body: Arc<String>,
+    clients: usize,
+    duration: Duration,
+) -> LoadRow {
+    let rejected = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.clone();
+            let path = path.to_string();
+            let rejected = rejected.clone();
+            let errors = errors.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(30)) else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return latencies;
+                };
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    match client.request("POST", &path, body.as_bytes()) {
+                        Ok(response) if response.status == 200 => latencies.push(t0.elapsed()),
+                        Ok(response) if response.status == 429 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            // The connection may be closed; redial.
+                            match Client::connect_timeout(addr, Duration::from_secs(30)) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for thread in threads {
+        latencies.extend(thread.join().expect("closed-loop client"));
+    }
+    load_row(
+        latencies,
+        rejected.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+        started.elapsed(),
+    )
+}
+
+/// Open loop: `lanes` keep-alive connections collectively offering
+/// `rps` requests/second on a fixed schedule. Latency is charged from
+/// each request's *scheduled* instant; a lane running behind schedule
+/// fires immediately and the backlog shows up as latency, never as a
+/// reduced offered rate.
+fn open_loop(
+    addr: SocketAddr,
+    path: &str,
+    body: Arc<String>,
+    lanes: usize,
+    rps: f64,
+    duration: Duration,
+) -> LoadRow {
+    let per_lane = rps / lanes as f64;
+    let interval = Duration::from_secs_f64(1.0 / per_lane);
+    let shots = (duration.as_secs_f64() * per_lane).floor() as usize;
+    let rejected = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..lanes)
+        .map(|lane| {
+            let body = body.clone();
+            let path = path.to_string();
+            let rejected = rejected.clone();
+            let errors = errors.clone();
+            // Stagger lane start offsets so the offered stream is
+            // uniform rather than `lanes`-bursty.
+            let offset = interval.mul_f64(lane as f64 / lanes as f64);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(30)) else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return latencies;
+                };
+                let lane_start = Instant::now() + offset;
+                for shot in 0..shots {
+                    let scheduled = lane_start + interval.mul_f64(shot as f64);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    match client.request("POST", &path, body.as_bytes()) {
+                        Ok(response) if response.status == 200 => {
+                            latencies.push(scheduled.elapsed());
+                        }
+                        Ok(response) if response.status == 429 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            match Client::connect_timeout(addr, Duration::from_secs(30)) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for thread in threads {
+        latencies.extend(thread.join().expect("open-loop lane"));
+    }
+    load_row(
+        latencies,
+        rejected.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+        started.elapsed(),
+    )
+}
+
+/// Build the daemon, run closed- and open-loop `/match` load, then the
+/// drain drill. `duration_secs` is the length of each load phase.
+pub fn serve_report(seed: u64, policies: usize, duration_secs: u64) -> ServeReport {
+    let workers = 4usize;
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let t0 = Instant::now();
+    let mut server = PolicyServer::new();
+    let corpus = p3p_workload::corpus_n(seed, policies);
+    let target_name = corpus.first().expect("non-empty corpus").name.clone();
+    for policy in &corpus {
+        server.install_policy(policy).expect("corpus install");
+    }
+    drop(corpus);
+    let install = t0.elapsed();
+    let epoch = server.catalog_epoch();
+
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        server,
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+    let body = Arc::new(Sensitivity::Medium.ruleset().to_xml());
+    let path = format!("/match?policy={target_name}");
+    let duration = Duration::from_secs(duration_secs.max(1));
+
+    // Warm-up: populate translation/plan/verdict caches so the timed
+    // phases measure steady state.
+    {
+        let mut client = Client::connect(addr).expect("warm-up connect");
+        for _ in 0..20 {
+            let response = client
+                .request("POST", &path, body.as_bytes())
+                .expect("warm-up request");
+            assert_eq!(response.status, 200, "{}", response.body_string());
+            assert_eq!(
+                response.header("x-p3p-epoch"),
+                Some(epoch.to_string().as_str()),
+                "every response must carry the pinned catalog epoch"
+            );
+        }
+    }
+
+    let closed_clients = workers * 2;
+    let closed = closed_loop(addr, &path, body.clone(), closed_clients, duration);
+
+    // Offer the open-loop stream at half the measured closed-loop
+    // throughput: brisk but below saturation, so the p99 reflects
+    // service jitter rather than a standing queue.
+    let open_target_rps = (closed.qps() / 2.0).clamp(10.0, 2_000.0);
+    let open = open_loop(
+        addr,
+        &path,
+        body.clone(),
+        workers,
+        open_target_rps,
+        duration,
+    );
+
+    // Drain drill: retune the daemon's artificial handler delay so
+    // one request per worker is reliably mid-service, deliver
+    // begin_drain into the middle of them, and require every one to
+    // complete 200 — the zero-dropped-in-flight gate.
+    daemon.set_delay_ms(200);
+    let lost = Arc::new(AtomicU64::new(0));
+    let drill: Vec<_> = (0..workers)
+        .map(|_| {
+            let body = body.clone();
+            let path = path.clone();
+            let lost = lost.clone();
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(30)) else {
+                    // Never connected: nothing was accepted, nothing
+                    // can be lost.
+                    return;
+                };
+                match client.request("POST", &path, body.as_bytes()) {
+                    Ok(response) if response.status == 200 || response.status == 429 => {}
+                    Ok(_) | Err(_) => {
+                        // An accepted request that did not answer is
+                        // a drop.
+                        lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    // All drill requests are in their 200ms handler sleep by now;
+    // the drain lands squarely mid-flight.
+    std::thread::sleep(Duration::from_millis(80));
+    let t_drain = Instant::now();
+    daemon.begin_drain();
+    for thread in drill {
+        thread.join().expect("drain drill client");
+    }
+    let stats = daemon.join();
+    let drain_time = t_drain.elapsed();
+    let listener_down = std::net::TcpStream::connect(addr).is_err();
+
+    ServeReport {
+        seed,
+        policies,
+        workers,
+        parallelism,
+        install,
+        epoch,
+        closed_clients,
+        closed,
+        open_target_rps,
+        open,
+        drain: DrainRow {
+            drained_in_flight: stats.drained_in_flight,
+            lost: lost.load(Ordering::Relaxed),
+            drain_time,
+            listener_down,
+        },
+    }
+}
+
+fn row_cells(row: &LoadRow) -> String {
+    format!(
+        "{:>9.0} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        row.qps(),
+        fmt_duration(row.p50),
+        fmt_duration(row.p95),
+        fmt_duration(row.p99),
+        fmt_duration(row.max),
+        row.rejected,
+        row.errors,
+    )
+}
+
+/// Human-readable serve table.
+pub fn serve_table(report: &ServeReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Policy server daemon under load — {} policies (epoch {}), {} workers, {} cores, \
+         corpus install {}\n",
+        report.policies,
+        report.epoch,
+        report.workers,
+        report.parallelism,
+        fmt_duration(report.install),
+    ));
+    out.push_str(&format!(
+        "  {:<24} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6}\n",
+        "phase", "qps", "p50", "p95", "p99", "max", "429s", "errs"
+    ));
+    out.push_str(&format!(
+        "  {:<24} {}\n",
+        format!("closed ({} clients)", report.closed_clients),
+        row_cells(&report.closed),
+    ));
+    out.push_str(&format!(
+        "  {:<24} {}\n",
+        format!("open ({:.0} rps offered)", report.open_target_rps),
+        row_cells(&report.open),
+    ));
+    out.push_str(&format!(
+        "  drain: {} in-flight completed, {} lost, listener {} after {} \
+         (gate: zero lost)\n",
+        report.drain.drained_in_flight,
+        report.drain.lost,
+        if report.drain.listener_down {
+            "down"
+        } else {
+            "STILL UP"
+        },
+        fmt_duration(report.drain.drain_time),
+    ));
+    out.push_str(&format!(
+        "  sustained-QPS floor {:.0}: {} (open-loop latency charged from scheduled \
+         send time — coordinated omission corrected)\n",
+        report.qps_floor(),
+        if report.qps_floor_met() {
+            "met"
+        } else {
+            "MISSED"
+        },
+    ));
+    out
+}
+
+fn us(d: Duration) -> u128 {
+    d.as_micros()
+}
+
+fn load_json(row: &LoadRow) -> String {
+    format!(
+        "{{\"completed\": {}, \"rejected\": {}, \"errors\": {}, \"elapsed_us\": {}, \
+         \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        row.completed,
+        row.rejected,
+        row.errors,
+        us(row.elapsed),
+        row.qps(),
+        us(row.p50),
+        us(row.p95),
+        us(row.p99),
+        us(row.max),
+    )
+}
+
+/// Machine-readable `BENCH_serve.json` payload.
+pub fn bench_serve_json(report: &ServeReport) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"policies\": {},\n  \"epoch\": {},\n  \"workers\": {},\n  \
+         \"parallelism\": {},\n  \"install_us\": {},\n  \"closed_clients\": {},\n  \
+         \"closed\": {},\n  \"open_target_rps\": {:.1},\n  \"open\": {},\n  \
+         \"drain\": {{\"drained_in_flight\": {}, \"lost\": {}, \"drain_us\": {}, \
+         \"listener_down\": {}}},\n  \
+         \"qps_floor\": {:.1},\n  \"qps_floor_met\": {},\n  \"drain_clean\": {}\n}}\n",
+        report.seed,
+        report.policies,
+        report.epoch,
+        report.workers,
+        report.parallelism,
+        us(report.install),
+        report.closed_clients,
+        load_json(&report.closed),
+        report.open_target_rps,
+        load_json(&report.open),
+        report.drain.drained_in_flight,
+        report.drain.lost,
+        us(report.drain.drain_time),
+        report.drain.listener_down,
+        report.qps_floor(),
+        report.qps_floor_met(),
+        report.drain_clean(),
+    )
+}

@@ -1,0 +1,317 @@
+//! Admission control: a bounded connection queue feeding the worker
+//! pool, plus per-endpoint in-flight concurrency limits.
+//!
+//! Two layers of backpressure, both answering 429 with `Retry-After`
+//! instead of stalling or dropping:
+//!
+//! 1. **Connection queue** — accepted sockets wait in a bounded FIFO
+//!    for a worker. When the queue is full the accept loop answers
+//!    429 immediately and closes (`p3p_http_rejected_total{reason=
+//!    "queue_full"}`); the queue length is exported live as the
+//!    `p3p_http_queue_depth` gauge.
+//! 2. **Per-endpoint limits** — each endpoint class has a cap on
+//!    requests being processed at once. A request over the cap is
+//!    answered 429 on its own connection (which stays usable) and
+//!    counted under `p3p_http_rejected_total{reason="concurrency"}`.
+
+use p3p_telemetry::metrics;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The endpoint classes the daemon serves, as admission units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Install,
+    Match,
+    MatchCorpus,
+    Metrics,
+    Health,
+}
+
+impl Endpoint {
+    pub const ALL: &'static [Endpoint] = &[
+        Endpoint::Install,
+        Endpoint::Match,
+        Endpoint::MatchCorpus,
+        Endpoint::Metrics,
+        Endpoint::Health,
+    ];
+
+    /// Stable `endpoint` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Install => "install",
+            Endpoint::Match => "match",
+            Endpoint::MatchCorpus => "match_corpus",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Health => "health",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Install => 0,
+            Endpoint::Match => 1,
+            Endpoint::MatchCorpus => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Health => 4,
+        }
+    }
+}
+
+/// Per-endpoint in-flight caps. Zero means unlimited.
+#[derive(Debug, Clone)]
+pub struct EndpointLimits {
+    pub install: usize,
+    pub match_: usize,
+    pub match_corpus: usize,
+    pub metrics: usize,
+    pub health: usize,
+}
+
+impl Default for EndpointLimits {
+    fn default() -> EndpointLimits {
+        EndpointLimits {
+            // Installs serialize on the primary lock anyway; a small
+            // cap keeps them from starving match traffic.
+            install: 4,
+            match_: 64,
+            // Corpus sweeps are the heavy hitters: a couple at a time.
+            match_corpus: 2,
+            metrics: 4,
+            health: 8,
+        }
+    }
+}
+
+impl EndpointLimits {
+    fn cap(&self, endpoint: Endpoint) -> usize {
+        match endpoint {
+            Endpoint::Install => self.install,
+            Endpoint::Match => self.match_,
+            Endpoint::MatchCorpus => self.match_corpus,
+            Endpoint::Metrics => self.metrics,
+            Endpoint::Health => self.health,
+        }
+    }
+}
+
+/// Why a request (or connection) was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The connection queue is full; answered at accept time.
+    QueueFull,
+    /// The endpoint's in-flight cap is reached; answered per request.
+    Concurrency(Endpoint),
+}
+
+impl Rejection {
+    /// Seconds the client should wait before retrying.
+    pub fn retry_after_secs(self) -> u64 {
+        1
+    }
+
+    pub fn reason(self) -> &'static str {
+        match self {
+            Rejection::QueueFull => "queue_full",
+            Rejection::Concurrency(_) => "concurrency",
+        }
+    }
+}
+
+/// Shared admission state.
+pub struct Admission {
+    limits: EndpointLimits,
+    in_flight: [AtomicUsize; 5],
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl Admission {
+    pub fn new(capacity: usize, limits: EndpointLimits) -> Arc<Admission> {
+        Arc::new(Admission {
+            limits,
+            in_flight: std::array::from_fn(|_| AtomicUsize::new(0)),
+            queue: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Enqueue an accepted connection, or reject when the queue is at
+    /// capacity (the stream is handed back so the caller can answer
+    /// 429 on it).
+    pub fn enqueue(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.queue.lock().unwrap();
+        if queue.conns.len() >= self.capacity {
+            metrics::counter_with("p3p_http_rejected_total", &[("reason", "queue_full")]).inc();
+            return Err(stream);
+        }
+        queue.conns.push_back(stream);
+        metrics::gauge("p3p_http_queue_depth").set(queue.conns.len() as i64);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue with a poll interval so workers notice
+    /// [`Admission::close`] promptly. `None` means: queue closed and
+    /// drained — the worker should exit.
+    pub fn dequeue(&self, poll: Duration) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = queue.conns.pop_front() {
+                metrics::gauge("p3p_http_queue_depth").set(queue.conns.len() as i64);
+                return Some(stream);
+            }
+            if queue.closed {
+                return None;
+            }
+            let (q, _timeout) = self.ready.wait_timeout(queue, poll).unwrap();
+            queue = q;
+        }
+    }
+
+    /// Close the queue: workers drain what is already queued, then
+    /// exit. New [`Admission::enqueue`] calls still succeed until the
+    /// accept loop stops — drain closes the listener first.
+    pub fn close(&self) {
+        self.queue.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of connections waiting for a worker.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().unwrap().conns.len()
+    }
+
+    /// Try to start processing a request on `endpoint`. The returned
+    /// guard decrements the in-flight count on drop.
+    pub fn try_enter(self: &Arc<Admission>, endpoint: Endpoint) -> Result<InFlight, Rejection> {
+        let cap = self.limits.cap(endpoint);
+        let slot = &self.in_flight[endpoint.index()];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            if cap != 0 && current >= cap {
+                metrics::counter_with("p3p_http_rejected_total", &[("reason", "concurrency")])
+                    .inc();
+                return Err(Rejection::Concurrency(endpoint));
+            }
+            match slot.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        metrics::gauge_with("p3p_http_in_flight", &[("endpoint", endpoint.label())])
+            .set((current + 1) as i64);
+        Ok(InFlight {
+            admission: self.clone(),
+            endpoint,
+        })
+    }
+
+    /// Current in-flight count for an endpoint.
+    pub fn in_flight(&self, endpoint: Endpoint) -> usize {
+        self.in_flight[endpoint.index()].load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for one in-flight request.
+pub struct InFlight {
+    admission: Arc<Admission>,
+    endpoint: Endpoint,
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        let slot = &self.admission.in_flight[self.endpoint.index()];
+        let was = slot.fetch_sub(1, Ordering::AcqRel);
+        metrics::gauge_with("p3p_http_in_flight", &[("endpoint", self.endpoint.label())])
+            .set(was.saturating_sub(1) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_caps_enforced_and_released() {
+        let admission = Admission::new(
+            4,
+            EndpointLimits {
+                match_: 2,
+                ..EndpointLimits::default()
+            },
+        );
+        let a = admission.try_enter(Endpoint::Match).unwrap();
+        let b = admission.try_enter(Endpoint::Match).unwrap();
+        assert_eq!(admission.in_flight(Endpoint::Match), 2);
+        let rejected = admission.try_enter(Endpoint::Match);
+        assert!(matches!(rejected, Err(Rejection::Concurrency(_))));
+        // Other endpoints are unaffected.
+        let _h = admission.try_enter(Endpoint::Health).unwrap();
+        drop(a);
+        assert_eq!(admission.in_flight(Endpoint::Match), 1);
+        let _c = admission.try_enter(Endpoint::Match).unwrap();
+        drop(b);
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let admission = Admission::new(
+            1,
+            EndpointLimits {
+                health: 0,
+                ..EndpointLimits::default()
+            },
+        );
+        let guards: Vec<_> = (0..100)
+            .map(|_| admission.try_enter(Endpoint::Health).unwrap())
+            .collect();
+        assert_eq!(admission.in_flight(Endpoint::Health), 100);
+        drop(guards);
+        assert_eq!(admission.in_flight(Endpoint::Health), 0);
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_closes_cleanly() {
+        let admission = Admission::new(2, EndpointLimits::default());
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dial = || {
+            let client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            (client, server_side)
+        };
+        let (_c1, s1) = dial();
+        let (_c2, s2) = dial();
+        let (_c3, s3) = dial();
+        assert!(admission.enqueue(s1).is_ok());
+        assert!(admission.enqueue(s2).is_ok());
+        assert_eq!(admission.depth(), 2);
+        assert!(admission.enqueue(s3).is_err(), "third must bounce");
+
+        assert!(admission.dequeue(Duration::from_millis(5)).is_some());
+        assert!(admission.dequeue(Duration::from_millis(5)).is_some());
+        admission.close();
+        assert!(admission.dequeue(Duration::from_millis(5)).is_none());
+    }
+}

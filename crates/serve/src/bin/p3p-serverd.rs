@@ -1,0 +1,184 @@
+//! `p3p-serverd` — the policy-server daemon binary.
+//!
+//! Binds the HTTP listener, optionally pre-installs a synthetic
+//! corpus, prints `listening on ADDR` once ready, and serves until
+//! SIGTERM (or SIGINT), at which point it drains gracefully: stops
+//! accepting, completes in-flight requests, flushes the metrics
+//! snapshot, and exits 0.
+
+use p3p_serve::daemon::{Daemon, ServeConfig};
+use p3p_server::PolicyServer;
+use p3p_telemetry::metrics;
+use std::io::Write;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // libc is always linked on unix targets; declaring the symbol
+        // directly avoids an external crate for two signal hooks.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: p3p-serverd [options]\n\
+         \n\
+         --bind ADDR          listen address (default 127.0.0.1:0)\n\
+         --workers N          worker threads (default 4)\n\
+         --queue-depth N      connection queue capacity (default 128)\n\
+         --match-limit N      in-flight cap for /match (default 64, 0 = unlimited)\n\
+         --corpus-seed S      seed for the synthetic bootstrap corpus (default 42)\n\
+         --corpus-n N         pre-install N synthetic policies (default 0)\n\
+         --verdict-cache N    verdict-cache capacity (default: server default)\n\
+         --delay-ms MS        artificial per-request delay, for drain drills (default 0)\n\
+         --metrics-out PATH   write the final metrics JSON snapshot here on exit"
+    );
+    exit(2)
+}
+
+struct Args {
+    bind: String,
+    config: ServeConfig,
+    corpus_seed: u64,
+    corpus_n: usize,
+    verdict_cache: Option<usize>,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:0".to_string(),
+        config: ServeConfig::default(),
+        corpus_seed: 42,
+        corpus_n: 0,
+        verdict_cache: None,
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("p3p-serverd: {name} needs a value");
+                exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--bind" => args.bind = value("--bind"),
+            "--workers" => args.config.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-depth" => {
+                args.config.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth")
+            }
+            "--match-limit" => {
+                args.config.limits.match_ = parse_num(&value("--match-limit"), "--match-limit")
+            }
+            "--corpus-seed" => {
+                args.corpus_seed = parse_num(&value("--corpus-seed"), "--corpus-seed")
+            }
+            "--corpus-n" => args.corpus_n = parse_num(&value("--corpus-n"), "--corpus-n"),
+            "--verdict-cache" => {
+                args.verdict_cache = Some(parse_num(&value("--verdict-cache"), "--verdict-cache"))
+            }
+            "--delay-ms" => args.config.delay_ms = parse_num(&value("--delay-ms"), "--delay-ms"),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("p3p-serverd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("p3p-serverd: bad value for {flag}: {raw}");
+        exit(2)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    sig::install();
+
+    let mut server = PolicyServer::new();
+    if let Some(capacity) = args.verdict_cache {
+        server.set_verdict_cache_capacity(capacity);
+    }
+    if args.corpus_n > 0 {
+        let started = Instant::now();
+        eprintln!(
+            "p3p-serverd: installing {} synthetic policies (seed {})",
+            args.corpus_n, args.corpus_seed
+        );
+        for policy in p3p_workload::corpus_n(args.corpus_seed, args.corpus_n) {
+            if let Err(e) = server.install_policy(&policy) {
+                eprintln!("p3p-serverd: corpus install failed: {e}");
+                exit(1);
+            }
+        }
+        eprintln!(
+            "p3p-serverd: corpus ready in {:.1}s (epoch {})",
+            started.elapsed().as_secs_f64(),
+            server.catalog_epoch()
+        );
+    }
+
+    let daemon = match Daemon::bind(&args.bind, server, args.config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("p3p-serverd: bind {} failed: {e}", args.bind);
+            exit(1);
+        }
+    };
+    // The readiness line tests and tooling parse; flushed so a piped
+    // reader sees it immediately.
+    println!("listening on {}", daemon.local_addr());
+    let _ = std::io::stdout().flush();
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    eprintln!("p3p-serverd: signal received, draining");
+    daemon.begin_drain();
+    let stats = daemon.join();
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, metrics::snapshot_json()) {
+            eprintln!("p3p-serverd: writing {path} failed: {e}");
+        }
+    }
+    eprintln!(
+        "p3p-serverd: drained (connections {}, served {}, rejected {}, in-flight completed {})",
+        stats.connections, stats.served, stats.rejected, stats.drained_in_flight
+    );
+    exit(0)
+}

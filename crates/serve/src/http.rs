@@ -1,0 +1,687 @@
+//! Hand-rolled HTTP/1.1: incremental request parsing with typed errors
+//! and a response writer.
+//!
+//! The daemon speaks just enough of RFC 9112 to serve the five
+//! endpoints: request line + headers + `Content-Length` bodies,
+//! keep-alive and pipelining on one connection, and hard limits on
+//! every dimension an untrusted peer controls (request-line length,
+//! header-block size, header count, body size). Every way a request
+//! can be malformed maps to a typed [`HttpError`] that renders as a
+//! 4xx/5xx response — never a panic, never a silent hang: reads carry
+//! the socket's read timeout, so a stalled peer surfaces as
+//! [`HttpError::Timeout`].
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request line (method + path + version).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Largest accepted header block (sum of all header lines).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Most header fields accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Default cap on `Content-Length` (policy XML is a few KB; rulesets
+/// smaller). The daemon can lower or raise this per config.
+pub const DEFAULT_MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Everything that can go wrong while reading one request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF at a request boundary: the peer closed a keep-alive
+    /// connection. Not an error to answer — just stop.
+    Closed,
+    /// EOF or shutdown in the middle of a request.
+    Truncated(&'static str),
+    /// The socket read timed out mid-request.
+    Timeout,
+    /// Request line longer than [`MAX_REQUEST_LINE`] bytes.
+    RequestLineTooLong,
+    /// Request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine(String),
+    /// Not `HTTP/1.0` or `HTTP/1.1`.
+    BadVersion(String),
+    /// Method token the daemon does not implement.
+    UnknownMethod(String),
+    /// Header block exceeds [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// More than [`MAX_HEADERS`] header fields.
+    TooManyHeaders,
+    /// A header line without a `:` or with an empty name.
+    BadHeader(String),
+    /// Two `Content-Length` headers that disagree (request smuggling
+    /// vector — rejected outright).
+    DuplicateContentLength,
+    /// `Content-Length` that does not parse as an integer.
+    BadContentLength(String),
+    /// `Transfer-Encoding` is not implemented; bodies are
+    /// `Content-Length`-delimited only.
+    UnsupportedTransferEncoding,
+    /// Declared body larger than the configured cap.
+    BodyTooLarge { limit: usize, declared: usize },
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status line this error answers with, or `None` when the
+    /// connection just ends (clean close / truncation / IO error).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Closed | HttpError::Truncated(_) | HttpError::Io(_) => None,
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::RequestLineTooLong => Some((414, "URI Too Long")),
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::DuplicateContentLength
+            | HttpError::BadContentLength(_) => Some((400, "Bad Request")),
+            HttpError::BadVersion(_) => Some((505, "HTTP Version Not Supported")),
+            HttpError::UnknownMethod(_) => Some((501, "Not Implemented")),
+            HttpError::HeadersTooLarge | HttpError::TooManyHeaders => {
+                Some((431, "Request Header Fields Too Large"))
+            }
+            HttpError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Content Too Large")),
+        }
+    }
+
+    /// Stable label for the `p3p_http_parse_errors_total{kind}` counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HttpError::Closed => "closed",
+            HttpError::Truncated(_) => "truncated",
+            HttpError::Timeout => "timeout",
+            HttpError::RequestLineTooLong => "request_line_too_long",
+            HttpError::BadRequestLine(_) => "bad_request_line",
+            HttpError::BadVersion(_) => "bad_version",
+            HttpError::UnknownMethod(_) => "unknown_method",
+            HttpError::HeadersTooLarge => "headers_too_large",
+            HttpError::TooManyHeaders => "too_many_headers",
+            HttpError::BadHeader(_) => "bad_header",
+            HttpError::DuplicateContentLength => "duplicate_content_length",
+            HttpError::BadContentLength(_) => "bad_content_length",
+            HttpError::UnsupportedTransferEncoding => "unsupported_transfer_encoding",
+            HttpError::BodyTooLarge { .. } => "body_too_large",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Truncated(what) => write!(f, "truncated {what}"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::RequestLineTooLong => write!(f, "request line too long"),
+            HttpError::BadRequestLine(l) => write!(f, "bad request line `{l}`"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version `{v}`"),
+            HttpError::UnknownMethod(m) => write!(f, "unknown method `{m}`"),
+            HttpError::HeadersTooLarge => write!(f, "header block too large"),
+            HttpError::TooManyHeaders => write!(f, "too many headers"),
+            HttpError::BadHeader(l) => write!(f, "malformed header `{l}`"),
+            HttpError::DuplicateContentLength => write!(f, "conflicting Content-Length headers"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length `{v}`"),
+            HttpError::UnsupportedTransferEncoding => write!(f, "Transfer-Encoding not supported"),
+            HttpError::BodyTooLarge { limit, declared } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    /// Path without the query string, percent-decoded.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header fields with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection`
+    /// header overrides).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The two methods the daemon implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// Read one full request from `reader`, incrementally and within the
+/// limits. `max_body` caps `Content-Length`. Returns
+/// [`HttpError::Closed`] on clean EOF before any byte of a request.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    // Request line. An interleaving of exact CRLF handling and limits:
+    // read_line_limited pulls bytes up to and including `\n`.
+    let line = match read_line_limited(reader, MAX_REQUEST_LINE) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Err(HttpError::Closed),
+        Err(LineError::TooLong) => return Err(HttpError::RequestLineTooLong),
+        Err(LineError::Eof) => return Err(HttpError::Truncated("request line")),
+        Err(LineError::Io(e)) => return Err(e.into()),
+    };
+    // Tolerate (skip) bare CRLF(s) before the request line, as RFC 9112
+    // recommends — but only blank ones.
+    let line = if line.is_empty() {
+        match read_line_limited(reader, MAX_REQUEST_LINE) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Err(HttpError::Closed),
+            Err(LineError::TooLong) => return Err(HttpError::RequestLineTooLong),
+            Err(LineError::Eof) => return Err(HttpError::Truncated("request line")),
+            Err(LineError::Io(e)) => return Err(e.into()),
+        }
+    } else {
+        line
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::BadVersion(v.to_string())),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => return Err(HttpError::UnknownMethod(other.to_string())),
+    };
+
+    // Header block.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = match read_line_limited(reader, MAX_HEADER_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Err(HttpError::Truncated("headers")),
+            Err(LineError::TooLong) => return Err(HttpError::HeadersTooLarge),
+            Err(LineError::Eof) => return Err(HttpError::Truncated("headers")),
+            Err(LineError::Io(e)) => return Err(e.into()),
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(line.clone()));
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader(line.clone()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body framing: Content-Length only.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut declared: Option<usize> = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(v.clone()))?;
+            match declared {
+                // A repeated identical Content-Length is tolerated (RFC
+                // 9112 §6.3); disagreeing ones are a smuggling vector.
+                Some(prev) if prev != n => return Err(HttpError::DuplicateContentLength),
+                _ => declared = Some(n),
+            }
+        }
+    }
+    let declared = declared.unwrap_or(0);
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge {
+            limit: max_body,
+            declared,
+        });
+    }
+    let mut body = vec![0u8; declared];
+    let mut read = 0usize;
+    while read < declared {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpError::Truncated("body")),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+        Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+        _ => http11,
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+enum LineError {
+    TooLong,
+    Eof,
+    Io(io::Error),
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line of at most `max`
+/// bytes, stripping the terminator. `Ok(None)` is clean EOF before any
+/// byte.
+fn read_line_limited(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, LineError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(LineError::Eof);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    return Ok(Some(line));
+                }
+                buf.push(byte[0]);
+                if buf.len() > max {
+                    return Err(LineError::TooLong);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(LineError::Io(e)),
+        }
+    }
+}
+
+/// Decode a query string into ordered `key=value` pairs (`+` is space,
+/// `%XX` is percent-decoded; a bare key gets an empty value).
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decode, treating `+` as space; malformed escapes pass
+/// through verbatim.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 3 <= bytes.len() => {
+                match std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reason phrase for the handful of statuses the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. `extra_headers` are rendered verbatim after the
+/// framing headers; `keep_alive` selects the `Connection` header.
+pub fn write_response(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &BTreeMap<&'static str, String>,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// Escape a string for inclusion in a JSON body.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /match?policy=volga&engine=sql HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/match");
+        assert_eq!(req.query_param("policy"), Some("volga"));
+        assert_eq!(req.query_param("engine"), Some("sql"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /install HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding_in_path_and_query() {
+        let req = parse(b"GET /a%20b?cookie=n%3Dv&x=1+2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a b");
+        assert_eq!(req.query_param("cookie"), Some("n=v"));
+        assert_eq!(req.query_param("x"), Some("1 2"));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn leading_blank_line_is_tolerated() {
+        let req = parse(b"\r\nGET /health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_typed() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET  /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequestLine(_)),
+                "{raw:?} -> {err:?}"
+            );
+            assert_eq!(err.status().unwrap().0, 400);
+        }
+    }
+
+    #[test]
+    fn unknown_method_and_bad_version() {
+        assert!(matches!(
+            parse(b"BREW /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnknownMethod(_))
+        ));
+        let err = parse(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadVersion(_)));
+        assert_eq!(err.status().unwrap().0, 505);
+        assert!(matches!(
+            parse(b"GET /x FTP/1.0\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_request_line() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::RequestLineTooLong)));
+    }
+
+    #[test]
+    fn oversized_and_overcounted_headers() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("Big: {}\r\n", "v".repeat(MAX_HEADER_BYTES)).as_bytes());
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::HeadersTooLarge)));
+
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::TooManyHeaders)));
+    }
+
+    #[test]
+    fn bad_headers_are_typed() {
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n: empty-name\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_abuse_is_typed() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello"),
+            Err(HttpError::DuplicateContentLength)
+        ));
+        // A repeated identical value is fine.
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_allocation() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&raw[..]), 1024).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+        assert_eq!(err.status().unwrap().0, 413);
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated("body"))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::Truncated("headers"))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTT"),
+            Err(HttpError::Truncated("request line"))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] =
+            b"GET /health HTTP/1.1\r\n\r\nPOST /install HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut reader = BufReader::new(raw);
+        let a = read_request(&mut reader, DEFAULT_MAX_BODY).unwrap();
+        assert_eq!(a.path, "/health");
+        let b = read_request(&mut reader, DEFAULT_MAX_BODY).unwrap();
+        assert_eq!(b.path, "/install");
+        assert_eq!(b.body, b"ok");
+        assert!(matches!(
+            read_request(&mut reader, DEFAULT_MAX_BODY),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn connection_header_overrides_version_default() {
+        let req = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        let req = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        let mut extra = BTreeMap::new();
+        extra.insert("X-P3P-Epoch", "7".to_string());
+        write_response(&mut out, 200, "application/json", &extra, b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-P3P-Epoch: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Network-facing policy server daemon.
+//!
+//! This crate puts the paper's server-centric architecture on the
+//! wire: a hand-rolled HTTP/1.1 listener (no external dependencies —
+//! incremental parsing with typed errors, keep-alive, Content-Length
+//! framing) in front of the concurrent matching layer from
+//! `p3p-server`, with admission control and graceful drain.
+//!
+//! * [`http`] — the request parser and response writer, with a typed
+//!   [`http::HttpError`] for every malformed-input class.
+//! * [`admission`] — the bounded connection queue and per-endpoint
+//!   in-flight caps behind 429 + `Retry-After` backpressure.
+//! * [`daemon`] — the [`daemon::Daemon`] itself: accept thread,
+//!   worker pool over `MatchPool` snapshots, endpoint handlers, and
+//!   the drain protocol.
+//! * [`client`] — a minimal blocking client the tests and the load
+//!   generator share.
+//!
+//! The `p3p-serverd` binary wraps [`daemon::Daemon`] with a CLI,
+//! corpus bootstrap, and SIGTERM → drain handling.
+
+pub mod admission;
+pub mod client;
+pub mod daemon;
+pub mod http;
+
+pub use admission::{Admission, Endpoint, EndpointLimits, Rejection};
+pub use client::{Client, ClientResponse};
+pub use daemon::{Daemon, DaemonStats, ServeConfig};
+pub use http::HttpError;

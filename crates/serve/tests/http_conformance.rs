@@ -1,0 +1,336 @@
+//! HTTP parser conformance battery, driven over real sockets against
+//! a live daemon: every malformed-input class must come back as its
+//! typed 4xx/5xx — the server never panics, never hangs, and stays
+//! serviceable for the next connection.
+
+use p3p_policy::model::volga_policy;
+use p3p_serve::client::Client;
+use p3p_serve::daemon::{Daemon, ServeConfig};
+use p3p_server::PolicyServer;
+use p3p_workload::Sensitivity;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn spawn_daemon(config: ServeConfig) -> Daemon {
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    Daemon::bind("127.0.0.1:0", server, config).expect("bind daemon")
+}
+
+fn default_daemon() -> Daemon {
+    spawn_daemon(ServeConfig::default())
+}
+
+/// Send raw bytes, expect exactly `status` back, and verify the
+/// server still answers a well-formed request on a fresh connection.
+fn assert_raw_status(daemon: &Daemon, raw: &[u8], status: u16, case: &str) {
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    client.send_raw(raw).unwrap();
+    let response = client.read_response().unwrap_or_else(|e| {
+        panic!("case `{case}`: no response ({e}); want {status}");
+    });
+    assert_eq!(
+        response.status,
+        status,
+        "case `{case}`: {}",
+        response.body_string()
+    );
+
+    // The daemon must shrug the malformed connection off entirely.
+    let mut probe = Client::connect(daemon.local_addr()).unwrap();
+    let health = probe.request("GET", "/health", b"").unwrap();
+    assert_eq!(health.status, 200, "case `{case}` wedged the server");
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    let daemon = default_daemon();
+    assert_raw_status(&daemon, b"GARBAGE\r\n\r\n", 400, "one-token line");
+    assert_raw_status(&daemon, b"GET /health\r\n\r\n", 400, "missing version");
+    assert_raw_status(
+        &daemon,
+        b"GET /health HTTP/1.1 extra\r\n\r\n",
+        400,
+        "four tokens",
+    );
+    assert_raw_status(&daemon, b"\x00\x01\x02\r\n\r\n", 400, "binary junk");
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn unsupported_method_and_version_are_typed() {
+    let daemon = default_daemon();
+    assert_raw_status(
+        &daemon,
+        b"BREW /health HTTP/1.1\r\n\r\n",
+        501,
+        "unknown method",
+    );
+    assert_raw_status(
+        &daemon,
+        b"GET /health HTTP/3.0\r\n\r\n",
+        505,
+        "future version",
+    );
+    // A version token that is not HTTP/x.y at all is a malformed
+    // request line, not a version we could negotiate down from.
+    assert_raw_status(
+        &daemon,
+        b"GET /health SPDY/1\r\n\r\n",
+        400,
+        "non-HTTP version",
+    );
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn oversized_request_line_is_414() {
+    let daemon = default_daemon();
+    let mut raw = Vec::from(&b"GET /"[..]);
+    raw.extend(std::iter::repeat_n(b'a', 8192));
+    raw.extend(b" HTTP/1.1\r\n\r\n");
+    assert_raw_status(&daemon, &raw, 414, "8 KiB request line");
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn header_abuse_is_431_or_400() {
+    let daemon = default_daemon();
+
+    // One colossal header blows the total-header-bytes budget.
+    let mut oversized = Vec::from(&b"GET /health HTTP/1.1\r\nX-Pad: "[..]);
+    oversized.extend(std::iter::repeat_n(b'x', 32 * 1024));
+    oversized.extend(b"\r\n\r\n");
+    assert_raw_status(&daemon, &oversized, 431, "32 KiB header value");
+
+    // Many small headers blow the header-count budget.
+    let mut crowd = Vec::from(&b"GET /health HTTP/1.1\r\n"[..]);
+    for i in 0..100 {
+        crowd.extend(format!("X-H{i}: v\r\n").into_bytes());
+    }
+    crowd.extend(b"\r\n");
+    assert_raw_status(&daemon, &crowd, 431, "100 headers");
+
+    // A header line with no colon is malformed.
+    assert_raw_status(
+        &daemon,
+        b"GET /health HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        400,
+        "colonless header",
+    );
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn content_length_abuse_is_typed() {
+    let daemon = default_daemon();
+    assert_raw_status(
+        &daemon,
+        b"POST /match HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        400,
+        "non-numeric length",
+    );
+    assert_raw_status(
+        &daemon,
+        b"POST /match HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\nhello",
+        400,
+        "disagreeing duplicate lengths",
+    );
+    // A body over the daemon's cap is refused before it is read.
+    let huge = format!(
+        "POST /match HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    assert_raw_status(&daemon, huge.as_bytes(), 413, "64 MiB declared body");
+    // Transfer-Encoding framing is not implemented: refuse loudly
+    // rather than misframe.
+    assert_raw_status(
+        &daemon,
+        b"POST /match HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        501,
+        "chunked transfer",
+    );
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn truncated_body_closes_without_hanging() {
+    let daemon = spawn_daemon(ServeConfig {
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    // Promise 100 bytes, send 5, then leave the connection open: the
+    // read budget expires and the server answers 408 and closes.
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .send_raw(b"POST /match HTTP/1.1\r\nContent-Length: 100\r\n\r\nhello")
+        .unwrap();
+    let response = client.read_response().expect("stall must be answered");
+    assert_eq!(response.status, 408, "{}", response.body_string());
+
+    // Promise 100 bytes, send 5, then close outright: no response is
+    // owed, the server must just drop the connection without fuss.
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .send_raw(b"POST /match HTTP/1.1\r\nContent-Length: 100\r\n\r\nhello")
+        .unwrap();
+    drop(client);
+
+    std::thread::sleep(Duration::from_millis(50));
+    let mut probe = Client::connect(addr).unwrap();
+    assert_eq!(probe.request("GET", "/health", b"").unwrap().status, 200);
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_all_answer_in_order() {
+    let daemon = default_daemon();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    let ruleset = Sensitivity::Medium.ruleset().to_xml();
+    let match_req = format!(
+        "POST /match?policy=volga HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        ruleset.len(),
+        ruleset
+    );
+    // Three requests in one burst: two matches and a health check.
+    let mut burst = Vec::new();
+    burst.extend(match_req.as_bytes());
+    burst.extend(match_req.as_bytes());
+    burst.extend(b"GET /health HTTP/1.1\r\n\r\n");
+    client.send_raw(&burst).unwrap();
+
+    for i in 0..2 {
+        let response = client.read_response().unwrap();
+        assert_eq!(response.status, 200, "pipelined match {i}");
+        assert!(response.body_string().contains("\"behavior\""));
+        assert_eq!(response.header("x-p3p-epoch"), Some("1"));
+    }
+    let health = client.read_response().unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_string().contains("\"status\": \"ok\""));
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn parse_error_closes_the_connection() {
+    let daemon = default_daemon();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    // Malformed request followed by a valid one in the same burst:
+    // the server answers the error and closes — it must NOT attempt
+    // to resynchronize on guessed framing.
+    client
+        .send_raw(b"GARBAGE\r\n\r\nGET /health HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("connection"), Some("close"));
+    // The next read sees EOF, not a second response.
+    let err = client.read_response();
+    assert!(err.is_err(), "connection must be closed after parse error");
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn leading_crlf_is_tolerated() {
+    let daemon = default_daemon();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    client
+        .send_raw(b"\r\nGET /health HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(response.status, 200);
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn http10_defaults_to_close() {
+    let daemon = default_daemon();
+    let addr: SocketAddr = daemon.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.send_raw(b"GET /health HTTP/1.0\r\n\r\n").unwrap();
+    let response = client.read_response().unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn queue_full_bounce_is_a_well_formed_429() {
+    // Stall the only worker, fill the 1-slot queue, and check the
+    // accept-time bounce is a complete, parseable 429 response.
+    let daemon = spawn_daemon(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        delay_ms: 300,
+        ..ServeConfig::default()
+    });
+    let addr = daemon.local_addr();
+    let ruleset = Sensitivity::Medium.ruleset().to_xml();
+    let blocker = std::thread::spawn({
+        let ruleset = ruleset.clone();
+        move || {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .request("POST", "/match?policy=volga", ruleset.as_bytes())
+                .unwrap()
+        }
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    // One connection parks in the queue; subsequent ones bounce.
+    let _parked = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let mut bounced_429 = false;
+    for _ in 0..10 {
+        let mut client = Client::connect(addr).unwrap();
+        match client.read_response() {
+            Ok(response) if response.status == 429 => {
+                assert!(
+                    response.header("retry-after").is_some(),
+                    "Retry-After missing"
+                );
+                assert!(response.body_string().contains("queue_full"));
+                bounced_429 = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(bounced_429, "expected at least one accept-time 429");
+    assert_eq!(blocker.join().unwrap().status, 200);
+    daemon.begin_drain();
+    daemon.join();
+}
+
+#[test]
+fn raw_eof_before_any_bytes_is_silent() {
+    let daemon = default_daemon();
+    // Open and immediately close several connections; nothing should
+    // be logged as served, and the daemon keeps going.
+    for _ in 0..5 {
+        let stream = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+        drop(stream);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let mut probe = Client::connect(daemon.local_addr()).unwrap();
+    let mut body = String::new();
+    let health = probe.request("GET", "/health", b"").unwrap();
+    assert_eq!(health.status, 200);
+    body.push_str(&health.body_string());
+    assert!(body.contains("\"status\": \"ok\""));
+    daemon.begin_drain();
+    daemon.join();
+}

@@ -62,6 +62,16 @@ grep -q '"fold_matches_single_process": true' BENCH_dist.json
 grep -q '"speedup_vs_1"' BENCH_dist.json
 grep -q '"scaling_gate_enforced"' BENCH_dist.json
 
+echo "==> bench smoke (serve, single iteration)"
+cargo bench -p p3p-bench --bench serve -- --test
+
+echo "==> repro --table serve (sustained-QPS floor + zero-dropped-drain gate)"
+P3P_SERVE_POLICIES=2000 P3P_SERVE_SECS=3 \
+  cargo run -q --release -p p3p-bench --bin repro -- --table serve > /dev/null
+grep -q '"qps_floor_met": true' BENCH_serve.json
+grep -q '"drain_clean": true' BENCH_serve.json
+grep -q '"lost": 0' BENCH_serve.json
+
 echo "==> repro --table profile (profiler-off overhead gate, 1.10x)"
 cargo run -q --release -p p3p-bench --bin repro -- --table profile > /dev/null
 test -s BENCH_profile.json

@@ -18,6 +18,9 @@
 //!   preference suite of §6.2.
 //! * [`dist`] — distributed corpus matching: the shard scheduler and
 //!   worker fleet over a length-prefixed wire protocol.
+//! * [`serve`] — the network-facing daemon: a dependency-free
+//!   HTTP/1.1 listener with admission control, backpressure, and
+//!   graceful drain over the concurrent matching layer.
 //! * [`telemetry`] — structured spans, the metrics registry, and the
 //!   slow-query log threaded through the matching pipeline.
 //!
@@ -43,6 +46,7 @@ pub use p3p_appel as appel;
 pub use p3p_dist as dist;
 pub use p3p_minidb as minidb;
 pub use p3p_policy as policy;
+pub use p3p_serve as serve;
 pub use p3p_server as server;
 pub use p3p_telemetry as telemetry;
 pub use p3p_workload as workload;

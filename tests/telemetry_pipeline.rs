@@ -260,6 +260,82 @@ fn distributed_sweep_counters_and_gauge_are_exported() {
     }
 }
 
+/// The daemon's `GET /metrics` body is byte-identical to the metrics
+/// registry's own Prometheus render, and every `p3p_http_*` family it
+/// adds carries exactly one HELP and one TYPE header.
+#[test]
+fn http_metrics_endpoint_matches_registry_render() {
+    use p3p_suite::serve::client::Client;
+    use p3p_suite::serve::daemon::{Daemon, ServeConfig};
+
+    let mut server = PolicyServer::new();
+    server.install_policy(&volga_policy()).unwrap();
+    let daemon = Daemon::bind("127.0.0.1:0", server, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    // Put at least one request through a work endpoint so the
+    // p3p_http_* families carry real samples, not just zeros.
+    let ruleset = p3p_suite::workload::Sensitivity::Medium.ruleset().to_xml();
+    let matched = client
+        .request("POST", "/match?policy=volga", ruleset.as_bytes())
+        .unwrap();
+    assert_eq!(matched.status, 200, "{}", matched.body_string());
+
+    // /metrics must serve exactly what the registry renders. Other
+    // tests in this binary mutate the process-global registry in
+    // parallel, so a fetch can race a counter increment — retry until
+    // a quiet window gives byte-identity. The endpoint records no
+    // metrics about itself, so repeated probes never diverge on their
+    // own account.
+    let mut identical = false;
+    for _ in 0..100 {
+        let response = client.request("GET", "/metrics", b"").unwrap();
+        assert_eq!(response.status, 200);
+        let rendered = metrics::render_text();
+        if response.body == rendered.as_bytes() {
+            identical = true;
+            // The fetched page is a full registry render: check the
+            // HTTP families' headers on the exact bytes served.
+            for (family, kind) in [
+                ("p3p_http_requests_total", "counter"),
+                ("p3p_http_rejected_total", "counter"),
+                ("p3p_http_parse_errors_total", "counter"),
+                ("p3p_http_connections_total", "counter"),
+                ("p3p_http_queue_depth", "gauge"),
+                ("p3p_http_in_flight", "gauge"),
+                ("p3p_http_draining", "gauge"),
+                ("p3p_http_request_us", "histogram"),
+            ] {
+                assert_eq!(
+                    rendered.matches(&format!("# HELP {family} ")).count(),
+                    1,
+                    "{family} must carry exactly one HELP line"
+                );
+                assert_eq!(
+                    rendered
+                        .matches(&format!("# TYPE {family} {kind}\n"))
+                        .count(),
+                    1,
+                    "{family} must render as a {kind}"
+                );
+            }
+            assert!(
+                rendered.contains("p3p_http_requests_total{endpoint=\"match\",status=\"200\"}"),
+                "the /match request must be visible in the served page"
+            );
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        identical,
+        "/metrics body never matched metrics::render_text() byte-for-byte"
+    );
+
+    daemon.begin_drain();
+    daemon.join();
+}
+
 /// EXPLAIN on the optimized-schema translation of a category rule
 /// names the indexes the executor would probe (satellite of the
 /// paper's §5.4 index discussion).
